@@ -1,0 +1,30 @@
+// Sensitivity of K, the number of returned rules (the paper fixes K = 50):
+// repair quality vs rule-set size for EnuMiner and RLMiner.
+
+#include "bench_util.h"
+
+using namespace erminer;         // NOLINT
+using namespace erminer::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  const DatasetSpec& spec = SpecByName("Covid");
+  std::printf("== Ablation: rule count K over Covid ==\n");
+
+  TablePrinter table({"K", "method", "rules", "Precision", "Recall", "F1"});
+  for (size_t k : {1u, 5u, 10u, 25u, 50u, 100u}) {
+    for (Method m : {Method::kEnuMiner, Method::kRlMiner}) {
+      BenchSetup s = MakeSetup(spec, flags, /*trial=*/0);
+      s.options.k = k;
+      s.rl.base.k = k;
+      TrialResult tr = RunTrial(s.ds, m, s.options, s.rl).ValueOrDie();
+      table.AddRow({std::to_string(k), MethodName(m),
+                    std::to_string(tr.mine.rules.size()),
+                    FormatDouble(tr.repair.precision, 3),
+                    FormatDouble(tr.repair.recall, 3),
+                    FormatDouble(tr.repair.f1, 3)});
+    }
+  }
+  table.Print();
+  return 0;
+}

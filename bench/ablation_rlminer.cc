@@ -1,0 +1,80 @@
+// Ablation study for RLMiner's design choices (DESIGN.md, Sec. "Key design
+// decisions"): reward normalization, the frontier bonus (Alg. 2 lines
+// 15-16), the global rule mask (Alg. 1 lines 12-17), reward/measure reuse
+// (Alg. 2 lines 5-14), and type-stratified exploration. Each variant turns
+// exactly one mechanism off.
+//
+// Not a paper figure — an extra experiment justifying the implementation.
+
+#include "bench_util.h"
+#include "rl/rl_miner.h"
+
+using namespace erminer;         // NOLINT
+using namespace erminer::bench;  // NOLINT
+
+namespace {
+
+struct Variant {
+  const char* name;
+  void (*apply)(RlMinerOptions*);
+};
+
+const Variant kVariants[] = {
+    {"full (paper config)", [](RlMinerOptions*) {}},
+    {"no reward normalization",
+     [](RlMinerOptions* o) { o->normalize_utility = false; }},
+    {"no frontier bonus",
+     [](RlMinerOptions* o) { o->frontier_bonus = false; }},
+    {"no global mask",
+     [](RlMinerOptions* o) { o->use_global_mask = false; }},
+    {"no reward reuse",
+     [](RlMinerOptions* o) { o->reuse_rewards = false; }},
+    {"uniform exploration",
+     [](RlMinerOptions* o) { o->stratified_explore = false; }},
+    {"+ double DQN", [](RlMinerOptions* o) { o->dqn.double_dqn = true; }},
+    {"+ dueling head", [](RlMinerOptions* o) { o->dqn.dueling = true; }},
+    {"+ prioritized replay",
+     [](RlMinerOptions* o) { o->dqn.prioritized = true; }},
+    {"+ both variants",
+     [](RlMinerOptions* o) {
+       o->dqn.double_dqn = true;
+       o->dqn.prioritized = true;
+     }},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  const size_t trials = flags.TrialsOr(3);
+  const DatasetSpec& spec = SpecByName("Covid");
+  std::printf("== Ablation: RLMiner design choices over Covid (%s scale, "
+              "%zu trials) ==\n",
+              flags.full ? "paper" : "bench", trials);
+
+  TablePrinter table({"variant", "F1", "top-rule utility", "rule evals",
+                      "time (s)"});
+  for (const Variant& variant : kVariants) {
+    std::vector<double> f1, util, evals, secs;
+    for (size_t t = 0; t < trials; ++t) {
+      BenchSetup s = MakeSetup(spec, flags, t);
+      variant.apply(&s.rl);
+      s.rl.seed = flags.seed + t;
+      Corpus corpus = BuildCorpus(s.ds).ValueOrDie();
+      RlMiner miner(&corpus, s.rl);
+      MineResult mine = miner.Mine();
+      util.push_back(mine.rules.empty() ? 0.0
+                                        : mine.rules[0].stats.utility);
+      evals.push_back(static_cast<double>(mine.rule_evaluations));
+      secs.push_back(mine.seconds);
+      TrialResult tr = ScoreRules(corpus, s.ds, std::move(mine));
+      f1.push_back(tr.repair.f1);
+    }
+    table.AddRow({variant.name, MeanStd(Aggregate_(f1)),
+                  FormatDouble(Aggregate_(util).mean, 1),
+                  FormatDouble(Aggregate_(evals).mean, 0),
+                  FormatDouble(Aggregate_(secs).mean, 2)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Shared driver utilities for the per-table / per-figure bench binaries.
+//
+// Every binary runs at a scaled-down default so the whole suite finishes in
+// minutes on one core, and accepts:
+//   --full        paper-scale dataset sizes and training budgets
+//   --trials=N    repetitions (mean +- std is reported)
+//   --seed=N      base RNG seed
+// Support thresholds are scaled proportionally to the input size so the
+// scaled runs exercise the same pruning regime as the paper's.
+
+#ifndef ERMINER_BENCH_BENCH_UTIL_H_
+#define ERMINER_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "datagen/generators.h"
+#include "eval/experiment.h"
+#include "eval/table.h"
+#include "util/string_util.h"
+
+namespace erminer::bench {
+
+struct BenchFlags {
+  bool full = false;
+  size_t trials = 0;  // 0 = per-bench default
+  uint64_t seed = 7;
+
+  static BenchFlags Parse(int argc, char** argv) {
+    BenchFlags f;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strcmp(a, "--full") == 0) {
+        f.full = true;
+      } else if (std::strncmp(a, "--trials=", 9) == 0) {
+        f.trials = static_cast<size_t>(std::atoll(a + 9));
+      } else if (std::strncmp(a, "--seed=", 7) == 0) {
+        f.seed = static_cast<uint64_t>(std::atoll(a + 7));
+      } else if (std::strcmp(a, "--help") == 0) {
+        std::printf("flags: --full --trials=N --seed=N\n");
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown flag %s (see --help)\n", a);
+        std::exit(2);
+      }
+    }
+    return f;
+  }
+
+  size_t TrialsOr(size_t dflt) const { return trials > 0 ? trials : dflt; }
+};
+
+/// Scaled-down dataset sizes per dataset name (paper sizes with --full).
+struct ScaledSizes {
+  size_t input;
+  size_t master;
+};
+
+inline ScaledSizes SizesFor(const DatasetSpec& spec, bool full) {
+  if (full) return {spec.default_input_size, spec.default_master_size};
+  // ~1/10 of the paper scale, bounded below for statistical stability.
+  auto scale = [](size_t n) { return std::max<size_t>(600, n / 10); };
+  return {scale(spec.default_input_size), scale(spec.default_master_size)};
+}
+
+/// eta_s proportional to the actual input size (>= 10).
+inline double ScaledSupportThreshold(const DatasetSpec& spec,
+                                     size_t input_size) {
+  double eta = spec.default_support_threshold *
+               static_cast<double>(input_size) /
+               static_cast<double>(spec.default_input_size);
+  return std::max(eta, 10.0);
+}
+
+struct BenchSetup {
+  GeneratedDataset ds;
+  MinerOptions options;
+  RlMinerOptions rl;
+};
+
+/// Generates one dataset trial with scaled thresholds and budgets.
+inline BenchSetup MakeSetup(const DatasetSpec& spec, const BenchFlags& flags,
+                            uint64_t trial, GenOptions gen = {}) {
+  ScaledSizes sizes = SizesFor(spec, flags.full);
+  if (gen.input_size == 0) gen.input_size = sizes.input;
+  if (gen.master_size == 0) gen.master_size = sizes.master;
+  gen.seed = flags.seed + 1000 * trial;
+  BenchSetup s{GenerateDataset(spec, gen).ValueOrDie(), {}, {}};
+  s.options = DefaultMinerOptions(s.ds);
+  s.options.support_threshold = ScaledSupportThreshold(spec, gen.input_size);
+  s.rl = DefaultRlOptions(s.ds, /*k=*/50, gen.seed);
+  s.rl.base.support_threshold = s.options.support_threshold;
+  s.rl.train_steps = flags.full ? 5000 : 1500;
+  return s;
+}
+
+inline const DatasetSpec& SpecByName(const std::string& name) {
+  static const DatasetSpec* specs = new DatasetSpec[4]{
+      NurserySpec(), AdultSpec(), CovidSpec(), LocationSpec()};
+  for (int i = 0; i < 4; ++i) {
+    if (specs[i].name == name) return specs[i];
+  }
+  std::fprintf(stderr, "unknown dataset %s\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace erminer::bench
+
+#endif  // ERMINER_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,14 @@
+// Regenerates Figure 10: incremental input data over Adult — RLMiner-ft
+// (fine-tuning the previous agent) vs RLMiner from scratch vs EnuMinerH3,
+// as input rows are revealed in stages.
+
+#include "incremental_util.h"
+
+int main(int argc, char** argv) {
+  auto flags = erminer::bench::BenchFlags::Parse(argc, argv);
+  std::printf("== Figure 10: incremental input data over Adult (%s scale) "
+              "==\n",
+              flags.full ? "paper" : "bench");
+  erminer::bench::RunIncrementalBench("Adult", /*vary_input=*/true, flags);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Regenerates Figure 11: incremental master data over Adult — RLMiner-ft
+// vs RLMiner from scratch vs EnuMinerH3, as master rows are revealed.
+
+#include "incremental_util.h"
+
+int main(int argc, char** argv) {
+  auto flags = erminer::bench::BenchFlags::Parse(argc, argv);
+  std::printf("== Figure 11: incremental master data over Adult (%s scale) "
+              "==\n",
+              flags.full ? "paper" : "bench");
+  erminer::bench::RunIncrementalBench("Adult", /*vary_input=*/false, flags);
+  return 0;
+}

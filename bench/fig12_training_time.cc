@@ -1,0 +1,70 @@
+// Regenerates Figure 12: RLMiner training time vs training steps — from
+// scratch (a) and fine-tuned (b) — plus inference time and the number of
+// greedy steps needed to mine the top-K rules.
+
+#include <sstream>
+
+#include "bench_util.h"
+#include "rl/rl_miner.h"
+
+using namespace erminer;         // NOLINT
+using namespace erminer::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  const DatasetSpec& spec = SpecByName("Covid");
+  BenchSetup s = MakeSetup(spec, flags, /*trial=*/0);
+  Corpus corpus = BuildCorpus(s.ds).ValueOrDie();
+  std::printf("== Figure 12: training and inference time of RLMiner over "
+              "Covid (%s scale) ==\n",
+              flags.full ? "paper" : "bench");
+
+  const std::vector<size_t> step_sweep =
+      flags.full ? std::vector<size_t>{1000, 2000, 3000, 4000, 5000}
+                 : std::vector<size_t>{300, 600, 900, 1200, 1500};
+
+  // (a) training from scratch; capture the 5000-step agent for (b).
+  std::stringstream weights;
+  TablePrinter a({"train steps", "train time (s)", "episodes",
+                  "inference time (s)", "inference steps", "rules"});
+  for (size_t steps : step_sweep) {
+    RlMinerOptions o = s.rl;
+    o.train_steps = steps;
+    RlMiner miner(&corpus, o);
+    miner.Train();
+    MineResult r = miner.Infer();
+    a.AddRow({std::to_string(steps),
+              FormatDouble(miner.last_train_seconds(), 2),
+              std::to_string(miner.episodes_done()),
+              FormatDouble(r.inference_seconds, 3),
+              std::to_string(r.inference_steps),
+              std::to_string(r.rules.size())});
+    if (steps == step_sweep.back()) {
+      ERMINER_CHECK_OK(miner.SaveAgent(weights));
+    }
+  }
+  std::printf("(a) training from scratch\n");
+  a.Print();
+
+  // (b) fine-tuning the trained agent with fewer steps.
+  TablePrinter b({"fine-tune steps", "train time (s)", "inference time (s)",
+                  "inference steps", "rules"});
+  for (size_t steps : step_sweep) {
+    size_t ft = steps / 5;
+    RlMinerOptions o = s.rl;
+    o.train_steps = steps;
+    RlMiner miner(&corpus, o);
+    std::stringstream copy(weights.str());
+    ERMINER_CHECK_OK(miner.LoadAgent(copy));
+    miner.Train(ft);
+    MineResult r = miner.Infer();
+    b.AddRow({std::to_string(ft),
+              FormatDouble(miner.last_train_seconds(), 2),
+              FormatDouble(r.inference_seconds, 3),
+              std::to_string(r.inference_steps),
+              std::to_string(r.rules.size())});
+  }
+  std::printf("\n(b) fine-tuning\n");
+  b.Print();
+  return 0;
+}

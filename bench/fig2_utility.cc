@@ -1,0 +1,43 @@
+// Regenerates Figure 2: the utility function's shape — linear in
+// Certainty (+ Quality), log-squared saturating in Support.
+
+#include "core/measures.h"
+
+#include "bench_util.h"
+
+using namespace erminer;         // NOLINT
+using namespace erminer::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  (void)BenchFlags::Parse(argc, argv);
+  std::printf("== Figure 2(a): Utility vs Certainty (S = 1000, Q = 0) ==\n");
+  TablePrinter a({"certainty", "utility"});
+  for (double c = 0.0; c <= 1.0001; c += 0.1) {
+    a.AddRow({FormatDouble(c, 1), FormatDouble(UtilityOf(1000, c, 0), 2)});
+  }
+  a.Print();
+
+  std::printf("\n== Figure 2(b): Utility vs Support (C = 1, Q = 0) ==\n");
+  TablePrinter b({"support", "utility", "marginal gain"});
+  double prev = 0;
+  for (long s : {1L, 2L, 5L, 10L, 50L, 100L, 500L, 1000L, 5000L, 10000L,
+                 40000L}) {
+    double u = UtilityOf(s, 1.0, 0.0);
+    b.AddRow({std::to_string(s), FormatDouble(u, 2),
+              FormatDouble(u - prev, 2)});
+    prev = u;
+  }
+  b.Print();
+
+  std::printf("\n== Figure 2 (joint surface): rows = support, cols = C+Q ==\n");
+  TablePrinter c({"S \\ C+Q", "0.25", "0.50", "1.00", "1.50", "2.00"});
+  for (long s : {10L, 100L, 1000L, 10000L}) {
+    std::vector<std::string> row = {std::to_string(s)};
+    for (double cq : {0.25, 0.5, 1.0, 1.5, 2.0}) {
+      row.push_back(FormatDouble(UtilityOf(s, cq, 0.0), 1));
+    }
+    c.AddRow(row);
+  }
+  c.Print();
+  return 0;
+}

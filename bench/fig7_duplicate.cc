@@ -1,0 +1,43 @@
+// Regenerates Figure 7: F-measure of EnuMiner vs RLMiner while varying the
+// duplicate rate d% (fraction of input rows drawn from master entities).
+// The paper fixes master = 5000 and input = 10000; the bench scale keeps
+// the same 2:1 ratio.
+
+#include "bench_util.h"
+
+using namespace erminer;         // NOLINT
+using namespace erminer::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  const size_t trials = flags.TrialsOr(1);
+  const DatasetSpec& spec = SpecByName("Adult");
+  const size_t input = flags.full ? 10000 : 1500;
+  const size_t master = flags.full ? 5000 : 750;
+  std::printf("== Figure 7: varying duplicate rate over Adult "
+              "(input=%zu, master=%zu, %zu trials) ==\n",
+              input, master, trials);
+
+  TablePrinter table({"d%", "method", "Precision", "Recall", "F1"});
+  for (double d : {20.0, 40.0, 60.0, 80.0, 100.0}) {
+    for (Method m : {Method::kEnuMiner, Method::kRlMiner}) {
+      std::vector<double> p, r, f;
+      for (size_t t = 0; t < trials; ++t) {
+        GenOptions gen;
+        gen.input_size = input;
+        gen.master_size = master;
+        gen.duplicate_percent = d;
+        BenchSetup s = MakeSetup(spec, flags, t, gen);
+        TrialResult tr = RunTrial(s.ds, m, s.options, s.rl).ValueOrDie();
+        p.push_back(tr.repair.precision);
+        r.push_back(tr.repair.recall);
+        f.push_back(tr.repair.f1);
+      }
+      table.AddRow({FormatDouble(d, 0), MethodName(m),
+                    MeanStd(Aggregate_(p)), MeanStd(Aggregate_(r)),
+                    MeanStd(Aggregate_(f))});
+    }
+  }
+  table.Print();
+  return 0;
+}

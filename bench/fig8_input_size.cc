@@ -1,0 +1,49 @@
+// Regenerates Figure 8: F-measure and time cost vs input data size over
+// Adult, for EnuMiner, EnuMinerH3 and RLMiner. The paper sweeps 10k-40k;
+// the bench scale sweeps 1k-4k (same 4-point shape).
+
+#include "bench_util.h"
+
+using namespace erminer;         // NOLINT
+using namespace erminer::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  const size_t trials = flags.TrialsOr(1);
+  const DatasetSpec& spec = SpecByName("Adult");
+  const size_t master = flags.full ? 5000 : 600;
+  std::vector<size_t> sweep = flags.full
+                                  ? std::vector<size_t>{10000, 20000, 30000,
+                                                        40000}
+                                  : std::vector<size_t>{1000, 2000, 3000,
+                                                        4000};
+  std::printf("== Figure 8: varying input data size over Adult (master=%zu, "
+              "%zu trials) ==\n",
+              master, trials);
+
+  TablePrinter table({"input size", "method", "Precision", "Recall", "F1",
+                      "time (s)"});
+  for (size_t n : sweep) {
+    for (Method m : {Method::kEnuMiner, Method::kEnuMinerH3,
+                     Method::kRlMiner}) {
+      std::vector<double> p, r, f, secs;
+      for (size_t t = 0; t < trials; ++t) {
+        GenOptions gen;
+        gen.input_size = n;
+        gen.master_size = master;
+        BenchSetup s = MakeSetup(spec, flags, t, gen);
+        TrialResult tr = RunTrial(s.ds, m, s.options, s.rl).ValueOrDie();
+        p.push_back(tr.repair.precision);
+        r.push_back(tr.repair.recall);
+        f.push_back(tr.repair.f1);
+        secs.push_back(tr.mine.seconds);
+      }
+      table.AddRow({std::to_string(n), MethodName(m),
+                    MeanStd(Aggregate_(p)), MeanStd(Aggregate_(r)),
+                    MeanStd(Aggregate_(f)),
+                    FormatDouble(Aggregate_(secs).mean, 2)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Regenerates Figure 9: F-measure and time cost vs master data size over
+// Adult (input fixed at the largest sweep point), for EnuMiner, EnuMinerH3
+// and RLMiner.
+
+#include "bench_util.h"
+
+using namespace erminer;         // NOLINT
+using namespace erminer::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  const size_t trials = flags.TrialsOr(1);
+  const DatasetSpec& spec = SpecByName("Adult");
+  const size_t input = flags.full ? 40000 : 4000;
+  std::vector<size_t> sweep =
+      flags.full ? std::vector<size_t>{1000, 2000, 3000, 4000, 5000}
+                 : std::vector<size_t>{200, 400, 600, 800, 1000};
+  std::printf("== Figure 9: varying master data size over Adult (input=%zu, "
+              "%zu trials) ==\n",
+              input, trials);
+
+  TablePrinter table({"master size", "method", "Precision", "Recall", "F1",
+                      "time (s)"});
+  for (size_t n : sweep) {
+    for (Method m : {Method::kEnuMiner, Method::kEnuMinerH3,
+                     Method::kRlMiner}) {
+      std::vector<double> p, r, f, secs;
+      for (size_t t = 0; t < trials; ++t) {
+        GenOptions gen;
+        gen.input_size = input;
+        gen.master_size = n;
+        BenchSetup s = MakeSetup(spec, flags, t, gen);
+        TrialResult tr = RunTrial(s.ds, m, s.options, s.rl).ValueOrDie();
+        p.push_back(tr.repair.precision);
+        r.push_back(tr.repair.recall);
+        f.push_back(tr.repair.f1);
+        secs.push_back(tr.mine.seconds);
+      }
+      table.AddRow({std::to_string(n), MethodName(m),
+                    MeanStd(Aggregate_(p)), MeanStd(Aggregate_(r)),
+                    MeanStd(Aggregate_(f)),
+                    FormatDouble(Aggregate_(secs).mean, 2)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Shared driver for the incremental-discovery experiments (Figs. 10-11).
+#include <sstream>
+
+//
+// The full dataset is generated once and the corpus is built once, so all
+// dictionaries — and therefore the ActionSpace and the value network's
+// dimensions — stay fixed while rows are revealed in stages. At each stage:
+//   - EnuMinerH3 re-mines from scratch (the paper's heuristic baseline);
+//   - RLMiner re-trains from scratch;
+//   - RLMiner-ft fine-tunes the previous stage's agent with 1/5 the steps.
+
+#ifndef ERMINER_BENCH_INCREMENTAL_UTIL_H_
+#define ERMINER_BENCH_INCREMENTAL_UTIL_H_
+
+#include "bench_util.h"
+#include "core/enu_miner.h"
+#include "rl/incremental_miner.h"
+#include "rl/rl_miner.h"
+
+namespace erminer::bench {
+
+inline void RunIncrementalBench(const std::string& dataset, bool vary_input,
+                                const BenchFlags& flags) {
+  const DatasetSpec& spec = SpecByName(dataset);
+  ScaledSizes sizes = SizesFor(spec, flags.full);
+  GenOptions gen;
+  gen.input_size = sizes.input;
+  gen.master_size = sizes.master;
+  gen.seed = flags.seed;
+  GeneratedDataset full_ds = GenerateDataset(spec, gen).ValueOrDie();
+  Corpus full_corpus = BuildCorpus(full_ds).ValueOrDie();
+
+  RlMinerOptions rl = DefaultRlOptions(full_ds);
+  rl.train_steps = flags.full ? 5000 : 1500;
+  ActionSpaceOptions aopts;
+  aopts.support_threshold = ScaledSupportThreshold(spec, sizes.input);
+  auto space =
+      std::make_shared<ActionSpace>(ActionSpace::Build(full_corpus, aopts));
+
+  TablePrinter table({"stage", vary_input ? "input rows" : "master rows",
+                      "method", "F1", "time (s)"});
+  IncrementalMiner::Options inc_options;
+  inc_options.rl = rl;
+  inc_options.rl.seed = flags.seed + 100;
+  inc_options.fine_tune_fraction = 0.2;
+  IncrementalMiner ft_miner(&full_corpus, inc_options);
+
+  const double fractions[] = {0.4, 0.6, 0.8, 1.0};
+  for (int stage = 0; stage < 4; ++stage) {
+    double frac = fractions[stage];
+    size_t n_in = vary_input
+                      ? static_cast<size_t>(frac * sizes.input)
+                      : sizes.input;
+    size_t n_ms = vary_input
+                      ? sizes.master
+                      : static_cast<size_t>(frac * sizes.master);
+    Corpus corpus = full_corpus.TruncateRows(n_in, n_ms);
+    GeneratedDataset ds = full_ds.HeadRows(n_in, n_ms);
+    const double eta = ScaledSupportThreshold(spec, n_in);
+    const std::string rows = std::to_string(vary_input ? n_in : n_ms);
+
+    {  // EnuMinerH3 (re-run per stage)
+      MinerOptions o = DefaultMinerOptions(ds);
+      o.support_threshold = eta;
+      MineResult mine = EnuMineH3(corpus, o);
+      TrialResult tr = ScoreRules(corpus, ds, std::move(mine));
+      table.AddRow({std::to_string(stage), rows, "EnuMinerH3",
+                    FormatDouble(tr.repair.f1, 3),
+                    FormatDouble(tr.mine.seconds, 2)});
+    }
+    {  // RLMiner from scratch
+      RlMinerOptions o = rl;
+      o.base.support_threshold = eta;
+      o.seed = flags.seed + static_cast<uint64_t>(stage);
+      RlMiner miner(&corpus, o, space);
+      MineResult mine = miner.Mine();
+      TrialResult tr = ScoreRules(corpus, ds, std::move(mine));
+      table.AddRow({std::to_string(stage), rows, "RLMiner",
+                    FormatDouble(tr.repair.f1, 3),
+                    FormatDouble(tr.mine.seconds, 2)});
+    }
+    {  // RLMiner-ft: full training at stage 0, fine-tuning afterwards
+      MineResult mine = ft_miner.Mine(corpus);
+      double seconds = mine.seconds;
+      TrialResult tr = ScoreRules(corpus, ds, std::move(mine));
+      table.AddRow({std::to_string(stage), rows,
+                    stage == 0 ? "RLMiner-ft (init)" : "RLMiner-ft",
+                    FormatDouble(tr.repair.f1, 3),
+                    FormatDouble(seconds, 2)});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace erminer::bench
+
+#endif  // ERMINER_BENCH_INCREMENTAL_UTIL_H_

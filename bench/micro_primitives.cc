@@ -1,0 +1,163 @@
+// google-benchmark micro-benchmarks for the primitives every miner is built
+// on: master index construction, eval-column probing, rule evaluation, mask
+// computation, cover refinement, and the value network's forward/backward.
+
+#include <benchmark/benchmark.h>
+
+#include "core/action_space.h"
+#include "core/environment.h"
+#include "core/mask.h"
+#include "core/measures.h"
+#include "datagen/generators.h"
+#include "eval/experiment.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "rl/dqn.h"
+
+namespace erminer {
+namespace {
+
+const Corpus& BenchCorpus() {
+  static const Corpus* corpus = [] {
+    GenOptions g;
+    g.input_size = 2000;
+    g.master_size = 800;
+    g.seed = 99;
+    auto ds = MakeAdult(g).ValueOrDie();
+    return new Corpus(BuildCorpus(ds).ValueOrDie());
+  }();
+  return *corpus;
+}
+
+const ActionSpace& BenchSpace() {
+  static const ActionSpace* space = [] {
+    ActionSpaceOptions o;
+    o.support_threshold = 20;
+    return new ActionSpace(ActionSpace::Build(BenchCorpus(), {o}));
+  }();
+  return *space;
+}
+
+void BM_GroupIndexBuild(benchmark::State& state) {
+  const Corpus& c = BenchCorpus();
+  std::vector<int> xm;
+  for (long i = 0; i < state.range(0); ++i) xm.push_back(static_cast<int>(i));
+  for (auto _ : state) {
+    GroupIndex idx = GroupIndex::Build(c.master(), xm, c.y_master());
+    benchmark::DoNotOptimize(idx.num_groups());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(c.master().num_rows()));
+}
+BENCHMARK(BM_GroupIndexBuild)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_EvalColumnBuild(benchmark::State& state) {
+  const Corpus& c = BenchCorpus();
+  for (auto _ : state) {
+    EvalCache cache(&c, 2);
+    auto entry = cache.Get({{1, 0}, {2, 1}});
+    benchmark::DoNotOptimize(entry.column->group.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(c.input().num_rows()));
+}
+BENCHMARK(BM_EvalColumnBuild);
+
+void BM_RuleEvaluate(benchmark::State& state) {
+  const Corpus& c = BenchCorpus();
+  RuleEvaluator ev(&c);
+  EditingRule rule;
+  rule.y_input = c.y_input();
+  rule.y_master = c.y_master();
+  rule.AddLhs(1, 0);  // workclass
+  rule.AddLhs(2, 1);  // education
+  Cover cover = FullCover(c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ev.Evaluate(rule, cover).support);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(c.input().num_rows()));
+}
+BENCHMARK(BM_RuleEvaluate);
+
+void BM_CoverRefine(benchmark::State& state) {
+  const Corpus& c = BenchCorpus();
+  const ActionSpace& space = BenchSpace();
+  Cover full = FullCover(c);
+  const PatternItem& item = space.pattern_item(space.stop_action() - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RefineCover(c, full, item)->size());
+  }
+}
+BENCHMARK(BM_CoverRefine);
+
+void BM_MaskCompute(benchmark::State& state) {
+  const ActionSpace& space = BenchSpace();
+  RuleKeySet discovered;
+  RuleKey key = {0};
+  for (int32_t i = 0; i < 50 && i < space.stop_action(); i += 3) {
+    discovered.insert(KeyWith(key, i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeMask(space, key, discovered).size());
+  }
+}
+BENCHMARK(BM_MaskCompute);
+
+void BM_MlpForward(benchmark::State& state) {
+  Rng rng(1);
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Mlp mlp({dim, 128, 128, dim + 1}, &rng);
+  Tensor x(64, dim, 0.0f);
+  for (size_t i = 0; i < 64; ++i) x.at(i, i % dim) = 1.0f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.Forward(x).size());
+  }
+}
+BENCHMARK(BM_MlpForward)->Arg(64)->Arg(256);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  Rng rng(1);
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Mlp mlp({dim, 128, 128, dim + 1}, &rng);
+  Adam opt(1e-3f);
+  Tensor x(64, dim, 0.0f);
+  for (size_t i = 0; i < 64; ++i) x.at(i, i % dim) = 1.0f;
+  for (auto _ : state) {
+    Tensor out = mlp.Forward(x);
+    mlp.ZeroGrad();
+    mlp.Backward(out);
+    opt.Step(mlp.Parameters(), mlp.Gradients());
+  }
+}
+BENCHMARK(BM_MlpForwardBackward)->Arg(64)->Arg(256);
+
+void BM_EnvStep(benchmark::State& state) {
+  const Corpus& c = BenchCorpus();
+  const ActionSpace& space = BenchSpace();
+  RuleEvaluator ev(&c);
+  EnvOptions opts;
+  opts.support_threshold = 20;
+  opts.k = 1000000;  // never terminate on leaves
+  Environment env(&c, &space, &ev, opts);
+  Rng rng(3);
+  env.Reset();
+  for (auto _ : state) {
+    if (env.done()) env.Reset();
+    auto mask = env.CurrentMask();
+    std::vector<int32_t> allowed;
+    for (int32_t a = 0; a < space.stop_action(); ++a) {
+      if (mask[static_cast<size_t>(a)]) allowed.push_back(a);
+    }
+    int32_t action = allowed.empty()
+                         ? space.stop_action()
+                         : allowed[rng.NextUint64(allowed.size())];
+    benchmark::DoNotOptimize(env.Step(action).reward);
+  }
+}
+BENCHMARK(BM_EnvStep);
+
+}  // namespace
+}  // namespace erminer
+
+BENCHMARK_MAIN();

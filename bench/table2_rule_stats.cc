@@ -1,0 +1,57 @@
+// Regenerates Table II: statistics on rule length — LHS and pattern counts
+// (mean +- std, max/min) of the K rules discovered by CTANE, EnuMiner and
+// RLMiner on each dataset, aggregated over repeated trials.
+
+#include "bench_util.h"
+
+using namespace erminer;         // NOLINT
+using namespace erminer::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  const size_t trials = flags.TrialsOr(2);
+  std::printf("== Table II: statistics on rule length (%s scale, %zu "
+              "trials) ==\n",
+              flags.full ? "paper" : "bench", trials);
+
+  TablePrinter table({"Dataset", "Method", "# LHS (mean+-std)",
+                      "# LHS (max/min)", "# Pattern (mean+-std)",
+                      "# Pattern (max/min)"});
+  const Method methods[] = {Method::kCtane, Method::kEnuMiner,
+                            Method::kRlMiner};
+  for (const std::string& name : DatasetNames()) {
+    const DatasetSpec& spec = SpecByName(name);
+    for (Method m : methods) {
+      std::vector<double> lhs_mean, lhs_std, pat_mean, pat_std;
+      size_t lhs_max = 0, pat_max = 0;
+      size_t lhs_min = SIZE_MAX, pat_min = SIZE_MAX;
+      for (size_t t = 0; t < trials; ++t) {
+        BenchSetup s = MakeSetup(spec, flags, t);
+        TrialResult r = RunTrial(s.ds, m, s.options, s.rl).ValueOrDie();
+        if (r.mine.rules.empty()) continue;
+        lhs_mean.push_back(r.lengths.lhs_mean);
+        lhs_std.push_back(r.lengths.lhs_std);
+        pat_mean.push_back(r.lengths.pattern_mean);
+        pat_std.push_back(r.lengths.pattern_std);
+        lhs_max = std::max(lhs_max, r.lengths.lhs_max);
+        lhs_min = std::min(lhs_min, r.lengths.lhs_min);
+        pat_max = std::max(pat_max, r.lengths.pattern_max);
+        pat_min = std::min(pat_min, r.lengths.pattern_min);
+      }
+      if (lhs_mean.empty()) {
+        table.AddRow({name, MethodName(m), "-", "-", "-", "-"});
+        continue;
+      }
+      table.AddRow(
+          {name, MethodName(m),
+           FormatDouble(Aggregate_(lhs_mean).mean, 2) + " +- " +
+               FormatDouble(Aggregate_(lhs_std).mean, 2),
+           std::to_string(lhs_max) + " / " + std::to_string(lhs_min),
+           FormatDouble(Aggregate_(pat_mean).mean, 2) + " +- " +
+               FormatDouble(Aggregate_(pat_std).mean, 2),
+           std::to_string(pat_max) + " / " + std::to_string(pat_min)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Regenerates Table III: repair precision / recall / F1 of CTANE, EnuMiner
+// and RLMiner over the four datasets (weighted multi-class scores against
+// ground truth, mean +- std over trials).
+
+#include "bench_util.h"
+
+using namespace erminer;         // NOLINT
+using namespace erminer::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  const size_t trials = flags.TrialsOr(2);
+  std::printf("== Table III: repair results (%s scale, %zu trials) ==\n",
+              flags.full ? "paper" : "bench", trials);
+
+  TablePrinter table({"Dataset", "Method", "Precision", "Recall", "F1",
+                      "mining time (s)"});
+  const Method methods[] = {Method::kCtane, Method::kEnuMiner,
+                            Method::kRlMiner};
+  for (const std::string& name : DatasetNames()) {
+    const DatasetSpec& spec = SpecByName(name);
+    for (Method m : methods) {
+      std::vector<double> p, r, f, secs;
+      for (size_t t = 0; t < trials; ++t) {
+        BenchSetup s = MakeSetup(spec, flags, t);
+        TrialResult tr = RunTrial(s.ds, m, s.options, s.rl).ValueOrDie();
+        p.push_back(tr.repair.precision);
+        r.push_back(tr.repair.recall);
+        f.push_back(tr.repair.f1);
+        secs.push_back(tr.mine.seconds);
+      }
+      table.AddRow({name, MethodName(m), MeanStd(Aggregate_(p)),
+                    MeanStd(Aggregate_(r)), MeanStd(Aggregate_(f)),
+                    FormatDouble(Aggregate_(secs).mean, 2)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Domain example: incremental discovery with fine-tuning (Sec. V-D3).
+// Registration data keeps arriving; instead of re-training RLMiner from
+// scratch each night, RLMiner-ft reloads yesterday's agent, fine-tunes it
+// briefly on the enriched corpus, and re-mines — at a fraction of the cost
+// and with matching repair quality.
+//
+// Run: ./build/examples/incremental_discovery
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/repair.h"
+#include "datagen/generators.h"
+#include "eval/experiment.h"
+#include "rl/rl_miner.h"
+
+using namespace erminer;  // NOLINT: example brevity
+
+int main() {
+  GenOptions gen;
+  gen.input_size = 2000;
+  gen.master_size = 1000;
+  gen.seed = 77;
+  GeneratedDataset full_ds = MakeCovid(gen).ValueOrDie();
+  Corpus full_corpus = BuildCorpus(full_ds).ValueOrDie();
+
+  // The action space is built once, on the full corpus, so the value
+  // network's dimensions stay fixed as rows are revealed.
+  RlMinerOptions options = DefaultRlOptions(full_ds, /*k=*/25, /*seed=*/5);
+  options.base.support_threshold = 60;
+  options.train_steps = 2000;
+  ActionSpaceOptions aopts;
+  aopts.support_threshold = options.base.support_threshold;
+  auto space = std::make_shared<ActionSpace>(
+      ActionSpace::Build(full_corpus, aopts));
+
+  std::stringstream weights;
+
+  std::printf("%-6s %-12s %-14s %8s %9s\n", "day", "rows", "method", "F1",
+              "time(s)");
+  const double fractions[] = {0.5, 0.75, 1.0};
+  for (int day = 0; day < 3; ++day) {
+    size_t n = static_cast<size_t>(fractions[day] * 2000);
+    Corpus corpus = full_corpus.TruncateRows(n, 1000);
+    GeneratedDataset ds = full_ds.HeadRows(n, 1000);
+    std::vector<ValueCode> truth = EncodeTruth(corpus, ds);
+
+    auto score = [&](RlMiner* miner, const char* tag, double seconds) {
+      MineResult result = miner->Infer();
+      seconds += miner->last_inference_seconds();
+      RuleEvaluator evaluator(&corpus);
+      RepairOutcome repair = ApplyRules(&evaluator, result.rules);
+      ClassificationReport r = WeightedPrf(truth, repair.prediction);
+      std::printf("%-6d %-12zu %-14s %8.3f %9.2f\n", day, n, tag, r.f1,
+                  seconds);
+    };
+
+    // Re-training from scratch every day.
+    RlMiner scratch(&corpus, options, space);
+    scratch.Train();
+    score(&scratch, "scratch", scratch.last_train_seconds());
+
+    // Fine-tuning yesterday's agent (day 0 trains fully and saves).
+    RlMiner ft(&corpus, options, space);
+    double seconds = 0;
+    if (day == 0) {
+      ft.Train();
+    } else {
+      std::stringstream in(weights.str());
+      ERMINER_CHECK_OK(ft.LoadAgent(in));
+      ft.Train(options.train_steps / 5);
+    }
+    seconds += ft.last_train_seconds();
+    weights.str("");
+    weights.clear();
+    ERMINER_CHECK_OK(ft.SaveAgent(weights));
+    score(&ft, day == 0 ? "ft (init)" : "fine-tune", seconds);
+  }
+  std::printf("\nFine-tuning reaches scratch-level F1 at ~1/5 the training "
+              "steps once the\nagent has seen the initial corpus.\n");
+  return 0;
+}

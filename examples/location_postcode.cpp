@@ -1,0 +1,80 @@
+// Domain example: filling missing postcodes in a store-location table from
+// a government postcode registry (the paper's Location dataset, rule
+// phi_2 = ((area_code, area_code), (County, County)) -> (Postcode,
+// Postcode)). Also demonstrates CSV round-tripping of the repaired table
+// and the comparison between EnuMiner and the CTANE baseline.
+//
+// Run: ./build/examples/location_postcode [output.csv]
+
+#include <cstdio>
+
+#include "core/cfd_miner.h"
+#include "core/enu_miner.h"
+#include "core/repair.h"
+#include "data/csv.h"
+#include "datagen/generators.h"
+#include "eval/experiment.h"
+
+using namespace erminer;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  GenOptions gen;
+  gen.input_size = 2559;  // paper's Location sizes
+  gen.master_size = 3430;
+  gen.noise_rate = 0.15;  // the raw Location data is already quite dirty
+  gen.seed = 8;
+  GeneratedDataset ds = MakeLocation(gen).ValueOrDie();
+  Corpus corpus = BuildCorpus(ds).ValueOrDie();
+
+  int postcode = ds.input.schema.IndexOf("postcode");
+  size_t missing = 0;
+  for (const auto& row : ds.input.rows) {
+    missing += row[static_cast<size_t>(postcode)].empty();
+  }
+  std::printf("store locations: %zu rows, %.1f%% missing postcodes; "
+              "registry: %zu counties\n",
+              ds.input.num_rows(),
+              100.0 * static_cast<double>(missing) /
+                  static_cast<double>(ds.input.num_rows()),
+              ds.master.num_rows());
+
+  MinerOptions options = DefaultMinerOptions(ds, /*k=*/20);
+  MineResult enu = EnuMine(corpus, options);
+  MineResult ctane = CfdMine(corpus, options);
+  std::printf("EnuMiner found %zu rules; CTANE converted %zu CFDs\n",
+              enu.rules.size(), ctane.rules.size());
+  if (!enu.rules.empty()) {
+    std::printf("top rule: %s\n", enu.rules[0].rule.ToString(corpus).c_str());
+  }
+
+  std::vector<ValueCode> truth = EncodeTruth(corpus, ds);
+  RuleEvaluator evaluator(&corpus);
+  for (auto& [name, mine] : {std::pair<const char*, MineResult&>{
+                                 "EnuMiner", enu},
+                             {"CTANE", ctane}}) {
+    RepairOutcome repair = ApplyRules(&evaluator, mine.rules);
+    ClassificationReport r = WeightedPrf(truth, repair.prediction);
+    std::printf("  %-8s P=%.3f R=%.3f F1=%.3f\n", name, r.precision,
+                r.recall, r.f1);
+  }
+
+  // Materialize the repaired table: fill missing postcodes with the
+  // EnuMiner predictions and write it back out as CSV.
+  RepairOutcome repair = ApplyRules(&evaluator, enu.rules);
+  StringTable repaired = ds.input;
+  Domain* dy = corpus.y_domain().get();
+  size_t filled = 0;
+  for (size_t r = 0; r < repaired.num_rows(); ++r) {
+    auto& cell = repaired.rows[r][static_cast<size_t>(postcode)];
+    if (cell.empty() && repair.prediction[r] != kNullCode) {
+      cell = dy->value(repair.prediction[r]);
+      ++filled;
+    }
+  }
+  std::printf("filled %zu of %zu missing postcodes\n", filled, missing);
+  if (argc > 1) {
+    ERMINER_CHECK_OK(WriteCsvFile(repaired, argv[1]));
+    std::printf("repaired table written to %s\n", argv[1]);
+  }
+  return 0;
+}

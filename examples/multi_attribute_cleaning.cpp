@@ -1,0 +1,85 @@
+// Domain example: cleaning EVERY repairable attribute of a relation at
+// once. The schemas are matched by value overlap (no shared column names
+// needed), column statistics identify promising repair targets, and
+// MineAllTargets runs EnuMiner once per matched attribute. Finally each
+// attribute is repaired with its own rule set.
+//
+// Run: ./build/examples/multi_attribute_cleaning
+
+#include <cstdio>
+
+#include "core/enu_miner.h"
+#include "core/multi_target.h"
+#include "core/repair.h"
+#include "data/instance_match.h"
+#include "data/stats.h"
+#include "datagen/generators.h"
+#include "eval/experiment.h"
+#include "eval/table.h"
+#include "util/string_util.h"
+
+using namespace erminer;  // NOLINT: example brevity
+
+int main() {
+  GenOptions gen;
+  gen.input_size = 1200;
+  gen.master_size = 900;
+  gen.noise_rate = 0.12;
+  gen.seed = 99;
+  GeneratedDataset ds = MakeNursery(gen).ValueOrDie();
+
+  // 1. Match schemas by value overlap (pretend the names were unknown).
+  SchemaMatch match = MatchByValues(ds.input, ds.master);
+  std::printf("instance matcher found %zu attribute pairs\n",
+              match.num_pairs());
+
+  // 2. Profile: which attributes have strong determinants (NMI) and are
+  //    therefore promising repair targets?
+  Table encoded = Table::EncodeFresh(ds.input).ValueOrDie();
+  std::printf("\nstrongest dependency signal per attribute:\n");
+  for (size_t c = 0; c < encoded.num_cols(); ++c) {
+    auto ranked = RankDeterminants(encoded, c);
+    if (ranked.empty()) continue;
+    std::printf("  %-10s <- %-10s (NMI %.2f)\n",
+                ds.input.schema.attribute(c).name.c_str(),
+                ds.input.schema.attribute(ranked[0].determinant).name.c_str(),
+                ranked[0].nmi);
+  }
+
+  // 3. Mine rules for every matched attribute.
+  MinerFn miner = [](const Corpus& corpus) {
+    MinerOptions o;
+    o.k = 15;
+    o.support_threshold = 60;
+    return EnuMine(corpus, o);
+  };
+  auto targets =
+      MineAllTargets(ds.input, ds.master, match, miner).ValueOrDie();
+
+  // 4. Repair each target attribute with its own rule set and score it.
+  TablePrinter table({"attribute", "rules", "precision", "recall", "F1"});
+  for (const auto& tr : targets) {
+    Corpus corpus = Corpus::Build(ds.input, ds.master, match, tr.y_input,
+                                  tr.y_master)
+                        .ValueOrDie();
+    RuleEvaluator evaluator(&corpus);
+    RepairOutcome repair = ApplyRules(&evaluator, tr.mine.rules);
+    // Truth for this column from the clean input.
+    std::vector<ValueCode> truth;
+    Domain* dy = corpus.y_domain().get();
+    for (const auto& row : ds.clean_input.rows) {
+      truth.push_back(dy->GetOrAdd(row[static_cast<size_t>(tr.y_input)]));
+    }
+    ClassificationReport r = WeightedPrf(truth, repair.prediction);
+    table.AddRow({tr.y_name, std::to_string(tr.mine.rules.size()),
+                  FormatDouble(r.precision, 3), FormatDouble(r.recall, 3),
+                  FormatDouble(r.f1, 3)});
+  }
+  std::printf("\nper-attribute repair quality:\n");
+  table.Print();
+  std::printf("\nAttributes with strong functional structure (class, "
+              "finance) repair well;\nnear-independent ones cannot beat the "
+              "majority candidate — exactly what\nthe NMI profile "
+              "predicts.\n");
+  return 0;
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Build, test and regenerate every table/figure of the paper.
+#   scripts/reproduce.sh          bench scale (minutes on one core)
+#   scripts/reproduce.sh --full   paper-scale sizes and training budgets
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+  echo "=== $b $* ==="
+  "$b" "$@"
+done

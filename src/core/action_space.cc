@@ -1,0 +1,120 @@
+#include "core/action_space.h"
+
+#include <algorithm>
+
+namespace erminer {
+
+const std::vector<int32_t> ActionSpace::kEmpty = {};
+
+RuleKey KeyWith(const RuleKey& key, int32_t a) {
+  RuleKey out = key;
+  auto pos = std::lower_bound(out.begin(), out.end(), a);
+  ERMINER_CHECK(pos == out.end() || *pos != a);
+  out.insert(pos, a);
+  return out;
+}
+
+ActionSpace ActionSpace::Build(const Corpus& corpus,
+                               const ActionSpaceOptions& opts) {
+  ActionSpace space;
+  space.y_input_ = corpus.y_input();
+  space.y_master_ = corpus.y_master();
+  const size_t width = corpus.input().num_cols();
+  space.lhs_by_attr_.assign(width, {});
+  space.pattern_by_attr_.assign(width, {});
+
+  // s_l: one action per matched pair (A, A_m), A != Y (Eq. 7/10).
+  for (size_t a = 0; a < width; ++a) {
+    if (static_cast<int>(a) == corpus.y_input()) continue;
+    for (int am : corpus.match().Matches(static_cast<int>(a))) {
+      space.lhs_by_attr_[a].push_back(
+          static_cast<int32_t>(space.lhs_actions_.size()));
+      space.lhs_actions_.push_back({static_cast<int>(a), am});
+    }
+  }
+
+  // s_p: candidate value classes per attribute A != Y (Eq. 8/11).
+  DomainCompressOptions copts;
+  copts.min_frequency = opts.support_threshold;
+  copts.max_classes = opts.max_classes_per_attr;
+  copts.prefix_merge = opts.prefix_merge;
+  copts.include_negations = opts.include_negations;
+  for (size_t a = 0; a < width; ++a) {
+    if (static_cast<int>(a) == corpus.y_input()) continue;
+    auto items = CompressDomain(corpus, static_cast<int>(a), copts);
+    for (auto& item : items) {
+      space.pattern_by_attr_[a].push_back(static_cast<int32_t>(
+          space.lhs_actions_.size() + space.pattern_items_.size()));
+      space.pattern_items_.push_back(std::move(item));
+    }
+  }
+  return space;
+}
+
+const std::vector<int32_t>& ActionSpace::LhsActionsOfAttr(int attr) const {
+  if (attr < 0 || static_cast<size_t>(attr) >= lhs_by_attr_.size()) {
+    return kEmpty;
+  }
+  return lhs_by_attr_[static_cast<size_t>(attr)];
+}
+
+const std::vector<int32_t>& ActionSpace::PatternActionsOfAttr(int attr) const {
+  if (attr < 0 || static_cast<size_t>(attr) >= pattern_by_attr_.size()) {
+    return kEmpty;
+  }
+  return pattern_by_attr_[static_cast<size_t>(attr)];
+}
+
+EditingRule ActionSpace::Decode(const RuleKey& key) const {
+  EditingRule rule;
+  rule.y_input = y_input_;
+  rule.y_master = y_master_;
+  for (int32_t i : key) {
+    if (IsLhsAction(i)) {
+      const LhsAction& la = lhs_action(i);
+      rule.AddLhs(la.a, la.a_m);
+    } else if (IsPatternAction(i)) {
+      rule.pattern.Add(pattern_item(i));
+    } else {
+      ERMINER_CHECK(false && "stop action in a rule key");
+    }
+  }
+  return rule;
+}
+
+Result<RuleKey> ActionSpace::Encode(const EditingRule& rule) const {
+  RuleKey key;
+  for (const auto& [a, am] : rule.lhs) {
+    bool found = false;
+    for (int32_t i : LhsActionsOfAttr(a)) {
+      const LhsAction& la = lhs_action(i);
+      if (la.a_m == am) {
+        key.push_back(i);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::NotFound("no action for lhs pair (" + std::to_string(a) +
+                              "," + std::to_string(am) + ")");
+    }
+  }
+  for (const auto& item : rule.pattern.items()) {
+    bool found = false;
+    for (int32_t i : PatternActionsOfAttr(item.attr)) {
+      if (pattern_item(i).values == item.values) {
+        key.push_back(i);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::NotFound("no action for pattern condition on attr " +
+                              std::to_string(item.attr));
+    }
+  }
+  std::sort(key.begin(), key.end());
+  return key;
+}
+
+}  // namespace erminer

@@ -1,0 +1,106 @@
+// Action space and state encoding (Sec. IV-A, IV-B; Eqs. 6-12).
+//
+// The state of a rule is the one-hot vector s = [s_l ; s_p]:
+//   s_l — one dimension per matched attribute pair (A, A_m), A != Y;
+//   s_p — one dimension per candidate pattern condition (A, value class),
+//         A != Y, produced by CompressDomain (continuous attributes were
+//         discretized into N_split ranges when the Corpus was built).
+// The action vector a = [a_l ; a_p ; a_stop] aligns with s plus one trailing
+// stop action. A rule therefore IS the set of action indices that are 1 in
+// its state; we call that sorted index set the rule's key.
+
+#ifndef ERMINER_CORE_ACTION_SPACE_H_
+#define ERMINER_CORE_ACTION_SPACE_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/domain_compress.h"
+#include "core/rule.h"
+#include "data/corpus.h"
+#include "util/hash.h"
+
+namespace erminer {
+
+/// A rule identified by its sorted set of action indices.
+using RuleKey = std::vector<int32_t>;
+using RuleKeySet = std::unordered_set<RuleKey, VectorHash>;
+
+/// Returns a copy of `key` with action `a` inserted (keeps order).
+RuleKey KeyWith(const RuleKey& key, int32_t a);
+
+struct ActionSpaceOptions {
+  /// eta_s: prunes pattern-value candidates by input frequency.
+  double support_threshold = 0;
+  /// K: per-attribute cap on candidate classes (0 = unlimited).
+  size_t max_classes_per_attr = 64;
+  /// Common-prefix merging beyond K (RLMiner: on; EnuMiner: off for
+  /// exactness — it then simply keeps the K most frequent values).
+  bool prefix_merge = true;
+  /// Emit negated pattern conditions (\bar{a} of [18]) for small domains.
+  bool include_negations = false;
+};
+
+class ActionSpace {
+ public:
+  struct LhsAction {
+    int a;    // input column
+    int a_m;  // master column
+  };
+
+  static ActionSpace Build(const Corpus& corpus,
+                           const ActionSpaceOptions& opts);
+
+  /// dim(s_l), dim(s_p), dim(s) and the number of actions dim(s)+1.
+  size_t lhs_dim() const { return lhs_actions_.size(); }
+  size_t pattern_dim() const { return pattern_items_.size(); }
+  size_t state_dim() const { return lhs_dim() + pattern_dim(); }
+  size_t num_actions() const { return state_dim() + 1; }
+  int32_t stop_action() const { return static_cast<int32_t>(state_dim()); }
+
+  bool IsLhsAction(int32_t i) const {
+    return i >= 0 && static_cast<size_t>(i) < lhs_dim();
+  }
+  bool IsPatternAction(int32_t i) const {
+    return static_cast<size_t>(i) >= lhs_dim() &&
+           static_cast<size_t>(i) < state_dim();
+  }
+  bool IsStopAction(int32_t i) const { return i == stop_action(); }
+
+  const LhsAction& lhs_action(int32_t i) const {
+    ERMINER_CHECK(IsLhsAction(i));
+    return lhs_actions_[static_cast<size_t>(i)];
+  }
+  const PatternItem& pattern_item(int32_t i) const {
+    ERMINER_CHECK(IsPatternAction(i));
+    return pattern_items_[static_cast<size_t>(i) - lhs_dim()];
+  }
+
+  /// All LHS action indices whose input attribute is `attr`.
+  const std::vector<int32_t>& LhsActionsOfAttr(int attr) const;
+  /// All pattern action indices whose attribute is `attr`.
+  const std::vector<int32_t>& PatternActionsOfAttr(int attr) const;
+
+  /// Builds the EditingRule a key denotes.
+  EditingRule Decode(const RuleKey& key) const;
+
+  /// Inverse of Decode. Every LHS pair / pattern condition must correspond
+  /// to an action; returns NotFound otherwise.
+  Result<RuleKey> Encode(const EditingRule& rule) const;
+
+  int y_input() const { return y_input_; }
+  int y_master() const { return y_master_; }
+
+ private:
+  std::vector<LhsAction> lhs_actions_;
+  std::vector<PatternItem> pattern_items_;
+  std::vector<std::vector<int32_t>> lhs_by_attr_;      // indexed by input col
+  std::vector<std::vector<int32_t>> pattern_by_attr_;  // indexed by input col
+  int y_input_ = -1;
+  int y_master_ = -1;
+  static const std::vector<int32_t> kEmpty;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_CORE_ACTION_SPACE_H_

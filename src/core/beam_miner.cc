@@ -1,0 +1,85 @@
+#include "core/beam_miner.h"
+
+#include <algorithm>
+
+#include "core/action_space.h"
+#include "core/mask.h"
+#include "util/timer.h"
+
+namespace erminer {
+
+namespace {
+
+struct BeamNode {
+  RuleKey key;
+  Cover cover;
+  double utility = 0;
+};
+
+}  // namespace
+
+MineResult BeamMine(const Corpus& corpus, const MinerOptions& options,
+                    const BeamMinerOptions& beam_options) {
+  Timer timer;
+  MineResult result;
+
+  ActionSpaceOptions aopts;
+  aopts.support_threshold = options.support_threshold;
+  aopts.max_classes_per_attr = options.max_classes_per_attr;
+  aopts.prefix_merge = false;
+  aopts.include_negations = options.include_negations;
+  ActionSpace space = ActionSpace::Build(corpus, aopts);
+  RuleEvaluator evaluator(&corpus);
+
+  RuleKeySet discovered;
+  std::vector<ScoredRule> pool;
+  std::vector<BeamNode> beam = {{RuleKey{}, FullCover(corpus), 0}};
+
+  for (size_t depth = 0; depth < beam_options.max_depth && !beam.empty();
+       ++depth) {
+    std::vector<BeamNode> next;
+    for (const BeamNode& node : beam) {
+      std::vector<uint8_t> mask = ComputeMask(space, node.key, {});
+      for (int32_t a = 0; a < space.stop_action(); ++a) {
+        if (!mask[static_cast<size_t>(a)]) continue;
+        RuleKey child_key = KeyWith(node.key, a);
+        if (!discovered.insert(child_key).second) continue;
+        ++result.nodes_explored;
+        EditingRule rule = space.Decode(child_key);
+        Cover cover = space.IsPatternAction(a)
+                          ? RefineCover(corpus, node.cover,
+                                        space.pattern_item(a))
+                          : node.cover;
+        RuleStats stats = evaluator.Evaluate(rule, cover);
+        if (static_cast<double>(stats.support) <
+            options.support_threshold) {
+          continue;  // Lemma 1: no descendant can recover
+        }
+        if (!rule.lhs.empty()) pool.push_back({rule, stats});
+        if (rule.lhs.empty() || stats.certainty < 1.0) {
+          next.push_back({std::move(child_key), std::move(cover),
+                          stats.utility});
+        }
+      }
+    }
+    // Keep the beam_width most promising rules for the next level.
+    if (next.size() > beam_options.beam_width) {
+      std::partial_sort(next.begin(),
+                        next.begin() +
+                            static_cast<long>(beam_options.beam_width),
+                        next.end(),
+                        [](const BeamNode& x, const BeamNode& y) {
+                          return x.utility > y.utility;
+                        });
+      next.resize(beam_options.beam_width);
+    }
+    beam = std::move(next);
+  }
+
+  result.rules = SelectTopKNonRedundant(std::move(pool), options.k);
+  result.rule_evaluations = evaluator.num_evaluations();
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace erminer

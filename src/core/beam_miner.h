@@ -1,0 +1,30 @@
+// BeamMiner: a utility-guided beam-search heuristic over the same rule
+// lattice. Not from the paper — an extra baseline sitting between EnuMiner
+// (exhaustive) and RLMiner (learned): at each depth it keeps only the
+// `beam_width` highest-utility refinable rules and expands those. Fast and
+// greedy; it misses rules whose ancestors score poorly (exactly the
+// low-reward-parent problem the paper's frontier bonus addresses), which
+// makes it a useful foil in the ablation bench.
+
+#ifndef ERMINER_CORE_BEAM_MINER_H_
+#define ERMINER_CORE_BEAM_MINER_H_
+
+#include "core/measures.h"
+#include "core/miner.h"
+#include "data/corpus.h"
+
+namespace erminer {
+
+struct BeamMinerOptions {
+  /// Rules kept per depth level.
+  size_t beam_width = 16;
+  /// Maximum LHS size + pattern size.
+  size_t max_depth = 6;
+};
+
+MineResult BeamMine(const Corpus& corpus, const MinerOptions& options,
+                    const BeamMinerOptions& beam_options = {});
+
+}  // namespace erminer
+
+#endif  // ERMINER_CORE_BEAM_MINER_H_

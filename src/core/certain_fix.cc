@@ -1,0 +1,59 @@
+#include "core/certain_fix.h"
+
+namespace erminer {
+
+CertainFixOutcome ComputeCertainFixes(RuleEvaluator* evaluator,
+                                      const std::vector<ScoredRule>& rules) {
+  const Corpus& corpus = evaluator->corpus();
+  const size_t n = corpus.input().num_rows();
+  CertainFixOutcome out;
+  out.fix.assign(n, kNullCode);
+  out.kind.assign(n, FixKind::kNoRule);
+
+  for (const auto& sr : rules) {
+    Cover cover = CoverOf(corpus, sr.rule.pattern);
+    EvalCache::Entry entry = evaluator->cache().Get(sr.rule.lhs);
+    const auto& groups = entry.column->group;
+    for (uint32_t r : *cover) {
+      const Group* g = groups[r];
+      if (g == nullptr || g->total == 0) continue;
+      if (out.kind[r] == FixKind::kConflicting ||
+          out.kind[r] == FixKind::kAmbiguous) {
+        continue;  // already disqualified
+      }
+      if (g->counts.size() > 1) {
+        // This rule does not determine a unique candidate for t.
+        out.kind[r] = FixKind::kAmbiguous;
+        out.fix[r] = kNullCode;
+        continue;
+      }
+      ValueCode candidate = g->counts[0].first;
+      if (out.kind[r] == FixKind::kNoRule) {
+        out.kind[r] = FixKind::kCertain;
+        out.fix[r] = candidate;
+      } else if (out.fix[r] != candidate) {
+        out.kind[r] = FixKind::kConflicting;
+        out.fix[r] = kNullCode;
+      }
+    }
+  }
+  for (size_t r = 0; r < n; ++r) {
+    switch (out.kind[r]) {
+      case FixKind::kNoRule:
+        ++out.num_uncovered;
+        break;
+      case FixKind::kCertain:
+        ++out.num_certain;
+        break;
+      case FixKind::kAmbiguous:
+        ++out.num_ambiguous;
+        break;
+      case FixKind::kConflicting:
+        ++out.num_conflicting;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace erminer

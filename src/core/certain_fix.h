@@ -1,0 +1,41 @@
+// Certain fixes in the sense of the original editing-rule paper
+// (Fan et al., "Towards certain fixes with editing rules and master data",
+// VLDB J. 2012): a fix for t[Y] is *certain* under a rule set when every
+// applicable rule determines a unique candidate and all applicable rules
+// agree on it. This is the strict companion to RepairEngine's
+// certainty-weighted vote (which always picks the best-scoring candidate).
+
+#ifndef ERMINER_CORE_CERTAIN_FIX_H_
+#define ERMINER_CORE_CERTAIN_FIX_H_
+
+#include <vector>
+
+#include "core/measures.h"
+#include "core/rule_set.h"
+
+namespace erminer {
+
+enum class FixKind : uint8_t {
+  kNoRule = 0,      // no rule covers the tuple
+  kCertain = 1,     // unique agreed candidate
+  kAmbiguous = 2,   // some rule returns more than one candidate
+  kConflicting = 3, // rules determine different unique candidates
+};
+
+struct CertainFixOutcome {
+  /// Per input row: the certain fix, or kNullCode when kind != kCertain.
+  std::vector<ValueCode> fix;
+  std::vector<FixKind> kind;
+  size_t num_certain = 0;
+  size_t num_ambiguous = 0;
+  size_t num_conflicting = 0;
+  size_t num_uncovered = 0;
+};
+
+/// Computes certain fixes of the evaluator's corpus under `rules`.
+CertainFixOutcome ComputeCertainFixes(RuleEvaluator* evaluator,
+                                      const std::vector<ScoredRule>& rules);
+
+}  // namespace erminer
+
+#endif  // ERMINER_CORE_CERTAIN_FIX_H_

@@ -1,0 +1,133 @@
+#include "core/cfd_miner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "index/group_index.h"
+#include "util/hash.h"
+#include "util/timer.h"
+
+namespace erminer {
+
+namespace {
+
+/// First input attribute matched to master attribute `am`, or -1.
+int ReverseMatch(const Corpus& corpus, int am) {
+  for (size_t a = 0; a < corpus.input().num_cols(); ++a) {
+    if (static_cast<int>(a) == corpus.y_input()) continue;
+    for (int m : corpus.match().Matches(static_cast<int>(a))) {
+      if (m == am) return static_cast<int>(a);
+    }
+  }
+  return -1;
+}
+
+struct PGroupAgg {
+  long rows = 0;
+  bool confident = true;
+};
+
+}  // namespace
+
+MineResult CfdMine(const Corpus& corpus, const MinerOptions& options,
+                   const CfdMinerOptions& cfd_options) {
+  Timer timer;
+  MineResult result;
+  RuleEvaluator evaluator(&corpus);
+
+  const Table& master = corpus.master();
+  double eta_m = cfd_options.master_support_threshold;
+  if (eta_m <= 0) {
+    eta_m = options.support_threshold *
+            static_cast<double>(master.num_rows()) /
+            std::max<double>(1.0, static_cast<double>(
+                                      corpus.input().num_rows()));
+    eta_m = std::max(eta_m, 2.0);
+  }
+
+  // Master attributes usable in X: matched to some input attribute and not
+  // the target.
+  std::vector<int> usable;       // master column
+  std::vector<int> usable_rev;   // the matched input column
+  for (size_t am = 0; am < master.num_cols(); ++am) {
+    if (static_cast<int>(am) == corpus.y_master()) continue;
+    int a = ReverseMatch(corpus, static_cast<int>(am));
+    if (a >= 0) {
+      usable.push_back(static_cast<int>(am));
+      usable_rev.push_back(a);
+    }
+  }
+
+  std::vector<ScoredRule> pool;
+  const size_t n_usable = usable.size();
+  ERMINER_CHECK(n_usable < 31);
+  for (uint32_t x_bits = 1; x_bits < (1u << n_usable); ++x_bits) {
+    std::vector<size_t> x_members;  // indices into `usable`
+    for (size_t i = 0; i < n_usable; ++i) {
+      if (x_bits & (1u << i)) x_members.push_back(i);
+    }
+    if (x_members.size() > cfd_options.max_lhs) continue;
+
+    std::vector<int> xm_cols;
+    for (size_t i : x_members) xm_cols.push_back(usable[i]);
+    GroupIndex index =
+        GroupIndex::Build(master, xm_cols, corpus.y_master());
+    ++result.nodes_explored;
+
+    // Every proper constant subset P of X (wildcards W = X \ P nonempty).
+    const uint32_t p_limit = 1u << x_members.size();
+    for (uint32_t p_bits = 0; p_bits + 1 < p_limit; ++p_bits) {
+      // Aggregate groups by their P projection.
+      std::unordered_map<std::vector<ValueCode>, PGroupAgg, VectorHash> agg;
+      for (const auto& [key, group] : index.groups()) {
+        std::vector<ValueCode> pkey;
+        for (size_t j = 0; j < x_members.size(); ++j) {
+          if (p_bits & (1u << j)) pkey.push_back(key[j]);
+        }
+        PGroupAgg& a = agg[pkey];
+        a.rows += group.total;
+        if (group.Certainty() < cfd_options.min_confidence) {
+          a.confident = false;
+        }
+      }
+      for (const auto& [pkey, a] : agg) {
+        if (!a.confident || static_cast<double>(a.rows) < eta_m) continue;
+        // Convert: wildcards -> LHS pairs, constants -> pattern conditions.
+        EditingRule rule;
+        rule.y_input = corpus.y_input();
+        rule.y_master = corpus.y_master();
+        size_t p_pos = 0;
+        bool valid = true;
+        for (size_t j = 0; j < x_members.size(); ++j) {
+          size_t i = x_members[j];
+          if (p_bits & (1u << j)) {
+            ValueCode v = pkey[p_pos++];
+            const Domain& dom =
+                *corpus.input().domain(static_cast<size_t>(usable_rev[i]));
+            if (rule.pattern.SpecifiesAttr(usable_rev[i])) {
+              valid = false;  // two master attrs map to one input attr
+              break;
+            }
+            rule.pattern.Add({usable_rev[i], {v}, dom.ValueOrNull(v)});
+          } else {
+            if (rule.HasLhsAttr(usable_rev[i])) {
+              valid = false;
+              break;
+            }
+            rule.AddLhs(usable_rev[i], usable[i]);
+          }
+        }
+        if (!valid || rule.lhs.empty()) continue;
+        RuleStats stats = evaluator.Evaluate(rule);
+        pool.push_back({std::move(rule), stats});
+      }
+    }
+  }
+
+  result.rules = SelectTopKNonRedundant(std::move(pool), options.k);
+  result.rule_evaluations = evaluator.num_evaluations();
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace erminer

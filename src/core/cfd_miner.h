@@ -1,0 +1,42 @@
+// CTANE baseline (Sec. V-A2): level-wise discovery of conditional functional
+// dependencies on the MASTER relation, converted into editing rules.
+//
+// A CFD (X -> Y_m, t_p) holds when, within every group of master tuples
+// agreeing on the constant part t_p and on the wildcard attributes, the Y_m
+// value is unique (confidence 1), and the pattern's master support reaches
+// the (master-scaled) threshold. A CFD converts to an eR only if its
+// wildcard attributes all have matched input attributes (they become LHS
+// pairs) and its constant attributes do too (they become pattern
+// conditions). As the paper argues, this baseline cannot express conditions
+// on input-only attributes, which is what limits its recall.
+
+#ifndef ERMINER_CORE_CFD_MINER_H_
+#define ERMINER_CORE_CFD_MINER_H_
+
+#include "core/measures.h"
+#include "core/miner.h"
+#include "data/corpus.h"
+
+namespace erminer {
+
+struct CfdMinerOptions {
+  /// Max attributes in X (wildcards + constants).
+  size_t max_lhs = 3;
+  /// CFD confidence required within each group (1.0 = exact). The default
+  /// admits approximate CFDs, as is common in CFD discovery over real data;
+  /// master relations whose dependencies have exceptions would otherwise
+  /// yield no rules at all.
+  double min_confidence = 0.9;
+  /// Master support threshold; if <= 0, derived as
+  /// eta_s * |master| / |input| (clamped to >= 2).
+  double master_support_threshold = 0;
+};
+
+/// Mines CFDs on master data and returns the top-K converted editing rules
+/// (stats evaluated on the corpus for reporting parity with other miners).
+MineResult CfdMine(const Corpus& corpus, const MinerOptions& options,
+                   const CfdMinerOptions& cfd_options = {});
+
+}  // namespace erminer
+
+#endif  // ERMINER_CORE_CFD_MINER_H_

@@ -1,0 +1,159 @@
+#include "core/domain_compress.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace erminer {
+
+namespace {
+
+struct Candidate {
+  ValueCode code;
+  size_t freq;
+};
+
+/// Groups candidates by the first `p` characters of their value strings.
+std::map<std::string, std::vector<Candidate>> GroupByPrefix(
+    const std::vector<Candidate>& cands, const Domain& dom, size_t p) {
+  std::map<std::string, std::vector<Candidate>> groups;
+  for (const auto& c : cands) {
+    const std::string& s = dom.value(c.code);
+    groups[s.substr(0, std::min(p, s.size()))].push_back(c);
+  }
+  return groups;
+}
+
+}  // namespace
+
+namespace {
+
+/// Appends negated twins of singleton candidates when the attribute's
+/// candidate set is small; each must itself pass the frequency bar.
+void AppendNegations(const DomainCompressOptions& opts, size_t non_null_rows,
+                     const std::unordered_map<ValueCode, size_t>& freq,
+                     std::vector<PatternItem>* items) {
+  if (!opts.include_negations ||
+      items->size() > opts.negation_max_domain || items->size() < 2) {
+    return;
+  }
+  const size_t base = items->size();
+  for (size_t i = 0; i < base; ++i) {
+    const PatternItem& it = (*items)[i];
+    size_t member_freq = 0;
+    for (ValueCode v : it.values) {
+      auto f = freq.find(v);
+      if (f != freq.end()) member_freq += f->second;
+    }
+    const size_t neg_freq = non_null_rows - member_freq;
+    if (static_cast<double>(neg_freq) < opts.min_frequency) continue;
+    PatternItem neg = it;
+    neg.negated = true;
+    neg.label = "!" + it.label;
+    items->push_back(std::move(neg));
+  }
+}
+
+}  // namespace
+
+std::vector<PatternItem> CompressDomain(const Corpus& corpus, int attr,
+                                        const DomainCompressOptions& opts) {
+  const Table& input = corpus.input();
+  const Domain& dom = *input.domain(static_cast<size_t>(attr));
+
+  // Input frequency per code.
+  std::unordered_map<ValueCode, size_t> freq;
+  size_t non_null_rows = 0;
+  for (ValueCode v : input.column(static_cast<size_t>(attr))) {
+    if (v != kNullCode) {
+      ++freq[v];
+      ++non_null_rows;
+    }
+  }
+  std::vector<Candidate> cands;
+  cands.reserve(freq.size());
+  for (const auto& [code, f] : freq) {
+    if (static_cast<double>(f) >= opts.min_frequency) {
+      cands.push_back({code, f});
+    }
+  }
+  std::sort(cands.begin(), cands.end(), [&](const Candidate& a,
+                                            const Candidate& b) {
+    if (a.freq != b.freq) return a.freq > b.freq;
+    return dom.value(a.code) < dom.value(b.code);
+  });
+
+  auto make_singletons = [&](const std::vector<Candidate>& cs) {
+    std::vector<PatternItem> items;
+    items.reserve(cs.size());
+    for (const auto& c : cs) {
+      items.push_back({attr, {c.code}, dom.value(c.code)});
+    }
+    return items;
+  };
+
+  if (opts.max_classes == 0 || cands.size() <= opts.max_classes ||
+      !opts.prefix_merge) {
+    auto items = make_singletons(cands);
+    if (opts.max_classes > 0 && items.size() > opts.max_classes) {
+      items.resize(opts.max_classes);  // keep most frequent
+    }
+    AppendNegations(opts, non_null_rows, freq, &items);
+    return items;
+  }
+
+  // Prefix merging: the longest prefix length whose grouping fits in
+  // max_classes (longer prefix = finer classes).
+  size_t best_p = 1;
+  for (size_t p = 16; p >= 1; --p) {
+    if (GroupByPrefix(cands, dom, p).size() <= opts.max_classes) {
+      best_p = p;
+      break;
+    }
+  }
+  auto groups = GroupByPrefix(cands, dom, best_p);
+  std::vector<PatternItem> items;
+  if (groups.size() > opts.max_classes) {
+    // Even single-character prefixes exceed K: keep the K-1 most frequent
+    // singletons and merge the rest into one catch-all class.
+    items = make_singletons(cands);
+    PatternItem rest{attr, {}, "*"};
+    for (size_t i = opts.max_classes - 1; i < items.size(); ++i) {
+      rest.values.push_back(items[i].values[0]);
+    }
+    items.resize(opts.max_classes - 1);
+    std::sort(rest.values.begin(), rest.values.end());
+    items.push_back(std::move(rest));
+    AppendNegations(opts, non_null_rows, freq, &items);
+    return items;
+  }
+  items.reserve(groups.size());
+  for (auto& [prefix, members] : groups) {
+    PatternItem item{attr, {}, prefix};
+    size_t total = 0;
+    for (const auto& m : members) {
+      item.values.push_back(m.code);
+      total += m.freq;
+    }
+    std::sort(item.values.begin(), item.values.end());
+    if (members.size() > 1) item.label = prefix + "*";
+    (void)total;
+    items.push_back(std::move(item));
+  }
+  // Order classes by aggregate frequency, most frequent first.
+  auto class_freq = [&](const PatternItem& it) {
+    size_t f = 0;
+    for (ValueCode v : it.values) f += freq[v];
+    return f;
+  };
+  std::stable_sort(items.begin(), items.end(),
+                   [&](const PatternItem& a, const PatternItem& b) {
+                     return class_freq(a) > class_freq(b);
+                   });
+  AppendNegations(opts, non_null_rows, freq, &items);
+  return items;
+}
+
+}  // namespace erminer

@@ -1,0 +1,46 @@
+// Pattern-value candidate generation with domain compression (Sec. IV-A).
+//
+// For an input attribute A, the candidate pattern conditions are derived in
+// two steps:
+//   1. Support pruning: a value whose input frequency is below the support
+//      threshold eta_s can never appear in a rule with S >= eta_s (Lemma 1),
+//      so it is dropped. This is sound — no qualifying rule is lost.
+//   2. Prefix merging (optional): if more than `max_classes` values survive,
+//      they are merged into at most `max_classes` common-prefix classes,
+//      implementing the paper's reduction of the encoding dimension from
+//      |dom(x_i)| to K << |dom(x_i)|. Classes trade rule granularity for a
+//      tractable one-hot state, exactly the paper's intent.
+
+#ifndef ERMINER_CORE_DOMAIN_COMPRESS_H_
+#define ERMINER_CORE_DOMAIN_COMPRESS_H_
+
+#include <vector>
+
+#include "core/rule.h"
+#include "data/corpus.h"
+
+namespace erminer {
+
+struct DomainCompressOptions {
+  /// Values with input frequency strictly below this are dropped.
+  double min_frequency = 0;
+  /// Maximum candidate classes per attribute (the paper's K); 0 = unlimited.
+  size_t max_classes = 64;
+  /// Allow common-prefix merging. EnuMiner disables it to stay exact.
+  bool prefix_merge = true;
+  /// Also emit negated conditions (the \bar{a} of [18]) for attributes with
+  /// at most `negation_max_domain` candidate values; a negated condition's
+  /// input frequency must likewise reach min_frequency.
+  bool include_negations = false;
+  size_t negation_max_domain = 8;
+};
+
+/// Candidate pattern conditions for input attribute `attr`, most frequent
+/// first. Singleton classes carry the value string as label; merged classes
+/// are labelled "<prefix>*".
+std::vector<PatternItem> CompressDomain(const Corpus& corpus, int attr,
+                                        const DomainCompressOptions& opts);
+
+}  // namespace erminer
+
+#endif  // ERMINER_CORE_DOMAIN_COMPRESS_H_

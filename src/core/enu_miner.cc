@@ -1,0 +1,89 @@
+#include "core/enu_miner.h"
+
+#include <deque>
+
+#include "core/action_space.h"
+#include "core/mask.h"
+#include "util/timer.h"
+
+namespace erminer {
+
+namespace {
+
+struct LatticeNode {
+  RuleKey key;
+  Cover cover;           // rows matching the pattern part of `key`
+  size_t lhs_size = 0;
+  size_t pattern_size = 0;
+};
+
+}  // namespace
+
+MineResult EnuMine(const Corpus& corpus, const MinerOptions& options) {
+  Timer timer;
+  MineResult result;
+
+  ActionSpaceOptions aopts;
+  aopts.support_threshold = options.support_threshold;
+  aopts.max_classes_per_attr = options.max_classes_per_attr;
+  aopts.prefix_merge = false;  // exact value enumeration
+  aopts.include_negations = options.include_negations;
+  ActionSpace space = ActionSpace::Build(corpus, aopts);
+  RuleEvaluator evaluator(&corpus);
+
+  RuleKeySet discovered;
+  std::vector<ScoredRule> pool;
+  std::deque<LatticeNode> queue;
+  queue.push_back({RuleKey{}, FullCover(corpus), 0, 0});
+
+  while (!queue.empty() && result.nodes_explored < options.max_nodes) {
+    LatticeNode node = std::move(queue.front());
+    queue.pop_front();
+
+    // Local mask forbids re-specifying bound attributes; the global
+    // duplicate check happens per child below (cheaper than Alg. 1's global
+    // mask here because we enumerate every allowed child anyway).
+    std::vector<uint8_t> mask = ComputeMask(space, node.key, {});
+    for (int32_t a = 0; a < space.stop_action(); ++a) {
+      if (!mask[static_cast<size_t>(a)]) continue;
+      const bool is_lhs = space.IsLhsAction(a);
+      if (is_lhs && node.lhs_size >= options.max_lhs) continue;
+      if (!is_lhs && node.pattern_size >= options.max_pattern) continue;
+
+      RuleKey child_key = KeyWith(node.key, a);
+      if (!discovered.insert(child_key).second) continue;  // already seen
+      ++result.nodes_explored;
+
+      EditingRule rule = space.Decode(child_key);
+      Cover cover = is_lhs ? node.cover
+                           : RefineCover(corpus, node.cover,
+                                         space.pattern_item(a));
+      RuleStats stats = evaluator.Evaluate(rule, cover);
+
+      // Support pruning (Lemma 1): children cannot beat the threshold.
+      if (static_cast<double>(stats.support) < options.support_threshold) {
+        continue;
+      }
+      if (!rule.lhs.empty()) pool.push_back({rule, stats});
+      // Refine further unless the rule already returns certain fixes
+      // (Alg. 4 line 14); rules without an LHS must keep growing.
+      if (rule.lhs.empty() || stats.certainty < 1.0) {
+        queue.push_back({std::move(child_key), std::move(cover),
+                         rule.LhsSize(), rule.PatternSize()});
+      }
+    }
+  }
+
+  result.rules = SelectTopKNonRedundant(std::move(pool), options.k);
+  result.rule_evaluations = evaluator.num_evaluations();
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+MineResult EnuMineH3(const Corpus& corpus, MinerOptions options) {
+  options.max_lhs = 3;
+  options.max_pattern = 3;
+  return EnuMine(corpus, options);
+}
+
+}  // namespace erminer

@@ -1,0 +1,26 @@
+// EnuMiner (Sec. II-D): CTANE-style breadth-first enumeration of the full
+// editing-rule lattice with support-based pruning (Lemma 1) and duplicate
+// elimination, plus the depth-limited heuristic EnuMinerH3 (Sec. V-D2).
+//
+// Enumeration is exact over the candidate space after the sound
+// frequency-pruning of pattern values (a value rarer than eta_s in the input
+// cannot support a qualifying rule); prefix merging is disabled.
+
+#ifndef ERMINER_CORE_ENU_MINER_H_
+#define ERMINER_CORE_ENU_MINER_H_
+
+#include "core/measures.h"
+#include "core/miner.h"
+#include "data/corpus.h"
+
+namespace erminer {
+
+/// Mines top-K non-redundant editing rules by exhaustive lattice search.
+MineResult EnuMine(const Corpus& corpus, const MinerOptions& options);
+
+/// The paper's heuristic: EnuMine with LHS and pattern lengths capped at 3.
+MineResult EnuMineH3(const Corpus& corpus, MinerOptions options);
+
+}  // namespace erminer
+
+#endif  // ERMINER_CORE_ENU_MINER_H_

@@ -1,0 +1,159 @@
+#include "core/environment.h"
+
+#include <cmath>
+
+namespace erminer {
+
+Environment::Environment(const Corpus* corpus, const ActionSpace* space,
+                         RuleEvaluator* evaluator, const EnvOptions& options)
+    : corpus_(corpus),
+      space_(space),
+      evaluator_(evaluator),
+      options_(options) {
+  ERMINER_CHECK(corpus_ && space_ && evaluator_);
+  if (options_.normalize_utility) {
+    double ls = std::log(std::max<double>(
+        3.0, static_cast<double>(corpus_->input().num_rows())));
+    utility_scale_ = 1.0 / (ls * ls);
+  }
+}
+
+void Environment::Reset() {
+  nodes_.clear();
+  queue_.clear();
+  discovered_.clear();
+  leaves_.clear();
+  nodes_.push_back({RuleKey{}, FullCover(*corpus_), 0});
+  discovered_.insert(RuleKey{});
+  current_ = 0;
+  done_ = false;
+}
+
+const RuleKey& Environment::current_state() const {
+  return nodes_[current_].key;
+}
+
+std::vector<uint8_t> Environment::CurrentMask() const {
+  static const RuleKeySet kNoDiscovered;
+  return ComputeMask(*space_, nodes_[current_].key,
+                     options_.use_global_mask ? discovered_ : kNoDiscovered);
+}
+
+float Environment::BaseReward(const RuleKey& key, const RuleStats& stats) {
+  auto it = reward_cache_.find(key);
+  if (options_.reuse_rewards && it != reward_cache_.end()) return it->second;
+  float r;
+  if (static_cast<double>(stats.support) >= options_.support_threshold) {
+    r = static_cast<float>(stats.utility * utility_scale_);
+  } else {
+    r = static_cast<float>(options_.invalid_reward);
+  }
+  if (it == reward_cache_.end()) {
+    reward_cache_.emplace(key, r);
+  }
+  return r;
+}
+
+RuleStats Environment::StatsOf(const RuleKey& key, const EditingRule& rule,
+                               const Cover& cover) {
+  auto it = stats_cache_.find(key);
+  if (options_.reuse_rewards && it != stats_cache_.end()) return it->second;
+  RuleStats stats = evaluator_->Evaluate(rule, cover);
+  if (it == stats_cache_.end()) {
+    stats_cache_.emplace(key, stats);
+  }
+  return stats;
+}
+
+void Environment::AdvanceToNextNode() {
+  if (queue_.empty()) {
+    done_ = true;
+    return;
+  }
+  current_ = queue_.front();
+  queue_.pop_front();
+}
+
+Environment::StepResult Environment::Step(int32_t action) {
+  ERMINER_CHECK(!done_);
+  StepResult sr;
+  sr.state = nodes_[current_].key;
+  sr.action = action;
+
+  if (space_->IsStopAction(action)) {
+    sr.reward = static_cast<float>(options_.stop_reward);
+    AdvanceToNextNode();
+  } else {
+    const size_t parent_id = current_;
+    RuleKey child_key = KeyWith(nodes_[parent_id].key, action);
+    const bool fresh = discovered_.insert(child_key).second;
+    if (!fresh) {
+      // Only reachable when the global mask is ablated: the agent re-derived
+      // an existing rule. Pay the (cached) reward, grow nothing.
+      ERMINER_CHECK(!options_.use_global_mask);
+      EditingRule rule = space_->Decode(child_key);
+      sr.reward = BaseReward(child_key, StatsOf(child_key, rule, nullptr));
+      sr.done = done_;
+      sr.next_state = nodes_[current_].key;
+      sr.next_mask = CurrentMask();
+      return sr;
+    }
+
+    EditingRule rule = space_->Decode(child_key);
+    Cover cover =
+        space_->IsPatternAction(action)
+            ? RefineCover(*corpus_, nodes_[parent_id].cover,
+                          space_->pattern_item(action))
+            : nodes_[parent_id].cover;
+    RuleStats stats = StatsOf(child_key, rule, cover);
+    const bool supported =
+        static_cast<double>(stats.support) >= options_.support_threshold;
+
+    float reward = BaseReward(child_key, stats);
+    // Frontier bonus / over-specialization penalty (Alg. 2 lines 15-16):
+    // applies to the first valid child grown from a node.
+    if (options_.frontier_bonus && nodes_[parent_id].num_children == 0 &&
+        supported) {
+      auto pit = reward_cache_.find(nodes_[parent_id].key);
+      float parent_reward = pit == reward_cache_.end() ? 0.0f : pit->second;
+      reward += reward - parent_reward;
+    }
+    sr.reward = reward;
+
+    nodes_[parent_id].num_children += 1;
+    const size_t child_id = nodes_.size();
+    nodes_.push_back({std::move(child_key), cover, 0});
+    ++total_nodes_;
+
+    if (supported && !rule.lhs.empty()) {
+      leaves_.push_back({rule, stats});
+      if (pool_keys_.insert(nodes_[child_id].key).second) {
+        global_pool_.push_back(leaves_.back());
+      }
+      if (leaves_.size() >= options_.k) done_ = true;
+    }
+
+    // Alg. 4 lines 14-17: refine further only while fixes are uncertain and
+    // the support threshold holds; rules without an LHS must keep growing.
+    const bool refinable =
+        supported && (rule.lhs.empty() || stats.certainty < 1.0);
+    if (!done_) {
+      if (refinable) {
+        queue_.push_back(child_id);
+        current_ = child_id;  // depth-first descent into the new rule
+      } else {
+        // Dead end (pruned subtree): continue from the next queued node.
+        AdvanceToNextNode();
+      }
+    }
+  }
+
+  sr.done = done_;
+  sr.next_state = nodes_[current_].key;
+  sr.next_mask = done_ ? std::vector<uint8_t>(space_->num_actions(), 0)
+                       : CurrentMask();
+  if (done_) sr.next_mask.back() = 1;  // keep the invariant "stop allowed"
+  return sr;
+}
+
+}  // namespace erminer

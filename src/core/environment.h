@@ -1,0 +1,140 @@
+// The rule-discovery MDP environment (Def. 5): the growing rule tree of
+// Sec. III-B with GrowTree (Alg. 4) and CalReward (Alg. 2).
+//
+// Traversal: non-stop actions refine the current rule and descend into the
+// new child (depth-first); the stop action — or a child that cannot be
+// refined further (support below eta_s, or already-certain fixes) — advances
+// to the next queued node in level order. The episode ends when the queue is
+// exhausted or K valid leaves have been collected.
+//
+// Persistent across episodes (Alg. 2 lines 5-14): the reward/stats hash map
+// R_Sigma keyed by rule, so identical rules generated in later episodes cost
+// no new queries; and the global pool of every valid rule ever found, from
+// which the final top-K set is drawn.
+
+#ifndef ERMINER_CORE_ENVIRONMENT_H_
+#define ERMINER_CORE_ENVIRONMENT_H_
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/action_space.h"
+#include "core/mask.h"
+#include "core/measures.h"
+#include "core/rule_set.h"
+
+namespace erminer {
+
+struct EnvOptions {
+  /// Episode leaf target (Alg. 3 line 14).
+  size_t k = 50;
+  /// eta_s.
+  double support_threshold = 100;
+  /// theta, the stop reward (Alg. 2 line 2).
+  double stop_reward = 0.01;
+  /// Reward for rules below the support threshold (Alg. 2 line 13).
+  double invalid_reward = -0.01;
+  /// Scale utilities by 1/(log |D|)^2 so rewards live in about [-2, 2]
+  /// regardless of data size. A constant factor preserves the utility
+  /// ordering exactly; it only conditions the TD targets.
+  bool normalize_utility = true;
+
+  // Ablation toggles (all on by default — the paper's configuration).
+  /// Alg. 2 lines 15-16: the frontier bonus / over-specialization penalty.
+  bool frontier_bonus = true;
+  /// Alg. 1 lines 12-17: mask actions that would regenerate a rule.
+  bool use_global_mask = true;
+  /// Alg. 2 lines 6-7 + the measure cache: reuse rewards/stats of rules
+  /// regenerated in later episodes instead of re-querying the data.
+  bool reuse_rewards = true;
+};
+
+class Environment {
+ public:
+  Environment(const Corpus* corpus, const ActionSpace* space,
+              RuleEvaluator* evaluator, const EnvOptions& options);
+
+  Environment(const Environment&) = delete;
+  Environment& operator=(const Environment&) = delete;
+
+  /// Starts a new episode: fresh tree rooted at the empty rule. The reward
+  /// cache and global rule pool persist.
+  void Reset();
+
+  /// The current node's rule key (the agent's state s_t).
+  const RuleKey& current_state() const;
+
+  /// Alg. 1's mask for the current state against this episode's tree.
+  std::vector<uint8_t> CurrentMask() const;
+
+  bool done() const { return done_; }
+
+  struct StepResult {
+    RuleKey state;       // s_t
+    int32_t action;
+    float reward;        // r_t (Alg. 2)
+    RuleKey next_state;  // s_{t+1}
+    std::vector<uint8_t> next_mask;
+    bool done;
+  };
+
+  /// One GrowTree + CalReward step. Requires !done() and an action allowed
+  /// by CurrentMask().
+  StepResult Step(int32_t action);
+
+  /// Valid rules (non-empty LHS, support >= eta_s) found this episode.
+  const std::vector<ScoredRule>& leaves() const { return leaves_; }
+
+  /// Every distinct valid rule found across all episodes.
+  const std::vector<ScoredRule>& global_pool() const { return global_pool_; }
+
+  size_t nodes_this_episode() const { return nodes_.size(); }
+  size_t total_nodes() const { return total_nodes_; }
+  size_t reward_cache_size() const { return reward_cache_.size(); }
+
+  const ActionSpace& space() const { return *space_; }
+  const EnvOptions& options() const { return options_; }
+
+ private:
+  struct TreeNode {
+    RuleKey key;
+    Cover cover;
+    size_t num_children = 0;
+  };
+
+  /// Base reward of a rule (cached): utility if supported, else the penalty.
+  float BaseReward(const RuleKey& key, const RuleStats& stats);
+
+  /// Measures of the rule `key` over `cover`, cached across episodes.
+  RuleStats StatsOf(const RuleKey& key, const EditingRule& rule,
+                    const Cover& cover);
+
+  /// Advances current_ to the next queued node; sets done_ if none.
+  void AdvanceToNextNode();
+
+  const Corpus* corpus_;
+  const ActionSpace* space_;
+  RuleEvaluator* evaluator_;
+  EnvOptions options_;
+  double utility_scale_ = 1.0;
+
+  // Episode state.
+  std::vector<TreeNode> nodes_;
+  std::deque<size_t> queue_;
+  size_t current_ = 0;
+  bool done_ = true;
+  RuleKeySet discovered_;           // rules generated in this tree
+  std::vector<ScoredRule> leaves_;
+
+  // Persistent state.
+  std::unordered_map<RuleKey, float, VectorHash> reward_cache_;   // R_Sigma
+  std::unordered_map<RuleKey, RuleStats, VectorHash> stats_cache_;
+  RuleKeySet pool_keys_;
+  std::vector<ScoredRule> global_pool_;
+  size_t total_nodes_ = 0;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_CORE_ENVIRONMENT_H_

@@ -1,0 +1,41 @@
+#include "core/mask.h"
+
+namespace erminer {
+
+std::vector<uint8_t> ComputeMask(const ActionSpace& space, const RuleKey& key,
+                                 const RuleKeySet& discovered) {
+  std::vector<uint8_t> mask(space.num_actions(), 1);
+
+  // Local mask: per bound attribute, close its whole action group. This
+  // covers both Alg. 1's "other matches of A" / "other values of A" cases
+  // and re-adding the identical action (which would be a no-op transform).
+  for (int32_t i : key) {
+    if (space.IsLhsAction(i)) {
+      int attr = space.lhs_action(i).a;
+      for (int32_t j : space.LhsActionsOfAttr(attr)) mask[j] = 0;
+    } else if (space.IsPatternAction(i)) {
+      int attr = space.pattern_item(i).attr;
+      for (int32_t j : space.PatternActionsOfAttr(attr)) mask[j] = 0;
+    }
+  }
+
+  // Global mask: an allowed action must not regenerate an existing rule.
+  if (!discovered.empty()) {
+    for (int32_t i = 0; i < space.stop_action(); ++i) {
+      if (!mask[i]) continue;
+      if (discovered.count(KeyWith(key, i)) > 0) mask[i] = 0;
+    }
+  }
+
+  // Never mask stop.
+  mask[static_cast<size_t>(space.stop_action())] = 1;
+  return mask;
+}
+
+size_t CountAllowed(const std::vector<uint8_t>& mask) {
+  size_t n = 0;
+  for (size_t i = 0; i + 1 < mask.size(); ++i) n += mask[i];
+  return n;
+}
+
+}  // namespace erminer

@@ -1,0 +1,30 @@
+// The rule mask mechanism, Algorithm 1.
+//
+// Given the current rule's key and the set of already-generated rule keys,
+// produces a 0/1 vector over the action space:
+//   - local mask: actions that would re-specify an attribute already bound
+//     in LHS(phi) or in t_p are disallowed (lines 3-11);
+//   - global mask: actions whose resulting rule was already generated are
+//     disallowed (lines 12-17);
+//   - the stop action (last dimension) is never masked (line 1).
+
+#ifndef ERMINER_CORE_MASK_H_
+#define ERMINER_CORE_MASK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/action_space.h"
+
+namespace erminer {
+
+/// mask[i] == 1 iff action i is allowed. Size = space.num_actions().
+std::vector<uint8_t> ComputeMask(const ActionSpace& space, const RuleKey& key,
+                                 const RuleKeySet& discovered);
+
+/// Number of allowed non-stop actions in a mask.
+size_t CountAllowed(const std::vector<uint8_t>& mask);
+
+}  // namespace erminer
+
+#endif  // ERMINER_CORE_MASK_H_

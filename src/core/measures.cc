@@ -1,0 +1,68 @@
+#include "core/measures.h"
+
+#include <cmath>
+
+namespace erminer {
+
+double UtilityOf(long support, double certainty, double quality) {
+  if (support <= 1) return 0.0;
+  double ls = std::log(static_cast<double>(support));
+  return ls * ls * (certainty + quality);
+}
+
+Cover FullCover(const Corpus& corpus) {
+  auto rows = std::make_shared<std::vector<uint32_t>>();
+  rows->resize(corpus.input().num_rows());
+  for (size_t i = 0; i < rows->size(); ++i) {
+    (*rows)[i] = static_cast<uint32_t>(i);
+  }
+  return rows;
+}
+
+Cover RefineCover(const Corpus& corpus, const Cover& parent,
+                  const PatternItem& item) {
+  ERMINER_CHECK(parent != nullptr);
+  const auto& col = corpus.input().column(static_cast<size_t>(item.attr));
+  auto rows = std::make_shared<std::vector<uint32_t>>();
+  rows->reserve(parent->size() / 2);
+  for (uint32_t r : *parent) {
+    if (item.Matches(col[r])) rows->push_back(r);
+  }
+  return rows;
+}
+
+Cover CoverOf(const Corpus& corpus, const Pattern& pattern) {
+  Cover cover = FullCover(corpus);
+  for (const auto& item : pattern.items()) {
+    cover = RefineCover(corpus, cover, item);
+  }
+  return cover;
+}
+
+RuleStats RuleEvaluator::Evaluate(const EditingRule& rule,
+                                  const Cover& cover_in) {
+  ++num_evaluations_;
+  Cover cover = cover_in ? cover_in : CoverOf(*corpus_, rule.pattern);
+  EvalCache::Entry entry = cache_.Get(rule.lhs);
+  const auto& groups = entry.column->group;
+
+  RuleStats stats;
+  double certainty_sum = 0.0;
+  double quality_sum = 0.0;
+  for (uint32_t r : *cover) {
+    const Group* g = groups[r];
+    if (g == nullptr) continue;  // f_s = 0
+    stats.support += 1;
+    certainty_sum += g->Certainty();
+    ValueCode label = corpus_->QualityLabel(r);
+    quality_sum += (g->argmax == label && label != kNullCode) ? 1.0 : -1.0;
+  }
+  if (stats.support > 0) {
+    stats.certainty = certainty_sum / static_cast<double>(stats.support);
+    stats.quality = quality_sum / static_cast<double>(stats.support);
+  }
+  stats.utility = UtilityOf(stats.support, stats.certainty, stats.quality);
+  return stats;
+}
+
+}  // namespace erminer

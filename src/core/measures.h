@@ -1,0 +1,68 @@
+// The utility measures of Sec. II-B: Support (Eq. 1), Certainty (Eqs. 2-3),
+// Quality (Eqs. 4-5) and Utility U = (log S)^2 * (C + Q).
+
+#ifndef ERMINER_CORE_MEASURES_H_
+#define ERMINER_CORE_MEASURES_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/rule.h"
+#include "data/corpus.h"
+#include "index/eval_cache.h"
+
+namespace erminer {
+
+struct RuleStats {
+  long support = 0;       // S (Eq. 1)
+  double certainty = 0;   // C (Eq. 3)
+  double quality = 0;     // Q (Eq. 5)
+  double utility = 0;     // U = (log S)^2 * (C + Q)
+};
+
+/// Utility from its components; support <= 1 yields utility 0 (log(1) = 0).
+double UtilityOf(long support, double certainty, double quality);
+
+/// A cover: input row ids matching a rule's pattern. Shared between a node
+/// and its LHS-refining children (the pattern is unchanged there).
+using Cover = std::shared_ptr<const std::vector<uint32_t>>;
+
+/// The all-rows cover of a corpus.
+Cover FullCover(const Corpus& corpus);
+
+/// Rows of `parent` that additionally satisfy `item` (subspace search).
+Cover RefineCover(const Corpus& corpus, const Cover& parent,
+                  const PatternItem& item);
+
+/// Cover computed from scratch for an arbitrary pattern.
+Cover CoverOf(const Corpus& corpus, const Pattern& pattern);
+
+class RuleEvaluator {
+ public:
+  explicit RuleEvaluator(const Corpus* corpus, size_t cache_capacity = 256)
+      : corpus_(corpus), cache_(corpus, cache_capacity) {}
+
+  RuleEvaluator(const RuleEvaluator&) = delete;
+  RuleEvaluator& operator=(const RuleEvaluator&) = delete;
+
+  /// Evaluates all measures over the rule's pattern cover. If `cover` is
+  /// null it is computed from the rule's pattern. The Quality measure uses
+  /// Corpus::QualityLabel (labelled truths when available, otherwise the
+  /// input value itself, Sec. II-B3).
+  RuleStats Evaluate(const EditingRule& rule, const Cover& cover = nullptr);
+
+  /// Number of rule evaluations performed (for the experiment reports).
+  size_t num_evaluations() const { return num_evaluations_; }
+
+  const Corpus& corpus() const { return *corpus_; }
+  EvalCache& cache() { return cache_; }
+
+ private:
+  const Corpus* corpus_;
+  EvalCache cache_;
+  size_t num_evaluations_ = 0;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_CORE_MEASURES_H_

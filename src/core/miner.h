@@ -1,0 +1,47 @@
+// Common options and result type for all rule-discovery algorithms.
+
+#ifndef ERMINER_CORE_MINER_H_
+#define ERMINER_CORE_MINER_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "core/rule_set.h"
+
+namespace erminer {
+
+struct MinerOptions {
+  /// Number of rules to return (paper: K = 50).
+  size_t k = 50;
+  /// eta_s: minimum support for a rule to be kept or refined.
+  double support_threshold = 100;
+  /// Per-attribute cap on candidate pattern classes (state encoding K).
+  size_t max_classes_per_attr = 64;
+  /// Also consider negated pattern conditions (\bar{a} of [18]) on small
+  /// domains. Off by default, exactly like the paper.
+  bool include_negations = false;
+  /// Depth limits. EnuMiner uses unlimited; EnuMinerH3 sets both to 3.
+  size_t max_lhs = std::numeric_limits<size_t>::max();
+  size_t max_pattern = std::numeric_limits<size_t>::max();
+  /// Safety cap on lattice expansions for the enumeration miners.
+  size_t max_nodes = 50'000'000;
+};
+
+struct MineResult {
+  std::vector<ScoredRule> rules;
+  /// Lattice/tree nodes generated during the search.
+  size_t nodes_explored = 0;
+  /// Rule evaluations performed (reward/measure queries).
+  size_t rule_evaluations = 0;
+  /// Wall-clock seconds, total (for RLMiner: training + inference).
+  double seconds = 0;
+  /// RLMiner only: split timings and the greedy episode's length.
+  double train_seconds = 0;
+  double inference_seconds = 0;
+  size_t inference_steps = 0;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_CORE_MINER_H_

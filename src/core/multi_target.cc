@@ -1,0 +1,56 @@
+#include "core/multi_target.h"
+
+namespace erminer {
+
+std::vector<std::pair<int, int>> CandidateTargets(const Corpus& corpus,
+                                                  size_t min_distinct) {
+  std::vector<std::pair<int, int>> out;
+  for (size_t a = 0; a < corpus.input().num_cols(); ++a) {
+    const auto& matches = corpus.match().Matches(static_cast<int>(a));
+    if (matches.empty()) continue;
+    if (corpus.input().DistinctCount(a) < min_distinct) continue;
+    out.emplace_back(static_cast<int>(a), matches.front());
+  }
+  return out;
+}
+
+Result<std::vector<TargetResult>> MineAllTargets(const StringTable& input,
+                                                 const StringTable& master,
+                                                 const SchemaMatch& match,
+                                                 const MinerFn& miner,
+                                                 size_t min_distinct) {
+  // A throwaway corpus (first matched pair as target) enumerates targets.
+  std::vector<std::pair<int, int>> targets;
+  {
+    int y0 = -1, ym0 = -1;
+    for (size_t a = 0; a < input.num_cols() && y0 < 0; ++a) {
+      const auto& m = match.Matches(static_cast<int>(a));
+      if (!m.empty()) {
+        y0 = static_cast<int>(a);
+        ym0 = m.front();
+      }
+    }
+    if (y0 < 0) {
+      return Status::InvalidArgument("no matched attribute pairs to target");
+    }
+    ERMINER_ASSIGN_OR_RETURN(Corpus probe,
+                             Corpus::Build(input, master, match, y0, ym0));
+    targets = CandidateTargets(probe, min_distinct);
+  }
+
+  std::vector<TargetResult> out;
+  out.reserve(targets.size());
+  for (const auto& [y, ym] : targets) {
+    ERMINER_ASSIGN_OR_RETURN(Corpus corpus,
+                             Corpus::Build(input, master, match, y, ym));
+    TargetResult tr;
+    tr.y_input = y;
+    tr.y_master = ym;
+    tr.y_name = input.schema.attribute(static_cast<size_t>(y)).name;
+    tr.mine = miner(corpus);
+    out.push_back(std::move(tr));
+  }
+  return out;
+}
+
+}  // namespace erminer

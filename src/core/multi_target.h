@@ -1,0 +1,43 @@
+// Multi-target discovery: Problem 1 fixes one target pair (Y, Y_m); a data
+// cleaning deployment usually wants rules for EVERY repairable attribute.
+// This driver re-targets the corpus per matched attribute pair and runs a
+// miner for each, returning one rule set per target.
+
+#ifndef ERMINER_CORE_MULTI_TARGET_H_
+#define ERMINER_CORE_MULTI_TARGET_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/miner.h"
+#include "data/corpus.h"
+
+namespace erminer {
+
+struct TargetResult {
+  int y_input = -1;
+  int y_master = -1;
+  std::string y_name;
+  MineResult mine;
+};
+
+/// A miner as a function of the (re-targeted) corpus.
+using MinerFn = std::function<MineResult(const Corpus&)>;
+
+/// All matched attribute pairs of `corpus` as candidate targets, excluding
+/// pairs whose input attribute has fewer than `min_distinct` distinct
+/// values (a constant column needs no rules).
+std::vector<std::pair<int, int>> CandidateTargets(const Corpus& corpus,
+                                                  size_t min_distinct = 2);
+
+/// Runs `miner` once per candidate target. The corpus is rebuilt per target
+/// from the same raw relations (dictionary sharing is target-dependent).
+Result<std::vector<TargetResult>> MineAllTargets(
+    const StringTable& input, const StringTable& master,
+    const SchemaMatch& match, const MinerFn& miner,
+    size_t min_distinct = 2);
+
+}  // namespace erminer
+
+#endif  // ERMINER_CORE_MULTI_TARGET_H_

@@ -1,0 +1,46 @@
+#include "core/repair.h"
+
+#include <unordered_map>
+
+namespace erminer {
+
+RepairOutcome ApplyRules(RuleEvaluator* evaluator,
+                         const std::vector<ScoredRule>& rules) {
+  const Corpus& corpus = evaluator->corpus();
+  const size_t n = corpus.input().num_rows();
+  RepairOutcome out;
+  out.prediction.assign(n, kNullCode);
+  out.score.assign(n, 0.0);
+
+  // Aggregate certainty scores per (row, candidate).
+  std::vector<std::unordered_map<ValueCode, double>> scores(n);
+  for (const auto& sr : rules) {
+    Cover cover = CoverOf(corpus, sr.rule.pattern);
+    EvalCache::Entry entry = evaluator->cache().Get(sr.rule.lhs);
+    const auto& groups = entry.column->group;
+    for (uint32_t r : *cover) {
+      const Group* g = groups[r];
+      if (g == nullptr || g->total == 0) continue;
+      for (const auto& [v, c] : g->counts) {
+        scores[r][v] +=
+            static_cast<double>(c) / static_cast<double>(g->total);
+      }
+    }
+  }
+  for (size_t r = 0; r < n; ++r) {
+    ValueCode best = kNullCode;
+    double best_score = 0.0;
+    for (const auto& [v, s] : scores[r]) {
+      if (s > best_score || (s == best_score && best != kNullCode && v < best)) {
+        best = v;
+        best_score = s;
+      }
+    }
+    out.prediction[r] = best;
+    out.score[r] = best_score;
+    if (best != kNullCode) ++out.num_predictions;
+  }
+  return out;
+}
+
+}  // namespace erminer

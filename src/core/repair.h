@@ -1,0 +1,31 @@
+// Applying a discovered rule set to repair the input's Y attribute
+// (Sec. V-B2): every rule contributes certainty scores
+// sigma_{v,phi} = count(v,phi) / sum_v' count(v',phi) for its candidate
+// fixes; the fix of a tuple is argmax_v sum_phi sigma_{v,phi}.
+
+#ifndef ERMINER_CORE_REPAIR_H_
+#define ERMINER_CORE_REPAIR_H_
+
+#include <vector>
+
+#include "core/measures.h"
+#include "core/rule_set.h"
+
+namespace erminer {
+
+struct RepairOutcome {
+  /// Per input row: the predicted Y value, or kNullCode when no rule covers
+  /// the row.
+  std::vector<ValueCode> prediction;
+  /// The winning aggregate certainty score per row (0 when no prediction).
+  std::vector<double> score;
+  size_t num_predictions = 0;
+};
+
+/// Applies `rules` to the evaluator's corpus.
+RepairOutcome ApplyRules(RuleEvaluator* evaluator,
+                         const std::vector<ScoredRule>& rules);
+
+}  // namespace erminer
+
+#endif  // ERMINER_CORE_REPAIR_H_

@@ -1,0 +1,102 @@
+#include "core/rule.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace erminer {
+
+bool PatternItem::Matches(ValueCode v) const {
+  if (v == kNullCode) return false;
+  const bool member = std::binary_search(values.begin(), values.end(), v);
+  return negated ? !member : member;
+}
+
+void Pattern::Add(PatternItem item) {
+  ERMINER_CHECK(!item.values.empty());
+  ERMINER_CHECK(std::is_sorted(item.values.begin(), item.values.end()));
+  ERMINER_CHECK(!SpecifiesAttr(item.attr));
+  auto pos = std::lower_bound(
+      items_.begin(), items_.end(), item,
+      [](const PatternItem& x, const PatternItem& y) { return x.attr < y.attr; });
+  items_.insert(pos, std::move(item));
+}
+
+bool Pattern::SpecifiesAttr(int attr) const {
+  for (const auto& it : items_) {
+    if (it.attr == attr) return true;
+  }
+  return false;
+}
+
+bool Pattern::MatchesRow(const Table& input, size_t r) const {
+  for (const auto& it : items_) {
+    if (!it.Matches(input.at(r, static_cast<size_t>(it.attr)))) return false;
+  }
+  return true;
+}
+
+bool Pattern::DominatesOrEquals(const Pattern& other) const {
+  // items_ sorted by attr in both; subset check with identical conditions.
+  size_t j = 0;
+  for (const auto& mine : items_) {
+    while (j < other.items_.size() && other.items_[j].attr < mine.attr) ++j;
+    if (j >= other.items_.size() || !(other.items_[j] == mine)) return false;
+  }
+  return true;
+}
+
+void EditingRule::AddLhs(int a, int a_m) {
+  ERMINER_CHECK(!HasLhsAttr(a));
+  auto pos = std::lower_bound(lhs.begin(), lhs.end(), std::make_pair(a, a_m));
+  lhs.insert(pos, {a, a_m});
+}
+
+bool EditingRule::HasLhsAttr(int a) const {
+  for (const auto& [x, xm] : lhs) {
+    if (x == a) return true;
+  }
+  return false;
+}
+
+bool EditingRule::Dominates(const EditingRule& other) const {
+  if (y_input != other.y_input || y_master != other.y_master) return false;
+  if (*this == other) return false;
+  // lhs subset (both sorted).
+  if (!std::includes(other.lhs.begin(), other.lhs.end(), lhs.begin(),
+                     lhs.end())) {
+    return false;
+  }
+  return pattern.DominatesOrEquals(other.pattern);
+}
+
+std::string EditingRule::ToString(const Corpus& corpus) const {
+  const Schema& in = corpus.input().schema();
+  const Schema& ms = corpus.master().schema();
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "(" << in.attribute(static_cast<size_t>(lhs[i].first)).name << ","
+       << ms.attribute(static_cast<size_t>(lhs[i].second)).name << ")";
+  }
+  os << ") -> (" << in.attribute(static_cast<size_t>(y_input)).name << ","
+     << ms.attribute(static_cast<size_t>(y_master)).name << ")";
+  if (!pattern.empty()) {
+    os << ", tp[";
+    for (size_t i = 0; i < pattern.items().size(); ++i) {
+      if (i > 0) os << ",";
+      os << in.attribute(static_cast<size_t>(pattern.items()[i].attr)).name;
+    }
+    os << "]=(";
+    for (size_t i = 0; i < pattern.items().size(); ++i) {
+      if (i > 0) os << ",";
+      os << pattern.items()[i].label;
+    }
+    os << ")";
+  } else {
+    os << ", tp=()";
+  }
+  return os.str();
+}
+
+}  // namespace erminer

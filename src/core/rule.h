@@ -1,0 +1,97 @@
+// Editing rules (Def. 1) and the domination order (Defs. 2-4).
+//
+// An eR is ((X, X_m) -> (Y, Y_m), t_p): matched LHS attribute pairs, the
+// target pair, and a constant pattern over input attributes. One extension
+// over the paper's syntax: a pattern condition is a *value class* — normally
+// a singleton constant, but possibly a common-prefix class produced by
+// DomainCompressor when a domain is too large to one-hot encode (Sec. IV-A's
+// prefix reduction). Matching a class tests membership.
+
+#ifndef ERMINER_CORE_RULE_H_
+#define ERMINER_CORE_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+#include "index/eval_cache.h"
+
+namespace erminer {
+
+/// One pattern condition: t_p[attr] \in values, or — with `negated`, the
+/// paper's \bar{a} conditions from [18] — t_p[attr] \notin values. A NULL
+/// cell matches neither form (its value is unknown).
+struct PatternItem {
+  int attr = -1;                   // input column
+  std::vector<ValueCode> values;   // sorted, non-empty value class
+  std::string label;               // display form ("HZ", "pc1*", "!HZ")
+  bool negated = false;
+
+  bool Matches(ValueCode v) const;
+  bool operator==(const PatternItem& other) const {
+    return attr == other.attr && values == other.values &&
+           negated == other.negated;
+  }
+};
+
+/// A pattern tuple t_p: at most one condition per attribute, sorted by attr.
+class Pattern {
+ public:
+  Pattern() = default;
+
+  /// Adds a condition; the attribute must not already be specified.
+  void Add(PatternItem item);
+
+  bool SpecifiesAttr(int attr) const;
+  const std::vector<PatternItem>& items() const { return items_; }
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// Does input row `r` match every condition?
+  bool MatchesRow(const Table& input, size_t r) const;
+
+  /// Pattern domination (Def. 2): this <= other componentwise, i.e. every
+  /// condition of *this appears identically in `other`.
+  bool DominatesOrEquals(const Pattern& other) const;
+
+  bool operator==(const Pattern& other) const { return items_ == other.items_; }
+
+ private:
+  std::vector<PatternItem> items_;
+};
+
+/// An editing rule.
+struct EditingRule {
+  LhsPairs lhs;        // sorted (A, A_m) pairs; distinct input attributes
+  int y_input = -1;    // Y
+  int y_master = -1;   // Y_m
+  Pattern pattern;     // t_p
+
+  size_t LhsSize() const { return lhs.size(); }
+  size_t PatternSize() const { return pattern.size(); }
+
+  /// Adds an LHS pair keeping the sorted order. The input attribute must not
+  /// already appear.
+  void AddLhs(int a, int a_m);
+
+  bool HasLhsAttr(int a) const;
+
+  /// Rule domination per Def. 3 (interpreted inclusively, as the paper's
+  /// prose describes): lhs(this) \subseteq lhs(other), t_p(this) <= t_p(other)
+  /// and the rules differ. A dominating rule is the more general one;
+  /// Lemma 1 gives S(this) >= S(other).
+  bool Dominates(const EditingRule& other) const;
+
+  bool operator==(const EditingRule& other) const {
+    return lhs == other.lhs && y_input == other.y_input &&
+           y_master == other.y_master && pattern == other.pattern;
+  }
+
+  /// Human-readable form using corpus schemas, e.g.
+  /// "((City,City),(Date,Date)) -> (Case,Infection), tp[Overseas]=No".
+  std::string ToString(const Corpus& corpus) const;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_CORE_RULE_H_

@@ -1,0 +1,98 @@
+#include "core/rule_explain.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace erminer {
+
+namespace {
+
+std::string ProseOf(const EditingRule& rule, const Corpus& corpus,
+                    const RuleStats& stats) {
+  const Schema& in = corpus.input().schema();
+  const Schema& ms = corpus.master().schema();
+  std::ostringstream os;
+  os << "When a tuple ";
+  if (!rule.pattern.empty()) {
+    os << "has ";
+    for (size_t i = 0; i < rule.pattern.items().size(); ++i) {
+      const PatternItem& item = rule.pattern.items()[i];
+      if (i > 0) os << " and ";
+      std::string label = item.label;
+      if (item.negated && !label.empty() && label[0] == '!') {
+        label = label.substr(1);  // the comparator already says "!="
+      }
+      os << in.attribute(static_cast<size_t>(item.attr)).name
+         << (item.negated ? " != " : " = ") << label;
+    }
+    os << " and ";
+  }
+  os << "agrees with a master tuple on ";
+  for (size_t i = 0; i < rule.lhs.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << in.attribute(static_cast<size_t>(rule.lhs[i].first)).name << "/"
+       << ms.attribute(static_cast<size_t>(rule.lhs[i].second)).name;
+  }
+  os << ", take its "
+     << ms.attribute(static_cast<size_t>(rule.y_master)).name << " as the "
+     << in.attribute(static_cast<size_t>(rule.y_input)).name << " fix. "
+     << "It applies to " << stats.support << " tuples with average "
+     << "certainty " << static_cast<int>(stats.certainty * 100 + 0.5)
+     << "% and quality " << static_cast<int>(stats.quality * 100 + 0.5)
+     << "%.";
+  return os.str();
+}
+
+}  // namespace
+
+RuleExplanation ExplainRule(RuleEvaluator* evaluator, const EditingRule& rule,
+                            size_t max_examples) {
+  const Corpus& corpus = evaluator->corpus();
+  RuleExplanation out;
+  Cover cover = CoverOf(corpus, rule.pattern);
+  out.cover_size = cover->size();
+  out.stats = evaluator->Evaluate(rule, cover);
+  out.applicable = static_cast<size_t>(out.stats.support);
+  out.prose = ProseOf(rule, corpus, out.stats);
+
+  EvalCache::Entry entry = evaluator->cache().Get(rule.lhs);
+  const Domain& dy = *corpus.y_domain();
+  std::vector<RuleExample> candidates;
+  for (uint32_t r : *cover) {
+    const Group* g = entry.column->group[r];
+    if (g == nullptr) continue;
+    RuleExample ex;
+    ex.row = r;
+    ex.current_value =
+        corpus.input().CellString(r, static_cast<size_t>(rule.y_input));
+    ex.proposed_value = dy.ValueOrNull(g->argmax);
+    ex.certainty = g->Certainty();
+    candidates.push_back(std::move(ex));
+  }
+  // Prefer actual changes, then uncertain cases; stable row order inside.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const RuleExample& a, const RuleExample& b) {
+                     bool change_a = a.current_value != a.proposed_value;
+                     bool change_b = b.current_value != b.proposed_value;
+                     if (change_a != change_b) return change_a;
+                     return a.certainty < b.certainty;
+                   });
+  if (candidates.size() > max_examples) candidates.resize(max_examples);
+  out.examples = std::move(candidates);
+  return out;
+}
+
+std::string FormatExplanation(const RuleExplanation& explanation) {
+  std::ostringstream os;
+  os << explanation.prose << "\n";
+  os << "  pattern cover: " << explanation.cover_size
+     << " tuples, applicable: " << explanation.applicable << "\n";
+  for (const auto& ex : explanation.examples) {
+    os << "  row " << ex.row << ": '" << ex.current_value << "' -> '"
+       << ex.proposed_value << "' (certainty "
+       << static_cast<int>(ex.certainty * 100 + 0.5) << "%)\n";
+  }
+  return os.str();
+}
+
+}  // namespace erminer

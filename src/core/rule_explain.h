@@ -1,0 +1,43 @@
+// Human-readable rule explanations: what a rule says in prose, which tuples
+// it covers, sample fixes it proposes, and where its certainty leaks.
+// Surfaced through `erminer mine --explain` and useful when presenting
+// discovered rules to a data steward for sign-off.
+
+#ifndef ERMINER_CORE_RULE_EXPLAIN_H_
+#define ERMINER_CORE_RULE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/measures.h"
+#include "core/rule_set.h"
+
+namespace erminer {
+
+struct RuleExample {
+  size_t row = 0;                 // input row id
+  std::string current_value;     // t[Y] before repair
+  std::string proposed_value;    // the rule's argmax candidate
+  double certainty = 0;          // f_c of this tuple
+};
+
+struct RuleExplanation {
+  std::string prose;             // one-paragraph English description
+  RuleStats stats;
+  size_t cover_size = 0;         // tuples matching the pattern
+  size_t applicable = 0;         // of those, with a master match (= support)
+  /// Up to `max_examples` covered tuples, preferring (a) cells the rule
+  /// would change and (b) low-certainty cases.
+  std::vector<RuleExample> examples;
+};
+
+/// Explains one rule over the evaluator's corpus.
+RuleExplanation ExplainRule(RuleEvaluator* evaluator, const EditingRule& rule,
+                            size_t max_examples = 5);
+
+/// Renders an explanation as indented text.
+std::string FormatExplanation(const RuleExplanation& explanation);
+
+}  // namespace erminer
+
+#endif  // ERMINER_CORE_RULE_EXPLAIN_H_

@@ -1,0 +1,222 @@
+#include "core/rule_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace erminer {
+
+namespace {
+
+/// Escapes the separators used by the format (',', ';', '|', '=', spaces).
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '%' || c == ',' || c == ';' || c == '|' || c == '=' ||
+        c == ' ' || c == '\n' || c == '\t') {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X",
+                    static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> Unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (i + 2 >= s.size()) return Status::InvalidArgument("truncated escape");
+    auto hex = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      return -1;
+    };
+    int hi = hex(s[i + 1]), lo = hex(s[i + 2]);
+    if (hi < 0 || lo < 0) return Status::InvalidArgument("bad escape");
+    out.push_back(static_cast<char>(hi * 16 + lo));
+    i += 2;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RulesToText(const std::vector<ScoredRule>& rules,
+                        const Corpus& corpus) {
+  const Schema& in = corpus.input().schema();
+  const Schema& ms = corpus.master().schema();
+  std::ostringstream os;
+  os << "# erminer rules v1 (" << rules.size() << " rules)\n";
+  for (const auto& sr : rules) {
+    os << "lhs=";
+    for (size_t i = 0; i < sr.rule.lhs.size(); ++i) {
+      if (i > 0) os << ",";
+      os << Escape(in.attribute(static_cast<size_t>(sr.rule.lhs[i].first))
+                       .name)
+         << ":"
+         << Escape(ms.attribute(static_cast<size_t>(sr.rule.lhs[i].second))
+                       .name);
+    }
+    os << " y="
+       << Escape(in.attribute(static_cast<size_t>(sr.rule.y_input)).name)
+       << ":"
+       << Escape(ms.attribute(static_cast<size_t>(sr.rule.y_master)).name);
+    os << " tp=";
+    for (size_t i = 0; i < sr.rule.pattern.items().size(); ++i) {
+      const PatternItem& item = sr.rule.pattern.items()[i];
+      if (i > 0) os << ";";
+      if (item.negated) os << "!";
+      os << Escape(in.attribute(static_cast<size_t>(item.attr)).name) << "=";
+      const Domain& dom = *corpus.input().domain(
+          static_cast<size_t>(item.attr));
+      for (size_t v = 0; v < item.values.size(); ++v) {
+        if (v > 0) os << "|";
+        os << Escape(dom.value(item.values[v]));
+      }
+    }
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), " S=%ld C=%.6f Q=%.6f U=%.6f",
+                  sr.stats.support, sr.stats.certainty, sr.stats.quality,
+                  sr.stats.utility);
+    os << buf << "\n";
+  }
+  return os.str();
+}
+
+Result<std::vector<ScoredRule>> RulesFromText(const std::string& text,
+                                              const Corpus& corpus) {
+  const Schema& in = corpus.input().schema();
+  const Schema& ms = corpus.master().schema();
+  std::vector<ScoredRule> out;
+  std::istringstream lines(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("line " + std::to_string(lineno) + ": " +
+                                     why);
+    };
+    ScoredRule sr;
+    sr.rule.y_input = corpus.y_input();
+    sr.rule.y_master = corpus.y_master();
+    for (const std::string& token : Split(line, ' ')) {
+      if (token.empty()) continue;
+      size_t eq = token.find('=');
+      if (eq == std::string::npos) return fail("token without '=': " + token);
+      std::string key = token.substr(0, eq);
+      std::string value = token.substr(eq + 1);
+      if (key == "lhs") {
+        if (value.empty()) continue;
+        for (const std::string& pair : Split(value, ',')) {
+          auto parts = Split(pair, ':');
+          if (parts.size() != 2) return fail("bad lhs pair: " + pair);
+          ERMINER_ASSIGN_OR_RETURN(std::string a_name, Unescape(parts[0]));
+          ERMINER_ASSIGN_OR_RETURN(std::string m_name, Unescape(parts[1]));
+          int a = in.IndexOf(a_name);
+          int am = ms.IndexOf(m_name);
+          if (a < 0) return fail("unknown input attribute " + a_name);
+          if (am < 0) return fail("unknown master attribute " + m_name);
+          if (sr.rule.HasLhsAttr(a)) return fail("duplicate lhs " + a_name);
+          sr.rule.AddLhs(a, am);
+        }
+      } else if (key == "y") {
+        auto parts = Split(value, ':');
+        if (parts.size() != 2) return fail("bad y pair");
+        ERMINER_ASSIGN_OR_RETURN(std::string a_name, Unescape(parts[0]));
+        ERMINER_ASSIGN_OR_RETURN(std::string m_name, Unescape(parts[1]));
+        int y = in.IndexOf(a_name);
+        int ym = ms.IndexOf(m_name);
+        if (y < 0 || ym < 0) return fail("unknown y attribute");
+        sr.rule.y_input = y;
+        sr.rule.y_master = ym;
+      } else if (key == "tp") {
+        if (value.empty()) continue;
+        for (std::string cond : Split(value, ';')) {
+          bool negated = false;
+          if (!cond.empty() && cond[0] == '!') {
+            negated = true;
+            cond.erase(cond.begin());
+          }
+          size_t ceq = cond.find('=');
+          if (ceq == std::string::npos) return fail("bad condition " + cond);
+          ERMINER_ASSIGN_OR_RETURN(std::string a_name,
+                                   Unescape(cond.substr(0, ceq)));
+          int a = in.IndexOf(a_name);
+          if (a < 0) return fail("unknown pattern attribute " + a_name);
+          const Domain& dom = *corpus.input().domain(static_cast<size_t>(a));
+          PatternItem item{a, {}, "", negated};
+          std::vector<std::string> labels;
+          for (const std::string& vs : Split(cond.substr(ceq + 1), '|')) {
+            ERMINER_ASSIGN_OR_RETURN(std::string v, Unescape(vs));
+            ValueCode code = dom.Lookup(v);
+            if (code == kNullCode) {
+              return fail("pattern value '" + v + "' not in domain of " +
+                          a_name);
+            }
+            item.values.push_back(code);
+            labels.push_back(v);
+          }
+          std::sort(item.values.begin(), item.values.end());
+          item.values.erase(
+              std::unique(item.values.begin(), item.values.end()),
+              item.values.end());
+          item.label = (negated ? "!" : "") +
+                       (labels.size() == 1 ? labels[0] : Join(labels, "|"));
+          if (sr.rule.pattern.SpecifiesAttr(a)) {
+            return fail("duplicate pattern attribute " + a_name);
+          }
+          sr.rule.pattern.Add(std::move(item));
+        }
+      } else if (key == "S") {
+        sr.stats.support = std::atol(value.c_str());
+      } else if (key == "C") {
+        sr.stats.certainty = std::atof(value.c_str());
+      } else if (key == "Q") {
+        sr.stats.quality = std::atof(value.c_str());
+      } else if (key == "U") {
+        sr.stats.utility = std::atof(value.c_str());
+      } else {
+        return fail("unknown key " + key);
+      }
+    }
+    out.push_back(std::move(sr));
+  }
+  return out;
+}
+
+Status WriteRulesFile(const std::vector<ScoredRule>& rules,
+                      const Corpus& corpus, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Status::IoError("cannot open " + path);
+  f << RulesToText(rules, corpus);
+  if (!f) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<ScoredRule>> ReadRulesFile(const std::string& path,
+                                              const Corpus& corpus) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IoError("cannot open " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return RulesFromText(ss.str(), corpus);
+}
+
+}  // namespace erminer

@@ -1,0 +1,38 @@
+// Textual (de)serialization of discovered rule sets, so mining and repair
+// can run as separate processes (see tools/erminer_cli).
+//
+// Format: one rule per line,
+//   lhs=A:Am,B:Bm  y=Y:Ym  tp=Attr=val1|val2;Attr2=val  S=123 C=0.95 Q=0.4
+// Attribute references are written by NAME (resolved against the corpus on
+// load, so a rule file survives column reordering); pattern values are the
+// dictionary strings. Lines starting with '#' are comments.
+
+#ifndef ERMINER_CORE_RULE_IO_H_
+#define ERMINER_CORE_RULE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rule_set.h"
+#include "data/corpus.h"
+
+namespace erminer {
+
+/// Serializes a rule set (with stats) against the corpus's schemas.
+std::string RulesToText(const std::vector<ScoredRule>& rules,
+                        const Corpus& corpus);
+
+/// Parses rules back. Unknown attribute names fail; pattern values absent
+/// from the corpus dictionary fail (such a condition could never match).
+Result<std::vector<ScoredRule>> RulesFromText(const std::string& text,
+                                              const Corpus& corpus);
+
+/// File convenience wrappers.
+Status WriteRulesFile(const std::vector<ScoredRule>& rules,
+                      const Corpus& corpus, const std::string& path);
+Result<std::vector<ScoredRule>> ReadRulesFile(const std::string& path,
+                                              const Corpus& corpus);
+
+}  // namespace erminer
+
+#endif  // ERMINER_CORE_RULE_IO_H_

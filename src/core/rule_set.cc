@@ -1,0 +1,69 @@
+#include "core/rule_set.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace erminer {
+
+std::vector<ScoredRule> SelectTopKNonRedundant(std::vector<ScoredRule> pool,
+                                               size_t k) {
+  std::stable_sort(pool.begin(), pool.end(),
+                   [](const ScoredRule& a, const ScoredRule& b) {
+                     return a.stats.utility > b.stats.utility;
+                   });
+  std::vector<ScoredRule> out;
+  for (auto& cand : pool) {
+    if (out.size() >= k) break;
+    bool redundant = false;
+    for (const auto& kept : out) {
+      if (kept.rule == cand.rule || kept.rule.Dominates(cand.rule) ||
+          cand.rule.Dominates(kept.rule)) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) out.push_back(std::move(cand));
+  }
+  return out;
+}
+
+bool IsNonRedundant(const std::vector<ScoredRule>& rules) {
+  for (size_t i = 0; i < rules.size(); ++i) {
+    for (size_t j = 0; j < rules.size(); ++j) {
+      if (i == j) continue;
+      if (rules[i].rule.Dominates(rules[j].rule)) return false;
+    }
+  }
+  return true;
+}
+
+RuleLengthStats ComputeLengthStats(const std::vector<ScoredRule>& rules) {
+  RuleLengthStats s;
+  if (rules.empty()) return s;
+  auto accumulate = [&](auto size_of, double* mean, double* stdev,
+                        size_t* mx, size_t* mn) {
+    double sum = 0;
+    *mx = 0;
+    *mn = static_cast<size_t>(-1);
+    for (const auto& r : rules) {
+      size_t n = size_of(r);
+      sum += static_cast<double>(n);
+      *mx = std::max(*mx, n);
+      *mn = std::min(*mn, n);
+    }
+    *mean = sum / static_cast<double>(rules.size());
+    double var = 0;
+    for (const auto& r : rules) {
+      double d = static_cast<double>(size_of(r)) - *mean;
+      var += d * d;
+    }
+    *stdev = std::sqrt(var / static_cast<double>(rules.size()));
+  };
+  accumulate([](const ScoredRule& r) { return r.rule.LhsSize(); },
+             &s.lhs_mean, &s.lhs_std, &s.lhs_max, &s.lhs_min);
+  accumulate([](const ScoredRule& r) { return r.rule.PatternSize(); },
+             &s.pattern_mean, &s.pattern_std, &s.pattern_max, &s.pattern_min);
+  return s;
+}
+
+}  // namespace erminer

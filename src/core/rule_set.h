@@ -1,0 +1,37 @@
+// Non-redundant top-K rule selection (Defs. 3-4, Problem 1).
+
+#ifndef ERMINER_CORE_RULE_SET_H_
+#define ERMINER_CORE_RULE_SET_H_
+
+#include <vector>
+
+#include "core/measures.h"
+#include "core/rule.h"
+
+namespace erminer {
+
+struct ScoredRule {
+  EditingRule rule;
+  RuleStats stats;
+};
+
+/// Greedy utility-descending selection of at most K rules such that no
+/// selected rule dominates another (Def. 4). Exact duplicates are dropped.
+std::vector<ScoredRule> SelectTopKNonRedundant(std::vector<ScoredRule> pool,
+                                               size_t k);
+
+/// Verifies Def. 4 over a set (used by tests and as a debug check).
+bool IsNonRedundant(const std::vector<ScoredRule>& rules);
+
+/// Mean/std/max/min of LHS and pattern lengths (Table II rows).
+struct RuleLengthStats {
+  double lhs_mean = 0, lhs_std = 0;
+  size_t lhs_max = 0, lhs_min = 0;
+  double pattern_mean = 0, pattern_std = 0;
+  size_t pattern_max = 0, pattern_min = 0;
+};
+RuleLengthStats ComputeLengthStats(const std::vector<ScoredRule>& rules);
+
+}  // namespace erminer
+
+#endif  // ERMINER_CORE_RULE_SET_H_

@@ -1,0 +1,42 @@
+#include "core/violations.h"
+
+namespace erminer {
+
+ViolationReport DetectViolations(RuleEvaluator* evaluator,
+                                 const std::vector<ScoredRule>& rules,
+                                 const ViolationOptions& options) {
+  const Corpus& corpus = evaluator->corpus();
+  const size_t y = static_cast<size_t>(corpus.y_input());
+  ViolationReport report;
+  std::vector<uint8_t> flagged(corpus.input().num_rows(), 0);
+  std::vector<uint8_t> missing_seen(corpus.input().num_rows(), 0);
+
+  for (size_t ri = 0; ri < rules.size(); ++ri) {
+    const EditingRule& rule = rules[ri].rule;
+    Cover cover = CoverOf(corpus, rule.pattern);
+    EvalCache::Entry entry = evaluator->cache().Get(rule.lhs);
+    for (uint32_t r : *cover) {
+      const Group* g = entry.column->group[r];
+      if (g == nullptr || g->total == 0) continue;
+      if (g->Certainty() < options.min_certainty) continue;
+      ValueCode current = corpus.input().at(r, y);
+      if (current == kNullCode) {
+        missing_seen[r] = 1;
+        if (options.flag_missing) {
+          report.violations.push_back({r, ri, kNullCode, g->argmax});
+          flagged[r] = 1;
+        }
+        continue;
+      }
+      if (current != g->argmax) {
+        report.violations.push_back({r, ri, current, g->argmax});
+        flagged[r] = 1;
+      }
+    }
+  }
+  for (uint8_t f : flagged) report.num_flagged_rows += f;
+  for (uint8_t m : missing_seen) report.num_missing_covered += m;
+  return report;
+}
+
+}  // namespace erminer

@@ -1,0 +1,47 @@
+// Error DETECTION with editing rules: a tuple violates a rule when it
+// matches the pattern, agrees with master tuples on the LHS, the rule's
+// candidate set is unanimous (certainty 1), and the tuple's current Y value
+// disagrees with that unique candidate. Under the eR semantics such a cell
+// is provably wrong (given a valid rule and clean master data) — the
+// detection counterpart of ComputeCertainFixes.
+
+#ifndef ERMINER_CORE_VIOLATIONS_H_
+#define ERMINER_CORE_VIOLATIONS_H_
+
+#include <vector>
+
+#include "core/measures.h"
+#include "core/rule_set.h"
+
+namespace erminer {
+
+struct Violation {
+  size_t row = 0;
+  size_t rule_index = 0;      // into the rule vector passed in
+  ValueCode current = kNullCode;
+  ValueCode expected = kNullCode;
+};
+
+struct ViolationReport {
+  std::vector<Violation> violations;
+  /// Rows flagged by at least one rule (violations may overlap).
+  size_t num_flagged_rows = 0;
+  /// Rows with a NULL Y covered by a unanimous rule (missing, not wrong).
+  size_t num_missing_covered = 0;
+};
+
+struct ViolationOptions {
+  /// Only candidate sets at least this certain flag violations. 1.0 is the
+  /// provable setting; lower values trade precision for detection recall.
+  double min_certainty = 1.0;
+  /// Include NULL Y cells in `violations` (as current = kNullCode).
+  bool flag_missing = false;
+};
+
+ViolationReport DetectViolations(RuleEvaluator* evaluator,
+                                 const std::vector<ScoredRule>& rules,
+                                 const ViolationOptions& options = {});
+
+}  // namespace erminer
+
+#endif  // ERMINER_CORE_VIOLATIONS_H_

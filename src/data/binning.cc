@@ -1,0 +1,106 @@
+#include "data/binning.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace erminer {
+
+std::optional<double> ParseNumeric(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  const char* begin = s.c_str();
+  char* end = nullptr;
+  double v = std::strtod(begin, &end);
+  if (end == begin) return std::nullopt;
+  // Reject trailing garbage (allow trailing spaces).
+  while (*end == ' ') ++end;
+  if (*end != '\0') return std::nullopt;
+  return v;
+}
+
+namespace {
+std::string BinLabel(int bin, const std::vector<double>& edges) {
+  char buf[96];
+  const int k = static_cast<int>(edges.size());
+  if (k == 0) return "[all)";
+  if (bin == 0) {
+    std::snprintf(buf, sizeof(buf), "(-inf,%.4g)", edges[0]);
+  } else if (bin == k) {
+    std::snprintf(buf, sizeof(buf), "[%.4g,+inf)", edges[k - 1]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "[%.4g,%.4g)", edges[bin - 1], edges[bin]);
+  }
+  return buf;
+}
+}  // namespace
+
+Discretizer Discretizer::Fit(const std::vector<std::string>& samples,
+                             int n_split) {
+  Discretizer d;
+  if (n_split <= 1) n_split = 2;
+  std::vector<double> nums;
+  nums.reserve(samples.size());
+  for (const auto& s : samples) {
+    if (auto v = ParseNumeric(s)) nums.push_back(*v);
+  }
+  if (nums.empty()) return d;  // no-op
+  std::sort(nums.begin(), nums.end());
+  // Equal-frequency interior cut points; deduplicate to avoid empty bins.
+  for (int i = 1; i < n_split; ++i) {
+    size_t pos = (nums.size() * static_cast<size_t>(i)) / n_split;
+    if (pos >= nums.size()) pos = nums.size() - 1;
+    double e = nums[pos];
+    if (d.edges_.empty() || e > d.edges_.back()) d.edges_.push_back(e);
+  }
+  const int bins = static_cast<int>(d.edges_.size()) + 1;
+  d.labels_.reserve(bins);
+  for (int b = 0; b < bins; ++b) d.labels_.push_back(BinLabel(b, d.edges_));
+  return d;
+}
+
+std::string Discretizer::Apply(const std::string& value) const {
+  if (labels_.empty()) return value;
+  auto v = ParseNumeric(value);
+  if (!v) return value;
+  // First bin whose upper edge exceeds v.
+  size_t bin =
+      std::upper_bound(edges_.begin(), edges_.end(), *v) - edges_.begin();
+  return labels_[bin];
+}
+
+Status DiscretizeJointly(std::vector<StringTable*> tables,
+                         const std::vector<ContinuousBinding>& bindings,
+                         int n_split) {
+  for (const auto& binding : bindings) {
+    if (binding.column_per_table.size() != tables.size()) {
+      return Status::InvalidArgument("binding width != number of tables");
+    }
+    std::vector<std::string> samples;
+    for (size_t t = 0; t < tables.size(); ++t) {
+      int col = binding.column_per_table[t];
+      if (col < 0) continue;
+      if (static_cast<size_t>(col) >= tables[t]->num_cols()) {
+        return Status::OutOfRange("binding column out of range");
+      }
+      for (const auto& row : tables[t]->rows) {
+        samples.push_back(row[static_cast<size_t>(col)]);
+      }
+    }
+    Discretizer d = Discretizer::Fit(samples, n_split);
+    for (size_t t = 0; t < tables.size(); ++t) {
+      int col = binding.column_per_table[t];
+      if (col < 0) continue;
+      for (auto& row : tables[t]->rows) {
+        auto& cell = row[static_cast<size_t>(col)];
+        cell = d.Apply(cell);
+      }
+      // After discretization the attribute behaves as discrete.
+      auto attrs = tables[t]->schema.attributes();
+      attrs[static_cast<size_t>(col)].kind = AttributeKind::kDiscrete;
+      tables[t]->schema = Schema(std::move(attrs));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace erminer

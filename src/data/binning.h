@@ -1,0 +1,58 @@
+// Discretization of continuous attributes into N_split ranges (Sec. IV-A).
+//
+// The paper encodes continuous attributes as N_split range buckets rather
+// than individual values. A Discretizer learns quantile edges from the union
+// of master and input values so both tables bucket identically, then rewrites
+// cells to range labels like "[17.0,28.0)".
+
+#ifndef ERMINER_DATA_BINNING_H_
+#define ERMINER_DATA_BINNING_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "util/status.h"
+
+namespace erminer {
+
+class Discretizer {
+ public:
+  /// Learns `n_split` equal-frequency bin edges from the given samples.
+  /// Non-numeric strings are ignored; if no numeric value is seen the
+  /// discretizer becomes a no-op.
+  static Discretizer Fit(const std::vector<std::string>& samples, int n_split);
+
+  /// Maps one value to its range label. Null/non-numeric values pass through
+  /// unchanged (a typo in a numeric field stays a distinct dirty value).
+  std::string Apply(const std::string& value) const;
+
+  int num_bins() const { return static_cast<int>(labels_.size()); }
+  const std::vector<double>& edges() const { return edges_; }
+
+ private:
+  // edges_ has num_bins-1 interior cut points (sorted). Bin i covers
+  // (-inf, e0), [e0, e1), ..., [e_last, +inf).
+  std::vector<double> edges_;
+  std::vector<std::string> labels_;
+};
+
+/// Attempts to parse a decimal number; returns nullopt for non-numeric text.
+std::optional<double> ParseNumeric(const std::string& s);
+
+/// Fits a Discretizer per continuous column over `tables` jointly, then
+/// rewrites those columns in place in every table. Tables must share the
+/// column's meaning at the given indices; `columns[i]` lists, per table, the
+/// column index of this attribute (-1 if the table lacks it).
+struct ContinuousBinding {
+  std::vector<int> column_per_table;  // parallel to `tables`, -1 = absent
+};
+
+Status DiscretizeJointly(std::vector<StringTable*> tables,
+                         const std::vector<ContinuousBinding>& bindings,
+                         int n_split);
+
+}  // namespace erminer
+
+#endif  // ERMINER_DATA_BINNING_H_

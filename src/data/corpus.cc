@@ -1,0 +1,148 @@
+#include "data/corpus.h"
+
+#include <numeric>
+
+#include "data/binning.h"
+
+namespace erminer {
+
+namespace {
+
+/// Union-find over the combined column space (input columns first).
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+Result<Corpus> Corpus::Build(StringTable input, StringTable master,
+                             const SchemaMatch& match, int y_input,
+                             int y_master, const CorpusOptions& opts) {
+  ERMINER_RETURN_NOT_OK(input.Validate());
+  ERMINER_RETURN_NOT_OK(master.Validate());
+  const size_t w_in = input.num_cols();
+  const size_t w_m = master.num_cols();
+  if (match.input_width() != w_in) {
+    return Status::InvalidArgument("match width != input schema width");
+  }
+  if (y_input < 0 || static_cast<size_t>(y_input) >= w_in ||
+      y_master < 0 || static_cast<size_t>(y_master) >= w_m) {
+    return Status::OutOfRange("target attribute index out of range");
+  }
+  for (size_t a = 0; a < w_in; ++a) {
+    for (int am : match.Matches(static_cast<int>(a))) {
+      if (am < 0 || static_cast<size_t>(am) >= w_m) {
+        return Status::OutOfRange("match references master column " +
+                                  std::to_string(am));
+      }
+    }
+  }
+
+  // Group matched columns into shared-domain components.
+  UnionFind uf(w_in + w_m);
+  for (size_t a = 0; a < w_in; ++a) {
+    for (int am : match.Matches(static_cast<int>(a))) {
+      uf.Union(a, w_in + static_cast<size_t>(am));
+    }
+  }
+  uf.Union(static_cast<size_t>(y_input), w_in + static_cast<size_t>(y_master));
+
+  // Discretize continuous attributes jointly per component.
+  std::vector<StringTable*> tables = {&input, &master};
+  std::vector<ContinuousBinding> bindings;
+  std::vector<bool> master_done(w_m, false);
+  for (size_t a = 0; a < w_in; ++a) {
+    bool continuous = input.schema.attribute(a).kind ==
+                      AttributeKind::kContinuous;
+    ContinuousBinding b;
+    b.column_per_table = {static_cast<int>(a), -1};
+    for (size_t am = 0; am < w_m; ++am) {
+      if (uf.Find(a) == uf.Find(w_in + am)) {
+        continuous = continuous || master.schema.attribute(am).kind ==
+                                       AttributeKind::kContinuous;
+        b.column_per_table[1] = static_cast<int>(am);
+        master_done[am] = true;
+        break;  // one representative master column per binding
+      }
+    }
+    if (continuous) bindings.push_back(b);
+  }
+  for (size_t am = 0; am < w_m; ++am) {
+    if (!master_done[am] &&
+        master.schema.attribute(am).kind == AttributeKind::kContinuous) {
+      ContinuousBinding b;
+      b.column_per_table = {-1, static_cast<int>(am)};
+      bindings.push_back(b);
+    }
+  }
+  ERMINER_RETURN_NOT_OK(DiscretizeJointly(tables, bindings, opts.n_split));
+
+  // One Domain per union-find component.
+  std::vector<std::shared_ptr<Domain>> component_domain(w_in + w_m);
+  auto domain_of = [&](size_t col) {
+    size_t root = uf.Find(col);
+    if (component_domain[root] == nullptr) {
+      component_domain[root] = std::make_shared<Domain>();
+    }
+    return component_domain[root];
+  };
+  std::vector<std::shared_ptr<Domain>> in_domains(w_in);
+  std::vector<std::shared_ptr<Domain>> m_domains(w_m);
+  for (size_t a = 0; a < w_in; ++a) in_domains[a] = domain_of(a);
+  for (size_t am = 0; am < w_m; ++am) m_domains[am] = domain_of(w_in + am);
+
+  Corpus corpus;
+  ERMINER_ASSIGN_OR_RETURN(corpus.input_,
+                           Table::Encode(input, std::move(in_domains)));
+  ERMINER_ASSIGN_OR_RETURN(corpus.master_,
+                           Table::Encode(master, std::move(m_domains)));
+  corpus.match_ = match;
+  corpus.y_input_ = y_input;
+  corpus.y_master_ = y_master;
+  corpus.options_ = opts;
+  return corpus;
+}
+
+Corpus Corpus::TruncateRows(size_t n_input, size_t n_master) const {
+  Corpus out;
+  out.input_ = input_.Head(n_input);
+  out.master_ = master_.Head(n_master);
+  out.match_ = match_;
+  out.y_input_ = y_input_;
+  out.y_master_ = y_master_;
+  out.options_ = options_;
+  if (!labels_.empty()) {
+    out.labels_.assign(labels_.begin(),
+                       labels_.begin() +
+                           static_cast<long>(out.input_.num_rows()));
+  }
+  return out;
+}
+
+Status Corpus::SetLabels(const std::vector<std::string>& truths) {
+  if (truths.size() != input_.num_rows()) {
+    return Status::InvalidArgument("labels size != input rows");
+  }
+  labels_.resize(truths.size());
+  Domain* dom = y_domain().get();
+  for (size_t i = 0; i < truths.size(); ++i) {
+    labels_[i] = dom->GetOrAdd(truths[i]);
+  }
+  return Status::OK();
+}
+
+}  // namespace erminer

@@ -1,0 +1,79 @@
+// Corpus: the encoded (input D, master D_m, match M, target (Y, Y_m)) bundle
+// every miner operates on.
+//
+// Invariant: matched attribute pairs (including the target pair) share one
+// Domain, so `t[X] = t_m[X_m]` and `t_m[Y_m] = truth` reduce to integer
+// comparisons of ValueCodes. Continuous attributes are discretized into
+// N_split ranges jointly over both tables before encoding (Sec. IV-A).
+
+#ifndef ERMINER_DATA_CORPUS_H_
+#define ERMINER_DATA_CORPUS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/schema_match.h"
+#include "data/table.h"
+#include "util/status.h"
+
+namespace erminer {
+
+struct CorpusOptions {
+  /// Number of ranges for each continuous attribute (paper's N_split).
+  int n_split = 5;
+};
+
+class Corpus {
+ public:
+  /// Builds a corpus. `y_input` / `y_master` give the target attribute pair
+  /// (Y, Y_m); they are treated as matched even if absent from `match`.
+  static Result<Corpus> Build(StringTable input, StringTable master,
+                              const SchemaMatch& match, int y_input,
+                              int y_master, const CorpusOptions& opts = {});
+
+  const Table& input() const { return input_; }
+  const Table& master() const { return master_; }
+  const SchemaMatch& match() const { return match_; }
+  int y_input() const { return y_input_; }
+  int y_master() const { return y_master_; }
+  const CorpusOptions& options() const { return options_; }
+
+  /// The shared dictionary of the target pair.
+  const std::shared_ptr<Domain>& y_domain() const {
+    return input_.domain(static_cast<size_t>(y_input_));
+  }
+
+  /// Optional labelled truths D_l for the input's Y column (one per input
+  /// row; kNullToken = unlabelled cell). Encoded with the target domain.
+  Status SetLabels(const std::vector<std::string>& truths);
+  bool has_labels() const { return !labels_.empty(); }
+  const std::vector<ValueCode>& labels() const { return labels_; }
+
+  /// The label used by the Quality measure for row `r`: the true value if
+  /// labels were provided, otherwise the (possibly dirty) input value itself
+  /// (Sec. II-B3 approximate quality).
+  ValueCode QualityLabel(size_t r) const {
+    if (!labels_.empty()) return labels_[r];
+    return input_.at(r, static_cast<size_t>(y_input_));
+  }
+
+  /// A corpus over the first `n_input` / `n_master` rows, sharing this
+  /// corpus's dictionaries (so ValueCodes, and hence an ActionSpace built on
+  /// the full corpus, remain valid). Labels are truncated accordingly.
+  Corpus TruncateRows(size_t n_input, size_t n_master) const;
+
+ private:
+  Table input_;
+  Table master_;
+  SchemaMatch match_;
+  int y_input_ = -1;
+  int y_master_ = -1;
+  CorpusOptions options_;
+  std::vector<ValueCode> labels_;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_DATA_CORPUS_H_

@@ -1,0 +1,133 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace erminer {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(const std::string& field, std::string* out) {
+  if (!NeedsQuoting(field)) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Result<StringTable> ParseCsv(std::string_view text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&]() {
+    record.push_back(field);
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (field.empty() && !field_started) {
+          in_quotes = true;
+          field_started = true;
+        } else {
+          field.push_back(c);  // Lenient: quote inside unquoted field.
+        }
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // Tolerate CRLF.
+      case '\n':
+        end_record();
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quoted field");
+  if (field_started || !field.empty() || !record.empty()) end_record();
+
+  if (records.empty()) return Status::InvalidArgument("empty CSV");
+
+  StringTable t;
+  t.schema = Schema::FromNames(records[0]);
+  t.rows.assign(records.begin() + 1, records.end());
+  ERMINER_RETURN_NOT_OK(t.Validate());
+  return t;
+}
+
+Result<StringTable> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParseCsv(ss.str());
+}
+
+std::string ToCsv(const StringTable& table) {
+  std::string out;
+  for (size_t c = 0; c < table.schema.size(); ++c) {
+    if (c > 0) out.push_back(',');
+    AppendField(table.schema.attribute(c).name, &out);
+  }
+  out.push_back('\n');
+  for (const auto& row : table.rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out.push_back(',');
+      AppendField(row[c], &out);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const StringTable& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << ToCsv(table);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace erminer

@@ -1,0 +1,32 @@
+// RFC-4180-ish CSV reading/writing for StringTable.
+//
+// Supports quoted fields with embedded commas, quotes ("" escape) and
+// newlines. The first record is the header; all attributes are read as
+// discrete (callers may re-kind columns afterwards).
+
+#ifndef ERMINER_DATA_CSV_H_
+#define ERMINER_DATA_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "data/table.h"
+#include "util/status.h"
+
+namespace erminer {
+
+/// Parses CSV text into a StringTable. Empty fields become kNullToken.
+Result<StringTable> ParseCsv(std::string_view text);
+
+/// Reads and parses a CSV file.
+Result<StringTable> ReadCsvFile(const std::string& path);
+
+/// Serializes with quoting where needed. Includes the header record.
+std::string ToCsv(const StringTable& table);
+
+/// Writes CSV to a file.
+Status WriteCsvFile(const StringTable& table, const std::string& path);
+
+}  // namespace erminer
+
+#endif  // ERMINER_DATA_CSV_H_

@@ -1,0 +1,21 @@
+#include "data/domain.h"
+
+namespace erminer {
+
+ValueCode Domain::GetOrAdd(std::string_view value) {
+  if (value.empty()) return kNullCode;
+  auto it = index_.find(std::string(value));
+  if (it != index_.end()) return it->second;
+  ValueCode code = static_cast<ValueCode>(values_.size());
+  values_.emplace_back(value);
+  index_.emplace(values_.back(), code);
+  return code;
+}
+
+ValueCode Domain::Lookup(std::string_view value) const {
+  if (value.empty()) return kNullCode;
+  auto it = index_.find(std::string(value));
+  return it == index_.end() ? kNullCode : it->second;
+}
+
+}  // namespace erminer

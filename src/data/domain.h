@@ -1,0 +1,52 @@
+// Domain: a bidirectional string <-> ValueCode dictionary for one attribute
+// (possibly shared by several matched attributes across tables).
+
+#ifndef ERMINER_DATA_DOMAIN_H_
+#define ERMINER_DATA_DOMAIN_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "data/value.h"
+#include "util/status.h"
+
+namespace erminer {
+
+class Domain {
+ public:
+  Domain() = default;
+
+  /// Returns the code of `value`, inserting it if absent.
+  /// The empty string (kNullToken) always encodes to kNullCode and is never
+  /// inserted.
+  ValueCode GetOrAdd(std::string_view value);
+
+  /// Returns the code of `value`, or kNullCode if absent (or null token).
+  ValueCode Lookup(std::string_view value) const;
+
+  /// The string for a code. Requires 0 <= code < size().
+  const std::string& value(ValueCode code) const {
+    ERMINER_CHECK(code >= 0 && static_cast<size_t>(code) < values_.size());
+    return values_[static_cast<size_t>(code)];
+  }
+
+  /// The string for a code, mapping kNullCode to kNullToken.
+  std::string ValueOrNull(ValueCode code) const {
+    return code == kNullCode ? std::string(kNullToken) : value(code);
+  }
+
+  size_t size() const { return values_.size(); }
+
+  /// All values, in code order.
+  const std::vector<std::string>& values() const { return values_; }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, ValueCode> index_;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_DATA_DOMAIN_H_

@@ -1,0 +1,75 @@
+#include "data/instance_match.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace erminer {
+
+namespace {
+
+std::vector<std::unordered_set<std::string>> ColumnValueSets(
+    const StringTable& table, size_t cap) {
+  std::vector<std::unordered_set<std::string>> sets(table.num_cols());
+  for (const auto& row : table.rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].empty()) continue;
+      if (sets[c].size() >= cap) continue;
+      sets[c].insert(row[c]);
+    }
+  }
+  return sets;
+}
+
+}  // namespace
+
+std::vector<MatchCandidate> ScoreMatches(const StringTable& input,
+                                         const StringTable& master,
+                                         const InstanceMatchOptions& opts) {
+  auto in_sets = ColumnValueSets(input, opts.max_values_per_column);
+  auto ms_sets = ColumnValueSets(master, opts.max_values_per_column);
+  std::vector<MatchCandidate> out;
+  for (size_t a = 0; a < in_sets.size(); ++a) {
+    if (in_sets[a].empty()) continue;
+    for (size_t am = 0; am < ms_sets.size(); ++am) {
+      if (ms_sets[am].empty()) continue;
+      // Iterate over the smaller set for the intersection.
+      const auto& small =
+          in_sets[a].size() <= ms_sets[am].size() ? in_sets[a] : ms_sets[am];
+      const auto& large =
+          in_sets[a].size() <= ms_sets[am].size() ? ms_sets[am] : in_sets[a];
+      size_t inter = 0;
+      for (const auto& v : small) inter += large.count(v);
+      double score =
+          static_cast<double>(inter) / static_cast<double>(small.size());
+      if (score >= opts.min_score) {
+        out.push_back({static_cast<int>(a), static_cast<int>(am), score});
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const MatchCandidate& x, const MatchCandidate& y) {
+                     return x.score > y.score;
+                   });
+  return out;
+}
+
+SchemaMatch MatchByValues(const StringTable& input, const StringTable& master,
+                          const InstanceMatchOptions& opts) {
+  SchemaMatch match(input.num_cols());
+  std::vector<bool> in_used(input.num_cols(), false);
+  std::vector<bool> ms_used(master.num_cols(), false);
+  for (const MatchCandidate& cand : ScoreMatches(input, master, opts)) {
+    if (opts.one_to_one) {
+      if (in_used[static_cast<size_t>(cand.input_col)] ||
+          ms_used[static_cast<size_t>(cand.master_col)]) {
+        continue;
+      }
+      in_used[static_cast<size_t>(cand.input_col)] = true;
+      ms_used[static_cast<size_t>(cand.master_col)] = true;
+    }
+    match.AddPair(cand.input_col, cand.master_col);
+  }
+  return match;
+}
+
+}  // namespace erminer

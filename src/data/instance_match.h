@@ -1,0 +1,51 @@
+// Instance-based schema matching.
+//
+// Sec. II-C assumes the match M between R and R_m is given by an external
+// schema-matching step [28, 33]. Name equality (SchemaMatch::ByName) covers
+// curated schemas; this module provides the instance-based alternative —
+// matching columns by the overlap of their VALUE sets — which works when
+// column names differ across sources (e.g. "ZIP" vs "Postcode").
+
+#ifndef ERMINER_DATA_INSTANCE_MATCH_H_
+#define ERMINER_DATA_INSTANCE_MATCH_H_
+
+#include <vector>
+
+#include "data/schema_match.h"
+#include "data/table.h"
+
+namespace erminer {
+
+struct InstanceMatchOptions {
+  /// Minimum containment score for a pair to be matched. The score of
+  /// (A, A_m) is |values(A) ∩ values(A_m)| / min(|values(A)|, |values(A_m)|)
+  /// — containment rather than Jaccard, because the input's dirty values
+  /// inflate its value set.
+  double min_score = 0.5;
+  /// Cap on distinct values sampled per column (largest-frequency first
+  /// would need counts; we simply take the first N distinct seen).
+  size_t max_values_per_column = 10000;
+  /// Greedy one-to-one assignment (best score first). If false, every pair
+  /// above the threshold is kept (M(A) may then have several elements).
+  bool one_to_one = true;
+};
+
+/// Score matrix entry, exposed for diagnostics and tests.
+struct MatchCandidate {
+  int input_col;
+  int master_col;
+  double score;
+};
+
+/// All candidate pairs with score >= min_score, best first.
+std::vector<MatchCandidate> ScoreMatches(const StringTable& input,
+                                         const StringTable& master,
+                                         const InstanceMatchOptions& opts);
+
+/// Builds the match M from value overlap.
+SchemaMatch MatchByValues(const StringTable& input, const StringTable& master,
+                          const InstanceMatchOptions& opts = {});
+
+}  // namespace erminer
+
+#endif  // ERMINER_DATA_INSTANCE_MATCH_H_

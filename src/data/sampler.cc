@@ -1,0 +1,43 @@
+#include "data/sampler.h"
+
+#include <algorithm>
+
+namespace erminer {
+
+StringTable SampleRows(const StringTable& table, size_t k, Rng* rng) {
+  k = std::min(k, table.num_rows());
+  auto ids = rng->SampleWithoutReplacement(table.num_rows(), k);
+  return table.SelectRows(ids);
+}
+
+std::pair<StringTable, StringTable> SplitRows(const StringTable& table,
+                                              size_t k, Rng* rng) {
+  k = std::min(k, table.num_rows());
+  std::vector<size_t> ids(table.num_rows());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  rng->Shuffle(&ids);
+  std::vector<size_t> first(ids.begin(), ids.begin() + static_cast<long>(k));
+  std::vector<size_t> rest(ids.begin() + static_cast<long>(k), ids.end());
+  return {table.SelectRows(first), table.SelectRows(rest)};
+}
+
+StringTable SampleWithDuplicateRate(const StringTable& master_source,
+                                    const StringTable& other_source,
+                                    size_t n, double d_percent, Rng* rng) {
+  ERMINER_CHECK(master_source.schema.size() == other_source.schema.size());
+  StringTable out;
+  out.schema = master_source.schema;
+  out.rows.reserve(n);
+  const double p = std::clamp(d_percent / 100.0, 0.0, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    const bool from_master =
+        !master_source.rows.empty() &&
+        (other_source.rows.empty() || rng->NextBernoulli(p));
+    const StringTable& src = from_master ? master_source : other_source;
+    size_t r = static_cast<size_t>(rng->NextUint64(src.num_rows()));
+    out.rows.push_back(src.rows[r]);
+  }
+  return out;
+}
+
+}  // namespace erminer

@@ -1,0 +1,29 @@
+// Row sampling helpers used by the dataset split protocols of Sec. V-A1.
+
+#ifndef ERMINER_DATA_SAMPLER_H_
+#define ERMINER_DATA_SAMPLER_H_
+
+#include <utility>
+
+#include "data/table.h"
+#include "util/random.h"
+
+namespace erminer {
+
+/// Uniform sample of `k` distinct rows (k clamped to the table size).
+StringTable SampleRows(const StringTable& table, size_t k, Rng* rng);
+
+/// Disjoint random split into (first k, remaining) after a shuffle.
+std::pair<StringTable, StringTable> SplitRows(const StringTable& table,
+                                              size_t k, Rng* rng);
+
+/// Duplicate-rate sampling (Fig. 7): builds an input of `n` rows of which
+/// ~d_percent% are drawn (with replacement) from `master_source` rows and the
+/// rest from `other_source` rows.
+StringTable SampleWithDuplicateRate(const StringTable& master_source,
+                                    const StringTable& other_source,
+                                    size_t n, double d_percent, Rng* rng);
+
+}  // namespace erminer
+
+#endif  // ERMINER_DATA_SAMPLER_H_

@@ -1,0 +1,33 @@
+#include "data/schema.h"
+
+#include <sstream>
+
+namespace erminer {
+
+Schema Schema::FromNames(const std::vector<std::string>& names) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(names.size());
+  for (const auto& n : names) attrs.push_back({n, AttributeKind::kDiscrete});
+  return Schema(std::move(attrs));
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << attributes_[i].name;
+    if (attributes_[i].kind == AttributeKind::kContinuous) os << ":num";
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace erminer

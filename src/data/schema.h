@@ -1,0 +1,52 @@
+// Relation schema: named attributes with a discrete/continuous kind.
+
+#ifndef ERMINER_DATA_SCHEMA_H_
+#define ERMINER_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace erminer {
+
+enum class AttributeKind {
+  kDiscrete,    // categorical: each distinct string is its own value
+  kContinuous,  // numeric: discretized into N_split ranges before mining
+};
+
+struct Attribute {
+  std::string name;
+  AttributeKind kind = AttributeKind::kDiscrete;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  /// Convenience: all-discrete schema from names.
+  static Schema FromNames(const std::vector<std::string>& names);
+
+  size_t size() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const {
+    ERMINER_CHECK(i < attributes_.size());
+    return attributes_[i];
+  }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute with this name, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  void Add(Attribute attr) { attributes_.push_back(std::move(attr)); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_DATA_SCHEMA_H_

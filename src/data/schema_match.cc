@@ -1,0 +1,49 @@
+#include "data/schema_match.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace erminer {
+
+const std::vector<int> SchemaMatch::kEmpty = {};
+
+void SchemaMatch::AddPair(int a, int a_m) {
+  ERMINER_CHECK(a >= 0 && static_cast<size_t>(a) < input_to_master_.size());
+  ERMINER_CHECK(a_m >= 0);
+  auto& v = input_to_master_[static_cast<size_t>(a)];
+  if (std::find(v.begin(), v.end(), a_m) == v.end()) v.push_back(a_m);
+}
+
+const std::vector<int>& SchemaMatch::Matches(int a) const {
+  if (a < 0 || static_cast<size_t>(a) >= input_to_master_.size()) {
+    return kEmpty;
+  }
+  return input_to_master_[static_cast<size_t>(a)];
+}
+
+size_t SchemaMatch::num_pairs() const {
+  size_t n = 0;
+  for (const auto& v : input_to_master_) n += v.size();
+  return n;
+}
+
+bool SchemaMatch::Contains(int a, int a_m) const {
+  const auto& v = Matches(a);
+  return std::find(v.begin(), v.end(), a_m) != v.end();
+}
+
+SchemaMatch SchemaMatch::ByName(const Schema& input, const Schema& master) {
+  SchemaMatch m(input.size());
+  for (size_t a = 0; a < input.size(); ++a) {
+    const std::string name = ToLower(input.attribute(a).name);
+    for (size_t am = 0; am < master.size(); ++am) {
+      if (ToLower(master.attribute(am).name) == name) {
+        m.AddPair(static_cast<int>(a), static_cast<int>(am));
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace erminer

@@ -1,0 +1,48 @@
+// The schema match M between input schema R and master schema R_m
+// (Sec. II-C). M(A) is the set of master attributes matched to input
+// attribute A; the paper assumes M is given, and we additionally provide a
+// simple name-based auto-matcher.
+
+#ifndef ERMINER_DATA_SCHEMA_MATCH_H_
+#define ERMINER_DATA_SCHEMA_MATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+#include "util/status.h"
+
+namespace erminer {
+
+class SchemaMatch {
+ public:
+  SchemaMatch() = default;
+  explicit SchemaMatch(size_t input_width)
+      : input_to_master_(input_width) {}
+
+  /// Declares that input attribute `a` matches master attribute `a_m`.
+  void AddPair(int a, int a_m);
+
+  /// M(A): master attribute indices matched to input attribute `a`
+  /// (possibly empty).
+  const std::vector<int>& Matches(int a) const;
+
+  size_t input_width() const { return input_to_master_.size(); }
+
+  /// Total number of (A, A_m) pairs, i.e. sum over A of |M(A)|.
+  size_t num_pairs() const;
+
+  /// True if some pair (a, a_m) is declared.
+  bool Contains(int a, int a_m) const;
+
+  /// Name-based matcher: pairs attributes whose lower-cased names are equal.
+  static SchemaMatch ByName(const Schema& input, const Schema& master);
+
+ private:
+  std::vector<std::vector<int>> input_to_master_;
+  static const std::vector<int> kEmpty;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_DATA_SCHEMA_MATCH_H_

@@ -1,0 +1,97 @@
+#include "data/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace erminer {
+
+namespace {
+
+double EntropyOfCounts(const std::unordered_map<ValueCode, size_t>& counts,
+                       size_t total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  const double n = static_cast<double>(total);
+  for (const auto& [v, c] : counts) {
+    double p = static_cast<double>(c) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+ColumnStats ComputeColumnStats(const Table& table, size_t col, size_t top_k) {
+  ColumnStats s;
+  s.name = table.schema().attribute(col).name;
+  s.num_rows = table.num_rows();
+  std::unordered_map<ValueCode, size_t> counts;
+  for (ValueCode v : table.column(col)) {
+    if (v == kNullCode) {
+      ++s.num_nulls;
+    } else {
+      ++counts[v];
+    }
+  }
+  s.num_distinct = counts.size();
+  s.entropy = EntropyOfCounts(counts, s.num_rows - s.num_nulls);
+  std::vector<std::pair<ValueCode, size_t>> sorted(counts.begin(),
+                                                   counts.end());
+  std::sort(sorted.begin(), sorted.end(), [&](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return table.domain(col)->value(a.first) <
+           table.domain(col)->value(b.first);
+  });
+  for (size_t i = 0; i < sorted.size() && i < top_k; ++i) {
+    s.top_values.emplace_back(table.domain(col)->value(sorted[i].first),
+                              sorted[i].second);
+  }
+  return s;
+}
+
+double NormalizedMutualInformation(const Table& table, size_t a, size_t b) {
+  std::unordered_map<ValueCode, size_t> ca, cb;
+  std::unordered_map<std::vector<ValueCode>, size_t, VectorHash> cab;
+  size_t n = 0;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    ValueCode va = table.at(r, a);
+    ValueCode vb = table.at(r, b);
+    if (va == kNullCode || vb == kNullCode) continue;
+    ++n;
+    ++ca[va];
+    ++cb[vb];
+    ++cab[{va, vb}];
+  }
+  if (n == 0) return 0.0;
+  const double dn = static_cast<double>(n);
+  double h_b = EntropyOfCounts(cb, n);
+  if (h_b <= 1e-12) return 1.0;  // constant target is trivially determined
+  double mi = 0.0;
+  for (const auto& [key, c] : cab) {
+    double pxy = static_cast<double>(c) / dn;
+    double px = static_cast<double>(ca[key[0]]) / dn;
+    double py = static_cast<double>(cb[key[1]]) / dn;
+    mi += pxy * std::log2(pxy / (px * py));
+  }
+  double nmi = mi / h_b;
+  return std::clamp(nmi, 0.0, 1.0);
+}
+
+std::vector<DependencySignal> RankDeterminants(const Table& table,
+                                               size_t target) {
+  std::vector<DependencySignal> out;
+  for (size_t c = 0; c < table.num_cols(); ++c) {
+    if (c == target) continue;
+    out.push_back({c, NormalizedMutualInformation(table, c, target)});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const DependencySignal& x, const DependencySignal& y) {
+                     return x.nmi > y.nmi;
+                   });
+  return out;
+}
+
+}  // namespace erminer

@@ -1,0 +1,50 @@
+// Column statistics and dependency diagnostics.
+//
+// Profiles a table: per-column distinct counts, null rates, entropies and
+// top values, plus pairwise normalized mutual information — the signal that
+// tells a user (or a miner heuristic) which attributes plausibly determine
+// the repair target. Surfaced through `erminer profile` in the CLI.
+
+#ifndef ERMINER_DATA_STATS_H_
+#define ERMINER_DATA_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+
+namespace erminer {
+
+struct ColumnStats {
+  std::string name;
+  size_t num_rows = 0;
+  size_t num_nulls = 0;
+  size_t num_distinct = 0;
+  /// Shannon entropy (bits) of the non-null value distribution.
+  double entropy = 0;
+  /// Up to `top_k` most frequent values with their counts.
+  std::vector<std::pair<std::string, size_t>> top_values;
+};
+
+/// Profile of one column. `top_k` limits top_values.
+ColumnStats ComputeColumnStats(const Table& table, size_t col,
+                               size_t top_k = 5);
+
+/// Normalized mutual information I(A;B) / H(B) in [0, 1]: how much knowing
+/// A determines B. 1 means A functionally determines B on the non-null
+/// rows; 0 means independence. Asymmetric on purpose (determination, not
+/// association).
+double NormalizedMutualInformation(const Table& table, size_t a, size_t b);
+
+struct DependencySignal {
+  size_t determinant;  // column index
+  double nmi;          // NMI(determinant -> target)
+};
+
+/// All columns ranked by how strongly they determine `target`.
+std::vector<DependencySignal> RankDeterminants(const Table& table,
+                                               size_t target);
+
+}  // namespace erminer
+
+#endif  // ERMINER_DATA_STATS_H_

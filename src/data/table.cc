@@ -1,0 +1,103 @@
+#include "data/table.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace erminer {
+
+StringTable StringTable::SelectRows(const std::vector<size_t>& ids) const {
+  StringTable out;
+  out.schema = schema;
+  out.rows.reserve(ids.size());
+  for (size_t id : ids) {
+    ERMINER_CHECK(id < rows.size());
+    out.rows.push_back(rows[id]);
+  }
+  return out;
+}
+
+Status StringTable::Validate() const {
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != schema.size()) {
+      std::ostringstream os;
+      os << "row " << r << " has " << rows[r].size() << " cells, schema has "
+         << schema.size();
+      return Status::InvalidArgument(os.str());
+    }
+  }
+  return Status::OK();
+}
+
+Result<Table> Table::Encode(const StringTable& raw,
+                            std::vector<std::shared_ptr<Domain>> domains) {
+  ERMINER_RETURN_NOT_OK(raw.Validate());
+  if (domains.size() != raw.schema.size()) {
+    return Status::InvalidArgument("domains/schema width mismatch");
+  }
+  for (const auto& d : domains) {
+    if (d == nullptr) return Status::InvalidArgument("null domain");
+  }
+  Table t;
+  t.schema_ = raw.schema;
+  t.num_rows_ = raw.num_rows();
+  t.domains_ = std::move(domains);
+  t.columns_.assign(raw.num_cols(), {});
+  for (size_t c = 0; c < raw.num_cols(); ++c) {
+    t.columns_[c].resize(raw.num_rows());
+    Domain* dom = t.domains_[c].get();
+    for (size_t r = 0; r < raw.num_rows(); ++r) {
+      t.columns_[c][r] = dom->GetOrAdd(raw.rows[r][c]);
+    }
+  }
+  return t;
+}
+
+Result<Table> Table::EncodeFresh(const StringTable& raw) {
+  std::vector<std::shared_ptr<Domain>> domains;
+  domains.reserve(raw.num_cols());
+  for (size_t c = 0; c < raw.num_cols(); ++c) {
+    domains.push_back(std::make_shared<Domain>());
+  }
+  return Encode(raw, std::move(domains));
+}
+
+StringTable Table::Decode() const {
+  StringTable out;
+  out.schema = schema_;
+  out.rows.assign(num_rows_, std::vector<std::string>(num_cols()));
+  for (size_t c = 0; c < num_cols(); ++c) {
+    for (size_t r = 0; r < num_rows_; ++r) {
+      out.rows[r][c] = domains_[c]->ValueOrNull(columns_[c][r]);
+    }
+  }
+  return out;
+}
+
+Table Table::Head(size_t n) const {
+  Table t;
+  t.schema_ = schema_;
+  t.num_rows_ = std::min(n, num_rows_);
+  t.domains_ = domains_;
+  t.columns_.reserve(columns_.size());
+  for (const auto& col : columns_) {
+    t.columns_.emplace_back(col.begin(),
+                            col.begin() + static_cast<long>(t.num_rows_));
+  }
+  return t;
+}
+
+size_t Table::DistinctCount(size_t col) const {
+  std::unordered_set<ValueCode> seen;
+  for (ValueCode v : column(col)) {
+    if (v != kNullCode) seen.insert(v);
+  }
+  return seen.size();
+}
+
+size_t Table::NullCount(size_t col) const {
+  size_t n = 0;
+  for (ValueCode v : column(col)) n += (v == kNullCode);
+  return n;
+}
+
+}  // namespace erminer

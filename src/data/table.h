@@ -1,0 +1,99 @@
+// StringTable: raw row-major relation of strings (the datagen/CSV boundary).
+// Table: column-major dictionary-encoded relation used by all miners.
+
+#ifndef ERMINER_DATA_TABLE_H_
+#define ERMINER_DATA_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/domain.h"
+#include "data/schema.h"
+#include "data/value.h"
+#include "util/status.h"
+
+namespace erminer {
+
+/// A raw relation: schema + row-major string cells. Missing values are the
+/// empty string (kNullToken).
+struct StringTable {
+  Schema schema;
+  std::vector<std::vector<std::string>> rows;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_cols() const { return schema.size(); }
+
+  /// Returns a copy restricted to the given row ids (in order).
+  StringTable SelectRows(const std::vector<size_t>& ids) const;
+
+  /// Validates that every row has schema.size() cells.
+  Status Validate() const;
+};
+
+/// A dictionary-encoded, column-major relation. Each column references a
+/// Domain that may be shared with columns of other tables (see Corpus).
+class Table {
+ public:
+  Table() = default;
+
+  /// Encodes `raw` with the given per-column domains (adding new values).
+  /// `domains.size()` must equal the schema width.
+  static Result<Table> Encode(const StringTable& raw,
+                              std::vector<std::shared_ptr<Domain>> domains);
+
+  /// Encodes with fresh private domains.
+  static Result<Table> EncodeFresh(const StringTable& raw);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_cols() const { return columns_.size(); }
+
+  ValueCode at(size_t row, size_t col) const {
+    ERMINER_CHECK(col < columns_.size() && row < num_rows_);
+    return columns_[col][row];
+  }
+  void set(size_t row, size_t col, ValueCode code) {
+    ERMINER_CHECK(col < columns_.size() && row < num_rows_);
+    columns_[col][row] = code;
+  }
+
+  const std::vector<ValueCode>& column(size_t col) const {
+    ERMINER_CHECK(col < columns_.size());
+    return columns_[col];
+  }
+
+  const std::shared_ptr<Domain>& domain(size_t col) const {
+    ERMINER_CHECK(col < domains_.size());
+    return domains_[col];
+  }
+
+  /// Decodes a single cell back to its string (kNullToken for nulls).
+  std::string CellString(size_t row, size_t col) const {
+    return domains_[col]->ValueOrNull(at(row, col));
+  }
+
+  /// Full decode, mostly for tests and debugging.
+  StringTable Decode() const;
+
+  /// Prefix copy with the first `n` rows, sharing this table's domains.
+  /// Used for incremental-discovery experiments where dictionaries (and so
+  /// all ValueCodes) must stay stable while data grows.
+  Table Head(size_t n) const;
+
+  /// Number of distinct non-null codes appearing in a column.
+  size_t DistinctCount(size_t col) const;
+
+  /// Count of nulls in a column.
+  size_t NullCount(size_t col) const;
+
+ private:
+  Schema schema_;
+  size_t num_rows_ = 0;
+  std::vector<std::vector<ValueCode>> columns_;
+  std::vector<std::shared_ptr<Domain>> domains_;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_DATA_TABLE_H_

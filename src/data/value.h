@@ -1,0 +1,26 @@
+// Cell value representation.
+//
+// Every cell in an encoded Table is a ValueCode: an index into the column's
+// Domain dictionary, or kNullCode for a missing value. Matched input/master
+// columns share one Domain (see data/corpus.h), so cross-table equality of
+// cell values is plain integer equality.
+
+#ifndef ERMINER_DATA_VALUE_H_
+#define ERMINER_DATA_VALUE_H_
+
+#include <cstdint>
+
+namespace erminer {
+
+using ValueCode = int32_t;
+
+/// Code reserved for missing values (NULL). Never present in a Domain.
+inline constexpr ValueCode kNullCode = -1;
+
+/// The canonical external spelling of a missing value. CSV readers and the
+/// error injector produce it; encoders map it to kNullCode.
+inline constexpr const char* kNullToken = "";
+
+}  // namespace erminer
+
+#endif  // ERMINER_DATA_VALUE_H_

@@ -1,0 +1,130 @@
+#include "datagen/entity_pool.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/hash.h"
+
+namespace erminer {
+
+size_t EntityPool::FunctionalMap(uint64_t salt, size_t attr,
+                                 const std::vector<size_t>& parent_values,
+                                 size_t domain_size, bool alternative) {
+  uint64_t h = salt ^ (alternative ? 0xA17E12BADF00DULL : 0x0ULL);
+  HashCombine(&h, attr + 0x1234);
+  for (size_t v : parent_values) HashCombine(&h, v + 1);
+  return static_cast<size_t>(h % domain_size);
+}
+
+Result<EntityPool> EntityPool::Generate(const DatasetSpec& spec, size_t n,
+                                        Rng* rng) {
+  ERMINER_RETURN_NOT_OK(spec.Validate());
+  EntityPool pool;
+  pool.spec_ = spec;
+  pool.rows_.assign(n, std::vector<size_t>(spec.attributes.size(), 0));
+  pool.numeric_.assign(n, std::vector<double>(spec.attributes.size(), 0.0));
+
+  std::vector<size_t> parent_vals;
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t a = 0; a < spec.attributes.size(); ++a) {
+      const AttributeSpec& as = spec.attributes[a];
+      size_t idx;
+      if (as.parents.empty()) {
+        idx = rng->NextZipf(as.domain_size, as.zipf);
+      } else {
+        parent_vals.clear();
+        for (int p : as.parents) {
+          parent_vals.push_back(pool.rows_[r][static_cast<size_t>(p)]);
+        }
+        bool gated_out = false;
+        if (as.gate_attr >= 0) {
+          size_t gv = pool.rows_[r][static_cast<size_t>(as.gate_attr)];
+          gated_out = std::find(as.gate_values.begin(), as.gate_values.end(),
+                                gv) == as.gate_values.end();
+        }
+        if (rng->NextBernoulli(as.strength)) {
+          idx = FunctionalMap(spec.salt, a, parent_vals, as.domain_size,
+                              /*alternative=*/gated_out);
+        } else {
+          idx = rng->NextZipf(as.domain_size, as.zipf);
+        }
+      }
+      pool.rows_[r][a] = idx;
+      if (as.kind == AttributeKind::kContinuous) {
+        // Map the index to a jittered point inside its sub-range so the raw
+        // numbers look continuous while preserving the dependency structure.
+        double step = (as.numeric_hi - as.numeric_lo) /
+                      static_cast<double>(as.domain_size);
+        pool.numeric_[r][a] = as.numeric_lo +
+                              (static_cast<double>(idx) + rng->NextDouble()) *
+                                  step;
+      }
+    }
+  }
+  return pool;
+}
+
+std::string EntityPool::ValueString(size_t row, size_t attr) const {
+  const AttributeSpec& as = spec_.attributes[attr];
+  if (as.kind == AttributeKind::kContinuous) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.2f", numeric_[row][attr]);
+    return buf;
+  }
+  return as.prefix + std::to_string(rows_[row][attr]);
+}
+
+StringTable EntityPool::Project(const std::vector<std::string>& columns,
+                                const std::vector<size_t>& row_ids) const {
+  StringTable out;
+  std::vector<Attribute> attrs;
+  std::vector<size_t> col_idx;
+  for (const auto& name : columns) {
+    int i = spec_.AttrIndex(name);
+    ERMINER_CHECK(i >= 0);
+    col_idx.push_back(static_cast<size_t>(i));
+    attrs.push_back({name, spec_.attributes[static_cast<size_t>(i)].kind});
+  }
+  out.schema = Schema(std::move(attrs));
+  out.rows.reserve(row_ids.size());
+  for (size_t r : row_ids) {
+    std::vector<std::string> row;
+    row.reserve(col_idx.size());
+    for (size_t c : col_idx) row.push_back(ValueString(r, c));
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<size_t> EntityPool::MasterEligible() const {
+  std::vector<size_t> ids;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (spec_.master_filter_attr < 0) {
+      ids.push_back(r);
+      continue;
+    }
+    size_t v = rows_[r][static_cast<size_t>(spec_.master_filter_attr)];
+    if (std::find(spec_.master_filter_values.begin(),
+                  spec_.master_filter_values.end(),
+                  v) != spec_.master_filter_values.end()) {
+      ids.push_back(r);
+    }
+  }
+  return ids;
+}
+
+std::vector<size_t> EntityPool::MasterIneligible() const {
+  if (spec_.master_filter_attr < 0) return {};
+  std::vector<size_t> ids;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    size_t v = rows_[r][static_cast<size_t>(spec_.master_filter_attr)];
+    if (std::find(spec_.master_filter_values.begin(),
+                  spec_.master_filter_values.end(),
+                  v) == spec_.master_filter_values.end()) {
+      ids.push_back(r);
+    }
+  }
+  return ids;
+}
+
+}  // namespace erminer

@@ -1,0 +1,57 @@
+// Latent clean entity generation from a DatasetSpec.
+
+#ifndef ERMINER_DATAGEN_ENTITY_POOL_H_
+#define ERMINER_DATAGEN_ENTITY_POOL_H_
+
+#include <vector>
+
+#include "data/table.h"
+#include "datagen/spec.h"
+#include "util/random.h"
+
+namespace erminer {
+
+/// A pool of clean entities over the FULL conceptual schema of a spec.
+/// Value cells are stored as value indices; projections render strings.
+class EntityPool {
+ public:
+  /// Generates `n` clean entities. Deterministic given (spec.salt, rng seed).
+  static Result<EntityPool> Generate(const DatasetSpec& spec, size_t n,
+                                     Rng* rng);
+
+  size_t size() const { return rows_.size(); }
+  const DatasetSpec& spec() const { return spec_; }
+
+  /// Value index of entity `row` on attribute `attr`.
+  size_t value_index(size_t row, size_t attr) const {
+    return rows_[row][attr];
+  }
+
+  /// Renders the value string of entity `row` on attribute `attr`.
+  std::string ValueString(size_t row, size_t attr) const;
+
+  /// Projects entities onto the named columns as a StringTable.
+  StringTable Project(const std::vector<std::string>& columns,
+                      const std::vector<size_t>& row_ids) const;
+
+  /// Row ids passing the spec's master filter (all rows if no filter).
+  std::vector<size_t> MasterEligible() const;
+
+  /// Row ids NOT passing the master filter (empty if no filter).
+  std::vector<size_t> MasterIneligible() const;
+
+  /// The deterministic primary functional mapping for attribute `attr`
+  /// given parent value indices. Exposed for tests.
+  static size_t FunctionalMap(uint64_t salt, size_t attr,
+                              const std::vector<size_t>& parent_values,
+                              size_t domain_size, bool alternative);
+
+ private:
+  DatasetSpec spec_;
+  std::vector<std::vector<size_t>> rows_;        // discrete value indices
+  std::vector<std::vector<double>> numeric_;     // continuous raw values
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_DATAGEN_ENTITY_POOL_H_

@@ -1,0 +1,84 @@
+#include "datagen/error_injector.h"
+
+#include <algorithm>
+
+namespace erminer {
+
+std::string MakeTypo(const std::string& value, Rng* rng) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789";
+  constexpr size_t kAlphabetSize = sizeof(kAlphabet) - 1;
+  std::string out = value;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    out = value;
+    int op = out.empty() ? 1 : static_cast<int>(rng->NextUint64(3));
+    switch (op) {
+      case 0: {  // substitute
+        size_t pos = static_cast<size_t>(rng->NextUint64(out.size()));
+        out[pos] = kAlphabet[rng->NextUint64(kAlphabetSize)];
+        break;
+      }
+      case 1: {  // insert
+        size_t pos = static_cast<size_t>(rng->NextUint64(out.size() + 1));
+        out.insert(out.begin() + static_cast<long>(pos),
+                   kAlphabet[rng->NextUint64(kAlphabetSize)]);
+        break;
+      }
+      default: {  // delete
+        size_t pos = static_cast<size_t>(rng->NextUint64(out.size()));
+        out.erase(out.begin() + static_cast<long>(pos));
+        break;
+      }
+    }
+    if (out != value && !out.empty()) return out;
+  }
+  return value + "~";  // guaranteed different, non-empty
+}
+
+InjectionReport InjectErrors(StringTable* table,
+                             const ErrorInjectorOptions& opts, Rng* rng) {
+  InjectionReport report;
+  const size_t cols = table->num_cols();
+  const size_t rows = table->num_rows();
+  report.dirty.assign(cols, std::vector<bool>(rows, false));
+  const std::vector<double> weights = {opts.w_missing, opts.w_typo,
+                                       opts.w_swap};
+  for (size_t c = 0; c < cols; ++c) {
+    if (opts.only_column >= 0 && c != static_cast<size_t>(opts.only_column)) {
+      continue;
+    }
+    for (size_t r = 0; r < rows; ++r) {
+      if (!rng->NextBernoulli(opts.noise_rate)) continue;
+      std::string& cell = table->rows[r][c];
+      switch (rng->NextWeighted(weights)) {
+        case 0:
+          cell.clear();
+          break;
+        case 1:
+          cell = MakeTypo(cell, rng);
+          break;
+        default: {
+          // Swap with a value from a different row of the same column;
+          // falls back to a typo when the column is (near-)constant.
+          bool swapped = false;
+          for (int attempt = 0; attempt < 8 && rows > 1; ++attempt) {
+            size_t other = static_cast<size_t>(rng->NextUint64(rows));
+            if (table->rows[other][c] != cell &&
+                !table->rows[other][c].empty()) {
+              cell = table->rows[other][c];
+              swapped = true;
+              break;
+            }
+          }
+          if (!swapped) cell = MakeTypo(cell, rng);
+          break;
+        }
+      }
+      report.dirty[c][r] = true;
+      ++report.num_errors;
+    }
+  }
+  return report;
+}
+
+}  // namespace erminer

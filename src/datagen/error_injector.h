@@ -1,0 +1,52 @@
+// BART-style cell error injection (Sec. V-A1, ref [10]) with ground-truth
+// bookkeeping.
+//
+// Three error classes over a clean StringTable:
+//   missing  — cell becomes NULL (empty string)
+//   typo     — one random character edit (substitute/insert/delete)
+//   swap     — cell replaced by a different value observed in its column
+
+#ifndef ERMINER_DATAGEN_ERROR_INJECTOR_H_
+#define ERMINER_DATAGEN_ERROR_INJECTOR_H_
+
+#include <vector>
+
+#include "data/table.h"
+#include "util/random.h"
+
+namespace erminer {
+
+struct ErrorInjectorOptions {
+  /// Per-cell perturbation probability.
+  double noise_rate = 0.1;
+  /// Relative mix of the three error classes (normalized internally).
+  double w_missing = 0.4;
+  double w_typo = 0.3;
+  double w_swap = 0.3;
+  /// If non-negative, only this column is perturbed.
+  int only_column = -1;
+};
+
+struct InjectionReport {
+  size_t num_errors = 0;
+  /// dirty[c][r]: was cell (r, c) perturbed?
+  std::vector<std::vector<bool>> dirty;
+
+  size_t ColumnErrorCount(size_t col) const {
+    size_t n = 0;
+    for (bool b : dirty[col]) n += b;
+    return n;
+  }
+};
+
+/// Perturbs `table` in place; returns the report. Deterministic given rng.
+InjectionReport InjectErrors(StringTable* table,
+                             const ErrorInjectorOptions& opts, Rng* rng);
+
+/// One random character edit of `value` (never returns `value` itself;
+/// an empty input gains a character).
+std::string MakeTypo(const std::string& value, Rng* rng);
+
+}  // namespace erminer
+
+#endif  // ERMINER_DATAGEN_ERROR_INJECTOR_H_

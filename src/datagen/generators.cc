@@ -1,0 +1,347 @@
+#include "datagen/generators.h"
+
+#include <algorithm>
+
+#include "datagen/entity_pool.h"
+
+namespace erminer {
+
+std::vector<std::string> GeneratedDataset::YTruth() const {
+  std::vector<std::string> out;
+  out.reserve(clean_input.num_rows());
+  for (const auto& row : clean_input.rows) {
+    out.push_back(row[static_cast<size_t>(y_input)]);
+  }
+  return out;
+}
+
+std::vector<bool> GeneratedDataset::YDirty() const {
+  std::vector<bool> out(input.num_rows(), false);
+  if (injection.dirty.empty()) return out;
+  const auto& col = injection.dirty[static_cast<size_t>(y_input)];
+  for (size_t r = 0; r < out.size(); ++r) out[r] = col[r];
+  return out;
+}
+
+GeneratedDataset GeneratedDataset::HeadRows(size_t n_input,
+                                            size_t n_master) const {
+  GeneratedDataset out = *this;
+  n_input = std::min(n_input, input.num_rows());
+  n_master = std::min(n_master, master.num_rows());
+  out.input.rows.resize(n_input);
+  out.clean_input.rows.resize(n_input);
+  out.master.rows.resize(n_master);
+  for (auto& col : out.injection.dirty) col.resize(n_input);
+  out.injection.num_errors = 0;
+  for (const auto& col : out.injection.dirty) {
+    for (bool b : col) out.injection.num_errors += b;
+  }
+  return out;
+}
+
+DatasetSpec AdultSpec() {
+  DatasetSpec s;
+  s.name = "Adult";
+  s.salt = 0xAD017;
+  auto add = [&](AttributeSpec a) {
+    s.attributes.push_back(std::move(a));
+    return static_cast<int>(s.attributes.size() - 1);
+  };
+  int workclass = add({.name = "workclass", .domain_size = 9, .zipf = 0.8,
+                       .prefix = "wc"});
+  int education = add({.name = "education", .domain_size = 16, .zipf = 0.6,
+                       .prefix = "edu"});
+  add({.name = "education_num",
+       .domain_size = 16,
+       .prefix = "en",
+       .parents = {education},
+       .strength = 1.0});
+  int marital = add({.name = "marital_status", .domain_size = 7, .zipf = 0.6,
+                     .prefix = "ms"});
+  int occupation = add({.name = "occupation",
+                        .domain_size = 15,
+                        .zipf = 0.4,
+                        .prefix = "occ",
+                        .parents = {education},
+                        .strength = 0.6});
+  add({.name = "relationship",
+       .domain_size = 6,
+       .prefix = "rel",
+       .parents = {marital},
+       .strength = 0.8});
+  add({.name = "race", .domain_size = 5, .zipf = 1.2, .prefix = "race"});
+  add({.name = "sex", .domain_size = 2, .zipf = 0.2, .prefix = "sex"});
+  add({.name = "age",
+       .kind = AttributeKind::kContinuous,
+       .domain_size = 10,
+       .zipf = 0.3,
+       .numeric_lo = 17,
+       .numeric_hi = 90});
+  add({.name = "hours",
+       .kind = AttributeKind::kContinuous,
+       .domain_size = 8,
+       .zipf = 0.5,
+       .numeric_lo = 1,
+       .numeric_hi = 99});
+  add({.name = "native_country", .domain_size = 40, .zipf = 1.6,
+       .prefix = "nc"});
+  add({.name = "income",
+       .domain_size = 2,
+       .prefix = "inc",
+       .parents = {education, occupation, marital},
+       .strength = 0.92,
+       .gate_attr = workclass,
+       .gate_values = {0, 1, 2}});
+  s.input_columns = {"age",          "workclass",    "education",
+                     "marital_status", "occupation", "relationship",
+                     "race",         "sex",          "native_country",
+                     "income"};
+  s.master_columns = {"workclass",  "education",    "education_num",
+                      "marital_status", "occupation", "relationship",
+                      "sex",        "hours",        "income"};
+  s.y_name = "income";
+  s.default_input_size = 40000;
+  s.default_master_size = 5000;
+  s.default_support_threshold = 1000;
+  ERMINER_CHECK_OK(s.Validate());
+  return s;
+}
+
+DatasetSpec CovidSpec() {
+  DatasetSpec s;
+  s.name = "Covid";
+  s.salt = 0xC071D;
+  auto add = [&](AttributeSpec a) {
+    s.attributes.push_back(std::move(a));
+    return static_cast<int>(s.attributes.size() - 1);
+  };
+  int city = add({.name = "city", .domain_size = 40, .zipf = 0.7,
+                  .prefix = "city"});
+  add({.name = "province",
+       .domain_size = 12,
+       .prefix = "prov",
+       .parents = {city},
+       .strength = 1.0});
+  int date = add({.name = "confirmed_date", .domain_size = 12, .zipf = 0.3,
+                  .prefix = "2021-"});
+  add({.name = "sex", .domain_size = 2, .zipf = 0.1, .prefix = "sex"});
+  add({.name = "age_group", .domain_size = 9, .zipf = 0.3, .prefix = "age"});
+  int overseas = add({.name = "overseas", .domain_size = 2, .zipf = 2.2,
+                      .prefix = "ovs"});  // ~0.82 "ovs0" (No)
+  add({.name = "infection_case",
+       .domain_size = 8,
+       .zipf = 0.4,
+       .prefix = "case",
+       .parents = {city, date},
+       .strength = 0.93,
+       .gate_attr = overseas,
+       .gate_values = {0}});
+  add({.name = "state", .domain_size = 3, .zipf = 1.0, .prefix = "st"});
+  add({.name = "patient_id", .domain_size = 100000, .zipf = 0.0,
+       .prefix = "p"});
+  s.input_columns = {"patient_id", "city",     "confirmed_date", "sex",
+                     "age_group",  "overseas", "infection_case"};
+  s.master_columns = {"patient_id", "city",      "province",
+                      "confirmed_date", "sex",   "age_group",
+                      "infection_case", "state"};
+  s.y_name = "infection_case";
+  // Master records only domestically infected patients (Example 1).
+  s.master_filter_attr = overseas;
+  s.master_filter_values = {0};
+  s.default_input_size = 2500;
+  s.default_master_size = 1824;
+  s.default_support_threshold = 100;
+  ERMINER_CHECK_OK(s.Validate());
+  return s;
+}
+
+DatasetSpec NurserySpec() {
+  DatasetSpec s;
+  s.name = "Nursery";
+  s.salt = 0x9085;
+  auto add = [&](AttributeSpec a) {
+    s.attributes.push_back(std::move(a));
+    return static_cast<int>(s.attributes.size() - 1);
+  };
+  int parents = add({.name = "parents", .domain_size = 3, .zipf = 0.2,
+                     .prefix = "par"});
+  int has_nurs = add({.name = "has_nurs", .domain_size = 5, .zipf = 0.2,
+                      .prefix = "nur"});
+  add({.name = "form", .domain_size = 4, .zipf = 0.2, .prefix = "form"});
+  add({.name = "children", .domain_size = 4, .zipf = 0.4, .prefix = "ch"});
+  int housing = add({.name = "housing", .domain_size = 3, .zipf = 0.3,
+                     .prefix = "hou"});
+  int social = add({.name = "social", .domain_size = 3, .zipf = 0.2,
+                    .prefix = "soc"});
+  int health = add({.name = "health", .domain_size = 3, .zipf = 0.3,
+                    .prefix = "hea"});
+  add({.name = "class",
+       .domain_size = 5,
+       .prefix = "cls",
+       .parents = {parents, has_nurs, health},
+       .strength = 0.95});
+  add({.name = "finance",
+       .domain_size = 2,
+       .prefix = "fin",
+       .parents = {housing, social},
+       .strength = 0.9,
+       .gate_attr = health,
+       .gate_values = {0, 1}});
+  s.input_columns = {"parents", "has_nurs", "form",   "children", "housing",
+                     "finance", "social",   "health", "class"};
+  s.master_columns = s.input_columns;
+  s.y_name = "finance";
+  s.default_input_size = 10000;
+  s.default_master_size = 2980;
+  s.default_support_threshold = 1000;
+  ERMINER_CHECK_OK(s.Validate());
+  return s;
+}
+
+DatasetSpec LocationSpec() {
+  DatasetSpec s;
+  s.name = "Location";
+  s.salt = 0x10CA7;
+  auto add = [&](AttributeSpec a) {
+    s.attributes.push_back(std::move(a));
+    return static_cast<int>(s.attributes.size() - 1);
+  };
+  int city = add({.name = "city", .domain_size = 150, .zipf = 0.7,
+                  .prefix = "city"});
+  int county = add({.name = "county",
+                    .domain_size = 60,
+                    .prefix = "cty",
+                    .parents = {city},
+                    .strength = 1.0});
+  add({.name = "state",
+       .domain_size = 20,
+       .prefix = "st",
+       .parents = {county},
+       .strength = 1.0});
+  int area_code = add({.name = "area_code",
+                       .domain_size = 50,
+                       .prefix = "ac",
+                       .parents = {county},
+                       .strength = 0.98});
+  add({.name = "name", .domain_size = 2000, .zipf = 0.1, .prefix = "store"});
+  add({.name = "brand", .domain_size = 3, .zipf = 0.8, .prefix = "br"});
+  add({.name = "store_number", .domain_size = 2500, .zipf = 0.0,
+       .prefix = "sn"});
+  add({.name = "phone", .domain_size = 2500, .zipf = 0.0, .prefix = "ph"});
+  add({.name = "street", .domain_size = 800, .zipf = 0.2, .prefix = "strt"});
+  add({.name = "postcode",
+       .domain_size = 300,
+       .prefix = "pc",
+       .parents = {county, area_code},
+       .strength = 0.97});
+  s.input_columns = {"name",  "brand",     "store_number",
+                     "phone", "city",      "state",
+                     "street", "area_code", "postcode"};
+  s.master_columns = {"city", "county", "state", "area_code", "postcode"};
+  s.y_name = "postcode";
+  s.default_input_size = 2559;
+  s.default_master_size = 3430;
+  s.default_support_threshold = 50;
+  ERMINER_CHECK_OK(s.Validate());
+  return s;
+}
+
+Result<GeneratedDataset> GenerateDataset(const DatasetSpec& spec,
+                                         const GenOptions& opts) {
+  const size_t input_size =
+      opts.input_size > 0 ? opts.input_size : spec.default_input_size;
+  const size_t master_size =
+      opts.master_size > 0 ? opts.master_size : spec.default_master_size;
+  Rng rng(opts.seed ^ spec.salt);
+
+  // Oversized pool so the master filter still leaves enough eligible rows.
+  const size_t pool_size = (input_size + master_size) * 2 + 64;
+  ERMINER_ASSIGN_OR_RETURN(EntityPool pool,
+                           EntityPool::Generate(spec, pool_size, &rng));
+
+  std::vector<size_t> eligible = pool.MasterEligible();
+  if (eligible.size() < master_size) {
+    return Status::FailedPrecondition(
+        "master filter too restrictive for requested master size");
+  }
+  rng.Shuffle(&eligible);
+  std::vector<size_t> master_ids(eligible.begin(),
+                                 eligible.begin() +
+                                     static_cast<long>(master_size));
+
+  // Entities not used as master records.
+  std::vector<bool> in_master(pool.size(), false);
+  for (size_t id : master_ids) in_master[id] = true;
+  std::vector<size_t> others;
+  others.reserve(pool.size() - master_ids.size());
+  for (size_t r = 0; r < pool.size(); ++r) {
+    if (!in_master[r]) others.push_back(r);
+  }
+
+  std::vector<size_t> input_ids;
+  input_ids.reserve(input_size);
+  if (opts.duplicate_percent < 0) {
+    // Default protocol: input sampled from the pool, disjoint from master
+    // rows (the same entity distribution; overlap of value combinations
+    // arises naturally).
+    ERMINER_CHECK(others.size() >= input_size);
+    rng.Shuffle(&others);
+    input_ids.assign(others.begin(),
+                     others.begin() + static_cast<long>(input_size));
+  } else {
+    const double p = std::clamp(opts.duplicate_percent / 100.0, 0.0, 1.0);
+    for (size_t i = 0; i < input_size; ++i) {
+      if (rng.NextBernoulli(p)) {
+        input_ids.push_back(
+            master_ids[rng.NextUint64(master_ids.size())]);
+      } else {
+        input_ids.push_back(others[rng.NextUint64(others.size())]);
+      }
+    }
+  }
+
+  GeneratedDataset ds;
+  ds.name = spec.name;
+  ds.master = pool.Project(spec.master_columns, master_ids);
+  ds.clean_input = pool.Project(spec.input_columns, input_ids);
+  ds.input = ds.clean_input;
+  ErrorInjectorOptions einj;
+  einj.noise_rate = opts.noise_rate;
+  ds.injection = InjectErrors(&ds.input, einj, &rng);
+  ds.match = SchemaMatch::ByName(ds.input.schema, ds.master.schema);
+  ds.y_input = ds.input.schema.IndexOf(spec.y_name);
+  ds.y_master = ds.master.schema.IndexOf(spec.y_name);
+  ds.support_threshold = spec.default_support_threshold;
+  ERMINER_CHECK(ds.y_input >= 0 && ds.y_master >= 0);
+  return ds;
+}
+
+Result<GeneratedDataset> MakeAdult(const GenOptions& opts) {
+  return GenerateDataset(AdultSpec(), opts);
+}
+Result<GeneratedDataset> MakeCovid(const GenOptions& opts) {
+  return GenerateDataset(CovidSpec(), opts);
+}
+Result<GeneratedDataset> MakeNursery(const GenOptions& opts) {
+  return GenerateDataset(NurserySpec(), opts);
+}
+Result<GeneratedDataset> MakeLocation(const GenOptions& opts) {
+  return GenerateDataset(LocationSpec(), opts);
+}
+
+Result<GeneratedDataset> MakeByName(const std::string& name,
+                                    const GenOptions& opts) {
+  if (name == "adult" || name == "Adult") return MakeAdult(opts);
+  if (name == "covid" || name == "Covid") return MakeCovid(opts);
+  if (name == "nursery" || name == "Nursery") return MakeNursery(opts);
+  if (name == "location" || name == "Location") return MakeLocation(opts);
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+const std::vector<std::string>& DatasetNames() {
+  static const std::vector<std::string>* names =
+      new std::vector<std::string>{"Nursery", "Adult", "Covid", "Location"};
+  return *names;
+}
+
+}  // namespace erminer

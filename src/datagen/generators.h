@@ -1,0 +1,79 @@
+// The four evaluation datasets of Sec. V-A1, synthesized per DESIGN.md:
+// Adult, Covid-19, Nursery, Location. Each generator reproduces the paper
+// dataset's schema widths, domain scales, master/input split protocol and a
+// gated functional dependency structure on the Y attribute.
+
+#ifndef ERMINER_DATAGEN_GENERATORS_H_
+#define ERMINER_DATAGEN_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/schema_match.h"
+#include "data/table.h"
+#include "datagen/error_injector.h"
+#include "datagen/spec.h"
+#include "util/random.h"
+
+namespace erminer {
+
+struct GenOptions {
+  /// 0 = use the spec defaults (the paper's Table I sizes).
+  size_t input_size = 0;
+  size_t master_size = 0;
+  /// Per-cell error probability on the input relation.
+  double noise_rate = 0.1;
+  /// Fig. 7 knob: percentage of input rows drawn from master entities.
+  /// Negative = paper's default protocol (input and master sampled
+  /// separately from the original pool, disjoint rows).
+  double duplicate_percent = -1.0;
+  uint64_t seed = 7;
+};
+
+struct GeneratedDataset {
+  std::string name;
+  StringTable input;        // dirty
+  StringTable clean_input;  // pre-injection ground truth
+  StringTable master;       // clean
+  SchemaMatch match;        // name-based
+  int y_input = -1;
+  int y_master = -1;
+  InjectionReport injection;
+  double support_threshold = 100;
+
+  /// Ground-truth Y value per input row.
+  std::vector<std::string> YTruth() const;
+  /// Whether each input row's Y cell was perturbed.
+  std::vector<bool> YDirty() const;
+
+  /// Prefix view for incremental-discovery experiments (Figs. 10-11):
+  /// first `n_input` input rows and `n_master` master rows, with truth and
+  /// injection bookkeeping sliced to match.
+  GeneratedDataset HeadRows(size_t n_input, size_t n_master) const;
+};
+
+/// Spec accessors (also used by Table 1 and by tests).
+DatasetSpec AdultSpec();
+DatasetSpec CovidSpec();
+DatasetSpec NurserySpec();
+DatasetSpec LocationSpec();
+
+/// Builds a dataset from a spec with the paper's split protocol.
+Result<GeneratedDataset> GenerateDataset(const DatasetSpec& spec,
+                                         const GenOptions& opts);
+
+Result<GeneratedDataset> MakeAdult(const GenOptions& opts = {});
+Result<GeneratedDataset> MakeCovid(const GenOptions& opts = {});
+Result<GeneratedDataset> MakeNursery(const GenOptions& opts = {});
+Result<GeneratedDataset> MakeLocation(const GenOptions& opts = {});
+
+/// Dispatch by dataset name ("adult", "covid", "nursery", "location").
+Result<GeneratedDataset> MakeByName(const std::string& name,
+                                    const GenOptions& opts = {});
+
+/// All four dataset names in the paper's order.
+const std::vector<std::string>& DatasetNames();
+
+}  // namespace erminer
+
+#endif  // ERMINER_DATAGEN_GENERATORS_H_

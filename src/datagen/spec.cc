@@ -1,0 +1,75 @@
+#include "datagen/spec.h"
+
+namespace erminer {
+
+int DatasetSpec::AttrIndex(const std::string& attr_name) const {
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (attributes[i].name == attr_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status DatasetSpec::Validate() const {
+  if (attributes.empty()) return Status::InvalidArgument("no attributes");
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    const auto& a = attributes[i];
+    if (a.domain_size == 0 && a.kind == AttributeKind::kDiscrete) {
+      return Status::InvalidArgument("attribute " + a.name +
+                                     " has empty domain");
+    }
+    for (int p : a.parents) {
+      if (p < 0 || static_cast<size_t>(p) >= i) {
+        return Status::InvalidArgument(
+            "attribute " + a.name + " has parent not preceding it");
+      }
+      if (attributes[static_cast<size_t>(p)].kind !=
+          AttributeKind::kDiscrete) {
+        return Status::InvalidArgument("continuous parent for " + a.name);
+      }
+    }
+    if (a.gate_attr >= 0) {
+      if (static_cast<size_t>(a.gate_attr) >= i) {
+        return Status::InvalidArgument("gate attribute must precede " +
+                                       a.name);
+      }
+      if (a.gate_values.empty()) {
+        return Status::InvalidArgument("empty gate_values for " + a.name);
+      }
+    }
+  }
+  auto check_cols = [&](const std::vector<std::string>& cols,
+                        const char* which) -> Status {
+    if (cols.empty()) {
+      return Status::InvalidArgument(std::string(which) + " columns empty");
+    }
+    for (const auto& c : cols) {
+      if (AttrIndex(c) < 0) {
+        return Status::InvalidArgument(std::string(which) +
+                                       " references unknown attribute " + c);
+      }
+    }
+    return Status::OK();
+  };
+  ERMINER_RETURN_NOT_OK(check_cols(input_columns, "input"));
+  ERMINER_RETURN_NOT_OK(check_cols(master_columns, "master"));
+  if (AttrIndex(y_name) < 0) {
+    return Status::InvalidArgument("unknown y attribute " + y_name);
+  }
+  auto contains = [](const std::vector<std::string>& v,
+                     const std::string& s) {
+    for (const auto& x : v) {
+      if (x == s) return true;
+    }
+    return false;
+  };
+  if (!contains(input_columns, y_name) || !contains(master_columns, y_name)) {
+    return Status::InvalidArgument("y attribute missing from a column list");
+  }
+  if (master_filter_attr >= 0 &&
+      static_cast<size_t>(master_filter_attr) >= attributes.size()) {
+    return Status::OutOfRange("master_filter_attr out of range");
+  }
+  return Status::OK();
+}
+
+}  // namespace erminer

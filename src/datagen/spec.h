@@ -1,0 +1,88 @@
+// Generative dataset specifications.
+//
+// A DatasetSpec describes a latent clean relation: every attribute either
+// draws independently from a (Zipf-skewed) value domain or is a (possibly
+// gated, possibly noisy) function of parent attributes. This is exactly the
+// structure editing rules exploit: a gated functional dependency
+// Y = f(parents) that holds only when a gate attribute takes certain values
+// yields eRs whose pattern t_p must carry the gate condition — the paper's
+// motivating example (t_p[Overseas] = No).
+
+#ifndef ERMINER_DATAGEN_SPEC_H_
+#define ERMINER_DATAGEN_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+
+namespace erminer {
+
+struct AttributeSpec {
+  std::string name;
+  AttributeKind kind = AttributeKind::kDiscrete;
+
+  /// Distinct base values; value i is spelled `prefix + i` (discrete) or a
+  /// decimal in [numeric_lo, numeric_hi] (continuous).
+  size_t domain_size = 10;
+  /// Zipf skew for independent draws (0 = uniform).
+  double zipf = 0.5;
+  std::string prefix;
+
+  /// Functional parents (indices into DatasetSpec::attributes; must precede
+  /// this attribute). Empty means an independent draw.
+  std::vector<int> parents;
+  /// Probability the functional mapping is followed; with 1-strength the
+  /// value is drawn independently, so master candidate sets are not always
+  /// singletons (certainty < 1) and pattern refinement pays off.
+  double strength = 1.0;
+
+  /// If gate_attr >= 0, the primary mapping applies only when the gate
+  /// attribute's value index is in gate_values; otherwise an alternative
+  /// deterministic mapping is used (master data never covers it when the
+  /// master filter excludes those rows).
+  int gate_attr = -1;
+  std::vector<size_t> gate_values;
+
+  double numeric_lo = 0.0;
+  double numeric_hi = 100.0;
+};
+
+struct DatasetSpec {
+  std::string name;
+  /// Salt for the deterministic functional mappings; fixed per dataset so
+  /// the ground-truth dependency structure is stable across trials.
+  uint64_t salt = 0x5eed;
+  std::vector<AttributeSpec> attributes;
+
+  /// Column subsets (by attribute name) forming the input and master
+  /// schemas. Matched attributes carry the same name in both lists; columns
+  /// exclusive to one side have unique names.
+  std::vector<std::string> input_columns;
+  std::vector<std::string> master_columns;
+
+  /// Target attribute name (must appear in both column lists).
+  std::string y_name;
+
+  /// Master rows are restricted to entities whose value index on this
+  /// attribute is in master_filter_values (-1 = no filter). Models the
+  /// paper's "master data may not be comprehensive".
+  int master_filter_attr = -1;
+  std::vector<size_t> master_filter_values;
+
+  /// Paper defaults for this dataset.
+  size_t default_input_size = 1000;
+  size_t default_master_size = 500;
+  double default_support_threshold = 100;
+
+  /// Index of an attribute by name, or -1.
+  int AttrIndex(const std::string& attr_name) const;
+
+  /// Validates parent ordering, name references, gate references.
+  Status Validate() const;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_DATAGEN_SPEC_H_

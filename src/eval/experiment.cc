@@ -1,0 +1,109 @@
+#include "eval/experiment.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace erminer {
+
+const char* MethodName(Method m) {
+  switch (m) {
+    case Method::kCtane:
+      return "CTANE";
+    case Method::kEnuMiner:
+      return "EnuMiner";
+    case Method::kEnuMinerH3:
+      return "EnuMinerH3";
+    case Method::kRlMiner:
+      return "RLMiner";
+  }
+  return "?";
+}
+
+Result<Corpus> BuildCorpus(const GeneratedDataset& ds) {
+  return Corpus::Build(ds.input, ds.master, ds.match, ds.y_input,
+                       ds.y_master);
+}
+
+std::vector<ValueCode> EncodeTruth(const Corpus& corpus,
+                                   const GeneratedDataset& ds) {
+  std::vector<ValueCode> truth;
+  truth.reserve(ds.clean_input.num_rows());
+  Domain* dom = corpus.y_domain().get();
+  for (const auto& t : ds.YTruth()) truth.push_back(dom->GetOrAdd(t));
+  return truth;
+}
+
+TrialResult ScoreRules(const Corpus& corpus, const GeneratedDataset& ds,
+                       MineResult mine) {
+  TrialResult out;
+  RuleEvaluator evaluator(&corpus);
+  RepairOutcome repair = ApplyRules(&evaluator, mine.rules);
+  std::vector<ValueCode> truth = EncodeTruth(corpus, ds);
+  out.repair = WeightedPrf(truth, repair.prediction);
+  std::vector<bool> dirty = ds.YDirty();
+  std::vector<uint8_t> mask(dirty.size());
+  for (size_t i = 0; i < dirty.size(); ++i) mask[i] = dirty[i] ? 1 : 0;
+  out.repair_dirty = WeightedPrf(truth, repair.prediction, &mask);
+  out.lengths = ComputeLengthStats(mine.rules);
+  out.mine = std::move(mine);
+  return out;
+}
+
+Result<TrialResult> RunTrial(const GeneratedDataset& ds, Method method,
+                             const MinerOptions& options,
+                             const RlMinerOptions& rl) {
+  ERMINER_ASSIGN_OR_RETURN(Corpus corpus, BuildCorpus(ds));
+  MineResult mine;
+  switch (method) {
+    case Method::kCtane:
+      mine = CfdMine(corpus, options);
+      break;
+    case Method::kEnuMiner:
+      mine = EnuMine(corpus, options);
+      break;
+    case Method::kEnuMinerH3:
+      mine = EnuMineH3(corpus, options);
+      break;
+    case Method::kRlMiner: {
+      RlMiner miner(&corpus, rl);
+      mine = miner.Mine();
+      break;
+    }
+  }
+  return ScoreRules(corpus, ds, std::move(mine));
+}
+
+MinerOptions DefaultMinerOptions(const GeneratedDataset& ds, size_t k) {
+  MinerOptions o;
+  o.k = k;
+  o.support_threshold = ds.support_threshold;
+  return o;
+}
+
+RlMinerOptions DefaultRlOptions(const GeneratedDataset& ds, size_t k,
+                                uint64_t seed) {
+  RlMinerOptions o;
+  o.base = DefaultMinerOptions(ds, k);
+  o.seed = seed;
+  return o;
+}
+
+Aggregate Aggregate_(const std::vector<double>& xs) {
+  Aggregate a;
+  if (xs.empty()) return a;
+  double sum = 0;
+  for (double x : xs) sum += x;
+  a.mean = sum / static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - a.mean) * (x - a.mean);
+  a.stdev = std::sqrt(var / static_cast<double>(xs.size()));
+  return a;
+}
+
+std::string MeanStd(const Aggregate& a, int precision) {
+  return FormatDouble(a.mean, precision) + " +- " +
+         FormatDouble(a.stdev, precision);
+}
+
+}  // namespace erminer

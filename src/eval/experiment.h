@@ -1,0 +1,74 @@
+// Shared experiment harness: builds a Corpus from a generated dataset, runs
+// a mining method, applies the discovered rules, and scores the repairs
+// against ground truth. Every bench binary is a thin driver over this.
+
+#ifndef ERMINER_EVAL_EXPERIMENT_H_
+#define ERMINER_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cfd_miner.h"
+#include "core/enu_miner.h"
+#include "core/miner.h"
+#include "core/repair.h"
+#include "datagen/generators.h"
+#include "eval/metrics.h"
+#include "rl/rl_miner.h"
+
+namespace erminer {
+
+enum class Method {
+  kCtane,
+  kEnuMiner,
+  kEnuMinerH3,
+  kRlMiner,
+};
+
+const char* MethodName(Method m);
+
+struct TrialResult {
+  MineResult mine;
+  /// Repairs scored over all rows (the paper's protocol).
+  ClassificationReport repair;
+  /// Repairs scored over perturbed Y cells only (extra diagnostic).
+  ClassificationReport repair_dirty;
+  RuleLengthStats lengths;
+};
+
+/// Corpus from a generated dataset (no labels: miners use input-as-label
+/// quality, Sec. II-B3).
+Result<Corpus> BuildCorpus(const GeneratedDataset& ds);
+
+/// Truth codes for the Y column (encoded with the corpus's target domain).
+std::vector<ValueCode> EncodeTruth(const Corpus& corpus,
+                                   const GeneratedDataset& ds);
+
+/// Applies `rules` to the corpus and scores them against the dataset truth.
+TrialResult ScoreRules(const Corpus& corpus, const GeneratedDataset& ds,
+                       MineResult mine);
+
+/// End-to-end: mine with `method` and score. `rl` is only consulted for
+/// kRlMiner.
+Result<TrialResult> RunTrial(const GeneratedDataset& ds, Method method,
+                             const MinerOptions& options,
+                             const RlMinerOptions& rl);
+
+/// MinerOptions tuned to a dataset's defaults, with the bench-scale K.
+MinerOptions DefaultMinerOptions(const GeneratedDataset& ds, size_t k = 50);
+RlMinerOptions DefaultRlOptions(const GeneratedDataset& ds, size_t k = 50,
+                                uint64_t seed = 17);
+
+/// mean/std over repeated trials.
+struct Aggregate {
+  double mean = 0;
+  double stdev = 0;
+};
+Aggregate Aggregate_(const std::vector<double>& xs);
+
+/// "0.52 +- 0.01" formatting used by the table benches.
+std::string MeanStd(const Aggregate& a, int precision = 2);
+
+}  // namespace erminer
+
+#endif  // ERMINER_EVAL_EXPERIMENT_H_

@@ -1,0 +1,61 @@
+#include "eval/metrics.h"
+
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace erminer {
+
+ClassificationReport WeightedPrf(const std::vector<ValueCode>& truth,
+                                 const std::vector<ValueCode>& pred,
+                                 const std::vector<uint8_t>* row_mask) {
+  ERMINER_CHECK(truth.size() == pred.size());
+  if (row_mask != nullptr) ERMINER_CHECK(row_mask->size() == truth.size());
+
+  struct PerClass {
+    size_t tp = 0;
+    size_t fp = 0;       // predicted this class, truth differs
+    size_t support = 0;  // truth count
+  };
+  std::unordered_map<ValueCode, PerClass> classes;
+
+  ClassificationReport report;
+  for (size_t r = 0; r < truth.size(); ++r) {
+    if (row_mask != nullptr && !(*row_mask)[r]) continue;
+    if (truth[r] == kNullCode) continue;
+    ++report.num_rows;
+    classes[truth[r]].support += 1;
+    if (pred[r] == kNullCode) continue;
+    ++report.num_predicted;
+    if (pred[r] == truth[r]) {
+      classes[truth[r]].tp += 1;
+    } else {
+      classes[pred[r]].fp += 1;  // may create a class with support 0
+    }
+  }
+
+  double wp = 0, wr = 0, wf = 0, total_support = 0;
+  for (const auto& [label, c] : classes) {
+    if (c.support == 0) continue;  // spurious prediction-only class
+    const double support = static_cast<double>(c.support);
+    const size_t predicted = c.tp + c.fp;
+    const double p = predicted > 0
+                         ? static_cast<double>(c.tp) /
+                               static_cast<double>(predicted)
+                         : 0.0;
+    const double rec = static_cast<double>(c.tp) / support;
+    const double f = (p + rec) > 0 ? 2 * p * rec / (p + rec) : 0.0;
+    wp += support * p;
+    wr += support * rec;
+    wf += support * f;
+    total_support += support;
+  }
+  if (total_support > 0) {
+    report.precision = wp / total_support;
+    report.recall = wr / total_support;
+    report.f1 = wf / total_support;
+  }
+  return report;
+}
+
+}  // namespace erminer

@@ -1,0 +1,37 @@
+// Weighted multi-class precision / recall / F-measure (Sec. V-A2).
+//
+// Repairs are treated as a multi-class prediction of the Y attribute: each
+// row's truth is its clean value, the prediction is the repair engine's
+// output (or "no prediction"). Per-class scores are averaged weighted by the
+// class's truth support, exactly the paper's Precision_w / Recall_w /
+// F-Measure_w.
+
+#ifndef ERMINER_EVAL_METRICS_H_
+#define ERMINER_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "data/value.h"
+
+namespace erminer {
+
+struct ClassificationReport {
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+  size_t num_rows = 0;        // evaluated rows (non-null truth, in mask)
+  size_t num_predicted = 0;   // rows with a prediction among those
+};
+
+/// `truth[r]` / `pred[r]` per input row; kNullCode in `pred` = no prediction;
+/// rows with kNullCode truth are skipped. If `row_mask` is non-null only
+/// rows with mask!=0 are evaluated.
+ClassificationReport WeightedPrf(const std::vector<ValueCode>& truth,
+                                 const std::vector<ValueCode>& pred,
+                                 const std::vector<uint8_t>* row_mask = nullptr);
+
+}  // namespace erminer
+
+#endif  // ERMINER_EVAL_METRICS_H_

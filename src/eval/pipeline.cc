@@ -1,0 +1,207 @@
+#include "eval/pipeline.h"
+
+#include <sstream>
+
+#include "core/cfd_miner.h"
+#include "core/enu_miner.h"
+#include "core/repair.h"
+#include "core/certain_fix.h"
+#include "core/rule_io.h"
+#include "data/csv.h"
+#include "data/instance_match.h"
+#include "datagen/generators.h"
+#include "eval/experiment.h"
+#include "rl/rl_miner.h"
+
+namespace erminer {
+
+namespace {
+
+struct LoadedData {
+  StringTable input;
+  StringTable master;
+  std::string y_name;
+  std::string ym_name;
+  std::vector<std::string> truth;  // empty when unavailable
+};
+
+Result<LoadedData> LoadData(const Config& config) {
+  LoadedData data;
+  if (config.Has("data.dataset")) {
+    GenOptions gen;
+    gen.input_size =
+        static_cast<size_t>(config.GetInt("data.input_size", 0));
+    gen.master_size =
+        static_cast<size_t>(config.GetInt("data.master_size", 0));
+    gen.noise_rate = config.GetDouble("data.noise", 0.1);
+    gen.seed = static_cast<uint64_t>(config.GetInt("data.seed", 7));
+    ERMINER_ASSIGN_OR_RETURN(GeneratedDataset ds,
+                             MakeByName(config.Get("data.dataset"), gen));
+    data.input = std::move(ds.input);
+    data.master = std::move(ds.master);
+    data.y_name = data.input.schema
+                      .attribute(static_cast<size_t>(ds.y_input))
+                      .name;
+    data.ym_name = data.master.schema
+                       .attribute(static_cast<size_t>(ds.y_master))
+                       .name;
+    for (const auto& row : ds.clean_input.rows) {
+      data.truth.push_back(row[static_cast<size_t>(ds.y_input)]);
+    }
+    return data;
+  }
+  if (!config.Has("data.input") || !config.Has("data.master") ||
+      !config.Has("data.y")) {
+    return Status::InvalidArgument(
+        "config needs data.dataset or data.{input,master,y}");
+  }
+  ERMINER_ASSIGN_OR_RETURN(data.input,
+                           ReadCsvFile(config.Get("data.input")));
+  ERMINER_ASSIGN_OR_RETURN(data.master,
+                           ReadCsvFile(config.Get("data.master")));
+  data.y_name = config.Get("data.y");
+  data.ym_name = config.Get("data.y_master", data.y_name);
+  if (config.Has("data.truth")) {
+    ERMINER_ASSIGN_OR_RETURN(StringTable truth_table,
+                             ReadCsvFile(config.Get("data.truth")));
+    int yt = truth_table.schema.IndexOf(data.y_name);
+    if (yt < 0 || truth_table.num_rows() != data.input.num_rows()) {
+      return Status::InvalidArgument("truth table not aligned with input");
+    }
+    for (const auto& row : truth_table.rows) {
+      data.truth.push_back(row[static_cast<size_t>(yt)]);
+    }
+  }
+  return data;
+}
+
+}  // namespace
+
+Result<PipelineReport> RunPipeline(const Config& config) {
+  PipelineReport report;
+
+  // --- data ---
+  ERMINER_ASSIGN_OR_RETURN(LoadedData data, LoadData(config));
+  report.input_rows = data.input.num_rows();
+  report.master_rows = data.master.num_rows();
+  report.y_name = data.y_name;
+  int y = data.input.schema.IndexOf(data.y_name);
+  int ym = data.master.schema.IndexOf(data.ym_name);
+  if (y < 0 || ym < 0) {
+    return Status::InvalidArgument("target attribute not found: " +
+                                   data.y_name + "/" + data.ym_name);
+  }
+
+  // --- match ---
+  SchemaMatch match;
+  if (config.Get("match.mode", "name") == "values") {
+    InstanceMatchOptions mopts;
+    mopts.min_score = config.GetDouble("match.min_score", 0.5);
+    match = MatchByValues(data.input, data.master, mopts);
+  } else {
+    match = SchemaMatch::ByName(data.input.schema, data.master.schema);
+  }
+  report.matched_pairs = match.num_pairs();
+  if (report.matched_pairs == 0) {
+    return Status::FailedPrecondition("schema matching found no pairs");
+  }
+  ERMINER_ASSIGN_OR_RETURN(
+      Corpus corpus, Corpus::Build(data.input, data.master, match, y, ym));
+
+  // --- mine ---
+  MinerOptions options;
+  options.k = static_cast<size_t>(config.GetInt("miner.k", 50));
+  options.support_threshold = config.GetDouble(
+      "miner.support",
+      std::max(10.0, static_cast<double>(report.input_rows) / 40.0));
+  options.include_negations = config.GetBool("miner.negations", false);
+  report.method = config.Get("miner.method", "rl");
+  if (report.method == "rl") {
+    RlMinerOptions rl;
+    rl.base = options;
+    rl.train_steps =
+        static_cast<size_t>(config.GetInt("miner.steps", 3000));
+    rl.seed = static_cast<uint64_t>(config.GetInt("miner.seed", 17));
+    RlMiner miner(&corpus, rl);
+    report.mine = miner.Mine();
+  } else if (report.method == "enu") {
+    report.mine = EnuMine(corpus, options);
+  } else if (report.method == "enuh3") {
+    report.mine = EnuMineH3(corpus, options);
+  } else if (report.method == "ctane") {
+    report.mine = CfdMine(corpus, options);
+  } else {
+    return Status::InvalidArgument("unknown miner.method " + report.method);
+  }
+  if (config.Has("output.rules")) {
+    ERMINER_RETURN_NOT_OK(WriteRulesFile(report.mine.rules, corpus,
+                                         config.Get("output.rules")));
+  }
+
+  // --- detect ---
+  RuleEvaluator evaluator(&corpus);
+  ViolationReport violations =
+      DetectViolations(&evaluator, report.mine.rules);
+  report.violations = violations.violations.size();
+  report.flagged_rows = violations.num_flagged_rows;
+
+  // --- repair ---
+  const bool certain = config.Get("repair.mode", "vote") == "certain";
+  const bool overwrite = config.GetBool("repair.overwrite", false);
+  std::vector<ValueCode> prediction;
+  if (certain) {
+    prediction = ComputeCertainFixes(&evaluator, report.mine.rules).fix;
+  } else {
+    prediction = ApplyRules(&evaluator, report.mine.rules).prediction;
+  }
+  StringTable repaired = data.input;
+  Domain* dy = corpus.y_domain().get();
+  for (size_t r = 0; r < repaired.num_rows(); ++r) {
+    if (prediction[r] == kNullCode) continue;
+    auto& cell = repaired.rows[r][static_cast<size_t>(y)];
+    const bool missing = cell.empty();
+    if (!missing && !overwrite && !certain) continue;
+    std::string fix = dy->value(prediction[r]);
+    if (cell != fix) {
+      cell = fix;
+      ++report.repaired_cells;
+      if (missing) ++report.filled_missing;
+    }
+  }
+  if (config.Has("output.repaired")) {
+    ERMINER_RETURN_NOT_OK(
+        WriteCsvFile(repaired, config.Get("output.repaired")));
+  }
+
+  // --- evaluate ---
+  if (!data.truth.empty()) {
+    std::vector<ValueCode> truth_codes, pred_codes;
+    for (size_t r = 0; r < repaired.num_rows(); ++r) {
+      truth_codes.push_back(dy->GetOrAdd(data.truth[r]));
+      pred_codes.push_back(prediction[r]);
+    }
+    report.accuracy = WeightedPrf(truth_codes, pred_codes);
+  }
+  return report;
+}
+
+std::string PipelineReport::Summary() const {
+  std::ostringstream os;
+  os << "pipeline: " << input_rows << " input rows, " << master_rows
+     << " master rows, " << matched_pairs << " matched pairs, target "
+     << y_name << "\n";
+  os << "mined " << mine.rules.size() << " rules with " << method << " in "
+     << mine.seconds << "s (" << mine.rule_evaluations
+     << " rule evaluations)\n";
+  os << "detected " << violations << " violations across " << flagged_rows
+     << " rows\n";
+  os << "repaired " << repaired_cells << " cells (" << filled_missing
+     << " were missing values)\n";
+  if (accuracy.has_value()) {
+    os << "accuracy vs truth: P=" << accuracy->precision
+       << " R=" << accuracy->recall << " F1=" << accuracy->f1 << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace erminer

@@ -1,0 +1,62 @@
+// The end-to-end cleaning pipeline: load (or generate) -> match schemas ->
+// mine editing rules -> detect violations -> repair -> report. Config-driven
+// so a deployment is one file; each stage's outcome is captured in a
+// PipelineReport.
+//
+// Config keys (see examples in tests/pipeline_test.cc):
+//   [data]    input / master / y / y_master        (CSV paths, column names)
+//             dataset / input_size / master_size / noise / seed (generate)
+//   [match]   mode = name | values ; min_score
+//   [miner]   method = rl|enu|enuh3|ctane ; k ; support ; steps ; seed ;
+//             negations
+//   [repair]  mode = vote | certain ; overwrite
+//   [output]  repaired ; rules                      (optional CSV/rule paths)
+
+#ifndef ERMINER_EVAL_PIPELINE_H_
+#define ERMINER_EVAL_PIPELINE_H_
+
+#include <optional>
+#include <string>
+
+#include "core/miner.h"
+#include "core/violations.h"
+#include "data/corpus.h"
+#include "eval/metrics.h"
+#include "util/config.h"
+
+namespace erminer {
+
+struct PipelineReport {
+  // Data stage.
+  size_t input_rows = 0;
+  size_t master_rows = 0;
+  size_t matched_pairs = 0;
+  std::string y_name;
+
+  // Mining stage.
+  std::string method;
+  MineResult mine;
+
+  // Detection stage.
+  size_t violations = 0;
+  size_t flagged_rows = 0;
+
+  // Repair stage.
+  size_t repaired_cells = 0;
+  size_t filled_missing = 0;
+
+  // Evaluation stage (only when ground truth is available, i.e. generated
+  // data or a truth CSV was configured).
+  std::optional<ClassificationReport> accuracy;
+
+  /// Multi-line human-readable summary.
+  std::string Summary() const;
+};
+
+/// Runs the pipeline described by `config`. Writes optional outputs to disk
+/// (repaired CSV, rules file) when configured.
+Result<PipelineReport> RunPipeline(const Config& config);
+
+}  // namespace erminer
+
+#endif  // ERMINER_EVAL_PIPELINE_H_

@@ -1,0 +1,47 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+#include "util/status.h"
+
+namespace erminer {
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  ERMINER_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << " " << cells[c];
+      os << std::string(widths[c] - cells[c].size() + 1, ' ') << "|";
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  os << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void TablePrinter::Print() const { std::cout << ToString() << std::flush; }
+
+}  // namespace erminer

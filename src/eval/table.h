@@ -1,0 +1,32 @@
+// Fixed-width ASCII table printer; every bench binary reports paper-style
+// rows through it.
+
+#ifndef ERMINER_EVAL_TABLE_H_
+#define ERMINER_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace erminer {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Aligned rendering with a header separator line.
+  std::string ToString() const;
+
+  /// ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_EVAL_TABLE_H_

@@ -1,0 +1,70 @@
+#include "index/eval_cache.h"
+
+#include <algorithm>
+
+namespace erminer {
+
+std::vector<int32_t> LhsKeyOf(const LhsPairs& lhs) {
+  std::vector<int32_t> key;
+  key.reserve(lhs.size() * 2);
+  for (const auto& [a, am] : lhs) {
+    key.push_back(a);
+    key.push_back(am);
+  }
+  return key;
+}
+
+EvalCache::EvalCache(const Corpus* corpus, size_t capacity)
+    : corpus_(corpus), capacity_(std::max<size_t>(capacity, 2)) {
+  ERMINER_CHECK(corpus_ != nullptr);
+}
+
+EvalCache::Entry EvalCache::Get(const LhsPairs& lhs) {
+  ERMINER_CHECK(std::is_sorted(lhs.begin(), lhs.end()));
+  Key key = LhsKeyOf(lhs);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.entry;
+  }
+
+  // Build the master index and the input-side column.
+  std::vector<int> x_cols, xm_cols;
+  x_cols.reserve(lhs.size());
+  xm_cols.reserve(lhs.size());
+  for (const auto& [a, am] : lhs) {
+    x_cols.push_back(a);
+    xm_cols.push_back(am);
+  }
+  auto index = std::make_shared<GroupIndex>(
+      GroupIndex::Build(corpus_->master(), xm_cols, corpus_->y_master()));
+  auto column = std::make_shared<EvalColumn>();
+  const Table& input = corpus_->input();
+  column->group.assign(input.num_rows(), nullptr);
+  std::vector<ValueCode> probe(x_cols.size());
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    bool null_key = false;
+    for (size_t i = 0; i < x_cols.size(); ++i) {
+      probe[i] = input.at(r, static_cast<size_t>(x_cols[i]));
+      if (probe[i] == kNullCode) {
+        null_key = true;
+        break;
+      }
+    }
+    if (!null_key) column->group[r] = index->Find(probe);
+  }
+  ++num_built_;
+
+  if (cache_.size() >= capacity_) {
+    const Key& victim = lru_.back();
+    cache_.erase(victim);
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  Slot slot{Entry{std::move(index), std::move(column)}, lru_.begin()};
+  auto [pos, inserted] = cache_.emplace(std::move(key), std::move(slot));
+  ERMINER_CHECK(inserted);
+  return pos->second.entry;
+}
+
+}  // namespace erminer

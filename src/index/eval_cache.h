@@ -1,0 +1,78 @@
+// EvalCache: per-LHS evaluation columns, the subspace-search substrate of
+// Alg. 4 (lines 9-10).
+//
+// A rule's measures depend on the pattern only through which input rows are
+// covered; everything master-side depends only on the LHS pairs (X, X_m).
+// For each distinct LHS the cache materializes, once:
+//   - the GroupIndex of the master relation on X_m, and
+//   - an EvalColumn mapping every input row to its master group (or null),
+// after which evaluating any rule over that LHS is a linear pass over its
+// pattern cover. Entries are evicted LRU beyond a budget so EnuMiner's full
+// lattice cannot exhaust memory.
+
+#ifndef ERMINER_INDEX_EVAL_CACHE_H_
+#define ERMINER_INDEX_EVAL_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "data/corpus.h"
+#include "index/group_index.h"
+#include "util/hash.h"
+
+namespace erminer {
+
+/// The LHS of an eR: matched attribute pairs, kept sorted by (input, master)
+/// column index.
+using LhsPairs = std::vector<std::pair<int, int>>;
+
+/// Canonical hashable key of an LHS.
+std::vector<int32_t> LhsKeyOf(const LhsPairs& lhs);
+
+/// Per-input-row master lookup results for one LHS.
+struct EvalColumn {
+  /// group[r]: the master group matching input row r's X values, or nullptr
+  /// if no master tuple matches (f_s = 0) or the row has a NULL X value.
+  std::vector<const Group*> group;
+};
+
+class EvalCache {
+ public:
+  /// `capacity`: maximum number of LHS entries kept resident.
+  explicit EvalCache(const Corpus* corpus, size_t capacity = 256);
+
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
+
+  /// The (index, column) pair for an LHS; built on first use. The returned
+  /// shared_ptrs keep the entry alive even if the cache evicts it, and
+  /// EvalColumn's Group pointers point into the paired GroupIndex.
+  struct Entry {
+    std::shared_ptr<GroupIndex> index;
+    std::shared_ptr<EvalColumn> column;
+  };
+  Entry Get(const LhsPairs& lhs);
+
+  size_t num_built() const { return num_built_; }
+  const Corpus& corpus() const { return *corpus_; }
+
+ private:
+  const Corpus* corpus_;
+  size_t capacity_;
+  size_t num_built_ = 0;
+
+  using Key = std::vector<int32_t>;
+  std::list<Key> lru_;
+  struct Slot {
+    Entry entry;
+    std::list<Key>::iterator lru_it;
+  };
+  std::unordered_map<Key, Slot, VectorHash> cache_;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_INDEX_EVAL_CACHE_H_

@@ -1,0 +1,54 @@
+#include "index/group_index.h"
+
+namespace erminer {
+
+GroupIndex GroupIndex::Build(const Table& master,
+                             const std::vector<int>& xm_cols, int ym_col) {
+  GroupIndex idx;
+  idx.xm_cols_ = xm_cols;
+  ERMINER_CHECK(ym_col >= 0 &&
+                static_cast<size_t>(ym_col) < master.num_cols());
+  std::vector<ValueCode> key(xm_cols.size());
+  for (size_t r = 0; r < master.num_rows(); ++r) {
+    ValueCode ym = master.at(r, static_cast<size_t>(ym_col));
+    if (ym == kNullCode) continue;
+    bool null_key = false;
+    for (size_t i = 0; i < xm_cols.size(); ++i) {
+      key[i] = master.at(r, static_cast<size_t>(xm_cols[i]));
+      if (key[i] == kNullCode) {
+        null_key = true;
+        break;
+      }
+    }
+    if (null_key) continue;
+    Group& g = idx.groups_[key];
+    g.total += 1;
+    bool found = false;
+    for (auto& [v, c] : g.counts) {
+      if (v == ym) {
+        ++c;
+        if (c > g.max_count) {
+          g.max_count = c;
+          g.argmax = v;
+        }
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      g.counts.emplace_back(ym, 1);
+      if (1 > g.max_count) {
+        g.max_count = 1;
+        g.argmax = ym;
+      }
+    }
+  }
+  return idx;
+}
+
+const Group* GroupIndex::Find(const std::vector<ValueCode>& key) const {
+  auto it = groups_.find(key);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+}  // namespace erminer

@@ -1,0 +1,63 @@
+// GroupIndex: the master-side lookup structure behind all rule measures.
+//
+// For a fixed list of master attributes X_m and the target Y_m, the index
+// groups master tuples by their X_m code vector. Each group stores the
+// multiset of Y_m candidate fixes (Cand in Eq. 2) with its total, maximum
+// count and argmax precomputed, so evaluating f_s / f_c / kappa for an input
+// tuple is a single hash probe.
+
+#ifndef ERMINER_INDEX_GROUP_INDEX_H_
+#define ERMINER_INDEX_GROUP_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "data/table.h"
+#include "util/hash.h"
+
+namespace erminer {
+
+/// The candidate-fix statistics of one master group.
+struct Group {
+  /// Distinct Y_m candidates with their counts, insertion order.
+  std::vector<std::pair<ValueCode, int>> counts;
+  int total = 0;
+  int max_count = 0;
+  ValueCode argmax = kNullCode;
+
+  /// f_c of any covered tuple probing this group (Eq. 2).
+  double Certainty() const {
+    return total > 0 ? static_cast<double>(max_count) / total : 0.0;
+  }
+};
+
+class GroupIndex {
+ public:
+  /// Builds the index over `master` projected on `xm_cols` with candidate
+  /// column `ym_col`. Master rows with a NULL in the key or in Y_m are
+  /// skipped. An empty `xm_cols` produces a single group over all rows
+  /// (the empty-LHS rule's semantics).
+  static GroupIndex Build(const Table& master, const std::vector<int>& xm_cols,
+                          int ym_col);
+
+  /// The group for a key, or nullptr. Pointers remain valid for the life of
+  /// the index.
+  const Group* Find(const std::vector<ValueCode>& key) const;
+
+  size_t num_groups() const { return groups_.size(); }
+  const std::vector<int>& xm_cols() const { return xm_cols_; }
+
+  /// Iteration support (used by the CFD miner).
+  const std::unordered_map<std::vector<ValueCode>, Group, VectorHash>& groups()
+      const {
+    return groups_;
+  }
+
+ private:
+  std::vector<int> xm_cols_;
+  std::unordered_map<std::vector<ValueCode>, Group, VectorHash> groups_;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_INDEX_GROUP_INDEX_H_

@@ -1,0 +1,139 @@
+#include "nn/dueling.h"
+
+#include <istream>
+#include <ostream>
+
+namespace erminer {
+
+DuelingNet::DuelingNet(std::vector<size_t> trunk_dims, size_t num_actions,
+                       Rng* rng)
+    : trunk_dims_(std::move(trunk_dims)), num_actions_(num_actions) {
+  ERMINER_CHECK(trunk_dims_.size() >= 2);
+  ERMINER_CHECK(num_actions_ >= 1);
+  trunk_ = std::make_unique<Mlp>(trunk_dims_, rng);
+  value_ = std::make_unique<Linear>(trunk_dims_.back(), 1, rng);
+  advantage_ =
+      std::make_unique<Linear>(trunk_dims_.back(), num_actions_, rng);
+}
+
+Tensor DuelingNet::Forward(const Tensor& x) {
+  trunk_out_ = trunk_->Forward(x);  // pre-ReLU feature
+  Tensor f = Relu(trunk_out_);
+  Tensor v = value_->Forward(f);          // [B, 1]
+  Tensor a = advantage_->Forward(f);      // [B, A]
+  Tensor q(a.rows(), num_actions_);
+  for (size_t b = 0; b < a.rows(); ++b) {
+    float mean = 0.0f;
+    for (size_t i = 0; i < num_actions_; ++i) mean += a.at(b, i);
+    mean /= static_cast<float>(num_actions_);
+    for (size_t i = 0; i < num_actions_; ++i) {
+      q.at(b, i) = v.at(b, 0) + a.at(b, i) - mean;
+    }
+  }
+  return q;
+}
+
+void DuelingNet::Backward(const Tensor& dq) {
+  ERMINER_CHECK(dq.cols() == num_actions_);
+  const size_t bsz = dq.rows();
+  Tensor dv(bsz, 1, 0.0f);
+  Tensor da(bsz, num_actions_, 0.0f);
+  for (size_t b = 0; b < bsz; ++b) {
+    float sum = 0.0f;
+    for (size_t i = 0; i < num_actions_; ++i) sum += dq.at(b, i);
+    dv.at(b, 0) = sum;
+    const float mean_grad = sum / static_cast<float>(num_actions_);
+    for (size_t i = 0; i < num_actions_; ++i) {
+      da.at(b, i) = dq.at(b, i) - mean_grad;
+    }
+  }
+  Tensor df = value_->Backward(dv);
+  Axpy(1.0f, advantage_->Backward(da), &df);
+  trunk_->Backward(ReluBackward(trunk_out_, df));
+}
+
+void DuelingNet::ZeroGrad() {
+  trunk_->ZeroGrad();
+  value_->ZeroGrad();
+  advantage_->ZeroGrad();
+}
+
+std::vector<Tensor*> DuelingNet::Parameters() {
+  std::vector<Tensor*> out = trunk_->Parameters();
+  out.push_back(&value_->weight());
+  out.push_back(&value_->bias());
+  out.push_back(&advantage_->weight());
+  out.push_back(&advantage_->bias());
+  return out;
+}
+
+std::vector<Tensor*> DuelingNet::Gradients() {
+  std::vector<Tensor*> out = trunk_->Gradients();
+  out.push_back(&value_->weight_grad());
+  out.push_back(&value_->bias_grad());
+  out.push_back(&advantage_->weight_grad());
+  out.push_back(&advantage_->bias_grad());
+  return out;
+}
+
+void DuelingNet::CopyWeightsFrom(const DuelingNet& other) {
+  ERMINER_CHECK(trunk_dims_ == other.trunk_dims_);
+  ERMINER_CHECK(num_actions_ == other.num_actions_);
+  trunk_->CopyWeightsFrom(*other.trunk_);
+  value_->weight() = other.value_->weight();
+  value_->bias() = other.value_->bias();
+  advantage_->weight() = other.advantage_->weight();
+  advantage_->bias() = other.advantage_->bias();
+}
+
+namespace {
+constexpr uint32_t kDuelMagic = 0x4455454c;  // "DUEL"
+
+void WriteTensor(std::ostream& os, const Tensor& t) {
+  os.write(reinterpret_cast<const char*>(t.data().data()),
+           static_cast<std::streamsize>(t.size() * sizeof(float)));
+}
+void ReadTensor(std::istream& is, Tensor* t) {
+  is.read(reinterpret_cast<char*>(t->data().data()),
+          static_cast<std::streamsize>(t->size() * sizeof(float)));
+}
+}  // namespace
+
+Status DuelingNet::Save(std::ostream& os) const {
+  uint32_t magic = kDuelMagic;
+  os.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  uint64_t na = num_actions_;
+  os.write(reinterpret_cast<const char*>(&na), sizeof(na));
+  ERMINER_RETURN_NOT_OK(trunk_->Save(os));
+  WriteTensor(os, value_->weight());
+  WriteTensor(os, value_->bias());
+  WriteTensor(os, advantage_->weight());
+  WriteTensor(os, advantage_->bias());
+  if (!os) return Status::IoError("failed writing dueling weights");
+  return Status::OK();
+}
+
+Result<DuelingNet> DuelingNet::Load(std::istream& is) {
+  uint32_t magic = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!is || magic != kDuelMagic) {
+    return Status::IoError("bad dueling weight file magic");
+  }
+  uint64_t na = 0;
+  is.read(reinterpret_cast<char*>(&na), sizeof(na));
+  if (!is || na == 0 || na > (1u << 24)) {
+    return Status::IoError("bad dueling action count");
+  }
+  ERMINER_ASSIGN_OR_RETURN(Mlp trunk, Mlp::Load(is));
+  Rng rng(0);
+  DuelingNet net(trunk.dims(), static_cast<size_t>(na), &rng);
+  net.trunk_->CopyWeightsFrom(trunk);
+  ReadTensor(is, &net.value_->weight());
+  ReadTensor(is, &net.value_->bias());
+  ReadTensor(is, &net.advantage_->weight());
+  ReadTensor(is, &net.advantage_->bias());
+  if (!is) return Status::IoError("truncated dueling weight file");
+  return net;
+}
+
+}  // namespace erminer

@@ -1,0 +1,52 @@
+// Dueling network head (Wang et al., 2016): Q(s,a) = V(s) + A(s,a) −
+// mean_a A(s,a). One of the DQN-variant architectures Sec. III-C.5 alludes
+// to. The trunk is a shared ReLU MLP; the two linear heads and the
+// aggregation have explicit backward passes.
+
+#ifndef ERMINER_NN_DUELING_H_
+#define ERMINER_NN_DUELING_H_
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "nn/mlp.h"
+
+namespace erminer {
+
+/// A drop-in alternative to a plain Mlp for Q-value estimation.
+class DuelingNet {
+ public:
+  /// trunk_dims = {input, hidden...}; heads map the last hidden width to
+  /// 1 (value) and num_actions (advantage).
+  DuelingNet(std::vector<size_t> trunk_dims, size_t num_actions, Rng* rng);
+
+  /// Q-values, [batch, num_actions].
+  Tensor Forward(const Tensor& x);
+
+  /// dL/dQ -> gradients of trunk and heads.
+  void Backward(const Tensor& dq);
+
+  void ZeroGrad();
+  std::vector<Tensor*> Parameters();
+  std::vector<Tensor*> Gradients();
+  void CopyWeightsFrom(const DuelingNet& other);
+
+  size_t input_dim() const { return trunk_dims_.front(); }
+  size_t num_actions() const { return num_actions_; }
+
+  Status Save(std::ostream& os) const;
+  static Result<DuelingNet> Load(std::istream& is);
+
+ private:
+  std::vector<size_t> trunk_dims_;
+  size_t num_actions_;
+  std::unique_ptr<Mlp> trunk_;       // input -> feature (ReLU on output too)
+  std::unique_ptr<Linear> value_;    // feature -> 1
+  std::unique_ptr<Linear> advantage_;  // feature -> num_actions
+  Tensor trunk_out_;                 // cached pre-ReLU trunk output
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_NN_DUELING_H_

@@ -1,0 +1,32 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+namespace erminer {
+
+float HuberLoss(float diff, float delta) {
+  float a = std::fabs(diff);
+  if (a <= delta) return 0.5f * diff * diff;
+  return delta * (a - 0.5f * delta);
+}
+
+float HuberGrad(float diff, float delta) {
+  if (diff > delta) return delta;
+  if (diff < -delta) return -delta;
+  return diff;
+}
+
+std::pair<float, Tensor> MseLoss(const Tensor& pred, const Tensor& target) {
+  ERMINER_CHECK(pred.rows() == target.rows() && pred.cols() == target.cols());
+  Tensor grad(pred.rows(), pred.cols());
+  float loss = 0.0f;
+  const float inv_n = 1.0f / static_cast<float>(pred.size());
+  for (size_t i = 0; i < pred.size(); ++i) {
+    float d = pred.data()[i] - target.data()[i];
+    loss += d * d;
+    grad.data()[i] = 2.0f * d * inv_n;
+  }
+  return {loss * inv_n, grad};
+}
+
+}  // namespace erminer

@@ -1,0 +1,21 @@
+// Loss functions for the TD update.
+
+#ifndef ERMINER_NN_LOSS_H_
+#define ERMINER_NN_LOSS_H_
+
+#include <utility>
+
+#include "nn/tensor.h"
+
+namespace erminer {
+
+/// Huber (smooth-L1) value and derivative for residual `diff` = pred - target.
+float HuberLoss(float diff, float delta = 1.0f);
+float HuberGrad(float diff, float delta = 1.0f);
+
+/// Mean squared error over matching tensors; returns (loss, dL/dpred).
+std::pair<float, Tensor> MseLoss(const Tensor& pred, const Tensor& target);
+
+}  // namespace erminer
+
+#endif  // ERMINER_NN_LOSS_H_

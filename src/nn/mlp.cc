@@ -1,0 +1,153 @@
+#include "nn/mlp.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+namespace erminer {
+
+Linear::Linear(size_t in, size_t out, Rng* rng)
+    : weight_(in, out),
+      bias_(1, out, 0.0f),
+      dweight_(in, out, 0.0f),
+      dbias_(1, out, 0.0f) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(in));
+  for (float& w : weight_.data()) {
+    w = static_cast<float>((rng->NextDouble() * 2.0 - 1.0) * bound);
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) {
+  ERMINER_CHECK(x.cols() == weight_.rows());
+  last_input_ = x;
+  Tensor y = MatMul(x, weight_);
+  AddBiasInPlace(&y, bias_);
+  return y;
+}
+
+Tensor Linear::Backward(const Tensor& dy) {
+  ERMINER_CHECK(dy.cols() == weight_.cols());
+  ERMINER_CHECK(last_input_.rows() == dy.rows());
+  Axpy(1.0f, MatMulTransA(last_input_, dy), &dweight_);
+  Axpy(1.0f, SumRows(dy), &dbias_);
+  return MatMulTransB(dy, weight_);
+}
+
+void Linear::ZeroGrad() {
+  dweight_.Fill(0.0f);
+  dbias_.Fill(0.0f);
+}
+
+Mlp::Mlp(std::vector<size_t> dims, Rng* rng) : dims_(std::move(dims)) {
+  ERMINER_CHECK(dims_.size() >= 2);
+  layers_.reserve(dims_.size() - 1);
+  for (size_t i = 0; i + 1 < dims_.size(); ++i) {
+    layers_.emplace_back(dims_[i], dims_[i + 1], rng);
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x) {
+  pre_activations_.clear();
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) {
+      pre_activations_.push_back(h);  // cache pre-ReLU for backward
+      h = Relu(h);
+    }
+  }
+  return h;
+}
+
+void Mlp::Backward(const Tensor& dout) {
+  ERMINER_CHECK(pre_activations_.size() + 1 == layers_.size());
+  Tensor g = dout;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    g = layers_[i].Backward(g);
+    if (i > 0) g = ReluBackward(pre_activations_[i - 1], g);
+  }
+}
+
+void Mlp::ZeroGrad() {
+  for (auto& l : layers_) l.ZeroGrad();
+}
+
+std::vector<Tensor*> Mlp::Parameters() {
+  std::vector<Tensor*> out;
+  for (auto& l : layers_) {
+    out.push_back(&l.weight());
+    out.push_back(&l.bias());
+  }
+  return out;
+}
+
+std::vector<Tensor*> Mlp::Gradients() {
+  std::vector<Tensor*> out;
+  for (auto& l : layers_) {
+    out.push_back(&l.weight_grad());
+    out.push_back(&l.bias_grad());
+  }
+  return out;
+}
+
+void Mlp::CopyWeightsFrom(const Mlp& other) {
+  ERMINER_CHECK(dims_ == other.dims_);
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].weight() = other.layers_[i].weight();
+    layers_[i].bias() = other.layers_[i].bias();
+  }
+}
+
+namespace {
+constexpr uint32_t kMagic = 0x45524d4c;  // "ERML"
+}  // namespace
+
+Status Mlp::Save(std::ostream& os) const {
+  uint32_t magic = kMagic;
+  os.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  uint32_t n_dims = static_cast<uint32_t>(dims_.size());
+  os.write(reinterpret_cast<const char*>(&n_dims), sizeof(n_dims));
+  for (size_t d : dims_) {
+    uint64_t v = d;
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  for (const auto& l : layers_) {
+    os.write(reinterpret_cast<const char*>(l.weight().data().data()),
+             static_cast<std::streamsize>(l.weight().size() * sizeof(float)));
+    os.write(reinterpret_cast<const char*>(l.bias().data().data()),
+             static_cast<std::streamsize>(l.bias().size() * sizeof(float)));
+  }
+  if (!os) return Status::IoError("failed writing MLP weights");
+  return Status::OK();
+}
+
+Result<Mlp> Mlp::Load(std::istream& is) {
+  uint32_t magic = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!is || magic != kMagic) {
+    return Status::IoError("bad MLP weight file magic");
+  }
+  uint32_t n_dims = 0;
+  is.read(reinterpret_cast<char*>(&n_dims), sizeof(n_dims));
+  if (!is || n_dims < 2 || n_dims > 64) {
+    return Status::IoError("bad MLP dim count");
+  }
+  std::vector<size_t> dims(n_dims);
+  for (auto& d : dims) {
+    uint64_t v = 0;
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    d = static_cast<size_t>(v);
+  }
+  Rng rng(0);
+  Mlp mlp(dims, &rng);
+  for (auto& l : mlp.layers_) {
+    is.read(reinterpret_cast<char*>(l.weight().data().data()),
+            static_cast<std::streamsize>(l.weight().size() * sizeof(float)));
+    is.read(reinterpret_cast<char*>(l.bias().data().data()),
+            static_cast<std::streamsize>(l.bias().size() * sizeof(float)));
+  }
+  if (!is) return Status::IoError("truncated MLP weight file");
+  return mlp;
+}
+
+}  // namespace erminer

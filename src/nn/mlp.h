@@ -1,0 +1,83 @@
+// Linear layer and MLP with explicit backpropagation (no autograd).
+//
+// The value network of Sec. IV-C is an MLP: state one-hot -> hidden ReLU
+// stack -> linear head producing one Q-value per action. Forward caches the
+// per-layer inputs so Backward can accumulate gradients; a subsequent
+// optimizer step consumes Parameters()/Gradients().
+
+#ifndef ERMINER_NN_MLP_H_
+#define ERMINER_NN_MLP_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace erminer {
+
+class Linear {
+ public:
+  /// He-uniform initialization.
+  Linear(size_t in, size_t out, Rng* rng);
+
+  /// y = x W + b. `x` is cached for Backward.
+  Tensor Forward(const Tensor& x);
+
+  /// Given dL/dy, accumulates dW/db and returns dL/dx.
+  Tensor Backward(const Tensor& dy);
+
+  void ZeroGrad();
+
+  size_t in_dim() const { return weight_.rows(); }
+  size_t out_dim() const { return weight_.cols(); }
+
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+  Tensor& weight_grad() { return dweight_; }
+  Tensor& bias_grad() { return dbias_; }
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  Tensor weight_;   // [in, out]
+  Tensor bias_;     // [1, out]
+  Tensor dweight_;
+  Tensor dbias_;
+  Tensor last_input_;
+};
+
+class Mlp {
+ public:
+  /// dims = {input, hidden..., output}; ReLU between all but the last layer.
+  Mlp(std::vector<size_t> dims, Rng* rng);
+
+  Tensor Forward(const Tensor& x);
+  /// dL/d(output) -> accumulates all layer gradients.
+  void Backward(const Tensor& dout);
+  void ZeroGrad();
+
+  /// Flat views for the optimizer (weights and biases interleaved per layer).
+  std::vector<Tensor*> Parameters();
+  std::vector<Tensor*> Gradients();
+
+  /// Hard copy of another MLP's weights (target-network sync). Dims must
+  /// match.
+  void CopyWeightsFrom(const Mlp& other);
+
+  const std::vector<size_t>& dims() const { return dims_; }
+
+  /// Binary (de)serialization for fine-tuning (RLMiner-ft).
+  Status Save(std::ostream& os) const;
+  static Result<Mlp> Load(std::istream& is);
+
+ private:
+  std::vector<size_t> dims_;
+  std::vector<Linear> layers_;
+  std::vector<Tensor> pre_activations_;  // cached per Forward
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_NN_MLP_H_

@@ -1,0 +1,47 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace erminer {
+
+void Sgd::Step(const std::vector<Tensor*>& params,
+               const std::vector<Tensor*>& grads) {
+  ERMINER_CHECK(params.size() == grads.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    ERMINER_CHECK(params[i]->size() == grads[i]->size());
+    for (size_t j = 0; j < params[i]->size(); ++j) {
+      params[i]->data()[j] -= lr_ * grads[i]->data()[j];
+    }
+  }
+}
+
+void Adam::Step(const std::vector<Tensor*>& params,
+                const std::vector<Tensor*>& grads) {
+  ERMINER_CHECK(params.size() == grads.size());
+  if (m_.empty()) {
+    m_.resize(params.size());
+    v_.resize(params.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      m_[i].assign(params[i]->size(), 0.0f);
+      v_[i].assign(params[i]->size(), 0.0f);
+    }
+  }
+  ERMINER_CHECK(m_.size() == params.size());
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params.size(); ++i) {
+    ERMINER_CHECK(params[i]->size() == grads[i]->size());
+    ERMINER_CHECK(params[i]->size() == m_[i].size());
+    for (size_t j = 0; j < params[i]->size(); ++j) {
+      const float g = grads[i]->data()[j];
+      m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * g;
+      v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * g * g;
+      const float mhat = m_[i][j] / bc1;
+      const float vhat = v_[i][j] / bc2;
+      params[i]->data()[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace erminer

@@ -1,0 +1,46 @@
+// SGD and Adam optimizers over a parameter/gradient tensor list.
+
+#ifndef ERMINER_NN_OPTIMIZER_H_
+#define ERMINER_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace erminer {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Applies one update from `grads` to `params` (parallel lists).
+  virtual void Step(const std::vector<Tensor*>& params,
+                    const std::vector<Tensor*>& grads) = 0;
+};
+
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float lr) : lr_(lr) {}
+  void Step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads) override;
+
+ private:
+  float lr_;
+};
+
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+  void Step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads) override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+  std::vector<std::vector<float>> m_, v_;  // lazily sized to params
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_NN_OPTIMIZER_H_

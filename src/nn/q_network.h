@@ -1,0 +1,100 @@
+// QNetwork: the interface DqnAgent trains through, with adapters for the
+// plain MLP head and the dueling head. Keeps the agent agnostic of the
+// architecture variant.
+
+#ifndef ERMINER_NN_Q_NETWORK_H_
+#define ERMINER_NN_Q_NETWORK_H_
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "nn/dueling.h"
+#include "nn/mlp.h"
+
+namespace erminer {
+
+class QNetwork {
+ public:
+  virtual ~QNetwork() = default;
+  virtual Tensor Forward(const Tensor& x) = 0;
+  virtual void Backward(const Tensor& dout) = 0;
+  virtual void ZeroGrad() = 0;
+  virtual std::vector<Tensor*> Parameters() = 0;
+  virtual std::vector<Tensor*> Gradients() = 0;
+  /// Requires `other` to be the same architecture and shape.
+  virtual void CopyWeightsFrom(const QNetwork& other) = 0;
+  virtual Status Save(std::ostream& os) const = 0;
+  /// Loads weights into this network; shape must match.
+  virtual Status LoadFrom(std::istream& is) = 0;
+};
+
+class MlpQNetwork : public QNetwork {
+ public:
+  MlpQNetwork(std::vector<size_t> dims, Rng* rng)
+      : net_(std::move(dims), rng) {}
+
+  Tensor Forward(const Tensor& x) override { return net_.Forward(x); }
+  void Backward(const Tensor& dout) override { net_.Backward(dout); }
+  void ZeroGrad() override { net_.ZeroGrad(); }
+  std::vector<Tensor*> Parameters() override { return net_.Parameters(); }
+  std::vector<Tensor*> Gradients() override { return net_.Gradients(); }
+
+  void CopyWeightsFrom(const QNetwork& other) override {
+    const auto* o = dynamic_cast<const MlpQNetwork*>(&other);
+    ERMINER_CHECK(o != nullptr);
+    net_.CopyWeightsFrom(o->net_);
+  }
+
+  Status Save(std::ostream& os) const override { return net_.Save(os); }
+
+  Status LoadFrom(std::istream& is) override {
+    ERMINER_ASSIGN_OR_RETURN(Mlp loaded, Mlp::Load(is));
+    if (loaded.dims() != net_.dims()) {
+      return Status::InvalidArgument("MLP weight dims mismatch");
+    }
+    net_.CopyWeightsFrom(loaded);
+    return Status::OK();
+  }
+
+ private:
+  Mlp net_;
+};
+
+class DuelingQNetwork : public QNetwork {
+ public:
+  DuelingQNetwork(std::vector<size_t> trunk_dims, size_t num_actions,
+                  Rng* rng)
+      : net_(std::move(trunk_dims), num_actions, rng) {}
+
+  Tensor Forward(const Tensor& x) override { return net_.Forward(x); }
+  void Backward(const Tensor& dout) override { net_.Backward(dout); }
+  void ZeroGrad() override { net_.ZeroGrad(); }
+  std::vector<Tensor*> Parameters() override { return net_.Parameters(); }
+  std::vector<Tensor*> Gradients() override { return net_.Gradients(); }
+
+  void CopyWeightsFrom(const QNetwork& other) override {
+    const auto* o = dynamic_cast<const DuelingQNetwork*>(&other);
+    ERMINER_CHECK(o != nullptr);
+    net_.CopyWeightsFrom(o->net_);
+  }
+
+  Status Save(std::ostream& os) const override { return net_.Save(os); }
+
+  Status LoadFrom(std::istream& is) override {
+    ERMINER_ASSIGN_OR_RETURN(DuelingNet loaded, DuelingNet::Load(is));
+    if (loaded.input_dim() != net_.input_dim() ||
+        loaded.num_actions() != net_.num_actions()) {
+      return Status::InvalidArgument("dueling weight dims mismatch");
+    }
+    net_.CopyWeightsFrom(loaded);
+    return Status::OK();
+  }
+
+ private:
+  DuelingNet net_;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_NN_Q_NETWORK_H_

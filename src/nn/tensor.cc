@@ -1,0 +1,107 @@
+#include "nn/tensor.h"
+
+namespace erminer {
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  ERMINER_CHECK(a.cols() == b.rows());
+  Tensor c(a.rows(), b.cols(), 0.0f);
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t p = 0; p < k; ++p) {
+      const float av = pa[i * k + p];
+      if (av == 0.0f) continue;  // one-hot inputs make this a big win
+      const float* brow = pb + p * n;
+      float* crow = pc + i * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  ERMINER_CHECK(a.rows() == b.rows());
+  Tensor c(a.cols(), b.cols(), 0.0f);
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (size_t p = 0; p < k; ++p) {
+    const float* arow = pa + p * m;
+    const float* brow = pb + p * n;
+    for (size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  ERMINER_CHECK(a.cols() == b.cols());
+  Tensor c(a.rows(), b.rows(), 0.0f);
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+void AddBiasInPlace(Tensor* y, const Tensor& bias) {
+  ERMINER_CHECK(bias.rows() == 1 && bias.cols() == y->cols());
+  for (size_t r = 0; r < y->rows(); ++r) {
+    for (size_t c = 0; c < y->cols(); ++c) {
+      y->at(r, c) += bias.at(0, c);
+    }
+  }
+}
+
+Tensor Relu(const Tensor& x) {
+  Tensor y = x;
+  for (float& v : y.data()) {
+    if (v < 0.0f) v = 0.0f;
+  }
+  return y;
+}
+
+Tensor ReluBackward(const Tensor& x, const Tensor& grad) {
+  ERMINER_CHECK(x.rows() == grad.rows() && x.cols() == grad.cols());
+  Tensor g = grad;
+  for (size_t i = 0; i < g.size(); ++i) {
+    if (x.data()[i] <= 0.0f) g.data()[i] = 0.0f;
+  }
+  return g;
+}
+
+Tensor SumRows(const Tensor& x) {
+  Tensor s(1, x.cols(), 0.0f);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t c = 0; c < x.cols(); ++c) {
+      s.at(0, c) += x.at(r, c);
+    }
+  }
+  return s;
+}
+
+void Axpy(float s, const Tensor& b, Tensor* a) {
+  ERMINER_CHECK(a->rows() == b.rows() && a->cols() == b.cols());
+  for (size_t i = 0; i < a->size(); ++i) {
+    a->data()[i] += s * b.data()[i];
+  }
+}
+
+}  // namespace erminer

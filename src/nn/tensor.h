@@ -1,0 +1,76 @@
+// A minimal dense 2-D float tensor with the linear-algebra kernels the value
+// network needs. Row-major storage; all operations are single-threaded and
+// bounds-checked via ERMINER_CHECK.
+
+#ifndef ERMINER_NN_TENSOR_H_
+#define ERMINER_NN_TENSOR_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace erminer {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(size_t rows, size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Tensor FromData(size_t rows, size_t cols, std::vector<float> data) {
+    ERMINER_CHECK(data.size() == rows * cols);
+    Tensor t;
+    t.rows_ = rows;
+    t.cols_ = cols;
+    t.data_ = std::move(data);
+    return t;
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  float at(size_t r, size_t c) const {
+    ERMINER_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float& at(size_t r, size_t c) {
+    ERMINER_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A(BxK) * B(KxN).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// C = A^T * B, A:(KxM) B:(KxN) -> (MxN).
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+/// C = A * B^T, A:(MxK) B:(NxK) -> (MxN).
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+
+/// y += row-broadcast bias (bias is 1xN).
+void AddBiasInPlace(Tensor* y, const Tensor& bias);
+
+/// Element-wise ReLU; ReluBackward zeroes grad where the forward input was
+/// non-positive.
+Tensor Relu(const Tensor& x);
+Tensor ReluBackward(const Tensor& x, const Tensor& grad);
+
+/// Sum over rows -> 1xN (bias gradient).
+Tensor SumRows(const Tensor& x);
+
+/// a += s * b (same shape).
+void Axpy(float s, const Tensor& b, Tensor* a);
+
+}  // namespace erminer
+
+#endif  // ERMINER_NN_TENSOR_H_

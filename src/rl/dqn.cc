@@ -1,0 +1,176 @@
+#include "rl/dqn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "nn/loss.h"
+
+namespace erminer {
+
+namespace {
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+Tensor DensifyKey(const RuleKey& key, size_t dim) {
+  Tensor t(1, dim, 0.0f);
+  for (int32_t i : key) {
+    ERMINER_CHECK(i >= 0 && static_cast<size_t>(i) < dim);
+    t.at(0, static_cast<size_t>(i)) = 1.0f;
+  }
+  return t;
+}
+
+/// argmax over allowed actions of a Q row; returns -1 if nothing allowed.
+int32_t MaskedArgmax(const float* q, const std::vector<uint8_t>& mask,
+                     size_t n) {
+  int32_t best = -1;
+  float best_q = kNegInf;
+  for (size_t i = 0; i < n; ++i) {
+    if (!mask[i]) continue;
+    if (best < 0 || q[i] > best_q) {
+      best = static_cast<int32_t>(i);
+      best_q = q[i];
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+DqnAgent::DqnAgent(size_t state_dim, size_t num_actions,
+                   const DqnOptions& options)
+    : state_dim_(state_dim),
+      num_actions_(num_actions),
+      options_(options),
+      rng_(options.seed),
+      optimizer_(options.learning_rate),
+      replay_(options.replay_capacity) {
+  std::vector<size_t> dims;
+  dims.push_back(state_dim_);
+  for (size_t h : options_.hidden) dims.push_back(h);
+  if (options_.dueling) {
+    // The trunk ends at the last hidden width; V/A heads hang off it.
+    online_ = std::make_unique<DuelingQNetwork>(dims, num_actions_, &rng_);
+    target_ = std::make_unique<DuelingQNetwork>(dims, num_actions_, &rng_);
+  } else {
+    dims.push_back(num_actions_);
+    online_ = std::make_unique<MlpQNetwork>(dims, &rng_);
+    target_ = std::make_unique<MlpQNetwork>(dims, &rng_);
+  }
+  target_->CopyWeightsFrom(*online_);
+  if (options_.prioritized) {
+    prioritized_ = std::make_unique<PrioritizedReplay>(
+        options_.replay_capacity, options_.per_alpha, options_.per_beta);
+  }
+}
+
+int32_t DqnAgent::Act(const RuleKey& state, const std::vector<uint8_t>& mask,
+                      double epsilon) {
+  ERMINER_CHECK(mask.size() == num_actions_);
+  if (epsilon > 0.0 && rng_.NextBernoulli(epsilon)) {
+    // Uniform over allowed actions.
+    std::vector<int32_t> allowed;
+    for (size_t i = 0; i < mask.size(); ++i) {
+      if (mask[i]) allowed.push_back(static_cast<int32_t>(i));
+    }
+    ERMINER_CHECK(!allowed.empty());
+    return allowed[rng_.NextUint64(allowed.size())];
+  }
+  Tensor q = online_->Forward(DensifyKey(state, state_dim_));
+  int32_t a = MaskedArgmax(q.data().data(), mask, num_actions_);
+  ERMINER_CHECK(a >= 0);
+  return a;
+}
+
+std::vector<float> DqnAgent::QValues(const RuleKey& state) {
+  Tensor q = online_->Forward(DensifyKey(state, state_dim_));
+  return q.data();
+}
+
+Tensor DqnAgent::Densify(const std::vector<const Transition*>& batch,
+                         bool next) const {
+  Tensor x(batch.size(), state_dim_, 0.0f);
+  for (size_t b = 0; b < batch.size(); ++b) {
+    const RuleKey& key = next ? batch[b]->next_state : batch[b]->state;
+    for (int32_t i : key) {
+      x.at(b, static_cast<size_t>(i)) = 1.0f;
+    }
+  }
+  return x;
+}
+
+float DqnAgent::TrainStep() {
+  if (replay_size() < std::max(options_.min_replay, options_.batch_size)) {
+    return 0.0f;
+  }
+  std::vector<const Transition*> batch;
+  PrioritizedSample per;
+  std::vector<float> is_weights;
+  if (prioritized_) {
+    per = prioritized_->Sample(options_.batch_size, &rng_);
+    batch = per.transitions;
+    is_weights = per.weights;
+  } else {
+    batch = replay_.Sample(options_.batch_size, &rng_);
+    is_weights.assign(batch.size(), 1.0f);
+  }
+  const size_t bsz = batch.size();
+
+  // Bootstrap targets from the target network with the next-state mask.
+  // Plain DQN takes the target net's own masked argmax; double DQN selects
+  // the action with the online net and evaluates it with the target net.
+  Tensor next_q = target_->Forward(Densify(batch, /*next=*/true));
+  Tensor next_q_online;
+  if (options_.double_dqn) {
+    next_q_online = online_->Forward(Densify(batch, /*next=*/true));
+  }
+  std::vector<float> targets(bsz);
+  for (size_t b = 0; b < bsz; ++b) {
+    float boot = 0.0f;
+    if (!batch[b]->done) {
+      const float* selector =
+          options_.double_dqn ? next_q_online.data().data() + b * num_actions_
+                              : next_q.data().data() + b * num_actions_;
+      int32_t a = MaskedArgmax(selector, batch[b]->next_mask, num_actions_);
+      if (a >= 0) {
+        boot = options_.gamma * next_q.at(b, static_cast<size_t>(a));
+      }
+    }
+    targets[b] = batch[b]->reward + boot;
+  }
+
+  // Forward the online net and backprop Huber gradients at the chosen
+  // actions only, weighted by the importance-sampling corrections.
+  Tensor q = online_->Forward(Densify(batch, /*next=*/false));
+  Tensor dq(bsz, num_actions_, 0.0f);
+  std::vector<float> abs_td(bsz);
+  float loss = 0.0f;
+  const float inv_b = 1.0f / static_cast<float>(bsz);
+  for (size_t b = 0; b < bsz; ++b) {
+    const size_t a = static_cast<size_t>(batch[b]->action);
+    ERMINER_CHECK(a < num_actions_);
+    const float diff = q.at(b, a) - targets[b];
+    abs_td[b] = std::fabs(diff);
+    loss += is_weights[b] * HuberLoss(diff, options_.huber_delta) * inv_b;
+    dq.at(b, a) =
+        is_weights[b] * HuberGrad(diff, options_.huber_delta) * inv_b;
+  }
+  online_->ZeroGrad();
+  online_->Backward(dq);
+  optimizer_.Step(online_->Parameters(), online_->Gradients());
+  if (prioritized_) prioritized_->UpdatePriorities(per.indices, abs_td);
+  ++updates_done_;
+  if (updates_done_ % options_.target_sync_every == 0) {
+    target_->CopyWeightsFrom(*online_);
+  }
+  return loss;
+}
+
+Status DqnAgent::LoadWeights(std::istream& is) {
+  ERMINER_RETURN_NOT_OK(online_->LoadFrom(is));
+  target_->CopyWeightsFrom(*online_);
+  return Status::OK();
+}
+
+}  // namespace erminer

@@ -1,0 +1,103 @@
+// Masked deep Q-network agent (Sec. III-C.5, IV-C).
+//
+// The online network estimates Q(s, a) for every action; the rule-mask layer
+// (Eq. 13) assigns -inf to disallowed actions before the greedy argmax —
+// both when acting and when bootstrapping through the target network.
+
+#ifndef ERMINER_RL_DQN_H_
+#define ERMINER_RL_DQN_H_
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "nn/q_network.h"
+#include "rl/prioritized_replay.h"
+#include "rl/replay_buffer.h"
+#include "util/random.h"
+
+namespace erminer {
+
+struct DqnOptions {
+  std::vector<size_t> hidden = {128, 128};
+  float learning_rate = 1e-3f;
+  float gamma = 0.95f;
+  size_t batch_size = 64;
+  size_t replay_capacity = 20000;
+  /// Minimum transitions before updates begin.
+  size_t min_replay = 200;
+  /// Target-network hard sync cadence (in updates).
+  size_t target_sync_every = 100;
+  float huber_delta = 1.0f;
+  uint64_t seed = 17;
+
+  /// Double DQN (van Hasselt et al.): select the bootstrap action with the
+  /// online network, evaluate it with the target network.
+  bool double_dqn = false;
+  /// Dueling architecture (Wang et al.): Q = V + A - mean(A).
+  bool dueling = false;
+  /// Prioritized experience replay (proportional variant).
+  bool prioritized = false;
+  double per_alpha = 0.6;
+  double per_beta = 0.4;
+};
+
+class DqnAgent {
+ public:
+  DqnAgent(size_t state_dim, size_t num_actions, const DqnOptions& options);
+
+  /// Masked epsilon-greedy action. At least the stop action must be allowed.
+  int32_t Act(const RuleKey& state, const std::vector<uint8_t>& mask,
+              double epsilon);
+
+  /// Masked greedy action (inference).
+  int32_t ActGreedy(const RuleKey& state, const std::vector<uint8_t>& mask) {
+    return Act(state, mask, 0.0);
+  }
+
+  /// Q-values of one state (pre-mask), for inspection and tests.
+  std::vector<float> QValues(const RuleKey& state);
+
+  void Observe(Transition t) {
+    if (prioritized_) {
+      prioritized_->Add(std::move(t));
+    } else {
+      replay_.Add(std::move(t));
+    }
+  }
+
+  /// One TD(0) update from a replay batch; no-op until min_replay is met.
+  /// Returns the batch Huber loss (0 when skipped).
+  float TrainStep();
+
+  size_t updates_done() const { return updates_done_; }
+  size_t state_dim() const { return state_dim_; }
+  size_t num_actions() const { return num_actions_; }
+  size_t replay_size() const {
+    return prioritized_ ? prioritized_->size() : replay_.size();
+  }
+
+  /// Weight (de)serialization for fine-tuning.
+  Status SaveWeights(std::ostream& os) const { return online_->Save(os); }
+  Status LoadWeights(std::istream& is);
+
+ private:
+  Tensor Densify(const std::vector<const Transition*>& batch,
+                 bool next) const;
+
+  size_t state_dim_;
+  size_t num_actions_;
+  DqnOptions options_;
+  Rng rng_;
+  std::unique_ptr<QNetwork> online_;
+  std::unique_ptr<QNetwork> target_;
+  Adam optimizer_;
+  ReplayBuffer replay_;
+  std::unique_ptr<PrioritizedReplay> prioritized_;  // set when enabled
+  size_t updates_done_ = 0;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_RL_DQN_H_

@@ -1,0 +1,42 @@
+#include "rl/incremental_miner.h"
+
+#include <sstream>
+
+namespace erminer {
+
+IncrementalMiner::IncrementalMiner(const Corpus* reference,
+                                   const Options& options)
+    : options_(options) {
+  ERMINER_CHECK(reference != nullptr);
+  ActionSpaceOptions aopts;
+  aopts.support_threshold = options_.rl.base.support_threshold;
+  aopts.max_classes_per_attr = options_.rl.base.max_classes_per_attr;
+  aopts.include_negations = options_.rl.base.include_negations;
+  space_ =
+      std::make_shared<ActionSpace>(ActionSpace::Build(*reference, aopts));
+}
+
+MineResult IncrementalMiner::Mine(const Corpus& corpus) {
+  RlMiner miner(&corpus, options_.rl, space_);
+  if (rounds_ == 0) {
+    miner.Train();
+  } else {
+    std::istringstream in(weights_);
+    ERMINER_CHECK_OK(miner.LoadAgent(in));
+    size_t steps = std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(
+               options_.rl.train_steps) * options_.fine_tune_fraction));
+    miner.Train(steps);
+  }
+  MineResult result = miner.Infer();
+  result.train_seconds = miner.last_train_seconds();
+  result.seconds = result.train_seconds + result.inference_seconds;
+
+  std::ostringstream out;
+  ERMINER_CHECK_OK(miner.SaveAgent(out));
+  weights_ = out.str();
+  ++rounds_;
+  return result;
+}
+
+}  // namespace erminer

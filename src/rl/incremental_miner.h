@@ -1,0 +1,51 @@
+// IncrementalMiner: first-class RLMiner-ft (Sec. V-D3).
+//
+// Wraps the machinery the incremental experiments need: the action space is
+// built ONCE from a reference ("full") corpus so the value network's
+// dimensions never change, the first Mine() trains from scratch, and every
+// later Mine() on an enriched corpus transfers the previous agent's weights
+// and fine-tunes with a fraction of the steps.
+//
+// The reference corpus must share dictionaries with every corpus passed to
+// Mine() — use Corpus::TruncateRows views of one full corpus, which is how
+// gradually-revealed data is modeled here.
+
+#ifndef ERMINER_RL_INCREMENTAL_MINER_H_
+#define ERMINER_RL_INCREMENTAL_MINER_H_
+
+#include <memory>
+#include <string>
+
+#include "rl/rl_miner.h"
+
+namespace erminer {
+
+class IncrementalMiner {
+ public:
+  struct Options {
+    RlMinerOptions rl;
+    /// Fine-tune budget as a fraction of rl.train_steps (paper: much
+    /// smaller than from-scratch training).
+    double fine_tune_fraction = 0.2;
+  };
+
+  /// `reference` provides the action space (typically the full corpus).
+  IncrementalMiner(const Corpus* reference, const Options& options);
+
+  /// Mines `corpus` (a dictionary-compatible view). The first call trains
+  /// from scratch; later calls fine-tune the carried-over agent.
+  MineResult Mine(const Corpus& corpus);
+
+  size_t rounds() const { return rounds_; }
+  const ActionSpace& space() const { return *space_; }
+
+ private:
+  Options options_;
+  std::shared_ptr<const ActionSpace> space_;
+  std::string weights_;  // serialized agent carried across rounds
+  size_t rounds_ = 0;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_RL_INCREMENTAL_MINER_H_

@@ -1,0 +1,108 @@
+#include "rl/prioritized_replay.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace erminer {
+
+SumTree::SumTree(size_t capacity) : capacity_(capacity) {
+  ERMINER_CHECK(capacity_ > 0);
+  // 1-based heap: root at 1, leaves at [capacity, 2*capacity). With a
+  // capacity of 1 the root IS the single leaf.
+  nodes_.assign(std::max<size_t>(2, 2 * capacity_), 0.0);
+}
+
+void SumTree::Set(size_t index, double weight) {
+  ERMINER_CHECK(index < capacity_);
+  ERMINER_CHECK(weight >= 0.0);
+  size_t i = index + capacity_;
+  double delta = weight - nodes_[i];
+  while (i >= 1) {
+    nodes_[i] += delta;
+    i /= 2;
+  }
+}
+
+double SumTree::Get(size_t index) const {
+  ERMINER_CHECK(index < capacity_);
+  return nodes_[index + capacity_];
+}
+
+size_t SumTree::FindPrefix(double prefix) const {
+  size_t i = 1;
+  while (i < capacity_) {
+    size_t left = 2 * i;
+    if (prefix < nodes_[left]) {
+      i = left;
+    } else {
+      prefix -= nodes_[left];
+      i = left + 1;
+    }
+  }
+  return i - capacity_;
+}
+
+PrioritizedReplay::PrioritizedReplay(size_t capacity, double alpha,
+                                     double beta, double eps)
+    : capacity_(capacity),
+      alpha_(alpha),
+      beta_(beta),
+      eps_(eps),
+      tree_(capacity) {
+  ERMINER_CHECK(capacity_ > 0);
+}
+
+void PrioritizedReplay::Add(Transition t) {
+  size_t slot;
+  if (buffer_.size() < capacity_) {
+    slot = buffer_.size();
+    buffer_.push_back(std::move(t));
+  } else {
+    slot = next_;
+    buffer_[next_] = std::move(t);
+  }
+  next_ = (next_ + 1) % capacity_;
+  tree_.Set(slot, max_priority_);
+}
+
+PrioritizedSample PrioritizedReplay::Sample(size_t batch, Rng* rng) const {
+  ERMINER_CHECK(!buffer_.empty());
+  PrioritizedSample out;
+  out.indices.reserve(batch);
+  out.transitions.reserve(batch);
+  out.weights.reserve(batch);
+  const double total = tree_.Total();
+  ERMINER_CHECK(total > 0.0);
+  const double n = static_cast<double>(buffer_.size());
+  double max_w = 0.0;
+  for (size_t i = 0; i < batch; ++i) {
+    size_t idx = tree_.FindPrefix(rng->NextDouble() * total);
+    idx = std::min(idx, buffer_.size() - 1);  // guard empty tail slots
+    double p = tree_.Get(idx) / total;
+    double w = std::pow(1.0 / (n * std::max(p, 1e-12)), beta_);
+    out.indices.push_back(idx);
+    out.transitions.push_back(&buffer_[idx]);
+    out.weights.push_back(static_cast<float>(w));
+    max_w = std::max(max_w, w);
+  }
+  if (max_w > 0) {
+    for (auto& w : out.weights) {
+      w = static_cast<float>(w / max_w);
+    }
+  }
+  return out;
+}
+
+void PrioritizedReplay::UpdatePriorities(
+    const std::vector<size_t>& indices,
+    const std::vector<float>& abs_td_errors) {
+  ERMINER_CHECK(indices.size() == abs_td_errors.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    ERMINER_CHECK(indices[i] < buffer_.size());
+    double p = std::pow(static_cast<double>(abs_td_errors[i]) + eps_, alpha_);
+    tree_.Set(indices[i], p);
+    max_priority_ = std::max(max_priority_, p);
+  }
+}
+
+}  // namespace erminer

@@ -1,0 +1,73 @@
+// Proportional prioritized experience replay (Schaul et al., 2016) — one of
+// the "DQN variants" the paper's Sec. III-C.5 alludes to. Transitions are
+// sampled with probability proportional to priority^alpha (priority = |TD
+// error| + eps), with importance-sampling weights correcting the bias.
+
+#ifndef ERMINER_RL_PRIORITIZED_REPLAY_H_
+#define ERMINER_RL_PRIORITIZED_REPLAY_H_
+
+#include <vector>
+
+#include "rl/replay_buffer.h"
+#include "util/random.h"
+
+namespace erminer {
+
+/// A fixed-capacity sum tree: leaf i holds a non-negative weight; sampling
+/// draws a prefix-sum query in O(log n).
+class SumTree {
+ public:
+  explicit SumTree(size_t capacity);
+
+  void Set(size_t index, double weight);
+  double Get(size_t index) const;
+  double Total() const { return nodes_[1]; }
+  size_t capacity() const { return capacity_; }
+
+  /// The leaf whose cumulative range contains `prefix` in [0, Total()).
+  size_t FindPrefix(double prefix) const;
+
+ private:
+  size_t capacity_;
+  std::vector<double> nodes_;  // 1-based heap layout folded into index math
+};
+
+struct PrioritizedSample {
+  std::vector<size_t> indices;
+  std::vector<const Transition*> transitions;
+  /// Normalized importance-sampling weights (max weight = 1).
+  std::vector<float> weights;
+};
+
+class PrioritizedReplay {
+ public:
+  PrioritizedReplay(size_t capacity, double alpha = 0.6, double beta = 0.4,
+                    double eps = 1e-3);
+
+  void Add(Transition t);
+
+  size_t size() const { return buffer_.size(); }
+
+  /// Samples `batch` transitions proportionally to priority^alpha.
+  /// Requires size() > 0.
+  PrioritizedSample Sample(size_t batch, Rng* rng) const;
+
+  /// Updates the priorities of previously sampled transitions from their
+  /// new absolute TD errors.
+  void UpdatePriorities(const std::vector<size_t>& indices,
+                        const std::vector<float>& abs_td_errors);
+
+ private:
+  size_t capacity_;
+  double alpha_;
+  double beta_;
+  double eps_;
+  double max_priority_ = 1.0;  // priority^alpha of new transitions
+  size_t next_ = 0;
+  std::vector<Transition> buffer_;
+  SumTree tree_;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_RL_PRIORITIZED_REPLAY_H_

@@ -1,0 +1,25 @@
+#include "rl/replay_buffer.h"
+
+namespace erminer {
+
+void ReplayBuffer::Add(Transition t) {
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(std::move(t));
+  } else {
+    buffer_[next_] = std::move(t);
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<const Transition*> ReplayBuffer::Sample(size_t batch,
+                                                    Rng* rng) const {
+  ERMINER_CHECK(!buffer_.empty());
+  std::vector<const Transition*> out;
+  out.reserve(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    out.push_back(&buffer_[rng->NextUint64(buffer_.size())]);
+  }
+  return out;
+}
+
+}  // namespace erminer

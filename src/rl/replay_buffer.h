@@ -1,0 +1,50 @@
+// Uniform experience replay (DQN, Mnih et al. [26]).
+//
+// States are stored sparsely as rule keys (the set of hot indices of the
+// one-hot state vector) — the value network densifies them per batch.
+
+#ifndef ERMINER_RL_REPLAY_BUFFER_H_
+#define ERMINER_RL_REPLAY_BUFFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/action_space.h"
+#include "util/random.h"
+
+namespace erminer {
+
+struct Transition {
+  RuleKey state;
+  int32_t action = 0;
+  float reward = 0;
+  RuleKey next_state;
+  /// Mask of the next state, needed for the masked bootstrap max (Eq. 13
+  /// applies to the target network too).
+  std::vector<uint8_t> next_mask;
+  bool done = false;
+};
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(size_t capacity) : capacity_(capacity) {
+    ERMINER_CHECK(capacity_ > 0);
+  }
+
+  void Add(Transition t);
+
+  size_t size() const { return buffer_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Uniform sample with replacement; requires size() > 0.
+  std::vector<const Transition*> Sample(size_t batch, Rng* rng) const;
+
+ private:
+  size_t capacity_;
+  size_t next_ = 0;  // ring-buffer write position
+  std::vector<Transition> buffer_;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_RL_REPLAY_BUFFER_H_

@@ -1,0 +1,162 @@
+#include "rl/rl_miner.h"
+
+#include "util/timer.h"
+
+namespace erminer {
+
+namespace {
+
+EnvOptions EnvOptionsFrom(const RlMinerOptions& o) {
+  EnvOptions e;
+  e.k = o.base.k;
+  e.support_threshold = o.base.support_threshold;
+  e.stop_reward = o.stop_reward;
+  e.invalid_reward = o.invalid_reward;
+  e.normalize_utility = o.normalize_utility;
+  e.frontier_bonus = o.frontier_bonus;
+  e.use_global_mask = o.use_global_mask;
+  e.reuse_rewards = o.reuse_rewards;
+  return e;
+}
+
+std::shared_ptr<const ActionSpace> SpaceOrBuild(
+    const Corpus* corpus, const RlMinerOptions& options,
+    std::shared_ptr<const ActionSpace> space) {
+  if (space != nullptr) return space;
+  ActionSpaceOptions aopts;
+  aopts.support_threshold = options.base.support_threshold;
+  aopts.max_classes_per_attr = options.base.max_classes_per_attr;
+  aopts.prefix_merge = true;
+  aopts.include_negations = options.base.include_negations;
+  return std::make_shared<ActionSpace>(ActionSpace::Build(*corpus, aopts));
+}
+
+}  // namespace
+
+RlMiner::RlMiner(const Corpus* corpus, const RlMinerOptions& options,
+                 std::shared_ptr<const ActionSpace> space)
+    : corpus_(corpus),
+      options_(options),
+      space_(SpaceOrBuild(corpus, options, std::move(space))),
+      evaluator_(corpus),
+      env_(corpus, space_.get(), &evaluator_, EnvOptionsFrom(options)),
+      eps_(options.eps_start, options.eps_end, options.train_steps,
+           options.eps_decay_fraction),
+      explore_rng_(options.seed ^ 0xE8A10u) {
+  DqnOptions dopts = options_.dqn;
+  dopts.seed = options_.seed;
+  agent_ = std::make_unique<DqnAgent>(space_->state_dim(),
+                                      space_->num_actions(), dopts);
+}
+
+int32_t RlMiner::SelectTrainingAction(const RuleKey& state,
+                                      const std::vector<uint8_t>& mask,
+                                      double epsilon) {
+  if (!explore_rng_.NextBernoulli(epsilon)) {
+    return agent_->ActGreedy(state, mask);
+  }
+  if (!options_.stratified_explore) {
+    std::vector<int32_t> allowed;
+    for (size_t i = 0; i < mask.size(); ++i) {
+      if (mask[i]) allowed.push_back(static_cast<int32_t>(i));
+    }
+    return allowed[explore_rng_.NextUint64(allowed.size())];
+  }
+  std::vector<int32_t> lhs_allowed, pattern_allowed;
+  for (int32_t i = 0; i < space_->stop_action(); ++i) {
+    if (!mask[static_cast<size_t>(i)]) continue;
+    (space_->IsLhsAction(i) ? lhs_allowed : pattern_allowed).push_back(i);
+  }
+  std::vector<double> weights = {
+      lhs_allowed.empty() ? 0.0 : options_.explore_lhs_weight,
+      pattern_allowed.empty() ? 0.0 : options_.explore_pattern_weight,
+      options_.explore_stop_weight};
+  switch (explore_rng_.NextWeighted(weights)) {
+    case 0:
+      return lhs_allowed[explore_rng_.NextUint64(lhs_allowed.size())];
+    case 1:
+      return pattern_allowed[explore_rng_.NextUint64(pattern_allowed.size())];
+    default:
+      return space_->stop_action();
+  }
+}
+
+void RlMiner::Train(size_t steps) {
+  if (steps == 0) steps = options_.train_steps;
+  Timer timer;
+  const size_t end = steps_done_ + steps;
+  while (steps_done_ < end) {
+    env_.Reset();
+    ++episodes_done_;
+    log_.BeginEpisode();
+    size_t episode_steps = 0;
+    while (!env_.done() && steps_done_ < end &&
+           episode_steps < options_.max_episode_steps) {
+      std::vector<uint8_t> mask = env_.CurrentMask();
+      const double eps =
+          agent_loaded_ ? options_.eps_end : eps_.Value(steps_done_);
+      int32_t action = SelectTrainingAction(env_.current_state(), mask, eps);
+      Environment::StepResult sr = env_.Step(action);
+      agent_->Observe({std::move(sr.state), sr.action, sr.reward,
+                       std::move(sr.next_state), std::move(sr.next_mask),
+                       sr.done});
+      float loss = agent_->TrainStep();
+      log_.RecordStep(sr.reward, loss);
+      ++steps_done_;
+      ++episode_steps;
+    }
+    log_.EndEpisode(env_.leaves().size());
+  }
+  last_train_seconds_ = timer.Seconds();
+}
+
+MineResult RlMiner::Infer() {
+  Timer timer;
+  MineResult result;
+  // First a purely greedy episode; if it ends before K distinct rules are
+  // in the pool (an undertrained or stop-happy policy), keep mining with a
+  // small exploration epsilon until the inference budget is spent.
+  std::vector<ScoredRule> pool;
+  size_t total_steps = 0;
+  bool first = true;
+  while (first || (total_steps < options_.max_inference_steps &&
+                   env_.global_pool().size() < options_.base.k)) {
+    env_.Reset();
+    const double eps = first ? 0.0 : options_.inference_epsilon;
+    size_t episode_steps = 0;
+    while (!env_.done() && episode_steps < options_.max_episode_steps &&
+           total_steps < options_.max_inference_steps) {
+      std::vector<uint8_t> mask = env_.CurrentMask();
+      int32_t action = eps > 0.0
+                           ? SelectTrainingAction(env_.current_state(), mask,
+                                                  eps)
+                           : agent_->ActGreedy(env_.current_state(), mask);
+      env_.Step(action);
+      ++episode_steps;
+      ++total_steps;
+    }
+    if (first) pool = env_.leaves();  // the greedy episode's own leaves
+    first = false;
+  }
+  // The greedy episode's leaves first; top up from the cross-episode pool
+  // so a short greedy walk still returns K rules.
+  for (const auto& sr : env_.global_pool()) pool.push_back(sr);
+  result.rules = SelectTopKNonRedundant(std::move(pool), options_.base.k);
+  result.inference_steps = total_steps;
+  result.nodes_explored = env_.total_nodes();
+  result.rule_evaluations = evaluator_.num_evaluations();
+  last_inference_seconds_ = timer.Seconds();
+  result.inference_seconds = last_inference_seconds_;
+  result.seconds = last_inference_seconds_;
+  return result;
+}
+
+MineResult RlMiner::Mine() {
+  Train();
+  MineResult result = Infer();
+  result.train_seconds = last_train_seconds_;
+  result.seconds = last_train_seconds_ + last_inference_seconds_;
+  return result;
+}
+
+}  // namespace erminer

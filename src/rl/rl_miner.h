@@ -1,0 +1,126 @@
+// RLMiner (Alg. 3): DQN-guided editing-rule discovery, plus RLMiner-ft
+// (Sec. V-D3) which fine-tunes a trained agent on enriched data instead of
+// re-training from scratch.
+
+#ifndef ERMINER_RL_RL_MINER_H_
+#define ERMINER_RL_RL_MINER_H_
+
+#include <iosfwd>
+#include <memory>
+
+#include "core/environment.h"
+#include "core/miner.h"
+#include "rl/dqn.h"
+#include "rl/schedule.h"
+#include "rl/training_log.h"
+
+namespace erminer {
+
+struct RlMinerOptions {
+  MinerOptions base;
+  /// Training transitions N (paper: 5000 fixed steps, Sec. V-D4).
+  size_t train_steps = 5000;
+  DqnOptions dqn;
+  double stop_reward = 0.01;      // theta
+  double invalid_reward = -0.01;
+  double eps_start = 1.0;
+  double eps_end = 0.05;
+  double eps_decay_fraction = 0.6;
+  /// Safety cap on a single episode (the queue-driven walk normally ends
+  /// well before this).
+  size_t max_episode_steps = 2000;
+  /// Inference budget: the first episode is purely greedy; if it ends with
+  /// fewer than K distinct rules collected, further episodes run with this
+  /// small epsilon until the budget is spent (the paper reports ~150
+  /// inference steps to mine the top-K rules).
+  size_t max_inference_steps = 600;
+  double inference_epsilon = 0.1;
+  uint64_t seed = 17;
+
+  /// Exploration is stratified by action type: with probability epsilon the
+  /// miner first picks a type (LHS pair / pattern condition / stop) by these
+  /// weights, then uniformly within it. Plain uniform exploration would
+  /// almost never grow LHS pairs, since pattern actions outnumber them by
+  /// orders of magnitude.
+  double explore_lhs_weight = 0.45;
+  double explore_pattern_weight = 0.45;
+  double explore_stop_weight = 0.10;
+  /// Ablation: false = plain uniform exploration over allowed actions.
+  bool stratified_explore = true;
+
+  /// Ablation toggles forwarded to the environment (see EnvOptions).
+  bool normalize_utility = true;
+  bool frontier_bonus = true;
+  bool use_global_mask = true;
+  bool reuse_rewards = true;
+};
+
+class RlMiner {
+ public:
+  /// If `space` is null, an ActionSpace is built from the corpus (with
+  /// prefix merging on). Passing a shared space built from a *full* corpus
+  /// keeps network dimensions stable across incremental corpora, enabling
+  /// fine-tuning.
+  RlMiner(const Corpus* corpus, const RlMinerOptions& options,
+          std::shared_ptr<const ActionSpace> space = nullptr);
+
+  /// Runs `steps` training transitions (0 = options.train_steps). May be
+  /// called repeatedly; epsilon continues decaying over the cumulative
+  /// budget of the first call's horizon.
+  void Train(size_t steps = 0);
+
+  /// One greedy episode; returns the top-K non-redundant rules from the
+  /// episode's leaves, topped up from the global pool if short.
+  MineResult Infer();
+
+  /// Train-from-scratch convenience: Train() then Infer(), with timing.
+  MineResult Mine();
+
+  /// Fine-tuning entry point: load pretrained weights, then call
+  /// Train(few_steps) + Infer().
+  /// Loading pretrained weights marks the miner as fine-tuning: subsequent
+  /// Train() calls explore at the epsilon floor instead of restarting the
+  /// decay schedule (which would wipe out the transferred policy).
+  Status SaveAgent(std::ostream& os) const { return agent_->SaveWeights(os); }
+  Status LoadAgent(std::istream& is) {
+    ERMINER_RETURN_NOT_OK(agent_->LoadWeights(is));
+    agent_loaded_ = true;
+    return Status::OK();
+  }
+
+  const ActionSpace& space() const { return *space_; }
+  const Environment& env() const { return env_; }
+  DqnAgent& agent() { return *agent_; }
+  /// Per-episode training telemetry (return, length, loss, leaves).
+  const TrainingLog& training_log() const { return log_; }
+  size_t steps_done() const { return steps_done_; }
+  size_t episodes_done() const { return episodes_done_; }
+  double last_train_seconds() const { return last_train_seconds_; }
+  double last_inference_seconds() const { return last_inference_seconds_; }
+
+ private:
+  /// Masked epsilon-greedy with type-stratified exploration (see
+  /// RlMinerOptions::explore_*_weight).
+  int32_t SelectTrainingAction(const RuleKey& state,
+                               const std::vector<uint8_t>& mask,
+                               double epsilon);
+
+  const Corpus* corpus_;
+  RlMinerOptions options_;
+  std::shared_ptr<const ActionSpace> space_;
+  RuleEvaluator evaluator_;
+  Environment env_;
+  std::unique_ptr<DqnAgent> agent_;
+  LinearSchedule eps_;
+  Rng explore_rng_;
+  TrainingLog log_;
+  size_t steps_done_ = 0;
+  size_t episodes_done_ = 0;
+  bool agent_loaded_ = false;
+  double last_train_seconds_ = 0;
+  double last_inference_seconds_ = 0;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_RL_RL_MINER_H_

@@ -1,0 +1,38 @@
+// Exploration schedules.
+
+#ifndef ERMINER_RL_SCHEDULE_H_
+#define ERMINER_RL_SCHEDULE_H_
+
+#include <algorithm>
+#include <cstddef>
+
+namespace erminer {
+
+/// Linear decay from `start` to `end` over the first `decay_fraction` of
+/// `total_steps`, then constant at `end`.
+class LinearSchedule {
+ public:
+  LinearSchedule(double start, double end, size_t total_steps,
+                 double decay_fraction = 0.6)
+      : start_(start),
+        end_(end),
+        decay_steps_(std::max<size_t>(
+            1, static_cast<size_t>(static_cast<double>(total_steps) *
+                                   decay_fraction))) {}
+
+  double Value(size_t step) const {
+    if (step >= decay_steps_) return end_;
+    double frac = static_cast<double>(step) /
+                  static_cast<double>(decay_steps_);
+    return start_ + (end_ - start_) * frac;
+  }
+
+ private:
+  double start_;
+  double end_;
+  size_t decay_steps_;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_RL_SCHEDULE_H_

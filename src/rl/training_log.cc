@@ -1,0 +1,57 @@
+#include "rl/training_log.h"
+
+#include <sstream>
+
+#include "util/status.h"
+
+namespace erminer {
+
+void TrainingLog::BeginEpisode() {
+  ERMINER_CHECK(!open_);
+  open_ = true;
+  current_ = EpisodeStats{};
+  current_.episode = episodes_.size();
+  loss_samples_ = 0;
+  loss_sum_ = 0;
+}
+
+void TrainingLog::RecordStep(double reward, double loss) {
+  ERMINER_CHECK(open_);
+  current_.steps += 1;
+  current_.total_reward += reward;
+  if (loss != 0.0) {
+    loss_sum_ += loss;
+    loss_samples_ += 1;
+  }
+}
+
+void TrainingLog::EndEpisode(size_t leaves) {
+  ERMINER_CHECK(open_);
+  open_ = false;
+  current_.leaves = leaves;
+  current_.mean_loss =
+      loss_samples_ > 0 ? loss_sum_ / static_cast<double>(loss_samples_) : 0;
+  episodes_.push_back(current_);
+}
+
+double TrainingLog::RecentMeanReturn(size_t window) const {
+  if (episodes_.empty()) return 0;
+  size_t n = std::min(window, episodes_.size());
+  double sum = 0;
+  for (size_t i = episodes_.size() - n; i < episodes_.size(); ++i) {
+    sum += episodes_[i].total_reward;
+  }
+  return sum / static_cast<double>(n);
+}
+
+std::string TrainingLog::ToCsv() const {
+  std::ostringstream os;
+  os << "episode,steps,leaves,total_reward,mean_loss\n";
+  for (const auto& e : episodes_) {
+    os << e.episode << "," << e.steps << "," << e.leaves << ","
+       << e.total_reward << "," << e.mean_loss << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace erminer

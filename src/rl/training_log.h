@@ -1,0 +1,46 @@
+// Per-episode training telemetry: episode return, length, TD loss and the
+// number of valid rules (leaves) found. Used by the learning-curve bench
+// and exportable as CSV for plotting.
+
+#ifndef ERMINER_RL_TRAINING_LOG_H_
+#define ERMINER_RL_TRAINING_LOG_H_
+
+#include <string>
+#include <vector>
+
+namespace erminer {
+
+struct EpisodeStats {
+  size_t episode = 0;
+  size_t steps = 0;
+  size_t leaves = 0;        // valid rules found in this episode's tree
+  double total_reward = 0;
+  double mean_loss = 0;     // mean TD loss over the episode's updates
+};
+
+class TrainingLog {
+ public:
+  void BeginEpisode();
+  void RecordStep(double reward, double loss);
+  void EndEpisode(size_t leaves);
+
+  const std::vector<EpisodeStats>& episodes() const { return episodes_; }
+  bool empty() const { return episodes_.empty(); }
+
+  /// Mean episode return over the last `window` episodes.
+  double RecentMeanReturn(size_t window = 20) const;
+
+  /// "episode,steps,leaves,total_reward,mean_loss" rows with a header.
+  std::string ToCsv() const;
+
+ private:
+  std::vector<EpisodeStats> episodes_;
+  bool open_ = false;
+  EpisodeStats current_;
+  size_t loss_samples_ = 0;
+  double loss_sum_ = 0;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_RL_TRAINING_LOG_H_

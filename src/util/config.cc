@@ -1,0 +1,79 @@
+#include "util/config.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace erminer {
+
+Result<Config> Config::Parse(std::string_view text) {
+  Config config;
+  std::string section;
+  int lineno = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++lineno;
+    std::string line = Trim(raw);
+    // Strip trailing comments (only when preceded by whitespace or at
+    // line start, so values may contain '#').
+    size_t hash = line.find('#');
+    if (hash == 0) continue;
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        return Status::InvalidArgument("bad section at line " +
+                                       std::to_string(lineno));
+      }
+      section = Trim(line.substr(1, line.size() - 2));
+      continue;
+    }
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("missing '=' at line " +
+                                     std::to_string(lineno));
+    }
+    std::string key = Trim(line.substr(0, eq));
+    std::string value = Trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return Status::InvalidArgument("empty key at line " +
+                                     std::to_string(lineno));
+    }
+    if (!section.empty()) key = section + "." + key;
+    config.values_[key] = value;
+  }
+  return config;
+}
+
+Result<Config> Config::FromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return Parse(ss.str());
+}
+
+std::string Config::Get(const std::string& key,
+                        const std::string& dflt) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? dflt : it->second;
+}
+
+long Config::GetInt(const std::string& key, long dflt) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? dflt : std::atol(it->second.c_str());
+}
+
+double Config::GetDouble(const std::string& key, double dflt) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? dflt : std::atof(it->second.c_str());
+}
+
+bool Config::GetBool(const std::string& key, bool dflt) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return dflt;
+  std::string v = ToLower(it->second);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace erminer

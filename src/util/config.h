@@ -1,0 +1,44 @@
+// Minimal key=value configuration files (with # comments and [sections]
+// flattened as "section.key"). Used by the pipeline runner.
+
+#ifndef ERMINER_UTIL_CONFIG_H_
+#define ERMINER_UTIL_CONFIG_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace erminer {
+
+class Config {
+ public:
+  /// Parses text like:
+  ///   # comment
+  ///   input = data/input.csv
+  ///   [miner]
+  ///   method = rl
+  /// into {"input": "...", "miner.method": "rl"}.
+  static Result<Config> Parse(std::string_view text);
+  static Result<Config> FromFile(const std::string& path);
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& dflt = "") const;
+  long GetInt(const std::string& key, long dflt) const;
+  double GetDouble(const std::string& key, double dflt) const;
+  bool GetBool(const std::string& key, bool dflt) const;
+
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+  void Set(const std::string& key, const std::string& value) {
+    values_[key] = value;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_UTIL_CONFIG_H_

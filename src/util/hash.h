@@ -1,0 +1,38 @@
+// Hash helpers for composite keys (code vectors, attribute sets).
+
+#ifndef ERMINER_UTIL_HASH_H_
+#define ERMINER_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace erminer {
+
+/// Mixes a value into a running hash (boost::hash_combine style, 64-bit).
+inline void HashCombine(uint64_t* seed, uint64_t v) {
+  v *= 0xff51afd7ed558ccdULL;
+  v ^= v >> 33;
+  *seed ^= v + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+/// Hash of an int32 vector (used for master-index keys and state encodings).
+struct VectorHash {
+  size_t operator()(const std::vector<int32_t>& v) const {
+    uint64_t h = 0x51ed270b3a4c5d6eULL;
+    for (int32_t x : v) HashCombine(&h, static_cast<uint64_t>(x) + 1);
+    return static_cast<size_t>(h);
+  }
+};
+
+struct VectorHashU8 {
+  size_t operator()(const std::vector<uint8_t>& v) const {
+    uint64_t h = 0x3c2a1908f7e6d5c4ULL;
+    for (uint8_t x : v) HashCombine(&h, x + 1);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_UTIL_HASH_H_

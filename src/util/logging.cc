@@ -1,0 +1,44 @@
+#include "util/logging.h"
+
+namespace erminer {
+
+namespace {
+LogLevel g_level = LogLevel::kWarning;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kNone:
+      return "NONE";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Keep only the basename for readability.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() { std::cerr << stream_.str() << std::endl; }
+
+}  // namespace internal_logging
+
+}  // namespace erminer

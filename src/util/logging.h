@@ -1,0 +1,60 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: ERMINER_LOG(INFO) << "built index with " << n << " groups";
+// The global level defaults to WARNING so library code stays quiet in tests
+// and benchmarks; binaries raise it via SetLogLevel or the -v flag.
+
+#ifndef ERMINER_UTIL_LOGGING_H_
+#define ERMINER_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace erminer {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define ERMINER_LOG_DEBUG ::erminer::LogLevel::kDebug
+#define ERMINER_LOG_INFO ::erminer::LogLevel::kInfo
+#define ERMINER_LOG_WARNING ::erminer::LogLevel::kWarning
+#define ERMINER_LOG_ERROR ::erminer::LogLevel::kError
+
+#define ERMINER_LOG(severity)                                          \
+  if (ERMINER_LOG_##severity < ::erminer::GetLogLevel()) {             \
+  } else                                                               \
+    ::erminer::internal_logging::LogMessage(ERMINER_LOG_##severity,    \
+                                            __FILE__, __LINE__)        \
+        .stream()
+
+}  // namespace erminer
+
+#endif  // ERMINER_UTIL_LOGGING_H_

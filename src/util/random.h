@@ -1,0 +1,77 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All stochastic components of erminer (dataset generation, error injection,
+// epsilon-greedy exploration, replay sampling, weight init) draw from Rng so
+// that every experiment is reproducible from a single seed.
+
+#ifndef ERMINER_UTIL_RANDOM_H_
+#define ERMINER_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace erminer {
+
+/// xoshiro256** generator seeded via SplitMix64. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextUint64(uint64_t n);
+
+  /// Uniform integer in [lo, hi]. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  /// Zipf-distributed value in [0, n) with exponent s (s=0 -> uniform).
+  /// Uses an O(n) CDF built lazily per (n, s); intended for modest n.
+  size_t NextZipf(size_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextUint64(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent child generator; stable given call order.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+
+  // Cached Zipf CDF for repeated draws with identical parameters.
+  size_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_UTIL_RANDOM_H_

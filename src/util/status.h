@@ -1,0 +1,178 @@
+// Status and Result<T>: Arrow-style error propagation without exceptions.
+//
+// Library code returns Status (for actions) or Result<T> (for producers).
+// Exceptions are never thrown across public API boundaries; internal code
+// uses ERMINER_CHECK for programmer errors (invariant violations) only.
+
+#ifndef ERMINER_UTIL_STATUS_H_
+#define ERMINER_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace erminer {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kIoError = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+};
+
+/// Returns a short human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error outcome. Cheap to copy on the OK path (empty message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Never holds an OK status
+/// without a value.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional, mirrors Arrow.
+  Result(T value) : storage_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : storage_(std::move(status)) {
+    if (std::get<Status>(storage_).ok()) {
+      std::cerr << "Result constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(storage_);
+  }
+
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return std::get<T>(storage_);
+  }
+  T& ValueOrDie() & {
+    CheckOk();
+    return std::get<T>(storage_);
+  }
+  T&& ValueOrDie() && {
+    CheckOk();
+    return std::move(std::get<T>(storage_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: "
+                << std::get<Status>(storage_).ToString() << "\n";
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> storage_;
+};
+
+// Propagates a non-OK Status from an expression.
+#define ERMINER_RETURN_NOT_OK(expr)                \
+  do {                                             \
+    ::erminer::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+// Assigns the value of a Result expression or propagates its error.
+#define ERMINER_CONCAT_IMPL(a, b) a##b
+#define ERMINER_CONCAT(a, b) ERMINER_CONCAT_IMPL(a, b)
+#define ERMINER_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).ValueOrDie()
+#define ERMINER_ASSIGN_OR_RETURN(lhs, rexpr) \
+  ERMINER_ASSIGN_OR_RETURN_IMPL(ERMINER_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+// Fatal invariant check for programmer errors. Always on.
+#define ERMINER_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::cerr << "ERMINER_CHECK failed at " << __FILE__ << ":" << __LINE__ \
+                << ": " #cond << "\n";                                       \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#define ERMINER_CHECK_OK(expr)                                            \
+  do {                                                                    \
+    ::erminer::Status _st = (expr);                                       \
+    if (!_st.ok()) {                                                      \
+      std::cerr << "ERMINER_CHECK_OK failed at " << __FILE__ << ":"       \
+                << __LINE__ << ": " << _st.ToString() << "\n";            \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+}  // namespace erminer
+
+#endif  // ERMINER_UTIL_STATUS_H_

@@ -1,0 +1,38 @@
+// Small string helpers shared across the project.
+
+#ifndef ERMINER_UTIL_STRING_UTIL_H_
+#define ERMINER_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace erminer {
+
+/// Splits on a single delimiter character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(std::string_view s);
+
+/// ASCII lower-case copy.
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Longest common prefix length of two strings.
+size_t CommonPrefixLen(std::string_view a, std::string_view b);
+
+/// Formats a double with the given precision, trimming trailing zeros is NOT
+/// performed (fixed width output keeps tables aligned).
+std::string FormatDouble(double v, int precision);
+
+/// "12.3" style seconds, or "1.2e+03" for huge values.
+std::string FormatSeconds(double seconds);
+
+}  // namespace erminer
+
+#endif  // ERMINER_UTIL_STRING_UTIL_H_

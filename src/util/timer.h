@@ -1,0 +1,30 @@
+// Wall-clock timer used by the experiment harness.
+
+#ifndef ERMINER_UTIL_TIMER_H_
+#define ERMINER_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace erminer {
+
+/// Starts on construction; Seconds() reports elapsed wall time.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_UTIL_TIMER_H_

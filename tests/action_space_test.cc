@@ -1,0 +1,126 @@
+// ActionSpace dimension checks against Eqs. 7-12 and encode/decode
+// round-trips.
+
+#include "core/action_space.h"
+
+#include <gtest/gtest.h>
+
+#include "core/mask.h"
+#include "test_util.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::MakeTinyCorpus;
+
+TEST(ActionSpaceTest, DimsFollowEquations) {
+  Corpus c = MakeTinyCorpus();
+  ActionSpace s = ActionSpace::Build(c, {});
+  // Eq. 7: dim(s_l) = sum_{A in R\Y} |M(A)| = |M(A)| = 1 (G unmatched).
+  EXPECT_EQ(s.lhs_dim(), 1u);
+  // Eq. 8: dim(s_p) = |dom(A)| + |dom(G)| = 3 + 2 (input-side values only).
+  EXPECT_EQ(s.pattern_dim(), 5u);
+  EXPECT_EQ(s.state_dim(), 6u);
+  // Eq. 12: one stop action.
+  EXPECT_EQ(s.num_actions(), 7u);
+  EXPECT_EQ(s.stop_action(), 6);
+}
+
+TEST(ActionSpaceTest, ActionClassification) {
+  Corpus c = MakeTinyCorpus();
+  ActionSpace s = ActionSpace::Build(c, {});
+  EXPECT_TRUE(s.IsLhsAction(0));
+  EXPECT_FALSE(s.IsLhsAction(1));
+  EXPECT_TRUE(s.IsPatternAction(1));
+  EXPECT_TRUE(s.IsPatternAction(5));
+  EXPECT_FALSE(s.IsPatternAction(6));
+  EXPECT_TRUE(s.IsStopAction(6));
+  EXPECT_FALSE(s.IsStopAction(0));
+}
+
+TEST(ActionSpaceTest, YAttributeExcluded) {
+  Corpus c = MakeTinyCorpus();
+  ActionSpace s = ActionSpace::Build(c, {});
+  for (size_t i = 0; i < s.lhs_dim(); ++i) {
+    EXPECT_NE(s.lhs_action(static_cast<int32_t>(i)).a, c.y_input());
+  }
+  for (size_t i = s.lhs_dim(); i < s.state_dim(); ++i) {
+    EXPECT_NE(s.pattern_item(static_cast<int32_t>(i)).attr, c.y_input());
+  }
+}
+
+TEST(ActionSpaceTest, PerAttrLookupsAlign) {
+  Corpus c = MakeTinyCorpus();
+  ActionSpace s = ActionSpace::Build(c, {});
+  EXPECT_EQ(s.LhsActionsOfAttr(0).size(), 1u);
+  EXPECT_TRUE(s.LhsActionsOfAttr(1).empty());   // G unmatched
+  EXPECT_TRUE(s.LhsActionsOfAttr(2).empty());   // Y excluded
+  EXPECT_EQ(s.PatternActionsOfAttr(0).size(), 3u);
+  EXPECT_EQ(s.PatternActionsOfAttr(1).size(), 2u);
+  EXPECT_TRUE(s.PatternActionsOfAttr(2).empty());
+  EXPECT_TRUE(s.PatternActionsOfAttr(-1).empty());
+  for (int32_t i : s.PatternActionsOfAttr(1)) {
+    EXPECT_EQ(s.pattern_item(i).attr, 1);
+  }
+}
+
+TEST(ActionSpaceTest, DecodeBuildsExpectedRule) {
+  Corpus c = MakeTinyCorpus();
+  ActionSpace s = ActionSpace::Build(c, {});
+  RuleKey key = {0, s.PatternActionsOfAttr(1)[0]};
+  EditingRule r = s.Decode(key);
+  EXPECT_EQ(r.lhs, (LhsPairs{{0, 0}}));
+  EXPECT_EQ(r.pattern.size(), 1u);
+  EXPECT_EQ(r.pattern.items()[0].attr, 1);
+  EXPECT_EQ(r.y_input, 2);
+  EXPECT_EQ(r.y_master, 1);
+}
+
+TEST(ActionSpaceTest, EncodeDecodeRoundTrip) {
+  Corpus c = MakeTinyCorpus();
+  ActionSpace s = ActionSpace::Build(c, {});
+  for (int32_t a = 0; a < s.stop_action(); ++a) {
+    for (int32_t b = a + 1; b < s.stop_action(); ++b) {
+      RuleKey key = {a, b};
+      std::vector<uint8_t> mask = ComputeMask(s, {a}, {});
+      if (!mask[static_cast<size_t>(b)]) continue;  // invalid combination
+      EditingRule rule = s.Decode(key);
+      auto encoded = s.Encode(rule);
+      ASSERT_TRUE(encoded.ok());
+      EXPECT_EQ(*encoded, key);
+    }
+  }
+}
+
+TEST(ActionSpaceTest, EncodeUnknownRuleFails) {
+  Corpus c = MakeTinyCorpus();
+  ActionSpace s = ActionSpace::Build(c, {});
+  EditingRule r;
+  r.y_input = 2;
+  r.y_master = 1;
+  r.AddLhs(1, 0);  // G is unmatched: no such action
+  EXPECT_FALSE(s.Encode(r).ok());
+
+  EditingRule r2;
+  r2.y_input = 2;
+  r2.y_master = 1;
+  r2.pattern.Add({0, {9999}, "missing"});
+  EXPECT_FALSE(s.Encode(r2).ok());
+}
+
+TEST(ActionSpaceTest, SupportThresholdShrinksPatternDim) {
+  Corpus c = MakeTinyCorpus();
+  ActionSpaceOptions opts;
+  opts.support_threshold = 3;  // only a1 (x3) and g1 (x4) qualify
+  ActionSpace s = ActionSpace::Build(c, opts);
+  EXPECT_EQ(s.pattern_dim(), 2u);
+}
+
+TEST(KeyWithTest, InsertsSorted) {
+  EXPECT_EQ(KeyWith({1, 5}, 3), (RuleKey{1, 3, 5}));
+  EXPECT_EQ(KeyWith({}, 2), (RuleKey{2}));
+  EXPECT_EQ(KeyWith({2}, 7), (RuleKey{2, 7}));
+}
+
+}  // namespace
+}  // namespace erminer

@@ -1,0 +1,86 @@
+#include "core/beam_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/enu_miner.h"
+#include "test_util.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::MakeExactFdCorpus;
+using erminer::testing::MakeTinyCorpus;
+
+MinerOptions SmallOptions() {
+  MinerOptions o;
+  o.k = 10;
+  o.support_threshold = 20;
+  return o;
+}
+
+TEST(BeamMinerTest, FindsThePlantedRule) {
+  Corpus c = MakeExactFdCorpus();
+  MineResult r = BeamMine(c, SmallOptions());
+  ASSERT_FALSE(r.rules.empty());
+  bool found = false;
+  for (const auto& sr : r.rules) {
+    found |= (sr.rule.lhs == LhsPairs{{0, 0}, {1, 1}} &&
+              sr.stats.certainty == 1.0);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(IsNonRedundant(r.rules));
+}
+
+TEST(BeamMinerTest, ExploresNoMoreThanEnuMiner) {
+  Corpus c = MakeExactFdCorpus();
+  MinerOptions o = SmallOptions();
+  BeamMinerOptions narrow;
+  narrow.beam_width = 2;
+  MineResult beam = BeamMine(c, o, narrow);
+  MineResult enu = EnuMine(c, o);
+  EXPECT_LE(beam.nodes_explored, enu.nodes_explored);
+  ASSERT_FALSE(beam.rules.empty());
+  ASSERT_FALSE(enu.rules.empty());
+  // The beam's best rule cannot beat the exhaustive best.
+  EXPECT_LE(beam.rules[0].stats.utility,
+            enu.rules[0].stats.utility + 1e-9);
+}
+
+TEST(BeamMinerTest, WiderBeamFindsAtLeastAsGoodTopRule) {
+  Corpus c = MakeExactFdCorpus();
+  MinerOptions o = SmallOptions();
+  BeamMinerOptions w1, w2;
+  w1.beam_width = 1;
+  w2.beam_width = 32;
+  MineResult narrow = BeamMine(c, o, w1);
+  MineResult wide = BeamMine(c, o, w2);
+  if (!narrow.rules.empty() && !wide.rules.empty()) {
+    EXPECT_GE(wide.rules[0].stats.utility,
+              narrow.rules[0].stats.utility - 1e-9);
+  }
+}
+
+TEST(BeamMinerTest, DepthLimitBoundsRuleSize) {
+  Corpus c = MakeExactFdCorpus();
+  BeamMinerOptions b;
+  b.max_depth = 2;
+  MineResult r = BeamMine(c, SmallOptions(), b);
+  for (const auto& sr : r.rules) {
+    EXPECT_LE(sr.rule.LhsSize() + sr.rule.PatternSize(), 2u);
+  }
+}
+
+TEST(BeamMinerTest, SupportThresholdRespected) {
+  Corpus c = MakeTinyCorpus();
+  MinerOptions o;
+  o.k = 10;
+  o.support_threshold = 3;
+  MineResult r = BeamMine(c, o);
+  for (const auto& sr : r.rules) {
+    EXPECT_GE(sr.stats.support, 3);
+    EXPECT_GE(sr.rule.LhsSize(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace erminer

@@ -1,0 +1,95 @@
+#include "data/binning.h"
+
+#include <gtest/gtest.h>
+
+namespace erminer {
+namespace {
+
+TEST(ParseNumericTest, AcceptsDecimals) {
+  EXPECT_DOUBLE_EQ(*ParseNumeric("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*ParseNumeric("-2"), -2.0);
+  EXPECT_DOUBLE_EQ(*ParseNumeric("1e3"), 1000.0);
+}
+
+TEST(ParseNumericTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseNumeric("").has_value());
+  EXPECT_FALSE(ParseNumeric("abc").has_value());
+  EXPECT_FALSE(ParseNumeric("1.2x").has_value());
+}
+
+TEST(DiscretizerTest, EqualFrequencyBins) {
+  std::vector<std::string> samples;
+  for (int i = 0; i < 100; ++i) samples.push_back(std::to_string(i));
+  Discretizer d = Discretizer::Fit(samples, 4);
+  EXPECT_EQ(d.num_bins(), 4);
+  // Same bin for nearby values, different for far values.
+  EXPECT_EQ(d.Apply("1"), d.Apply("2"));
+  EXPECT_NE(d.Apply("1"), d.Apply("99"));
+}
+
+TEST(DiscretizerTest, AllValuesLandInSomeBin) {
+  std::vector<std::string> samples = {"1", "5", "9", "13"};
+  Discretizer d = Discretizer::Fit(samples, 3);
+  for (const char* v : {"-100", "1", "7", "13", "1000"}) {
+    EXPECT_FALSE(d.Apply(v).empty());
+    EXPECT_NE(d.Apply(v), v);  // became a range label
+  }
+}
+
+TEST(DiscretizerTest, NonNumericPassThrough) {
+  Discretizer d = Discretizer::Fit({"1", "2", "3", "4"}, 2);
+  EXPECT_EQ(d.Apply("oops"), "oops");
+  EXPECT_EQ(d.Apply(""), "");
+}
+
+TEST(DiscretizerTest, NoNumericSamplesIsNoOp) {
+  Discretizer d = Discretizer::Fit({"a", "b"}, 3);
+  EXPECT_EQ(d.num_bins(), 0);
+  EXPECT_EQ(d.Apply("5"), "5");
+}
+
+TEST(DiscretizerTest, ConstantColumnCollapsesToOneBin) {
+  Discretizer d = Discretizer::Fit({"7", "7", "7"}, 4);
+  EXPECT_EQ(d.Apply("7"), d.Apply("7.0"));
+}
+
+TEST(DiscretizeJointlyTest, SharedEdgesAcrossTables) {
+  StringTable a, b;
+  a.schema = Schema::FromNames({"age"});
+  b.schema = Schema::FromNames({"age"});
+  for (int i = 0; i < 60; ++i) a.rows.push_back({std::to_string(i)});
+  for (int i = 40; i < 100; ++i) b.rows.push_back({std::to_string(i)});
+  ContinuousBinding binding;
+  binding.column_per_table = {0, 0};
+  ASSERT_TRUE(DiscretizeJointly({&a, &b}, {binding}, 4).ok());
+  // The same numeric value gets the same label in both tables (edges are
+  // fit jointly, not per table).
+  EXPECT_EQ(a.rows[45][0], b.rows[5][0]);   // both were "45"
+  EXPECT_EQ(a.rows[59][0], b.rows[19][0]);  // both were "59"
+  // Kind flipped to discrete.
+  EXPECT_EQ(a.schema.attribute(0).kind, AttributeKind::kDiscrete);
+}
+
+TEST(DiscretizeJointlyTest, AbsentColumnSkipsTable) {
+  StringTable a, b;
+  a.schema = Schema::FromNames({"x"});
+  b.schema = Schema::FromNames({"y"});
+  a.rows = {{"1"}, {"2"}, {"3"}, {"4"}};
+  b.rows = {{"keep"}};
+  ContinuousBinding binding;
+  binding.column_per_table = {0, -1};
+  ASSERT_TRUE(DiscretizeJointly({&a, &b}, {binding}, 2).ok());
+  EXPECT_EQ(b.rows[0][0], "keep");
+  EXPECT_NE(a.rows[0][0], "1");
+}
+
+TEST(DiscretizeJointlyTest, BadBindingWidthFails) {
+  StringTable a;
+  a.schema = Schema::FromNames({"x"});
+  ContinuousBinding binding;
+  binding.column_per_table = {0, 0};  // two entries, one table
+  EXPECT_FALSE(DiscretizeJointly({&a}, {binding}, 2).ok());
+}
+
+}  // namespace
+}  // namespace erminer

@@ -1,0 +1,100 @@
+#include "core/certain_fix.h"
+
+#include <gtest/gtest.h>
+
+#include "data/schema_match.h"
+#include "test_util.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::MakeTinyCorpus;
+
+ScoredRule RuleOn(const Corpus& c, int a, int am) {
+  EditingRule r;
+  r.y_input = c.y_input();
+  r.y_master = c.y_master();
+  r.AddLhs(a, am);
+  return {r, {}};
+}
+
+TEST(CertainFixTest, ClassifiesTinyCorpus) {
+  Corpus c = MakeTinyCorpus();
+  RuleEvaluator ev(&c);
+  // Rule {(A,A)}: group a1 has two candidates (ambiguous), a2 one
+  // (certain), a3 no master match (uncovered).
+  CertainFixOutcome out = ComputeCertainFixes(&ev, {RuleOn(c, 0, 0)});
+  EXPECT_EQ(out.kind[0], FixKind::kAmbiguous);  // a1
+  EXPECT_EQ(out.kind[1], FixKind::kAmbiguous);  // a1
+  EXPECT_EQ(out.kind[2], FixKind::kCertain);    // a2 -> y2
+  EXPECT_EQ(out.kind[3], FixKind::kNoRule);     // a3
+  EXPECT_EQ(out.kind[4], FixKind::kAmbiguous);  // a1
+  EXPECT_EQ(out.fix[2], c.y_domain()->Lookup("y2"));
+  EXPECT_EQ(out.fix[0], kNullCode);
+  EXPECT_EQ(out.num_certain, 1u);
+  EXPECT_EQ(out.num_ambiguous, 3u);
+  EXPECT_EQ(out.num_uncovered, 1u);
+  EXPECT_EQ(out.num_conflicting, 0u);
+}
+
+Corpus ConflictCorpus() {
+  // Two master attributes that each uniquely (but differently) determine Y
+  // for the same input tuple.
+  StringTable in;
+  in.schema = Schema::FromNames({"A", "B", "Y"});
+  in.rows = {{"a1", "b1", "y1"}};
+  StringTable ms;
+  ms.schema = Schema::FromNames({"A", "B", "Y"});
+  ms.rows = {{"a1", "bX", "y1"}, {"aX", "b1", "y2"}};
+  SchemaMatch m(3);
+  m.AddPair(0, 0);
+  m.AddPair(1, 1);
+  m.AddPair(2, 2);
+  return Corpus::Build(in, ms, m, 2, 2).ValueOrDie();
+}
+
+TEST(CertainFixTest, DetectsConflictingRules) {
+  Corpus c = ConflictCorpus();
+  RuleEvaluator ev(&c);
+  CertainFixOutcome out =
+      ComputeCertainFixes(&ev, {RuleOn(c, 0, 0), RuleOn(c, 1, 1)});
+  EXPECT_EQ(out.kind[0], FixKind::kConflicting);
+  EXPECT_EQ(out.fix[0], kNullCode);
+  EXPECT_EQ(out.num_conflicting, 1u);
+}
+
+TEST(CertainFixTest, AgreeingRulesStayCertain) {
+  Corpus c = ConflictCorpus();
+  RuleEvaluator ev(&c);
+  // The same rule twice: agreement keeps the fix certain.
+  CertainFixOutcome out =
+      ComputeCertainFixes(&ev, {RuleOn(c, 0, 0), RuleOn(c, 0, 0)});
+  EXPECT_EQ(out.kind[0], FixKind::kCertain);
+  EXPECT_EQ(out.fix[0], c.y_domain()->Lookup("y1"));
+}
+
+TEST(CertainFixTest, AmbiguityIsSticky) {
+  // Once a rule returns multiple candidates for a tuple, a later unique
+  // rule must not resurrect certainty.
+  Corpus c = MakeTinyCorpus();
+  RuleEvaluator ev(&c);
+  // Pattern rule covering only g1 rows with the A rule's ambiguity first.
+  EditingRule narrow;
+  narrow.y_input = 2;
+  narrow.y_master = 1;
+  narrow.AddLhs(0, 0);
+  narrow.pattern.Add({1, {c.input().domain(1)->Lookup("g2")}, "g2"});
+  CertainFixOutcome out =
+      ComputeCertainFixes(&ev, {RuleOn(c, 0, 0), {narrow, {}}});
+  EXPECT_EQ(out.kind[1], FixKind::kAmbiguous);  // row r1 (a1, g2)
+}
+
+TEST(CertainFixTest, EmptyRuleSetLeavesAllUncovered) {
+  Corpus c = MakeTinyCorpus();
+  RuleEvaluator ev(&c);
+  CertainFixOutcome out = ComputeCertainFixes(&ev, {});
+  EXPECT_EQ(out.num_uncovered, c.input().num_rows());
+}
+
+}  // namespace
+}  // namespace erminer

@@ -1,0 +1,99 @@
+#include "core/cfd_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "eval/experiment.h"
+#include "test_util.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::MakeExactFdCorpus;
+
+TEST(CfdMinerTest, FindsTheMasterFd) {
+  Corpus c = MakeExactFdCorpus();
+  MinerOptions o;
+  o.k = 10;
+  o.support_threshold = 20;
+  MineResult r = CfdMine(c, o);
+  ASSERT_FALSE(r.rules.empty());
+  bool found = false;
+  for (const auto& sr : r.rules) {
+    if (sr.rule.lhs == LhsPairs{{0, 0}, {1, 1}} && sr.rule.pattern.empty()) {
+      found = true;
+      EXPECT_DOUBLE_EQ(sr.stats.certainty, 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CfdMinerTest, RulesAreNonRedundantAndBounded) {
+  Corpus c = MakeExactFdCorpus();
+  MinerOptions o;
+  o.k = 3;
+  o.support_threshold = 10;
+  MineResult r = CfdMine(c, o);
+  EXPECT_LE(r.rules.size(), 3u);
+  EXPECT_TRUE(IsNonRedundant(r.rules));
+}
+
+TEST(CfdMinerTest, MaxLhsRespected) {
+  Corpus c = MakeExactFdCorpus();
+  MinerOptions o;
+  o.support_threshold = 5;
+  CfdMinerOptions copts;
+  copts.max_lhs = 1;
+  MineResult r = CfdMine(c, o, copts);
+  for (const auto& sr : r.rules) {
+    EXPECT_LE(sr.rule.LhsSize() + sr.rule.PatternSize(), 1u);
+  }
+}
+
+TEST(CfdMinerTest, NeverEmitsEmptyLhs) {
+  Corpus c = MakeExactFdCorpus();
+  MinerOptions o;
+  o.support_threshold = 2;
+  MineResult r = CfdMine(c, o);
+  for (const auto& sr : r.rules) EXPECT_GE(sr.rule.LhsSize(), 1u);
+}
+
+TEST(CfdMinerTest, CannotConditionOnInputOnlyAttributes) {
+  // The paper's core argument: CFDs mined on master cannot carry pattern
+  // conditions on input-only attributes like Covid's "overseas".
+  GenOptions g;
+  g.input_size = 400;
+  g.master_size = 300;
+  g.seed = 5;
+  GeneratedDataset ds = MakeCovid(g).ValueOrDie();
+  Corpus corpus = BuildCorpus(ds).ValueOrDie();
+  int overseas = ds.input.schema.IndexOf("overseas");
+  ASSERT_GE(overseas, 0);
+  MinerOptions o;
+  o.support_threshold = 10;
+  MineResult r = CfdMine(corpus, o);
+  for (const auto& sr : r.rules) {
+    EXPECT_FALSE(sr.rule.pattern.SpecifiesAttr(overseas));
+    EXPECT_FALSE(sr.rule.HasLhsAttr(overseas));
+  }
+}
+
+TEST(CfdMinerTest, ConfidenceBelowOneAdmitsNoisyGroups) {
+  GenOptions g;
+  g.input_size = 300;
+  g.master_size = 250;
+  g.seed = 9;
+  GeneratedDataset ds = MakeCovid(g).ValueOrDie();
+  Corpus corpus = BuildCorpus(ds).ValueOrDie();
+  MinerOptions o;
+  o.support_threshold = 10;
+  CfdMinerOptions strict, loose;
+  strict.min_confidence = 1.0;
+  loose.min_confidence = 0.6;
+  size_t strict_n = CfdMine(corpus, o, strict).rules.size();
+  size_t loose_n = CfdMine(corpus, o, loose).rules.size();
+  EXPECT_GE(loose_n, strict_n);
+}
+
+}  // namespace
+}  // namespace erminer

@@ -1,0 +1,123 @@
+#include "data/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "data/schema_match.h"
+#include "test_util.h"
+
+namespace erminer {
+namespace {
+
+TEST(SchemaMatchTest, ByNameIsCaseInsensitive) {
+  Schema in = Schema::FromNames({"City", "zip", "Other"});
+  Schema ms = Schema::FromNames({"ZIP", "city"});
+  SchemaMatch m = SchemaMatch::ByName(in, ms);
+  EXPECT_TRUE(m.Contains(0, 1));
+  EXPECT_TRUE(m.Contains(1, 0));
+  EXPECT_TRUE(m.Matches(2).empty());
+  EXPECT_EQ(m.num_pairs(), 2u);
+}
+
+TEST(SchemaMatchTest, AddPairDeduplicates) {
+  SchemaMatch m(2);
+  m.AddPair(0, 1);
+  m.AddPair(0, 1);
+  EXPECT_EQ(m.num_pairs(), 1u);
+}
+
+TEST(SchemaMatchTest, MatchesOutOfRangeIsEmpty) {
+  SchemaMatch m(2);
+  EXPECT_TRUE(m.Matches(-1).empty());
+  EXPECT_TRUE(m.Matches(5).empty());
+}
+
+TEST(CorpusTest, MatchedColumnsShareDomains) {
+  Corpus c = erminer::testing::MakeTinyCorpus();
+  // A (input col 0) shares with master col 0; Y (input 2) with master 1.
+  EXPECT_EQ(c.input().domain(0).get(), c.master().domain(0).get());
+  EXPECT_EQ(c.input().domain(2).get(), c.master().domain(1).get());
+  // Unmatched G has a private domain.
+  EXPECT_NE(c.input().domain(1).get(), c.master().domain(0).get());
+  // Same string -> same code across tables.
+  EXPECT_EQ(c.input().at(0, 0), c.master().at(0, 0));  // "a1"
+}
+
+TEST(CorpusTest, TargetIndices) {
+  Corpus c = erminer::testing::MakeTinyCorpus();
+  EXPECT_EQ(c.y_input(), 2);
+  EXPECT_EQ(c.y_master(), 1);
+  EXPECT_EQ(c.y_domain().get(), c.input().domain(2).get());
+}
+
+TEST(CorpusTest, QualityLabelDefaultsToInputValue) {
+  Corpus c = erminer::testing::MakeTinyCorpus();
+  EXPECT_EQ(c.QualityLabel(0), c.input().at(0, 2));
+  EXPECT_EQ(c.QualityLabel(4), kNullCode);  // null Y cell
+}
+
+TEST(CorpusTest, SetLabelsOverridesQualityLabel) {
+  Corpus c = erminer::testing::MakeTinyCorpus();
+  ASSERT_TRUE(c.SetLabels({"y2", "y2", "y2", "y2", "y1"}).ok());
+  ASSERT_TRUE(c.has_labels());
+  Domain* dom = c.y_domain().get();
+  EXPECT_EQ(c.QualityLabel(0), dom->Lookup("y2"));
+  EXPECT_EQ(c.QualityLabel(4), dom->Lookup("y1"));
+}
+
+TEST(CorpusTest, SetLabelsWrongSizeFails) {
+  Corpus c = erminer::testing::MakeTinyCorpus();
+  EXPECT_FALSE(c.SetLabels({"y1"}).ok());
+}
+
+TEST(CorpusTest, TruncateRowsKeepsDomainsAndLabels) {
+  Corpus c = erminer::testing::MakeTinyCorpus();
+  ASSERT_TRUE(c.SetLabels({"y1", "y2", "y2", "y1", "y1"}).ok());
+  Corpus t = c.TruncateRows(3, 2);
+  EXPECT_EQ(t.input().num_rows(), 3u);
+  EXPECT_EQ(t.master().num_rows(), 2u);
+  EXPECT_EQ(t.input().domain(0).get(), c.input().domain(0).get());
+  EXPECT_EQ(t.labels().size(), 3u);
+  EXPECT_EQ(t.input().at(1, 0), c.input().at(1, 0));
+}
+
+TEST(CorpusTest, BuildRejectsBadTarget) {
+  StringTable in, ms;
+  in.schema = Schema::FromNames({"A"});
+  in.rows = {{"x"}};
+  ms.schema = Schema::FromNames({"A"});
+  ms.rows = {{"x"}};
+  SchemaMatch m(1);
+  EXPECT_FALSE(Corpus::Build(in, ms, m, 5, 0).ok());
+  EXPECT_FALSE(Corpus::Build(in, ms, m, 0, 5).ok());
+}
+
+TEST(CorpusTest, BuildRejectsMatchWidthMismatch) {
+  StringTable in, ms;
+  in.schema = Schema::FromNames({"A", "Y"});
+  in.rows = {{"x", "y"}};
+  ms.schema = Schema::FromNames({"A", "Y"});
+  ms.rows = {{"x", "y"}};
+  SchemaMatch m(5);
+  EXPECT_FALSE(Corpus::Build(in, ms, m, 1, 1).ok());
+}
+
+TEST(CorpusTest, ContinuousAttributeBinnedJointly) {
+  StringTable in, ms;
+  std::vector<Attribute> attrs = {{"age", AttributeKind::kContinuous},
+                                  {"Y", AttributeKind::kDiscrete}};
+  in.schema = Schema(attrs);
+  ms.schema = Schema(attrs);
+  for (int i = 0; i < 40; ++i) in.rows.push_back({std::to_string(i), "a"});
+  for (int i = 40; i < 80; ++i) ms.rows.push_back({std::to_string(i), "a"});
+  SchemaMatch m(2);
+  m.AddPair(0, 0);
+  CorpusOptions opts;
+  opts.n_split = 4;
+  Corpus c = Corpus::Build(in, ms, m, 1, 1, opts).ValueOrDie();
+  // The age column became <= 4 discrete range labels shared across tables.
+  EXPECT_LE(c.input().domain(0)->size(), 4u);
+  EXPECT_EQ(c.input().domain(0).get(), c.master().domain(0).get());
+}
+
+}  // namespace
+}  // namespace erminer

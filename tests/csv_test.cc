@@ -1,0 +1,80 @@
+#include "data/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace erminer {
+namespace {
+
+TEST(CsvTest, ParsesSimple) {
+  auto t = ParseCsv("A,B\n1,2\n3,4\n").ValueOrDie();
+  EXPECT_EQ(t.schema.attribute(0).name, "A");
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.rows[1][1], "4");
+}
+
+TEST(CsvTest, MissingTrailingNewlineOk) {
+  auto t = ParseCsv("A\nx").ValueOrDie();
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows[0][0], "x");
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndNewlines) {
+  auto t = ParseCsv("A,B\n\"a,b\",\"line1\nline2\"\n").ValueOrDie();
+  EXPECT_EQ(t.rows[0][0], "a,b");
+  EXPECT_EQ(t.rows[0][1], "line1\nline2");
+}
+
+TEST(CsvTest, EscapedQuotes) {
+  auto t = ParseCsv("A\n\"say \"\"hi\"\"\"\n").ValueOrDie();
+  EXPECT_EQ(t.rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvTest, CrlfTolerated) {
+  auto t = ParseCsv("A,B\r\n1,2\r\n").ValueOrDie();
+  EXPECT_EQ(t.rows[0][1], "2");
+}
+
+TEST(CsvTest, EmptyFieldsPreserved) {
+  auto t = ParseCsv("A,B,C\n,,\n").ValueOrDie();
+  EXPECT_EQ(t.rows[0], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsv("A\n\"oops\n").ok());
+}
+
+TEST(CsvTest, RaggedRowFails) {
+  EXPECT_FALSE(ParseCsv("A,B\n1\n").ok());
+}
+
+TEST(CsvTest, EmptyInputFails) { EXPECT_FALSE(ParseCsv("").ok()); }
+
+TEST(CsvTest, RoundTripWithQuoting) {
+  StringTable t;
+  t.schema = Schema::FromNames({"name", "note"});
+  t.rows = {{"a,b", "say \"hi\""}, {"", "line1\nline2"}};
+  auto back = ParseCsv(ToCsv(t)).ValueOrDie();
+  EXPECT_EQ(back.rows, t.rows);
+  EXPECT_EQ(back.schema.attribute(1).name, "note");
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  StringTable t;
+  t.schema = Schema::FromNames({"A"});
+  t.rows = {{"v1"}, {"v2"}};
+  const std::string path = ::testing::TempDir() + "/erminer_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  auto back = ReadCsvFile(path).ValueOrDie();
+  EXPECT_EQ(back.rows, t.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  EXPECT_EQ(ReadCsvFile("/nonexistent/erminer.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace erminer

@@ -1,0 +1,197 @@
+// Tests for spec validation, entity generation and error injection.
+
+#include <gtest/gtest.h>
+
+#include "datagen/entity_pool.h"
+#include "datagen/error_injector.h"
+#include "datagen/spec.h"
+
+namespace erminer {
+namespace {
+
+DatasetSpec SmallSpec() {
+  DatasetSpec s;
+  s.name = "small";
+  s.salt = 0xABC;
+  s.attributes.push_back({.name = "A", .domain_size = 5, .prefix = "a"});
+  s.attributes.push_back({.name = "G", .domain_size = 2, .prefix = "g"});
+  s.attributes.push_back({.name = "Y",
+                          .domain_size = 4,
+                          .prefix = "y",
+                          .parents = {0},
+                          .strength = 1.0,
+                          .gate_attr = 1,
+                          .gate_values = {0}});
+  s.input_columns = {"A", "G", "Y"};
+  s.master_columns = {"A", "Y"};
+  s.y_name = "Y";
+  return s;
+}
+
+TEST(SpecTest, ValidSpecPasses) { EXPECT_TRUE(SmallSpec().Validate().ok()); }
+
+TEST(SpecTest, ParentMustPrecede) {
+  DatasetSpec s = SmallSpec();
+  s.attributes[0].parents = {2};
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SpecTest, UnknownColumnRejected) {
+  DatasetSpec s = SmallSpec();
+  s.input_columns.push_back("nope");
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SpecTest, YMustBeInBothColumnLists) {
+  DatasetSpec s = SmallSpec();
+  s.master_columns = {"A"};
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SpecTest, GateMustPrecedeAndBeNonEmpty) {
+  DatasetSpec s = SmallSpec();
+  s.attributes[2].gate_values.clear();
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(EntityPoolTest, FunctionalMapIsDeterministic) {
+  EXPECT_EQ(EntityPool::FunctionalMap(1, 2, {3, 4}, 10, false),
+            EntityPool::FunctionalMap(1, 2, {3, 4}, 10, false));
+  EXPECT_NE(EntityPool::FunctionalMap(1, 2, {3, 4}, 1000, false),
+            EntityPool::FunctionalMap(1, 2, {3, 4}, 1000, true));
+  EXPECT_LT(EntityPool::FunctionalMap(9, 9, {1}, 7, false), 7u);
+}
+
+TEST(EntityPoolTest, GateControlsWhichMappingApplies) {
+  DatasetSpec spec = SmallSpec();
+  Rng rng(3);
+  EntityPool pool = EntityPool::Generate(spec, 500, &rng).ValueOrDie();
+  // For gated-in rows (G == 0), Y follows the primary map of A; gated-out
+  // rows follow the alternative map. Both are deterministic in A.
+  for (size_t r = 0; r < pool.size(); ++r) {
+    size_t a = pool.value_index(r, 0);
+    size_t g = pool.value_index(r, 1);
+    size_t y = pool.value_index(r, 2);
+    size_t expected =
+        EntityPool::FunctionalMap(spec.salt, 2, {a}, 4, /*alternative=*/g != 0);
+    EXPECT_EQ(y, expected) << "row " << r;
+  }
+}
+
+TEST(EntityPoolTest, ProjectSelectsColumnsAndRows) {
+  Rng rng(5);
+  EntityPool pool =
+      EntityPool::Generate(SmallSpec(), 20, &rng).ValueOrDie();
+  StringTable t = pool.Project({"Y", "A"}, {3, 7});
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.schema.attribute(0).name, "Y");
+  EXPECT_EQ(t.rows[0][1], pool.ValueString(3, 0));
+}
+
+TEST(EntityPoolTest, MasterFilterPartitionsRows) {
+  DatasetSpec spec = SmallSpec();
+  spec.master_filter_attr = 1;
+  spec.master_filter_values = {0};
+  Rng rng(7);
+  EntityPool pool = EntityPool::Generate(spec, 300, &rng).ValueOrDie();
+  auto in = pool.MasterEligible();
+  auto out = pool.MasterIneligible();
+  EXPECT_EQ(in.size() + out.size(), pool.size());
+  for (size_t r : in) EXPECT_EQ(pool.value_index(r, 1), 0u);
+  for (size_t r : out) EXPECT_NE(pool.value_index(r, 1), 0u);
+}
+
+TEST(EntityPoolTest, NoFilterMeansAllEligible) {
+  Rng rng(9);
+  EntityPool pool = EntityPool::Generate(SmallSpec(), 50, &rng).ValueOrDie();
+  EXPECT_EQ(pool.MasterEligible().size(), 50u);
+  EXPECT_TRUE(pool.MasterIneligible().empty());
+}
+
+TEST(MakeTypoTest, AlwaysChangesValue) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    std::string t = MakeTypo("case3", &rng);
+    EXPECT_NE(t, "case3");
+    EXPECT_FALSE(t.empty());
+  }
+  EXPECT_FALSE(MakeTypo("", &rng).empty());
+  EXPECT_NE(MakeTypo("a", &rng), "a");
+}
+
+TEST(ErrorInjectorTest, RespectsNoiseRateApproximately) {
+  StringTable t;
+  t.schema = Schema::FromNames({"A", "B"});
+  for (int i = 0; i < 3000; ++i) {
+    t.rows.push_back({"v" + std::to_string(i % 7), "w"});
+  }
+  Rng rng(13);
+  ErrorInjectorOptions opts;
+  opts.noise_rate = 0.2;
+  InjectionReport rep = InjectErrors(&t, opts, &rng);
+  double rate = static_cast<double>(rep.num_errors) / 6000.0;
+  EXPECT_NEAR(rate, 0.2, 0.02);
+  EXPECT_EQ(rep.ColumnErrorCount(0) + rep.ColumnErrorCount(1),
+            rep.num_errors);
+}
+
+TEST(ErrorInjectorTest, DirtyFlagsMatchChangedCells) {
+  StringTable t;
+  t.schema = Schema::FromNames({"A"});
+  for (int i = 0; i < 500; ++i) t.rows.push_back({"v" + std::to_string(i)});
+  StringTable clean = t;
+  Rng rng(17);
+  ErrorInjectorOptions opts;
+  opts.noise_rate = 0.3;
+  InjectionReport rep = InjectErrors(&t, opts, &rng);
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (rep.dirty[0][r]) {
+      EXPECT_NE(t.rows[r][0], clean.rows[r][0]);
+    } else {
+      EXPECT_EQ(t.rows[r][0], clean.rows[r][0]);
+    }
+  }
+}
+
+TEST(ErrorInjectorTest, OnlyColumnRestricts) {
+  StringTable t;
+  t.schema = Schema::FromNames({"A", "B"});
+  for (int i = 0; i < 300; ++i) t.rows.push_back({"a", "b"});
+  Rng rng(19);
+  ErrorInjectorOptions opts;
+  opts.noise_rate = 0.5;
+  opts.only_column = 1;
+  InjectionReport rep = InjectErrors(&t, opts, &rng);
+  EXPECT_EQ(rep.ColumnErrorCount(0), 0u);
+  EXPECT_GT(rep.ColumnErrorCount(1), 0u);
+}
+
+TEST(ErrorInjectorTest, ZeroNoiseIsIdentity) {
+  StringTable t;
+  t.schema = Schema::FromNames({"A"});
+  t.rows = {{"x"}, {"y"}};
+  StringTable clean = t;
+  Rng rng(23);
+  ErrorInjectorOptions opts;
+  opts.noise_rate = 0.0;
+  InjectionReport rep = InjectErrors(&t, opts, &rng);
+  EXPECT_EQ(rep.num_errors, 0u);
+  EXPECT_EQ(t.rows, clean.rows);
+}
+
+TEST(ErrorInjectorTest, MissingErrorsProduceNulls) {
+  StringTable t;
+  t.schema = Schema::FromNames({"A"});
+  for (int i = 0; i < 500; ++i) t.rows.push_back({"v"});
+  Rng rng(29);
+  ErrorInjectorOptions opts;
+  opts.noise_rate = 1.0;
+  opts.w_missing = 1.0;
+  opts.w_typo = 0.0;
+  opts.w_swap = 0.0;
+  InjectErrors(&t, opts, &rng);
+  for (const auto& r : t.rows) EXPECT_EQ(r[0], "");
+}
+
+}  // namespace
+}  // namespace erminer

@@ -1,0 +1,114 @@
+// Parameterized invariants over ALL four paper datasets x seeds: generation
+// invariants, corpus shared-dictionary invariants, and a mining smoke test.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/enu_miner.h"
+#include "datagen/generators.h"
+#include "eval/experiment.h"
+
+namespace erminer {
+namespace {
+
+struct SweepParam {
+  const char* dataset;
+  uint64_t seed;
+};
+
+class DatasetSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  GeneratedDataset Make() {
+    GenOptions g;
+    g.input_size = 400;
+    g.master_size = 300;
+    g.noise_rate = 0.1;
+    g.seed = GetParam().seed;
+    return MakeByName(GetParam().dataset, g).ValueOrDie();
+  }
+};
+
+TEST_P(DatasetSweep, GenerationInvariants) {
+  GeneratedDataset ds = Make();
+  EXPECT_EQ(ds.input.num_rows(), 400u);
+  EXPECT_EQ(ds.master.num_rows(), 300u);
+  ASSERT_TRUE(ds.input.Validate().ok());
+  ASSERT_TRUE(ds.master.Validate().ok());
+  // Master is clean; dirty bookkeeping matches reality.
+  for (const auto& row : ds.master.rows) {
+    for (const auto& cell : row) EXPECT_FALSE(cell.empty());
+  }
+  size_t counted = 0;
+  for (size_t c = 0; c < ds.input.num_cols(); ++c) {
+    for (size_t r = 0; r < ds.input.num_rows(); ++r) {
+      if (ds.injection.dirty[c][r]) {
+        ++counted;
+        EXPECT_NE(ds.input.rows[r][c], ds.clean_input.rows[r][c]);
+      }
+    }
+  }
+  EXPECT_EQ(counted, ds.injection.num_errors);
+  // Roughly the requested noise rate (generous tolerance at this size).
+  double cells = static_cast<double>(400 * ds.input.num_cols());
+  EXPECT_NEAR(static_cast<double>(counted) / cells, 0.1, 0.03);
+}
+
+TEST_P(DatasetSweep, CorpusSharedDictionaries) {
+  GeneratedDataset ds = Make();
+  Corpus corpus = BuildCorpus(ds).ValueOrDie();
+  // Every matched pair shares a Domain object; codes agree on strings.
+  for (size_t a = 0; a < corpus.input().num_cols(); ++a) {
+    for (int am : corpus.match().Matches(static_cast<int>(a))) {
+      EXPECT_EQ(corpus.input().domain(a).get(),
+                corpus.master().domain(static_cast<size_t>(am)).get())
+          << "pair (" << a << "," << am << ")";
+    }
+  }
+  EXPECT_EQ(corpus.y_domain().get(),
+            corpus.master()
+                .domain(static_cast<size_t>(corpus.y_master()))
+                .get());
+}
+
+TEST_P(DatasetSweep, EnuMinerSmoke) {
+  GeneratedDataset ds = Make();
+  Corpus corpus = BuildCorpus(ds).ValueOrDie();
+  MinerOptions o;
+  o.k = 10;
+  o.support_threshold = 25;
+  MineResult r = EnuMine(corpus, o);
+  EXPECT_TRUE(IsNonRedundant(r.rules));
+  for (const auto& sr : r.rules) {
+    EXPECT_GE(sr.stats.support, 25);
+    EXPECT_GE(sr.rule.LhsSize(), 1u);
+    EXPECT_LE(sr.stats.certainty, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(DatasetSweep, RepairNeverExceedsRowCount) {
+  GeneratedDataset ds = Make();
+  Corpus corpus = BuildCorpus(ds).ValueOrDie();
+  MinerOptions o;
+  o.k = 10;
+  o.support_threshold = 25;
+  TrialResult tr =
+      RunTrial(ds, Method::kEnuMiner, o, DefaultRlOptions(ds)).ValueOrDie();
+  EXPECT_LE(tr.repair.num_predicted, tr.repair.num_rows);
+  EXPECT_GE(tr.repair.f1, 0.0);
+  EXPECT_LE(tr.repair.f1, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetSweep,
+    ::testing::Values(SweepParam{"nursery", 1}, SweepParam{"nursery", 2},
+                      SweepParam{"adult", 1}, SweepParam{"adult", 2},
+                      SweepParam{"covid", 1}, SweepParam{"covid", 2},
+                      SweepParam{"location", 1}, SweepParam{"location", 2}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return std::string(info.param.dataset) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace erminer

@@ -1,0 +1,114 @@
+#include "core/domain_compress.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/schema_match.h"
+
+namespace erminer {
+namespace {
+
+/// Corpus whose attr 0 has controlled value frequencies.
+Corpus FreqCorpus(const std::vector<std::pair<std::string, int>>& freqs) {
+  StringTable in;
+  in.schema = Schema::FromNames({"A", "Y"});
+  for (const auto& [v, n] : freqs) {
+    for (int i = 0; i < n; ++i) in.rows.push_back({v, "y"});
+  }
+  StringTable ms;
+  ms.schema = Schema::FromNames({"A", "Y"});
+  ms.rows = {{"whatever", "y"}};
+  SchemaMatch m(2);
+  m.AddPair(0, 0);
+  return Corpus::Build(in, ms, m, 1, 1).ValueOrDie();
+}
+
+TEST(DomainCompressTest, FrequencyPruningDropsRareValues) {
+  Corpus c = FreqCorpus({{"hot", 50}, {"warm", 10}, {"cold", 2}});
+  DomainCompressOptions opts;
+  opts.min_frequency = 10;
+  auto items = CompressDomain(c, 0, opts);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].label, "hot");  // most frequent first
+  EXPECT_EQ(items[1].label, "warm");
+}
+
+TEST(DomainCompressTest, NoPruningKeepsAll) {
+  Corpus c = FreqCorpus({{"a", 3}, {"b", 2}, {"c", 1}});
+  auto items = CompressDomain(c, 0, {});
+  EXPECT_EQ(items.size(), 3u);
+  for (const auto& it : items) EXPECT_EQ(it.values.size(), 1u);
+}
+
+TEST(DomainCompressTest, PrefixMergeRespectsMaxClasses) {
+  std::vector<std::pair<std::string, int>> freqs;
+  for (int i = 0; i < 30; ++i) {
+    freqs.push_back({"ax" + std::to_string(i), 5});
+    freqs.push_back({"bx" + std::to_string(i), 5});
+  }
+  Corpus c = FreqCorpus(freqs);
+  DomainCompressOptions opts;
+  opts.max_classes = 4;
+  opts.prefix_merge = true;
+  auto items = CompressDomain(c, 0, opts);
+  EXPECT_LE(items.size(), 4u);
+  // All 60 codes remain reachable through some class.
+  std::set<ValueCode> covered;
+  for (const auto& it : items) covered.insert(it.values.begin(),
+                                              it.values.end());
+  EXPECT_EQ(covered.size(), 60u);
+  // Merged classes are labelled with a prefix star.
+  bool has_star = false;
+  for (const auto& it : items) has_star |= it.label.ends_with("*");
+  EXPECT_TRUE(has_star);
+}
+
+TEST(DomainCompressTest, NoMergeTruncatesToMostFrequent) {
+  std::vector<std::pair<std::string, int>> freqs;
+  for (int i = 0; i < 10; ++i) freqs.push_back({"v" + std::to_string(i), 10 - i});
+  Corpus c = FreqCorpus(freqs);
+  DomainCompressOptions opts;
+  opts.max_classes = 3;
+  opts.prefix_merge = false;
+  auto items = CompressDomain(c, 0, opts);
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].label, "v0");
+  EXPECT_EQ(items[1].label, "v1");
+  EXPECT_EQ(items[2].label, "v2");
+}
+
+TEST(DomainCompressTest, ClassesArePairwiseDisjoint) {
+  std::vector<std::pair<std::string, int>> freqs;
+  for (int i = 0; i < 40; ++i) freqs.push_back({"p" + std::to_string(i), 3});
+  Corpus c = FreqCorpus(freqs);
+  DomainCompressOptions opts;
+  opts.max_classes = 5;
+  auto items = CompressDomain(c, 0, opts);
+  std::set<ValueCode> seen;
+  for (const auto& it : items) {
+    for (ValueCode v : it.values) {
+      EXPECT_TRUE(seen.insert(v).second) << "code in two classes";
+    }
+  }
+}
+
+TEST(DomainCompressTest, NullsNeverBecomeCandidates) {
+  Corpus c = FreqCorpus({{"a", 5}});
+  // Inject nulls by building a corpus whose column contains empty strings:
+  StringTable in;
+  in.schema = Schema::FromNames({"A", "Y"});
+  in.rows = {{"", "y"}, {"", "y"}, {"a", "y"}};
+  StringTable ms;
+  ms.schema = Schema::FromNames({"A", "Y"});
+  ms.rows = {{"a", "y"}};
+  SchemaMatch m(2);
+  m.AddPair(0, 0);
+  Corpus c2 = Corpus::Build(in, ms, m, 1, 1).ValueOrDie();
+  auto items = CompressDomain(c2, 0, {});
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].label, "a");
+}
+
+}  // namespace
+}  // namespace erminer

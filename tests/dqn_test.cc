@@ -1,0 +1,176 @@
+// ReplayBuffer behaviour and DqnAgent: masking invariants and learning a
+// tiny deterministic chain MDP.
+
+#include "rl/dqn.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "rl/replay_buffer.h"
+
+namespace erminer {
+namespace {
+
+TEST(ReplayBufferTest, RingOverwriteKeepsCapacity) {
+  ReplayBuffer buf(3);
+  for (int i = 0; i < 7; ++i) {
+    Transition t;
+    t.reward = static_cast<float>(i);
+    buf.Add(std::move(t));
+  }
+  EXPECT_EQ(buf.size(), 3u);
+  // Only the newest 3 rewards (4, 5, 6) survive.
+  Rng rng(5);
+  for (const Transition* t : buf.Sample(50, &rng)) {
+    EXPECT_GE(t->reward, 4.0f);
+  }
+}
+
+TEST(ReplayBufferTest, SampleCoversContents) {
+  ReplayBuffer buf(10);
+  for (int i = 0; i < 10; ++i) {
+    Transition t;
+    t.action = i;
+    buf.Add(std::move(t));
+  }
+  Rng rng(7);
+  std::vector<bool> seen(10, false);
+  for (const Transition* t : buf.Sample(400, &rng)) {
+    seen[static_cast<size_t>(t->action)] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+DqnOptions SmallDqn() {
+  DqnOptions o;
+  o.hidden = {16};
+  o.batch_size = 8;
+  o.min_replay = 8;
+  o.replay_capacity = 512;
+  o.target_sync_every = 10;
+  o.learning_rate = 5e-3f;
+  o.gamma = 0.9f;
+  o.seed = 23;
+  return o;
+}
+
+TEST(DqnAgentTest, ActRespectsMask) {
+  DqnAgent agent(4, 5, SmallDqn());
+  std::vector<uint8_t> mask = {0, 1, 0, 0, 1};
+  for (int i = 0; i < 50; ++i) {
+    int32_t a = agent.Act({0, 2}, mask, /*epsilon=*/0.7);
+    EXPECT_TRUE(a == 1 || a == 4);
+  }
+}
+
+TEST(DqnAgentTest, GreedyIsDeterministic) {
+  DqnAgent agent(4, 5, SmallDqn());
+  std::vector<uint8_t> mask(5, 1);
+  int32_t a = agent.ActGreedy({1}, mask);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(agent.ActGreedy({1}, mask), a);
+}
+
+TEST(DqnAgentTest, QValuesHaveActionDim) {
+  DqnAgent agent(3, 4, SmallDqn());
+  EXPECT_EQ(agent.QValues({0}).size(), 4u);
+}
+
+TEST(DqnAgentTest, TrainStepNoOpUntilMinReplay) {
+  DqnAgent agent(3, 4, SmallDqn());
+  EXPECT_EQ(agent.TrainStep(), 0.0f);
+  EXPECT_EQ(agent.updates_done(), 0u);
+}
+
+TEST(DqnAgentTest, LearnsTwoArmedBandit) {
+  // One state, two actions; action 1 pays 1.0, action 0 pays 0.0.
+  DqnAgent agent(2, 2, SmallDqn());
+  std::vector<uint8_t> mask = {1, 1};
+  for (int i = 0; i < 300; ++i) {
+    Transition t;
+    t.state = {0};
+    t.action = i % 2;
+    t.reward = (t.action == 1) ? 1.0f : 0.0f;
+    t.next_state = {0};
+    t.next_mask = mask;
+    t.done = true;
+    agent.Observe(std::move(t));
+    agent.TrainStep();
+  }
+  EXPECT_EQ(agent.ActGreedy({0}, mask), 1);
+  auto q = agent.QValues({0});
+  EXPECT_NEAR(q[1], 1.0f, 0.2f);
+  EXPECT_NEAR(q[0], 0.0f, 0.2f);
+}
+
+TEST(DqnAgentTest, BootstrapsThroughChain) {
+  // Two-step chain: s0 --a0--> s1 (r=0), s1 --a0--> terminal (r=1).
+  // Q(s0, a0) must approach gamma * 1.
+  DqnOptions opts = SmallDqn();
+  DqnAgent agent(2, 1, opts);
+  std::vector<uint8_t> mask = {1};
+  for (int i = 0; i < 600; ++i) {
+    Transition t1;
+    t1.state = {0};
+    t1.action = 0;
+    t1.reward = 0.0f;
+    t1.next_state = {1};
+    t1.next_mask = mask;
+    t1.done = false;
+    agent.Observe(std::move(t1));
+    Transition t2;
+    t2.state = {1};
+    t2.action = 0;
+    t2.reward = 1.0f;
+    t2.next_state = {1};
+    t2.next_mask = mask;
+    t2.done = true;
+    agent.Observe(std::move(t2));
+    agent.TrainStep();
+  }
+  EXPECT_NEAR(agent.QValues({1})[0], 1.0f, 0.2f);
+  EXPECT_NEAR(agent.QValues({0})[0], 0.9f, 0.25f);
+}
+
+TEST(DqnAgentTest, MaskedBootstrapIgnoresDisallowedNextActions) {
+  // The next state's only allowed action has a low Q; an unmasked bootstrap
+  // would chase the (disallowed) high-Q action. We verify via targets: with
+  // all next actions masked except one, training converges to r + gamma*Q.
+  DqnOptions opts = SmallDqn();
+  DqnAgent agent(2, 2, opts);
+  // Make next-state action 1 disallowed everywhere.
+  std::vector<uint8_t> next_mask = {1, 0};
+  std::vector<uint8_t> full = {1, 1};
+  for (int i = 0; i < 400; ++i) {
+    Transition t;
+    t.state = {0};
+    t.action = i % 2;
+    t.reward = (t.action == 1) ? 1.0f : 0.0f;
+    t.next_state = {1};
+    t.next_mask = next_mask;
+    t.done = true;
+    agent.Observe(std::move(t));
+    agent.TrainStep();
+  }
+  EXPECT_EQ(agent.ActGreedy({0}, full), 1);
+}
+
+TEST(DqnAgentTest, SaveLoadWeights) {
+  DqnAgent a(3, 4, SmallDqn());
+  std::stringstream ss;
+  ASSERT_TRUE(a.SaveWeights(ss).ok());
+  DqnAgent b(3, 4, SmallDqn());
+  ASSERT_TRUE(b.LoadWeights(ss).ok());
+  EXPECT_EQ(a.QValues({1, 2}), b.QValues({1, 2}));
+}
+
+TEST(DqnAgentTest, LoadRejectsDimMismatch) {
+  DqnAgent a(3, 4, SmallDqn());
+  std::stringstream ss;
+  ASSERT_TRUE(a.SaveWeights(ss).ok());
+  DqnAgent b(5, 4, SmallDqn());
+  EXPECT_FALSE(b.LoadWeights(ss).ok());
+}
+
+}  // namespace
+}  // namespace erminer

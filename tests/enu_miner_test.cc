@@ -1,0 +1,108 @@
+#include "core/enu_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/repair.h"
+#include "test_util.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::MakeExactFdCorpus;
+using erminer::testing::MakeTinyCorpus;
+
+MinerOptions SmallOptions(double eta = 2, size_t k = 10) {
+  MinerOptions o;
+  o.k = k;
+  o.support_threshold = eta;
+  return o;
+}
+
+TEST(EnuMinerTest, FindsThePlantedExactRule) {
+  Corpus c = MakeExactFdCorpus();
+  MineResult r = EnuMine(c, SmallOptions(20));
+  ASSERT_FALSE(r.rules.empty());
+  // The best rule must be {(A,A),(B,B)} with certainty 1 and full support.
+  const ScoredRule& best = r.rules[0];
+  EXPECT_EQ(best.rule.lhs, (LhsPairs{{0, 0}, {1, 1}}));
+  EXPECT_DOUBLE_EQ(best.stats.certainty, 1.0);
+  EXPECT_DOUBLE_EQ(best.stats.quality, 1.0);
+}
+
+TEST(EnuMinerTest, OutputIsNonRedundantAndWithinK) {
+  Corpus c = MakeExactFdCorpus();
+  MineResult r = EnuMine(c, SmallOptions(5, 4));
+  EXPECT_LE(r.rules.size(), 4u);
+  EXPECT_TRUE(IsNonRedundant(r.rules));
+}
+
+TEST(EnuMinerTest, AllRulesMeetSupportThreshold) {
+  Corpus c = MakeExactFdCorpus();
+  MinerOptions o = SmallOptions(30);
+  MineResult r = EnuMine(c, o);
+  for (const auto& sr : r.rules) {
+    EXPECT_GE(static_cast<double>(sr.stats.support), o.support_threshold);
+    EXPECT_FALSE(sr.rule.lhs.empty());
+  }
+}
+
+TEST(EnuMinerTest, UtilityDescendingOrder) {
+  Corpus c = MakeExactFdCorpus();
+  MineResult r = EnuMine(c, SmallOptions(5));
+  for (size_t i = 1; i < r.rules.size(); ++i) {
+    EXPECT_GE(r.rules[i - 1].stats.utility, r.rules[i].stats.utility);
+  }
+}
+
+TEST(EnuMinerTest, HighThresholdPrunesEverything) {
+  Corpus c = MakeTinyCorpus();
+  MineResult r = EnuMine(c, SmallOptions(1000));
+  EXPECT_TRUE(r.rules.empty());
+  // Only the root's LHS children are generated (pattern values are pruned
+  // by frequency) and all fail the support check, so nothing expands.
+  EXPECT_LE(r.nodes_explored, 1u);
+}
+
+TEST(EnuMinerTest, H3LimitsRuleLengths) {
+  Corpus c = MakeExactFdCorpus();
+  MineResult r = EnuMineH3(c, SmallOptions(5));
+  for (const auto& sr : r.rules) {
+    EXPECT_LE(sr.rule.LhsSize(), 3u);
+    EXPECT_LE(sr.rule.PatternSize(), 3u);
+  }
+}
+
+TEST(EnuMinerTest, H3ExploresNoMoreNodesThanFull) {
+  Corpus c = MakeExactFdCorpus();
+  MineResult full = EnuMine(c, SmallOptions(3));
+  MineResult h3 = EnuMineH3(c, SmallOptions(3));
+  EXPECT_LE(h3.nodes_explored, full.nodes_explored);
+}
+
+TEST(EnuMinerTest, MaxNodesCapsTheSearch) {
+  Corpus c = MakeExactFdCorpus();
+  MinerOptions o = SmallOptions(2);
+  o.max_nodes = 10;
+  MineResult r = EnuMine(c, o);
+  EXPECT_LE(r.nodes_explored, 10u + o.max_classes_per_attr +
+                                  c.input().num_cols());
+}
+
+TEST(EnuMinerTest, RepairWithMinedRulesIsAccurate) {
+  // On the exactly-solvable corpus, applying the mined rules reproduces Y.
+  Corpus c = MakeExactFdCorpus();
+  MineResult r = EnuMine(c, SmallOptions(20, 5));
+  RuleEvaluator ev(&c);
+  RepairOutcome out = ApplyRules(&ev, r.rules);
+  size_t correct = 0, predicted = 0;
+  for (size_t row = 0; row < c.input().num_rows(); ++row) {
+    if (out.prediction[row] == kNullCode) continue;
+    ++predicted;
+    correct += (out.prediction[row] == c.input().at(row, 3));
+  }
+  EXPECT_GT(predicted, c.input().num_rows() / 2);
+  EXPECT_EQ(correct, predicted);  // exact FD => perfect precision
+}
+
+}  // namespace
+}  // namespace erminer

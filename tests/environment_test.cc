@@ -1,0 +1,164 @@
+// Environment (Algs. 2 and 4) behaviour: rewards, tree growth, traversal,
+// episode termination, cross-episode caching.
+
+#include "core/environment.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::MakeExactFdCorpus;
+using erminer::testing::MakeTinyCorpus;
+
+class EnvFixture : public ::testing::Test {
+ protected:
+  EnvFixture()
+      : corpus_(MakeTinyCorpus()),
+        space_(ActionSpace::Build(corpus_, {})),
+        evaluator_(&corpus_) {}
+
+  Environment MakeEnv(EnvOptions opts = {}) {
+    if (opts.support_threshold == 100) opts.support_threshold = 2;
+    return Environment(&corpus_, &space_, &evaluator_, opts);
+  }
+
+  Corpus corpus_;
+  ActionSpace space_;
+  RuleEvaluator evaluator_;
+};
+
+TEST_F(EnvFixture, ResetStartsAtRoot) {
+  Environment env = MakeEnv();
+  env.Reset();
+  EXPECT_FALSE(env.done());
+  EXPECT_TRUE(env.current_state().empty());
+  EXPECT_EQ(env.nodes_this_episode(), 1u);
+}
+
+TEST_F(EnvFixture, StopOnEmptyQueueEndsEpisodeWithTheta) {
+  Environment env = MakeEnv();
+  env.Reset();
+  auto sr = env.Step(space_.stop_action());
+  EXPECT_FLOAT_EQ(sr.reward, 0.01f);
+  EXPECT_TRUE(sr.done);
+  EXPECT_TRUE(env.done());
+}
+
+TEST_F(EnvFixture, SupportedRuleGetsScaledUtilityPlusFrontierBonus) {
+  Environment env = MakeEnv();
+  env.Reset();
+  auto sr = env.Step(0);  // add (A, A): S=4, C=0.75, Q=0
+  double ls = std::log(5.0);
+  float base = static_cast<float>(std::log(4.0) * std::log(4.0) * 0.75 /
+                                  (ls * ls));
+  // Root has no children and no cached reward (0), so bonus doubles it.
+  EXPECT_NEAR(sr.reward, 2 * base, 1e-5);
+  EXPECT_FALSE(sr.done);
+  EXPECT_EQ(env.leaves().size(), 1u);
+  EXPECT_EQ(sr.next_state, (RuleKey{0}));  // descended into the child
+}
+
+TEST_F(EnvFixture, SecondChildOfRootGetsNoBonus) {
+  Environment env = MakeEnv();
+  env.Reset();
+  env.Step(0);                         // first child (descends)
+  env.Step(space_.stop_action());      // back to the queued child
+  // The queue held the child; current is now the child node {0}.
+  EXPECT_EQ(env.current_state(), (RuleKey{0}));
+}
+
+TEST_F(EnvFixture, UnsupportedRuleGetsPenaltyAndNoDescend) {
+  EnvOptions opts;
+  opts.support_threshold = 100;  // nothing reaches it
+  opts.k = 50;
+  Environment env(&corpus_, &space_, &evaluator_, opts);
+  env.Reset();
+  auto sr = env.Step(0);
+  EXPECT_FLOAT_EQ(sr.reward, -0.01f);
+  // No queue entries -> episode over.
+  EXPECT_TRUE(sr.done);
+  EXPECT_TRUE(env.leaves().empty());
+}
+
+TEST_F(EnvFixture, EpisodeEndsAtKLeaves) {
+  EnvOptions opts;
+  opts.support_threshold = 1;
+  opts.k = 1;
+  Environment env(&corpus_, &space_, &evaluator_, opts);
+  env.Reset();
+  auto sr = env.Step(0);  // first valid leaf
+  EXPECT_TRUE(sr.done);
+  EXPECT_EQ(env.leaves().size(), 1u);
+}
+
+TEST_F(EnvFixture, RewardCachePersistsAcrossEpisodes) {
+  Environment env = MakeEnv();
+  env.Reset();
+  env.Step(0);
+  size_t evals_after_first = evaluator_.num_evaluations();
+  size_t cache_size = env.reward_cache_size();
+  env.Reset();
+  auto sr = env.Step(0);  // same rule: reward reused, but stats cached too
+  EXPECT_EQ(env.reward_cache_size(), cache_size);
+  EXPECT_EQ(evaluator_.num_evaluations(), evals_after_first);
+  EXPECT_FALSE(sr.done);
+}
+
+TEST_F(EnvFixture, GlobalPoolDeduplicatesAcrossEpisodes) {
+  Environment env = MakeEnv();
+  env.Reset();
+  env.Step(0);
+  env.Reset();
+  env.Step(0);
+  EXPECT_EQ(env.global_pool().size(), 1u);
+  EXPECT_EQ(env.total_nodes(), 2u);
+}
+
+TEST_F(EnvFixture, MaskReflectsTreeState) {
+  Environment env = MakeEnv();
+  env.Reset();
+  env.Step(0);  // now at child {0}
+  auto mask = env.CurrentMask();
+  EXPECT_EQ(mask[0], 0);  // (A,A) bound
+  EXPECT_EQ(mask.back(), 1);
+}
+
+TEST_F(EnvFixture, CertainRuleNotRefinedFurther) {
+  // On the exact-FD corpus the rule {(A,A),(B,B)} has C=1: stepping into it
+  // must not enqueue it for refinement.
+  Corpus corpus = MakeExactFdCorpus();
+  ActionSpace space = ActionSpace::Build(corpus, {});
+  RuleEvaluator evaluator(&corpus);
+  EnvOptions opts;
+  opts.support_threshold = 2;
+  opts.k = 100;
+  Environment env(&corpus, &space, &evaluator, opts);
+  env.Reset();
+  // Find the actions for (A,A) and (B,B).
+  int32_t a_act = space.LhsActionsOfAttr(0)[0];
+  int32_t b_act = space.LhsActionsOfAttr(1)[0];
+  env.Step(a_act);
+  auto sr = env.Step(b_act);
+  // The C=1 node is a leaf but not descended into: traversal moved back to
+  // a queued node (the {(A,A)} child).
+  EXPECT_EQ(sr.next_state, (RuleKey{a_act}));
+  EXPECT_EQ(env.leaves().size(), 2u);
+}
+
+TEST_F(EnvFixture, StepResultTransitionFieldsConsistent) {
+  Environment env = MakeEnv();
+  env.Reset();
+  auto sr = env.Step(0);
+  EXPECT_TRUE(sr.state.empty());
+  EXPECT_EQ(sr.action, 0);
+  EXPECT_EQ(sr.next_mask.size(), space_.num_actions());
+  EXPECT_EQ(sr.next_mask.back(), 1);
+}
+
+}  // namespace
+}  // namespace erminer

@@ -1,0 +1,89 @@
+// The experiment harness: corpus building, truth encoding, scoring.
+
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace erminer {
+namespace {
+
+GeneratedDataset SmallCovid(uint64_t seed = 41) {
+  GenOptions g;
+  g.input_size = 300;
+  g.master_size = 250;
+  g.seed = seed;
+  return MakeCovid(g).ValueOrDie();
+}
+
+TEST(ExperimentTest, MethodNamesAreStable) {
+  EXPECT_STREQ(MethodName(Method::kCtane), "CTANE");
+  EXPECT_STREQ(MethodName(Method::kEnuMiner), "EnuMiner");
+  EXPECT_STREQ(MethodName(Method::kEnuMinerH3), "EnuMinerH3");
+  EXPECT_STREQ(MethodName(Method::kRlMiner), "RLMiner");
+}
+
+TEST(ExperimentTest, BuildCorpusUsesDatasetTarget) {
+  GeneratedDataset ds = SmallCovid();
+  Corpus c = BuildCorpus(ds).ValueOrDie();
+  EXPECT_EQ(c.y_input(), ds.y_input);
+  EXPECT_EQ(c.y_master(), ds.y_master);
+  EXPECT_EQ(c.input().num_rows(), ds.input.num_rows());
+}
+
+TEST(ExperimentTest, EncodeTruthMatchesCleanCells) {
+  GeneratedDataset ds = SmallCovid();
+  Corpus c = BuildCorpus(ds).ValueOrDie();
+  auto truth = EncodeTruth(c, ds);
+  ASSERT_EQ(truth.size(), ds.input.num_rows());
+  auto dirty = ds.YDirty();
+  size_t y = static_cast<size_t>(ds.y_input);
+  for (size_t r = 0; r < truth.size(); ++r) {
+    if (!dirty[r]) {
+      // Clean cell: the encoded truth equals the input's code.
+      EXPECT_EQ(truth[r], c.input().at(r, y)) << "row " << r;
+    }
+  }
+}
+
+TEST(ExperimentTest, ScoreRulesPopulatesAllFields) {
+  GeneratedDataset ds = SmallCovid();
+  Corpus c = BuildCorpus(ds).ValueOrDie();
+  MinerOptions o;
+  o.k = 8;
+  o.support_threshold = 15;
+  MineResult mine = EnuMine(c, o);
+  ASSERT_FALSE(mine.rules.empty());
+  TrialResult tr = ScoreRules(c, ds, std::move(mine));
+  EXPECT_GT(tr.repair.num_rows, 0u);
+  EXPECT_GE(tr.lengths.lhs_min, 1u);
+  EXPECT_LE(tr.repair_dirty.num_rows, tr.repair.num_rows);
+  EXPECT_FALSE(tr.mine.rules.empty());
+}
+
+TEST(ExperimentTest, DefaultOptionsInheritDatasetThreshold) {
+  GeneratedDataset ds = SmallCovid();
+  MinerOptions o = DefaultMinerOptions(ds, 7);
+  EXPECT_EQ(o.k, 7u);
+  EXPECT_DOUBLE_EQ(o.support_threshold, ds.support_threshold);
+  RlMinerOptions rl = DefaultRlOptions(ds, 9, 123);
+  EXPECT_EQ(rl.base.k, 9u);
+  EXPECT_EQ(rl.seed, 123u);
+}
+
+TEST(ExperimentTest, DirtyMaskScoresSubset) {
+  GeneratedDataset ds = SmallCovid();
+  Corpus c = BuildCorpus(ds).ValueOrDie();
+  MinerOptions o;
+  o.k = 8;
+  o.support_threshold = 15;
+  TrialResult tr =
+      RunTrial(ds, Method::kEnuMiner, o, DefaultRlOptions(ds)).ValueOrDie();
+  auto dirty = ds.YDirty();
+  size_t dirty_count = 0;
+  for (bool d : dirty) dirty_count += d;
+  // Some dirty Y cells may hold NULL truth? Truth is clean, never null.
+  EXPECT_EQ(tr.repair_dirty.num_rows, dirty_count);
+}
+
+}  // namespace
+}  // namespace erminer

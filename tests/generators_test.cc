@@ -1,0 +1,156 @@
+#include "datagen/generators.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace erminer {
+namespace {
+
+TEST(SpecShapesTest, MatchTableOneSchemaWidths) {
+  // Table I of the paper: (#A, #A_m) per dataset.
+  EXPECT_EQ(AdultSpec().input_columns.size(), 10u);
+  EXPECT_EQ(AdultSpec().master_columns.size(), 9u);
+  EXPECT_EQ(CovidSpec().input_columns.size(), 7u);
+  EXPECT_EQ(CovidSpec().master_columns.size(), 8u);
+  EXPECT_EQ(NurserySpec().input_columns.size(), 9u);
+  EXPECT_EQ(NurserySpec().master_columns.size(), 9u);
+  EXPECT_EQ(LocationSpec().input_columns.size(), 9u);
+  EXPECT_EQ(LocationSpec().master_columns.size(), 5u);
+}
+
+TEST(SpecShapesTest, DefaultSizesMatchTableOne) {
+  EXPECT_EQ(AdultSpec().default_input_size, 40000u);
+  EXPECT_EQ(AdultSpec().default_master_size, 5000u);
+  EXPECT_EQ(CovidSpec().default_input_size, 2500u);
+  EXPECT_EQ(CovidSpec().default_master_size, 1824u);
+  EXPECT_EQ(NurserySpec().default_input_size, 10000u);
+  EXPECT_EQ(NurserySpec().default_master_size, 2980u);
+  EXPECT_EQ(LocationSpec().default_input_size, 2559u);
+  EXPECT_EQ(LocationSpec().default_master_size, 3430u);
+}
+
+GenOptions SmallGen(uint64_t seed = 3) {
+  GenOptions g;
+  g.input_size = 300;
+  g.master_size = 150;
+  g.noise_rate = 0.1;
+  g.seed = seed;
+  return g;
+}
+
+TEST(GeneratorTest, SizesAndSchemasHonored) {
+  GeneratedDataset ds = MakeCovid(SmallGen()).ValueOrDie();
+  EXPECT_EQ(ds.input.num_rows(), 300u);
+  EXPECT_EQ(ds.master.num_rows(), 150u);
+  EXPECT_EQ(ds.input.num_cols(), 7u);
+  EXPECT_EQ(ds.master.num_cols(), 8u);
+  EXPECT_GE(ds.y_input, 0);
+  EXPECT_GE(ds.y_master, 0);
+  EXPECT_EQ(ds.input.schema.attribute(static_cast<size_t>(ds.y_input)).name,
+            "infection_case");
+}
+
+TEST(GeneratorTest, CleanInputMatchesInputExceptDirtyCells) {
+  GeneratedDataset ds = MakeNursery(SmallGen()).ValueOrDie();
+  ASSERT_EQ(ds.clean_input.num_rows(), ds.input.num_rows());
+  for (size_t r = 0; r < ds.input.num_rows(); ++r) {
+    for (size_t c = 0; c < ds.input.num_cols(); ++c) {
+      if (!ds.injection.dirty[c][r]) {
+        EXPECT_EQ(ds.input.rows[r][c], ds.clean_input.rows[r][c]);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, MasterIsClean) {
+  GeneratedDataset ds = MakeCovid(SmallGen()).ValueOrDie();
+  for (const auto& row : ds.master.rows) {
+    for (const auto& cell : row) EXPECT_FALSE(cell.empty());
+  }
+}
+
+TEST(GeneratorTest, CovidMasterExcludesOverseas) {
+  // The master filter keeps only domestically infected entities; the input
+  // still contains both kinds.
+  GeneratedDataset ds = MakeCovid(SmallGen()).ValueOrDie();
+  int overseas_col = ds.input.schema.IndexOf("overseas");
+  ASSERT_GE(overseas_col, 0);
+  std::set<std::string> input_vals;
+  for (const auto& row : ds.clean_input.rows) {
+    input_vals.insert(row[static_cast<size_t>(overseas_col)]);
+  }
+  EXPECT_GT(input_vals.size(), 1u);
+  EXPECT_EQ(ds.master.schema.IndexOf("overseas"), -1);
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  GeneratedDataset a = MakeAdult(SmallGen(7)).ValueOrDie();
+  GeneratedDataset b = MakeAdult(SmallGen(7)).ValueOrDie();
+  EXPECT_EQ(a.input.rows, b.input.rows);
+  EXPECT_EQ(a.master.rows, b.master.rows);
+}
+
+TEST(GeneratorTest, SeedsChangeData) {
+  GeneratedDataset a = MakeAdult(SmallGen(7)).ValueOrDie();
+  GeneratedDataset b = MakeAdult(SmallGen(8)).ValueOrDie();
+  EXPECT_NE(a.input.rows, b.input.rows);
+}
+
+TEST(GeneratorTest, NoiseRateZeroKeepsInputClean) {
+  GenOptions g = SmallGen();
+  g.noise_rate = 0.0;
+  GeneratedDataset ds = MakeLocation(g).ValueOrDie();
+  EXPECT_EQ(ds.injection.num_errors, 0u);
+  EXPECT_EQ(ds.input.rows, ds.clean_input.rows);
+}
+
+TEST(GeneratorTest, DuplicatePercentHundredDrawsFromMasterEntities) {
+  GenOptions g = SmallGen();
+  g.duplicate_percent = 100.0;
+  g.noise_rate = 0.0;
+  GeneratedDataset ds = MakeNursery(g).ValueOrDie();
+  // Every clean input row must appear verbatim among master rows (Nursery's
+  // input and master schemas are identical).
+  std::set<std::vector<std::string>> master_rows(ds.master.rows.begin(),
+                                                 ds.master.rows.end());
+  for (const auto& row : ds.clean_input.rows) {
+    EXPECT_TRUE(master_rows.count(row) > 0);
+  }
+}
+
+TEST(GeneratorTest, MatchPairsCoverSharedNames) {
+  GeneratedDataset ds = MakeCovid(SmallGen()).ValueOrDie();
+  // city, confirmed_date, sex, age_group, infection_case, patient_id.
+  EXPECT_EQ(ds.match.num_pairs(), 6u);
+}
+
+TEST(GeneratorTest, YTruthAndDirtyAlign) {
+  GeneratedDataset ds = MakeCovid(SmallGen()).ValueOrDie();
+  auto truth = ds.YTruth();
+  auto dirty = ds.YDirty();
+  ASSERT_EQ(truth.size(), ds.input.num_rows());
+  ASSERT_EQ(dirty.size(), ds.input.num_rows());
+  size_t y = static_cast<size_t>(ds.y_input);
+  for (size_t r = 0; r < truth.size(); ++r) {
+    if (!dirty[r]) EXPECT_EQ(ds.input.rows[r][y], truth[r]);
+  }
+}
+
+TEST(GeneratorTest, MakeByNameDispatches) {
+  EXPECT_TRUE(MakeByName("covid", SmallGen()).ok());
+  EXPECT_TRUE(MakeByName("Adult", SmallGen()).ok());
+  EXPECT_FALSE(MakeByName("unknown", SmallGen()).ok());
+  EXPECT_EQ(DatasetNames().size(), 4u);
+}
+
+TEST(GeneratorTest, AdultHasBinnableContinuousAttributes) {
+  DatasetSpec spec = AdultSpec();
+  int age = spec.AttrIndex("age");
+  ASSERT_GE(age, 0);
+  EXPECT_EQ(spec.attributes[static_cast<size_t>(age)].kind,
+            AttributeKind::kContinuous);
+}
+
+}  // namespace
+}  // namespace erminer

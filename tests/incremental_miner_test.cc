@@ -1,0 +1,69 @@
+#include "rl/incremental_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::MakeExactFdCorpus;
+
+IncrementalMiner::Options SmallOptions() {
+  IncrementalMiner::Options o;
+  o.rl.base.k = 6;
+  o.rl.base.support_threshold = 20;
+  o.rl.train_steps = 400;
+  o.rl.dqn.hidden = {32};
+  o.rl.seed = 13;
+  o.fine_tune_fraction = 0.25;
+  return o;
+}
+
+TEST(IncrementalMinerTest, FirstRoundTrainsLaterRoundsFineTune) {
+  Corpus full = MakeExactFdCorpus(300, 80);
+  Corpus half = full.TruncateRows(150, 40);
+  IncrementalMiner miner(&full, SmallOptions());
+
+  MineResult first = miner.Mine(half);
+  EXPECT_EQ(miner.rounds(), 1u);
+  EXPECT_FALSE(first.rules.empty());
+
+  MineResult second = miner.Mine(full);
+  EXPECT_EQ(miner.rounds(), 2u);
+  EXPECT_FALSE(second.rules.empty());
+  // Fine-tuning trains a fraction of the steps, so it is (much) cheaper.
+  EXPECT_LT(second.train_seconds, first.train_seconds);
+  // The planted rule survives the increment.
+  bool found = false;
+  for (const auto& sr : second.rules) {
+    found |= (sr.rule.lhs == LhsPairs{{0, 0}, {1, 1}});
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(IncrementalMinerTest, RuleQualityHoldsAcrossRounds) {
+  Corpus full = MakeExactFdCorpus(240, 70);
+  IncrementalMiner miner(&full, SmallOptions());
+  MineResult first = miner.Mine(full.TruncateRows(120, 35));
+  MineResult second = miner.Mine(full.TruncateRows(180, 55));
+  MineResult third = miner.Mine(full);
+  ASSERT_FALSE(first.rules.empty());
+  ASSERT_FALSE(third.rules.empty());
+  EXPECT_TRUE(IsNonRedundant(third.rules));
+  EXPECT_GE(third.rules[0].stats.certainty, 0.9);
+  (void)second;
+}
+
+TEST(IncrementalMinerTest, SharedSpaceHasStableDims) {
+  Corpus full = MakeExactFdCorpus(200, 60);
+  IncrementalMiner miner(&full, SmallOptions());
+  size_t dim = miner.space().state_dim();
+  miner.Mine(full.TruncateRows(100, 30));
+  EXPECT_EQ(miner.space().state_dim(), dim);
+  miner.Mine(full);
+  EXPECT_EQ(miner.space().state_dim(), dim);
+}
+
+}  // namespace
+}  // namespace erminer

@@ -1,0 +1,105 @@
+// GroupIndex and EvalCache tests over the hand-checkable tiny corpus.
+
+#include <gtest/gtest.h>
+
+#include "index/eval_cache.h"
+#include "index/group_index.h"
+#include "test_util.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::MakeTinyCorpus;
+
+TEST(GroupIndexTest, GroupsAndCounts) {
+  Corpus c = MakeTinyCorpus();
+  GroupIndex idx = GroupIndex::Build(c.master(), {0}, 1);
+  EXPECT_EQ(idx.num_groups(), 2u);
+  Domain* dom = c.master().domain(0).get();
+  const Group* g1 = idx.Find({dom->Lookup("a1")});
+  ASSERT_NE(g1, nullptr);
+  EXPECT_EQ(g1->total, 3);
+  EXPECT_EQ(g1->max_count, 2);
+  EXPECT_EQ(g1->argmax, c.master().domain(1)->Lookup("y1"));
+  EXPECT_DOUBLE_EQ(g1->Certainty(), 2.0 / 3.0);
+  const Group* g2 = idx.Find({dom->Lookup("a2")});
+  ASSERT_NE(g2, nullptr);
+  EXPECT_EQ(g2->total, 1);
+  EXPECT_DOUBLE_EQ(g2->Certainty(), 1.0);
+}
+
+TEST(GroupIndexTest, MissingKeyReturnsNull) {
+  Corpus c = MakeTinyCorpus();
+  GroupIndex idx = GroupIndex::Build(c.master(), {0}, 1);
+  EXPECT_EQ(idx.Find({9999}), nullptr);
+}
+
+TEST(GroupIndexTest, EmptyKeyIsOneGlobalGroup) {
+  Corpus c = MakeTinyCorpus();
+  GroupIndex idx = GroupIndex::Build(c.master(), {}, 1);
+  EXPECT_EQ(idx.num_groups(), 1u);
+  const Group* g = idx.Find({});
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->total, 4);
+  EXPECT_EQ(g->max_count, 2);  // y1:2, y2:2 tie -> first seen wins argmax
+}
+
+TEST(GroupIndexTest, SkipsNullKeysAndTargets) {
+  StringTable ms;
+  ms.schema = Schema::FromNames({"A", "Y"});
+  ms.rows = {{"a", "y"}, {"", "y"}, {"a", ""}};
+  Table t = Table::EncodeFresh(ms).ValueOrDie();
+  GroupIndex idx = GroupIndex::Build(t, {0}, 1);
+  EXPECT_EQ(idx.num_groups(), 1u);
+  const Group* g = idx.Find({t.domain(0)->Lookup("a")});
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->total, 1);
+}
+
+TEST(EvalCacheTest, ColumnMapsRowsToGroups) {
+  Corpus c = MakeTinyCorpus();
+  EvalCache cache(&c);
+  auto entry = cache.Get({{0, 0}});
+  const auto& col = entry.column->group;
+  ASSERT_EQ(col.size(), 5u);
+  EXPECT_NE(col[0], nullptr);  // a1 in master
+  EXPECT_NE(col[1], nullptr);  // a1
+  EXPECT_NE(col[2], nullptr);  // a2
+  EXPECT_EQ(col[3], nullptr);  // a3 unmatched
+  EXPECT_NE(col[4], nullptr);  // a1 (null Y does not affect the key)
+  EXPECT_DOUBLE_EQ(col[0]->Certainty(), 2.0 / 3.0);
+}
+
+TEST(EvalCacheTest, CachesByLhs) {
+  Corpus c = MakeTinyCorpus();
+  EvalCache cache(&c);
+  cache.Get({{0, 0}});
+  EXPECT_EQ(cache.num_built(), 1u);
+  cache.Get({{0, 0}});
+  EXPECT_EQ(cache.num_built(), 1u);
+  cache.Get({});
+  EXPECT_EQ(cache.num_built(), 2u);
+}
+
+TEST(EvalCacheTest, EvictionRebuildsButEntriesStayValid) {
+  Corpus c = erminer::testing::MakeExactFdCorpus();
+  EvalCache cache(&c, /*capacity=*/2);
+  auto e1 = cache.Get({{0, 0}});
+  auto e2 = cache.Get({{1, 1}});
+  auto e3 = cache.Get({{0, 0}, {1, 1}});  // evicts the LRU entry
+  auto e4 = cache.Get({{0, 0}});          // rebuilt
+  EXPECT_GE(cache.num_built(), 4u);
+  // e1 is still usable even though its cache slot was evicted.
+  EXPECT_EQ(e1.column->group.size(), c.input().num_rows());
+  (void)e2;
+  (void)e3;
+  (void)e4;
+}
+
+TEST(EvalCacheTest, LhsKeyOfIsPositional) {
+  EXPECT_EQ(LhsKeyOf({{1, 2}, {3, 4}}), (std::vector<int32_t>{1, 2, 3, 4}));
+  EXPECT_NE(LhsKeyOf({{1, 2}}), LhsKeyOf({{2, 1}}));
+}
+
+}  // namespace
+}  // namespace erminer

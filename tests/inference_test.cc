@@ -1,0 +1,70 @@
+// RlMiner::Infer behaviour: the greedy episode, the low-epsilon top-up
+// episodes when the pool is short of K, and the inference budget cap.
+
+#include <gtest/gtest.h>
+
+#include "rl/rl_miner.h"
+#include "test_util.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::MakeExactFdCorpus;
+
+RlMinerOptions BaseOptions() {
+  RlMinerOptions o;
+  o.base.k = 10;
+  o.base.support_threshold = 15;
+  o.train_steps = 300;
+  o.dqn.hidden = {16};
+  o.seed = 3;
+  return o;
+}
+
+TEST(InferenceTest, UntrainedMinerStillFillsKViaTopUpEpisodes) {
+  Corpus c = MakeExactFdCorpus();
+  RlMinerOptions o = BaseOptions();
+  RlMiner miner(&c, o);  // no Train() at all
+  MineResult r = miner.Infer();
+  // The exact corpus has plenty of supported rules; exploration episodes
+  // must accumulate K of them (or exhaust the budget trying).
+  EXPECT_GE(r.rules.size(), 5u);
+  EXPECT_LE(r.inference_steps, o.max_inference_steps);
+}
+
+TEST(InferenceTest, BudgetCapRespected) {
+  Corpus c = MakeExactFdCorpus();
+  RlMinerOptions o = BaseOptions();
+  o.base.k = 10000;          // unreachable
+  o.max_inference_steps = 40;
+  RlMiner miner(&c, o);
+  MineResult r = miner.Infer();
+  EXPECT_LE(r.inference_steps, 40u);
+}
+
+TEST(InferenceTest, TrainedMinerInferenceIsShort) {
+  Corpus c = MakeExactFdCorpus();
+  RlMinerOptions o = BaseOptions();
+  RlMiner miner(&c, o);
+  miner.Train();
+  MineResult r = miner.Infer();
+  // After training, the pool already holds >= K rules: one greedy episode
+  // suffices and the budget is barely touched.
+  EXPECT_EQ(r.rules.size(), o.base.k);
+  EXPECT_LT(r.inference_steps, o.max_inference_steps);
+}
+
+TEST(InferenceTest, RepeatedInferIsIdempotentOnResults) {
+  Corpus c = MakeExactFdCorpus();
+  RlMiner miner(&c, BaseOptions());
+  miner.Train();
+  MineResult a = miner.Infer();
+  MineResult b = miner.Infer();
+  ASSERT_EQ(a.rules.size(), b.rules.size());
+  for (size_t i = 0; i < a.rules.size(); ++i) {
+    EXPECT_EQ(a.rules[i].rule, b.rules[i].rule);
+  }
+}
+
+}  // namespace
+}  // namespace erminer

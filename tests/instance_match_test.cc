@@ -1,0 +1,100 @@
+#include "data/instance_match.h"
+
+#include <gtest/gtest.h>
+
+namespace erminer {
+namespace {
+
+StringTable MakeInput() {
+  StringTable t;
+  t.schema = Schema::FromNames({"Zip", "Town", "Junk"});
+  t.rows = {
+      {"10001", "springfield", "x1"}, {"10002", "shelbyville", "x2"},
+      {"10003", "ogdenville", "x3"},  {"10001", "springfield", "x4"},
+  };
+  return t;
+}
+
+StringTable MakeMaster() {
+  StringTable t;
+  // Different names, overlapping values; an extra unrelated column.
+  t.schema = Schema::FromNames({"City", "Postcode", "Ref"});
+  t.rows = {
+      {"springfield", "10001", "r1"},
+      {"shelbyville", "10002", "r2"},
+      {"capital city", "10009", "r3"},
+  };
+  return t;
+}
+
+TEST(InstanceMatchTest, ScoresReflectOverlap) {
+  auto cands = ScoreMatches(MakeInput(), MakeMaster(), {});
+  ASSERT_FALSE(cands.empty());
+  // Best candidates must link Zip<->Postcode and Town<->City.
+  bool zip = false, town = false;
+  for (const auto& c : cands) {
+    if (c.input_col == 0 && c.master_col == 1) {
+      zip = true;
+      EXPECT_GT(c.score, 0.6);
+    }
+    if (c.input_col == 1 && c.master_col == 0) {
+      town = true;
+      EXPECT_GT(c.score, 0.6);
+    }
+    EXPECT_GE(c.score, 0.5);  // threshold respected
+  }
+  EXPECT_TRUE(zip);
+  EXPECT_TRUE(town);
+}
+
+TEST(InstanceMatchTest, BuildsOneToOneMatch) {
+  SchemaMatch m = MatchByValues(MakeInput(), MakeMaster());
+  EXPECT_TRUE(m.Contains(0, 1));  // Zip - Postcode
+  EXPECT_TRUE(m.Contains(1, 0));  // Town - City
+  EXPECT_TRUE(m.Matches(2).empty());
+  EXPECT_EQ(m.num_pairs(), 2u);
+}
+
+TEST(InstanceMatchTest, OneToOnePreventsDoubleAssignment) {
+  // Duplicate the master postcode column; only one may match Zip.
+  StringTable master = MakeMaster();
+  master.schema = Schema::FromNames({"City", "Postcode", "Postcode2"});
+  for (auto& r : master.rows) r[2] = r[1];
+  InstanceMatchOptions opts;
+  SchemaMatch m = MatchByValues(MakeInput(), master, opts);
+  EXPECT_EQ(m.Matches(0).size(), 1u);
+
+  opts.one_to_one = false;
+  SchemaMatch multi = MatchByValues(MakeInput(), master, opts);
+  EXPECT_EQ(multi.Matches(0).size(), 2u);
+}
+
+TEST(InstanceMatchTest, ThresholdFiltersWeakPairs) {
+  InstanceMatchOptions strict;
+  strict.min_score = 0.99;
+  SchemaMatch m = MatchByValues(MakeInput(), MakeMaster(), strict);
+  // Town ⊂ City fully (springfield, shelbyville, ogdenville? ogdenville is
+  // not in master) -> containment 2/3 < 0.99; nothing passes.
+  EXPECT_EQ(m.num_pairs(), 0u);
+}
+
+TEST(InstanceMatchTest, EmptyColumnsNeverMatch) {
+  StringTable input = MakeInput();
+  for (auto& r : input.rows) r[2].clear();  // Junk all null
+  auto cands = ScoreMatches(input, MakeMaster(), {});
+  for (const auto& c : cands) EXPECT_NE(c.input_col, 2);
+}
+
+TEST(InstanceMatchTest, DirtyValuesToleratedByContainment) {
+  // The input has typos; containment against the smaller (clean) master
+  // set still links the columns.
+  StringTable input = MakeInput();
+  input.rows.push_back({"1ooo1", "sprngfield", "x"});
+  input.rows.push_back({"10x01", "springfeld", "x"});
+  SchemaMatch m = MatchByValues(input, MakeMaster());
+  EXPECT_TRUE(m.Contains(0, 1));
+  EXPECT_TRUE(m.Contains(1, 0));
+}
+
+}  // namespace
+}  // namespace erminer

@@ -1,0 +1,118 @@
+// End-to-end integration: generated datasets -> corpus -> all four miners
+// -> repair -> metrics, including the cross-method relationships the paper
+// reports (CTANE's low recall; EnuMiner/RLMiner parity).
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "eval/table.h"
+
+namespace erminer {
+namespace {
+
+GenOptions SmallGen(uint64_t seed = 31) {
+  GenOptions g;
+  g.input_size = 800;
+  g.master_size = 600;
+  g.noise_rate = 0.1;
+  g.seed = seed;
+  return g;
+}
+
+MinerOptions Opts(const GeneratedDataset& ds) {
+  MinerOptions o = DefaultMinerOptions(ds, /*k=*/20);
+  o.support_threshold = 30;
+  return o;
+}
+
+RlMinerOptions RlOpts(const GeneratedDataset& ds) {
+  RlMinerOptions o = DefaultRlOptions(ds, /*k=*/20);
+  o.base.support_threshold = 30;
+  o.train_steps = 1200;
+  o.dqn.hidden = {64, 64};
+  return o;
+}
+
+TEST(IntegrationTest, AllMethodsRunOnCovid) {
+  GeneratedDataset ds = MakeCovid(SmallGen()).ValueOrDie();
+  for (Method m : {Method::kCtane, Method::kEnuMiner, Method::kEnuMinerH3,
+                   Method::kRlMiner}) {
+    TrialResult r = RunTrial(ds, m, Opts(ds), RlOpts(ds)).ValueOrDie();
+    EXPECT_TRUE(IsNonRedundant(r.mine.rules)) << MethodName(m);
+    EXPECT_GE(r.repair.precision, 0.0) << MethodName(m);
+    EXPECT_LE(r.repair.precision, 1.0) << MethodName(m);
+  }
+}
+
+TEST(IntegrationTest, EnuMinerBeatsCtaneOnRecall) {
+  // CTANE cannot condition on the input-only gate attribute, so it repairs
+  // fewer tuples correctly (Table III's pattern).
+  GeneratedDataset ds = MakeCovid(SmallGen(7)).ValueOrDie();
+  TrialResult ctane =
+      RunTrial(ds, Method::kCtane, Opts(ds), RlOpts(ds)).ValueOrDie();
+  TrialResult enu =
+      RunTrial(ds, Method::kEnuMiner, Opts(ds), RlOpts(ds)).ValueOrDie();
+  EXPECT_GT(enu.repair.recall, ctane.repair.recall);
+  EXPECT_GT(enu.repair.f1, ctane.repair.f1);
+}
+
+TEST(IntegrationTest, RlMinerTracksEnuMinerF1) {
+  GeneratedDataset ds = MakeCovid(SmallGen(13)).ValueOrDie();
+  TrialResult enu =
+      RunTrial(ds, Method::kEnuMiner, Opts(ds), RlOpts(ds)).ValueOrDie();
+  TrialResult rl =
+      RunTrial(ds, Method::kRlMiner, Opts(ds), RlOpts(ds)).ValueOrDie();
+  // Approximate parity (Sec. V-B2): RLMiner within 0.15 F1 of EnuMiner.
+  EXPECT_GT(rl.repair.f1, enu.repair.f1 - 0.15);
+}
+
+TEST(IntegrationTest, H3MatchesEnuMinerCloselyAndExploresLess) {
+  GeneratedDataset ds = MakeNursery(SmallGen(17)).ValueOrDie();
+  TrialResult enu =
+      RunTrial(ds, Method::kEnuMiner, Opts(ds), RlOpts(ds)).ValueOrDie();
+  TrialResult h3 =
+      RunTrial(ds, Method::kEnuMinerH3, Opts(ds), RlOpts(ds)).ValueOrDie();
+  EXPECT_LE(h3.mine.nodes_explored, enu.mine.nodes_explored);
+  EXPECT_NEAR(h3.repair.f1, enu.repair.f1, 0.1);
+}
+
+TEST(IntegrationTest, ZeroNoiseStillRepairsSomething) {
+  // Fig. 6's noise-0 observation: predictions still flow (and mostly agree
+  // with the clean input).
+  GenOptions g = SmallGen(19);
+  g.noise_rate = 0.0;
+  GeneratedDataset ds = MakeCovid(g).ValueOrDie();
+  TrialResult r =
+      RunTrial(ds, Method::kEnuMiner, Opts(ds), RlOpts(ds)).ValueOrDie();
+  EXPECT_GT(r.repair.num_predicted, 0u);
+  EXPECT_GT(r.repair.precision, 0.5);
+}
+
+TEST(IntegrationTest, LengthStatsAreReasonable) {
+  GeneratedDataset ds = MakeCovid(SmallGen(23)).ValueOrDie();
+  TrialResult r =
+      RunTrial(ds, Method::kEnuMiner, Opts(ds), RlOpts(ds)).ValueOrDie();
+  ASSERT_FALSE(r.mine.rules.empty());
+  EXPECT_GE(r.lengths.lhs_min, 1u);
+  EXPECT_LE(r.lengths.lhs_max, 6u);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"a", "long-header"});
+  t.AddRow({"xxxxx", "1"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| a     | long-header |"), std::string::npos);
+  EXPECT_NE(s.find("| xxxxx | 1           |"), std::string::npos);
+}
+
+TEST(AggregateTest, MeanAndStd) {
+  Aggregate a = Aggregate_({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(a.mean, 2.5);
+  EXPECT_NEAR(a.stdev, 1.118, 1e-3);
+  EXPECT_EQ(MeanStd(a), "2.50 +- 1.12");
+  Aggregate empty = Aggregate_({});
+  EXPECT_EQ(empty.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace erminer

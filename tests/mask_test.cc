@@ -1,0 +1,122 @@
+// Algorithm 1 properties: bound attributes closed, duplicates blocked,
+// stop never masked — checked directly and as a randomized property.
+
+#include "core/mask.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::MakeTinyCorpus;
+
+class MaskFixture : public ::testing::Test {
+ protected:
+  MaskFixture() : corpus_(MakeTinyCorpus()),
+                  space_(ActionSpace::Build(corpus_, {})) {}
+  Corpus corpus_;
+  ActionSpace space_;
+};
+
+TEST_F(MaskFixture, EmptyRuleAllowsEverything) {
+  auto mask = ComputeMask(space_, {}, {});
+  for (uint8_t m : mask) EXPECT_EQ(m, 1);
+}
+
+TEST_F(MaskFixture, LocalMaskClosesBoundLhsAttribute) {
+  // Action 0 is the (A, A) pair; once bound, all LHS actions of A masked.
+  auto mask = ComputeMask(space_, {0}, {});
+  EXPECT_EQ(mask[0], 0);
+  // Pattern actions of A remain allowed (pattern may condition on X attrs).
+  for (int32_t i : space_.PatternActionsOfAttr(0)) {
+    EXPECT_EQ(mask[static_cast<size_t>(i)], 1);
+  }
+}
+
+TEST_F(MaskFixture, LocalMaskClosesBoundPatternAttribute) {
+  int32_t g1 = space_.PatternActionsOfAttr(1)[0];
+  auto mask = ComputeMask(space_, {g1}, {});
+  for (int32_t i : space_.PatternActionsOfAttr(1)) {
+    EXPECT_EQ(mask[static_cast<size_t>(i)], 0);
+  }
+  // Other attributes stay open.
+  for (int32_t i : space_.PatternActionsOfAttr(0)) {
+    EXPECT_EQ(mask[static_cast<size_t>(i)], 1);
+  }
+}
+
+TEST_F(MaskFixture, GlobalMaskBlocksRegeneratingExistingRule) {
+  int32_t g1 = space_.PatternActionsOfAttr(1)[0];
+  RuleKeySet discovered;
+  discovered.insert(RuleKey{0, g1});
+  // From state {0}, taking g1 would regenerate {0, g1}.
+  auto mask = ComputeMask(space_, {0}, discovered);
+  EXPECT_EQ(mask[static_cast<size_t>(g1)], 0);
+  // From state {g1}, taking 0 would too.
+  auto mask2 = ComputeMask(space_, {g1}, discovered);
+  EXPECT_EQ(mask2[0], 0);
+  // Unrelated extensions stay allowed.
+  int32_t a1 = space_.PatternActionsOfAttr(0)[0];
+  EXPECT_EQ(mask[static_cast<size_t>(a1)], 1);
+}
+
+TEST_F(MaskFixture, StopNeverMasked) {
+  RuleKeySet discovered;
+  // Saturate: mark every single-extension rule as discovered.
+  for (int32_t a = 0; a < space_.stop_action(); ++a) {
+    discovered.insert(RuleKey{a});
+  }
+  auto mask = ComputeMask(space_, {}, discovered);
+  EXPECT_EQ(mask.back(), 1);
+  EXPECT_EQ(CountAllowed(mask), 0u);
+}
+
+TEST_F(MaskFixture, CountAllowedExcludesStop) {
+  auto mask = ComputeMask(space_, {}, {});
+  EXPECT_EQ(CountAllowed(mask), space_.state_dim());
+}
+
+// Property over random walks: an allowed action never re-specifies a bound
+// attribute and never regenerates a discovered rule.
+class MaskProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MaskProperty, SoundOverRandomWalks) {
+  Corpus corpus = MakeTinyCorpus();
+  ActionSpace space = ActionSpace::Build(corpus, {});
+  Rng rng(GetParam());
+  RuleKeySet discovered;
+  RuleKey key;
+  for (int step = 0; step < 6; ++step) {
+    auto mask = ComputeMask(space, key, discovered);
+    ASSERT_EQ(mask.back(), 1);
+    for (int32_t a = 0; a < space.stop_action(); ++a) {
+      if (!mask[static_cast<size_t>(a)]) continue;
+      // Allowed => not already a bound attribute.
+      EditingRule rule = space.Decode(key);
+      if (space.IsLhsAction(a)) {
+        EXPECT_FALSE(rule.HasLhsAttr(space.lhs_action(a).a));
+      } else {
+        EXPECT_FALSE(rule.pattern.SpecifiesAttr(space.pattern_item(a).attr));
+      }
+      // Allowed => does not regenerate a discovered rule.
+      EXPECT_EQ(discovered.count(KeyWith(key, a)), 0u);
+    }
+    // Take a random allowed action, if any.
+    std::vector<int32_t> allowed;
+    for (int32_t a = 0; a < space.stop_action(); ++a) {
+      if (mask[static_cast<size_t>(a)]) allowed.push_back(a);
+    }
+    if (allowed.empty()) break;
+    key = KeyWith(key, allowed[rng.NextUint64(allowed.size())]);
+    discovered.insert(key);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWalks, MaskProperty,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace erminer

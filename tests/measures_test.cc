@@ -1,0 +1,193 @@
+// Hand-computed measure checks (Eqs. 1-5) on the tiny corpus, plus the
+// Lemma 1 property (domination => support anti-monotone) verified over
+// randomized rules on a generated corpus.
+
+#include "core/measures.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/action_space.h"
+#include "core/mask.h"
+#include "datagen/generators.h"
+#include "eval/experiment.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::MakeTinyCorpus;
+
+EditingRule TinyRule(const Corpus& c, bool with_pattern) {
+  EditingRule r;
+  r.y_input = 2;
+  r.y_master = 1;
+  r.AddLhs(0, 0);
+  if (with_pattern) {
+    r.pattern.Add({1, {c.input().domain(1)->Lookup("g1")}, "g1"});
+  }
+  return r;
+}
+
+TEST(MeasuresTest, HandComputedNoPattern) {
+  Corpus c = MakeTinyCorpus();
+  RuleEvaluator ev(&c);
+  RuleStats s = ev.Evaluate(TinyRule(c, false));
+  EXPECT_EQ(s.support, 4);                     // r3's a3 is not in master
+  EXPECT_NEAR(s.certainty, 0.75, 1e-12);       // (2/3+2/3+1+2/3)/4
+  EXPECT_NEAR(s.quality, 0.0, 1e-12);          // (+1-1+1-1)/4
+  EXPECT_NEAR(s.utility, std::log(4) * std::log(4) * 0.75, 1e-9);
+}
+
+TEST(MeasuresTest, HandComputedWithPattern) {
+  Corpus c = MakeTinyCorpus();
+  RuleEvaluator ev(&c);
+  RuleStats s = ev.Evaluate(TinyRule(c, true));
+  EXPECT_EQ(s.support, 3);                 // rows r0, r2, r4
+  EXPECT_NEAR(s.certainty, 7.0 / 9.0, 1e-12);
+  EXPECT_NEAR(s.quality, 1.0 / 3.0, 1e-12);
+}
+
+TEST(MeasuresTest, ZeroSupportRule) {
+  Corpus c = MakeTinyCorpus();
+  RuleEvaluator ev(&c);
+  EditingRule r = TinyRule(c, false);
+  r.pattern.Add({1, {9999}, "missing"});
+  RuleStats s = ev.Evaluate(r);
+  EXPECT_EQ(s.support, 0);
+  EXPECT_EQ(s.certainty, 0);
+  EXPECT_EQ(s.quality, 0);
+  EXPECT_EQ(s.utility, 0);
+}
+
+TEST(MeasuresTest, LabelsChangeQualityOnly) {
+  Corpus c = MakeTinyCorpus();
+  RuleEvaluator ev1(&c);
+  RuleStats before = ev1.Evaluate(TinyRule(c, false));
+  // Relabel so that every covered row's truth equals the group argmax.
+  ASSERT_TRUE(c.SetLabels({"y1", "y1", "y2", "y1", "y1"}).ok());
+  RuleEvaluator ev2(&c);
+  RuleStats after = ev2.Evaluate(TinyRule(c, false));
+  EXPECT_EQ(after.support, before.support);
+  EXPECT_EQ(after.certainty, before.certainty);
+  EXPECT_NEAR(after.quality, 1.0, 1e-12);
+}
+
+TEST(MeasuresTest, UtilityFunctionShape) {
+  // Utility is linear in C+Q and log-squared in S (Fig. 2).
+  EXPECT_EQ(UtilityOf(0, 1, 1), 0);
+  EXPECT_EQ(UtilityOf(1, 1, 1), 0);
+  EXPECT_NEAR(UtilityOf(100, 0.5, 0.25),
+              std::log(100) * std::log(100) * 0.75, 1e-9);
+  EXPECT_NEAR(UtilityOf(100, 1.0, 0.0) * 2, UtilityOf(100, 1.0, 1.0), 1e-9);
+  EXPECT_LT(UtilityOf(100, 1, 1), UtilityOf(10000, 1, 1));
+  EXPECT_LT(UtilityOf(100, 1, -1.5), 0);  // negative quality can sink it
+  // Marginal gain of support shrinks: U(10k)-U(1k) < 3*(U(100)-U(10)).
+  double d_small = UtilityOf(100, 1, 0) - UtilityOf(10, 1, 0);
+  double d_large = UtilityOf(10000, 1, 0) - UtilityOf(1000, 1, 0);
+  EXPECT_LT(d_large, 3 * d_small);
+}
+
+TEST(CoverTest, RefineAndFromScratchAgree) {
+  Corpus c = MakeTinyCorpus();
+  PatternItem g1{1, {c.input().domain(1)->Lookup("g1")}, "g1"};
+  Cover refined = RefineCover(c, FullCover(c), g1);
+  Pattern p;
+  p.Add(g1);
+  Cover scratch = CoverOf(c, p);
+  EXPECT_EQ(*refined, *scratch);
+  // Rows r0, r2, r3, r4 carry g1; support is only 3 because r3 has no
+  // master match, but the cover itself has 4 rows.
+  EXPECT_EQ(refined->size(), 4u);
+}
+
+TEST(CoverTest, FullCoverIsAllRows) {
+  Corpus c = MakeTinyCorpus();
+  EXPECT_EQ(FullCover(c)->size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Property: Lemma 1. If rule1 dominates rule2 then S(rule1) >= S(rule2).
+// Randomized parent/child rule pairs over a generated Covid corpus.
+// ---------------------------------------------------------------------------
+
+class Lemma1Property : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Lemma1Property, DominationImpliesSupportMonotone) {
+  GenOptions g;
+  g.input_size = 400;
+  g.master_size = 200;
+  g.seed = 11;
+  GeneratedDataset ds = MakeCovid(g).ValueOrDie();
+  Corpus corpus = BuildCorpus(ds).ValueOrDie();
+  ActionSpaceOptions aopts;
+  aopts.support_threshold = 0;
+  aopts.max_classes_per_attr = 16;
+  ActionSpace space = ActionSpace::Build(corpus, aopts);
+  RuleEvaluator ev(&corpus);
+
+  Rng rng(GetParam());
+  // Build a random parent rule key, then a strict extension of it.
+  RuleKey parent_key;
+  for (int tries = 0; tries < 40 && parent_key.size() < 2; ++tries) {
+    int32_t a = static_cast<int32_t>(rng.NextUint64(space.state_dim()));
+    std::vector<uint8_t> mask = ComputeMask(space, parent_key, {});
+    if (mask[static_cast<size_t>(a)]) parent_key = KeyWith(parent_key, a);
+  }
+  RuleKey child_key = parent_key;
+  for (int tries = 0; tries < 40 && child_key.size() < parent_key.size() + 2;
+       ++tries) {
+    int32_t a = static_cast<int32_t>(rng.NextUint64(space.state_dim()));
+    std::vector<uint8_t> mask = ComputeMask(space, child_key, {});
+    if (mask[static_cast<size_t>(a)]) child_key = KeyWith(child_key, a);
+  }
+  if (child_key.size() == parent_key.size()) GTEST_SKIP();
+
+  EditingRule parent = space.Decode(parent_key);
+  EditingRule child = space.Decode(child_key);
+  ASSERT_TRUE(parent.Dominates(child));
+  EXPECT_GE(ev.Evaluate(parent).support, ev.Evaluate(child).support);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRules, Lemma1Property,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// Certainty and f_c bounds: C in [0,1], Q in [-1,1] for random rules.
+class MeasureBoundsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MeasureBoundsProperty, BoundsHold) {
+  GenOptions g;
+  g.input_size = 300;
+  g.master_size = 150;
+  g.seed = 13;
+  GeneratedDataset ds = MakeNursery(g).ValueOrDie();
+  Corpus corpus = BuildCorpus(ds).ValueOrDie();
+  ActionSpaceOptions aopts;
+  aopts.max_classes_per_attr = 8;
+  ActionSpace space = ActionSpace::Build(corpus, aopts);
+  RuleEvaluator ev(&corpus);
+
+  Rng rng(GetParam() * 7919);
+  RuleKey key;
+  size_t want = 1 + rng.NextUint64(3);
+  for (int tries = 0; tries < 60 && key.size() < want; ++tries) {
+    int32_t a = static_cast<int32_t>(rng.NextUint64(space.state_dim()));
+    std::vector<uint8_t> mask = ComputeMask(space, key, {});
+    if (mask[static_cast<size_t>(a)]) key = KeyWith(key, a);
+  }
+  RuleStats s = ev.Evaluate(space.Decode(key));
+  EXPECT_GE(s.certainty, 0.0);
+  EXPECT_LE(s.certainty, 1.0 + 1e-12);
+  EXPECT_GE(s.quality, -1.0 - 1e-12);
+  EXPECT_LE(s.quality, 1.0 + 1e-12);
+  EXPECT_GE(s.support, 0);
+  EXPECT_LE(s.support, static_cast<long>(corpus.input().num_rows()));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRules, MeasureBoundsProperty,
+                         ::testing::Range<uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace erminer

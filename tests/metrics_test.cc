@@ -1,0 +1,80 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace erminer {
+namespace {
+
+TEST(WeightedPrfTest, PerfectPrediction) {
+  std::vector<ValueCode> truth = {0, 1, 0, 2};
+  auto r = WeightedPrf(truth, truth);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+  EXPECT_DOUBLE_EQ(r.f1, 1.0);
+  EXPECT_EQ(r.num_rows, 4u);
+  EXPECT_EQ(r.num_predicted, 4u);
+}
+
+TEST(WeightedPrfTest, NoPredictionsGiveZero) {
+  std::vector<ValueCode> truth = {0, 1};
+  std::vector<ValueCode> pred = {kNullCode, kNullCode};
+  auto r = WeightedPrf(truth, pred);
+  EXPECT_DOUBLE_EQ(r.precision, 0.0);
+  EXPECT_DOUBLE_EQ(r.recall, 0.0);
+  EXPECT_EQ(r.num_predicted, 0u);
+}
+
+TEST(WeightedPrfTest, HandComputedMixedCase) {
+  // truth: class0 x2, class1 x2. predictions: row0->0 (TP), row1->1 (FP on
+  // class1? no: truth row1 is 0, predicted 1 -> FP for class1, FN for 0),
+  // row2->1 (TP), row3 none.
+  std::vector<ValueCode> truth = {0, 0, 1, 1};
+  std::vector<ValueCode> pred = {0, 1, 1, kNullCode};
+  auto r = WeightedPrf(truth, pred);
+  // class0: support 2, tp 1, fp 0 -> P=1, R=0.5, F=2/3.
+  // class1: support 2, tp 1, fp 1 -> P=0.5, R=0.5, F=0.5.
+  EXPECT_DOUBLE_EQ(r.precision, (2 * 1.0 + 2 * 0.5) / 4);
+  EXPECT_DOUBLE_EQ(r.recall, 0.5);
+  EXPECT_DOUBLE_EQ(r.f1, (2 * (2.0 / 3.0) + 2 * 0.5) / 4);
+}
+
+TEST(WeightedPrfTest, NullTruthRowsSkipped) {
+  std::vector<ValueCode> truth = {kNullCode, 0};
+  std::vector<ValueCode> pred = {0, 0};
+  auto r = WeightedPrf(truth, pred);
+  EXPECT_EQ(r.num_rows, 1u);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+}
+
+TEST(WeightedPrfTest, RowMaskRestrictsEvaluation) {
+  std::vector<ValueCode> truth = {0, 0, 1};
+  std::vector<ValueCode> pred = {0, 1, 1};
+  std::vector<uint8_t> mask = {1, 0, 1};
+  auto r = WeightedPrf(truth, pred, &mask);
+  EXPECT_EQ(r.num_rows, 2u);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+}
+
+TEST(WeightedPrfTest, SpuriousPredictionClassDoesNotCrash) {
+  // Predicting a class that never appears in truth.
+  std::vector<ValueCode> truth = {0, 0};
+  std::vector<ValueCode> pred = {7, 7};
+  auto r = WeightedPrf(truth, pred);
+  EXPECT_DOUBLE_EQ(r.precision, 0.0);
+  EXPECT_DOUBLE_EQ(r.recall, 0.0);
+}
+
+TEST(WeightedPrfTest, WeightingFavorsLargeClasses) {
+  // class0: 9 rows all correct; class1: 1 row wrong.
+  std::vector<ValueCode> truth(10, 0);
+  truth[9] = 1;
+  std::vector<ValueCode> pred(10, 0);
+  auto r = WeightedPrf(truth, pred);
+  EXPECT_NEAR(r.recall, 0.9, 1e-12);
+  // class0 precision = 9/10 (one FP), weighted by 9; class1 precision 0.
+  EXPECT_NEAR(r.precision, 0.9 * 0.9, 1e-12);
+}
+
+}  // namespace
+}  // namespace erminer

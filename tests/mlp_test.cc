@@ -1,0 +1,141 @@
+// MLP correctness: finite-difference gradient checks for every parameter,
+// weight copy, and (de)serialization.
+
+#include "nn/mlp.h"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+
+namespace erminer {
+namespace {
+
+/// Scalar loss used for gradient checking: L = 0.5 * sum(out^2).
+float LossOf(Mlp* mlp, const Tensor& x) {
+  Tensor out = mlp->Forward(x);
+  float l = 0;
+  for (float v : out.data()) l += 0.5f * v * v;
+  return l;
+}
+
+TEST(MlpTest, GradientMatchesFiniteDifference) {
+  Rng rng(3);
+  Mlp mlp({4, 6, 3}, &rng);
+  Tensor x(2, 4);
+  for (float& v : x.data()) v = static_cast<float>(rng.NextGaussian());
+
+  // Analytic gradients: dL/dout = out.
+  Tensor out = mlp.Forward(x);
+  mlp.ZeroGrad();
+  mlp.Backward(out);
+  auto params = mlp.Parameters();
+  auto grads = mlp.Gradients();
+
+  const float eps = 1e-3f;
+  int checked = 0;
+  for (size_t p = 0; p < params.size(); ++p) {
+    for (size_t i = 0; i < params[p]->size(); i += 5) {  // spot-check
+      float orig = params[p]->data()[i];
+      params[p]->data()[i] = orig + eps;
+      float lp = LossOf(&mlp, x);
+      params[p]->data()[i] = orig - eps;
+      float lm = LossOf(&mlp, x);
+      params[p]->data()[i] = orig;
+      float numeric = (lp - lm) / (2 * eps);
+      float analytic = grads[p]->data()[i];
+      EXPECT_NEAR(numeric, analytic,
+                  5e-2f * std::max(1.0f, std::fabs(numeric)))
+          << "param " << p << " index " << i;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(MlpTest, DeepNetGradientCheck) {
+  Rng rng(7);
+  Mlp mlp({3, 5, 5, 2}, &rng);
+  Tensor x(1, 3);
+  for (float& v : x.data()) v = static_cast<float>(rng.NextGaussian());
+  Tensor out = mlp.Forward(x);
+  mlp.ZeroGrad();
+  mlp.Backward(out);
+  auto params = mlp.Parameters();
+  auto grads = mlp.Gradients();
+  const float eps = 1e-3f;
+  // Check the first weight matrix thoroughly (deepest gradient path).
+  for (size_t i = 0; i < params[0]->size(); ++i) {
+    float orig = params[0]->data()[i];
+    params[0]->data()[i] = orig + eps;
+    float lp = LossOf(&mlp, x);
+    params[0]->data()[i] = orig - eps;
+    float lm = LossOf(&mlp, x);
+    params[0]->data()[i] = orig;
+    EXPECT_NEAR((lp - lm) / (2 * eps), grads[0]->data()[i], 5e-2f);
+  }
+}
+
+TEST(MlpTest, BackwardAccumulatesUntilZeroGrad) {
+  Rng rng(9);
+  Mlp mlp({2, 3, 1}, &rng);
+  Tensor x(1, 2, 1.0f);
+  Tensor out = mlp.Forward(x);
+  mlp.ZeroGrad();
+  mlp.Backward(out);
+  float g1 = mlp.Gradients()[0]->data()[0];
+  mlp.Forward(x);
+  mlp.Backward(out);
+  EXPECT_NEAR(mlp.Gradients()[0]->data()[0], 2 * g1, 1e-5f);
+  mlp.ZeroGrad();
+  EXPECT_FLOAT_EQ(mlp.Gradients()[0]->data()[0], 0.0f);
+}
+
+TEST(MlpTest, CopyWeightsMakesNetsAgree) {
+  Rng rng(11);
+  Mlp a({3, 4, 2}, &rng);
+  Mlp b({3, 4, 2}, &rng);
+  Tensor x(1, 3, 0.5f);
+  b.CopyWeightsFrom(a);
+  EXPECT_EQ(a.Forward(x).data(), b.Forward(x).data());
+}
+
+TEST(MlpTest, SaveLoadRoundTrip) {
+  Rng rng(13);
+  Mlp a({5, 8, 3}, &rng);
+  std::stringstream ss;
+  ASSERT_TRUE(a.Save(ss).ok());
+  Mlp b = Mlp::Load(ss).ValueOrDie();
+  EXPECT_EQ(b.dims(), a.dims());
+  Tensor x(2, 5, 0.25f);
+  EXPECT_EQ(a.Forward(x).data(), b.Forward(x).data());
+}
+
+TEST(MlpTest, LoadRejectsGarbage) {
+  std::stringstream ss;
+  ss << "not a weight file";
+  EXPECT_FALSE(Mlp::Load(ss).ok());
+}
+
+TEST(LossTest, HuberValueAndGrad) {
+  EXPECT_FLOAT_EQ(HuberLoss(0.5f), 0.125f);
+  EXPECT_FLOAT_EQ(HuberLoss(2.0f), 1.5f);     // delta*(|d|-delta/2)
+  EXPECT_FLOAT_EQ(HuberGrad(0.5f), 0.5f);
+  EXPECT_FLOAT_EQ(HuberGrad(2.0f), 1.0f);
+  EXPECT_FLOAT_EQ(HuberGrad(-2.0f), -1.0f);
+  EXPECT_FLOAT_EQ(HuberLoss(-2.0f), HuberLoss(2.0f));
+}
+
+TEST(LossTest, MseValueAndGrad) {
+  Tensor pred = Tensor::FromData(1, 2, {1, 3});
+  Tensor target = Tensor::FromData(1, 2, {0, 1});
+  auto [loss, grad] = MseLoss(pred, target);
+  EXPECT_NEAR(loss, (1 + 4) / 2.0f, 1e-6f);
+  EXPECT_NEAR(grad.at(0, 0), 2 * 1 / 2.0f, 1e-6f);
+  EXPECT_NEAR(grad.at(0, 1), 2 * 2 / 2.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace erminer

@@ -1,0 +1,72 @@
+#include "core/multi_target.h"
+
+#include <gtest/gtest.h>
+
+#include "core/enu_miner.h"
+#include "datagen/generators.h"
+#include "eval/experiment.h"
+#include "test_util.h"
+
+namespace erminer {
+namespace {
+
+TEST(MultiTargetTest, CandidateTargetsExcludeUnmatchedAndConstant) {
+  StringTable in;
+  in.schema = Schema::FromNames({"A", "Const", "Unmatched", "Y"});
+  in.rows = {{"a1", "k", "u1", "y1"}, {"a2", "k", "u2", "y2"}};
+  StringTable ms;
+  ms.schema = Schema::FromNames({"A", "Const", "Y"});
+  ms.rows = {{"a1", "k", "y1"}};
+  SchemaMatch match = SchemaMatch::ByName(in.schema, ms.schema);
+  Corpus c = Corpus::Build(in, ms, match, 3, 2).ValueOrDie();
+  auto targets = CandidateTargets(c);
+  // A and Y qualify; Const has 1 distinct value; Unmatched has no pair.
+  ASSERT_EQ(targets.size(), 2u);
+  EXPECT_EQ(targets[0].first, 0);
+  EXPECT_EQ(targets[1].first, 3);
+}
+
+TEST(MultiTargetTest, MinesEveryMatchedAttribute) {
+  GenOptions g;
+  g.input_size = 400;
+  g.master_size = 300;
+  g.seed = 3;
+  GeneratedDataset ds = MakeCovid(g).ValueOrDie();
+  MinerFn miner = [](const Corpus& corpus) {
+    MinerOptions o;
+    o.k = 5;
+    o.support_threshold = 20;
+    return EnuMine(corpus, o);
+  };
+  auto results =
+      MineAllTargets(ds.input, ds.master, ds.match, miner).ValueOrDie();
+  // Covid has 6 matched pairs; patient_id is key-like but has >1 distinct.
+  EXPECT_GE(results.size(), 5u);
+  bool infection_case_covered = false;
+  for (const auto& tr : results) {
+    EXPECT_GE(tr.y_input, 0);
+    EXPECT_GE(tr.y_master, 0);
+    EXPECT_TRUE(IsNonRedundant(tr.mine.rules)) << tr.y_name;
+    if (tr.y_name == "infection_case") {
+      infection_case_covered = true;
+      EXPECT_FALSE(tr.mine.rules.empty());
+    }
+  }
+  EXPECT_TRUE(infection_case_covered);
+}
+
+TEST(MultiTargetTest, NoMatchedPairsFails) {
+  StringTable in;
+  in.schema = Schema::FromNames({"A"});
+  in.rows = {{"x"}};
+  StringTable ms;
+  ms.schema = Schema::FromNames({"B"});
+  ms.rows = {{"x"}};
+  SchemaMatch match(1);
+  EXPECT_FALSE(MineAllTargets(in, ms, match, [](const Corpus&) {
+                 return MineResult{};
+               }).ok());
+}
+
+}  // namespace
+}  // namespace erminer

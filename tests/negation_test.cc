@@ -1,0 +1,100 @@
+// The negated-pattern extension (\bar{a} conditions of Def. 1 / [18]).
+
+#include <gtest/gtest.h>
+
+#include "core/domain_compress.h"
+#include "core/enu_miner.h"
+#include "core/measures.h"
+#include "test_util.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::MakeTinyCorpus;
+
+TEST(NegationTest, NegatedItemMatchesComplement) {
+  PatternItem item{0, {2, 5}, "!v", true};
+  EXPECT_FALSE(item.Matches(2));
+  EXPECT_FALSE(item.Matches(5));
+  EXPECT_TRUE(item.Matches(3));
+  EXPECT_FALSE(item.Matches(kNullCode));  // unknown matches neither form
+}
+
+TEST(NegationTest, NegatedAndPositiveItemsDiffer) {
+  PatternItem pos{0, {2}, "v", false};
+  PatternItem neg{0, {2}, "!v", true};
+  EXPECT_FALSE(pos == neg);
+}
+
+TEST(NegationTest, CompressDomainEmitsNegations) {
+  Corpus c = MakeTinyCorpus();
+  DomainCompressOptions opts;
+  opts.include_negations = true;
+  auto items = CompressDomain(c, 0, opts);  // A: a1(3), a2(1), a3(1)
+  size_t negated = 0;
+  for (const auto& it : items) {
+    if (it.negated) {
+      ++negated;
+      EXPECT_EQ(it.label[0], '!');
+    }
+  }
+  // !a1 has frequency 2, !a2 and !a3 have 4: all pass min_frequency=0.
+  EXPECT_EQ(negated, 3u);
+  EXPECT_EQ(items.size(), 6u);
+}
+
+TEST(NegationTest, NegationFrequencyPruned) {
+  Corpus c = MakeTinyCorpus();
+  DomainCompressOptions opts;
+  opts.include_negations = true;
+  opts.min_frequency = 3;  // positives: only a1 (3); negations need >= 3
+  auto items = CompressDomain(c, 0, opts);
+  // Only a1 survives the positive bar; with a single candidate left, no
+  // negations are emitted (complement of everything = nothing informative).
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_FALSE(items[0].negated);
+}
+
+TEST(NegationTest, CoverOfNegatedConditionIsComplement) {
+  Corpus c = MakeTinyCorpus();
+  ValueCode g1 = c.input().domain(1)->Lookup("g1");
+  Pattern pos, neg;
+  pos.Add({1, {g1}, "g1", false});
+  neg.Add({1, {g1}, "!g1", true});
+  Cover cp = CoverOf(c, pos);
+  Cover cn = CoverOf(c, neg);
+  // 5 rows, none null on G: complement partition.
+  EXPECT_EQ(cp->size() + cn->size(), 5u);
+  for (uint32_t r : *cn) {
+    EXPECT_EQ(c.input().CellString(r, 1), "g2");
+  }
+}
+
+TEST(NegationTest, EnuMinerWithNegationsExploresMore) {
+  Corpus c = MakeTinyCorpus();
+  MinerOptions base;
+  base.k = 20;
+  base.support_threshold = 1;
+  MinerOptions with_neg = base;
+  with_neg.include_negations = true;
+  MineResult plain = EnuMine(c, base);
+  MineResult neg = EnuMine(c, with_neg);
+  EXPECT_GT(neg.nodes_explored, plain.nodes_explored);
+}
+
+TEST(NegationTest, NegatedRuleEvaluatesCorrectly) {
+  Corpus c = MakeTinyCorpus();
+  RuleEvaluator ev(&c);
+  EditingRule r;
+  r.y_input = 2;
+  r.y_master = 1;
+  r.AddLhs(0, 0);
+  r.pattern.Add({1, {c.input().domain(1)->Lookup("g2")}, "!g2", true});
+  // !g2 covers rows r0, r2, r3, r4 (same as g1 here).
+  RuleStats s = ev.Evaluate(r);
+  EXPECT_EQ(s.support, 3);
+  EXPECT_NEAR(s.certainty, 7.0 / 9.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace erminer

@@ -1,0 +1,69 @@
+// Optimizers must drive simple objectives to their minima, and the MLP +
+// Adam combination must fit a small regression problem.
+
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+#include "nn/mlp.h"
+
+namespace erminer {
+namespace {
+
+TEST(SgdTest, MinimizesQuadratic) {
+  // f(x) = (x - 3)^2, df = 2(x-3).
+  Tensor x(1, 1, 0.0f);
+  Tensor g(1, 1, 0.0f);
+  Sgd opt(0.1f);
+  for (int i = 0; i < 200; ++i) {
+    g.at(0, 0) = 2 * (x.at(0, 0) - 3.0f);
+    opt.Step({&x}, {&g});
+  }
+  EXPECT_NEAR(x.at(0, 0), 3.0f, 1e-3f);
+}
+
+TEST(AdamTest, MinimizesQuadratic) {
+  Tensor x(1, 2, 0.0f);
+  Tensor g(1, 2, 0.0f);
+  Adam opt(0.05f);
+  for (int i = 0; i < 1000; ++i) {
+    g.at(0, 0) = 2 * (x.at(0, 0) - 3.0f);
+    g.at(0, 1) = 2 * (x.at(0, 1) + 1.5f);
+    opt.Step({&x}, {&g});
+  }
+  EXPECT_NEAR(x.at(0, 0), 3.0f, 1e-2f);
+  EXPECT_NEAR(x.at(0, 1), -1.5f, 1e-2f);
+}
+
+TEST(AdamTest, HandlesSparseGradientsBetterThanZero) {
+  // Smoke: zero gradients leave parameters untouched.
+  Tensor x(1, 1, 1.0f);
+  Tensor g(1, 1, 0.0f);
+  Adam opt(0.1f);
+  for (int i = 0; i < 10; ++i) opt.Step({&x}, {&g});
+  EXPECT_NEAR(x.at(0, 0), 1.0f, 1e-5f);
+}
+
+TEST(AdamTest, FitsXorWithMlp) {
+  Rng rng(17);
+  Mlp mlp({2, 16, 1}, &rng);
+  Adam opt(0.01f);
+  Tensor x = Tensor::FromData(4, 2, {0, 0, 0, 1, 1, 0, 1, 1});
+  Tensor target = Tensor::FromData(4, 1, {0, 1, 1, 0});
+  float loss = 0;
+  for (int epoch = 0; epoch < 3000; ++epoch) {
+    Tensor out = mlp.Forward(x);
+    auto [l, grad] = MseLoss(out, target);
+    loss = l;
+    mlp.ZeroGrad();
+    mlp.Backward(grad);
+    opt.Step(mlp.Parameters(), mlp.Gradients());
+  }
+  EXPECT_LT(loss, 0.02f);
+}
+
+}  // namespace
+}  // namespace erminer

@@ -1,0 +1,134 @@
+// Config parser and end-to-end pipeline tests.
+
+#include "eval/pipeline.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "util/config.h"
+
+namespace erminer {
+namespace {
+
+TEST(ConfigTest, ParsesSectionsAndTypes) {
+  Config c = Config::Parse("# comment\n"
+                           "plain = 1\n"
+                           "[miner]\n"
+                           "method = rl\n"
+                           "k = 25\n"
+                           "support = 12.5\n"
+                           "negations = true\n")
+                 .ValueOrDie();
+  EXPECT_EQ(c.Get("plain"), "1");
+  EXPECT_EQ(c.Get("miner.method"), "rl");
+  EXPECT_EQ(c.GetInt("miner.k", 0), 25);
+  EXPECT_DOUBLE_EQ(c.GetDouble("miner.support", 0), 12.5);
+  EXPECT_TRUE(c.GetBool("miner.negations", false));
+  EXPECT_FALSE(c.Has("missing"));
+  EXPECT_EQ(c.Get("missing", "dflt"), "dflt");
+}
+
+TEST(ConfigTest, TrimsWhitespaceAndIgnoresBlankLines) {
+  Config c = Config::Parse("  key  =  spaced value  \n\n\n").ValueOrDie();
+  EXPECT_EQ(c.Get("key"), "spaced value");
+}
+
+TEST(ConfigTest, BoolSpellings) {
+  Config c = Config::Parse("a=YES\nb=on\nc=0\nd=nope\n").ValueOrDie();
+  EXPECT_TRUE(c.GetBool("a", false));
+  EXPECT_TRUE(c.GetBool("b", false));
+  EXPECT_FALSE(c.GetBool("c", true));
+  EXPECT_FALSE(c.GetBool("d", true));
+}
+
+TEST(ConfigTest, MalformedInputsFail) {
+  EXPECT_FALSE(Config::Parse("no equals sign\n").ok());
+  EXPECT_FALSE(Config::Parse("[unterminated\n").ok());
+  EXPECT_FALSE(Config::Parse("= value without key\n").ok());
+}
+
+TEST(ConfigTest, MissingFileFails) {
+  EXPECT_FALSE(Config::FromFile("/no/such/config.ini").ok());
+}
+
+TEST(PipelineTest, GeneratedDatasetEndToEnd) {
+  Config config = Config::Parse("[data]\n"
+                                "dataset = covid\n"
+                                "input_size = 500\n"
+                                "master_size = 400\n"
+                                "seed = 5\n"
+                                "[miner]\n"
+                                "method = enu\n"
+                                "k = 10\n"
+                                "support = 20\n")
+                      .ValueOrDie();
+  PipelineReport report = RunPipeline(config).ValueOrDie();
+  EXPECT_EQ(report.input_rows, 500u);
+  EXPECT_EQ(report.master_rows, 400u);
+  EXPECT_GT(report.matched_pairs, 0u);
+  EXPECT_EQ(report.y_name, "infection_case");
+  EXPECT_FALSE(report.mine.rules.empty());
+  ASSERT_TRUE(report.accuracy.has_value());
+  EXPECT_GT(report.accuracy->f1, 0.2);
+  EXPECT_GT(report.filled_missing, 0u);
+  std::string summary = report.Summary();
+  EXPECT_NE(summary.find("pipeline: 500 input rows"), std::string::npos);
+  EXPECT_NE(summary.find("accuracy vs truth"), std::string::npos);
+}
+
+TEST(PipelineTest, CsvInputsWithValueMatching) {
+  // Write CSVs with differently-named columns; instance matching links.
+  StringTable input;
+  input.schema = Schema::FromNames({"Code", "Town", "Y"});
+  StringTable master;
+  master.schema = Schema::FromNames({"PostalCode", "City", "Y"});
+  auto y_of = [](int code) { return "y" + std::to_string(code % 3); };
+  for (int i = 0; i < 120; ++i) {
+    int code = i % 12;
+    input.rows.push_back({"c" + std::to_string(code),
+                          "t" + std::to_string(code / 2), y_of(code)});
+    master.rows.push_back({"c" + std::to_string(code),
+                           "t" + std::to_string(code / 2), y_of(code)});
+  }
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(WriteCsvFile(input, dir + "/pl_input.csv").ok());
+  ASSERT_TRUE(WriteCsvFile(master, dir + "/pl_master.csv").ok());
+
+  Config config = Config::Parse("[data]\ninput = " + dir +
+                                "/pl_input.csv\nmaster = " + dir +
+                                "/pl_master.csv\ny = Y\n"
+                                "[match]\nmode = values\n"
+                                "[miner]\nmethod = enu\nsupport = 10\n"
+                                "[output]\nrepaired = " +
+                                dir + "/pl_repaired.csv\nrules = " + dir +
+                                "/pl_rules.txt\n")
+                      .ValueOrDie();
+  PipelineReport report = RunPipeline(config).ValueOrDie();
+  EXPECT_GE(report.matched_pairs, 2u);
+  EXPECT_FALSE(report.mine.rules.empty());
+  EXPECT_FALSE(report.accuracy.has_value());  // no truth configured
+  // Outputs landed on disk.
+  EXPECT_TRUE(ReadCsvFile(dir + "/pl_repaired.csv").ok());
+  std::remove((dir + "/pl_input.csv").c_str());
+  std::remove((dir + "/pl_master.csv").c_str());
+  std::remove((dir + "/pl_repaired.csv").c_str());
+  std::remove((dir + "/pl_rules.txt").c_str());
+}
+
+TEST(PipelineTest, BadConfigsFailCleanly) {
+  EXPECT_FALSE(RunPipeline(Config::Parse("x = 1\n").ValueOrDie()).ok());
+  EXPECT_FALSE(
+      RunPipeline(
+          Config::Parse("[data]\ndataset = nope\n").ValueOrDie())
+          .ok());
+  Config bad_method = Config::Parse("[data]\ndataset = covid\n"
+                                    "input_size = 200\nmaster_size = 150\n"
+                                    "[miner]\nmethod = wat\n")
+                          .ValueOrDie();
+  EXPECT_FALSE(RunPipeline(bad_method).ok());
+}
+
+}  // namespace
+}  // namespace erminer

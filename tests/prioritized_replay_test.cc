@@ -1,0 +1,123 @@
+#include "rl/prioritized_replay.h"
+
+#include <gtest/gtest.h>
+
+namespace erminer {
+namespace {
+
+TEST(SumTreeTest, TotalTracksUpdates) {
+  SumTree tree(4);
+  EXPECT_DOUBLE_EQ(tree.Total(), 0.0);
+  tree.Set(0, 1.0);
+  tree.Set(2, 3.0);
+  EXPECT_DOUBLE_EQ(tree.Total(), 4.0);
+  tree.Set(0, 0.5);
+  EXPECT_DOUBLE_EQ(tree.Total(), 3.5);
+  EXPECT_DOUBLE_EQ(tree.Get(2), 3.0);
+}
+
+TEST(SumTreeTest, FindPrefixSelectsProportionally) {
+  SumTree tree(4);
+  tree.Set(0, 1.0);
+  tree.Set(1, 0.0);
+  tree.Set(2, 2.0);
+  tree.Set(3, 1.0);
+  // Count hits over a deterministic prefix sweep.
+  std::vector<int> hits(4, 0);
+  for (int i = 0; i < 400; ++i) {
+    double prefix = tree.Total() * (i + 0.5) / 400.0;
+    hits[tree.FindPrefix(prefix)] += 1;
+  }
+  EXPECT_EQ(hits[1], 0);
+  EXPECT_NEAR(hits[0], 100, 3);
+  EXPECT_NEAR(hits[2], 200, 3);
+  EXPECT_NEAR(hits[3], 100, 3);
+}
+
+TEST(SumTreeTest, CapacityOne) {
+  SumTree tree(1);
+  tree.Set(0, 5.0);
+  EXPECT_DOUBLE_EQ(tree.Total(), 5.0);
+  EXPECT_EQ(tree.FindPrefix(2.0), 0u);
+}
+
+TEST(SumTreeTest, NonPowerOfTwoCapacity) {
+  SumTree tree(5);
+  for (size_t i = 0; i < 5; ++i) tree.Set(i, 1.0);
+  EXPECT_DOUBLE_EQ(tree.Total(), 5.0);
+  std::vector<int> hits(5, 0);
+  for (int i = 0; i < 500; ++i) {
+    hits[tree.FindPrefix(5.0 * (i + 0.5) / 500.0)] += 1;
+  }
+  for (int h : hits) EXPECT_NEAR(h, 100, 3);
+}
+
+Transition MakeTransition(int action) {
+  Transition t;
+  t.state = {0};
+  t.action = action;
+  t.next_state = {0};
+  t.next_mask = {1};
+  t.done = true;
+  return t;
+}
+
+TEST(PrioritizedReplayTest, NewTransitionsGetMaxPriority) {
+  PrioritizedReplay replay(8);
+  for (int i = 0; i < 4; ++i) replay.Add(MakeTransition(i));
+  Rng rng(3);
+  auto sample = replay.Sample(200, &rng);
+  // All four should appear: equal (max) priorities.
+  std::vector<bool> seen(4, false);
+  for (const Transition* t : sample.transitions) {
+    seen[static_cast<size_t>(t->action)] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+  // IS weights are all 1 when priorities are uniform.
+  for (float w : sample.weights) EXPECT_NEAR(w, 1.0f, 1e-5f);
+}
+
+TEST(PrioritizedReplayTest, HighTdErrorSampledMore) {
+  PrioritizedReplay replay(4, /*alpha=*/1.0);
+  for (int i = 0; i < 4; ++i) replay.Add(MakeTransition(i));
+  // Make transition 2's priority dominate.
+  replay.UpdatePriorities({0, 1, 2, 3}, {0.01f, 0.01f, 5.0f, 0.01f});
+  Rng rng(5);
+  auto sample = replay.Sample(2000, &rng);
+  size_t hits2 = 0;
+  for (const Transition* t : sample.transitions) hits2 += (t->action == 2);
+  EXPECT_GT(hits2, 1500u);
+  // And its IS weight is the smallest (it is over-sampled).
+  float w2 = 1.0f, w_other = 0.0f;
+  for (size_t i = 0; i < sample.transitions.size(); ++i) {
+    if (sample.transitions[i]->action == 2) {
+      w2 = sample.weights[i];
+    } else {
+      w_other = std::max(w_other, sample.weights[i]);
+    }
+  }
+  EXPECT_LT(w2, w_other);
+}
+
+TEST(PrioritizedReplayTest, RingOverwriteResetsPriority) {
+  PrioritizedReplay replay(2, 1.0);
+  replay.Add(MakeTransition(0));
+  replay.Add(MakeTransition(1));
+  replay.UpdatePriorities({0}, {100.0f});
+  replay.Add(MakeTransition(2));  // overwrites slot 0
+  Rng rng(7);
+  auto sample = replay.Sample(300, &rng);
+  for (const Transition* t : sample.transitions) {
+    EXPECT_NE(t->action, 0);  // old transition is gone
+  }
+}
+
+TEST(PrioritizedReplayTest, SizeTracksRing) {
+  PrioritizedReplay replay(3);
+  EXPECT_EQ(replay.size(), 0u);
+  for (int i = 0; i < 10; ++i) replay.Add(MakeTransition(i));
+  EXPECT_EQ(replay.size(), 3u);
+}
+
+}  // namespace
+}  // namespace erminer

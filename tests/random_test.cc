@@ -1,0 +1,133 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace erminer {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextUint64InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint64(13), 13u);
+  }
+}
+
+TEST(RngTest, NextIntCoversInclusiveRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextInt(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+}
+
+TEST(RngTest, GaussianMeanAndVariance) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.08);
+}
+
+TEST(RngTest, WeightedRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> w = {1.0, 3.0, 0.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 20000; ++i) counts[rng.NextWeighted(w)] += 1;
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[1] / 20000.0, 0.75, 0.02);
+}
+
+TEST(RngTest, ZipfSkewsTowardsSmallIndices) {
+  Rng rng(19);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) counts[rng.NextZipf(10, 1.0)] += 1;
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[1], counts[9]);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniformish) {
+  Rng rng(23);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) counts[rng.NextZipf(4, 0.0)] += 1;
+  for (int c : counts) EXPECT_NEAR(c / 40000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(31);
+  auto ids = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(ids.size(), 30u);
+  std::set<size_t> uniq(ids.begin(), ids.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (size_t id : ids) EXPECT_LT(id, 100u);
+}
+
+TEST(RngTest, SampleAllReturnsEverything) {
+  Rng rng(37);
+  auto ids = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> uniq(ids.begin(), ids.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(41);
+  Rng child = a.Fork();
+  // The fork must not replay the parent's stream.
+  Rng b(41);
+  b.Next();  // parent consumed one draw for the fork
+  EXPECT_EQ(a.Next(), b.Next());
+  (void)child.Next();
+}
+
+}  // namespace
+}  // namespace erminer

@@ -1,0 +1,73 @@
+#include "core/repair.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::MakeTinyCorpus;
+
+ScoredRule TinyScored(const Corpus& c, bool with_pattern) {
+  EditingRule r;
+  r.y_input = 2;
+  r.y_master = 1;
+  r.AddLhs(0, 0);
+  if (with_pattern) {
+    r.pattern.Add({1, {c.input().domain(1)->Lookup("g1")}, "g1"});
+  }
+  RuleEvaluator ev(&c);
+  return {r, ev.Evaluate(r)};
+}
+
+TEST(RepairTest, SingleRulePredictsGroupArgmax) {
+  Corpus c = MakeTinyCorpus();
+  RuleEvaluator ev(&c);
+  RepairOutcome out = ApplyRules(&ev, {TinyScored(c, false)});
+  Domain* dy = c.y_domain().get();
+  // Rows with A=a1 get y1 (master majority), A=a2 gets y2, a3 nothing.
+  EXPECT_EQ(out.prediction[0], dy->Lookup("y1"));
+  EXPECT_EQ(out.prediction[1], dy->Lookup("y1"));
+  EXPECT_EQ(out.prediction[2], dy->Lookup("y2"));
+  EXPECT_EQ(out.prediction[3], kNullCode);
+  EXPECT_EQ(out.prediction[4], dy->Lookup("y1"));  // null cell repaired
+  EXPECT_EQ(out.num_predictions, 4u);
+  EXPECT_NEAR(out.score[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(out.score[2], 1.0, 1e-12);
+  EXPECT_EQ(out.score[3], 0.0);
+}
+
+TEST(RepairTest, PatternRuleOnlyCoversMatchingRows) {
+  Corpus c = MakeTinyCorpus();
+  RuleEvaluator ev(&c);
+  RepairOutcome out = ApplyRules(&ev, {TinyScored(c, true)});
+  EXPECT_NE(out.prediction[0], kNullCode);  // g1
+  EXPECT_EQ(out.prediction[1], kNullCode);  // g2 not covered
+  EXPECT_NE(out.prediction[2], kNullCode);
+  EXPECT_EQ(out.num_predictions, 3u);
+}
+
+TEST(RepairTest, ScoresAccumulateAcrossRules) {
+  Corpus c = MakeTinyCorpus();
+  RuleEvaluator ev(&c);
+  RepairOutcome one = ApplyRules(&ev, {TinyScored(c, false)});
+  RepairOutcome two =
+      ApplyRules(&ev, {TinyScored(c, false), TinyScored(c, true)});
+  // Row 0 is covered by both rules: its winning score doubles.
+  EXPECT_NEAR(two.score[0], 2 * one.score[0], 1e-12);
+  EXPECT_EQ(two.prediction[0], one.prediction[0]);
+  // Row 1 only by the first rule.
+  EXPECT_NEAR(two.score[1], one.score[1], 1e-12);
+}
+
+TEST(RepairTest, EmptyRuleSetPredictsNothing) {
+  Corpus c = MakeTinyCorpus();
+  RuleEvaluator ev(&c);
+  RepairOutcome out = ApplyRules(&ev, {});
+  EXPECT_EQ(out.num_predictions, 0u);
+  for (ValueCode v : out.prediction) EXPECT_EQ(v, kNullCode);
+}
+
+}  // namespace
+}  // namespace erminer

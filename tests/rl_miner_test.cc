@@ -1,0 +1,132 @@
+// RLMiner end-to-end on small corpora: rule quality, invariants, agent
+// persistence and the fine-tuning path.
+
+#include "rl/rl_miner.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/enu_miner.h"
+#include "test_util.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::MakeExactFdCorpus;
+
+RlMinerOptions SmallRl(uint64_t seed = 21) {
+  RlMinerOptions o;
+  o.base.k = 8;
+  o.base.support_threshold = 20;
+  o.train_steps = 600;
+  o.seed = seed;
+  o.dqn.hidden = {32, 32};
+  return o;
+}
+
+TEST(RlMinerTest, FindsHighUtilityRulesOnExactCorpus) {
+  Corpus c = MakeExactFdCorpus();
+  RlMiner miner(&c, SmallRl());
+  MineResult r = miner.Mine();
+  ASSERT_FALSE(r.rules.empty());
+  // The planted rule {(A,A),(B,B)} (C=1) must be in the result.
+  bool found = false;
+  for (const auto& sr : r.rules) {
+    if (sr.rule.lhs == LhsPairs{{0, 0}, {1, 1}}) {
+      found = true;
+      EXPECT_DOUBLE_EQ(sr.stats.certainty, 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(IsNonRedundant(r.rules));
+  EXPECT_GT(miner.episodes_done(), 0u);
+  EXPECT_GE(miner.steps_done(), 600u);
+}
+
+TEST(RlMinerTest, UtilityParityWithEnuMinerOnSmallCorpus) {
+  Corpus c = MakeExactFdCorpus();
+  MinerOptions enu_opts;
+  enu_opts.k = 8;
+  enu_opts.support_threshold = 20;
+  MineResult enu = EnuMine(c, enu_opts);
+  RlMiner miner(&c, SmallRl());
+  MineResult rl = miner.Mine();
+  ASSERT_FALSE(enu.rules.empty());
+  ASSERT_FALSE(rl.rules.empty());
+  // The top RLMiner rule reaches at least 90% of EnuMiner's top utility.
+  EXPECT_GE(rl.rules[0].stats.utility, 0.9 * enu.rules[0].stats.utility);
+}
+
+TEST(RlMinerTest, RulesMeetSupportThreshold) {
+  Corpus c = MakeExactFdCorpus();
+  RlMinerOptions o = SmallRl();
+  RlMiner miner(&c, o);
+  MineResult r = miner.Mine();
+  for (const auto& sr : r.rules) {
+    EXPECT_GE(static_cast<double>(sr.stats.support),
+              o.base.support_threshold);
+    EXPECT_FALSE(sr.rule.lhs.empty());
+  }
+  EXPECT_LE(r.rules.size(), o.base.k);
+}
+
+TEST(RlMinerTest, InferWithoutTrainingStillReturnsRules) {
+  Corpus c = MakeExactFdCorpus();
+  RlMiner miner(&c, SmallRl());
+  MineResult r = miner.Infer();  // untrained greedy walk
+  EXPECT_TRUE(IsNonRedundant(r.rules));
+}
+
+TEST(RlMinerTest, SaveLoadAgentPreservesPolicy) {
+  Corpus c = MakeExactFdCorpus();
+  RlMinerOptions o = SmallRl();
+  RlMiner a(&c, o);
+  a.Train(300);
+  std::stringstream ss;
+  ASSERT_TRUE(a.SaveAgent(ss).ok());
+
+  RlMiner b(&c, o);
+  ASSERT_TRUE(b.LoadAgent(ss).ok());
+  EXPECT_EQ(a.agent().QValues({0}), b.agent().QValues({0}));
+}
+
+TEST(RlMinerTest, FineTuneOnTruncatedCorpusViaSharedSpace) {
+  // Build the action space on the FULL corpus; train on a truncated view;
+  // fine-tune on the full corpus with transferred weights.
+  Corpus full = MakeExactFdCorpus(300, 80);
+  auto space = std::make_shared<ActionSpace>(ActionSpace::Build(full, {}));
+  Corpus half = full.TruncateRows(150, 40);
+
+  RlMinerOptions o = SmallRl();
+  RlMiner pre(&half, o, space);
+  pre.Train(400);
+  std::stringstream ss;
+  ASSERT_TRUE(pre.SaveAgent(ss).ok());
+
+  RlMiner ft(&full, o, space);
+  ASSERT_TRUE(ft.LoadAgent(ss).ok());
+  ft.Train(150);  // short fine-tune instead of full training
+  MineResult r = ft.Infer();
+  ASSERT_FALSE(r.rules.empty());
+  bool found = false;
+  for (const auto& sr : r.rules) {
+    found |= (sr.rule.lhs == LhsPairs{{0, 0}, {1, 1}});
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RlMinerTest, DeterministicGivenSeed) {
+  Corpus c = MakeExactFdCorpus();
+  RlMiner a(&c, SmallRl(5));
+  RlMiner b(&c, SmallRl(5));
+  MineResult ra = a.Mine();
+  MineResult rb = b.Mine();
+  ASSERT_EQ(ra.rules.size(), rb.rules.size());
+  for (size_t i = 0; i < ra.rules.size(); ++i) {
+    EXPECT_EQ(ra.rules[i].rule, rb.rules[i].rule);
+  }
+}
+
+}  // namespace
+}  // namespace erminer

@@ -1,0 +1,156 @@
+// DQN variants (double DQN, prioritized replay) and the environment's
+// ablation toggles.
+
+#include <gtest/gtest.h>
+
+#include "core/environment.h"
+#include "rl/dqn.h"
+#include "rl/rl_miner.h"
+#include "test_util.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::MakeExactFdCorpus;
+using erminer::testing::MakeTinyCorpus;
+
+DqnOptions VariantDqn() {
+  DqnOptions o;
+  o.hidden = {16};
+  o.batch_size = 8;
+  o.min_replay = 8;
+  o.target_sync_every = 10;
+  o.learning_rate = 5e-3f;
+  o.gamma = 0.9f;
+  o.seed = 31;
+  return o;
+}
+
+void FeedBandit(DqnAgent* agent, int steps) {
+  std::vector<uint8_t> mask = {1, 1};
+  for (int i = 0; i < steps; ++i) {
+    Transition t;
+    t.state = {0};
+    t.action = i % 2;
+    t.reward = (t.action == 1) ? 1.0f : 0.0f;
+    t.next_state = {0};
+    t.next_mask = mask;
+    t.done = true;
+    agent->Observe(std::move(t));
+    agent->TrainStep();
+  }
+}
+
+TEST(DqnVariantsTest, DoubleDqnLearnsBandit) {
+  DqnOptions o = VariantDqn();
+  o.double_dqn = true;
+  DqnAgent agent(2, 2, o);
+  FeedBandit(&agent, 300);
+  EXPECT_EQ(agent.ActGreedy({0}, {1, 1}), 1);
+  EXPECT_NEAR(agent.QValues({0})[1], 1.0f, 0.25f);
+}
+
+TEST(DqnVariantsTest, PrioritizedReplayLearnsBandit) {
+  DqnOptions o = VariantDqn();
+  o.prioritized = true;
+  DqnAgent agent(2, 2, o);
+  FeedBandit(&agent, 300);
+  EXPECT_EQ(agent.ActGreedy({0}, {1, 1}), 1);
+}
+
+TEST(DqnVariantsTest, AllVariantsCombined) {
+  DqnOptions o = VariantDqn();
+  o.double_dqn = true;
+  o.prioritized = true;
+  DqnAgent agent(2, 2, o);
+  FeedBandit(&agent, 400);
+  EXPECT_EQ(agent.ActGreedy({0}, {1, 1}), 1);
+}
+
+TEST(DqnVariantsTest, ReplaySizeReportsActiveBuffer) {
+  DqnOptions o = VariantDqn();
+  o.prioritized = true;
+  o.replay_capacity = 16;
+  DqnAgent agent(2, 2, o);
+  EXPECT_EQ(agent.replay_size(), 0u);
+  FeedBandit(&agent, 5);
+  EXPECT_EQ(agent.replay_size(), 5u);
+}
+
+class EnvAblationFixture : public ::testing::Test {
+ protected:
+  EnvAblationFixture()
+      : corpus_(MakeTinyCorpus()),
+        space_(ActionSpace::Build(corpus_, {})),
+        evaluator_(&corpus_) {}
+  Corpus corpus_;
+  ActionSpace space_;
+  RuleEvaluator evaluator_;
+};
+
+TEST_F(EnvAblationFixture, NoFrontierBonusGivesPlainUtility) {
+  EnvOptions opts;
+  opts.support_threshold = 2;
+  opts.frontier_bonus = false;
+  opts.normalize_utility = false;
+  Environment env(&corpus_, &space_, &evaluator_, opts);
+  env.Reset();
+  auto sr = env.Step(0);  // {(A,A)}: S=4, C=0.75, Q=0
+  EXPECT_NEAR(sr.reward, UtilityOf(4, 0.75, 0.0), 1e-5);
+}
+
+TEST_F(EnvAblationFixture, NoGlobalMaskAllowsRegeneration) {
+  EnvOptions opts;
+  opts.support_threshold = 2;
+  opts.use_global_mask = false;
+  Environment env(&corpus_, &space_, &evaluator_, opts);
+  env.Reset();
+  env.Step(0);                     // descend into {(A,A)}
+  env.Step(space_.stop_action());  // pop it back from the queue
+  // With the global mask off, re-taking a pattern action that regenerates
+  // an existing rule is allowed and handled as a no-op growth.
+  auto mask = env.CurrentMask();
+  int32_t g1 = space_.PatternActionsOfAttr(1)[0];
+  ASSERT_EQ(mask[static_cast<size_t>(g1)], 1);
+  size_t nodes_before = env.nodes_this_episode();
+  env.Step(g1);  // fresh rule {(A,A), G=g1}: grows
+  env.Step(space_.stop_action());
+  // Try to regenerate it from the {(A,A)} node again.
+  if (!env.done() && env.current_state() == RuleKey{0}) {
+    auto sr = env.Step(g1);
+    EXPECT_EQ(env.nodes_this_episode(), nodes_before + 1);
+    (void)sr;
+  }
+}
+
+TEST_F(EnvAblationFixture, NoRewardReuseReevaluates) {
+  EnvOptions opts;
+  opts.support_threshold = 2;
+  opts.reuse_rewards = false;
+  Environment env(&corpus_, &space_, &evaluator_, opts);
+  env.Reset();
+  env.Step(0);
+  size_t evals = evaluator_.num_evaluations();
+  env.Reset();
+  env.Step(0);
+  EXPECT_GT(evaluator_.num_evaluations(), evals);
+}
+
+TEST(RlMinerVariantsTest, MineWithAllVariantsOn) {
+  Corpus c = MakeExactFdCorpus();
+  RlMinerOptions o;
+  o.base.k = 6;
+  o.base.support_threshold = 20;
+  o.train_steps = 400;
+  o.dqn.hidden = {32};
+  o.dqn.double_dqn = true;
+  o.dqn.prioritized = true;
+  o.seed = 9;
+  RlMiner miner(&c, o);
+  MineResult r = miner.Mine();
+  EXPECT_FALSE(r.rules.empty());
+  EXPECT_TRUE(IsNonRedundant(r.rules));
+}
+
+}  // namespace
+}  // namespace erminer

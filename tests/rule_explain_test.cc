@@ -1,0 +1,78 @@
+#include "core/rule_explain.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::MakeTinyCorpus;
+
+EditingRule TinyRule(const Corpus& c, bool with_pattern) {
+  EditingRule r;
+  r.y_input = 2;
+  r.y_master = 1;
+  r.AddLhs(0, 0);
+  if (with_pattern) {
+    r.pattern.Add({1, {c.input().domain(1)->Lookup("g1")}, "g1"});
+  }
+  return r;
+}
+
+TEST(RuleExplainTest, StatsMatchEvaluator) {
+  Corpus c = MakeTinyCorpus();
+  RuleEvaluator ev(&c);
+  RuleExplanation ex = ExplainRule(&ev, TinyRule(c, false));
+  EXPECT_EQ(ex.cover_size, 5u);
+  EXPECT_EQ(ex.applicable, 4u);
+  EXPECT_EQ(ex.stats.support, 4);
+  EXPECT_NEAR(ex.stats.certainty, 0.75, 1e-12);
+}
+
+TEST(RuleExplainTest, ProseNamesAttributesAndNumbers) {
+  Corpus c = MakeTinyCorpus();
+  RuleEvaluator ev(&c);
+  RuleExplanation ex = ExplainRule(&ev, TinyRule(c, true));
+  EXPECT_NE(ex.prose.find("G = g1"), std::string::npos);
+  EXPECT_NE(ex.prose.find("A/A"), std::string::npos);
+  EXPECT_NE(ex.prose.find("applies to 3 tuples"), std::string::npos);
+}
+
+TEST(RuleExplainTest, ExamplesPreferChanges) {
+  Corpus c = MakeTinyCorpus();
+  RuleEvaluator ev(&c);
+  RuleExplanation ex = ExplainRule(&ev, TinyRule(c, false), 4);
+  ASSERT_FALSE(ex.examples.empty());
+  // Rows r1 (y2 -> y1) and r4 (NULL -> y1) are actual changes; they must
+  // come before the agreeing rows.
+  EXPECT_NE(ex.examples[0].current_value, ex.examples[0].proposed_value);
+  EXPECT_NE(ex.examples[1].current_value, ex.examples[1].proposed_value);
+}
+
+TEST(RuleExplainTest, MaxExamplesHonored) {
+  Corpus c = MakeTinyCorpus();
+  RuleEvaluator ev(&c);
+  EXPECT_LE(ExplainRule(&ev, TinyRule(c, false), 2).examples.size(), 2u);
+  EXPECT_EQ(ExplainRule(&ev, TinyRule(c, false), 0).examples.size(), 0u);
+}
+
+TEST(RuleExplainTest, FormatContainsExamples) {
+  Corpus c = MakeTinyCorpus();
+  RuleEvaluator ev(&c);
+  std::string text = FormatExplanation(ExplainRule(&ev, TinyRule(c, false)));
+  EXPECT_NE(text.find("pattern cover: 5 tuples"), std::string::npos);
+  EXPECT_NE(text.find("-> 'y1'"), std::string::npos);
+}
+
+TEST(RuleExplainTest, NegatedConditionRendered) {
+  Corpus c = MakeTinyCorpus();
+  RuleEvaluator ev(&c);
+  EditingRule r = TinyRule(c, false);
+  r.pattern.Add({1, {c.input().domain(1)->Lookup("g2")}, "!g2", true});
+  RuleExplanation ex = ExplainRule(&ev, r);
+  EXPECT_NE(ex.prose.find("G != g2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace erminer

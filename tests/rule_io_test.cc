@@ -1,0 +1,137 @@
+#include "core/rule_io.h"
+
+#include <gtest/gtest.h>
+
+#include "core/enu_miner.h"
+#include "test_util.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::MakeExactFdCorpus;
+using erminer::testing::MakeTinyCorpus;
+
+std::vector<ScoredRule> SampleRules(const Corpus& c) {
+  MinerOptions o;
+  o.k = 10;
+  o.support_threshold = 2;
+  return EnuMine(c, o).rules;
+}
+
+TEST(RuleIoTest, RoundTripPreservesRulesAndStats) {
+  Corpus c = MakeTinyCorpus();
+  auto rules = SampleRules(c);
+  ASSERT_FALSE(rules.empty());
+  std::string text = RulesToText(rules, c);
+  auto back = RulesFromText(text, c).ValueOrDie();
+  ASSERT_EQ(back.size(), rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(back[i].rule, rules[i].rule) << "rule " << i;
+    EXPECT_EQ(back[i].stats.support, rules[i].stats.support);
+    EXPECT_NEAR(back[i].stats.certainty, rules[i].stats.certainty, 1e-6);
+    EXPECT_NEAR(back[i].stats.quality, rules[i].stats.quality, 1e-6);
+  }
+}
+
+TEST(RuleIoTest, RoundTripOnLargerCorpus) {
+  Corpus c = MakeExactFdCorpus();
+  auto rules = SampleRules(c);
+  ASSERT_GT(rules.size(), 2u);
+  auto back = RulesFromText(RulesToText(rules, c), c).ValueOrDie();
+  ASSERT_EQ(back.size(), rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(back[i].rule, rules[i].rule);
+  }
+}
+
+TEST(RuleIoTest, NegatedConditionRoundTrips) {
+  Corpus c = MakeTinyCorpus();
+  EditingRule r;
+  r.y_input = 2;
+  r.y_master = 1;
+  r.AddLhs(0, 0);
+  r.pattern.Add({1, {c.input().domain(1)->Lookup("g1")}, "!g1", true});
+  std::string text = RulesToText({{r, {}}}, c);
+  EXPECT_NE(text.find("!G=g1"), std::string::npos);
+  auto back = RulesFromText(text, c).ValueOrDie();
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].rule, r);
+  EXPECT_TRUE(back[0].rule.pattern.items()[0].negated);
+}
+
+TEST(RuleIoTest, EscapesSeparatorCharacters) {
+  StringTable in;
+  in.schema = Schema::FromNames({"a b", "Y"});
+  in.rows = {{"v,1|x;=", "y"}, {"v,1|x;=", "y"}};
+  StringTable ms;
+  ms.schema = Schema::FromNames({"a b", "Y"});
+  ms.rows = {{"v,1|x;=", "y"}};
+  SchemaMatch m(2);
+  m.AddPair(0, 0);
+  Corpus c = Corpus::Build(in, ms, m, 1, 1).ValueOrDie();
+  EditingRule r;
+  r.y_input = 1;
+  r.y_master = 1;
+  r.AddLhs(0, 0);
+  ValueCode v = c.input().domain(0)->Lookup("v,1|x;=");
+  ASSERT_NE(v, kNullCode);
+  // A rule whose pattern value and attribute name contain every separator.
+  EditingRule r2 = r;
+  r2.lhs.clear();
+  r2.AddLhs(0, 0);
+  EditingRule with_pattern;
+  with_pattern.y_input = 1;
+  with_pattern.y_master = 1;
+  with_pattern.AddLhs(0, 0);
+  // Pattern on attr 0 while it's in LHS is syntactically allowed.
+  with_pattern.pattern.Add({0, {v}, "v,1|x;="});
+  auto back =
+      RulesFromText(RulesToText({{with_pattern, {}}}, c), c).ValueOrDie();
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].rule, with_pattern);
+}
+
+TEST(RuleIoTest, CommentsAndBlankLinesIgnored) {
+  Corpus c = MakeTinyCorpus();
+  auto back =
+      RulesFromText("# header\n\n  \nlhs=A:A y=Y:Y tp= S=4 C=0.75 Q=0\n", c)
+          .ValueOrDie();
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].rule.lhs, (LhsPairs{{0, 0}}));
+  EXPECT_EQ(back[0].stats.support, 4);
+}
+
+TEST(RuleIoTest, UnknownAttributeFails) {
+  Corpus c = MakeTinyCorpus();
+  EXPECT_FALSE(RulesFromText("lhs=Bogus:A y=Y:Y tp= S=1 C=1 Q=1\n", c).ok());
+  EXPECT_FALSE(RulesFromText("lhs=A:Bogus y=Y:Y tp= S=1 C=1 Q=1\n", c).ok());
+}
+
+TEST(RuleIoTest, UnknownPatternValueFails) {
+  Corpus c = MakeTinyCorpus();
+  EXPECT_FALSE(
+      RulesFromText("lhs=A:A y=Y:Y tp=G=never_seen S=1 C=1 Q=1\n", c).ok());
+}
+
+TEST(RuleIoTest, MalformedLinesFail) {
+  Corpus c = MakeTinyCorpus();
+  EXPECT_FALSE(RulesFromText("nonsense\n", c).ok());
+  EXPECT_FALSE(RulesFromText("lhs=A y=Y:Y tp= S=1 C=1 Q=1\n", c).ok());
+  EXPECT_FALSE(RulesFromText("lhs=A:A y=Y:Y tp=G S=1 C=1 Q=1\n", c).ok());
+  EXPECT_FALSE(
+      RulesFromText("lhs=A:A,A:A y=Y:Y tp= S=1 C=1 Q=1\n", c).ok());
+}
+
+TEST(RuleIoTest, FileRoundTrip) {
+  Corpus c = MakeTinyCorpus();
+  auto rules = SampleRules(c);
+  const std::string path = ::testing::TempDir() + "/erminer_rules_test.txt";
+  ASSERT_TRUE(WriteRulesFile(rules, c, path).ok());
+  auto back = ReadRulesFile(path, c).ValueOrDie();
+  EXPECT_EQ(back.size(), rules.size());
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadRulesFile("/no/such/file", c).ok());
+}
+
+}  // namespace
+}  // namespace erminer

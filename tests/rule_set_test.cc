@@ -1,0 +1,105 @@
+#include "core/rule_set.h"
+
+#include <gtest/gtest.h>
+
+namespace erminer {
+namespace {
+
+EditingRule Rule(LhsPairs lhs, std::vector<PatternItem> items = {}) {
+  EditingRule r;
+  r.lhs = std::move(lhs);
+  r.y_input = 9;
+  r.y_master = 9;
+  for (auto& it : items) r.pattern.Add(std::move(it));
+  return r;
+}
+
+ScoredRule Scored(EditingRule r, double utility, long support = 100) {
+  ScoredRule s;
+  s.rule = std::move(r);
+  s.stats.support = support;
+  s.stats.utility = utility;
+  return s;
+}
+
+TEST(SelectTopKTest, OrdersByUtility) {
+  auto out = SelectTopKNonRedundant(
+      {Scored(Rule({{0, 0}}), 1.0), Scored(Rule({{1, 1}}), 5.0),
+       Scored(Rule({{2, 2}}), 3.0)},
+      3);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].stats.utility, 5.0);
+  EXPECT_EQ(out[1].stats.utility, 3.0);
+  EXPECT_EQ(out[2].stats.utility, 1.0);
+}
+
+TEST(SelectTopKTest, RespectsK) {
+  auto out = SelectTopKNonRedundant(
+      {Scored(Rule({{0, 0}}), 1.0), Scored(Rule({{1, 1}}), 2.0)}, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].stats.utility, 2.0);
+}
+
+TEST(SelectTopKTest, DropsDominatedRules) {
+  // general dominates specific; higher-utility one is kept regardless of
+  // which direction the domination goes.
+  auto out = SelectTopKNonRedundant(
+      {Scored(Rule({{0, 0}}), 1.0), Scored(Rule({{0, 0}, {1, 1}}), 5.0)}, 5);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule.LhsSize(), 2u);
+  EXPECT_TRUE(IsNonRedundant(out));
+}
+
+TEST(SelectTopKTest, DropsExactDuplicates) {
+  auto out = SelectTopKNonRedundant(
+      {Scored(Rule({{0, 0}}), 2.0), Scored(Rule({{0, 0}}), 2.0)}, 5);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(SelectTopKTest, KeepsIncomparableRules) {
+  auto out = SelectTopKNonRedundant(
+      {Scored(Rule({{0, 0}}), 2.0), Scored(Rule({{1, 1}}), 1.0)}, 5);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(IsNonRedundant(out));
+}
+
+TEST(SelectTopKTest, PatternDominationCounts) {
+  PatternItem p{2, {7}, "v"};
+  auto out = SelectTopKNonRedundant(
+      {Scored(Rule({{0, 0}}), 3.0), Scored(Rule({{0, 0}}, {p}), 1.0)}, 5);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule.PatternSize(), 0u);
+}
+
+TEST(IsNonRedundantTest, DetectsViolation) {
+  std::vector<ScoredRule> rules = {Scored(Rule({{0, 0}}), 1.0),
+                                   Scored(Rule({{0, 0}, {1, 1}}), 2.0)};
+  EXPECT_FALSE(IsNonRedundant(rules));
+  EXPECT_TRUE(IsNonRedundant({rules[0]}));
+  EXPECT_TRUE(IsNonRedundant({}));
+}
+
+TEST(LengthStatsTest, ComputesMoments) {
+  PatternItem p{2, {7}, "v"};
+  std::vector<ScoredRule> rules = {
+      Scored(Rule({{0, 0}}), 1.0),                    // lhs 1, pattern 0
+      Scored(Rule({{0, 0}, {1, 1}}, {p}), 2.0),       // lhs 2, pattern 1
+  };
+  RuleLengthStats s = ComputeLengthStats(rules);
+  EXPECT_DOUBLE_EQ(s.lhs_mean, 1.5);
+  EXPECT_DOUBLE_EQ(s.lhs_std, 0.5);
+  EXPECT_EQ(s.lhs_max, 2u);
+  EXPECT_EQ(s.lhs_min, 1u);
+  EXPECT_DOUBLE_EQ(s.pattern_mean, 0.5);
+  EXPECT_EQ(s.pattern_max, 1u);
+  EXPECT_EQ(s.pattern_min, 0u);
+}
+
+TEST(LengthStatsTest, EmptyRulesGiveZeros) {
+  RuleLengthStats s = ComputeLengthStats({});
+  EXPECT_EQ(s.lhs_mean, 0.0);
+  EXPECT_EQ(s.lhs_max, 0u);
+}
+
+}  // namespace
+}  // namespace erminer

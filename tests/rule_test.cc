@@ -1,0 +1,142 @@
+#include "core/rule.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::MakeTinyCorpus;
+
+PatternItem Item(int attr, std::vector<ValueCode> values,
+                 std::string label = "v") {
+  return {attr, std::move(values), std::move(label)};
+}
+
+TEST(PatternItemTest, MatchesMembershipOnly) {
+  PatternItem it = Item(0, {2, 5});
+  EXPECT_TRUE(it.Matches(2));
+  EXPECT_TRUE(it.Matches(5));
+  EXPECT_FALSE(it.Matches(3));
+  EXPECT_FALSE(it.Matches(kNullCode));
+}
+
+TEST(PatternTest, AddKeepsAttrOrder) {
+  Pattern p;
+  p.Add(Item(3, {1}));
+  p.Add(Item(1, {2}));
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.items()[0].attr, 1);
+  EXPECT_EQ(p.items()[1].attr, 3);
+  EXPECT_TRUE(p.SpecifiesAttr(3));
+  EXPECT_FALSE(p.SpecifiesAttr(2));
+}
+
+TEST(PatternTest, MatchesRowConjunction) {
+  Corpus c = MakeTinyCorpus();
+  Domain* da = c.input().domain(0).get();
+  Domain* dg = c.input().domain(1).get();
+  Pattern p;
+  p.Add(Item(0, {da->Lookup("a1")}));
+  p.Add(Item(1, {dg->Lookup("g1")}));
+  EXPECT_TRUE(p.MatchesRow(c.input(), 0));   // (a1, g1)
+  EXPECT_FALSE(p.MatchesRow(c.input(), 1));  // (a1, g2)
+  EXPECT_FALSE(p.MatchesRow(c.input(), 2));  // (a2, g1)
+}
+
+TEST(PatternTest, EmptyPatternMatchesEverything) {
+  Corpus c = MakeTinyCorpus();
+  Pattern p;
+  for (size_t r = 0; r < c.input().num_rows(); ++r) {
+    EXPECT_TRUE(p.MatchesRow(c.input(), r));
+  }
+}
+
+TEST(PatternTest, DominationIsSubsetWithEqualConditions) {
+  Pattern small, big, different;
+  small.Add(Item(0, {1}));
+  big.Add(Item(0, {1}));
+  big.Add(Item(2, {7}));
+  different.Add(Item(0, {2}));
+  EXPECT_TRUE(small.DominatesOrEquals(big));
+  EXPECT_FALSE(big.DominatesOrEquals(small));
+  EXPECT_TRUE(small.DominatesOrEquals(small));
+  EXPECT_FALSE(small.DominatesOrEquals(different));
+  EXPECT_FALSE(different.DominatesOrEquals(small));
+  Pattern empty;
+  EXPECT_TRUE(empty.DominatesOrEquals(small));
+}
+
+EditingRule Rule(LhsPairs lhs, Pattern p = {}) {
+  EditingRule r;
+  r.lhs = std::move(lhs);
+  r.y_input = 2;
+  r.y_master = 1;
+  r.pattern = std::move(p);
+  return r;
+}
+
+TEST(EditingRuleTest, AddLhsSortsAndForbidsDuplicates) {
+  EditingRule r = Rule({});
+  r.AddLhs(3, 1);
+  r.AddLhs(0, 0);
+  EXPECT_EQ(r.lhs, (LhsPairs{{0, 0}, {3, 1}}));
+  EXPECT_TRUE(r.HasLhsAttr(3));
+  EXPECT_FALSE(r.HasLhsAttr(1));
+}
+
+TEST(EditingRuleTest, DominationRequiresSubsetBothParts) {
+  Pattern p1, p2;
+  p1.Add(Item(1, {5}));
+  p2.Add(Item(1, {5}));
+  p2.Add(Item(4, {6}));
+
+  EditingRule general = Rule({{0, 0}}, p1);
+  EditingRule specific = Rule({{0, 0}, {3, 2}}, p2);
+  EXPECT_TRUE(general.Dominates(specific));
+  EXPECT_FALSE(specific.Dominates(general));
+}
+
+TEST(EditingRuleTest, EqualRulesDoNotDominate) {
+  EditingRule a = Rule({{0, 0}});
+  EditingRule b = Rule({{0, 0}});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.Dominates(b));
+}
+
+TEST(EditingRuleTest, SameLhsPatternSubsetDominates) {
+  Pattern p;
+  p.Add(Item(1, {5}));
+  EditingRule no_pattern = Rule({{0, 0}});
+  EditingRule with_pattern = Rule({{0, 0}}, p);
+  EXPECT_TRUE(no_pattern.Dominates(with_pattern));
+  EXPECT_FALSE(with_pattern.Dominates(no_pattern));
+}
+
+TEST(EditingRuleTest, DifferentTargetNeverDominates) {
+  EditingRule a = Rule({{0, 0}});
+  EditingRule b = Rule({{0, 0}, {1, 1}});
+  b.y_input = 0;
+  EXPECT_FALSE(a.Dominates(b));
+}
+
+TEST(EditingRuleTest, IncomparableLhsSetsDoNotDominate) {
+  EditingRule a = Rule({{0, 0}});
+  EditingRule b = Rule({{1, 1}});
+  EXPECT_FALSE(a.Dominates(b));
+  EXPECT_FALSE(b.Dominates(a));
+}
+
+TEST(EditingRuleTest, ToStringIsReadable) {
+  Corpus c = MakeTinyCorpus();
+  Pattern p;
+  p.Add({1, {c.input().domain(1)->Lookup("g1")}, "g1"});
+  EditingRule r = Rule({{0, 0}}, p);
+  EXPECT_EQ(r.ToString(c), "((A,A)) -> (Y,Y), tp[G]=(g1)");
+  EditingRule plain = Rule({{0, 0}});
+  EXPECT_EQ(plain.ToString(c), "((A,A)) -> (Y,Y), tp=()");
+}
+
+}  // namespace
+}  // namespace erminer

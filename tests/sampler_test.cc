@@ -1,0 +1,79 @@
+#include "data/sampler.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace erminer {
+namespace {
+
+StringTable Numbered(size_t n) {
+  StringTable t;
+  t.schema = Schema::FromNames({"id"});
+  for (size_t i = 0; i < n; ++i) t.rows.push_back({std::to_string(i)});
+  return t;
+}
+
+TEST(SamplerTest, SampleRowsDistinct) {
+  Rng rng(5);
+  StringTable s = SampleRows(Numbered(50), 20, &rng);
+  EXPECT_EQ(s.num_rows(), 20u);
+  std::set<std::string> uniq;
+  for (const auto& r : s.rows) uniq.insert(r[0]);
+  EXPECT_EQ(uniq.size(), 20u);
+}
+
+TEST(SamplerTest, SampleRowsClampsToSize) {
+  Rng rng(5);
+  EXPECT_EQ(SampleRows(Numbered(5), 99, &rng).num_rows(), 5u);
+}
+
+TEST(SamplerTest, SplitRowsIsDisjointPartition) {
+  Rng rng(7);
+  auto [a, b] = SplitRows(Numbered(30), 10, &rng);
+  EXPECT_EQ(a.num_rows(), 10u);
+  EXPECT_EQ(b.num_rows(), 20u);
+  std::set<std::string> uniq;
+  for (const auto& r : a.rows) uniq.insert(r[0]);
+  for (const auto& r : b.rows) uniq.insert(r[0]);
+  EXPECT_EQ(uniq.size(), 30u);
+}
+
+TEST(SamplerTest, DuplicateRateZeroDrawsFromOthers) {
+  Rng rng(9);
+  StringTable master = Numbered(10);
+  StringTable other;
+  other.schema = master.schema;
+  other.rows = {{"x"}, {"y"}};
+  StringTable out = SampleWithDuplicateRate(master, other, 40, 0.0, &rng);
+  for (const auto& r : out.rows) {
+    EXPECT_TRUE(r[0] == "x" || r[0] == "y");
+  }
+}
+
+TEST(SamplerTest, DuplicateRateHundredDrawsFromMaster) {
+  Rng rng(11);
+  StringTable master;
+  master.schema = Schema::FromNames({"id"});
+  master.rows = {{"m"}};
+  StringTable out =
+      SampleWithDuplicateRate(master, Numbered(5), 25, 100.0, &rng);
+  for (const auto& r : out.rows) EXPECT_EQ(r[0], "m");
+}
+
+TEST(SamplerTest, DuplicateRateMixesApproximately) {
+  Rng rng(13);
+  StringTable master;
+  master.schema = Schema::FromNames({"id"});
+  master.rows = {{"m"}};
+  StringTable other;
+  other.schema = master.schema;
+  other.rows = {{"o"}};
+  StringTable out = SampleWithDuplicateRate(master, other, 4000, 30.0, &rng);
+  size_t from_master = 0;
+  for (const auto& r : out.rows) from_master += (r[0] == "m");
+  EXPECT_NEAR(static_cast<double>(from_master) / 4000.0, 0.3, 0.04);
+}
+
+}  // namespace
+}  // namespace erminer

@@ -1,0 +1,100 @@
+#include "data/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace erminer {
+namespace {
+
+Table MakeTable(std::vector<std::vector<std::string>> rows,
+                std::vector<std::string> names) {
+  StringTable raw;
+  raw.schema = Schema::FromNames(names);
+  raw.rows = std::move(rows);
+  return Table::EncodeFresh(raw).ValueOrDie();
+}
+
+TEST(ColumnStatsTest, CountsAndEntropy) {
+  Table t = MakeTable({{"a"}, {"a"}, {"b"}, {""}, {"b"}}, {"X"});
+  ColumnStats s = ComputeColumnStats(t, 0);
+  EXPECT_EQ(s.name, "X");
+  EXPECT_EQ(s.num_rows, 5u);
+  EXPECT_EQ(s.num_nulls, 1u);
+  EXPECT_EQ(s.num_distinct, 2u);
+  EXPECT_NEAR(s.entropy, 1.0, 1e-9);  // 2/4, 2/4
+  ASSERT_EQ(s.top_values.size(), 2u);
+  EXPECT_EQ(s.top_values[0].second, 2u);
+}
+
+TEST(ColumnStatsTest, TopKOrderAndLimit) {
+  Table t = MakeTable({{"c"}, {"a"}, {"a"}, {"a"}, {"b"}, {"b"}}, {"X"});
+  ColumnStats s = ComputeColumnStats(t, 0, 2);
+  ASSERT_EQ(s.top_values.size(), 2u);
+  EXPECT_EQ(s.top_values[0].first, "a");
+  EXPECT_EQ(s.top_values[1].first, "b");
+}
+
+TEST(ColumnStatsTest, ConstantColumnZeroEntropy) {
+  Table t = MakeTable({{"k"}, {"k"}, {"k"}}, {"X"});
+  EXPECT_NEAR(ComputeColumnStats(t, 0).entropy, 0.0, 1e-12);
+}
+
+TEST(NmiTest, FunctionalDependencyIsOne) {
+  // B = f(A) exactly.
+  Table t = MakeTable({{"a1", "b1"}, {"a1", "b1"}, {"a2", "b2"},
+                       {"a3", "b1"}, {"a2", "b2"}},
+                      {"A", "B"});
+  EXPECT_NEAR(NormalizedMutualInformation(t, 0, 1), 1.0, 1e-9);
+}
+
+TEST(NmiTest, IndependenceIsNearZero) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 64; ++i) {
+    rows.push_back({"a" + std::to_string(i % 2),
+                    "b" + std::to_string((i / 2) % 2)});
+  }
+  Table t = MakeTable(rows, {"A", "B"});
+  EXPECT_NEAR(NormalizedMutualInformation(t, 0, 1), 0.0, 1e-9);
+}
+
+TEST(NmiTest, AsymmetryOfDetermination) {
+  // A (4 values) determines B (2 values) but not vice versa.
+  Table t = MakeTable({{"a1", "b1"}, {"a2", "b1"}, {"a3", "b2"},
+                       {"a4", "b2"}},
+                      {"A", "B"});
+  double a_to_b = NormalizedMutualInformation(t, 0, 1);
+  double b_to_a = NormalizedMutualInformation(t, 1, 0);
+  EXPECT_NEAR(a_to_b, 1.0, 1e-9);
+  EXPECT_LT(b_to_a, 0.75);
+}
+
+TEST(NmiTest, NullsAreSkipped) {
+  Table t = MakeTable({{"a1", "b1"}, {"", "b2"}, {"a1", ""}, {"a1", "b1"}},
+                      {"A", "B"});
+  EXPECT_NEAR(NormalizedMutualInformation(t, 0, 1), 1.0, 1e-9);
+}
+
+TEST(NmiTest, ConstantTargetIsTriviallyDetermined) {
+  Table t = MakeTable({{"a1", "k"}, {"a2", "k"}}, {"A", "B"});
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(t, 0, 1), 1.0);
+}
+
+TEST(RankDeterminantsTest, OrdersBySignal) {
+  // col0 determines target exactly; col1 is independent noise.
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 40; ++i) {
+    rows.push_back({"k" + std::to_string(i % 4),
+                    "n" + std::to_string((i * 7) % 5),
+                    "y" + std::to_string(i % 4)});
+  }
+  Table t = MakeTable(rows, {"Key", "Noise", "Y"});
+  auto ranked = RankDeterminants(t, 2);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].determinant, 0u);
+  EXPECT_NEAR(ranked[0].nmi, 1.0, 1e-9);
+  EXPECT_GT(ranked[0].nmi, ranked[1].nmi);
+}
+
+}  // namespace
+}  // namespace erminer

@@ -1,0 +1,62 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace erminer {
+namespace {
+
+TEST(SplitTest, Basic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split(",a,,b,", ','),
+            (std::vector<std::string>{"", "a", "", "b", ""}));
+}
+
+TEST(SplitTest, EmptyStringIsOneField) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, RoundTripsSplit) {
+  std::vector<std::string> parts = {"x", "", "yz"};
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(TrimTest, StripsBothEnds) {
+  EXPECT_EQ(Trim("  hi there\t\n"), "hi there");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(ToLower("AbC-12z"), "abc-12z");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("postcode", "post"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("po", "post"));
+}
+
+TEST(CommonPrefixLenTest, Basic) {
+  EXPECT_EQ(CommonPrefixLen("case12", "case19"), 5u);
+  EXPECT_EQ(CommonPrefixLen("abc", "abc"), 3u);
+  EXPECT_EQ(CommonPrefixLen("a", "b"), 0u);
+  EXPECT_EQ(CommonPrefixLen("", "b"), 0u);
+}
+
+TEST(FormatDoubleTest, FixedPrecision) {
+  EXPECT_EQ(FormatDouble(0.516, 2), "0.52");
+  EXPECT_EQ(FormatDouble(-1.0, 1), "-1.0");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+}
+
+TEST(FormatSecondsTest, SmallAndHuge) {
+  EXPECT_EQ(FormatSeconds(1.5), "1.500");
+  EXPECT_EQ(FormatSeconds(2e7), "2.0e+07");
+}
+
+}  // namespace
+}  // namespace erminer

@@ -1,0 +1,119 @@
+#include "data/table.h"
+
+#include <gtest/gtest.h>
+
+#include "data/domain.h"
+#include "data/schema.h"
+
+namespace erminer {
+namespace {
+
+TEST(DomainTest, GetOrAddAssignsSequentialCodes) {
+  Domain d;
+  EXPECT_EQ(d.GetOrAdd("x"), 0);
+  EXPECT_EQ(d.GetOrAdd("y"), 1);
+  EXPECT_EQ(d.GetOrAdd("x"), 0);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.value(1), "y");
+}
+
+TEST(DomainTest, NullTokenNeverInserted) {
+  Domain d;
+  EXPECT_EQ(d.GetOrAdd(""), kNullCode);
+  EXPECT_EQ(d.Lookup(""), kNullCode);
+  EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(DomainTest, LookupMissingReturnsNull) {
+  Domain d;
+  d.GetOrAdd("a");
+  EXPECT_EQ(d.Lookup("b"), kNullCode);
+  EXPECT_EQ(d.Lookup("a"), 0);
+}
+
+TEST(DomainTest, ValueOrNullRendersNull) {
+  Domain d;
+  d.GetOrAdd("a");
+  EXPECT_EQ(d.ValueOrNull(kNullCode), "");
+  EXPECT_EQ(d.ValueOrNull(0), "a");
+}
+
+TEST(SchemaTest, IndexOfAndToString) {
+  Schema s = Schema::FromNames({"A", "B"});
+  EXPECT_EQ(s.IndexOf("B"), 1);
+  EXPECT_EQ(s.IndexOf("C"), -1);
+  EXPECT_EQ(s.ToString(), "(A, B)");
+}
+
+StringTable SmallRaw() {
+  StringTable t;
+  t.schema = Schema::FromNames({"A", "B"});
+  t.rows = {{"x", "1"}, {"y", ""}, {"x", "2"}};
+  return t;
+}
+
+TEST(StringTableTest, ValidateCatchesRaggedRows) {
+  StringTable t = SmallRaw();
+  t.rows.push_back({"only-one"});
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(StringTableTest, SelectRows) {
+  StringTable t = SmallRaw().SelectRows({2, 0});
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.rows[0][1], "2");
+  EXPECT_EQ(t.rows[1][0], "x");
+}
+
+TEST(TableTest, EncodeDecodeRoundTrip) {
+  StringTable raw = SmallRaw();
+  Table t = Table::EncodeFresh(raw).ValueOrDie();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_cols(), 2u);
+  EXPECT_EQ(t.at(1, 1), kNullCode);
+  EXPECT_EQ(t.at(0, 0), t.at(2, 0));  // both "x"
+  StringTable back = t.Decode();
+  EXPECT_EQ(back.rows, raw.rows);
+}
+
+TEST(TableTest, SharedDomainAcrossTables) {
+  auto dom_a = std::make_shared<Domain>();
+  auto dom_b = std::make_shared<Domain>();
+  StringTable raw = SmallRaw();
+  Table t1 = Table::Encode(raw, {dom_a, dom_b}).ValueOrDie();
+  StringTable raw2 = SmallRaw();
+  raw2.rows = {{"x", "3"}};
+  Table t2 = Table::Encode(raw2, {dom_a, dom_b}).ValueOrDie();
+  // "x" has the same code in both tables.
+  EXPECT_EQ(t1.at(0, 0), t2.at(0, 0));
+}
+
+TEST(TableTest, DistinctAndNullCounts) {
+  Table t = Table::EncodeFresh(SmallRaw()).ValueOrDie();
+  EXPECT_EQ(t.DistinctCount(0), 2u);
+  EXPECT_EQ(t.DistinctCount(1), 2u);
+  EXPECT_EQ(t.NullCount(1), 1u);
+  EXPECT_EQ(t.NullCount(0), 0u);
+}
+
+TEST(TableTest, HeadSharesDomainsAndTruncates) {
+  Table t = Table::EncodeFresh(SmallRaw()).ValueOrDie();
+  Table h = t.Head(2);
+  EXPECT_EQ(h.num_rows(), 2u);
+  EXPECT_EQ(h.domain(0).get(), t.domain(0).get());
+  EXPECT_EQ(h.at(0, 0), t.at(0, 0));
+  EXPECT_EQ(t.Head(99).num_rows(), 3u);
+}
+
+TEST(TableTest, EncodeRejectsWrongDomainCount) {
+  EXPECT_FALSE(Table::Encode(SmallRaw(), {std::make_shared<Domain>()}).ok());
+}
+
+TEST(TableTest, CellStringRendersNull) {
+  Table t = Table::EncodeFresh(SmallRaw()).ValueOrDie();
+  EXPECT_EQ(t.CellString(1, 1), "");
+  EXPECT_EQ(t.CellString(0, 0), "x");
+}
+
+}  // namespace
+}  // namespace erminer

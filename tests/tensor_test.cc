@@ -1,0 +1,95 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace erminer {
+namespace {
+
+TEST(TensorTest, ConstructAndAccess) {
+  Tensor t(2, 3, 1.5f);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_FLOAT_EQ(t.at(1, 2), 1.5f);
+  t.at(0, 1) = 7.0f;
+  EXPECT_FLOAT_EQ(t.at(0, 1), 7.0f);
+}
+
+TEST(TensorTest, FromDataChecksShape) {
+  Tensor t = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(t.at(1, 0), 3.0f);
+}
+
+TEST(MatMulTest, KnownProduct) {
+  Tensor a = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromData(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(MatMulTest, TransAMatchesExplicit) {
+  Tensor a = Tensor::FromData(3, 2, {1, 4, 2, 5, 3, 6});  // = A^T of above
+  Tensor b = Tensor::FromData(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMulTransA(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(MatMulTest, TransBMatchesExplicit) {
+  Tensor a = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromData(2, 3, {7, 9, 11, 8, 10, 12});  // = B^T
+  Tensor c = MatMulTransB(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+}
+
+TEST(MatMulTest, SparseRowsSkipWork) {
+  // Correctness with zero entries (the one-hot fast path).
+  Tensor a = Tensor::FromData(1, 4, {0, 1, 0, 0});
+  Tensor b = Tensor::FromData(4, 2, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 4.0f);
+}
+
+TEST(BiasTest, RowBroadcast) {
+  Tensor y(2, 2, 1.0f);
+  Tensor bias = Tensor::FromData(1, 2, {10, 20});
+  AddBiasInPlace(&y, bias);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 1), 21.0f);
+}
+
+TEST(ReluTest, ForwardAndBackward) {
+  Tensor x = Tensor::FromData(1, 4, {-1, 0, 2, -3});
+  Tensor y = Relu(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 2.0f);
+  Tensor g = Tensor::FromData(1, 4, {1, 1, 1, 1});
+  Tensor gx = ReluBackward(x, g);
+  EXPECT_FLOAT_EQ(gx.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(gx.at(0, 1), 0.0f);  // zero input gets zero grad
+  EXPECT_FLOAT_EQ(gx.at(0, 2), 1.0f);
+}
+
+TEST(SumRowsTest, ColumnTotals) {
+  Tensor x = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor s = SumRows(x);
+  EXPECT_EQ(s.rows(), 1u);
+  EXPECT_FLOAT_EQ(s.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(s.at(0, 2), 9.0f);
+}
+
+TEST(AxpyTest, ScaledAccumulate) {
+  Tensor a = Tensor::FromData(1, 2, {1, 2});
+  Tensor b = Tensor::FromData(1, 2, {10, 20});
+  Axpy(0.5f, b, &a);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(a.at(0, 1), 12.0f);
+}
+
+}  // namespace
+}  // namespace erminer

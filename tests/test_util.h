@@ -1,0 +1,73 @@
+// Shared fixtures: small hand-checkable corpora used across test files.
+
+#ifndef ERMINER_TESTS_TEST_UTIL_H_
+#define ERMINER_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+#include "data/schema_match.h"
+#include "data/table.h"
+
+namespace erminer::testing {
+
+/// Input (A, G, Y), master (A, Y), matched on A and Y.
+///
+/// master: (a1,y1) (a1,y1) (a1,y2) (a2,y2)
+///   group a1 -> {y1:2, y2:1}; group a2 -> {y2:1}
+/// input:
+///   r0 (a1,g1,y1)  r1 (a1,g2,y2)  r2 (a2,g1,y2)  r3 (a3,g1,y1)
+///   r4 (a1,g1,NULL)
+///
+/// Rule {(A,A)} with empty pattern: S=4 (r3 unmatched), C=0.75,
+/// Q=(+1-1+1-1)/4=0. With pattern G=g1: S=3, C=7/9, Q=1/3.
+inline Corpus MakeTinyCorpus() {
+  StringTable input;
+  input.schema = Schema::FromNames({"A", "G", "Y"});
+  input.rows = {
+      {"a1", "g1", "y1"}, {"a1", "g2", "y2"}, {"a2", "g1", "y2"},
+      {"a3", "g1", "y1"}, {"a1", "g1", ""},
+  };
+  StringTable master;
+  master.schema = Schema::FromNames({"A", "Y"});
+  master.rows = {{"a1", "y1"}, {"a1", "y1"}, {"a1", "y2"}, {"a2", "y2"}};
+  SchemaMatch match(3);
+  match.AddPair(0, 0);  // A - A
+  match.AddPair(2, 1);  // Y - Y
+  return Corpus::Build(input, master, match, /*y_input=*/2, /*y_master=*/1)
+      .ValueOrDie();
+}
+
+/// A corpus where Y is an exact function of (A, B) in master and the input
+/// has some rows outside master coverage — EnuMiner must find the rule
+/// {(A,A),(B,B)} with certainty 1.
+inline Corpus MakeExactFdCorpus(size_t n_input = 200, size_t n_master = 60) {
+  StringTable input;
+  input.schema = Schema::FromNames({"A", "B", "N", "Y"});
+  StringTable master;
+  master.schema = Schema::FromNames({"A", "B", "Y"});
+  auto y_of = [](size_t a, size_t b) {
+    return "y" + std::to_string((a * 7 + b * 3) % 5);
+  };
+  for (size_t i = 0; i < n_master; ++i) {
+    size_t a = i % 6, b = (i / 2) % 5;
+    master.rows.push_back({"a" + std::to_string(a), "b" + std::to_string(b),
+                           y_of(a, b)});
+  }
+  for (size_t i = 0; i < n_input; ++i) {
+    size_t a = i % 6, b = (i / 3) % 5;
+    input.rows.push_back({"a" + std::to_string(a), "b" + std::to_string(b),
+                          "n" + std::to_string(i % 17), y_of(a, b)});
+  }
+  SchemaMatch match(4);
+  match.AddPair(0, 0);
+  match.AddPair(1, 1);
+  match.AddPair(3, 2);
+  return Corpus::Build(input, master, match, /*y_input=*/3, /*y_master=*/2)
+      .ValueOrDie();
+}
+
+}  // namespace erminer::testing
+
+#endif  // ERMINER_TESTS_TEST_UTIL_H_

@@ -1,0 +1,67 @@
+#include "rl/training_log.h"
+
+#include <gtest/gtest.h>
+
+#include "rl/rl_miner.h"
+#include "test_util.h"
+
+namespace erminer {
+namespace {
+
+TEST(TrainingLogTest, AccumulatesEpisodes) {
+  TrainingLog log;
+  log.BeginEpisode();
+  log.RecordStep(1.0, 0.5);
+  log.RecordStep(2.0, 0.0);  // zero loss = skipped update, not averaged
+  log.RecordStep(-0.5, 0.3);
+  log.EndEpisode(4);
+  ASSERT_EQ(log.episodes().size(), 1u);
+  const EpisodeStats& e = log.episodes()[0];
+  EXPECT_EQ(e.episode, 0u);
+  EXPECT_EQ(e.steps, 3u);
+  EXPECT_EQ(e.leaves, 4u);
+  EXPECT_DOUBLE_EQ(e.total_reward, 2.5);
+  EXPECT_DOUBLE_EQ(e.mean_loss, 0.4);
+}
+
+TEST(TrainingLogTest, RecentMeanReturnWindows) {
+  TrainingLog log;
+  for (int i = 0; i < 5; ++i) {
+    log.BeginEpisode();
+    log.RecordStep(static_cast<double>(i), 0.0);
+    log.EndEpisode(0);
+  }
+  EXPECT_DOUBLE_EQ(log.RecentMeanReturn(2), 3.5);  // episodes 3, 4
+  EXPECT_DOUBLE_EQ(log.RecentMeanReturn(100), 2.0);
+  EXPECT_DOUBLE_EQ(TrainingLog().RecentMeanReturn(), 0.0);
+}
+
+TEST(TrainingLogTest, CsvHasHeaderAndRows) {
+  TrainingLog log;
+  log.BeginEpisode();
+  log.RecordStep(1.0, 0.1);
+  log.EndEpisode(2);
+  std::string csv = log.ToCsv();
+  EXPECT_NE(csv.find("episode,steps,leaves,total_reward,mean_loss"),
+            std::string::npos);
+  EXPECT_NE(csv.find("0,1,2,1,0.1"), std::string::npos);
+}
+
+TEST(TrainingLogTest, RlMinerPopulatesLog) {
+  Corpus c = erminer::testing::MakeExactFdCorpus();
+  RlMinerOptions o;
+  o.base.k = 5;
+  o.base.support_threshold = 20;
+  o.train_steps = 200;
+  o.dqn.hidden = {16};
+  RlMiner miner(&c, o);
+  miner.Train();
+  const TrainingLog& log = miner.training_log();
+  ASSERT_FALSE(log.empty());
+  size_t total_steps = 0;
+  for (const auto& e : log.episodes()) total_steps += e.steps;
+  EXPECT_EQ(total_steps, miner.steps_done());
+}
+
+}  // namespace
+}  // namespace erminer

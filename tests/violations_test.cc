@@ -1,0 +1,85 @@
+#include "core/violations.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::MakeTinyCorpus;
+
+ScoredRule RuleA(const Corpus& c) {
+  EditingRule r;
+  r.y_input = 2;
+  r.y_master = 1;
+  r.AddLhs(0, 0);
+  return {r, {}};
+}
+
+TEST(ViolationsTest, StrictCertaintyFlagsOnlyUnanimousConflicts) {
+  Corpus c = MakeTinyCorpus();
+  RuleEvaluator ev(&c);
+  // Group a1 is 2/3 certain (not unanimous): rows with a1 never flagged at
+  // certainty 1. Group a2 is unanimous (y2); row r2 agrees, so no
+  // violations at all.
+  ViolationReport rep = DetectViolations(&ev, {RuleA(c)});
+  EXPECT_TRUE(rep.violations.empty());
+  EXPECT_EQ(rep.num_flagged_rows, 0u);
+}
+
+TEST(ViolationsTest, ConflictWithUnanimousGroupIsFlagged) {
+  // Build input where a2's row disagrees with master's unanimous y2.
+  StringTable in;
+  in.schema = Schema::FromNames({"A", "G", "Y"});
+  in.rows = {{"a2", "g1", "y1"}, {"a2", "g1", "y2"}};
+  StringTable ms;
+  ms.schema = Schema::FromNames({"A", "Y"});
+  ms.rows = {{"a2", "y2"}, {"a2", "y2"}};
+  SchemaMatch m(3);
+  m.AddPair(0, 0);
+  m.AddPair(2, 1);
+  Corpus c = Corpus::Build(in, ms, m, 2, 1).ValueOrDie();
+  RuleEvaluator ev(&c);
+  ViolationReport rep = DetectViolations(&ev, {RuleA(c)});
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_EQ(rep.violations[0].row, 0u);
+  EXPECT_EQ(rep.violations[0].current, c.y_domain()->Lookup("y1"));
+  EXPECT_EQ(rep.violations[0].expected, c.y_domain()->Lookup("y2"));
+  EXPECT_EQ(rep.num_flagged_rows, 1u);
+}
+
+TEST(ViolationsTest, LowerCertaintyThresholdFlagsMore) {
+  Corpus c = MakeTinyCorpus();
+  RuleEvaluator ev(&c);
+  ViolationOptions loose;
+  loose.min_certainty = 0.6;  // a1's 2/3 group now qualifies
+  ViolationReport rep = DetectViolations(&ev, {RuleA(c)}, loose);
+  // Row r1 has y2 but argmax y1 -> violation.
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_EQ(rep.violations[0].row, 1u);
+}
+
+TEST(ViolationsTest, MissingCellsCountedSeparately) {
+  Corpus c = MakeTinyCorpus();
+  RuleEvaluator ev(&c);
+  ViolationOptions loose;
+  loose.min_certainty = 0.6;
+  ViolationReport rep = DetectViolations(&ev, {RuleA(c)}, loose);
+  EXPECT_EQ(rep.num_missing_covered, 1u);  // row r4's NULL Y
+
+  loose.flag_missing = true;
+  ViolationReport with_missing = DetectViolations(&ev, {RuleA(c)}, loose);
+  EXPECT_EQ(with_missing.violations.size(), 2u);
+}
+
+TEST(ViolationsTest, EmptyRuleSetFindsNothing) {
+  Corpus c = MakeTinyCorpus();
+  RuleEvaluator ev(&c);
+  ViolationReport rep = DetectViolations(&ev, {});
+  EXPECT_TRUE(rep.violations.empty());
+  EXPECT_EQ(rep.num_missing_covered, 0u);
+}
+
+}  // namespace
+}  // namespace erminer

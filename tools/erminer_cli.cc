@@ -1,0 +1,416 @@
+// erminer — command-line front end for the library.
+//
+//   erminer generate --dataset=covid --out-dir=DIR [--input-size=N]
+//           [--master-size=N] [--noise=R] [--seed=N]
+//       Writes input.csv (dirty), master.csv (clean) and truth.csv (the
+//       clean input) for one of the four paper datasets.
+//
+//   erminer mine --input=F.csv --master=F.csv --y=NAME [--y-master=NAME]
+//           [--method=rl|enu|enuh3|ctane|beam] [--k=N] [--support=N]
+//           [--steps=N] [--seed=N] [--negations] [--rules-out=FILE]
+//       Discovers editing rules (schemas are matched by column name) and
+//       prints them; optionally writes a rules file.
+//
+//   erminer repair --input=F.csv --master=F.csv --y=NAME [--y-master=NAME]
+//           --rules=FILE [--out=FILE] [--certain] [--overwrite]
+//       Applies a rules file. By default only missing Y cells are filled
+//       (certainty-weighted vote); --overwrite also replaces non-null
+//       cells with the vote; --certain applies strict certain fixes
+//       (which, by the eR semantics, may safely replace non-null cells).
+//
+//   erminer eval --pred=F.csv --truth=F.csv --y=NAME
+//       Weighted precision/recall/F1 of a repaired table against a truth
+//       table (row-aligned).
+//
+//   erminer detect --input=F.csv --master=F.csv --y=NAME [--y-master=NAME]
+//           --rules=FILE [--min-certainty=R] [--limit=N]
+//       Flags cells whose value provably conflicts with the rules'
+//       unanimous master candidates (error detection, no repair).
+//
+//   erminer profile --input=F.csv [--y=NAME] [--top=N]
+//       Column statistics (distincts, nulls, entropy, top values) and —
+//       with --y — a ranking of which attributes determine Y (normalized
+//       mutual information).
+//
+//   erminer pipeline --config=FILE
+//       Config-driven end-to-end run: load/generate -> match -> mine ->
+//       detect -> repair -> report (see src/eval/pipeline.h for the keys).
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/beam_miner.h"
+#include "core/certain_fix.h"
+#include "core/cfd_miner.h"
+#include "core/enu_miner.h"
+#include "core/repair.h"
+#include "core/rule_explain.h"
+#include "core/rule_io.h"
+#include "core/violations.h"
+#include "data/csv.h"
+#include "data/stats.h"
+#include "eval/table.h"
+#include "datagen/generators.h"
+#include "eval/experiment.h"
+#include "eval/pipeline.h"
+#include "rl/rl_miner.h"
+#include "util/string_util.h"
+
+namespace erminer {
+namespace {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", a.c_str());
+        std::exit(2);
+      }
+      a = a.substr(2);
+      size_t eq = a.find('=');
+      if (eq == std::string::npos) {
+        values_[a] = "true";
+      } else {
+        values_[a.substr(0, eq)] = a.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& dflt = "") {
+    used_.insert(key);
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second;
+  }
+  long GetInt(const std::string& key, long dflt) {
+    std::string v = Get(key);
+    return v.empty() ? dflt : std::atol(v.c_str());
+  }
+  double GetDouble(const std::string& key, double dflt) {
+    std::string v = Get(key);
+    return v.empty() ? dflt : std::atof(v.c_str());
+  }
+  bool GetBool(const std::string& key) { return Get(key) == "true"; }
+
+  std::string Require(const std::string& key) {
+    std::string v = Get(key);
+    if (v.empty()) {
+      std::fprintf(stderr, "missing required flag --%s\n", key.c_str());
+      std::exit(2);
+    }
+    return v;
+  }
+
+  /// Rejects typo'd flags.
+  void CheckAllUsed() const {
+    for (const auto& [k, v] : values_) {
+      if (!used_.count(k)) {
+        std::fprintf(stderr, "unknown flag --%s\n", k.c_str());
+        std::exit(2);
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> used_;
+};
+
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).ValueOrDie();
+}
+
+void Check(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+int CmdGenerate(Flags* flags) {
+  std::string dataset = flags->Require("dataset");
+  std::string out_dir = flags->Require("out-dir");
+  GenOptions gen;
+  gen.input_size = static_cast<size_t>(flags->GetInt("input-size", 0));
+  gen.master_size = static_cast<size_t>(flags->GetInt("master-size", 0));
+  gen.noise_rate = flags->GetDouble("noise", 0.1);
+  gen.seed = static_cast<uint64_t>(flags->GetInt("seed", 7));
+  flags->CheckAllUsed();
+  GeneratedDataset ds = Unwrap(MakeByName(dataset, gen), "generate");
+  Check(WriteCsvFile(ds.input, out_dir + "/input.csv"), "write input.csv");
+  Check(WriteCsvFile(ds.master, out_dir + "/master.csv"),
+        "write master.csv");
+  Check(WriteCsvFile(ds.clean_input, out_dir + "/truth.csv"),
+        "write truth.csv");
+  std::printf("wrote %s/{input,master,truth}.csv (%zu input rows, %zu "
+              "master rows, %zu injected errors); Y attribute: %s\n",
+              out_dir.c_str(), ds.input.num_rows(), ds.master.num_rows(),
+              ds.injection.num_errors,
+              ds.input.schema.attribute(static_cast<size_t>(ds.y_input))
+                  .name.c_str());
+  return 0;
+}
+
+Corpus LoadCorpus(Flags* flags, int* y_out) {
+  StringTable input = Unwrap(ReadCsvFile(flags->Require("input")), "input");
+  StringTable master =
+      Unwrap(ReadCsvFile(flags->Require("master")), "master");
+  std::string y_name = flags->Require("y");
+  std::string ym_name = flags->Get("y-master", y_name);
+  int y = input.schema.IndexOf(y_name);
+  int ym = master.schema.IndexOf(ym_name);
+  if (y < 0 || ym < 0) {
+    std::fprintf(stderr, "Y attribute '%s'/'%s' not found\n", y_name.c_str(),
+                 ym_name.c_str());
+    std::exit(2);
+  }
+  SchemaMatch match = SchemaMatch::ByName(input.schema, master.schema);
+  if (match.num_pairs() == 0) {
+    std::fprintf(stderr, "no matching column names between the schemas\n");
+    std::exit(2);
+  }
+  *y_out = y;
+  return Unwrap(Corpus::Build(std::move(input), std::move(master), match, y,
+                              ym),
+                "corpus");
+}
+
+int CmdMine(Flags* flags) {
+  int y = 0;
+  Corpus corpus = LoadCorpus(flags, &y);
+  std::string method = flags->Get("method", "rl");
+  MinerOptions options;
+  options.k = static_cast<size_t>(flags->GetInt("k", 50));
+  options.support_threshold = flags->GetDouble(
+      "support",
+      std::max(10.0, static_cast<double>(corpus.input().num_rows()) / 40.0));
+  options.include_negations = flags->GetBool("negations");
+  RlMinerOptions rl;
+  rl.base = options;
+  rl.train_steps = static_cast<size_t>(flags->GetInt("steps", 3000));
+  rl.seed = static_cast<uint64_t>(flags->GetInt("seed", 17));
+  std::string rules_out = flags->Get("rules-out");
+  bool explain = flags->GetBool("explain");
+  flags->CheckAllUsed();
+
+  MineResult result;
+  if (method == "rl") {
+    RlMiner miner(&corpus, rl);
+    result = miner.Mine();
+  } else if (method == "enu") {
+    result = EnuMine(corpus, options);
+  } else if (method == "enuh3") {
+    result = EnuMineH3(corpus, options);
+  } else if (method == "ctane") {
+    result = CfdMine(corpus, options);
+  } else if (method == "beam") {
+    result = BeamMine(corpus, options);
+  } else {
+    std::fprintf(stderr, "unknown method %s\n", method.c_str());
+    return 2;
+  }
+  std::printf("# %zu rules (eta_s=%.0f, %.2fs, %zu rule evaluations)\n",
+              result.rules.size(), options.support_threshold, result.seconds,
+              result.rule_evaluations);
+  RuleEvaluator explainer(&corpus);
+  for (const auto& sr : result.rules) {
+    std::printf("U=%8.2f S=%6ld C=%.3f Q=%+.3f  %s\n", sr.stats.utility,
+                sr.stats.support, sr.stats.certainty, sr.stats.quality,
+                sr.rule.ToString(corpus).c_str());
+    if (explain) {
+      RuleExplanation ex = ExplainRule(&explainer, sr.rule);
+      std::printf("%s", FormatExplanation(ex).c_str());
+    }
+  }
+  if (!rules_out.empty()) {
+    Check(WriteRulesFile(result.rules, corpus, rules_out), "write rules");
+    std::printf("# rules written to %s\n", rules_out.c_str());
+  }
+  return 0;
+}
+
+int CmdRepair(Flags* flags) {
+  int y = 0;
+  Corpus corpus = LoadCorpus(flags, &y);
+  std::string rules_path = flags->Require("rules");
+  std::string out = flags->Get("out");
+  bool certain_only = flags->GetBool("certain");
+  bool overwrite = flags->GetBool("overwrite");
+  flags->CheckAllUsed();
+
+  auto rules = Unwrap(ReadRulesFile(rules_path, corpus), "rules");
+  RuleEvaluator evaluator(&corpus);
+
+  std::vector<ValueCode> prediction;
+  if (certain_only) {
+    CertainFixOutcome cf = ComputeCertainFixes(&evaluator, rules);
+    prediction = cf.fix;
+    std::printf("certain fixes: %zu certain, %zu ambiguous, %zu "
+                "conflicting, %zu uncovered\n",
+                cf.num_certain, cf.num_ambiguous, cf.num_conflicting,
+                cf.num_uncovered);
+  } else {
+    RepairOutcome outcome = ApplyRules(&evaluator, rules);
+    prediction = outcome.prediction;
+    std::printf("repaired %zu of %zu tuples (certainty-weighted vote)\n",
+                outcome.num_predictions, corpus.input().num_rows());
+  }
+
+  if (!out.empty()) {
+    StringTable repaired = corpus.input().Decode();
+    Domain* dy = corpus.y_domain().get();
+    size_t changed = 0;
+    for (size_t r = 0; r < repaired.num_rows(); ++r) {
+      if (prediction[r] == kNullCode) continue;
+      auto& cell = repaired.rows[r][static_cast<size_t>(y)];
+      // Non-null cells are replaced only under --overwrite or --certain;
+      // a certain fix is unique across all applicable rules, so the eR
+      // semantics justify replacing a conflicting value.
+      if (!cell.empty() && !overwrite && !certain_only) continue;
+      std::string fix = dy->value(prediction[r]);
+      if (cell != fix) {
+        cell = fix;
+        ++changed;
+      }
+    }
+    Check(WriteCsvFile(repaired, out), "write repaired");
+    std::printf("%zu cells changed; repaired table written to %s\n", changed,
+                out.c_str());
+  }
+  return 0;
+}
+
+int CmdEval(Flags* flags) {
+  StringTable pred = Unwrap(ReadCsvFile(flags->Require("pred")), "pred");
+  StringTable truth = Unwrap(ReadCsvFile(flags->Require("truth")), "truth");
+  std::string y_name = flags->Require("y");
+  flags->CheckAllUsed();
+  int yp = pred.schema.IndexOf(y_name);
+  int yt = truth.schema.IndexOf(y_name);
+  if (yp < 0 || yt < 0 || pred.num_rows() != truth.num_rows()) {
+    std::fprintf(stderr, "tables not aligned or Y missing\n");
+    return 2;
+  }
+  Domain dom;
+  std::vector<ValueCode> p, t;
+  for (size_t r = 0; r < pred.num_rows(); ++r) {
+    p.push_back(dom.GetOrAdd(pred.rows[r][static_cast<size_t>(yp)]));
+    t.push_back(dom.GetOrAdd(truth.rows[r][static_cast<size_t>(yt)]));
+  }
+  ClassificationReport rep = WeightedPrf(t, p);
+  std::printf("rows=%zu predicted=%zu precision=%.4f recall=%.4f f1=%.4f\n",
+              rep.num_rows, rep.num_predicted, rep.precision, rep.recall,
+              rep.f1);
+  return 0;
+}
+
+int CmdDetect(Flags* flags) {
+  int y = 0;
+  Corpus corpus = LoadCorpus(flags, &y);
+  std::string rules_path = flags->Require("rules");
+  ViolationOptions vopts;
+  vopts.min_certainty = flags->GetDouble("min-certainty", 1.0);
+  size_t limit = static_cast<size_t>(flags->GetInt("limit", 20));
+  flags->CheckAllUsed();
+
+  auto rules = Unwrap(ReadRulesFile(rules_path, corpus), "rules");
+  RuleEvaluator evaluator(&corpus);
+  ViolationReport report = DetectViolations(&evaluator, rules, vopts);
+  std::printf("%zu violations across %zu rows (%zu covered rows have a "
+              "missing value instead)\n",
+              report.violations.size(), report.num_flagged_rows,
+              report.num_missing_covered);
+  Domain* dy = corpus.y_domain().get();
+  for (size_t i = 0; i < report.violations.size() && i < limit; ++i) {
+    const Violation& v = report.violations[i];
+    std::printf("  row %-6zu '%s' should be '%s' (rule %zu: %s)\n", v.row,
+                dy->ValueOrNull(v.current).c_str(),
+                dy->ValueOrNull(v.expected).c_str(), v.rule_index,
+                rules[v.rule_index].rule.ToString(corpus).c_str());
+  }
+  return 0;
+}
+
+int CmdProfile(Flags* flags) {
+  StringTable raw = Unwrap(ReadCsvFile(flags->Require("input")), "input");
+  std::string y_name = flags->Get("y");
+  size_t top = static_cast<size_t>(flags->GetInt("top", 3));
+  flags->CheckAllUsed();
+  Table table = Unwrap(Table::EncodeFresh(raw), "encode");
+
+  TablePrinter printer(
+      {"column", "distinct", "nulls", "entropy(bits)", "top values"});
+  for (size_t c = 0; c < table.num_cols(); ++c) {
+    ColumnStats s = ComputeColumnStats(table, c, top);
+    std::string tops;
+    for (size_t i = 0; i < s.top_values.size(); ++i) {
+      if (i > 0) tops += ", ";
+      tops += s.top_values[i].first + " (" +
+              std::to_string(s.top_values[i].second) + ")";
+    }
+    printer.AddRow({s.name, std::to_string(s.num_distinct),
+                    std::to_string(s.num_nulls), FormatDouble(s.entropy, 2),
+                    tops});
+  }
+  printer.Print();
+
+  if (!y_name.empty()) {
+    int y = raw.schema.IndexOf(y_name);
+    if (y < 0) {
+      std::fprintf(stderr, "unknown column %s\n", y_name.c_str());
+      return 2;
+    }
+    std::printf("\ndeterminants of %s (normalized mutual information):\n",
+                y_name.c_str());
+    for (const auto& d :
+         RankDeterminants(table, static_cast<size_t>(y))) {
+      std::printf("  %-24s %.3f\n",
+                  raw.schema.attribute(d.determinant).name.c_str(), d.nmi);
+    }
+  }
+  return 0;
+}
+
+int CmdPipeline(Flags* flags) {
+  std::string path = flags->Require("config");
+  flags->CheckAllUsed();
+  Config config = Unwrap(Config::FromFile(path), "config");
+  PipelineReport report = Unwrap(RunPipeline(config), "pipeline");
+  std::printf("%s", report.Summary().c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: erminer <generate|mine|repair|eval|profile|detect> [--flags]\n"
+               "see the header of tools/erminer_cli.cc for details\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace erminer
+
+int main(int argc, char** argv) {
+  using namespace erminer;  // NOLINT
+  if (argc < 2) return Usage();
+  Flags flags(argc, argv, 2);
+  std::string cmd = argv[1];
+  if (cmd == "generate") return CmdGenerate(&flags);
+  if (cmd == "mine") return CmdMine(&flags);
+  if (cmd == "repair") return CmdRepair(&flags);
+  if (cmd == "eval") return CmdEval(&flags);
+  if (cmd == "profile") return CmdProfile(&flags);
+  if (cmd == "detect") return CmdDetect(&flags);
+  if (cmd == "pipeline") return CmdPipeline(&flags);
+  return Usage();
+}
