@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_eta"
+  "../bench/ablation_eta.pdb"
+  "CMakeFiles/ablation_eta.dir/ablation_eta.cc.o"
+  "CMakeFiles/ablation_eta.dir/ablation_eta.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

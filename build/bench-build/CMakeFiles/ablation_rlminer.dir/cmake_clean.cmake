@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_rlminer"
+  "../bench/ablation_rlminer.pdb"
+  "CMakeFiles/ablation_rlminer.dir/ablation_rlminer.cc.o"
+  "CMakeFiles/ablation_rlminer.dir/ablation_rlminer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rlminer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

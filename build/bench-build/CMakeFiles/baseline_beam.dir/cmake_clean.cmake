@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_beam"
+  "../bench/baseline_beam.pdb"
+  "CMakeFiles/baseline_beam.dir/baseline_beam.cc.o"
+  "CMakeFiles/baseline_beam.dir/baseline_beam.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_beam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_incremental_input"
+  "../bench/fig10_incremental_input.pdb"
+  "CMakeFiles/fig10_incremental_input.dir/fig10_incremental_input.cc.o"
+  "CMakeFiles/fig10_incremental_input.dir/fig10_incremental_input.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_incremental_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_incremental_master"
+  "../bench/fig11_incremental_master.pdb"
+  "CMakeFiles/fig11_incremental_master.dir/fig11_incremental_master.cc.o"
+  "CMakeFiles/fig11_incremental_master.dir/fig11_incremental_master.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_incremental_master.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_utility"
+  "../bench/fig2_utility.pdb"
+  "CMakeFiles/fig2_utility.dir/fig2_utility.cc.o"
+  "CMakeFiles/fig2_utility.dir/fig2_utility.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

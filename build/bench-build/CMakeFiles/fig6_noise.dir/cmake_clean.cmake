@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_noise"
+  "../bench/fig6_noise.pdb"
+  "CMakeFiles/fig6_noise.dir/fig6_noise.cc.o"
+  "CMakeFiles/fig6_noise.dir/fig6_noise.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

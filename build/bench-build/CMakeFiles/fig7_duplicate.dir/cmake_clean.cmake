@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_duplicate"
+  "../bench/fig7_duplicate.pdb"
+  "CMakeFiles/fig7_duplicate.dir/fig7_duplicate.cc.o"
+  "CMakeFiles/fig7_duplicate.dir/fig7_duplicate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_duplicate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_input_size"
+  "../bench/fig8_input_size.pdb"
+  "CMakeFiles/fig8_input_size.dir/fig8_input_size.cc.o"
+  "CMakeFiles/fig8_input_size.dir/fig8_input_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_input_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/learning_curve"
+  "../bench/learning_curve.pdb"
+  "CMakeFiles/learning_curve.dir/learning_curve.cc.o"
+  "CMakeFiles/learning_curve.dir/learning_curve.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learning_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_repair"
+  "../bench/table3_repair.pdb"
+  "CMakeFiles/table3_repair.dir/table3_repair.cc.o"
+  "CMakeFiles/table3_repair.dir/table3_repair.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

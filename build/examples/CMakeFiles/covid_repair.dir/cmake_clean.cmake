@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covid_repair.dir/covid_repair.cpp.o"
+  "CMakeFiles/covid_repair.dir/covid_repair.cpp.o.d"
+  "covid_repair"
+  "covid_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covid_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

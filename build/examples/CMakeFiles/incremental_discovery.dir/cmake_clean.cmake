@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_discovery.dir/incremental_discovery.cpp.o"
+  "CMakeFiles/incremental_discovery.dir/incremental_discovery.cpp.o.d"
+  "incremental_discovery"
+  "incremental_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

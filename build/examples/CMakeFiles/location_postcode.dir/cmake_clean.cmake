@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/location_postcode.dir/location_postcode.cpp.o"
+  "CMakeFiles/location_postcode.dir/location_postcode.cpp.o.d"
+  "location_postcode"
+  "location_postcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/location_postcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for location_postcode.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_attribute_cleaning.dir/multi_attribute_cleaning.cpp.o"
+  "CMakeFiles/multi_attribute_cleaning.dir/multi_attribute_cleaning.cpp.o.d"
+  "multi_attribute_cleaning"
+  "multi_attribute_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_attribute_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_inspection.dir/rule_inspection.cpp.o"
+  "CMakeFiles/rule_inspection.dir/rule_inspection.cpp.o.d"
+  "rule_inspection"
+  "rule_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/action_space.cc" "src/core/CMakeFiles/erminer_core.dir/action_space.cc.o" "gcc" "src/core/CMakeFiles/erminer_core.dir/action_space.cc.o.d"
+  "/root/repo/src/core/beam_miner.cc" "src/core/CMakeFiles/erminer_core.dir/beam_miner.cc.o" "gcc" "src/core/CMakeFiles/erminer_core.dir/beam_miner.cc.o.d"
+  "/root/repo/src/core/certain_fix.cc" "src/core/CMakeFiles/erminer_core.dir/certain_fix.cc.o" "gcc" "src/core/CMakeFiles/erminer_core.dir/certain_fix.cc.o.d"
+  "/root/repo/src/core/cfd_miner.cc" "src/core/CMakeFiles/erminer_core.dir/cfd_miner.cc.o" "gcc" "src/core/CMakeFiles/erminer_core.dir/cfd_miner.cc.o.d"
+  "/root/repo/src/core/domain_compress.cc" "src/core/CMakeFiles/erminer_core.dir/domain_compress.cc.o" "gcc" "src/core/CMakeFiles/erminer_core.dir/domain_compress.cc.o.d"
+  "/root/repo/src/core/enu_miner.cc" "src/core/CMakeFiles/erminer_core.dir/enu_miner.cc.o" "gcc" "src/core/CMakeFiles/erminer_core.dir/enu_miner.cc.o.d"
+  "/root/repo/src/core/environment.cc" "src/core/CMakeFiles/erminer_core.dir/environment.cc.o" "gcc" "src/core/CMakeFiles/erminer_core.dir/environment.cc.o.d"
+  "/root/repo/src/core/mask.cc" "src/core/CMakeFiles/erminer_core.dir/mask.cc.o" "gcc" "src/core/CMakeFiles/erminer_core.dir/mask.cc.o.d"
+  "/root/repo/src/core/measures.cc" "src/core/CMakeFiles/erminer_core.dir/measures.cc.o" "gcc" "src/core/CMakeFiles/erminer_core.dir/measures.cc.o.d"
+  "/root/repo/src/core/multi_target.cc" "src/core/CMakeFiles/erminer_core.dir/multi_target.cc.o" "gcc" "src/core/CMakeFiles/erminer_core.dir/multi_target.cc.o.d"
+  "/root/repo/src/core/repair.cc" "src/core/CMakeFiles/erminer_core.dir/repair.cc.o" "gcc" "src/core/CMakeFiles/erminer_core.dir/repair.cc.o.d"
+  "/root/repo/src/core/rule.cc" "src/core/CMakeFiles/erminer_core.dir/rule.cc.o" "gcc" "src/core/CMakeFiles/erminer_core.dir/rule.cc.o.d"
+  "/root/repo/src/core/rule_explain.cc" "src/core/CMakeFiles/erminer_core.dir/rule_explain.cc.o" "gcc" "src/core/CMakeFiles/erminer_core.dir/rule_explain.cc.o.d"
+  "/root/repo/src/core/rule_io.cc" "src/core/CMakeFiles/erminer_core.dir/rule_io.cc.o" "gcc" "src/core/CMakeFiles/erminer_core.dir/rule_io.cc.o.d"
+  "/root/repo/src/core/rule_set.cc" "src/core/CMakeFiles/erminer_core.dir/rule_set.cc.o" "gcc" "src/core/CMakeFiles/erminer_core.dir/rule_set.cc.o.d"
+  "/root/repo/src/core/violations.cc" "src/core/CMakeFiles/erminer_core.dir/violations.cc.o" "gcc" "src/core/CMakeFiles/erminer_core.dir/violations.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/erminer_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/erminer_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/erminer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

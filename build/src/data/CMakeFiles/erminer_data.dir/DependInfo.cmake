@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/binning.cc" "src/data/CMakeFiles/erminer_data.dir/binning.cc.o" "gcc" "src/data/CMakeFiles/erminer_data.dir/binning.cc.o.d"
+  "/root/repo/src/data/corpus.cc" "src/data/CMakeFiles/erminer_data.dir/corpus.cc.o" "gcc" "src/data/CMakeFiles/erminer_data.dir/corpus.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/data/CMakeFiles/erminer_data.dir/csv.cc.o" "gcc" "src/data/CMakeFiles/erminer_data.dir/csv.cc.o.d"
+  "/root/repo/src/data/domain.cc" "src/data/CMakeFiles/erminer_data.dir/domain.cc.o" "gcc" "src/data/CMakeFiles/erminer_data.dir/domain.cc.o.d"
+  "/root/repo/src/data/instance_match.cc" "src/data/CMakeFiles/erminer_data.dir/instance_match.cc.o" "gcc" "src/data/CMakeFiles/erminer_data.dir/instance_match.cc.o.d"
+  "/root/repo/src/data/sampler.cc" "src/data/CMakeFiles/erminer_data.dir/sampler.cc.o" "gcc" "src/data/CMakeFiles/erminer_data.dir/sampler.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/data/CMakeFiles/erminer_data.dir/schema.cc.o" "gcc" "src/data/CMakeFiles/erminer_data.dir/schema.cc.o.d"
+  "/root/repo/src/data/schema_match.cc" "src/data/CMakeFiles/erminer_data.dir/schema_match.cc.o" "gcc" "src/data/CMakeFiles/erminer_data.dir/schema_match.cc.o.d"
+  "/root/repo/src/data/stats.cc" "src/data/CMakeFiles/erminer_data.dir/stats.cc.o" "gcc" "src/data/CMakeFiles/erminer_data.dir/stats.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/data/CMakeFiles/erminer_data.dir/table.cc.o" "gcc" "src/data/CMakeFiles/erminer_data.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/erminer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erminer_data.dir/binning.cc.o"
+  "CMakeFiles/erminer_data.dir/binning.cc.o.d"
+  "CMakeFiles/erminer_data.dir/corpus.cc.o"
+  "CMakeFiles/erminer_data.dir/corpus.cc.o.d"
+  "CMakeFiles/erminer_data.dir/csv.cc.o"
+  "CMakeFiles/erminer_data.dir/csv.cc.o.d"
+  "CMakeFiles/erminer_data.dir/domain.cc.o"
+  "CMakeFiles/erminer_data.dir/domain.cc.o.d"
+  "CMakeFiles/erminer_data.dir/instance_match.cc.o"
+  "CMakeFiles/erminer_data.dir/instance_match.cc.o.d"
+  "CMakeFiles/erminer_data.dir/sampler.cc.o"
+  "CMakeFiles/erminer_data.dir/sampler.cc.o.d"
+  "CMakeFiles/erminer_data.dir/schema.cc.o"
+  "CMakeFiles/erminer_data.dir/schema.cc.o.d"
+  "CMakeFiles/erminer_data.dir/schema_match.cc.o"
+  "CMakeFiles/erminer_data.dir/schema_match.cc.o.d"
+  "CMakeFiles/erminer_data.dir/stats.cc.o"
+  "CMakeFiles/erminer_data.dir/stats.cc.o.d"
+  "CMakeFiles/erminer_data.dir/table.cc.o"
+  "CMakeFiles/erminer_data.dir/table.cc.o.d"
+  "liberminer_data.a"
+  "liberminer_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erminer_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

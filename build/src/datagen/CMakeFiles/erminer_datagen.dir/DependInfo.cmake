@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/entity_pool.cc" "src/datagen/CMakeFiles/erminer_datagen.dir/entity_pool.cc.o" "gcc" "src/datagen/CMakeFiles/erminer_datagen.dir/entity_pool.cc.o.d"
+  "/root/repo/src/datagen/error_injector.cc" "src/datagen/CMakeFiles/erminer_datagen.dir/error_injector.cc.o" "gcc" "src/datagen/CMakeFiles/erminer_datagen.dir/error_injector.cc.o.d"
+  "/root/repo/src/datagen/generators.cc" "src/datagen/CMakeFiles/erminer_datagen.dir/generators.cc.o" "gcc" "src/datagen/CMakeFiles/erminer_datagen.dir/generators.cc.o.d"
+  "/root/repo/src/datagen/spec.cc" "src/datagen/CMakeFiles/erminer_datagen.dir/spec.cc.o" "gcc" "src/datagen/CMakeFiles/erminer_datagen.dir/spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/erminer_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/erminer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erminer_datagen.dir/entity_pool.cc.o"
+  "CMakeFiles/erminer_datagen.dir/entity_pool.cc.o.d"
+  "CMakeFiles/erminer_datagen.dir/error_injector.cc.o"
+  "CMakeFiles/erminer_datagen.dir/error_injector.cc.o.d"
+  "CMakeFiles/erminer_datagen.dir/generators.cc.o"
+  "CMakeFiles/erminer_datagen.dir/generators.cc.o.d"
+  "CMakeFiles/erminer_datagen.dir/spec.cc.o"
+  "CMakeFiles/erminer_datagen.dir/spec.cc.o.d"
+  "liberminer_datagen.a"
+  "liberminer_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erminer_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

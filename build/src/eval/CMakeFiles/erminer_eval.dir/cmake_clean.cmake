@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erminer_eval.dir/experiment.cc.o"
+  "CMakeFiles/erminer_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/erminer_eval.dir/metrics.cc.o"
+  "CMakeFiles/erminer_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/erminer_eval.dir/pipeline.cc.o"
+  "CMakeFiles/erminer_eval.dir/pipeline.cc.o.d"
+  "CMakeFiles/erminer_eval.dir/table.cc.o"
+  "CMakeFiles/erminer_eval.dir/table.cc.o.d"
+  "liberminer_eval.a"
+  "liberminer_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erminer_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erminer_index.dir/eval_cache.cc.o"
+  "CMakeFiles/erminer_index.dir/eval_cache.cc.o.d"
+  "CMakeFiles/erminer_index.dir/group_index.cc.o"
+  "CMakeFiles/erminer_index.dir/group_index.cc.o.d"
+  "liberminer_index.a"
+  "liberminer_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erminer_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

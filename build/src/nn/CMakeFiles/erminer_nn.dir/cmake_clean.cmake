@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erminer_nn.dir/dueling.cc.o"
+  "CMakeFiles/erminer_nn.dir/dueling.cc.o.d"
+  "CMakeFiles/erminer_nn.dir/loss.cc.o"
+  "CMakeFiles/erminer_nn.dir/loss.cc.o.d"
+  "CMakeFiles/erminer_nn.dir/mlp.cc.o"
+  "CMakeFiles/erminer_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/erminer_nn.dir/optimizer.cc.o"
+  "CMakeFiles/erminer_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/erminer_nn.dir/tensor.cc.o"
+  "CMakeFiles/erminer_nn.dir/tensor.cc.o.d"
+  "liberminer_nn.a"
+  "liberminer_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erminer_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

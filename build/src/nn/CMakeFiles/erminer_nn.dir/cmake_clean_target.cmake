@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liberminer_nn.a"
+)

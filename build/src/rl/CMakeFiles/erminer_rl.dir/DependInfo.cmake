@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/dqn.cc" "src/rl/CMakeFiles/erminer_rl.dir/dqn.cc.o" "gcc" "src/rl/CMakeFiles/erminer_rl.dir/dqn.cc.o.d"
+  "/root/repo/src/rl/incremental_miner.cc" "src/rl/CMakeFiles/erminer_rl.dir/incremental_miner.cc.o" "gcc" "src/rl/CMakeFiles/erminer_rl.dir/incremental_miner.cc.o.d"
+  "/root/repo/src/rl/prioritized_replay.cc" "src/rl/CMakeFiles/erminer_rl.dir/prioritized_replay.cc.o" "gcc" "src/rl/CMakeFiles/erminer_rl.dir/prioritized_replay.cc.o.d"
+  "/root/repo/src/rl/replay_buffer.cc" "src/rl/CMakeFiles/erminer_rl.dir/replay_buffer.cc.o" "gcc" "src/rl/CMakeFiles/erminer_rl.dir/replay_buffer.cc.o.d"
+  "/root/repo/src/rl/rl_miner.cc" "src/rl/CMakeFiles/erminer_rl.dir/rl_miner.cc.o" "gcc" "src/rl/CMakeFiles/erminer_rl.dir/rl_miner.cc.o.d"
+  "/root/repo/src/rl/training_log.cc" "src/rl/CMakeFiles/erminer_rl.dir/training_log.cc.o" "gcc" "src/rl/CMakeFiles/erminer_rl.dir/training_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/erminer_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/erminer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/erminer_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/erminer_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/erminer_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

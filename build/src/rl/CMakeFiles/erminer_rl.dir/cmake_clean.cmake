@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erminer_rl.dir/dqn.cc.o"
+  "CMakeFiles/erminer_rl.dir/dqn.cc.o.d"
+  "CMakeFiles/erminer_rl.dir/incremental_miner.cc.o"
+  "CMakeFiles/erminer_rl.dir/incremental_miner.cc.o.d"
+  "CMakeFiles/erminer_rl.dir/prioritized_replay.cc.o"
+  "CMakeFiles/erminer_rl.dir/prioritized_replay.cc.o.d"
+  "CMakeFiles/erminer_rl.dir/replay_buffer.cc.o"
+  "CMakeFiles/erminer_rl.dir/replay_buffer.cc.o.d"
+  "CMakeFiles/erminer_rl.dir/rl_miner.cc.o"
+  "CMakeFiles/erminer_rl.dir/rl_miner.cc.o.d"
+  "CMakeFiles/erminer_rl.dir/training_log.cc.o"
+  "CMakeFiles/erminer_rl.dir/training_log.cc.o.d"
+  "liberminer_rl.a"
+  "liberminer_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erminer_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erminer_util.dir/config.cc.o"
+  "CMakeFiles/erminer_util.dir/config.cc.o.d"
+  "CMakeFiles/erminer_util.dir/logging.cc.o"
+  "CMakeFiles/erminer_util.dir/logging.cc.o.d"
+  "CMakeFiles/erminer_util.dir/random.cc.o"
+  "CMakeFiles/erminer_util.dir/random.cc.o.d"
+  "CMakeFiles/erminer_util.dir/status.cc.o"
+  "CMakeFiles/erminer_util.dir/status.cc.o.d"
+  "CMakeFiles/erminer_util.dir/string_util.cc.o"
+  "CMakeFiles/erminer_util.dir/string_util.cc.o.d"
+  "liberminer_util.a"
+  "liberminer_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erminer_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/action_space_test.dir/action_space_test.cc.o"
+  "CMakeFiles/action_space_test.dir/action_space_test.cc.o.d"
+  "action_space_test"
+  "action_space_test.pdb"
+  "action_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/action_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beam_miner_test.dir/beam_miner_test.cc.o"
+  "CMakeFiles/beam_miner_test.dir/beam_miner_test.cc.o.d"
+  "beam_miner_test"
+  "beam_miner_test.pdb"
+  "beam_miner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beam_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

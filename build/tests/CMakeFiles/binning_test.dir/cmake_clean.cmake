@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binning_test.dir/binning_test.cc.o"
+  "CMakeFiles/binning_test.dir/binning_test.cc.o.d"
+  "binning_test"
+  "binning_test.pdb"
+  "binning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

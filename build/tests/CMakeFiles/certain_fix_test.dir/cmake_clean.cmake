@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certain_fix_test.dir/certain_fix_test.cc.o"
+  "CMakeFiles/certain_fix_test.dir/certain_fix_test.cc.o.d"
+  "certain_fix_test"
+  "certain_fix_test.pdb"
+  "certain_fix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certain_fix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

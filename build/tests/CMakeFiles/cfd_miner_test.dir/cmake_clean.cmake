@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfd_miner_test.dir/cfd_miner_test.cc.o"
+  "CMakeFiles/cfd_miner_test.dir/cfd_miner_test.cc.o.d"
+  "cfd_miner_test"
+  "cfd_miner_test.pdb"
+  "cfd_miner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfd_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_sweep_test.dir/dataset_sweep_test.cc.o"
+  "CMakeFiles/dataset_sweep_test.dir/dataset_sweep_test.cc.o.d"
+  "dataset_sweep_test"
+  "dataset_sweep_test.pdb"
+  "dataset_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_compress_test.dir/domain_compress_test.cc.o"
+  "CMakeFiles/domain_compress_test.dir/domain_compress_test.cc.o.d"
+  "domain_compress_test"
+  "domain_compress_test.pdb"
+  "domain_compress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_compress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

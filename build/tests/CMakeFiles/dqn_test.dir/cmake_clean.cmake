@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqn_test.dir/dqn_test.cc.o"
+  "CMakeFiles/dqn_test.dir/dqn_test.cc.o.d"
+  "dqn_test"
+  "dqn_test.pdb"
+  "dqn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

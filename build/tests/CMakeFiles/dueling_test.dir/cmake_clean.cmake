@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dueling_test.dir/dueling_test.cc.o"
+  "CMakeFiles/dueling_test.dir/dueling_test.cc.o.d"
+  "dueling_test"
+  "dueling_test.pdb"
+  "dueling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dueling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

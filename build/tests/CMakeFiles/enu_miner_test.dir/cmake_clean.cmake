@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enu_miner_test.dir/enu_miner_test.cc.o"
+  "CMakeFiles/enu_miner_test.dir/enu_miner_test.cc.o.d"
+  "enu_miner_test"
+  "enu_miner_test.pdb"
+  "enu_miner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enu_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

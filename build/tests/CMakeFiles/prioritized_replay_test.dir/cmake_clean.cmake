@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prioritized_replay_test.dir/prioritized_replay_test.cc.o"
+  "CMakeFiles/prioritized_replay_test.dir/prioritized_replay_test.cc.o.d"
+  "prioritized_replay_test"
+  "prioritized_replay_test.pdb"
+  "prioritized_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prioritized_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

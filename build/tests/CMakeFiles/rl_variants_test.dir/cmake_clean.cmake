@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_variants_test.dir/rl_variants_test.cc.o"
+  "CMakeFiles/rl_variants_test.dir/rl_variants_test.cc.o.d"
+  "rl_variants_test"
+  "rl_variants_test.pdb"
+  "rl_variants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_explain_test.dir/rule_explain_test.cc.o"
+  "CMakeFiles/rule_explain_test.dir/rule_explain_test.cc.o.d"
+  "rule_explain_test"
+  "rule_explain_test.pdb"
+  "rule_explain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_explain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_log_test.dir/training_log_test.cc.o"
+  "CMakeFiles/training_log_test.dir/training_log_test.cc.o.d"
+  "training_log_test"
+  "training_log_test.pdb"
+  "training_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

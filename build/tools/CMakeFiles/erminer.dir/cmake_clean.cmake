@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erminer.dir/erminer_cli.cc.o"
+  "CMakeFiles/erminer.dir/erminer_cli.cc.o.d"
+  "erminer"
+  "erminer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erminer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
