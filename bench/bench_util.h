@@ -5,6 +5,8 @@
 //   --full        paper-scale dataset sizes and training budgets
 //   --trials=N    repetitions (mean +- std is reported)
 //   --seed=N      base RNG seed
+//   --threads=N   worker threads (0 = hardware concurrency, default 1);
+//                 results are bit-identical for every N (docs/parallelism.md)
 // Support thresholds are scaled proportionally to the input size so the
 // scaled runs exercise the same pruning regime as the paper's.
 
@@ -20,6 +22,7 @@
 #include "eval/experiment.h"
 #include "eval/table.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace erminer::bench {
 
@@ -27,6 +30,7 @@ struct BenchFlags {
   bool full = false;
   size_t trials = 0;  // 0 = per-bench default
   uint64_t seed = 7;
+  long threads = 1;
 
   static BenchFlags Parse(int argc, char** argv) {
     BenchFlags f;
@@ -38,19 +42,31 @@ struct BenchFlags {
         f.trials = static_cast<size_t>(std::atoll(a + 9));
       } else if (std::strncmp(a, "--seed=", 7) == 0) {
         f.seed = static_cast<uint64_t>(std::atoll(a + 7));
+      } else if (std::strncmp(a, "--threads=", 10) == 0) {
+        f.threads = std::atol(a + 10);
       } else if (std::strcmp(a, "--help") == 0) {
-        std::printf("flags: --full --trials=N --seed=N\n");
+        std::printf("flags: --full --trials=N --seed=N --threads=N\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag %s (see --help)\n", a);
         std::exit(2);
       }
     }
+    SetGlobalThreads(f.threads);
     return f;
   }
 
   size_t TrialsOr(size_t dflt) const { return trials > 0 ? trials : dflt; }
 };
+
+/// Emits one machine-readable result record on stdout, so sweeps over
+/// --threads can be scraped and compared (timings are only comparable when
+/// the thread count is recorded alongside them). `fields` is the inner part
+/// of a JSON object, e.g. "\"n\":1000,\"secs\":1.23".
+inline void BenchJson(const std::string& bench, const std::string& fields) {
+  std::printf("BENCH_JSON {\"bench\":\"%s\",\"threads\":%zu,%s}\n",
+              bench.c_str(), GlobalPool().num_threads(), fields.c_str());
+}
 
 /// Scaled-down dataset sizes per dataset name (paper sizes with --full).
 struct ScaledSizes {

@@ -42,6 +42,11 @@ int main(int argc, char** argv) {
                     MeanStd(Aggregate_(p)), MeanStd(Aggregate_(r)),
                     MeanStd(Aggregate_(f)),
                     FormatDouble(Aggregate_(secs).mean, 2)});
+      BenchJson("fig8_input_size",
+                "\"n\":" + std::to_string(n) + ",\"method\":\"" +
+                    std::string(MethodName(m)) + "\",\"f1\":" +
+                    FormatDouble(Aggregate_(f).mean, 4) + ",\"mine_secs\":" +
+                    FormatDouble(Aggregate_(secs).mean, 3));
     }
   }
   table.Print();

@@ -214,12 +214,15 @@ bench-build/CMakeFiles/table3_repair.dir/table3_repair.cc.o: \
  /root/repo/src/datagen/error_injector.h /root/repo/src/util/random.h \
  /root/repo/src/datagen/spec.h /root/repo/src/eval/experiment.h \
  /root/repo/src/core/cfd_miner.h /root/repo/src/core/measures.h \
- /root/repo/src/core/rule.h /root/repo/src/data/corpus.h \
- /usr/include/c++/12/optional /root/repo/src/index/eval_cache.h \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/index/group_index.h \
- /root/repo/src/util/hash.h /usr/include/c++/12/cstddef \
- /root/repo/src/core/miner.h /usr/include/c++/12/limits \
+ /usr/include/c++/12/atomic /root/repo/src/core/rule.h \
+ /root/repo/src/data/corpus.h /usr/include/c++/12/optional \
+ /root/repo/src/index/eval_cache.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/index/group_index.h /root/repo/src/util/hash.h \
+ /usr/include/c++/12/cstddef /root/repo/src/core/miner.h \
  /root/repo/src/core/rule_set.h /root/repo/src/core/enu_miner.h \
  /root/repo/src/core/repair.h /root/repo/src/eval/metrics.h \
  /root/repo/src/rl/rl_miner.h /root/repo/src/core/environment.h \
@@ -241,4 +244,13 @@ bench-build/CMakeFiles/table3_repair.dir/table3_repair.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/rl/training_log.h /root/repo/src/eval/table.h \
- /root/repo/src/util/string_util.h
+ /root/repo/src/util/string_util.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/thread

@@ -214,6 +214,9 @@ src/core/CMakeFiles/erminer_core.dir/domain_compress.cc.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/data/value.h \
  /root/repo/src/index/eval_cache.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/index/group_index.h /root/repo/src/util/hash.h \
  /usr/include/c++/12/cstddef /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \

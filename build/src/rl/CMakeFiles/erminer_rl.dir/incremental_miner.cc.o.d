@@ -219,17 +219,20 @@ src/rl/CMakeFiles/erminer_rl.dir/incremental_miner.cc.o: \
  /root/repo/src/data/table.h /root/repo/src/data/domain.h \
  /root/repo/src/data/value.h /root/repo/src/index/eval_cache.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/index/group_index.h \
- /root/repo/src/util/hash.h /usr/include/c++/12/cstddef \
- /root/repo/src/core/mask.h /root/repo/src/core/measures.h \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/index/group_index.h /root/repo/src/util/hash.h \
+ /usr/include/c++/12/cstddef /root/repo/src/core/mask.h \
+ /root/repo/src/core/measures.h /usr/include/c++/12/atomic \
  /root/repo/src/core/rule_set.h /root/repo/src/core/miner.h \
- /usr/include/c++/12/limits /root/repo/src/rl/dqn.h \
- /root/repo/src/nn/optimizer.h /root/repo/src/nn/tensor.h \
- /root/repo/src/nn/q_network.h /root/repo/src/nn/dueling.h \
- /root/repo/src/nn/mlp.h /root/repo/src/util/random.h \
- /root/repo/src/rl/prioritized_replay.h /root/repo/src/rl/replay_buffer.h \
- /root/repo/src/rl/schedule.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/rl/dqn.h /root/repo/src/nn/optimizer.h \
+ /root/repo/src/nn/tensor.h /root/repo/src/nn/q_network.h \
+ /root/repo/src/nn/dueling.h /root/repo/src/nn/mlp.h \
+ /root/repo/src/util/random.h /root/repo/src/rl/prioritized_replay.h \
+ /root/repo/src/rl/replay_buffer.h /root/repo/src/rl/schedule.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

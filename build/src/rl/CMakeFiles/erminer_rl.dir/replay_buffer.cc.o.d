@@ -216,5 +216,8 @@ src/rl/CMakeFiles/erminer_rl.dir/replay_buffer.cc.o: \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/data/value.h \
  /root/repo/src/index/eval_cache.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/index/group_index.h /root/repo/src/util/hash.h \
  /usr/include/c++/12/cstddef /root/repo/src/util/random.h

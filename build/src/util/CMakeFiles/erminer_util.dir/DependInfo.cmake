@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/random.cc" "src/util/CMakeFiles/erminer_util.dir/random.cc.o" "gcc" "src/util/CMakeFiles/erminer_util.dir/random.cc.o.d"
   "/root/repo/src/util/status.cc" "src/util/CMakeFiles/erminer_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/erminer_util.dir/status.cc.o.d"
   "/root/repo/src/util/string_util.cc" "src/util/CMakeFiles/erminer_util.dir/string_util.cc.o" "gcc" "src/util/CMakeFiles/erminer_util.dir/string_util.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/util/CMakeFiles/erminer_util.dir/thread_pool.cc.o" "gcc" "src/util/CMakeFiles/erminer_util.dir/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

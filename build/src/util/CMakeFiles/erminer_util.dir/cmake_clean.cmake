@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/erminer_util.dir/status.cc.o.d"
   "CMakeFiles/erminer_util.dir/string_util.cc.o"
   "CMakeFiles/erminer_util.dir/string_util.cc.o.d"
+  "CMakeFiles/erminer_util.dir/thread_pool.cc.o"
+  "CMakeFiles/erminer_util.dir/thread_pool.cc.o.d"
   "liberminer_util.a"
   "liberminer_util.pdb"
 )

@@ -296,4 +296,6 @@ tests/CMakeFiles/corpus_test.dir/corpus_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/tests/test_util.h
+ /root/repo/tests/test_util.h /root/repo/src/datagen/generators.h \
+ /root/repo/src/datagen/error_injector.h /root/repo/src/util/random.h \
+ /root/repo/src/datagen/spec.h

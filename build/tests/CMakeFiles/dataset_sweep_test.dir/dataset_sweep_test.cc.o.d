@@ -299,6 +299,8 @@ tests/CMakeFiles/dataset_sweep_test.dir/dataset_sweep_test.cc.o: \
  /root/repo/src/data/domain.h /root/repo/src/data/value.h \
  /root/repo/src/index/eval_cache.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/index/group_index.h /root/repo/src/util/hash.h \
  /root/repo/src/core/miner.h /root/repo/src/core/rule_set.h \
  /root/repo/src/datagen/generators.h \

@@ -219,9 +219,13 @@ tests/CMakeFiles/environment_test.dir/environment_test.cc.o: \
  /root/repo/src/data/table.h /root/repo/src/data/domain.h \
  /root/repo/src/data/value.h /root/repo/src/index/eval_cache.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/index/group_index.h \
- /root/repo/src/util/hash.h /usr/include/c++/12/cstddef \
- /root/repo/src/core/mask.h /root/repo/src/core/measures.h \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/index/group_index.h /root/repo/src/util/hash.h \
+ /usr/include/c++/12/cstddef /root/repo/src/core/mask.h \
+ /root/repo/src/core/measures.h /usr/include/c++/12/atomic \
  /root/repo/src/core/rule_set.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -232,8 +236,7 @@ tests/CMakeFiles/environment_test.dir/environment_test.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \
@@ -265,7 +268,7 @@ tests/CMakeFiles/environment_test.dir/environment_test.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/struct_statx_timestamp.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_statx.h \
  /usr/include/c++/12/locale \
- /usr/include/c++/12/bits/locale_facets_nonio.h /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
  /usr/include/libintl.h /usr/include/c++/12/bits/codecvt.h \
@@ -313,7 +316,6 @@ tests/CMakeFiles/environment_test.dir/environment_test.cc.o: \
  /root/miniconda/include/gtest/gtest-death-test.h \
  /root/miniconda/include/gtest/internal/gtest-death-test-internal.h \
  /root/miniconda/include/gtest/gtest-matchers.h \
- /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
@@ -329,4 +331,6 @@ tests/CMakeFiles/environment_test.dir/environment_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/tests/test_util.h
+ /root/repo/tests/test_util.h /root/repo/src/datagen/generators.h \
+ /root/repo/src/datagen/error_injector.h /root/repo/src/util/random.h \
+ /root/repo/src/datagen/spec.h

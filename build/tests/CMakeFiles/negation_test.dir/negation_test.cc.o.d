@@ -299,7 +299,12 @@ tests/CMakeFiles/negation_test.dir/negation_test.cc.o: \
  /root/repo/src/data/table.h /root/repo/src/data/domain.h \
  /root/repo/src/data/value.h /root/repo/src/index/eval_cache.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/index/group_index.h \
- /root/repo/src/util/hash.h /root/repo/src/core/enu_miner.h \
- /root/repo/src/core/measures.h /root/repo/src/core/miner.h \
- /root/repo/src/core/rule_set.h /root/repo/tests/test_util.h
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/index/group_index.h /root/repo/src/util/hash.h \
+ /root/repo/src/core/enu_miner.h /root/repo/src/core/measures.h \
+ /root/repo/src/core/miner.h /root/repo/src/core/rule_set.h \
+ /root/repo/tests/test_util.h /root/repo/src/datagen/generators.h \
+ /root/repo/src/datagen/error_injector.h /root/repo/src/util/random.h \
+ /root/repo/src/datagen/spec.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_stress_test.dir/parallel_stress_test.cc.o"
+  "CMakeFiles/parallel_stress_test.dir/parallel_stress_test.cc.o.d"
+  "parallel_stress_test"
+  "parallel_stress_test.pdb"
+  "parallel_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -303,16 +303,21 @@ tests/CMakeFiles/rl_variants_test.dir/rl_variants_test.cc.o: \
  /root/repo/src/data/table.h /root/repo/src/data/domain.h \
  /root/repo/src/data/value.h /root/repo/src/index/eval_cache.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/index/group_index.h \
- /root/repo/src/util/hash.h /root/repo/src/core/mask.h \
- /root/repo/src/core/measures.h /root/repo/src/core/rule_set.h \
- /root/repo/src/rl/dqn.h /root/repo/src/nn/optimizer.h \
- /root/repo/src/nn/tensor.h /root/repo/src/nn/q_network.h \
- /root/repo/src/nn/dueling.h /root/repo/src/nn/mlp.h \
- /root/repo/src/util/random.h /root/repo/src/rl/prioritized_replay.h \
- /root/repo/src/rl/replay_buffer.h /root/repo/src/rl/rl_miner.h \
- /root/repo/src/core/miner.h /root/repo/src/rl/schedule.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/index/group_index.h /root/repo/src/util/hash.h \
+ /root/repo/src/core/mask.h /root/repo/src/core/measures.h \
+ /root/repo/src/core/rule_set.h /root/repo/src/rl/dqn.h \
+ /root/repo/src/nn/optimizer.h /root/repo/src/nn/tensor.h \
+ /root/repo/src/nn/q_network.h /root/repo/src/nn/dueling.h \
+ /root/repo/src/nn/mlp.h /root/repo/src/util/random.h \
+ /root/repo/src/rl/prioritized_replay.h /root/repo/src/rl/replay_buffer.h \
+ /root/repo/src/rl/rl_miner.h /root/repo/src/core/miner.h \
+ /root/repo/src/rl/schedule.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/rl/training_log.h /root/repo/tests/test_util.h
+ /root/repo/src/rl/training_log.h /root/repo/tests/test_util.h \
+ /root/repo/src/datagen/generators.h \
+ /root/repo/src/datagen/error_injector.h /root/repo/src/datagen/spec.h

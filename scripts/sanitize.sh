@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Sanitizer gate for the concurrency layer (see docs/parallelism.md).
+#   scripts/sanitize.sh           TSan on the concurrency tests, then
+#                                 ASan+UBSan on the whole suite
+#   scripts/sanitize.sh --tsan    TSan stage only
+#   scripts/sanitize.sh --asan    ASan+UBSan stage only
+# The TSan stage runs only the tests labelled `concurrency` (the pool,
+# differential and stress tests) because TSan's ~10x slowdown makes the full
+# suite impractical; those tests are written to maximize interleavings, so
+# they are where a data race in the pool, the cache or the index would show.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tsan=true
+run_asan=true
+case "${1:-}" in
+  --tsan) run_asan=false ;;
+  --asan) run_tsan=false ;;
+  "") ;;
+  *) echo "usage: scripts/sanitize.sh [--tsan|--asan]" >&2; exit 2 ;;
+esac
+
+if $run_tsan; then
+  echo "=== ThreadSanitizer: concurrency tests ==="
+  cmake -B build-tsan -S . -DERMINER_SANITIZE=thread
+  cmake --build build-tsan -j "$(nproc)"
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ctest --test-dir build-tsan -L concurrency --output-on-failure
+fi
+
+if $run_asan; then
+  echo "=== AddressSanitizer+UBSan: full suite ==="
+  cmake -B build-asan -S . -DERMINER_SANITIZE=address
+  cmake --build build-asan -j "$(nproc)"
+  ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+fi
+
+echo "sanitize: all stages passed"

@@ -4,6 +4,7 @@
 
 #include "core/action_space.h"
 #include "core/mask.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace erminer {
@@ -15,6 +16,17 @@ struct LatticeNode {
   Cover cover;           // rows matching the pattern part of `key`
   size_t lhs_size = 0;
   size_t pattern_size = 0;
+};
+
+/// One admissible child of the node being expanded, plus its evaluation
+/// outputs (filled in parallel, consumed serially in candidate order).
+struct Candidate {
+  int32_t action = 0;
+  bool is_lhs = false;
+  RuleKey key;
+  EditingRule rule;
+  Cover cover;
+  RuleStats stats;
 };
 
 }  // namespace
@@ -43,7 +55,16 @@ MineResult EnuMine(const Corpus& corpus, const MinerOptions& options) {
     // Local mask forbids re-specifying bound attributes; the global
     // duplicate check happens per child below (cheaper than Alg. 1's global
     // mask here because we enumerate every allowed child anyway).
+    //
+    // Expansion is split into three stages so the expensive middle stage
+    // can fan out across the pool while the result stays bit-identical to
+    // the serial walk: (1) admission — mask, depth limits and the
+    // `discovered` dedup run serially in action order; (2) evaluation —
+    // decode, cover refinement and measures run in parallel over the
+    // admitted frontier; (3) pruning and queue growth consume the results
+    // serially, again in action order.
     std::vector<uint8_t> mask = ComputeMask(space, node.key, {});
+    std::vector<Candidate> frontier;
     for (int32_t a = 0; a < space.stop_action(); ++a) {
       if (!mask[static_cast<size_t>(a)]) continue;
       const bool is_lhs = space.IsLhsAction(a);
@@ -53,23 +74,35 @@ MineResult EnuMine(const Corpus& corpus, const MinerOptions& options) {
       RuleKey child_key = KeyWith(node.key, a);
       if (!discovered.insert(child_key).second) continue;  // already seen
       ++result.nodes_explored;
+      Candidate c;
+      c.action = a;
+      c.is_lhs = is_lhs;
+      c.key = std::move(child_key);
+      frontier.push_back(std::move(c));
+    }
 
-      EditingRule rule = space.Decode(child_key);
-      Cover cover = is_lhs ? node.cover
+    GlobalPool().ParallelFor(0, frontier.size(), 1, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        Candidate& c = frontier[i];
+        c.rule = space.Decode(c.key);
+        c.cover = c.is_lhs ? node.cover
                            : RefineCover(corpus, node.cover,
-                                         space.pattern_item(a));
-      RuleStats stats = evaluator.Evaluate(rule, cover);
+                                         space.pattern_item(c.action));
+        c.stats = evaluator.Evaluate(c.rule, c.cover);
+      }
+    });
 
+    for (Candidate& c : frontier) {
       // Support pruning (Lemma 1): children cannot beat the threshold.
-      if (static_cast<double>(stats.support) < options.support_threshold) {
+      if (static_cast<double>(c.stats.support) < options.support_threshold) {
         continue;
       }
-      if (!rule.lhs.empty()) pool.push_back({rule, stats});
+      if (!c.rule.lhs.empty()) pool.push_back({c.rule, c.stats});
       // Refine further unless the rule already returns certain fixes
       // (Alg. 4 line 14); rules without an LHS must keep growing.
-      if (rule.lhs.empty() || stats.certainty < 1.0) {
-        queue.push_back({std::move(child_key), std::move(cover),
-                         rule.LhsSize(), rule.PatternSize()});
+      if (c.rule.lhs.empty() || c.stats.certainty < 1.0) {
+        queue.push_back({std::move(c.key), std::move(c.cover),
+                         c.rule.LhsSize(), c.rule.PatternSize()});
       }
     }
   }

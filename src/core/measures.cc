@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace erminer {
 
 double UtilityOf(long support, double certainty, double quality) {
@@ -13,9 +15,13 @@ double UtilityOf(long support, double certainty, double quality) {
 Cover FullCover(const Corpus& corpus) {
   auto rows = std::make_shared<std::vector<uint32_t>>();
   rows->resize(corpus.input().num_rows());
-  for (size_t i = 0; i < rows->size(); ++i) {
-    (*rows)[i] = static_cast<uint32_t>(i);
-  }
+  std::vector<uint32_t>& out = *rows;
+  GlobalPool().ParallelFor(0, out.size(), kDefaultGrain,
+                           [&out](size_t b, size_t e) {
+                             for (size_t i = b; i < e; ++i) {
+                               out[i] = static_cast<uint32_t>(i);
+                             }
+                           });
   return rows;
 }
 
@@ -23,11 +29,23 @@ Cover RefineCover(const Corpus& corpus, const Cover& parent,
                   const PatternItem& item) {
   ERMINER_CHECK(parent != nullptr);
   const auto& col = corpus.input().column(static_cast<size_t>(item.attr));
-  auto rows = std::make_shared<std::vector<uint32_t>>();
-  rows->reserve(parent->size() / 2);
-  for (uint32_t r : *parent) {
-    if (item.Matches(col[r])) rows->push_back(r);
-  }
+  const std::vector<uint32_t>& in = *parent;
+  // Per-chunk filters concatenated in chunk order keep the surviving rows
+  // in exactly the serial (ascending) order for any thread count.
+  auto rows = std::make_shared<std::vector<uint32_t>>(
+      GlobalPool().ParallelReduce(
+          0, in.size(), kDefaultGrain, std::vector<uint32_t>{},
+          [&](size_t b, size_t e) {
+            std::vector<uint32_t> kept;
+            kept.reserve(e - b);
+            for (size_t i = b; i < e; ++i) {
+              if (item.Matches(col[in[i]])) kept.push_back(in[i]);
+            }
+            return kept;
+          },
+          [](std::vector<uint32_t>* acc, const std::vector<uint32_t>& part) {
+            acc->insert(acc->end(), part.begin(), part.end());
+          }));
   return rows;
 }
 
@@ -39,27 +57,54 @@ Cover CoverOf(const Corpus& corpus, const Pattern& pattern) {
   return cover;
 }
 
+namespace {
+
+/// Per-chunk measure accumulator; merged in chunk order so the double sums
+/// associate identically for every thread count.
+struct MeasurePartial {
+  long support = 0;
+  double certainty_sum = 0.0;
+  double quality_sum = 0.0;
+};
+
+}  // namespace
+
 RuleStats RuleEvaluator::Evaluate(const EditingRule& rule,
                                   const Cover& cover_in) {
-  ++num_evaluations_;
+  num_evaluations_.fetch_add(1, std::memory_order_relaxed);
   Cover cover = cover_in ? cover_in : CoverOf(*corpus_, rule.pattern);
   EvalCache::Entry entry = cache_.Get(rule.lhs);
   const auto& groups = entry.column->group;
+  const std::vector<uint32_t>& rows = *cover;
+
+  MeasurePartial sums = GlobalPool().ParallelReduce(
+      0, rows.size(), kDefaultGrain, MeasurePartial{},
+      [&](size_t b, size_t e) {
+        MeasurePartial p;
+        for (size_t i = b; i < e; ++i) {
+          const uint32_t r = rows[i];
+          const Group* g = groups[r];
+          if (g == nullptr) continue;  // f_s = 0
+          p.support += 1;
+          p.certainty_sum += g->Certainty();
+          ValueCode label = corpus_->QualityLabel(r);
+          p.quality_sum +=
+              (g->argmax == label && label != kNullCode) ? 1.0 : -1.0;
+        }
+        return p;
+      },
+      [](MeasurePartial* acc, const MeasurePartial& p) {
+        acc->support += p.support;
+        acc->certainty_sum += p.certainty_sum;
+        acc->quality_sum += p.quality_sum;
+      });
 
   RuleStats stats;
-  double certainty_sum = 0.0;
-  double quality_sum = 0.0;
-  for (uint32_t r : *cover) {
-    const Group* g = groups[r];
-    if (g == nullptr) continue;  // f_s = 0
-    stats.support += 1;
-    certainty_sum += g->Certainty();
-    ValueCode label = corpus_->QualityLabel(r);
-    quality_sum += (g->argmax == label && label != kNullCode) ? 1.0 : -1.0;
-  }
+  stats.support = sums.support;
   if (stats.support > 0) {
-    stats.certainty = certainty_sum / static_cast<double>(stats.support);
-    stats.quality = quality_sum / static_cast<double>(stats.support);
+    stats.certainty =
+        sums.certainty_sum / static_cast<double>(stats.support);
+    stats.quality = sums.quality_sum / static_cast<double>(stats.support);
   }
   stats.utility = UtilityOf(stats.support, stats.certainty, stats.quality);
   return stats;

@@ -4,6 +4,7 @@
 #ifndef ERMINER_CORE_MEASURES_H_
 #define ERMINER_CORE_MEASURES_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -49,10 +50,17 @@ class RuleEvaluator {
   /// null it is computed from the rule's pattern. The Quality measure uses
   /// Corpus::QualityLabel (labelled truths when available, otherwise the
   /// input value itself, Sec. II-B3).
+  ///
+  /// Thread-safe: the cover scan partitions rows into per-chunk counters
+  /// merged in chunk-index order (bit-identical for every thread count),
+  /// and the backing EvalCache serializes its own mutation. Concurrent
+  /// Evaluate calls from a parallel miner frontier are therefore safe.
   RuleStats Evaluate(const EditingRule& rule, const Cover& cover = nullptr);
 
   /// Number of rule evaluations performed (for the experiment reports).
-  size_t num_evaluations() const { return num_evaluations_; }
+  size_t num_evaluations() const {
+    return num_evaluations_.load(std::memory_order_relaxed);
+  }
 
   const Corpus& corpus() const { return *corpus_; }
   EvalCache& cache() { return cache_; }
@@ -60,7 +68,7 @@ class RuleEvaluator {
  private:
   const Corpus* corpus_;
   EvalCache cache_;
-  size_t num_evaluations_ = 0;
+  std::atomic<size_t> num_evaluations_{0};
 };
 
 }  // namespace erminer

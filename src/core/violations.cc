@@ -1,5 +1,7 @@
 #include "core/violations.h"
 
+#include "util/thread_pool.h"
+
 namespace erminer {
 
 ViolationReport DetectViolations(RuleEvaluator* evaluator,
@@ -15,24 +17,41 @@ ViolationReport DetectViolations(RuleEvaluator* evaluator,
     const EditingRule& rule = rules[ri].rule;
     Cover cover = CoverOf(corpus, rule.pattern);
     EvalCache::Entry entry = evaluator->cache().Get(rule.lhs);
-    for (uint32_t r : *cover) {
-      const Group* g = entry.column->group[r];
-      if (g == nullptr || g->total == 0) continue;
-      if (g->Certainty() < options.min_certainty) continue;
-      ValueCode current = corpus.input().at(r, y);
-      if (current == kNullCode) {
-        missing_seen[r] = 1;
-        if (options.flag_missing) {
-          report.violations.push_back({r, ri, kNullCode, g->argmax});
-          flagged[r] = 1;
-        }
-        continue;
-      }
-      if (current != g->argmax) {
-        report.violations.push_back({r, ri, current, g->argmax});
-        flagged[r] = 1;
-      }
-    }
+    const std::vector<uint32_t>& rows = *cover;
+    const std::vector<const Group*>& groups = entry.column->group;
+    // Rows within one cover are distinct, so the flag writes are race-free;
+    // per-chunk violation lists concatenated in chunk order reproduce the
+    // serial (ascending-row) order within this rule.
+    std::vector<Violation> found = GlobalPool().ParallelReduce(
+        0, rows.size(), kDefaultGrain, std::vector<Violation>{},
+        [&](size_t b, size_t e) {
+          std::vector<Violation> part;
+          for (size_t i = b; i < e; ++i) {
+            const uint32_t r = rows[i];
+            const Group* g = groups[r];
+            if (g == nullptr || g->total == 0) continue;
+            if (g->Certainty() < options.min_certainty) continue;
+            ValueCode current = corpus.input().at(r, y);
+            if (current == kNullCode) {
+              missing_seen[r] = 1;
+              if (options.flag_missing) {
+                part.push_back({r, ri, kNullCode, g->argmax});
+                flagged[r] = 1;
+              }
+              continue;
+            }
+            if (current != g->argmax) {
+              part.push_back({r, ri, current, g->argmax});
+              flagged[r] = 1;
+            }
+          }
+          return part;
+        },
+        [](std::vector<Violation>* acc, const std::vector<Violation>& part) {
+          acc->insert(acc->end(), part.begin(), part.end());
+        });
+    report.violations.insert(report.violations.end(), found.begin(),
+                             found.end());
   }
   for (uint8_t f : flagged) report.num_flagged_rows += f;
   for (uint8_t m : missing_seen) report.num_missing_covered += m;

@@ -12,6 +12,7 @@
 #include "datagen/generators.h"
 #include "eval/experiment.h"
 #include "rl/rl_miner.h"
+#include "util/thread_pool.h"
 
 namespace erminer {
 
@@ -79,6 +80,7 @@ Result<LoadedData> LoadData(const Config& config) {
 
 Result<PipelineReport> RunPipeline(const Config& config) {
   PipelineReport report;
+  ConfigureThreadsFromConfig(config);
 
   // --- data ---
   ERMINER_ASSIGN_OR_RETURN(LoadedData data, LoadData(config));

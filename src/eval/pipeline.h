@@ -11,6 +11,9 @@
 //             negations
 //   [repair]  mode = vote | certain ; overwrite
 //   [output]  repaired ; rules                      (optional CSV/rule paths)
+//   threads   top-level worker count (0 = hardware concurrency; default 1 =
+//             serial). Results are bit-identical for every value — see
+//             docs/parallelism.md.
 
 #ifndef ERMINER_EVAL_PIPELINE_H_
 #define ERMINER_EVAL_PIPELINE_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.h"
+
 namespace erminer {
 
 std::vector<int32_t> LhsKeyOf(const LhsPairs& lhs) {
@@ -19,16 +21,24 @@ EvalCache::EvalCache(const Corpus* corpus, size_t capacity)
   ERMINER_CHECK(corpus_ != nullptr);
 }
 
+size_t EvalCache::num_built() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return num_built_;
+}
+
 EvalCache::Entry EvalCache::Get(const LhsPairs& lhs) {
   ERMINER_CHECK(std::is_sorted(lhs.begin(), lhs.end()));
   Key key = LhsKeyOf(lhs);
+  std::lock_guard<std::mutex> lk(mutex_);
   auto it = cache_.find(key);
   if (it != cache_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     return it->second.entry;
   }
 
-  // Build the master index and the input-side column.
+  // Build the master index and the input-side column. The lock is held
+  // across the build so one LHS is never built twice; the scans below are
+  // themselves parallel (a worker-thread caller runs them inline).
   std::vector<int> x_cols, xm_cols;
   x_cols.reserve(lhs.size());
   xm_cols.reserve(lhs.size());
@@ -41,18 +51,23 @@ EvalCache::Entry EvalCache::Get(const LhsPairs& lhs) {
   auto column = std::make_shared<EvalColumn>();
   const Table& input = corpus_->input();
   column->group.assign(input.num_rows(), nullptr);
-  std::vector<ValueCode> probe(x_cols.size());
-  for (size_t r = 0; r < input.num_rows(); ++r) {
-    bool null_key = false;
-    for (size_t i = 0; i < x_cols.size(); ++i) {
-      probe[i] = input.at(r, static_cast<size_t>(x_cols[i]));
-      if (probe[i] == kNullCode) {
-        null_key = true;
-        break;
-      }
-    }
-    if (!null_key) column->group[r] = index->Find(probe);
-  }
+  std::vector<const Group*>& out = column->group;
+  const GroupIndex& idx = *index;
+  GlobalPool().ParallelFor(
+      0, input.num_rows(), kDefaultGrain, [&](size_t rb, size_t re) {
+        std::vector<ValueCode> probe(x_cols.size());
+        for (size_t r = rb; r < re; ++r) {
+          bool null_key = false;
+          for (size_t i = 0; i < x_cols.size(); ++i) {
+            probe[i] = input.at(r, static_cast<size_t>(x_cols[i]));
+            if (probe[i] == kNullCode) {
+              null_key = true;
+              break;
+            }
+          }
+          if (!null_key) out[r] = idx.Find(probe);
+        }
+      });
   ++num_built_;
 
   if (cache_.size() >= capacity_) {

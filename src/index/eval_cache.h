@@ -15,6 +15,7 @@
 
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -54,9 +55,15 @@ class EvalCache {
     std::shared_ptr<GroupIndex> index;
     std::shared_ptr<EvalColumn> column;
   };
+  /// Thread-safe: a single mutex serializes lookup, build and LRU motion,
+  /// so concurrent miner threads may share one cache. Entries are immutable
+  /// once built (values never depend on which thread built them); only the
+  /// LRU *eviction order* — a performance detail — depends on request
+  /// interleaving. The probe scan inside a build is itself parallelized
+  /// over input rows.
   Entry Get(const LhsPairs& lhs);
 
-  size_t num_built() const { return num_built_; }
+  size_t num_built() const;
   const Corpus& corpus() const { return *corpus_; }
 
  private:
@@ -65,6 +72,7 @@ class EvalCache {
   size_t num_built_ = 0;
 
   using Key = std::vector<int32_t>;
+  mutable std::mutex mutex_;
   std::list<Key> lru_;
   struct Slot {
     Entry entry;

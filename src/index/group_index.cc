@@ -1,5 +1,7 @@
 #include "index/group_index.h"
 
+#include "util/thread_pool.h"
+
 namespace erminer {
 
 GroupIndex GroupIndex::Build(const Table& master,
@@ -8,19 +10,46 @@ GroupIndex GroupIndex::Build(const Table& master,
   idx.xm_cols_ = xm_cols;
   ERMINER_CHECK(ym_col >= 0 &&
                 static_cast<size_t>(ym_col) < master.num_cols());
-  std::vector<ValueCode> key(xm_cols.size());
-  for (size_t r = 0; r < master.num_rows(); ++r) {
-    ValueCode ym = master.at(r, static_cast<size_t>(ym_col));
-    if (ym == kNullCode) continue;
-    bool null_key = false;
-    for (size_t i = 0; i < xm_cols.size(); ++i) {
-      key[i] = master.at(r, static_cast<size_t>(xm_cols[i]));
-      if (key[i] == kNullCode) {
-        null_key = true;
-        break;
+  const size_t n = master.num_rows();
+  const size_t k = xm_cols.size();
+
+  // Phase 1 (parallel group scan): extract every row's key vector and Y_m
+  // code into flat arrays. Each row writes only its own slots, so the scan
+  // is trivially race-free and bit-identical for any thread count.
+  std::vector<ValueCode> keys(n * k);
+  std::vector<ValueCode> yms(n);
+  std::vector<uint8_t> usable(n, 0);
+  GlobalPool().ParallelFor(0, n, kDefaultGrain, [&](size_t rb, size_t re) {
+    for (size_t r = rb; r < re; ++r) {
+      ValueCode ym = master.at(r, static_cast<size_t>(ym_col));
+      if (ym == kNullCode) continue;
+      bool null_key = false;
+      for (size_t i = 0; i < k; ++i) {
+        ValueCode v = master.at(r, static_cast<size_t>(xm_cols[i]));
+        if (v == kNullCode) {
+          null_key = true;
+          break;
+        }
+        keys[r * k + i] = v;
       }
+      if (null_key) continue;
+      yms[r] = ym;
+      usable[r] = 1;
     }
-    if (null_key) continue;
+  });
+
+  // Phase 2 (serial): hash inserts in ascending row order. Group::counts
+  // insertion order and the argmax tie-break ("first value to exceed the
+  // running max wins") depend on encounter order, so this phase must walk
+  // rows exactly like the fully serial build — which keeps the index, and
+  // everything downstream of it (CTANE's group iteration included),
+  // bit-identical between threads=1 and threads=N.
+  std::vector<ValueCode> key(k);
+  for (size_t r = 0; r < n; ++r) {
+    if (!usable[r]) continue;
+    key.assign(keys.begin() + static_cast<ptrdiff_t>(r * k),
+               keys.begin() + static_cast<ptrdiff_t>(r * k + k));
+    const ValueCode ym = yms[r];
     Group& g = idx.groups_[key];
     g.total += 1;
     bool found = false;

@@ -4,6 +4,13 @@
 // stack -> linear head producing one Q-value per action. Forward caches the
 // per-layer inputs so Backward can accumulate gradients; a subsequent
 // optimizer step consumes Parameters()/Gradients().
+//
+// Parallelism: Forward/Backward fan minibatch work across the global thread
+// pool through the tensor kernels (MatMul and friends). The gradient
+// reductions over the batch dimension (MatMulTransA for dW, SumRows for db)
+// accumulate per-chunk partial buffers that are summed in fixed chunk
+// order, so gradients — and therefore trained weights — are bit-identical
+// for every `--threads` setting. See docs/parallelism.md.
 
 #ifndef ERMINER_NN_MLP_H_
 #define ERMINER_NN_MLP_H_

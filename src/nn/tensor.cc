@@ -1,6 +1,25 @@
 #include "nn/tensor.h"
 
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
 namespace erminer {
+
+namespace {
+
+/// Rows per chunk targeting ~32k flops of work each, so tiny tensors (every
+/// unit-test net, single-row inference) stay single-chunk — which both
+/// avoids pool overhead and keeps their results bit-identical to the
+/// pre-pool serial kernels. The grain depends only on the shapes, never on
+/// the thread count, so results are identical for any pool size.
+constexpr size_t kChunkFlops = 32768;
+
+size_t RowGrain(size_t row_cost) {
+  return std::max<size_t>(1, kChunkFlops / std::max<size_t>(1, row_cost));
+}
+
+}  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   ERMINER_CHECK(a.cols() == b.rows());
@@ -9,36 +28,49 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
-  for (size_t i = 0; i < m; ++i) {
-    for (size_t p = 0; p < k; ++p) {
-      const float av = pa[i * k + p];
-      if (av == 0.0f) continue;  // one-hot inputs make this a big win
-      const float* brow = pb + p * n;
-      float* crow = pc + i * n;
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // Output rows are independent (each reads one row of A), so the
+  // row-parallel split is bit-identical to serial for any grain.
+  GlobalPool().ParallelFor(0, m, RowGrain(k * n), [&](size_t rb, size_t re) {
+    for (size_t i = rb; i < re; ++i) {
+      for (size_t p = 0; p < k; ++p) {
+        const float av = pa[i * k + p];
+        if (av == 0.0f) continue;  // one-hot inputs make this a big win
+        const float* brow = pb + p * n;
+        float* crow = pc + i * n;
+        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
 Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   ERMINER_CHECK(a.rows() == b.rows());
-  Tensor c(a.cols(), b.cols(), 0.0f);
   const size_t k = a.rows(), m = a.cols(), n = b.cols();
   const float* pa = a.data().data();
   const float* pb = b.data().data();
-  float* pc = c.data().data();
-  for (size_t p = 0; p < k; ++p) {
-    const float* arow = pa + p * m;
-    const float* brow = pb + p * n;
-    for (size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-  return c;
+  // This kernel reduces over k (the minibatch dimension in gradient
+  // computations): per-chunk partial products are the "per-thread gradient
+  // buffers", merged below in fixed chunk order so the float sums associate
+  // identically for every thread count.
+  return GlobalPool().ParallelReduce(
+      0, k, RowGrain(m * n), Tensor(m, n, 0.0f),
+      [&](size_t pb_begin, size_t pb_end) {
+        Tensor part(m, n, 0.0f);
+        float* pc = part.data().data();
+        for (size_t p = pb_begin; p < pb_end; ++p) {
+          const float* arow = pa + p * m;
+          const float* brow = pb + p * n;
+          for (size_t i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f) continue;
+            float* crow = pc + i * n;
+            for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+        return part;
+      },
+      [](Tensor* acc, const Tensor& part) { Axpy(1.0f, part, acc); });
 }
 
 Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
@@ -48,16 +80,18 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (size_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] = acc;
+  GlobalPool().ParallelFor(0, m, RowGrain(k * n), [&](size_t rb, size_t re) {
+    for (size_t i = rb; i < re; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      for (size_t j = 0; j < n; ++j) {
+        const float* brow = pb + j * k;
+        float acc = 0.0f;
+        for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] = acc;
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -88,13 +122,23 @@ Tensor ReluBackward(const Tensor& x, const Tensor& grad) {
 }
 
 Tensor SumRows(const Tensor& x) {
-  Tensor s(1, x.cols(), 0.0f);
-  for (size_t r = 0; r < x.rows(); ++r) {
-    for (size_t c = 0; c < x.cols(); ++c) {
-      s.at(0, c) += x.at(r, c);
-    }
-  }
-  return s;
+  const size_t rows = x.rows(), cols = x.cols();
+  const float* px = x.data().data();
+  // Ordered reduction over rows: the bias gradient sums identically for
+  // every thread count (single chunk — and old-serial-identical — for the
+  // minibatch sizes the DQN uses).
+  return GlobalPool().ParallelReduce(
+      0, rows, RowGrain(cols), Tensor(1, cols, 0.0f),
+      [&](size_t rb, size_t re) {
+        Tensor part(1, cols, 0.0f);
+        float* ps = part.data().data();
+        for (size_t r = rb; r < re; ++r) {
+          const float* row = px + r * cols;
+          for (size_t c = 0; c < cols; ++c) ps[c] += row[c];
+        }
+        return part;
+      },
+      [](Tensor* acc, const Tensor& part) { Axpy(1.0f, part, acc); });
 }
 
 void Axpy(float s, const Tensor& b, Tensor* a) {

@@ -5,12 +5,18 @@
 #include <limits>
 
 #include "nn/loss.h"
+#include "util/thread_pool.h"
 
 namespace erminer {
 
 namespace {
 
 constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+/// Batch-element grain for the per-transition loops below. Default batches
+/// (32) stay single-chunk — bit-identical to the serial loops — while large
+/// ablation batches split deterministically.
+constexpr size_t kBatchGrain = 64;
 
 Tensor DensifyKey(const RuleKey& key, size_t dim) {
   Tensor t(1, dim, 0.0f);
@@ -91,12 +97,16 @@ std::vector<float> DqnAgent::QValues(const RuleKey& state) {
 Tensor DqnAgent::Densify(const std::vector<const Transition*>& batch,
                          bool next) const {
   Tensor x(batch.size(), state_dim_, 0.0f);
-  for (size_t b = 0; b < batch.size(); ++b) {
-    const RuleKey& key = next ? batch[b]->next_state : batch[b]->state;
-    for (int32_t i : key) {
-      x.at(b, static_cast<size_t>(i)) = 1.0f;
-    }
-  }
+  // Each batch element writes only its own row.
+  GlobalPool().ParallelFor(
+      0, batch.size(), kBatchGrain, [&](size_t bb, size_t be) {
+        for (size_t b = bb; b < be; ++b) {
+          const RuleKey& key = next ? batch[b]->next_state : batch[b]->state;
+          for (int32_t i : key) {
+            x.at(b, static_cast<size_t>(i)) = 1.0f;
+          }
+        }
+      });
   return x;
 }
 
@@ -126,36 +136,47 @@ float DqnAgent::TrainStep() {
     next_q_online = online_->Forward(Densify(batch, /*next=*/true));
   }
   std::vector<float> targets(bsz);
-  for (size_t b = 0; b < bsz; ++b) {
-    float boot = 0.0f;
-    if (!batch[b]->done) {
-      const float* selector =
-          options_.double_dqn ? next_q_online.data().data() + b * num_actions_
-                              : next_q.data().data() + b * num_actions_;
-      int32_t a = MaskedArgmax(selector, batch[b]->next_mask, num_actions_);
-      if (a >= 0) {
-        boot = options_.gamma * next_q.at(b, static_cast<size_t>(a));
+  GlobalPool().ParallelFor(0, bsz, kBatchGrain, [&](size_t bb, size_t be) {
+    for (size_t b = bb; b < be; ++b) {
+      float boot = 0.0f;
+      if (!batch[b]->done) {
+        const float* selector =
+            options_.double_dqn
+                ? next_q_online.data().data() + b * num_actions_
+                : next_q.data().data() + b * num_actions_;
+        int32_t a = MaskedArgmax(selector, batch[b]->next_mask, num_actions_);
+        if (a >= 0) {
+          boot = options_.gamma * next_q.at(b, static_cast<size_t>(a));
+        }
       }
+      targets[b] = batch[b]->reward + boot;
     }
-    targets[b] = batch[b]->reward + boot;
-  }
+  });
 
   // Forward the online net and backprop Huber gradients at the chosen
   // actions only, weighted by the importance-sampling corrections.
   Tensor q = online_->Forward(Densify(batch, /*next=*/false));
   Tensor dq(bsz, num_actions_, 0.0f);
   std::vector<float> abs_td(bsz);
-  float loss = 0.0f;
   const float inv_b = 1.0f / static_cast<float>(bsz);
-  for (size_t b = 0; b < bsz; ++b) {
-    const size_t a = static_cast<size_t>(batch[b]->action);
-    ERMINER_CHECK(a < num_actions_);
-    const float diff = q.at(b, a) - targets[b];
-    abs_td[b] = std::fabs(diff);
-    loss += is_weights[b] * HuberLoss(diff, options_.huber_delta) * inv_b;
-    dq.at(b, a) =
-        is_weights[b] * HuberGrad(diff, options_.huber_delta) * inv_b;
-  }
+  // dq/abs_td writes are per-element; the scalar loss is an ordered
+  // reduction so it sums in the same order for every thread count.
+  float loss = GlobalPool().ParallelReduce(
+      0, bsz, kBatchGrain, 0.0f,
+      [&](size_t bb, size_t be) {
+        float part = 0.0f;
+        for (size_t b = bb; b < be; ++b) {
+          const size_t a = static_cast<size_t>(batch[b]->action);
+          ERMINER_CHECK(a < num_actions_);
+          const float diff = q.at(b, a) - targets[b];
+          abs_td[b] = std::fabs(diff);
+          part += is_weights[b] * HuberLoss(diff, options_.huber_delta) * inv_b;
+          dq.at(b, a) =
+              is_weights[b] * HuberGrad(diff, options_.huber_delta) * inv_b;
+        }
+        return part;
+      },
+      [](float* acc, float part) { *acc += part; });
   online_->ZeroGrad();
   online_->Backward(dq);
   optimizer_.Step(online_->Parameters(), online_->Gradients());

@@ -1,0 +1,238 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/config.h"
+#include "util/status.h"
+
+namespace erminer {
+
+namespace {
+
+/// True while the current thread is executing a chunk task. Nested
+/// ParallelFor calls observe it and run inline instead of re-entering the
+/// pool, which keeps nesting deadlock-free (a worker never blocks waiting
+/// for tasks only it could run).
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
+
+struct ThreadPool::Batch {
+  const std::function<void(size_t, size_t, size_t)>* fn = nullptr;
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 1;
+  size_t chunks = 0;
+  // `completed`, `error*` and the final notify are all guarded by `mutex`:
+  // the last chunk's increment-and-notify is one critical section, so the
+  // caller cannot observe completion (and destroy this Batch) while a
+  // worker still holds a reference.
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  size_t completed = 0;
+  std::exception_ptr error;
+  size_t error_chunk = 0;
+};
+
+struct ThreadPool::WorkerQueue {
+  std::mutex mutex;
+  std::deque<Task> tasks;
+};
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(std::max<size_t>(1, num_threads)) {
+  const size_t n_workers = num_threads_ - 1;
+  queues_.reserve(n_workers);
+  for (size_t i = 0; i < n_workers; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(n_workers);
+  for (size_t i = 0; i < n_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(sleep_mutex_);
+    stop_.store(true);
+  }
+  wake_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop(size_t id) {
+  while (true) {
+    Task task;
+    if (TryAcquire(id, &task)) {
+      RunTask(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(sleep_mutex_);
+    wake_cv_.wait(lk, [this] { return stop_.load() || pending_.load() > 0; });
+    if (stop_.load() && pending_.load() == 0) return;
+  }
+}
+
+bool ThreadPool::TryAcquire(size_t home, Task* task) {
+  const size_t n = queues_.size();
+  if (n == 0) return false;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t qi = (home + i) % n;
+    WorkerQueue& q = *queues_[qi];
+    std::lock_guard<std::mutex> lk(q.mutex);
+    if (q.tasks.empty()) continue;
+    if (qi == home) {
+      *task = q.tasks.front();
+      q.tasks.pop_front();
+    } else {
+      *task = q.tasks.back();  // steal from the victim's cold end
+      q.tasks.pop_back();
+    }
+    pending_.fetch_sub(1);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::RunTask(const Task& task) {
+  Batch* b = task.batch;
+  const size_t cb = b->begin + task.chunk * b->grain;
+  const size_t ce = std::min(b->end, cb + b->grain);
+  const bool prev = t_in_parallel_region;
+  t_in_parallel_region = true;
+  std::exception_ptr error;
+  try {
+    (*b->fn)(task.chunk, cb, ce);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  t_in_parallel_region = prev;
+  {
+    std::lock_guard<std::mutex> lk(b->mutex);
+    // Keep the lowest-index chunk's exception so even error reporting is
+    // deterministic across schedules.
+    if (error && (!b->error || task.chunk < b->error_chunk)) {
+      b->error = error;
+      b->error_chunk = task.chunk;
+    }
+    b->completed += 1;
+    if (b->completed == b->chunks) b->done_cv.notify_all();
+  }
+}
+
+void ThreadPool::RunBatch(Batch* batch) {
+  // Deal chunks round-robin across the worker deques so every worker has a
+  // contiguous-ish share to start from; imbalance is fixed by stealing.
+  for (size_t c = 0; c < batch->chunks; ++c) {
+    WorkerQueue& q = *queues_[c % queues_.size()];
+    std::lock_guard<std::mutex> lk(q.mutex);
+    q.tasks.push_back(Task{batch, c});
+  }
+  {
+    // pending_ is published under sleep_mutex_ so a worker cannot check the
+    // wake predicate between this update and its block (missed wakeup).
+    std::lock_guard<std::mutex> lk(sleep_mutex_);
+    pending_.fetch_add(batch->chunks);
+  }
+  wake_cv_.notify_all();
+
+  // The calling thread participates: drain whatever is still queued (its
+  // own batch first, possibly chunks of concurrent batches too), then wait
+  // for stragglers running on workers.
+  Task task;
+  while (TryAcquire(0, &task)) RunTask(task);
+  std::unique_lock<std::mutex> lk(batch->mutex);
+  batch->done_cv.wait(lk,
+                      [&] { return batch->completed == batch->chunks; });
+}
+
+void ThreadPool::RunBatchInline(Batch* batch) {
+  for (size_t c = 0; c < batch->chunks; ++c) {
+    const size_t cb = batch->begin + c * batch->grain;
+    const size_t ce = std::min(batch->end, cb + batch->grain);
+    try {
+      (*batch->fn)(c, cb, ce);
+    } catch (...) {
+      batch->error = std::current_exception();
+      batch->error_chunk = c;
+      break;  // serial semantics: nothing after the throwing chunk runs
+    }
+  }
+}
+
+void ThreadPool::ParallelForChunks(
+    size_t begin, size_t end, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  const size_t n = end > begin ? end - begin : 0;
+  if (n == 0) return;
+  Batch batch;
+  batch.fn = &fn;
+  batch.begin = begin;
+  batch.end = end;
+  batch.grain = grain == 0 ? 1 : grain;
+  batch.chunks = NumChunksFor(n, grain);
+  if (workers_.empty() || t_in_parallel_region || batch.chunks == 1) {
+    RunBatchInline(&batch);
+  } else {
+    RunBatch(&batch);
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  ParallelForChunks(begin, end, grain,
+                    [&fn](size_t, size_t b, size_t e) { fn(b, e); });
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+long g_threads_setting = 1;
+std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
+  static std::unique_ptr<ThreadPool>* slot = new std::unique_ptr<ThreadPool>();
+  return *slot;
+}
+
+}  // namespace
+
+size_t ResolveThreads(long configured) {
+  if (configured == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<size_t>(hw);
+  }
+  return static_cast<size_t>(std::max<long>(1, configured));
+}
+
+void SetGlobalThreads(long threads) {
+  std::unique_ptr<ThreadPool> old;
+  {
+    std::lock_guard<std::mutex> lk(g_pool_mutex);
+    g_threads_setting = threads;
+    old = std::move(GlobalPoolSlot());  // join workers outside the lock
+  }
+}
+
+long GlobalThreadsSetting() {
+  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  return g_threads_setting;
+}
+
+ThreadPool& GlobalPool() {
+  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  auto& slot = GlobalPoolSlot();
+  if (!slot) {
+    slot = std::make_unique<ThreadPool>(ResolveThreads(g_threads_setting));
+  }
+  return *slot;
+}
+
+void ConfigureThreadsFromConfig(const Config& config) {
+  if (config.Has("threads")) {
+    SetGlobalThreads(config.GetInt("threads", 1));
+  }
+}
+
+}  // namespace erminer

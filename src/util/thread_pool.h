@@ -1,0 +1,172 @@
+// A fixed-size work-stealing thread pool with *deterministic* data
+// parallelism primitives.
+//
+// The contract that makes parallel mining bit-identical to serial mining
+// (see docs/parallelism.md) is:
+//
+//   1. ParallelFor decomposes [begin, end) into chunks that depend ONLY on
+//      the range and the grain — never on the number of threads or on
+//      scheduling. Chunk i covers [begin + i*grain, min(begin+(i+1)*grain,
+//      end)).
+//   2. ParallelReduce evaluates one accumulator per chunk (in any order, on
+//      any thread) and merges them on the calling thread in ascending chunk
+//      order. Floating-point reductions therefore associate identically for
+//      every thread count, including threads=1.
+//
+// Scheduling: every worker owns a deque; chunk tasks are dealt round-robin
+// at submit time, a worker pops from the front of its own deque and steals
+// from the back of a victim's when empty. The calling thread participates
+// (it steals too), so a pool of N threads applies N+1 executors to a batch
+// and `threads=1` runs with zero worker threads — an exact serial fallback
+// that still executes the chunked (deterministic) code path.
+//
+// Nested ParallelFor calls from inside a worker run inline (serially, in
+// chunk order) instead of re-entering the pool; this keeps nesting
+// deadlock-free and deterministic.
+//
+// Exceptions thrown by chunk functions are captured and the first one (by
+// chunk index) is rethrown on the calling thread after the batch drains.
+//
+// Process-wide configuration: SetGlobalThreads(n) with the util::Config
+// convention `threads=0` => hardware concurrency, `threads=1` => serial,
+// `threads=n` => n workers. The CLI (--threads) and the pipeline config key
+// `threads` both route here.
+
+#ifndef ERMINER_UTIL_THREAD_POOL_H_
+#define ERMINER_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace erminer {
+
+class Config;
+
+/// Default grain for per-row loops: small corpora (every unit-test fixture)
+/// stay single-chunk — and therefore bit-identical to the pre-pool serial
+/// code — while bench-scale corpora split into enough chunks to keep all
+/// workers busy.
+inline constexpr size_t kDefaultGrain = 1024;
+
+class ThreadPool {
+ public:
+  /// `num_threads` is the total executor count, including the caller:
+  /// 1 => no worker threads are spawned (serial), n => n-1 workers plus the
+  /// calling thread. Values of 0 are clamped to 1.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+
+  /// Number of chunks the deterministic decomposition produces for a range
+  /// of n elements (grain 0 is treated as 1).
+  static size_t NumChunksFor(size_t n, size_t grain) {
+    if (n == 0) return 0;
+    const size_t g = grain == 0 ? 1 : grain;
+    return (n + g - 1) / g;
+  }
+
+  /// Runs fn(chunk_begin, chunk_end) over the deterministic chunk
+  /// decomposition of [begin, end). Blocks until every chunk completed.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  /// Like ParallelFor but also passes the chunk index, the key to ordered
+  /// (deterministic) reductions: write per-chunk results into slot `chunk`
+  /// and combine them in index order afterwards.
+  void ParallelForChunks(
+      size_t begin, size_t end, size_t grain,
+      const std::function<void(size_t chunk, size_t, size_t)>& fn);
+
+  /// Ordered deterministic reduction. `chunk_fn(b, e) -> Acc` runs per
+  /// chunk on pool threads; `merge(&acc, chunk_acc)` runs on the calling
+  /// thread in ascending chunk order. Acc must be default-constructible.
+  template <typename Acc, typename ChunkFn, typename MergeFn>
+  Acc ParallelReduce(size_t begin, size_t end, size_t grain, Acc init,
+                     const ChunkFn& chunk_fn, const MergeFn& merge) {
+    const size_t n = end > begin ? end - begin : 0;
+    if (n == 0) return init;
+    const size_t chunks = NumChunksFor(n, grain);
+    std::vector<Acc> partials(chunks);
+    ParallelForChunks(begin, end, grain,
+                      [&](size_t c, size_t b, size_t e) {
+                        partials[c] = chunk_fn(b, e);
+                      });
+    Acc acc = std::move(init);
+    for (size_t c = 0; c < chunks; ++c) merge(&acc, partials[c]);
+    return acc;
+  }
+
+ private:
+  struct Batch;
+  struct Task {
+    Batch* batch = nullptr;
+    size_t chunk = 0;
+  };
+  struct WorkerQueue;
+
+  void WorkerLoop(size_t id);
+  /// Pops one task, preferring queue `home`, stealing otherwise.
+  bool TryAcquire(size_t home, Task* task);
+  void RunTask(const Task& task);
+  void RunBatch(Batch* batch);
+  /// Executes all chunks of `batch` inline, in order (serial fallback and
+  /// nested calls).
+  void RunBatchInline(Batch* batch);
+
+  size_t num_threads_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex sleep_mutex_;
+  std::condition_variable wake_cv_;
+  std::atomic<size_t> pending_{0};
+  std::atomic<bool> stop_{false};
+};
+
+/// Resolves the `threads` convention: 0 => hardware concurrency (at least
+/// 1), otherwise the value itself (clamped to >= 1).
+size_t ResolveThreads(long configured);
+
+/// Sets the process-wide thread setting (0 => hardware concurrency) and
+/// tears down the existing global pool so the next GlobalPool() call
+/// rebuilds it. Must not race with in-flight ParallelFor calls.
+void SetGlobalThreads(long threads);
+
+/// The configured (raw) setting, as passed to SetGlobalThreads. Default 1.
+long GlobalThreadsSetting();
+
+/// The lazily constructed process-wide pool.
+ThreadPool& GlobalPool();
+
+/// Applies the top-level `threads` key of a Config, if present.
+void ConfigureThreadsFromConfig(const Config& config);
+
+/// Convenience wrappers over the global pool.
+inline void ParallelFor(size_t begin, size_t end, size_t grain,
+                        const std::function<void(size_t, size_t)>& fn) {
+  GlobalPool().ParallelFor(begin, end, grain, fn);
+}
+
+template <typename Acc, typename ChunkFn, typename MergeFn>
+Acc ParallelReduce(size_t begin, size_t end, size_t grain, Acc init,
+                   const ChunkFn& chunk_fn, const MergeFn& merge) {
+  return GlobalPool().ParallelReduce(begin, end, grain, std::move(init),
+                                     chunk_fn, merge);
+}
+
+}  // namespace erminer
+
+#endif  // ERMINER_UTIL_THREAD_POOL_H_

@@ -28,11 +28,8 @@ TEST(GoldenTest, TinyCorpusTopRuleIsStable) {
 }
 
 TEST(GoldenTest, EnuMinerIsRunToRunDeterministic) {
-  GenOptions g;
-  g.input_size = 250;
-  g.master_size = 200;
-  g.seed = 77;
-  GeneratedDataset ds = MakeCovid(g).ValueOrDie();
+  const GeneratedDataset& ds =
+      erminer::testing::SeededCorpusCache::Get("covid", 250, 200, 77);
   Corpus c1 = BuildCorpus(ds).ValueOrDie();
   Corpus c2 = BuildCorpus(ds).ValueOrDie();
   MinerOptions o;
@@ -49,11 +46,8 @@ TEST(GoldenTest, EnuMinerIsRunToRunDeterministic) {
 }
 
 TEST(GoldenTest, TrialMetricsAreDeterministic) {
-  GenOptions g;
-  g.input_size = 250;
-  g.master_size = 200;
-  g.seed = 78;
-  GeneratedDataset ds = MakeCovid(g).ValueOrDie();
+  const GeneratedDataset& ds =
+      erminer::testing::SeededCorpusCache::Get("covid", 250, 200, 78);
   MinerOptions o;
   o.k = 10;
   o.support_threshold = 12;

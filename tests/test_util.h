@@ -1,16 +1,56 @@
-// Shared fixtures: small hand-checkable corpora used across test files.
+// Shared fixtures: small hand-checkable corpora used across test files,
+// plus a process-wide cache of seeded generated datasets.
 
 #ifndef ERMINER_TESTS_TEST_UTIL_H_
 #define ERMINER_TESTS_TEST_UTIL_H_
 
+#include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "data/corpus.h"
 #include "data/schema_match.h"
 #include "data/table.h"
+#include "datagen/generators.h"
 
 namespace erminer::testing {
+
+/// Process-wide memo of seeded generated datasets, keyed by everything that
+/// determines their content. Tests that need "the Adult instance with seed
+/// 77" should go through here instead of calling MakeByName directly, so
+/// repeated TESTs in one binary stop regenerating identical corpora (the
+/// generators are deterministic, so sharing one instance is safe as long as
+/// callers treat it as read-only — take a const ref, or BuildCorpus() a
+/// fresh Corpus from it).
+///
+/// Scope note: ctest runs each gtest_discover_tests case as its own
+/// process, so the cache only pays off within one test-binary invocation
+/// (several TESTs sharing a fixture, or a direct `./some_test` run). That
+/// is where the duplication actually was — differential tests that generate
+/// the same instance once per method under comparison.
+class SeededCorpusCache {
+ public:
+  static const GeneratedDataset& Get(const std::string& dataset,
+                                     size_t input_size, size_t master_size,
+                                     uint64_t seed, double noise = 0.1) {
+    static auto* cache =
+        new std::map<std::tuple<std::string, size_t, size_t, uint64_t,
+                                double>,
+                     GeneratedDataset>();
+    auto key = std::make_tuple(dataset, input_size, master_size, seed, noise);
+    auto it = cache->find(key);
+    if (it == cache->end()) {
+      GenOptions g;
+      g.input_size = input_size;
+      g.master_size = master_size;
+      g.seed = seed;
+      g.noise_rate = noise;
+      it = cache->emplace(key, MakeByName(dataset, g).ValueOrDie()).first;
+    }
+    return it->second;
+  }
+};
 
 /// Input (A, G, Y), master (A, Y), matched on A and Y.
 ///

@@ -35,6 +35,9 @@
 //   erminer pipeline --config=FILE
 //       Config-driven end-to-end run: load/generate -> match -> mine ->
 //       detect -> repair -> report (see src/eval/pipeline.h for the keys).
+//
+// Every command accepts --threads=N (0 = hardware concurrency, default 1 =
+// serial). Results are bit-identical for every N; see docs/parallelism.md.
 
 #include <cstdio>
 #include <cstring>
@@ -58,6 +61,7 @@
 #include "eval/pipeline.h"
 #include "rl/rl_miner.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace erminer {
 namespace {
@@ -404,6 +408,8 @@ int main(int argc, char** argv) {
   using namespace erminer;  // NOLINT
   if (argc < 2) return Usage();
   Flags flags(argc, argv, 2);
+  // Sized once up front; a pipeline config's `threads` key may override.
+  SetGlobalThreads(flags.GetInt("threads", 1));
   std::string cmd = argv[1];
   if (cmd == "generate") return CmdGenerate(&flags);
   if (cmd == "mine") return CmdMine(&flags);
