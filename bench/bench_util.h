@@ -7,6 +7,8 @@
 //   --seed=N      base RNG seed
 //   --threads=N   worker threads (0 = hardware concurrency, default 1);
 //                 results are bit-identical for every N (docs/parallelism.md)
+//   --metrics-json=FILE   dump the metrics registry on exit
+//   --trace-json=FILE     record spans; write Chrome trace JSON on exit
 // Support thresholds are scaled proportionally to the input size so the
 // scaled runs exercise the same pruning regime as the paper's.
 
@@ -21,10 +23,36 @@
 #include "datagen/generators.h"
 #include "eval/experiment.h"
 #include "eval/table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace erminer::bench {
+
+/// Export paths registered by BenchFlags::Parse and flushed via atexit, so
+/// every bench binary gets --metrics-json / --trace-json without per-binary
+/// shutdown plumbing.
+inline std::string& MetricsJsonPath() {
+  static std::string* path = new std::string();
+  return *path;
+}
+inline std::string& TraceJsonPath() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+inline void ExportObsFiles() {
+  if (!MetricsJsonPath().empty() &&
+      !obs::MetricsRegistry::Global().WriteJsonFile(MetricsJsonPath())) {
+    std::fprintf(stderr, "failed to write %s\n", MetricsJsonPath().c_str());
+  }
+  if (!TraceJsonPath().empty() &&
+      !obs::TraceRecorder::Global().WriteJsonFile(TraceJsonPath())) {
+    std::fprintf(stderr, "failed to write %s\n", TraceJsonPath().c_str());
+  }
+}
 
 struct BenchFlags {
   bool full = false;
@@ -44,8 +72,13 @@ struct BenchFlags {
         f.seed = static_cast<uint64_t>(std::atoll(a + 7));
       } else if (std::strncmp(a, "--threads=", 10) == 0) {
         f.threads = std::atol(a + 10);
+      } else if (std::strncmp(a, "--metrics-json=", 15) == 0) {
+        MetricsJsonPath() = a + 15;
+      } else if (std::strncmp(a, "--trace-json=", 13) == 0) {
+        TraceJsonPath() = a + 13;
       } else if (std::strcmp(a, "--help") == 0) {
-        std::printf("flags: --full --trials=N --seed=N --threads=N\n");
+        std::printf("flags: --full --trials=N --seed=N --threads=N "
+                    "--metrics-json=FILE --trace-json=FILE\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag %s (see --help)\n", a);
@@ -53,6 +86,10 @@ struct BenchFlags {
       }
     }
     SetGlobalThreads(f.threads);
+    if (!TraceJsonPath().empty()) obs::TraceRecorder::Global().Enable();
+    if (!MetricsJsonPath().empty() || !TraceJsonPath().empty()) {
+      std::atexit(ExportObsFiles);
+    }
     return f;
   }
 
@@ -63,9 +100,22 @@ struct BenchFlags {
 /// --threads can be scraped and compared (timings are only comparable when
 /// the thread count is recorded alongside them). `fields` is the inner part
 /// of a JSON object, e.g. "\"n\":1000,\"secs\":1.23".
+///
+/// Every record also carries the process resource state (cumulative CPU
+/// seconds, peak RSS) and a `metrics` object with the registry counters
+/// that advanced since the previous record — so a BENCH_*.json trajectory
+/// explains each point's wall time in node expansions, prune counts and
+/// cache hits, not just its duration.
 inline void BenchJson(const std::string& bench, const std::string& fields) {
-  std::printf("BENCH_JSON {\"bench\":\"%s\",\"threads\":%zu,%s}\n",
-              bench.c_str(), GlobalPool().num_threads(), fields.c_str());
+  static obs::MetricsSnapshot last;  // zero at first record: totals
+  obs::MetricsSnapshot now = obs::MetricsRegistry::Global().Snapshot();
+  const std::string delta = now.DeltaSince(last).CountersJson();
+  last = std::move(now);
+  std::printf("BENCH_JSON {\"bench\":\"%s\",\"threads\":%zu,%s,"
+              "\"cpu_seconds\":%.3f,\"peak_rss_bytes\":%zu,"
+              "\"metrics\":%s}\n",
+              bench.c_str(), GlobalPool().num_threads(), fields.c_str(),
+              CpuSeconds(), PeakRssBytes(), delta.c_str());
 }
 
 /// Scaled-down dataset sizes per dataset name (paper sizes with --full).

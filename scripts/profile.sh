@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Where do the mining seconds go? Runs a small EnuMiner job and a small
+# RLMiner job on generated covid data with --trace-json/--metrics-json and
+# prints the top spans by self time for each (tools/trace_stats.cc).
+#
+#   scripts/profile.sh [BUILD_DIR]     default build dir: build
+#
+# Artifacts land in BUILD_DIR/profile/: per-method trace JSON (loadable in
+# chrome://tracing or https://ui.perfetto.dev) and metrics JSON (the full
+# registry dump: node expansions, prune reasons, cache hit/miss, DQN stats).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build="${1:-build}"
+if [[ ! -x "$build/tools/erminer" || ! -x "$build/tools/trace_stats" ]]; then
+  echo "building erminer + trace_stats in $build ..." >&2
+  cmake -B "$build" -S . >/dev/null
+  cmake --build "$build" -j "$(nproc)" --target erminer trace_stats >/dev/null
+fi
+
+out="$build/profile"
+mkdir -p "$out/data"
+
+echo "=== generating dataset (covid, 2000 rows) ==="
+"$build/tools/erminer" generate --dataset=covid --out-dir="$out/data" \
+  --input-size=2000 --master-size=2000 --seed=7
+
+mine_common=(mine --input="$out/data/input.csv" --master="$out/data/master.csv"
+             --y=infection_case --k=20 --support=20)
+
+for method in enu rl; do
+  echo
+  echo "=== mining with --method=$method ==="
+  extra=()
+  if [[ "$method" == rl ]]; then extra=(--steps=200 --seed=17); fi
+  "$build/tools/erminer" "${mine_common[@]}" --method="$method" \
+    "${extra[@]}" \
+    --trace-json="$out/trace_$method.json" \
+    --metrics-json="$out/metrics_$method.json" >/dev/null
+  echo "--- top 10 spans by self time ($method) ---"
+  "$build/tools/trace_stats" --trace="$out/trace_$method.json" --top=10
+done
+
+echo
+echo "profile: traces and metrics written to $out/"
+echo "open a trace_*.json in chrome://tracing or https://ui.perfetto.dev"

@@ -5,9 +5,10 @@
 #   scripts/sanitize.sh --tsan    TSan stage only
 #   scripts/sanitize.sh --asan    ASan+UBSan stage only
 # The TSan stage runs only the tests labelled `concurrency` (the pool,
-# differential and stress tests) because TSan's ~10x slowdown makes the full
-# suite impractical; those tests are written to maximize interleavings, so
-# they are where a data race in the pool, the cache or the index would show.
+# differential, stress and obs_concurrency tests) because TSan's ~10x
+# slowdown makes the full suite impractical; those tests are written to
+# maximize interleavings, so they are where a data race in the pool, the
+# cache, the index or the metrics/trace layer would show.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

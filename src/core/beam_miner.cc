@@ -4,6 +4,8 @@
 
 #include "core/action_space.h"
 #include "core/mask.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace erminer {
@@ -20,6 +22,7 @@ struct BeamNode {
 
 MineResult BeamMine(const Corpus& corpus, const MinerOptions& options,
                     const BeamMinerOptions& beam_options) {
+  ERMINER_SPAN("beam/mine");
   Timer timer;
   MineResult result;
 
@@ -37,13 +40,19 @@ MineResult BeamMine(const Corpus& corpus, const MinerOptions& options,
 
   for (size_t depth = 0; depth < beam_options.max_depth && !beam.empty();
        ++depth) {
+    ERMINER_SPAN("beam/level");
     std::vector<BeamNode> next;
+    uint64_t prune_support = 0, prune_duplicate = 0;
     for (const BeamNode& node : beam) {
+      ERMINER_COUNT("beam/nodes_expanded", 1);
       std::vector<uint8_t> mask = ComputeMask(space, node.key, {});
       for (int32_t a = 0; a < space.stop_action(); ++a) {
         if (!mask[static_cast<size_t>(a)]) continue;
         RuleKey child_key = KeyWith(node.key, a);
-        if (!discovered.insert(child_key).second) continue;
+        if (!discovered.insert(child_key).second) {
+          ++prune_duplicate;
+          continue;
+        }
         ++result.nodes_explored;
         EditingRule rule = space.Decode(child_key);
         Cover cover = space.IsPatternAction(a)
@@ -53,6 +62,7 @@ MineResult BeamMine(const Corpus& corpus, const MinerOptions& options,
         RuleStats stats = evaluator.Evaluate(rule, cover);
         if (static_cast<double>(stats.support) <
             options.support_threshold) {
+          ++prune_support;
           continue;  // Lemma 1: no descendant can recover
         }
         if (!rule.lhs.empty()) pool.push_back({rule, stats});
@@ -62,8 +72,12 @@ MineResult BeamMine(const Corpus& corpus, const MinerOptions& options,
         }
       }
     }
+    ERMINER_COUNT("beam/prune_support", prune_support);
+    ERMINER_COUNT("beam/prune_duplicate", prune_duplicate);
     // Keep the beam_width most promising rules for the next level.
     if (next.size() > beam_options.beam_width) {
+      ERMINER_COUNT("beam/prune_beam_width",
+                    next.size() - beam_options.beam_width);
       std::partial_sort(next.begin(),
                         next.begin() +
                             static_cast<long>(beam_options.beam_width),

@@ -1,9 +1,13 @@
 #include "core/certain_fix.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace erminer {
 
 CertainFixOutcome ComputeCertainFixes(RuleEvaluator* evaluator,
                                       const std::vector<ScoredRule>& rules) {
+  ERMINER_SPAN("repair/certain_fixes");
   const Corpus& corpus = evaluator->corpus();
   const size_t n = corpus.input().num_rows();
   CertainFixOutcome out;
@@ -53,6 +57,9 @@ CertainFixOutcome ComputeCertainFixes(RuleEvaluator* evaluator,
         break;
     }
   }
+  ERMINER_COUNT("repair/certain", out.num_certain);
+  ERMINER_COUNT("repair/ambiguous", out.num_ambiguous);
+  ERMINER_COUNT("repair/conflicting", out.num_conflicting);
   return out;
 }
 

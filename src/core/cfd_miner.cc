@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "index/group_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/hash.h"
 #include "util/timer.h"
 
@@ -31,6 +33,7 @@ struct PGroupAgg {
 
 MineResult CfdMine(const Corpus& corpus, const MinerOptions& options,
                    const CfdMinerOptions& cfd_options) {
+  ERMINER_SPAN("ctane/mine");
   Timer timer;
   MineResult result;
   RuleEvaluator evaluator(&corpus);
@@ -68,12 +71,15 @@ MineResult CfdMine(const Corpus& corpus, const MinerOptions& options,
     }
     if (x_members.size() > cfd_options.max_lhs) continue;
 
+    ERMINER_SPAN("ctane/node");
+    ERMINER_COUNT("ctane/nodes_expanded", 1);
     std::vector<int> xm_cols;
     for (size_t i : x_members) xm_cols.push_back(usable[i]);
     GroupIndex index =
         GroupIndex::Build(master, xm_cols, corpus.y_master());
     ++result.nodes_explored;
 
+    uint64_t candidates = 0, prune_confidence = 0, prune_support = 0;
     // Every proper constant subset P of X (wildcards W = X \ P nonempty).
     const uint32_t p_limit = 1u << x_members.size();
     for (uint32_t p_bits = 0; p_bits + 1 < p_limit; ++p_bits) {
@@ -91,7 +97,15 @@ MineResult CfdMine(const Corpus& corpus, const MinerOptions& options,
         }
       }
       for (const auto& [pkey, a] : agg) {
-        if (!a.confident || static_cast<double>(a.rows) < eta_m) continue;
+        ++candidates;
+        if (!a.confident) {
+          ++prune_confidence;
+          continue;
+        }
+        if (static_cast<double>(a.rows) < eta_m) {
+          ++prune_support;
+          continue;
+        }
         // Convert: wildcards -> LHS pairs, constants -> pattern conditions.
         EditingRule rule;
         rule.y_input = corpus.y_input();
@@ -122,6 +136,9 @@ MineResult CfdMine(const Corpus& corpus, const MinerOptions& options,
         pool.push_back({std::move(rule), stats});
       }
     }
+    ERMINER_COUNT("ctane/candidates", candidates);
+    ERMINER_COUNT("ctane/prune_confidence", prune_confidence);
+    ERMINER_COUNT("ctane/prune_master_support", prune_support);
   }
 
   result.rules = SelectTopKNonRedundant(std::move(pool), options.k);

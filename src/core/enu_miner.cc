@@ -4,6 +4,8 @@
 
 #include "core/action_space.h"
 #include "core/mask.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -32,6 +34,7 @@ struct Candidate {
 }  // namespace
 
 MineResult EnuMine(const Corpus& corpus, const MinerOptions& options) {
+  ERMINER_SPAN("enuminer/mine");
   Timer timer;
   MineResult result;
 
@@ -49,6 +52,8 @@ MineResult EnuMine(const Corpus& corpus, const MinerOptions& options) {
   queue.push_back({RuleKey{}, FullCover(corpus), 0, 0});
 
   while (!queue.empty() && result.nodes_explored < options.max_nodes) {
+    ERMINER_SPAN("enuminer/expand");
+    ERMINER_COUNT("enuminer/nodes_expanded", 1);
     LatticeNode node = std::move(queue.front());
     queue.pop_front();
 
@@ -65,14 +70,25 @@ MineResult EnuMine(const Corpus& corpus, const MinerOptions& options) {
     // serially, again in action order.
     std::vector<uint8_t> mask = ComputeMask(space, node.key, {});
     std::vector<Candidate> frontier;
+    // Prune reasons are tallied locally and published once per node.
+    uint64_t prune_masked = 0, prune_depth = 0, prune_duplicate = 0;
     for (int32_t a = 0; a < space.stop_action(); ++a) {
-      if (!mask[static_cast<size_t>(a)]) continue;
+      if (!mask[static_cast<size_t>(a)]) {
+        ++prune_masked;
+        continue;
+      }
       const bool is_lhs = space.IsLhsAction(a);
-      if (is_lhs && node.lhs_size >= options.max_lhs) continue;
-      if (!is_lhs && node.pattern_size >= options.max_pattern) continue;
+      if ((is_lhs && node.lhs_size >= options.max_lhs) ||
+          (!is_lhs && node.pattern_size >= options.max_pattern)) {
+        ++prune_depth;
+        continue;
+      }
 
       RuleKey child_key = KeyWith(node.key, a);
-      if (!discovered.insert(child_key).second) continue;  // already seen
+      if (!discovered.insert(child_key).second) {  // already seen
+        ++prune_duplicate;
+        continue;
+      }
       ++result.nodes_explored;
       Candidate c;
       c.action = a;
@@ -80,6 +96,10 @@ MineResult EnuMine(const Corpus& corpus, const MinerOptions& options) {
       c.key = std::move(child_key);
       frontier.push_back(std::move(c));
     }
+    ERMINER_COUNT("enuminer/prune_masked", prune_masked);
+    ERMINER_COUNT("enuminer/prune_depth", prune_depth);
+    ERMINER_COUNT("enuminer/prune_duplicate", prune_duplicate);
+    ERMINER_COUNT("enuminer/children_evaluated", frontier.size());
 
     GlobalPool().ParallelFor(0, frontier.size(), 1, [&](size_t b, size_t e) {
       for (size_t i = b; i < e; ++i) {
@@ -92,19 +112,31 @@ MineResult EnuMine(const Corpus& corpus, const MinerOptions& options) {
       }
     });
 
+    uint64_t prune_support = 0, pooled = 0, enqueued = 0, closed = 0;
     for (Candidate& c : frontier) {
       // Support pruning (Lemma 1): children cannot beat the threshold.
       if (static_cast<double>(c.stats.support) < options.support_threshold) {
+        ++prune_support;
         continue;
       }
-      if (!c.rule.lhs.empty()) pool.push_back({c.rule, c.stats});
+      if (!c.rule.lhs.empty()) {
+        pool.push_back({c.rule, c.stats});
+        ++pooled;
+      }
       // Refine further unless the rule already returns certain fixes
       // (Alg. 4 line 14); rules without an LHS must keep growing.
       if (c.rule.lhs.empty() || c.stats.certainty < 1.0) {
+        ++enqueued;
         queue.push_back({std::move(c.key), std::move(c.cover),
                          c.rule.LhsSize(), c.rule.PatternSize()});
+      } else {
+        ++closed;  // certain already: the subtree below is never opened
       }
     }
+    ERMINER_COUNT("enuminer/prune_support", prune_support);
+    ERMINER_COUNT("enuminer/rules_pooled", pooled);
+    ERMINER_COUNT("enuminer/children_enqueued", enqueued);
+    ERMINER_COUNT("enuminer/prune_certain", closed);
   }
 
   result.rules = SelectTopKNonRedundant(std::move(pool), options.k);

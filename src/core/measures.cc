@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace erminer {
@@ -72,6 +73,7 @@ struct MeasurePartial {
 RuleStats RuleEvaluator::Evaluate(const EditingRule& rule,
                                   const Cover& cover_in) {
   num_evaluations_.fetch_add(1, std::memory_order_relaxed);
+  ERMINER_COUNT("eval/rule_evaluations", 1);
   Cover cover = cover_in ? cover_in : CoverOf(*corpus_, rule.pattern);
   EvalCache::Entry entry = cache_.Get(rule.lhs);
   const auto& groups = entry.column->group;

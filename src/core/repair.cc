@@ -2,10 +2,15 @@
 
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace erminer {
 
 RepairOutcome ApplyRules(RuleEvaluator* evaluator,
                          const std::vector<ScoredRule>& rules) {
+  ERMINER_SPAN("repair/apply");
+  ERMINER_COUNT("repair/rules_applied", rules.size());
   const Corpus& corpus = evaluator->corpus();
   const size_t n = corpus.input().num_rows();
   RepairOutcome out;
@@ -40,6 +45,7 @@ RepairOutcome ApplyRules(RuleEvaluator* evaluator,
     out.score[r] = best_score;
     if (best != kNullCode) ++out.num_predictions;
   }
+  ERMINER_COUNT("repair/predictions", out.num_predictions);
   return out;
 }
 

@@ -1,5 +1,7 @@
 #include "core/violations.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace erminer {
@@ -7,6 +9,8 @@ namespace erminer {
 ViolationReport DetectViolations(RuleEvaluator* evaluator,
                                  const std::vector<ScoredRule>& rules,
                                  const ViolationOptions& options) {
+  ERMINER_SPAN("violations/detect");
+  ERMINER_COUNT("violations/rules_checked", rules.size());
   const Corpus& corpus = evaluator->corpus();
   const size_t y = static_cast<size_t>(corpus.y_input());
   ViolationReport report;
@@ -55,6 +59,8 @@ ViolationReport DetectViolations(RuleEvaluator* evaluator,
   }
   for (uint8_t f : flagged) report.num_flagged_rows += f;
   for (uint8_t m : missing_seen) report.num_missing_covered += m;
+  ERMINER_COUNT("violations/found", report.violations.size());
+  ERMINER_COUNT("violations/rows_flagged", report.num_flagged_rows);
   return report;
 }
 

@@ -11,6 +11,8 @@
 #include "data/instance_match.h"
 #include "datagen/generators.h"
 #include "eval/experiment.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rl/rl_miner.h"
 #include "util/thread_pool.h"
 
@@ -76,11 +78,39 @@ Result<LoadedData> LoadData(const Config& config) {
   return data;
 }
 
+/// Arms the trace recorder for the duration of the pipeline and writes the
+/// configured export files on the way out — RAII so the exports happen even
+/// when a stage fails early (a partial trace is exactly what you want when
+/// diagnosing why a stage returned an error).
+class ScopedObsExports {
+ public:
+  explicit ScopedObsExports(const Config& config)
+      : metrics_path_(config.Get("obs.metrics_json", "")),
+        trace_path_(config.Get("obs.trace_json", "")) {
+    if (!trace_path_.empty()) obs::TraceRecorder::Global().Enable();
+  }
+
+  ~ScopedObsExports() {
+    if (!metrics_path_.empty()) {
+      obs::MetricsRegistry::Global().WriteJsonFile(metrics_path_);
+    }
+    if (!trace_path_.empty()) {
+      obs::TraceRecorder::Global().WriteJsonFile(trace_path_);
+    }
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+};
+
 }  // namespace
 
 Result<PipelineReport> RunPipeline(const Config& config) {
   PipelineReport report;
   ConfigureThreadsFromConfig(config);
+  ScopedObsExports obs_exports(config);
+  ERMINER_SPAN("pipeline/run");
 
   // --- data ---
   ERMINER_ASSIGN_OR_RETURN(LoadedData data, LoadData(config));

@@ -11,6 +11,9 @@
 //             negations
 //   [repair]  mode = vote | certain ; overwrite
 //   [output]  repaired ; rules                      (optional CSV/rule paths)
+//   [obs]     metrics_json ; trace_json             (observability exports:
+//             metrics registry dump / Chrome trace of the run — see
+//             docs/observability.md)
 //   threads   top-level worker count (0 = hardware concurrency; default 1 =
 //             serial). Results are bit-identical for every value — see
 //             docs/parallelism.md.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace erminer {
@@ -32,9 +34,12 @@ EvalCache::Entry EvalCache::Get(const LhsPairs& lhs) {
   std::lock_guard<std::mutex> lk(mutex_);
   auto it = cache_.find(key);
   if (it != cache_.end()) {
+    ERMINER_COUNT("eval_cache/hits", 1);
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     return it->second.entry;
   }
+  ERMINER_COUNT("eval_cache/misses", 1);
+  ERMINER_SPAN("eval_cache/build");
 
   // Build the master index and the input-side column. The lock is held
   // across the build so one LHS is never built twice; the scans below are
@@ -56,6 +61,9 @@ EvalCache::Entry EvalCache::Get(const LhsPairs& lhs) {
   GlobalPool().ParallelFor(
       0, input.num_rows(), kDefaultGrain, [&](size_t rb, size_t re) {
         std::vector<ValueCode> probe(x_cols.size());
+        // Probe outcomes are tallied per chunk and published once, so the
+        // per-row cost stays a plain increment.
+        uint64_t probes = 0, probe_hits = 0;
         for (size_t r = rb; r < re; ++r) {
           bool null_key = false;
           for (size_t i = 0; i < x_cols.size(); ++i) {
@@ -65,12 +73,19 @@ EvalCache::Entry EvalCache::Get(const LhsPairs& lhs) {
               break;
             }
           }
-          if (!null_key) out[r] = idx.Find(probe);
+          if (!null_key) {
+            out[r] = idx.Find(probe);
+            ++probes;
+            if (out[r] != nullptr) ++probe_hits;
+          }
         }
+        ERMINER_COUNT("eval_cache/probes", probes);
+        ERMINER_COUNT("eval_cache/probe_hits", probe_hits);
       });
   ++num_built_;
 
   if (cache_.size() >= capacity_) {
+    ERMINER_COUNT("eval_cache/evictions", 1);
     const Key& victim = lru_.back();
     cache_.erase(victim);
     lru_.pop_back();

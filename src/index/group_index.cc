@@ -1,11 +1,15 @@
 #include "index/group_index.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace erminer {
 
 GroupIndex GroupIndex::Build(const Table& master,
                              const std::vector<int>& xm_cols, int ym_col) {
+  ERMINER_SPAN("group_index/build");
+  ERMINER_COUNT("group_index/builds", 1);
   GroupIndex idx;
   idx.xm_cols_ = xm_cols;
   ERMINER_CHECK(ym_col >= 0 &&
@@ -72,6 +76,7 @@ GroupIndex GroupIndex::Build(const Table& master,
       }
     }
   }
+  ERMINER_COUNT("group_index/groups_built", idx.groups_.size());
   return idx;
 }
 

@@ -1,0 +1,231 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace erminer::obs {
+
+namespace {
+
+/// Default decade grid for histograms registered without explicit bounds:
+/// 1e-6, 1e-5, ..., 1e3 (covers sub-microsecond timings through seconds,
+/// and typical loss magnitudes).
+std::vector<double> DefaultBounds() {
+  std::vector<double> b;
+  for (int e = -6; e <= 3; ++e) {
+    double v = 1.0;
+    for (int i = 0; i < (e < 0 ? -e : e); ++i) v *= 10.0;
+    b.push_back(e < 0 ? 1.0 / v : v);
+  }
+  return b;
+}
+
+void AtomicAddDouble(std::atomic<double>* a, double d) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+/// JSON numbers: counters print as integers, doubles with enough precision
+/// to round-trip typical values; NaN/inf (never produced by our metrics,
+/// but cheap to guard) print as 0.
+std::string JsonDouble(double v) {
+  if (!(v == v) || v > 1e308 || v < -1e308) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void AppendQuoted(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = DefaultBounds();
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double v) {
+  // First bucket whose upper bound admits v; the overflow bucket otherwise.
+  size_t b = std::upper_bound(bounds_.begin(), bounds_.end(), v) -
+             bounds_.begin();
+  if (b > 0 && bounds_[b - 1] == v) b -= 1;  // inclusive upper bounds
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, v);
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked so instrumented code in static destructors stays safe.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData d;
+    d.bounds = h->bounds();
+    d.buckets = h->bucket_counts();
+    d.count = h->count();
+    d.sum = h->sum();
+    snap.histograms[name] = std::move(d);
+  }
+  return snap;
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << ToJson() << "\n";
+  return static_cast<bool>(os);
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+size_t MetricsRegistry::num_metrics() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot d = *this;
+  for (auto& [name, v] : d.counters) {
+    auto it = earlier.counters.find(name);
+    if (it != earlier.counters.end()) v = v >= it->second ? v - it->second : v;
+  }
+  for (auto& [name, h] : d.histograms) {
+    auto it = earlier.histograms.find(name);
+    if (it == earlier.histograms.end()) continue;
+    const HistogramData& e = it->second;
+    if (h.count < e.count || h.buckets.size() != e.buckets.size()) continue;
+    for (size_t i = 0; i < h.buckets.size(); ++i) h.buckets[i] -= e.buckets[i];
+    h.count -= e.count;
+    h.sum -= e.sum;
+  }
+  return d;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ",";
+    first = false;
+    AppendQuoted(&out, name);
+    out += ":" + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ",";
+    first = false;
+    AppendQuoted(&out, name);
+    out += ":" + JsonDouble(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ",";
+    first = false;
+    AppendQuoted(&out, name);
+    out += ":{\"bounds\":[";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out += ",";
+      out += JsonDouble(h.bounds[i]);
+    }
+    out += "],\"buckets\":[";
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i) out += ",";
+      out += std::to_string(h.buckets[i]);
+    }
+    out += "],\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":" + JsonDouble(h.sum) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::CountersJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (v == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    AppendQuoted(&out, name);
+    out += ":" + std::to_string(v);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace erminer::obs

@@ -1,0 +1,169 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms.
+//
+// Design constraints (see docs/observability.md):
+//   - Hot-path increments are lock-free relaxed atomics; the registry mutex
+//     is taken only on first lookup of a name. Call sites cache the returned
+//     reference (the ERMINER_COUNT / ERMINER_HISTOGRAM macros do this with a
+//     function-local static), so steady-state cost is one atomic add.
+//   - Metrics are registered forever: references returned by the registry
+//     stay valid for the life of the process. ResetAll() zeroes values but
+//     never removes objects, so cached references survive test resets.
+//   - The library is dependency-free (standard library only) so the lowest
+//     layers — erminer_util's thread pool included — can be instrumented
+//     without a dependency cycle.
+//
+// Naming scheme: "<subsystem>/<event>", e.g. "enuminer/nodes_expanded",
+// "eval_cache/hits". Counters count events, gauges hold last-set values
+// (e.g. "rl/replay_size"), histograms record distributions ("dqn/loss").
+
+#ifndef ERMINER_OBS_METRICS_H_
+#define ERMINER_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace erminer::obs {
+
+/// Monotone event counter. Inc is wait-free.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value gauge with atomic add (CAS loop, exact for integral steps).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds;
+/// one overflow bucket is appended implicitly. Observe is wait-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<uint64_t> bucket_counts() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// A point-in-time copy of every metric, subtractable so bench trials can
+/// report per-trial deltas. Plain data; safe to keep across ResetAll().
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<uint64_t> buckets;
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  /// Counters and histograms become deltas (clamped at 0 for metrics that
+  /// were reset in between); gauges keep their current value.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& earlier) const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+
+  /// Inner JSON object of the non-zero counters only (for BENCH_JSON
+  /// records): {"enuminer/nodes_expanded":123,...}.
+  std::string CountersJson() const;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Find-or-create. The returned reference is valid forever. Requesting an
+  /// existing name as a different kind is an error (returns the existing
+  /// object of the requested kind if present, otherwise aborts in debug;
+  /// callers use distinct names per kind by convention).
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  /// `bounds` is consulted only on first registration of `name`; empty
+  /// bounds default to a decade grid covering 1e-6..1e3.
+  Histogram& GetHistogram(std::string_view name,
+                          std::vector<double> bounds = {});
+
+  MetricsSnapshot Snapshot() const;
+  std::string ToJson() const { return Snapshot().ToJson(); }
+  /// Writes ToJson() to `path`; returns false on I/O failure.
+  bool WriteJsonFile(const std::string& path) const;
+
+  /// Zeroes every metric (objects stay registered; references stay valid).
+  void ResetAll();
+
+  size_t num_metrics() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace erminer::obs
+
+/// Hot-path macros: the registry lookup happens once per call site (magic
+/// static), after which each hit is a single relaxed atomic operation.
+#define ERMINER_COUNT(name, n)                                              \
+  do {                                                                      \
+    static ::erminer::obs::Counter& erminer_obs_counter_ =                  \
+        ::erminer::obs::MetricsRegistry::Global().GetCounter(name);         \
+    erminer_obs_counter_.Inc(n);                                            \
+  } while (0)
+
+#define ERMINER_GAUGE_SET(name, v)                                          \
+  do {                                                                      \
+    static ::erminer::obs::Gauge& erminer_obs_gauge_ =                      \
+        ::erminer::obs::MetricsRegistry::Global().GetGauge(name);           \
+    erminer_obs_gauge_.Set(v);                                              \
+  } while (0)
+
+#define ERMINER_HISTOGRAM(name, v)                                          \
+  do {                                                                      \
+    static ::erminer::obs::Histogram& erminer_obs_hist_ =                   \
+        ::erminer::obs::MetricsRegistry::Global().GetHistogram(name);       \
+    erminer_obs_hist_.Observe(v);                                           \
+  } while (0)
+
+#endif  // ERMINER_OBS_METRICS_H_

@@ -1,0 +1,151 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace erminer::obs {
+
+namespace {
+
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s; ++s) {
+    if (*s == '"' || *s == '\\') out->push_back('\\');
+    out->push_back(*s);
+  }
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder& TraceRecorder::Global() {
+  // Leaked: spans in static destructors (and pool workers shutting down
+  // after main) must still find a live recorder.
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::LocalBuffer() {
+  // The shared_ptr keeps the buffer alive in buffers_ after thread exit, so
+  // events recorded by short-lived threads survive until export.
+  thread_local std::shared_ptr<ThreadBuffer> local = [this] {
+    auto buf = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lk(mutex_);
+    buf->tid = next_tid_++;
+    buf->name = buf->tid == 0 ? "main" : "";
+    buffers_.push_back(buf);
+    return buf;
+  }();
+  return *local;
+}
+
+void TraceRecorder::Enable() {
+  Clear();
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    epoch_ = std::chrono::steady_clock::now();
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void TraceRecorder::SetCurrentThreadName(const std::string& name) {
+  ThreadBuffer& buf = LocalBuffer();
+  std::lock_guard<std::mutex> lk(buf.mutex);
+  buf.name = name;
+}
+
+void TraceRecorder::Record(const char* name, int64_t ts_us, int64_t dur_us) {
+  ThreadBuffer& buf = LocalBuffer();
+  std::lock_guard<std::mutex> lk(buf.mutex);
+  buf.events.push_back(TraceEvent{name, ts_us, dur_us});
+}
+
+int64_t TraceRecorder::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::string TraceRecorder::ToJson() const {
+  // Copy out under the locks, then serialize unlocked.
+  struct Dump {
+    uint32_t tid;
+    std::string name;
+    std::vector<TraceEvent> events;
+  };
+  std::vector<Dump> dumps;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    dumps.reserve(buffers_.size());
+    for (const auto& buf : buffers_) {
+      std::lock_guard<std::mutex> blk(buf->mutex);
+      dumps.push_back(Dump{buf->tid, buf->name, buf->events});
+    }
+  }
+  std::sort(dumps.begin(), dumps.end(),
+            [](const Dump& a, const Dump& b) { return a.tid < b.tid; });
+
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const Dump& d : dumps) {
+    if (!d.name.empty()) {
+      if (!first) out += ",\n";
+      first = false;
+      out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+             std::to_string(d.tid) + ",\"args\":{\"name\":\"";
+      AppendEscaped(&out, d.name.c_str());
+      out += "\"}}";
+    }
+    // Buffers record in end order; sort by start so parents precede their
+    // children, which keeps per-tid output deterministic and lets line
+    // parsers recover nesting with a simple stack.
+    std::vector<TraceEvent> events = d.events;
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                       return a.dur_us > b.dur_us;  // parent first
+                     });
+    for (const TraceEvent& e : events) {
+      if (!first) out += ",\n";
+      first = false;
+      out += "{\"name\":\"";
+      AppendEscaped(&out, e.name);
+      out += "\",\"ph\":\"X\",\"ts\":" + std::to_string(e.ts_us) +
+             ",\"dur\":" + std::to_string(e.dur_us) +
+             ",\"pid\":1,\"tid\":" + std::to_string(d.tid) + "}";
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool TraceRecorder::WriteJsonFile(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << ToJson() << "\n";
+  return static_cast<bool>(os);
+}
+
+size_t TraceRecorder::num_events() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  size_t n = 0;
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> blk(buf->mutex);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> blk(buf->mutex);
+    buf->events.clear();
+  }
+}
+
+}  // namespace erminer::obs

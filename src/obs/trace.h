@@ -1,0 +1,119 @@
+// Scoped trace spans serialized as Chrome trace-event JSON.
+//
+//   ERMINER_SPAN("enuminer/expand");   // RAII: records [ctor, dtor)
+//
+// Recording is off by default: a disarmed span costs one relaxed atomic
+// load and two branches, so hot loops can stay instrumented permanently.
+// When armed (TraceRecorder::Enable, driven by the --trace-json flags),
+// every span end appends one complete event to the recording thread's own
+// buffer — the thread-pool workers each own one, so recording never
+// contends across threads — and Export() serializes all buffers as
+//   {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,
+//                    "pid":1,"tid":N}, ...]}
+// loadable in chrome://tracing or https://ui.perfetto.dev. Events nest by
+// interval containment per tid, which RAII scoping guarantees.
+//
+// Span names must be string literals (they are stored as const char*).
+// Export is meant to run at quiescence (after the traced workload); spans
+// still open at export time are simply absent from the output.
+
+#ifndef ERMINER_OBS_TRACE_H_
+#define ERMINER_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace erminer::obs {
+
+struct TraceEvent {
+  const char* name;  // string literal
+  int64_t ts_us;     // microseconds since the recorder epoch
+  int64_t dur_us;
+};
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  /// Starts recording (idempotent). Clears previously recorded events and
+  /// re-bases the epoch so timestamps start near zero.
+  void Enable();
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Names the calling thread in the exported trace (metadata event). The
+  /// thread pool labels its workers "pool-worker-N"; the main thread
+  /// defaults to "main".
+  void SetCurrentThreadName(const std::string& name);
+
+  /// Appends one complete event for the calling thread. Called by TraceSpan;
+  /// public for tests.
+  void Record(const char* name, int64_t ts_us, int64_t dur_us);
+
+  int64_t NowMicros() const;
+
+  /// Chrome trace JSON; one event per line (tools/trace_stats.cc relies on
+  /// this). Pass sort=true for deterministic output ordered by (tid, ts).
+  std::string ToJson() const;
+  bool WriteJsonFile(const std::string& path) const;
+
+  size_t num_events() const;
+  /// Drops all recorded events (buffers stay registered).
+  void Clear();
+
+ private:
+  struct ThreadBuffer {
+    uint32_t tid = 0;
+    std::string name;
+    mutable std::mutex mutex;  // writer vs. export
+    std::vector<TraceEvent> events;
+  };
+
+  TraceRecorder();
+  ThreadBuffer& LocalBuffer();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mutex_;  // guards buffers_ registration and epoch_
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  uint32_t next_tid_ = 0;
+};
+
+/// RAII span; see ERMINER_SPAN.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    TraceRecorder& rec = TraceRecorder::Global();
+    if (!rec.enabled()) return;
+    name_ = name;
+    start_us_ = rec.NowMicros();
+  }
+  ~TraceSpan() {
+    if (name_ == nullptr) return;
+    TraceRecorder& rec = TraceRecorder::Global();
+    if (!rec.enabled()) return;  // disabled mid-span: drop it
+    rec.Record(name_, start_us_, rec.NowMicros() - start_us_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  int64_t start_us_ = 0;
+};
+
+}  // namespace erminer::obs
+
+#define ERMINER_OBS_CONCAT_INNER(a, b) a##b
+#define ERMINER_OBS_CONCAT(a, b) ERMINER_OBS_CONCAT_INNER(a, b)
+#define ERMINER_SPAN(name) \
+  ::erminer::obs::TraceSpan ERMINER_OBS_CONCAT(erminer_span_, __LINE__)(name)
+
+#endif  // ERMINER_OBS_TRACE_H_

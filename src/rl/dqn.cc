@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "nn/loss.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace erminer {
@@ -112,8 +114,11 @@ Tensor DqnAgent::Densify(const std::vector<const Transition*>& batch,
 
 float DqnAgent::TrainStep() {
   if (replay_size() < std::max(options_.min_replay, options_.batch_size)) {
+    ERMINER_COUNT("dqn/steps_skipped", 1);
     return 0.0f;
   }
+  ERMINER_SPAN("dqn/train_step");
+  ERMINER_COUNT("dqn/train_steps", 1);
   std::vector<const Transition*> batch;
   PrioritizedSample per;
   std::vector<float> is_weights;
@@ -184,7 +189,9 @@ float DqnAgent::TrainStep() {
   ++updates_done_;
   if (updates_done_ % options_.target_sync_every == 0) {
     target_->CopyWeightsFrom(*online_);
+    ERMINER_COUNT("dqn/target_syncs", 1);
   }
+  ERMINER_HISTOGRAM("dqn/loss", loss);
   return loss;
 }
 

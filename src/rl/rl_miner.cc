@@ -1,5 +1,7 @@
 #include "rl/rl_miner.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace erminer {
@@ -83,9 +85,11 @@ int32_t RlMiner::SelectTrainingAction(const RuleKey& state,
 
 void RlMiner::Train(size_t steps) {
   if (steps == 0) steps = options_.train_steps;
+  ERMINER_SPAN("rl/train");
   Timer timer;
   const size_t end = steps_done_ + steps;
   while (steps_done_ < end) {
+    ERMINER_SPAN("rl/episode");
     env_.Reset();
     ++episodes_done_;
     log_.BeginEpisode();
@@ -106,11 +110,14 @@ void RlMiner::Train(size_t steps) {
       ++episode_steps;
     }
     log_.EndEpisode(env_.leaves().size());
+    ERMINER_GAUGE_SET("rl/replay_size",
+                      static_cast<double>(agent_->replay_size()));
   }
   last_train_seconds_ = timer.Seconds();
 }
 
 MineResult RlMiner::Infer() {
+  ERMINER_SPAN("rl/infer");
   Timer timer;
   MineResult result;
   // First a purely greedy episode; if it ends before K distinct rules are
@@ -142,6 +149,7 @@ MineResult RlMiner::Infer() {
   // so a short greedy walk still returns K rules.
   for (const auto& sr : env_.global_pool()) pool.push_back(sr);
   result.rules = SelectTopKNonRedundant(std::move(pool), options_.base.k);
+  ERMINER_COUNT("rl/inference_steps", total_steps);
   result.inference_steps = total_steps;
   result.nodes_explored = env_.total_nodes();
   result.rule_evaluations = evaluator_.num_evaluations();

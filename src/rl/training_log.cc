@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace erminer {
@@ -31,6 +32,14 @@ void TrainingLog::EndEpisode(size_t leaves) {
   current_.leaves = leaves;
   current_.mean_loss =
       loss_samples_ > 0 ? loss_sum_ / static_cast<double>(loss_samples_) : 0;
+  // The log doubles as a consumer of the process-wide metrics registry, so
+  // episode telemetry shows up in --metrics-json next to the search and
+  // cache counters without a second plumbing path.
+  ERMINER_COUNT("rl/episodes", 1);
+  ERMINER_COUNT("rl/steps", current_.steps);
+  ERMINER_COUNT("rl/leaves", current_.leaves);
+  ERMINER_HISTOGRAM("rl/episode_return", current_.total_reward);
+  if (loss_samples_ > 0) ERMINER_HISTOGRAM("rl/episode_loss", current_.mean_loss);
   episodes_.push_back(current_);
 }
 

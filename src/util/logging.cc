@@ -1,5 +1,7 @@
 #include "util/logging.h"
 
+#include <cstdio>
+
 namespace erminer {
 
 namespace {
@@ -37,7 +39,15 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
 }
 
-LogMessage::~LogMessage() { std::cerr << stream_.str() << std::endl; }
+LogMessage::~LogMessage() {
+  // One write per line: concurrent ERMINER_LOG calls from pool workers must
+  // not interleave fragments. The full line (newline included) is formatted
+  // first and handed to stdio in a single call — stderr is unbuffered, so
+  // this reaches the fd as one write.
+  stream_ << '\n';
+  const std::string line = stream_.str();
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
 
 }  // namespace internal_logging
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/config.h"
 #include "util/status.h"
 
@@ -63,12 +66,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::WorkerLoop(size_t id) {
+  obs::TraceRecorder::Global().SetCurrentThreadName("pool-worker-" +
+                                                    std::to_string(id));
   while (true) {
     Task task;
     if (TryAcquire(id, &task)) {
       RunTask(task);
       continue;
     }
+    ERMINER_COUNT("thread_pool/worker_sleeps", 1);
     std::unique_lock<std::mutex> lk(sleep_mutex_);
     wake_cv_.wait(lk, [this] { return stop_.load() || pending_.load() > 0; });
     if (stop_.load() && pending_.load() == 0) return;
@@ -89,6 +95,7 @@ bool ThreadPool::TryAcquire(size_t home, Task* task) {
     } else {
       *task = q.tasks.back();  // steal from the victim's cold end
       q.tasks.pop_back();
+      ERMINER_COUNT("thread_pool/steals", 1);
     }
     pending_.fetch_sub(1);
     return true;
@@ -97,6 +104,7 @@ bool ThreadPool::TryAcquire(size_t home, Task* task) {
 }
 
 void ThreadPool::RunTask(const Task& task) {
+  ERMINER_COUNT("thread_pool/tasks", 1);
   Batch* b = task.batch;
   const size_t cb = b->begin + task.chunk * b->grain;
   const size_t ce = std::min(b->end, cb + b->grain);
@@ -123,6 +131,7 @@ void ThreadPool::RunTask(const Task& task) {
 }
 
 void ThreadPool::RunBatch(Batch* batch) {
+  ERMINER_COUNT("thread_pool/batches", 1);
   // Deal chunks round-robin across the worker deques so every worker has a
   // contiguous-ish share to start from; imbalance is fixed by stealing.
   for (size_t c = 0; c < batch->chunks; ++c) {
@@ -149,6 +158,7 @@ void ThreadPool::RunBatch(Batch* batch) {
 }
 
 void ThreadPool::RunBatchInline(Batch* batch) {
+  ERMINER_COUNT("thread_pool/batches_inline", 1);
   for (size_t c = 0; c < batch->chunks; ++c) {
     const size_t cb = batch->begin + c * batch->grain;
     const size_t ce = std::min(batch->end, cb + batch->grain);

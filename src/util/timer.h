@@ -1,9 +1,15 @@
-// Wall-clock timer used by the experiment harness.
+// Wall-clock timer used by the experiment harness, plus process resource
+// probes (CPU time and peak RSS) reported next to wall time in BENCH_JSON.
 
 #ifndef ERMINER_UTIL_TIMER_H_
 #define ERMINER_UTIL_TIMER_H_
 
 #include <chrono>
+#include <cstddef>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace erminer {
 
@@ -24,6 +30,38 @@ class Timer {
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
+
+/// Process CPU time (user + system) in seconds since start, via getrusage.
+/// Wall time >> CPU time means blocking; CPU time ~ threads x wall time
+/// means the pool is actually busy. Returns 0 where getrusage is missing.
+inline double CpuSeconds() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage u{};
+  if (getrusage(RUSAGE_SELF, &u) != 0) return 0.0;
+  auto secs = [](const timeval& t) {
+    return static_cast<double>(t.tv_sec) +
+           static_cast<double>(t.tv_usec) * 1e-6;
+  };
+  return secs(u.ru_utime) + secs(u.ru_stime);
+#else
+  return 0.0;
+#endif
+}
+
+/// Peak resident set size of the process in bytes (0 where unsupported).
+inline size_t PeakRssBytes() {
+#if defined(__APPLE__)
+  rusage u{};
+  if (getrusage(RUSAGE_SELF, &u) != 0) return 0;
+  return static_cast<size_t>(u.ru_maxrss);  // bytes on macOS
+#elif defined(__unix__)
+  rusage u{};
+  if (getrusage(RUSAGE_SELF, &u) != 0) return 0;
+  return static_cast<size_t>(u.ru_maxrss) * 1024;  // kilobytes on Linux
+#else
+  return 0;
+#endif
+}
 
 }  // namespace erminer
 

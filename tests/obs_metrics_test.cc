@@ -1,0 +1,166 @@
+// Registry correctness: counter/gauge/histogram semantics, name-identity,
+// snapshot deltas, and JSON export shape. A minimal test-local JSON reader
+// keeps the round-trip assertions honest without pulling in a JSON library.
+
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace erminer::obs {
+namespace {
+
+// Extracts the numeric value following "\"key\":" in a JSON string, or NaN
+// when the key is absent. Good enough for the flat objects we emit.
+double JsonNumber(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  size_t pos = json.find(needle);
+  if (pos == std::string::npos) return std::nan("");
+  return std::strtod(json.c_str() + pos + needle.size(), nullptr);
+}
+
+TEST(CounterTest, IncAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.Add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.Add(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, BucketAssignment) {
+  // Bounds are inclusive upper bounds; one overflow bucket is implicit.
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // <= 1      -> bucket 0
+  h.Observe(1.0);    // == bound  -> bucket 0 (inclusive)
+  h.Observe(5.0);    // <= 10     -> bucket 1
+  h.Observe(100.0);  // == bound  -> bucket 2
+  h.Observe(1e6);    // overflow  -> bucket 3
+  std::vector<uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 100.0 + 1e6);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  for (uint64_t b : h.bucket_counts()) EXPECT_EQ(b, 0u);
+}
+
+TEST(RegistryTest, SameNameSameObject) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& a = reg.GetCounter("obs_test/identity");
+  Counter& b = reg.GetCounter("obs_test/identity");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = reg.GetGauge("obs_test/identity_gauge");
+  Gauge& g2 = reg.GetGauge("obs_test/identity_gauge");
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 = reg.GetHistogram("obs_test/identity_hist", {1.0, 2.0});
+  Histogram& h2 = reg.GetHistogram("obs_test/identity_hist", {9.0});
+  EXPECT_EQ(&h1, &h2);
+  // Bounds from the first registration win.
+  EXPECT_EQ(h1.bounds().size(), 2u);
+}
+
+TEST(RegistryTest, MacrosHitTheGlobalRegistry) {
+  Counter& c = MetricsRegistry::Global().GetCounter("obs_test/macro_count");
+  c.Reset();
+  for (int i = 0; i < 3; ++i) ERMINER_COUNT("obs_test/macro_count", 2);
+  EXPECT_EQ(c.value(), 6u);
+
+  ERMINER_GAUGE_SET("obs_test/macro_gauge", 7.25);
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::Global().GetGauge("obs_test/macro_gauge").value(),
+      7.25);
+
+  Histogram& h = MetricsRegistry::Global().GetHistogram("obs_test/macro_hist");
+  const uint64_t before = h.count();
+  ERMINER_HISTOGRAM("obs_test/macro_hist", 0.5);
+  EXPECT_EQ(h.count(), before + 1);
+}
+
+TEST(RegistryTest, SnapshotDelta) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& c = reg.GetCounter("obs_test/delta_count");
+  c.Reset();
+  c.Inc(10);
+  MetricsSnapshot before = reg.Snapshot();
+  c.Inc(32);
+  MetricsSnapshot delta = reg.Snapshot().DeltaSince(before);
+  EXPECT_EQ(delta.counters.at("obs_test/delta_count"), 32u);
+
+  // A counter that was reset in between must clamp, not underflow.
+  c.Reset();
+  c.Inc(5);
+  MetricsSnapshot after_reset = reg.Snapshot().DeltaSince(before);
+  EXPECT_EQ(after_reset.counters.at("obs_test/delta_count"), 5u);
+}
+
+TEST(RegistryTest, JsonRoundTrip) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("obs_test/json_count").Reset();
+  reg.GetCounter("obs_test/json_count").Inc(123);
+  reg.GetGauge("obs_test/json_gauge").Set(2.5);
+  Histogram& h = reg.GetHistogram("obs_test/json_hist", {1.0, 10.0});
+  h.Reset();
+  h.Observe(0.5);
+  h.Observe(50.0);
+
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_DOUBLE_EQ(JsonNumber(json, "obs_test/json_count"), 123.0);
+  EXPECT_DOUBLE_EQ(JsonNumber(json, "obs_test/json_gauge"), 2.5);
+  // The histogram object carries count and sum.
+  size_t hist_pos = json.find("obs_test/json_hist");
+  ASSERT_NE(hist_pos, std::string::npos);
+  const std::string hist_json = json.substr(hist_pos);
+  EXPECT_DOUBLE_EQ(JsonNumber(hist_json, "count"), 2.0);
+  EXPECT_DOUBLE_EQ(JsonNumber(hist_json, "sum"), 50.5);
+}
+
+TEST(RegistryTest, CountersJsonSkipsZeroes) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("obs_test/zero_count").Reset();
+  reg.GetCounter("obs_test/nonzero_count").Reset();
+  reg.GetCounter("obs_test/nonzero_count").Inc(9);
+  const std::string json = reg.Snapshot().CountersJson();
+  EXPECT_EQ(json.find("obs_test/zero_count"), std::string::npos);
+  EXPECT_DOUBLE_EQ(JsonNumber(json, "obs_test/nonzero_count"), 9.0);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(RegistryTest, ResetAllKeepsReferencesValid) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& c = reg.GetCounter("obs_test/reset_all");
+  c.Inc(7);
+  const size_t n = reg.num_metrics();
+  reg.ResetAll();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(reg.num_metrics(), n);  // objects survive, values zeroed
+  c.Inc(1);                         // cached reference still works
+  EXPECT_EQ(c.value(), 1u);
+}
+
+}  // namespace
+}  // namespace erminer::obs

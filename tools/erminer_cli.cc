@@ -38,6 +38,12 @@
 //
 // Every command accepts --threads=N (0 = hardware concurrency, default 1 =
 // serial). Results are bit-identical for every N; see docs/parallelism.md.
+//
+// Every command also accepts --metrics-json=FILE (dump the process-wide
+// metrics registry: node expansions, prune reasons, cache hit/miss, DQN
+// stats, ...) and --trace-json=FILE (record scoped spans and write Chrome
+// trace-event JSON viewable in chrome://tracing or Perfetto); see
+// docs/observability.md.
 
 #include <cstdio>
 #include <cstring>
@@ -59,6 +65,8 @@
 #include "datagen/generators.h"
 #include "eval/experiment.h"
 #include "eval/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rl/rl_miner.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -410,13 +418,31 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv, 2);
   // Sized once up front; a pipeline config's `threads` key may override.
   SetGlobalThreads(flags.GetInt("threads", 1));
+  // Observability exports are global flags too: tracing must be armed
+  // before the command runs, and both files are written after it returns
+  // (whatever its exit code, so a partial run still explains itself).
+  const std::string metrics_json = flags.Get("metrics-json");
+  const std::string trace_json = flags.Get("trace-json");
+  if (!trace_json.empty()) obs::TraceRecorder::Global().Enable();
   std::string cmd = argv[1];
-  if (cmd == "generate") return CmdGenerate(&flags);
-  if (cmd == "mine") return CmdMine(&flags);
-  if (cmd == "repair") return CmdRepair(&flags);
-  if (cmd == "eval") return CmdEval(&flags);
-  if (cmd == "profile") return CmdProfile(&flags);
-  if (cmd == "detect") return CmdDetect(&flags);
-  if (cmd == "pipeline") return CmdPipeline(&flags);
-  return Usage();
+  int rc;
+  if (cmd == "generate") rc = CmdGenerate(&flags);
+  else if (cmd == "mine") rc = CmdMine(&flags);
+  else if (cmd == "repair") rc = CmdRepair(&flags);
+  else if (cmd == "eval") rc = CmdEval(&flags);
+  else if (cmd == "profile") rc = CmdProfile(&flags);
+  else if (cmd == "detect") rc = CmdDetect(&flags);
+  else if (cmd == "pipeline") rc = CmdPipeline(&flags);
+  else return Usage();
+  if (!metrics_json.empty() &&
+      !obs::MetricsRegistry::Global().WriteJsonFile(metrics_json)) {
+    std::fprintf(stderr, "failed to write %s\n", metrics_json.c_str());
+    return 1;
+  }
+  if (!trace_json.empty() &&
+      !obs::TraceRecorder::Global().WriteJsonFile(trace_json)) {
+    std::fprintf(stderr, "failed to write %s\n", trace_json.c_str());
+    return 1;
+  }
+  return rc;
 }

@@ -1,0 +1,154 @@
+// Summarizes a Chrome trace JSON file written by --trace-json: per-span-name
+// totals, self time (duration minus time spent in child spans) and call
+// counts, sorted by self time. Answers "where did the mining seconds go"
+// from the command line, without loading the trace into a browser.
+//
+//   trace_stats --trace=FILE [--top=N]
+//
+// Parses the one-event-per-line format TraceRecorder::ToJson emits (this is
+// a contract: see src/obs/trace.h). Self time uses the per-tid export order
+// — events sorted by (ts asc, dur desc), so a parent precedes the children
+// it contains — with an interval stack: when an event starts inside the
+// interval on top of the stack, its duration is subtracted from that
+// parent's self time.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Event {
+  std::string name;
+  int64_t ts = 0;
+  int64_t dur = 0;
+  int64_t tid = 0;
+};
+
+struct NameStats {
+  uint64_t calls = 0;
+  int64_t total_us = 0;
+  int64_t self_us = 0;
+};
+
+std::string JsonString(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return "";
+  pos += needle.size();
+  return line.substr(pos, line.find('"', pos) - pos);
+}
+
+bool JsonInt(const std::string& line, const char* key, int64_t* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtoll(line.c_str() + pos + needle.size(), nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  size_t top = 10;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--trace=", 8) == 0) {
+      path = a + 8;
+    } else if (std::strncmp(a, "--top=", 6) == 0) {
+      top = static_cast<size_t>(std::atoll(a + 6));
+    } else {
+      std::fprintf(stderr, "usage: trace_stats --trace=FILE [--top=N]\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: trace_stats --trace=FILE [--top=N]\n");
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+
+  // One complete ("X") event per line; metadata ("M") lines are skipped.
+  std::vector<Event> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"ph\":\"X\"") == std::string::npos) continue;
+    Event e;
+    e.name = JsonString(line, "name");
+    if (e.name.empty()) continue;
+    if (!JsonInt(line, "ts", &e.ts) || !JsonInt(line, "dur", &e.dur) ||
+        !JsonInt(line, "tid", &e.tid)) {
+      continue;
+    }
+    events.push_back(std::move(e));
+  }
+  if (events.empty()) {
+    std::fprintf(stderr, "no complete events in %s\n", path.c_str());
+    return 1;
+  }
+
+  // The file is already in per-tid (ts asc, dur desc) order, but re-sorting
+  // makes the tool robust to traces merged or filtered by other scripts.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     return a.dur > b.dur;
+                   });
+
+  std::map<std::string, NameStats> stats;
+  int64_t wall_us = 0;
+  // Interval stack per tid: pop every frame that ended before this event
+  // starts; whatever remains on top is the enclosing parent.
+  std::vector<const Event*> stack;
+  int64_t cur_tid = -1;
+  for (const Event& e : events) {
+    if (e.tid != cur_tid) {
+      stack.clear();
+      cur_tid = e.tid;
+    }
+    while (!stack.empty() &&
+           stack.back()->ts + stack.back()->dur <= e.ts) {
+      stack.pop_back();
+    }
+    NameStats& s = stats[e.name];
+    s.calls += 1;
+    s.total_us += e.dur;
+    s.self_us += e.dur;
+    if (!stack.empty()) stats[stack.back()->name].self_us -= e.dur;
+    stack.push_back(&e);
+    wall_us = std::max(wall_us, e.ts + e.dur);
+  }
+
+  std::vector<std::pair<std::string, NameStats>> rows(stats.begin(),
+                                                      stats.end());
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.self_us > b.second.self_us;
+                   });
+
+  std::printf("%zu events, %.3f s traced (max end timestamp)\n",
+              events.size(), static_cast<double>(wall_us) * 1e-6);
+  std::printf("%-32s %10s %12s %12s\n", "span", "calls", "total_ms",
+              "self_ms");
+  for (size_t i = 0; i < rows.size() && i < top; ++i) {
+    const NameStats& s = rows[i].second;
+    std::printf("%-32s %10llu %12.3f %12.3f\n", rows[i].first.c_str(),
+                static_cast<unsigned long long>(s.calls),
+                static_cast<double>(s.total_us) * 1e-3,
+                static_cast<double>(s.self_us) * 1e-3);
+  }
+  return 0;
+}
