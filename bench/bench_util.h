@@ -3,6 +3,9 @@
 // Every binary runs at a scaled-down default so the whole suite finishes in
 // minutes on one core, and accepts:
 //   --full        paper-scale dataset sizes and training budgets
+//   --no-refine   build every LHS index from scratch (disables the
+//                 partition-refinement engine, docs/perf.md) — results are
+//                 bit-identical either way; only the timings move
 //   --trials=N    repetitions (mean +- std is reported)
 //   --seed=N      base RNG seed
 //   --threads=N   worker threads (0 = hardware concurrency, default 1);
@@ -56,7 +59,8 @@ inline void ExportObsFiles() {
 
 struct BenchFlags {
   bool full = false;
-  size_t trials = 0;  // 0 = per-bench default
+  bool no_refine = false;  // build every LHS index from scratch
+  size_t trials = 0;       // 0 = per-bench default
   uint64_t seed = 7;
   long threads = 1;
 
@@ -66,6 +70,8 @@ struct BenchFlags {
       const char* a = argv[i];
       if (std::strcmp(a, "--full") == 0) {
         f.full = true;
+      } else if (std::strcmp(a, "--no-refine") == 0) {
+        f.no_refine = true;
       } else if (std::strncmp(a, "--trials=", 9) == 0) {
         f.trials = static_cast<size_t>(std::atoll(a + 9));
       } else if (std::strncmp(a, "--seed=", 7) == 0) {
@@ -77,8 +83,8 @@ struct BenchFlags {
       } else if (std::strncmp(a, "--trace-json=", 13) == 0) {
         TraceJsonPath() = a + 13;
       } else if (std::strcmp(a, "--help") == 0) {
-        std::printf("flags: --full --trials=N --seed=N --threads=N "
-                    "--metrics-json=FILE --trace-json=FILE\n");
+        std::printf("flags: --full --no-refine --trials=N --seed=N "
+                    "--threads=N --metrics-json=FILE --trace-json=FILE\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag %s (see --help)\n", a);
@@ -156,8 +162,10 @@ inline BenchSetup MakeSetup(const DatasetSpec& spec, const BenchFlags& flags,
   BenchSetup s{GenerateDataset(spec, gen).ValueOrDie(), {}, {}};
   s.options = DefaultMinerOptions(s.ds);
   s.options.support_threshold = ScaledSupportThreshold(spec, gen.input_size);
+  s.options.refine = !flags.no_refine;
   s.rl = DefaultRlOptions(s.ds, /*k=*/50, gen.seed);
   s.rl.base.support_threshold = s.options.support_threshold;
+  s.rl.base.refine = !flags.no_refine;
   s.rl.train_steps = flags.full ? 5000 : 1500;
   return s;
 }

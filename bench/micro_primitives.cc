@@ -12,6 +12,7 @@
 #include "eval/experiment.h"
 #include "nn/mlp.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
 #include "rl/dqn.h"
 
 namespace erminer {
@@ -51,6 +52,73 @@ void BM_GroupIndexBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_GroupIndexBuild)->Arg(1)->Arg(2)->Arg(4);
 
+/// A paper-scale master for the refinement pair below: the refinement
+/// engine targets the per-row cost of repeated index builds, so measuring
+/// it on the 800-row micro corpus would time group bookkeeping instead.
+const Corpus& RefineBenchCorpus() {
+  static const Corpus* corpus = [] {
+    GenOptions g;
+    g.input_size = 2000;
+    g.master_size = 10000;
+    g.seed = 99;
+    auto ds = MakeAdult(g).ValueOrDie();
+    return new Corpus(BuildCorpus(ds).ValueOrDie());
+  }();
+  return *corpus;
+}
+
+/// The first `depth` master columns, skipping the Y column, so scratch and
+/// refined builds below group on exactly the same key.
+std::vector<int> ChainCols(const Corpus& c, long depth) {
+  std::vector<int> cols;
+  for (int m = 0; cols.size() < static_cast<size_t>(depth); ++m) {
+    if (m != c.y_master()) cols.push_back(m);
+  }
+  return cols;
+}
+
+/// Baseline for the refinement pair below: a depth-D index built from the
+/// full master table.
+void BM_GroupIndexScratchDepth(benchmark::State& state) {
+  const Corpus& c = RefineBenchCorpus();
+  const std::vector<int> xm = ChainCols(c, state.range(0));
+  for (auto _ : state) {
+    GroupIndex idx = GroupIndex::Build(c.master(), xm, c.y_master());
+    benchmark::DoNotOptimize(idx.num_groups());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(c.master().num_rows()));
+}
+BENCHMARK(BM_GroupIndexScratchDepth)->Arg(2)->Arg(3)->Arg(4);
+
+/// The same depth-D index derived from its depth-(D-1) parent by partition
+/// refinement (docs/perf.md). The parent is built once outside the timed
+/// loop — exactly the state a miner has when it extends a cached LHS.
+/// Reported counters are obs registry deltas across the timed region.
+void BM_GroupIndexRefineDepth(benchmark::State& state) {
+  const Corpus& c = RefineBenchCorpus();
+  const std::vector<int> xm = ChainCols(c, state.range(0));
+  const std::vector<int> parent_cols(xm.begin(), xm.end() - 1);
+  const GroupIndex parent =
+      GroupIndex::Build(c.master(), parent_cols, c.y_master());
+  const obs::MetricsSnapshot before =
+      obs::MetricsRegistry::Global().Snapshot();
+  for (auto _ : state) {
+    GroupIndex idx =
+        GroupIndex::BuildRefined(c.master(), parent, xm, c.y_master());
+    benchmark::DoNotOptimize(idx.num_groups());
+  }
+  obs::MetricsSnapshot delta =
+      obs::MetricsRegistry::Global().Snapshot().DeltaSince(before);
+  state.counters["refines"] =
+      static_cast<double>(delta.counters["group_index/refines"]);
+  state.counters["groups_built"] =
+      static_cast<double>(delta.counters["group_index/groups_built"]);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(c.master().num_rows()));
+}
+BENCHMARK(BM_GroupIndexRefineDepth)->Arg(2)->Arg(3)->Arg(4);
+
 void BM_EvalColumnBuild(benchmark::State& state) {
   const Corpus& c = BenchCorpus();
   for (auto _ : state) {
@@ -62,6 +130,34 @@ void BM_EvalColumnBuild(benchmark::State& state) {
                           static_cast<int64_t>(c.input().num_rows()));
 }
 BENCHMARK(BM_EvalColumnBuild);
+
+/// The same cache miss served through the parent-hint refinement path:
+/// each iteration warms the parent entry untimed, then times the child
+/// Get() that derives its index and EvalColumn from it.
+void BM_EvalColumnRefine(benchmark::State& state) {
+  const Corpus& c = BenchCorpus();
+  const LhsPairs parent = {{1, 0}};
+  const LhsPairs child = {{1, 0}, {2, 1}};
+  const obs::MetricsSnapshot before =
+      obs::MetricsRegistry::Global().Snapshot();
+  for (auto _ : state) {
+    state.PauseTiming();
+    EvalCache cache(&c, 2);
+    cache.Get(parent);
+    state.ResumeTiming();
+    auto entry = cache.Get(child, &parent);
+    benchmark::DoNotOptimize(entry.column->group.size());
+  }
+  obs::MetricsSnapshot delta =
+      obs::MetricsRegistry::Global().Snapshot().DeltaSince(before);
+  state.counters["refined"] =
+      static_cast<double>(delta.counters["eval_cache/refined"]);
+  state.counters["scratch"] =
+      static_cast<double>(delta.counters["eval_cache/scratch"]);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(c.input().num_rows()));
+}
+BENCHMARK(BM_EvalColumnRefine);
 
 void BM_RuleEvaluate(benchmark::State& state) {
   const Corpus& c = BenchCorpus();

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_JSON logs and fail on wall-clock regressions.
+
+Usage:
+  scripts/bench_compare.py BASELINE CANDIDATE [--threshold=PCT] [--min-secs=S]
+
+Both inputs are files holding the stdout of one or more bench binaries
+(bench/bench_util.h prints one `BENCH_JSON {...}` line per data point), e.g.
+
+  build/bench/fig8_input_size               > baseline.log
+  build/bench/fig8_input_size --no-refine   > candidate.log
+  scripts/bench_compare.py baseline.log candidate.log
+
+Records are matched by their identity fields — every scalar field except
+timings (keys ending in `secs`/`seconds`), `cpu_seconds`, `peak_rss_bytes`
+and the `metrics` object. A record key that appears several times (multiple
+trials) is averaged before comparison. For each matched record, every
+timing field present on both sides is compared; the script exits 1 if any
+timing regresses by more than --threshold percent (default 10) while both
+sides exceed --min-secs (default 0.01 s — below that, timer noise
+dominates). Identity mismatches (records present on only one side) are
+reported but are not failures: sweeps legitimately differ across flags.
+"""
+
+import json
+import sys
+
+MARKER = "BENCH_JSON "
+NON_IDENTITY = {"cpu_seconds", "peak_rss_bytes", "metrics"}
+
+
+def is_timing(key):
+    return key != "cpu_seconds" and (key.endswith("secs") or
+                                     key.endswith("seconds"))
+
+
+def identity(record):
+    items = []
+    for key, value in sorted(record.items()):
+        if key in NON_IDENTITY or is_timing(key):
+            continue
+        items.append((key, json.dumps(value, sort_keys=True)))
+    return tuple(items)
+
+
+def load(path):
+    """path -> {identity: {timing_key: mean_value}}."""
+    sums = {}
+    try:
+        lines = open(path, encoding="utf-8").read().splitlines()
+    except OSError as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    for line in lines:
+        pos = line.find(MARKER)
+        if pos < 0:
+            continue
+        try:
+            record = json.loads(line[pos + len(MARKER):])
+        except json.JSONDecodeError as e:
+            sys.exit(f"bench_compare: bad BENCH_JSON line in {path}: {e}")
+        timings = {k: float(v) for k, v in record.items()
+                   if is_timing(k) and isinstance(v, (int, float))}
+        bucket = sums.setdefault(identity(record), {})
+        for key, value in timings.items():
+            total, count = bucket.get(key, (0.0, 0))
+            bucket[key] = (total + value, count + 1)
+    return {ident: {k: total / count for k, (total, count) in bucket.items()}
+            for ident, bucket in sums.items()}
+
+
+def describe(ident):
+    return "{" + ", ".join(f"{k}={v}" for k, v in ident) + "}"
+
+
+def main(argv):
+    threshold = 10.0
+    min_secs = 0.01
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg[len("--threshold="):])
+        elif arg.startswith("--min-secs="):
+            min_secs = float(arg[len("--min-secs="):])
+        elif arg in ("-h", "--help"):
+            print(__doc__.strip())
+            return 0
+        elif arg.startswith("-"):
+            sys.exit(f"bench_compare: unknown flag {arg} (see --help)")
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        sys.exit("usage: bench_compare.py BASELINE CANDIDATE "
+                 "[--threshold=PCT] [--min-secs=S]")
+
+    base = load(paths[0])
+    cand = load(paths[1])
+    if not base:
+        sys.exit(f"bench_compare: no BENCH_JSON records in {paths[0]}")
+    if not cand:
+        sys.exit(f"bench_compare: no BENCH_JSON records in {paths[1]}")
+
+    regressions = []
+    compared = 0
+    for ident in sorted(set(base) & set(cand)):
+        for key in sorted(set(base[ident]) & set(cand[ident])):
+            a, b = base[ident][key], cand[ident][key]
+            delta = (b - a) / a * 100.0 if a > 0 else 0.0
+            marker = ""
+            if delta > threshold and a > min_secs and b > min_secs:
+                marker = "  REGRESSION"
+                regressions.append((ident, key, a, b, delta))
+            print(f"{describe(ident)} {key}: {a:.3f}s -> {b:.3f}s "
+                  f"({delta:+.1f}%){marker}")
+            compared += 1
+    for ident in sorted(set(base) ^ set(cand)):
+        side = paths[0] if ident in base else paths[1]
+        print(f"{describe(ident)}: only in {side}")
+
+    if compared == 0:
+        sys.exit("bench_compare: no records matched between the two logs")
+    print(f"\n{compared} timings compared, {len(regressions)} regressed "
+          f"beyond {threshold:.1f}%")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -33,6 +33,7 @@ MineResult BeamMine(const Corpus& corpus, const MinerOptions& options,
   aopts.include_negations = options.include_negations;
   ActionSpace space = ActionSpace::Build(corpus, aopts);
   RuleEvaluator evaluator(&corpus);
+  evaluator.cache().set_refine_enabled(options.refine);
 
   RuleKeySet discovered;
   std::vector<ScoredRule> pool;
@@ -46,6 +47,9 @@ MineResult BeamMine(const Corpus& corpus, const MinerOptions& options,
     for (const BeamNode& node : beam) {
       ERMINER_COUNT("beam/nodes_expanded", 1);
       std::vector<uint8_t> mask = ComputeMask(space, node.key, {});
+      // This node's LHS is the refinement hint for its LHS-extending
+      // children (their LHS is it plus exactly one pair).
+      const LhsPairs parent_lhs = space.Decode(node.key).lhs;
       for (int32_t a = 0; a < space.stop_action(); ++a) {
         if (!mask[static_cast<size_t>(a)]) continue;
         RuleKey child_key = KeyWith(node.key, a);
@@ -55,11 +59,12 @@ MineResult BeamMine(const Corpus& corpus, const MinerOptions& options,
         }
         ++result.nodes_explored;
         EditingRule rule = space.Decode(child_key);
-        Cover cover = space.IsPatternAction(a)
-                          ? RefineCover(corpus, node.cover,
-                                        space.pattern_item(a))
-                          : node.cover;
-        RuleStats stats = evaluator.Evaluate(rule, cover);
+        const bool is_pattern = space.IsPatternAction(a);
+        Cover cover = is_pattern ? RefineCover(corpus, node.cover,
+                                               space.pattern_item(a))
+                                 : node.cover;
+        RuleStats stats = evaluator.Evaluate(
+            rule, cover, is_pattern ? nullptr : &parent_lhs);
         if (static_cast<double>(stats.support) <
             options.support_threshold) {
           ++prune_support;

@@ -1,7 +1,9 @@
 #include "core/cfd_miner.h"
 
 #include <algorithm>
+#include <queue>
 #include <unordered_map>
+#include <utility>
 
 #include "index/group_index.h"
 #include "obs/metrics.h"
@@ -64,7 +66,28 @@ MineResult CfdMine(const Corpus& corpus, const MinerOptions& options,
   std::vector<ScoredRule> pool;
   const size_t n_usable = usable.size();
   ERMINER_CHECK(n_usable < 31);
+
+  // Index chain for partition refinement: `X \ {first attr}` is the parent
+  // of X under the ascending bitmask walk (x_bits & (x_bits - 1) clears the
+  // lowest set bit), so each level's index derives from a live parent. The
+  // empty-X root index lives for the whole mine; every other parent is
+  // dropped the moment the walk passes its last possible child,
+  // p + lowest_set_bit(p) — exact liveness, so memory stays proportional to
+  // the live frontier, not the lattice.
+  std::unordered_map<uint32_t, GroupIndex> live;
+  std::priority_queue<std::pair<uint32_t, uint32_t>,
+                      std::vector<std::pair<uint32_t, uint32_t>>,
+                      std::greater<std::pair<uint32_t, uint32_t>>>
+      expiries;  // (first x_bits that no longer needs it, bits)
+  if (options.refine) {
+    live.emplace(0u, GroupIndex::Build(master, {}, corpus.y_master()));
+  }
+
   for (uint32_t x_bits = 1; x_bits < (1u << n_usable); ++x_bits) {
+    while (!expiries.empty() && expiries.top().first <= x_bits) {
+      live.erase(expiries.top().second);
+      expiries.pop();
+    }
     std::vector<size_t> x_members;  // indices into `usable`
     for (size_t i = 0; i < n_usable; ++i) {
       if (x_bits & (1u << i)) x_members.push_back(i);
@@ -75,18 +98,38 @@ MineResult CfdMine(const Corpus& corpus, const MinerOptions& options,
     ERMINER_COUNT("ctane/nodes_expanded", 1);
     std::vector<int> xm_cols;
     for (size_t i : x_members) xm_cols.push_back(usable[i]);
-    GroupIndex index =
-        GroupIndex::Build(master, xm_cols, corpus.y_master());
+    const uint32_t parent_bits = x_bits & (x_bits - 1);
+    auto parent_it = live.find(parent_bits);
+    GroupIndex built =
+        parent_it != live.end()
+            ? GroupIndex::BuildRefined(master, parent_it->second, xm_cols,
+                                       corpus.y_master())
+            : GroupIndex::Build(master, xm_cols, corpus.y_master());
+    // Keep this index only while it can still seed children: x_bits with a
+    // clear bit below its lowest set bit, and room left under max_lhs.
+    GroupIndex* index_ptr = &built;
+    if (options.refine && (x_bits & 1u) == 0 &&
+        x_members.size() < cfd_options.max_lhs) {
+      expiries.emplace(x_bits + (x_bits & (~x_bits + 1u)), x_bits);
+      index_ptr = &live.emplace(x_bits, std::move(built)).first->second;
+    }
+    const GroupIndex& index = *index_ptr;
     ++result.nodes_explored;
 
     uint64_t candidates = 0, prune_confidence = 0, prune_support = 0;
     // Every proper constant subset P of X (wildcards W = X \ P nonempty).
     const uint32_t p_limit = 1u << x_members.size();
+    std::vector<ValueCode> pkey;  // hoisted out of the group loops
+    pkey.reserve(x_members.size());
     for (uint32_t p_bits = 0; p_bits + 1 < p_limit; ++p_bits) {
-      // Aggregate groups by their P projection.
+      // Aggregate groups by their P projection, in group-id (ascending
+      // first-row) order — deterministic, and identical whether `index` was
+      // refined or built from scratch.
       std::unordered_map<std::vector<ValueCode>, PGroupAgg, VectorHash> agg;
-      for (const auto& [key, group] : index.groups()) {
-        std::vector<ValueCode> pkey;
+      for (size_t gid = 0; gid < index.num_groups(); ++gid) {
+        const ValueCode* key = index.key_of(gid);
+        const Group& group = index.group(gid);
+        pkey.clear();
         for (size_t j = 0; j < x_members.size(); ++j) {
           if (p_bits & (1u << j)) pkey.push_back(key[j]);
         }

@@ -45,6 +45,7 @@ MineResult EnuMine(const Corpus& corpus, const MinerOptions& options) {
   aopts.include_negations = options.include_negations;
   ActionSpace space = ActionSpace::Build(corpus, aopts);
   RuleEvaluator evaluator(&corpus);
+  evaluator.cache().set_refine_enabled(options.refine);
 
   RuleKeySet discovered;
   std::vector<ScoredRule> pool;
@@ -101,6 +102,10 @@ MineResult EnuMine(const Corpus& corpus, const MinerOptions& options) {
     ERMINER_COUNT("enuminer/prune_duplicate", prune_duplicate);
     ERMINER_COUNT("enuminer/children_evaluated", frontier.size());
 
+    // LHS-extending children are this node's LHS plus one pair, so the
+    // node's LHS is passed as a partition-refinement hint; pattern children
+    // keep the LHS and hit the cache directly.
+    const LhsPairs parent_lhs = space.Decode(node.key).lhs;
     GlobalPool().ParallelFor(0, frontier.size(), 1, [&](size_t b, size_t e) {
       for (size_t i = b; i < e; ++i) {
         Candidate& c = frontier[i];
@@ -108,7 +113,8 @@ MineResult EnuMine(const Corpus& corpus, const MinerOptions& options) {
         c.cover = c.is_lhs ? node.cover
                            : RefineCover(corpus, node.cover,
                                          space.pattern_item(c.action));
-        c.stats = evaluator.Evaluate(c.rule, c.cover);
+        c.stats = evaluator.Evaluate(c.rule, c.cover,
+                                     c.is_lhs ? &parent_lhs : nullptr);
       }
     });
 

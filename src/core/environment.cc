@@ -55,10 +55,11 @@ float Environment::BaseReward(const RuleKey& key, const RuleStats& stats) {
 }
 
 RuleStats Environment::StatsOf(const RuleKey& key, const EditingRule& rule,
-                               const Cover& cover) {
+                               const Cover& cover,
+                               const LhsPairs* parent_lhs) {
   auto it = stats_cache_.find(key);
   if (options_.reuse_rewards && it != stats_cache_.end()) return it->second;
-  RuleStats stats = evaluator_->Evaluate(rule, cover);
+  RuleStats stats = evaluator_->Evaluate(rule, cover, parent_lhs);
   if (it == stats_cache_.end()) {
     stats_cache_.emplace(key, stats);
   }
@@ -100,12 +101,16 @@ Environment::StepResult Environment::Step(int32_t action) {
     }
 
     EditingRule rule = space_->Decode(child_key);
-    Cover cover =
-        space_->IsPatternAction(action)
-            ? RefineCover(*corpus_, nodes_[parent_id].cover,
-                          space_->pattern_item(action))
-            : nodes_[parent_id].cover;
-    RuleStats stats = StatsOf(child_key, rule, cover);
+    const bool is_pattern = space_->IsPatternAction(action);
+    Cover cover = is_pattern ? RefineCover(*corpus_, nodes_[parent_id].cover,
+                                           space_->pattern_item(action))
+                             : nodes_[parent_id].cover;
+    // An LHS action means this rule's LHS is the parent's plus one pair —
+    // exactly what the evaluator's refinement path wants as a hint.
+    const LhsPairs parent_lhs =
+        is_pattern ? LhsPairs{} : space_->Decode(nodes_[parent_id].key).lhs;
+    RuleStats stats =
+        StatsOf(child_key, rule, cover, is_pattern ? nullptr : &parent_lhs);
     const bool supported =
         static_cast<double>(stats.support) >= options_.support_threshold;
 

@@ -107,8 +107,11 @@ class Environment {
   float BaseReward(const RuleKey& key, const RuleStats& stats);
 
   /// Measures of the rule `key` over `cover`, cached across episodes.
+  /// `parent_lhs`, when the step appended an LHS pair, is the parent rule's
+  /// LHS — forwarded to the evaluator as a partition-refinement hint.
   RuleStats StatsOf(const RuleKey& key, const EditingRule& rule,
-                    const Cover& cover);
+                    const Cover& cover,
+                    const LhsPairs* parent_lhs = nullptr);
 
   /// Advances current_ to the next queued node; sets done_ if none.
   void AdvanceToNextNode();

@@ -71,11 +71,12 @@ struct MeasurePartial {
 }  // namespace
 
 RuleStats RuleEvaluator::Evaluate(const EditingRule& rule,
-                                  const Cover& cover_in) {
+                                  const Cover& cover_in,
+                                  const LhsPairs* parent_lhs) {
   num_evaluations_.fetch_add(1, std::memory_order_relaxed);
   ERMINER_COUNT("eval/rule_evaluations", 1);
   Cover cover = cover_in ? cover_in : CoverOf(*corpus_, rule.pattern);
-  EvalCache::Entry entry = cache_.Get(rule.lhs);
+  EvalCache::Entry entry = cache_.Get(rule.lhs, parent_lhs);
   const auto& groups = entry.column->group;
   const std::vector<uint32_t>& rows = *cover;
 

@@ -55,7 +55,13 @@ class RuleEvaluator {
   /// merged in chunk-index order (bit-identical for every thread count),
   /// and the backing EvalCache serializes its own mutation. Concurrent
   /// Evaluate calls from a parallel miner frontier are therefore safe.
-  RuleStats Evaluate(const EditingRule& rule, const Cover& cover = nullptr);
+  ///
+  /// `parent_lhs`, if non-null, is the rule's LHS minus the one pair the
+  /// miner just appended; it is forwarded to the EvalCache as a partition-
+  /// refinement hint (docs/perf.md). Purely a performance hint — results
+  /// are bit-identical with or without it.
+  RuleStats Evaluate(const EditingRule& rule, const Cover& cover = nullptr,
+                     const LhsPairs* parent_lhs = nullptr);
 
   /// Number of rule evaluations performed (for the experiment reports).
   size_t num_evaluations() const {

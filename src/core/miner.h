@@ -26,6 +26,10 @@ struct MinerOptions {
   size_t max_pattern = std::numeric_limits<size_t>::max();
   /// Safety cap on lattice expansions for the enumeration miners.
   size_t max_nodes = 50'000'000;
+  /// Partition refinement: derive child-LHS indexes from cached parents
+  /// instead of rebuilding from scratch (docs/perf.md). Results are
+  /// bit-identical either way; `--no-refine` turns it off.
+  bool refine = true;
 };
 
 struct MineResult {

@@ -8,6 +8,30 @@
 
 namespace erminer {
 
+namespace {
+
+/// If `parent` is `lhs` minus exactly one pair, returns true and sets
+/// `*new_pos` to that pair's position in `lhs`. Both must be sorted.
+bool IsParentOf(const LhsPairs& parent, const LhsPairs& lhs, size_t* new_pos) {
+  if (parent.size() + 1 != lhs.size()) return false;
+  size_t pos = lhs.size();
+  size_t pi = 0;
+  for (size_t ci = 0; ci < lhs.size(); ++ci) {
+    if (pi < parent.size() && parent[pi] == lhs[ci]) {
+      ++pi;
+    } else if (pos == lhs.size()) {
+      pos = ci;
+    } else {
+      return false;
+    }
+  }
+  if (pi != parent.size() || pos == lhs.size()) return false;
+  *new_pos = pos;
+  return true;
+}
+
+}  // namespace
+
 std::vector<int32_t> LhsKeyOf(const LhsPairs& lhs) {
   std::vector<int32_t> key;
   key.reserve(lhs.size() * 2);
@@ -28,22 +52,94 @@ size_t EvalCache::num_built() const {
   return num_built_;
 }
 
-EvalCache::Entry EvalCache::Get(const LhsPairs& lhs) {
+void EvalCache::set_refine_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  refine_enabled_ = enabled;
+}
+
+bool EvalCache::refine_enabled() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return refine_enabled_;
+}
+
+EvalCache::Entry EvalCache::Get(const LhsPairs& lhs,
+                                const LhsPairs* parent_hint) {
   ERMINER_CHECK(std::is_sorted(lhs.begin(), lhs.end()));
   Key key = LhsKeyOf(lhs);
-  std::lock_guard<std::mutex> lk(mutex_);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ERMINER_COUNT("eval_cache/hits", 1);
-    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-    return it->second.entry;
+  std::unique_lock<std::mutex> lk(mutex_);
+  for (;;) {
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ERMINER_COUNT("eval_cache/hits", 1);
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.entry;
+    }
+    auto inf = inflight_.find(key);
+    if (inf == inflight_.end()) break;
+    // Another thread is building this LHS right now: wait for it, then
+    // re-check the cache (the builder inserts before marking done).
+    std::shared_ptr<InFlight> rec = inf->second;
+    cv_.wait(lk, [&] { return rec->done; });
   }
   ERMINER_COUNT("eval_cache/misses", 1);
-  ERMINER_SPAN("eval_cache/build");
 
-  // Build the master index and the input-side column. The lock is held
-  // across the build so one LHS is never built twice; the scans below are
-  // themselves parallel (a worker-thread caller runs them inline).
+  // Resolve the refinement hint while still under the lock: the parent must
+  // be resident (we copy its shared_ptrs so eviction cannot invalidate it)
+  // and must really be `lhs` minus one pair — anything else falls back to a
+  // scratch build.
+  Entry parent;
+  size_t new_pos = 0;
+  bool refine = false;
+  if (refine_enabled_ && parent_hint != nullptr &&
+      IsParentOf(*parent_hint, lhs, &new_pos)) {
+    auto pit = cache_.find(LhsKeyOf(*parent_hint));
+    if (pit != cache_.end()) {
+      parent = pit->second.entry;
+      refine = true;
+    }
+  }
+
+  auto rec = std::make_shared<InFlight>();
+  inflight_.emplace(key, rec);
+  lk.unlock();
+
+  // The build runs unlocked, so concurrent misses on different LHSs
+  // proceed in parallel; the in-flight record above keeps this key
+  // single-build. The scans inside are themselves parallel (a worker-thread
+  // caller runs them inline).
+  Entry built;
+  try {
+    built = refine ? BuildRefinedEntry(lhs, new_pos, parent)
+                   : BuildScratch(lhs);
+  } catch (...) {
+    lk.lock();
+    inflight_.erase(key);
+    rec->done = true;
+    cv_.notify_all();
+    throw;
+  }
+
+  lk.lock();
+  ++num_built_;
+  if (cache_.find(key) == cache_.end()) {
+    if (cache_.size() >= capacity_) {
+      ERMINER_COUNT("eval_cache/evictions", 1);
+      const Key& victim = lru_.back();
+      cache_.erase(victim);
+      lru_.pop_back();
+    }
+    lru_.push_front(key);
+    cache_.emplace(key, Slot{built, lru_.begin()});
+  }
+  inflight_.erase(key);
+  rec->done = true;
+  cv_.notify_all();
+  return built;
+}
+
+EvalCache::Entry EvalCache::BuildScratch(const LhsPairs& lhs) const {
+  ERMINER_SPAN("eval_cache/build");
+  ERMINER_COUNT("eval_cache/scratch", 1);
   std::vector<int> x_cols, xm_cols;
   x_cols.reserve(lhs.size());
   xm_cols.reserve(lhs.size());
@@ -60,9 +156,10 @@ EvalCache::Entry EvalCache::Get(const LhsPairs& lhs) {
   const GroupIndex& idx = *index;
   GlobalPool().ParallelFor(
       0, input.num_rows(), kDefaultGrain, [&](size_t rb, size_t re) {
+        // The probe buffer is hoisted out of the row loop and reused; probe
+        // outcomes are tallied per chunk and published once, so the per-row
+        // cost stays a plain increment.
         std::vector<ValueCode> probe(x_cols.size());
-        // Probe outcomes are tallied per chunk and published once, so the
-        // per-row cost stays a plain increment.
         uint64_t probes = 0, probe_hits = 0;
         for (size_t r = rb; r < re; ++r) {
           bool null_key = false;
@@ -82,19 +179,67 @@ EvalCache::Entry EvalCache::Get(const LhsPairs& lhs) {
         ERMINER_COUNT("eval_cache/probes", probes);
         ERMINER_COUNT("eval_cache/probe_hits", probe_hits);
       });
-  ++num_built_;
+  return Entry{std::move(index), std::move(column)};
+}
 
-  if (cache_.size() >= capacity_) {
-    ERMINER_COUNT("eval_cache/evictions", 1);
-    const Key& victim = lru_.back();
-    cache_.erase(victim);
-    lru_.pop_back();
+EvalCache::Entry EvalCache::BuildRefinedEntry(const LhsPairs& lhs,
+                                              size_t new_pos,
+                                              const Entry& parent) const {
+  ERMINER_SPAN("eval_cache/refine");
+  ERMINER_COUNT("eval_cache/refined", 1);
+  std::vector<int> xm_cols;
+  xm_cols.reserve(lhs.size());
+  for (const auto& [a, am] : lhs) {
+    (void)a;
+    xm_cols.push_back(am);
   }
-  lru_.push_front(key);
-  Slot slot{Entry{std::move(index), std::move(column)}, lru_.begin()};
-  auto [pos, inserted] = cache_.emplace(std::move(key), std::move(slot));
-  ERMINER_CHECK(inserted);
-  return pos->second.entry;
+  auto index = std::make_shared<GroupIndex>(GroupIndex::BuildRefined(
+      corpus_->master(), *parent.index, xm_cols, corpus_->y_master()));
+
+  // Children are addressable by (parent group, new-column value), so the
+  // child EvalColumn follows from the parent's: rows the parent already
+  // rejected (NULL key or no master match) stay null, and the rest remap
+  // through one hash lookup instead of a full key probe.
+  const GroupIndex& idx = *index;
+  std::unordered_map<uint64_t, const Group*> by_parent;
+  by_parent.reserve(idx.num_groups() * 2);
+  const std::vector<GroupIndex::Derivation>& derivs = idx.derivations();
+  for (size_t gid = 0; gid < derivs.size(); ++gid) {
+    const uint64_t cell = (static_cast<uint64_t>(derivs[gid].parent_gid)
+                           << 32) |
+                          static_cast<uint32_t>(derivs[gid].value);
+    by_parent.emplace(cell, &idx.group(gid));
+  }
+
+  auto column = std::make_shared<EvalColumn>();
+  const Table& input = corpus_->input();
+  column->group.assign(input.num_rows(), nullptr);
+  std::vector<const Group*>& out = column->group;
+  const GroupIndex& pidx = *parent.index;
+  const std::vector<const Group*>& pcol = parent.column->group;
+  const int x_new = lhs[new_pos].first;
+  GlobalPool().ParallelFor(
+      0, input.num_rows(), kDefaultGrain, [&](size_t rb, size_t re) {
+        uint64_t probes = 0, probe_hits = 0;
+        for (size_t r = rb; r < re; ++r) {
+          const Group* pg = pcol[r];
+          if (pg == nullptr) continue;
+          ValueCode v = input.at(r, static_cast<size_t>(x_new));
+          if (v == kNullCode) continue;
+          ++probes;
+          const uint64_t cell =
+              (static_cast<uint64_t>(pidx.IdOf(pg)) << 32) |
+              static_cast<uint32_t>(v);
+          auto it = by_parent.find(cell);
+          if (it != by_parent.end()) {
+            out[r] = it->second;
+            ++probe_hits;
+          }
+        }
+        ERMINER_COUNT("eval_cache/probes", probes);
+        ERMINER_COUNT("eval_cache/probe_hits", probe_hits);
+      });
+  return Entry{std::move(index), std::move(column)};
 }
 
 }  // namespace erminer

@@ -9,10 +9,20 @@
 // after which evaluating any rule over that LHS is a linear pass over its
 // pattern cover. Entries are evicted LRU beyond a budget so EnuMiner's full
 // lattice cannot exhaust memory.
+//
+// Every miner extends an LHS one attribute pair at a time, so most misses
+// are for a child of an entry that is already resident. Callers pass that
+// parent as a refinement hint: the child is then derived by splitting each
+// parent group on the one new column (GroupIndex::BuildRefined) and by
+// narrowing the parent's EvalColumn, instead of re-scanning the full tables.
+// Refined entries are bit-identical to scratch builds — group order, counts,
+// argmax and EvalColumn included (docs/perf.md) — so refinement is purely a
+// performance lever, with `set_refine_enabled(false)` as the escape hatch.
 
 #ifndef ERMINER_INDEX_EVAL_CACHE_H_
 #define ERMINER_INDEX_EVAL_CACHE_H_
 
+#include <condition_variable>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -55,30 +65,54 @@ class EvalCache {
     std::shared_ptr<GroupIndex> index;
     std::shared_ptr<EvalColumn> column;
   };
-  /// Thread-safe: a single mutex serializes lookup, build and LRU motion,
-  /// so concurrent miner threads may share one cache. Entries are immutable
-  /// once built (values never depend on which thread built them); only the
-  /// LRU *eviction order* — a performance detail — depends on request
-  /// interleaving. The probe scan inside a build is itself parallelized
-  /// over input rows.
-  Entry Get(const LhsPairs& lhs);
+  /// Thread-safe. `parent_hint`, if non-null, names an LHS that is `lhs`
+  /// minus exactly one pair; when that parent is resident, a miss is served
+  /// by partition refinement instead of a scratch build. A stale or invalid
+  /// hint silently falls back to the scratch path, and both paths produce
+  /// bit-identical entries.
+  ///
+  /// Concurrency: the mutex covers only lookup, LRU motion and in-flight
+  /// bookkeeping; builds run outside it, so misses on *different* LHSs
+  /// build in parallel. A per-key in-flight record keeps single-build-per-
+  /// key semantics — concurrent misses on the same LHS wait on the one
+  /// build. Entries are immutable once built (values never depend on which
+  /// thread built them); only the LRU *eviction order* — a performance
+  /// detail — depends on request interleaving.
+  Entry Get(const LhsPairs& lhs, const LhsPairs* parent_hint = nullptr);
+
+  /// Toggles the refinement path (`--no-refine`); scratch builds are used
+  /// for every miss while disabled. Safe to call at any time.
+  void set_refine_enabled(bool enabled);
+  bool refine_enabled() const;
 
   size_t num_built() const;
   const Corpus& corpus() const { return *corpus_; }
 
  private:
+  /// One build in progress; waiters block on cv_ until `done`.
+  struct InFlight {
+    bool done = false;
+  };
+
+  Entry BuildScratch(const LhsPairs& lhs) const;
+  Entry BuildRefinedEntry(const LhsPairs& lhs, size_t new_pos,
+                          const Entry& parent) const;
+
   const Corpus* corpus_;
   size_t capacity_;
   size_t num_built_ = 0;
+  bool refine_enabled_ = true;
 
   using Key = std::vector<int32_t>;
   mutable std::mutex mutex_;
+  std::condition_variable cv_;
   std::list<Key> lru_;
   struct Slot {
     Entry entry;
     std::list<Key>::iterator lru_it;
   };
   std::unordered_map<Key, Slot, VectorHash> cache_;
+  std::unordered_map<Key, std::shared_ptr<InFlight>, VectorHash> inflight_;
 };
 
 }  // namespace erminer

@@ -1,10 +1,85 @@
 #include "index/group_index.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace erminer {
+
+namespace {
+
+/// Base hash of the empty key; per-column mixes are added onto it.
+constexpr uint64_t kSeedHash = 0x51ed270b3a4c5d6eULL;
+
+size_t NextPow2(size_t n) {
+  size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// One Y_m observation, with exactly the serial build's insertion-order and
+/// argmax tie-break ("first value to exceed the running max wins").
+void AddToGroup(Group* g, ValueCode ym) {
+  g->total += 1;
+  for (auto& [v, c] : g->counts) {
+    if (v == ym) {
+      ++c;
+      if (c > g->max_count) {
+        g->max_count = c;
+        g->argmax = v;
+      }
+      return;
+    }
+  }
+  g->counts.emplace_back(ym, 1);
+  if (1 > g->max_count) {
+    g->max_count = 1;
+    g->argmax = ym;
+  }
+}
+
+}  // namespace
+
+uint64_t GroupIndex::MixColValue(int col, ValueCode v) {
+  // splitmix64 finalizer over the packed (column, value) pair. The sum of
+  // these lanes over a key's columns is the key's hash, so extending a key
+  // by one column adds one lane — the incremental property BuildRefined
+  // relies on. Distinct keys may still collide; Find compares full keys.
+  uint64_t x = (static_cast<uint64_t>(static_cast<uint32_t>(col)) << 32) |
+               static_cast<uint32_t>(v + 1);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void GroupIndex::InitTable(size_t expected_groups) {
+  const size_t slots = NextPow2(2 * std::max<size_t>(expected_groups, 1));
+  table_.assign(slots, -1);
+  table_mask_ = slots - 1;
+}
+
+int32_t GroupIndex::Lookup(uint64_t hash, const ValueCode* key) const {
+  const size_t k = xm_cols_.size();
+  size_t slot = static_cast<size_t>(hash & table_mask_);
+  while (table_[slot] >= 0) {
+    const int32_t gid = table_[slot];
+    if (hashes_[static_cast<size_t>(gid)] == hash &&
+        std::equal(key, key + k, key_of(static_cast<size_t>(gid)))) {
+      return gid;
+    }
+    slot = (slot + 1) & table_mask_;
+  }
+  return -1;
+}
+
+void GroupIndex::InsertSlot(uint64_t hash, int32_t gid) {
+  size_t slot = static_cast<size_t>(hash & table_mask_);
+  while (table_[slot] >= 0) slot = (slot + 1) & table_mask_;
+  table_[slot] = gid;
+}
 
 GroupIndex GroupIndex::Build(const Table& master,
                              const std::vector<int>& xm_cols, int ym_col) {
@@ -17,16 +92,19 @@ GroupIndex GroupIndex::Build(const Table& master,
   const size_t n = master.num_rows();
   const size_t k = xm_cols.size();
 
-  // Phase 1 (parallel group scan): extract every row's key vector and Y_m
-  // code into flat arrays. Each row writes only its own slots, so the scan
-  // is trivially race-free and bit-identical for any thread count.
+  // Phase 1 (parallel group scan): extract every row's key vector, Y_m code
+  // and running 64-bit key hash into flat arrays. Each row writes only its
+  // own slots, so the scan is trivially race-free and bit-identical for any
+  // thread count.
   std::vector<ValueCode> keys(n * k);
   std::vector<ValueCode> yms(n);
+  std::vector<uint64_t> hashes(n);
   std::vector<uint8_t> usable(n, 0);
   GlobalPool().ParallelFor(0, n, kDefaultGrain, [&](size_t rb, size_t re) {
     for (size_t r = rb; r < re; ++r) {
       ValueCode ym = master.at(r, static_cast<size_t>(ym_col));
       if (ym == kNullCode) continue;
+      uint64_t h = kSeedHash;
       bool null_key = false;
       for (size_t i = 0; i < k; ++i) {
         ValueCode v = master.at(r, static_cast<size_t>(xm_cols[i]));
@@ -35,54 +113,374 @@ GroupIndex GroupIndex::Build(const Table& master,
           break;
         }
         keys[r * k + i] = v;
+        h += MixColValue(xm_cols[i], v);
       }
       if (null_key) continue;
       yms[r] = ym;
+      hashes[r] = h;
       usable[r] = 1;
     }
   });
 
-  // Phase 2 (serial): hash inserts in ascending row order. Group::counts
-  // insertion order and the argmax tie-break ("first value to exceed the
-  // running max wins") depend on encounter order, so this phase must walk
-  // rows exactly like the fully serial build — which keeps the index, and
+  // Phase 2 (serial): group assignment in ascending row order. The table is
+  // pre-sized from the row count (groups never outnumber usable rows), so
+  // it never rehashes; Group::counts insertion order and the argmax
+  // tie-break depend on encounter order, so this phase must walk rows
+  // exactly like the fully serial build — which keeps the index, and
   // everything downstream of it (CTANE's group iteration included),
   // bit-identical between threads=1 and threads=N.
-  std::vector<ValueCode> key(k);
+  idx.InitTable(n);
+  std::vector<int32_t> row_gid(n, -1);
   for (size_t r = 0; r < n; ++r) {
     if (!usable[r]) continue;
-    key.assign(keys.begin() + static_cast<ptrdiff_t>(r * k),
-               keys.begin() + static_cast<ptrdiff_t>(r * k + k));
-    const ValueCode ym = yms[r];
-    Group& g = idx.groups_[key];
-    g.total += 1;
-    bool found = false;
-    for (auto& [v, c] : g.counts) {
-      if (v == ym) {
-        ++c;
-        if (c > g.max_count) {
-          g.max_count = c;
-          g.argmax = v;
-        }
-        found = true;
-        break;
-      }
+    const ValueCode* key = keys.data() + r * k;
+    int32_t gid = idx.Lookup(hashes[r], key);
+    if (gid < 0) {
+      gid = static_cast<int32_t>(idx.groups_.size());
+      idx.groups_.emplace_back();
+      idx.hashes_.push_back(hashes[r]);
+      idx.key_arena_.insert(idx.key_arena_.end(), key, key + k);
+      idx.InsertSlot(hashes[r], gid);
     }
-    if (!found) {
-      g.counts.emplace_back(ym, 1);
-      if (1 > g.max_count) {
-        g.max_count = 1;
-        g.argmax = ym;
-      }
+    AddToGroup(&idx.groups_[static_cast<size_t>(gid)], yms[r]);
+    row_gid[r] = gid;
+  }
+
+  // Phase 3 (serial scatter): per-group member rows in a contiguous arena,
+  // ascending within each group — the lists BuildRefined splits.
+  const size_t num_groups = idx.groups_.size();
+  idx.row_begin_.assign(num_groups + 1, 0);
+  for (size_t g = 0; g < num_groups; ++g) {
+    idx.row_begin_[g + 1] =
+        idx.row_begin_[g] + static_cast<uint32_t>(idx.groups_[g].total);
+  }
+  idx.row_arena_.resize(idx.row_begin_[num_groups]);
+  std::vector<uint32_t> cursor(idx.row_begin_.begin(),
+                               idx.row_begin_.end() - 1);
+  for (size_t r = 0; r < n; ++r) {
+    if (row_gid[r] >= 0) {
+      idx.row_arena_[cursor[static_cast<size_t>(row_gid[r])]++] =
+          static_cast<uint32_t>(r);
     }
   }
-  ERMINER_COUNT("group_index/groups_built", idx.groups_.size());
+  ERMINER_COUNT("group_index/groups_built", num_groups);
+  return idx;
+}
+
+namespace {
+
+/// One child of the refinement: a (parent group, new-column value) cell.
+/// The discovery pass records only identities and sizes; row lists and Y
+/// stats are materialized later, straight into the final index arenas.
+struct PendingChild {
+  uint32_t parent_gid = 0;
+  ValueCode value = kNullCode;
+  uint32_t first_row = 0;  // lists are ascending, so the first row is min
+  uint32_t size = 0;
+  uint32_t final_gid = 0;  // assigned after the renumbering sort
+  bool uniform = false;    // whole parent group carried over verbatim
+};
+
+/// Discovery output for one chunk of parent groups.
+struct RefineChunk {
+  size_t gb = 0, ge = 0;  // parent-group range [gb, ge)
+  std::vector<PendingChild> children;
+  /// Chunk-relative child index per parent row of split parents, -1 for
+  /// NULLs in the new column; indexed by position within the chunk's
+  /// contiguous span of the parent row arena.
+  std::vector<int32_t> row_child;
+  /// Per parent group in [gb, ge): its single child if the group did not
+  /// split, -1 otherwise. Row lists for these are block-copied.
+  std::vector<int32_t> uniform_child;
+  /// Per parent group in [gb, ge), plus one sentinel: the range of the
+  /// parent's children within `children` — discovery emits each parent's
+  /// children contiguously, which lets the scatter phase keep its Y stats
+  /// in a dense (child, value) table of per-parent extent.
+  std::vector<uint32_t> child_begin;
+};
+
+}  // namespace
+
+GroupIndex GroupIndex::BuildRefined(const Table& master,
+                                    const GroupIndex& parent,
+                                    const std::vector<int>& xm_cols,
+                                    int ym_col) {
+  ERMINER_SPAN("group_index/refine");
+  ERMINER_COUNT("group_index/refines", 1);
+  const size_t k = xm_cols.size();
+  ERMINER_CHECK(parent.xm_cols_.size() + 1 == k);
+  // The one column `xm_cols` adds over the parent, and its position.
+  size_t pos = 0;
+  while (pos < parent.xm_cols_.size() && xm_cols[pos] == parent.xm_cols_[pos]) {
+    ++pos;
+  }
+  const int new_col = xm_cols[pos];
+  for (size_t i = pos; i < parent.xm_cols_.size(); ++i) {
+    ERMINER_CHECK(xm_cols[i + 1] == parent.xm_cols_[i]);
+  }
+  ERMINER_CHECK(new_col >= 0 &&
+                static_cast<size_t>(new_col) < master.num_cols());
+
+  GroupIndex idx;
+  idx.xm_cols_ = xm_cols;
+  idx.refined_pos_ = static_cast<int>(pos);
+  const ValueCode* ncol = master.column(static_cast<size_t>(new_col)).data();
+  const ValueCode* ycol = master.column(static_cast<size_t>(ym_col)).data();
+
+  // Phase 1 (parallel discovery): split each parent group's row list on
+  // the new column. Chunks are sized by rows rather than groups — dispatch
+  // and per-chunk state are a fixed tax, so a chunk targets ~8k rows.
+  // Parent rows already passed the Y_m and parent-key NULL filters; only
+  // the new column can reject here.
+  const size_t num_parents = parent.num_groups();
+  constexpr size_t kRefineRowsPerChunk = 8192;
+  const size_t grain = std::max<size_t>(
+      1, num_parents * kRefineRowsPerChunk /
+             std::max<size_t>(parent.row_arena_.size(), 1));
+  std::vector<RefineChunk> chunks = GlobalPool().ParallelReduce(
+      0, num_parents, grain, std::vector<RefineChunk>{},
+      [&](size_t gb, size_t ge) {
+        RefineChunk res;
+        res.gb = gb;
+        res.ge = ge;
+        // Parent row lists are contiguous in the parent arena, so the
+        // chunk's row span is two pointer reads.
+        const uint32_t* span_b = parent.rows_of(gb).first;
+        const uint32_t* span_e = parent.rows_of(ge - 1).second;
+        res.row_child.assign(static_cast<size_t>(span_e - span_b), -1);
+        res.uniform_child.assign(ge - gb, -1);
+        // value code -> child of current parent; sized to the column's
+        // domain once so the per-row loop carries no bounds check.
+        std::vector<int32_t> slot(
+            master.domain(static_cast<size_t>(new_col))->size(), -1);
+        std::vector<ValueCode> touched;
+        res.child_begin.reserve(ge - gb + 1);
+        for (size_t pg = gb; pg < ge; ++pg) {
+          res.child_begin.push_back(static_cast<uint32_t>(res.children.size()));
+          auto [rb, re] = parent.rows_of(pg);
+          // Fast path: if the new column is constant (and never NULL) over
+          // the group, the child IS the parent — same rows, same Y multiset
+          // in the same encounter order — so its row list and stats are
+          // carried over verbatim by the fill phases below. Deep LHS
+          // extensions rarely split anything, which makes this the common
+          // case exactly where refinement matters.
+          const ValueCode v0 = ncol[*rb];
+          bool uniform = v0 != kNullCode;
+          for (const uint32_t* rp = rb + 1; uniform && rp < re; ++rp) {
+            uniform = ncol[*rp] == v0;
+          }
+          if (uniform) {
+            res.uniform_child[pg - gb] =
+                static_cast<int32_t>(res.children.size());
+            res.children.push_back({static_cast<uint32_t>(pg), v0, *rb,
+                                    static_cast<uint32_t>(re - rb), 0, true});
+            continue;
+          }
+          // Split: discover this parent's children and their exact sizes
+          // with a dense value→slot table — O(1) per row, reset via the
+          // `touched` undo list so clearing costs O(values seen).
+          for (const uint32_t* rp = rb; rp < re; ++rp) {
+            if (rp + 8 < re) __builtin_prefetch(ncol + rp[8]);
+            const ValueCode v = ncol[*rp];
+            if (v == kNullCode) continue;  // row_child stays -1
+            int32_t ci = slot[static_cast<size_t>(v)];
+            if (ci < 0) {
+              ci = static_cast<int32_t>(res.children.size());
+              slot[static_cast<size_t>(v)] = ci;
+              touched.push_back(v);
+              res.children.push_back({static_cast<uint32_t>(pg), v, *rp, 0,
+                                      0, false});
+            }
+            res.row_child[static_cast<size_t>(rp - span_b)] = ci;
+            ++res.children[static_cast<size_t>(ci)].size;
+          }
+          for (ValueCode v : touched) slot[static_cast<size_t>(v)] = -1;
+          touched.clear();
+        }
+        res.child_begin.push_back(static_cast<uint32_t>(res.children.size()));
+        std::vector<RefineChunk> out;
+        out.push_back(std::move(res));
+        return out;
+      },
+      [](std::vector<RefineChunk>* acc, std::vector<RefineChunk>& part) {
+        for (RefineChunk& c : part) acc->push_back(std::move(c));
+      });
+
+  // Phase 2 (serial renumber + fill): sort children by minimum member row
+  // (the first row of each ascending list) — exactly the first-encounter
+  // order a scratch Build over the full table produces, so group ids, and
+  // every iteration downstream, are bit-identical to the unrefined path
+  // for any thread count. Then fill keys, hashes, derivations, the probe
+  // table and the row offsets; arenas are sized exactly and written
+  // through raw cursors because with many small groups this loop is
+  // child-bound and per-insert capacity checks are a measurable tax.
+  struct ChildRef {
+    uint32_t first_row;  // sort key, copied out to avoid a pointer chase
+    PendingChild* child;
+  };
+  size_t total_children = 0;
+  for (const RefineChunk& cr : chunks) total_children += cr.children.size();
+  std::vector<ChildRef> order;
+  order.reserve(total_children);
+  for (RefineChunk& cr : chunks) {
+    for (PendingChild& c : cr.children) order.push_back({c.first_row, &c});
+  }
+  // Row lists of distinct children are disjoint, so first_row keys are
+  // unique; an LSD radix sort puts them in order in O(children) — in the
+  // many-small-groups regime a comparison sort's branch misses dominate
+  // this whole phase. Passes whose byte is constant (the high bytes, for
+  // any table under 16M rows) are detected by their counting pass and
+  // skipped.
+  std::vector<ChildRef> radix_tmp(order.size());
+  ChildRef* src_buf = order.data();
+  ChildRef* dst_buf = radix_tmp.data();
+  for (int shift = 0; shift < 32; shift += 8) {
+    uint32_t buckets[257] = {0};
+    for (size_t i = 0; i < order.size(); ++i) {
+      ++buckets[((src_buf[i].first_row >> shift) & 0xffu) + 1];
+    }
+    bool single = false;
+    for (size_t b = 1; b < 257 && !single; ++b) {
+      single = buckets[b] == order.size();
+    }
+    if (single) continue;  // order unchanged by this pass
+    for (size_t b = 1; b < 257; ++b) buckets[b] += buckets[b - 1];
+    for (size_t i = 0; i < order.size(); ++i) {
+      dst_buf[buckets[(src_buf[i].first_row >> shift) & 0xffu]++] =
+          src_buf[i];
+    }
+    std::swap(src_buf, dst_buf);
+  }
+  const ChildRef* sorted = src_buf;
+
+  const size_t num_groups = order.size();
+  idx.groups_.resize(num_groups);  // stats filled by phase 3
+  idx.hashes_.reserve(num_groups);
+  idx.derivations_.reserve(num_groups);
+  idx.key_arena_.resize(num_groups * k);
+  idx.row_begin_.assign(num_groups + 1, 0);
+  idx.InitTable(num_groups);
+  ValueCode* kout = idx.key_arena_.data();
+  for (size_t gid = 0; gid < num_groups; ++gid) {
+    PendingChild& c = *sorted[gid].child;
+    c.final_gid = static_cast<uint32_t>(gid);
+    const ValueCode* pkey = parent.key_of(c.parent_gid);
+    kout = std::copy(pkey, pkey + pos, kout);
+    *kout++ = c.value;
+    kout = std::copy(pkey + pos, pkey + parent.xm_cols_.size(), kout);
+    const uint64_t h =
+        parent.hashes_[c.parent_gid] + MixColValue(new_col, c.value);
+    idx.hashes_.push_back(h);
+    idx.derivations_.push_back({c.parent_gid, c.value});
+    idx.InsertSlot(h, static_cast<int32_t>(gid));
+    idx.row_begin_[gid + 1] = idx.row_begin_[gid] + c.size;
+  }
+  idx.row_arena_.resize(idx.row_begin_[num_groups]);
+
+  // Phase 3 (parallel scatter + stats): each chunk writes its children's
+  // row lists straight into the final arena — regions are disjoint by
+  // construction, rows stay ascending because each parent list is scanned
+  // in order — and counts Y candidates in the same pass over the parent
+  // rows, so no row is read twice. A parent's children are contiguous in
+  // the chunk, which keeps the running counts in a dense (child, value)
+  // table of per-parent extent; the table is undo-reset through the list
+  // of (child, value) pairs it actually touched, so clearing is O(distinct
+  // pairs), not O(table). The running max/argmax updates replicate
+  // AddToGroup's exact semantics (counts in first-encounter order, argmax
+  // to the first value that exceeds the running max) at O(1) per row.
+  // Uniform children block-copy the parent's rows and Group. Every group
+  // is produced by exactly one chunk, so the result does not depend on
+  // the chunking or the thread count.
+  uint32_t* const arena = idx.row_arena_.data();
+  const size_t ydom = master.domain(static_cast<size_t>(ym_col))->size();
+  GlobalPool().ParallelFor(0, chunks.size(), 1, [&](size_t cb, size_t ce) {
+    std::vector<uint32_t> cursor;
+    std::vector<int> ycount;      // (rel child, Y code) -> running count
+    std::vector<int> ymax;        // per rel child: running max count...
+    std::vector<ValueCode> yarg;  // ...and the first value to exceed it
+    std::vector<std::pair<uint32_t, ValueCode>> seen;  // 0->1 transitions
+    std::vector<uint32_t> voff;   // bucketing offsets, one per rel child
+    std::vector<ValueCode> vals;  // bucketed first-encounter values
+    for (size_t ck = cb; ck < ce; ++ck) {
+      RefineChunk& cr = chunks[ck];
+      cursor.resize(cr.children.size());
+      for (size_t ci = 0; ci < cr.children.size(); ++ci) {
+        cursor[ci] = idx.row_begin_[cr.children[ci].final_gid];
+      }
+      const uint32_t* span_b = parent.rows_of(cr.gb).first;
+      for (size_t pg = cr.gb; pg < cr.ge; ++pg) {
+        auto [rb, re] = parent.rows_of(pg);
+        const int32_t uci = cr.uniform_child[pg - cr.gb];
+        if (uci >= 0) {
+          std::copy(rb, re, arena + cursor[static_cast<size_t>(uci)]);
+          idx.groups_[cr.children[static_cast<size_t>(uci)].final_gid] =
+              parent.groups_[pg];
+          continue;
+        }
+        const uint32_t c0 = cr.child_begin[pg - cr.gb];
+        const uint32_t c1 = cr.child_begin[pg - cr.gb + 1];
+        const size_t ncp = c1 - c0;
+        if (ycount.size() < ncp * ydom) ycount.resize(ncp * ydom, 0);
+        ymax.assign(ncp, 0);
+        yarg.assign(ncp, kNullCode);
+        seen.clear();
+        for (const uint32_t* rp = rb; rp < re; ++rp) {
+          if (rp + 8 < re) __builtin_prefetch(ycol + rp[8]);
+          const int32_t ci = cr.row_child[static_cast<size_t>(rp - span_b)];
+          if (ci < 0) continue;
+          arena[cursor[static_cast<size_t>(ci)]++] = *rp;
+          const uint32_t rc = static_cast<uint32_t>(ci) - c0;
+          const ValueCode yv = ycol[*rp];
+          const int cnt = ++ycount[rc * ydom + static_cast<size_t>(yv)];
+          if (cnt == 1) seen.emplace_back(rc, yv);
+          if (cnt > ymax[rc]) {
+            ymax[rc] = cnt;
+            yarg[rc] = yv;
+          }
+        }
+        // Bucket the first-encounter pairs by child — a stable counting
+        // sort, so each child sees its Y values in encounter order, which
+        // is the order a scratch build inserts them in.
+        voff.assign(ncp + 1, 0);
+        for (const auto& [rc, yv] : seen) ++voff[rc + 1];
+        for (size_t rc = 0; rc < ncp; ++rc) voff[rc + 1] += voff[rc];
+        vals.resize(seen.size());
+        for (const auto& [rc, yv] : seen) vals[voff[rc]++] = yv;
+        // voff[rc] is now the END of child rc's slice; its begin is the
+        // previous child's end (0 for the first).
+        for (uint32_t ci = c0; ci < c1; ++ci) {
+          const PendingChild& c = cr.children[ci];
+          const uint32_t rc = ci - c0;
+          Group& g = idx.groups_[c.final_gid];
+          g.total = static_cast<int>(c.size);
+          g.max_count = ymax[rc];
+          g.argmax = yarg[rc];
+          const uint32_t vb = rc == 0 ? 0 : voff[rc - 1];
+          g.counts.reserve(voff[rc] - vb);
+          for (uint32_t vi = vb; vi < voff[rc]; ++vi) {
+            g.counts.emplace_back(
+                vals[vi], ycount[rc * ydom + static_cast<size_t>(vals[vi])]);
+          }
+        }
+        for (const auto& [rc, yv] : seen) {
+          ycount[rc * ydom + static_cast<size_t>(yv)] = 0;
+        }
+      }
+    }
+  });
+  ERMINER_COUNT("group_index/groups_built", num_groups);
   return idx;
 }
 
 const Group* GroupIndex::Find(const std::vector<ValueCode>& key) const {
-  auto it = groups_.find(key);
-  return it == groups_.end() ? nullptr : &it->second;
+  ERMINER_CHECK(key.size() == xm_cols_.size());
+  if (groups_.empty()) return nullptr;
+  uint64_t h = kSeedHash;
+  for (size_t i = 0; i < key.size(); ++i) {
+    h += MixColValue(xm_cols_[i], key[i]);
+  }
+  const int32_t gid = Lookup(h, key.data());
+  return gid < 0 ? nullptr : &groups_[static_cast<size_t>(gid)];
 }
 
 }  // namespace erminer

@@ -5,11 +5,22 @@
 // multiset of Y_m candidate fixes (Cand in Eq. 2) with its total, maximum
 // count and argmax precomputed, so evaluating f_s / f_c / kappa for an input
 // tuple is a single hash probe.
+//
+// Storage layout (docs/perf.md): groups live in a flat vector in
+// first-encounter order (ascending master row); their keys and member row
+// ids live in contiguous arenas; probes go through an open-addressed table
+// keyed by a mixed 64-bit hash, with a full-key compare only when two
+// distinct keys collide on the same slot. Because the per-(column, value)
+// mixes are combined additively, the hash of a child key X_m ∪ {B_m} is the
+// parent's hash plus one mix — the property BuildRefined exploits to derive
+// a child index from its parent by splitting each parent group on the one
+// new column instead of re-scanning the master table.
 
 #ifndef ERMINER_INDEX_GROUP_INDEX_H_
 #define ERMINER_INDEX_GROUP_INDEX_H_
 
-#include <unordered_map>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "data/table.h"
@@ -40,22 +51,73 @@ class GroupIndex {
   static GroupIndex Build(const Table& master, const std::vector<int>& xm_cols,
                           int ym_col);
 
-  /// The group for a key, or nullptr. Pointers remain valid for the life of
-  /// the index.
+  /// Derives the index for `xm_cols` from `parent`, whose xm_cols() must be
+  /// `xm_cols` minus exactly one column: each parent group's row list is
+  /// split on the new column (parallel over parent groups), then groups are
+  /// renumbered by their minimum row id — which makes the result, group
+  /// order included, bit-identical to Build() from scratch for any thread
+  /// count.
+  static GroupIndex BuildRefined(const Table& master, const GroupIndex& parent,
+                                 const std::vector<int>& xm_cols, int ym_col);
+
+  /// The group for a key (aligned with xm_cols()), or nullptr. Pointers
+  /// remain valid for the life of the index.
   const Group* Find(const std::vector<ValueCode>& key) const;
 
   size_t num_groups() const { return groups_.size(); }
   const std::vector<int>& xm_cols() const { return xm_cols_; }
 
-  /// Iteration support (used by the CFD miner).
-  const std::unordered_map<std::vector<ValueCode>, Group, VectorHash>& groups()
-      const {
-    return groups_;
+  /// Iteration support: groups are indexed 0..num_groups() in
+  /// first-encounter (ascending master row) order.
+  const Group& group(size_t gid) const { return groups_[gid]; }
+  /// The key of group `gid`: xm_cols().size() codes aligned with xm_cols().
+  const ValueCode* key_of(size_t gid) const {
+    return key_arena_.data() + gid * xm_cols_.size();
+  }
+  /// Member master rows of group `gid`, ascending.
+  std::pair<const uint32_t*, const uint32_t*> rows_of(size_t gid) const {
+    return {row_arena_.data() + row_begin_[gid],
+            row_arena_.data() + row_begin_[gid + 1]};
+  }
+  /// Index of a Group pointer obtained from this index.
+  size_t IdOf(const Group* g) const {
+    return static_cast<size_t>(g - groups_.data());
   }
 
+  /// How group `gid` was derived, for indexes built by BuildRefined: the
+  /// parent group it was split from and the new column's value. Empty for
+  /// scratch builds.
+  struct Derivation {
+    uint32_t parent_gid = 0;
+    ValueCode value = kNullCode;
+  };
+  const std::vector<Derivation>& derivations() const { return derivations_; }
+
+  /// The position in xm_cols() of the column this index added over its
+  /// parent (refined builds only; -1 for scratch builds).
+  int refined_pos() const { return refined_pos_; }
+
+  /// Mixes one (master column, value) pair into a 64-bit lane. Key hashes
+  /// are sums of these mixes, so they are incremental under column
+  /// insertion; collisions are resolved by full-key compare.
+  static uint64_t MixColValue(int col, ValueCode v);
+
  private:
+  /// Offset of kSeedHash and the open-addressing helpers live in the .cc.
+  int32_t Lookup(uint64_t hash, const ValueCode* key) const;
+  void InsertSlot(uint64_t hash, int32_t gid);
+  void InitTable(size_t expected_groups);
+
   std::vector<int> xm_cols_;
-  std::unordered_map<std::vector<ValueCode>, Group, VectorHash> groups_;
+  std::vector<Group> groups_;            // first-encounter order
+  std::vector<uint64_t> hashes_;         // per-group 64-bit key hash
+  std::vector<ValueCode> key_arena_;     // num_groups * xm_cols_.size()
+  std::vector<uint32_t> row_arena_;      // usable rows, grouped, ascending
+  std::vector<uint32_t> row_begin_;      // num_groups + 1 prefix offsets
+  std::vector<int32_t> table_;           // open addressing; -1 = empty
+  uint64_t table_mask_ = 0;
+  std::vector<Derivation> derivations_;  // refined builds only
+  int refined_pos_ = -1;
 };
 
 }  // namespace erminer

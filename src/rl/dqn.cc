@@ -96,6 +96,35 @@ std::vector<float> DqnAgent::QValues(const RuleKey& state) {
   return q.data();
 }
 
+Tensor DqnAgent::QValuesBatch(const std::vector<const RuleKey*>& states) {
+  Tensor x(states.size(), state_dim_, 0.0f);
+  GlobalPool().ParallelFor(
+      0, states.size(), kBatchGrain, [&](size_t bb, size_t be) {
+        for (size_t b = bb; b < be; ++b) {
+          for (int32_t i : *states[b]) {
+            ERMINER_CHECK(i >= 0 && static_cast<size_t>(i) < state_dim_);
+            x.at(b, static_cast<size_t>(i)) = 1.0f;
+          }
+        }
+      });
+  return online_->Forward(x);
+}
+
+std::vector<int32_t> DqnAgent::ActGreedyBatch(
+    const std::vector<const RuleKey*>& states,
+    const std::vector<const std::vector<uint8_t>*>& masks) {
+  ERMINER_CHECK(states.size() == masks.size());
+  Tensor q = QValuesBatch(states);
+  std::vector<int32_t> actions(states.size());
+  for (size_t b = 0; b < states.size(); ++b) {
+    ERMINER_CHECK(masks[b]->size() == num_actions_);
+    actions[b] = MaskedArgmax(q.data().data() + b * num_actions_, *masks[b],
+                              num_actions_);
+    ERMINER_CHECK(actions[b] >= 0);
+  }
+  return actions;
+}
+
 Tensor DqnAgent::Densify(const std::vector<const Transition*>& batch,
                          bool next) const {
   Tensor x(batch.size(), state_dim_, 0.0f);
@@ -135,10 +164,13 @@ float DqnAgent::TrainStep() {
   // Bootstrap targets from the target network with the next-state mask.
   // Plain DQN takes the target net's own masked argmax; double DQN selects
   // the action with the online net and evaluates it with the target net.
-  Tensor next_q = target_->Forward(Densify(batch, /*next=*/true));
+  // The next-state matrix is densified once and fed to both networks
+  // (double DQN previously rebuilt it for the online pass).
+  Tensor next_x = Densify(batch, /*next=*/true);
+  Tensor next_q = target_->Forward(next_x);
   Tensor next_q_online;
   if (options_.double_dqn) {
-    next_q_online = online_->Forward(Densify(batch, /*next=*/true));
+    next_q_online = online_->Forward(next_x);
   }
   std::vector<float> targets(bsz);
   GlobalPool().ParallelFor(0, bsz, kBatchGrain, [&](size_t bb, size_t be) {

@@ -59,6 +59,18 @@ class DqnAgent {
   /// Q-values of one state (pre-mask), for inspection and tests.
   std::vector<float> QValues(const RuleKey& state);
 
+  /// Q-values of many states in ONE forward pass: the densified feature
+  /// rows are stacked into a single matrix, so the network's matmuls run
+  /// once over the whole batch. Row b equals QValues(*states[b]) bitwise —
+  /// every matmul row is an independent dot product.
+  Tensor QValuesBatch(const std::vector<const RuleKey*>& states);
+
+  /// Masked greedy actions for many states from one batched forward;
+  /// element b equals ActGreedy(*states[b], *masks[b]) exactly.
+  std::vector<int32_t> ActGreedyBatch(
+      const std::vector<const RuleKey*>& states,
+      const std::vector<const std::vector<uint8_t>*>& masks);
+
   void Observe(Transition t) {
     if (prioritized_) {
       prioritized_->Add(std::move(t));

@@ -45,6 +45,7 @@ RlMiner::RlMiner(const Corpus* corpus, const RlMinerOptions& options,
       eps_(options.eps_start, options.eps_end, options.train_steps,
            options.eps_decay_fraction),
       explore_rng_(options.seed ^ 0xE8A10u) {
+  evaluator_.cache().set_refine_enabled(options_.base.refine);
   DqnOptions dopts = options_.dqn;
   dopts.seed = options_.seed;
   agent_ = std::make_unique<DqnAgent>(space_->state_dim(),

@@ -155,6 +155,44 @@ TEST(DqnAgentTest, MaskedBootstrapIgnoresDisallowedNextActions) {
   EXPECT_EQ(agent.ActGreedy({0}, full), 1);
 }
 
+TEST(DqnAgentTest, BatchedForwardMatchesSingleStateBitwise) {
+  // One batched forward over stacked feature rows must reproduce each
+  // per-state forward exactly — matmul rows are independent dot products,
+  // so this is a bitwise contract, not a tolerance.
+  DqnAgent agent(6, 5, SmallDqn());
+  std::vector<RuleKey> states = {{}, {0}, {1, 3}, {2, 4, 5}, {0, 5}, {1}};
+  std::vector<const RuleKey*> ptrs;
+  for (const RuleKey& s : states) ptrs.push_back(&s);
+  Tensor batched = agent.QValuesBatch(ptrs);
+  ASSERT_EQ(batched.rows(), states.size());
+  ASSERT_EQ(batched.cols(), 5u);
+  for (size_t b = 0; b < states.size(); ++b) {
+    std::vector<float> single = agent.QValues(states[b]);
+    for (size_t a = 0; a < single.size(); ++a) {
+      EXPECT_EQ(batched.at(b, a), single[a]) << "state " << b << " action "
+                                             << a;
+    }
+  }
+}
+
+TEST(DqnAgentTest, ActGreedyBatchMatchesActGreedy) {
+  DqnAgent agent(6, 5, SmallDqn());
+  std::vector<RuleKey> states = {{0}, {1, 3}, {2, 4}, {5}};
+  std::vector<std::vector<uint8_t>> masks = {
+      {1, 1, 1, 1, 1}, {0, 1, 0, 1, 1}, {1, 0, 0, 0, 1}, {0, 0, 1, 1, 0}};
+  std::vector<const RuleKey*> sp;
+  std::vector<const std::vector<uint8_t>*> mp;
+  for (size_t i = 0; i < states.size(); ++i) {
+    sp.push_back(&states[i]);
+    mp.push_back(&masks[i]);
+  }
+  std::vector<int32_t> batched = agent.ActGreedyBatch(sp, mp);
+  ASSERT_EQ(batched.size(), states.size());
+  for (size_t i = 0; i < states.size(); ++i) {
+    EXPECT_EQ(batched[i], agent.ActGreedy(states[i], masks[i])) << i;
+  }
+}
+
 TEST(DqnAgentTest, SaveLoadWeights) {
   DqnAgent a(3, 4, SmallDqn());
   std::stringstream ss;

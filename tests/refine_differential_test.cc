@@ -1,0 +1,282 @@
+// Differential tests for the partition-refinement engine: a GroupIndex /
+// EvalCache entry derived from its parent (docs/perf.md) must be
+// bit-identical to one built from scratch — group order, keys, counts
+// (insertion order included), argmax, member rows and the EvalColumn — for
+// every dataset generator and every thread count, and each miner must
+// produce identical rule sets with refinement on and off. EXPECT_EQ on
+// doubles is deliberate: the contract is bit-identity, not tolerance.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/beam_miner.h"
+#include "core/cfd_miner.h"
+#include "core/enu_miner.h"
+#include "eval/experiment.h"
+#include "index/eval_cache.h"
+#include "index/group_index.h"
+#include "rl/rl_miner.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::SeededCorpusCache;
+
+void ExpectIndexIdentical(const GroupIndex& refined,
+                          const GroupIndex& scratch) {
+  ASSERT_EQ(refined.xm_cols(), scratch.xm_cols());
+  ASSERT_EQ(refined.num_groups(), scratch.num_groups());
+  const size_t k = scratch.xm_cols().size();
+  for (size_t gid = 0; gid < scratch.num_groups(); ++gid) {
+    for (size_t i = 0; i < k; ++i) {
+      ASSERT_EQ(refined.key_of(gid)[i], scratch.key_of(gid)[i])
+          << "group " << gid << " key column " << i;
+    }
+    const Group& a = refined.group(gid);
+    const Group& b = scratch.group(gid);
+    ASSERT_EQ(a.counts, b.counts) << "group " << gid;  // values AND order
+    ASSERT_EQ(a.total, b.total);
+    ASSERT_EQ(a.max_count, b.max_count);
+    ASSERT_EQ(a.argmax, b.argmax);
+    auto [ab, ae] = refined.rows_of(gid);
+    auto [bb, be] = scratch.rows_of(gid);
+    ASSERT_EQ(ae - ab, be - bb) << "group " << gid;
+    ASSERT_TRUE(std::equal(ab, ae, bb)) << "group " << gid;
+  }
+}
+
+/// (input, master) attribute pairs usable as LHS pairs.
+LhsPairs MatchedPairs(const Corpus& corpus) {
+  LhsPairs pairs;
+  for (size_t a = 0; a < corpus.input().num_cols(); ++a) {
+    if (static_cast<int>(a) == corpus.y_input()) continue;
+    for (int m : corpus.match().Matches(static_cast<int>(a))) {
+      if (m == corpus.y_master()) continue;
+      pairs.emplace_back(static_cast<int>(a), m);
+    }
+  }
+  return pairs;
+}
+
+/// Random LHS chains: grow an LHS one random pair at a time, refining the
+/// previous level's index, and check every level against a scratch build.
+void RunLhsChains(const std::string& dataset, uint64_t seed) {
+  const GeneratedDataset& ds =
+      SeededCorpusCache::Get(dataset, 1200, 500, seed);
+  Corpus corpus = BuildCorpus(ds).ValueOrDie();
+  const LhsPairs pairs = MatchedPairs(corpus);
+  ASSERT_GE(pairs.size(), 2u);
+  for (long threads : {1L, 4L}) {
+    SetGlobalThreads(threads);
+    Rng rng(seed * 31 + static_cast<uint64_t>(threads));
+    for (int chain = 0; chain < 4; ++chain) {
+      LhsPairs order = pairs;
+      for (size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng.NextUint64(i)]);
+      }
+      LhsPairs lhs;
+      GroupIndex parent =
+          GroupIndex::Build(corpus.master(), {}, corpus.y_master());
+      const size_t depth = std::min<size_t>(order.size(), 4);
+      for (size_t d = 0; d < depth; ++d) {
+        lhs.push_back(order[d]);
+        std::sort(lhs.begin(), lhs.end());
+        std::vector<int> xm_cols;
+        for (const auto& [a, am] : lhs) {
+          (void)a;
+          xm_cols.push_back(am);
+        }
+        GroupIndex scratch =
+            GroupIndex::Build(corpus.master(), xm_cols, corpus.y_master());
+        GroupIndex refined = GroupIndex::BuildRefined(
+            corpus.master(), parent, xm_cols, corpus.y_master());
+        ExpectIndexIdentical(refined, scratch);
+        parent = std::move(refined);
+      }
+    }
+    SetGlobalThreads(1);
+  }
+}
+
+TEST(RefineDifferentialTest, LhsChainsAdult) { RunLhsChains("Adult", 101); }
+TEST(RefineDifferentialTest, LhsChainsNursery) {
+  RunLhsChains("nursery", 102);
+}
+TEST(RefineDifferentialTest, LhsChainsCovid) { RunLhsChains("covid", 103); }
+TEST(RefineDifferentialTest, LhsChainsLocation) {
+  RunLhsChains("Location", 104);
+}
+
+/// EvalCache entries (index AND EvalColumn) built through the parent-hint
+/// refinement path vs the scratch path.
+void RunCacheChains(const std::string& dataset, uint64_t seed) {
+  const GeneratedDataset& ds =
+      SeededCorpusCache::Get(dataset, 1200, 500, seed);
+  Corpus corpus = BuildCorpus(ds).ValueOrDie();
+  const LhsPairs pairs = MatchedPairs(corpus);
+  ASSERT_GE(pairs.size(), 2u);
+  for (long threads : {1L, 4L}) {
+    SetGlobalThreads(threads);
+    EvalCache refined_cache(&corpus, 64);
+    EvalCache scratch_cache(&corpus, 64);
+    scratch_cache.set_refine_enabled(false);
+    ASSERT_TRUE(refined_cache.refine_enabled());
+    ASSERT_FALSE(scratch_cache.refine_enabled());
+    Rng rng(seed * 47 + static_cast<uint64_t>(threads));
+    for (int chain = 0; chain < 3; ++chain) {
+      LhsPairs order = pairs;
+      for (size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng.NextUint64(i)]);
+      }
+      LhsPairs lhs;
+      const size_t depth = std::min<size_t>(order.size(), 3);
+      for (size_t d = 0; d < depth; ++d) {
+        const LhsPairs parent = lhs;
+        lhs.push_back(order[d]);
+        std::sort(lhs.begin(), lhs.end());
+        EvalCache::Entry refined = refined_cache.Get(lhs, &parent);
+        EvalCache::Entry scratch = scratch_cache.Get(lhs, &parent);
+        ExpectIndexIdentical(*refined.index, *scratch.index);
+        const auto& rg = refined.column->group;
+        const auto& sg = scratch.column->group;
+        ASSERT_EQ(rg.size(), sg.size());
+        for (size_t r = 0; r < rg.size(); ++r) {
+          ASSERT_EQ(rg[r] == nullptr, sg[r] == nullptr) << "row " << r;
+          if (rg[r] != nullptr) {
+            ASSERT_EQ(refined.index->IdOf(rg[r]), scratch.index->IdOf(sg[r]))
+                << "row " << r;
+          }
+        }
+      }
+    }
+    SetGlobalThreads(1);
+  }
+}
+
+TEST(RefineDifferentialTest, CacheChainsAdult) {
+  RunCacheChains("Adult", 201);
+}
+TEST(RefineDifferentialTest, CacheChainsNursery) {
+  RunCacheChains("nursery", 202);
+}
+TEST(RefineDifferentialTest, CacheChainsCovid) {
+  RunCacheChains("covid", 203);
+}
+TEST(RefineDifferentialTest, CacheChainsLocation) {
+  RunCacheChains("Location", 204);
+}
+
+/// A stale or wrong parent hint must fall back to a correct scratch build.
+TEST(RefineDifferentialTest, InvalidHintsFallBackToScratch) {
+  Corpus corpus = erminer::testing::MakeExactFdCorpus();
+  const LhsPairs pairs = MatchedPairs(corpus);
+  ASSERT_GE(pairs.size(), 2u);
+  EvalCache cache(&corpus, 16);
+  LhsPairs child = {pairs[0], pairs[1]};
+  std::sort(child.begin(), child.end());
+  // Parent never requested (not resident), parent == child, parent totally
+  // unrelated, and parent two levels up — all must yield the scratch result.
+  const LhsPairs absent = {pairs[0]};
+  const LhsPairs same = child;
+  const LhsPairs empty;
+  for (const LhsPairs* hint : {&absent, &same, &empty}) {
+    EvalCache fresh(&corpus, 16);
+    fresh.set_refine_enabled(false);
+    EvalCache::Entry want = fresh.Get(child);
+    EvalCache hinted(&corpus, 16);
+    EvalCache::Entry got = hinted.Get(child, hint);
+    ExpectIndexIdentical(*got.index, *want.index);
+  }
+}
+
+MinerOptions BaseOptions(const GeneratedDataset& ds, bool refine) {
+  MinerOptions o;
+  o.k = 20;
+  o.support_threshold =
+      std::max(10.0, static_cast<double>(ds.input.num_rows()) / 40.0);
+  o.max_nodes = 200'000;
+  o.refine = refine;
+  return o;
+}
+
+void ExpectSameMineResult(const MineResult& a, const MineResult& b) {
+  ASSERT_EQ(a.rules.size(), b.rules.size());
+  for (size_t i = 0; i < a.rules.size(); ++i) {
+    EXPECT_EQ(a.rules[i].rule, b.rules[i].rule) << "rule " << i;
+    EXPECT_EQ(a.rules[i].stats.support, b.rules[i].stats.support);
+    EXPECT_EQ(a.rules[i].stats.certainty, b.rules[i].stats.certainty);
+    EXPECT_EQ(a.rules[i].stats.quality, b.rules[i].stats.quality);
+    EXPECT_EQ(a.rules[i].stats.utility, b.rules[i].stats.utility);
+  }
+  EXPECT_EQ(a.nodes_explored, b.nodes_explored);
+  EXPECT_EQ(a.rule_evaluations, b.rule_evaluations);
+}
+
+/// Mined rule sets must be bit-identical with refinement on vs off, for
+/// every thread count (the --no-refine acceptance criterion).
+void RunMinerOnOff(const std::function<MineResult(const Corpus&, bool)>& mine,
+                   const GeneratedDataset& ds) {
+  for (long threads : {1L, 4L}) {
+    SetGlobalThreads(threads);
+    Corpus corpus = BuildCorpus(ds).ValueOrDie();
+    MineResult on = mine(corpus, true);
+    MineResult off = mine(corpus, false);
+    SetGlobalThreads(1);
+    ExpectSameMineResult(on, off);
+  }
+}
+
+TEST(RefineDifferentialTest, EnuMinerOnOffIdentical) {
+  const GeneratedDataset& ds =
+      SeededCorpusCache::Get("Adult", 1000, 300, 301);
+  RunMinerOnOff(
+      [&](const Corpus& c, bool refine) {
+        return EnuMineH3(c, BaseOptions(ds, refine));
+      },
+      ds);
+}
+
+TEST(RefineDifferentialTest, CtaneOnOffIdentical) {
+  const GeneratedDataset& ds =
+      SeededCorpusCache::Get("nursery", 1000, 400, 302);
+  RunMinerOnOff(
+      [&](const Corpus& c, bool refine) {
+        return CfdMine(c, BaseOptions(ds, refine));
+      },
+      ds);
+}
+
+TEST(RefineDifferentialTest, BeamMinerOnOffIdentical) {
+  const GeneratedDataset& ds =
+      SeededCorpusCache::Get("covid", 1000, 300, 303);
+  RunMinerOnOff(
+      [&](const Corpus& c, bool refine) {
+        return BeamMine(c, BaseOptions(ds, refine), {});
+      },
+      ds);
+}
+
+TEST(RefineDifferentialTest, RlMinerInferenceOnOffIdentical) {
+  const GeneratedDataset& ds =
+      SeededCorpusCache::Get("Adult", 1000, 300, 304);
+  RunMinerOnOff(
+      [&](const Corpus& c, bool refine) {
+        RlMinerOptions rl;
+        rl.base = BaseOptions(ds, refine);
+        rl.seed = 123;
+        rl.max_inference_steps = 150;
+        RlMiner miner(&c, rl);
+        return miner.Infer();
+      },
+      ds);
+}
+
+}  // namespace
+}  // namespace erminer

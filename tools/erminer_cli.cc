@@ -7,7 +7,8 @@
 //
 //   erminer mine --input=F.csv --master=F.csv --y=NAME [--y-master=NAME]
 //           [--method=rl|enu|enuh3|ctane|beam] [--k=N] [--support=N]
-//           [--steps=N] [--seed=N] [--negations] [--rules-out=FILE]
+//           [--steps=N] [--seed=N] [--negations] [--no-refine]
+//           [--rules-out=FILE]
 //       Discovers editing rules (schemas are matched by column name) and
 //       prints them; optionally writes a rules file.
 //
@@ -207,6 +208,9 @@ int CmdMine(Flags* flags) {
       "support",
       std::max(10.0, static_cast<double>(corpus.input().num_rows()) / 40.0));
   options.include_negations = flags->GetBool("negations");
+  // Escape hatch for the partition-refinement engine (docs/perf.md);
+  // results are bit-identical either way.
+  options.refine = !flags->GetBool("no-refine");
   RlMinerOptions rl;
   rl.base = options;
   rl.train_steps = static_cast<size_t>(flags->GetInt("steps", 3000));
