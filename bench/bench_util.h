@@ -12,6 +12,13 @@
 //                 results are bit-identical for every N (docs/parallelism.md)
 //   --metrics-json=FILE   dump the metrics registry on exit
 //   --trace-json=FILE     record spans; write Chrome trace JSON on exit
+//   --telemetry-port=P    live /metrics endpoint while the bench runs
+//                         (P=0 picks a free port; printed to stderr)
+//   --metrics-stream=FILE periodic JSONL counter-delta samples
+//                         (interval: --sample-interval-ms, default 1000)
+//   --log-json[=FILE]     structured JSON log records (default stderr)
+// Export files are flushed on SIGINT/SIGTERM too (obs/flush.h), so an
+// interrupted sweep still leaves its artifacts.
 // Support thresholds are scaled proportionally to the input size so the
 // scaled runs exercise the same pruning regime as the paper's.
 
@@ -26,17 +33,22 @@
 #include "datagen/generators.h"
 #include "eval/experiment.h"
 #include "eval/table.h"
+#include "obs/flush.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/telemetry_server.h"
 #include "obs/trace.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace erminer::bench {
 
-/// Export paths registered by BenchFlags::Parse and flushed via atexit, so
-/// every bench binary gets --metrics-json / --trace-json without per-binary
-/// shutdown plumbing.
+/// Export paths registered by BenchFlags::Parse and flushed through
+/// obs::FlushAll (atexit + SIGINT/SIGTERM, see obs/flush.h), so every bench
+/// binary gets --metrics-json / --trace-json without per-binary shutdown
+/// plumbing and an interrupted sweep still writes its files.
 inline std::string& MetricsJsonPath() {
   static std::string* path = new std::string();
   return *path;
@@ -44,6 +56,13 @@ inline std::string& MetricsJsonPath() {
 inline std::string& TraceJsonPath() {
   static std::string* path = new std::string();
   return *path;
+}
+
+/// Process-wide sampler for --metrics-stream (leaked: benches exit via
+/// main's return or a signal, and the stream is flushed per sample anyway).
+inline obs::Sampler*& BenchSampler() {
+  static obs::Sampler* sampler = nullptr;
+  return sampler;
 }
 
 inline void ExportObsFiles() {
@@ -63,6 +82,9 @@ struct BenchFlags {
   size_t trials = 0;       // 0 = per-bench default
   uint64_t seed = 7;
   long threads = 1;
+  long telemetry_port = -1;  // -1 = no server
+  long sample_interval_ms = 1000;
+  std::string metrics_stream;
 
   static BenchFlags Parse(int argc, char** argv) {
     BenchFlags f;
@@ -82,9 +104,24 @@ struct BenchFlags {
         MetricsJsonPath() = a + 15;
       } else if (std::strncmp(a, "--trace-json=", 13) == 0) {
         TraceJsonPath() = a + 13;
+      } else if (std::strncmp(a, "--telemetry-port=", 17) == 0) {
+        f.telemetry_port = std::atol(a + 17);
+      } else if (std::strncmp(a, "--sample-interval-ms=", 21) == 0) {
+        f.sample_interval_ms = std::atol(a + 21);
+      } else if (std::strncmp(a, "--metrics-stream=", 17) == 0) {
+        f.metrics_stream = a + 17;
+      } else if (std::strcmp(a, "--log-json") == 0) {
+        EnableJsonLogSink();
+      } else if (std::strncmp(a, "--log-json=", 11) == 0) {
+        if (!EnableJsonLogSink(a + 11)) {
+          std::fprintf(stderr, "cannot open --log-json file %s\n", a + 11);
+          std::exit(2);
+        }
       } else if (std::strcmp(a, "--help") == 0) {
         std::printf("flags: --full --no-refine --trials=N --seed=N "
-                    "--threads=N --metrics-json=FILE --trace-json=FILE\n");
+                    "--threads=N --metrics-json=FILE --trace-json=FILE "
+                    "--telemetry-port=P --metrics-stream=FILE "
+                    "--sample-interval-ms=N --log-json[=FILE]\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag %s (see --help)\n", a);
@@ -94,7 +131,29 @@ struct BenchFlags {
     SetGlobalThreads(f.threads);
     if (!TraceJsonPath().empty()) obs::TraceRecorder::Global().Enable();
     if (!MetricsJsonPath().empty() || !TraceJsonPath().empty()) {
-      std::atexit(ExportObsFiles);
+      obs::RegisterFlush(ExportObsFiles);
+      obs::InstallSignalFlushHandlers();
+    }
+    std::string error;
+    if (f.telemetry_port >= 0) {
+      obs::TelemetryServerOptions sopts;
+      sopts.port = static_cast<int>(f.telemetry_port);
+      if (!obs::TelemetryServer::Global().Start(sopts, &error)) {
+        std::fprintf(stderr, "telemetry server: %s\n", error.c_str());
+        std::exit(2);
+      }
+      std::fprintf(stderr, "telemetry: http://127.0.0.1:%d/metrics\n",
+                   obs::TelemetryServer::Global().port());
+    }
+    if (!f.metrics_stream.empty()) {
+      obs::SamplerOptions sopts;
+      sopts.interval_ms = static_cast<int>(f.sample_interval_ms);
+      sopts.stream_path = f.metrics_stream;
+      BenchSampler() = new obs::Sampler(sopts);
+      if (!BenchSampler()->Start(&error)) {
+        std::fprintf(stderr, "metrics sampler: %s\n", error.c_str());
+        std::exit(2);
+      }
     }
     return f;
   }

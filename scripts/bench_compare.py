@@ -12,8 +12,10 @@ Both inputs are files holding the stdout of one or more bench binaries
   scripts/bench_compare.py baseline.log candidate.log
 
 Records are matched by their identity fields — every scalar field except
-timings (keys ending in `secs`/`seconds`), `cpu_seconds`, `peak_rss_bytes`
-and the `metrics` object. A record key that appears several times (multiple
+timings (keys ending in `secs`/`seconds`/`_ms`/`_us` and latency quantiles
+`p50`/`p90`/`p99`), `cpu_seconds`, `peak_rss_bytes` and the `metrics`
+object. Millisecond/microsecond keys are converted to seconds before the
+--min-secs gate and the report, so all columns compare in one unit. A record key that appears several times (multiple
 trials) is averaged before comparison. For each matched record, every
 timing field present on both sides is compared; the script exits 1 if any
 timing regresses by more than --threshold percent (default 10) while both
@@ -30,8 +32,20 @@ NON_IDENTITY = {"cpu_seconds", "peak_rss_bytes", "metrics"}
 
 
 def is_timing(key):
-    return key != "cpu_seconds" and (key.endswith("secs") or
-                                     key.endswith("seconds"))
+    if key == "cpu_seconds":
+        return False
+    return (key.endswith("secs") or key.endswith("seconds") or
+            key.endswith("_ms") or key.endswith("_us") or
+            key in ("p50", "p90", "p99"))
+
+
+def timing_seconds(key, value):
+    """Normalizes a timing value to seconds by its key's unit suffix."""
+    if key.endswith("_ms"):
+        return value / 1e3
+    if key.endswith("_us"):
+        return value / 1e6
+    return value
 
 
 def identity(record):
@@ -58,7 +72,7 @@ def load(path):
             record = json.loads(line[pos + len(MARKER):])
         except json.JSONDecodeError as e:
             sys.exit(f"bench_compare: bad BENCH_JSON line in {path}: {e}")
-        timings = {k: float(v) for k, v in record.items()
+        timings = {k: timing_seconds(k, float(v)) for k, v in record.items()
                    if is_timing(k) and isinstance(v, (int, float))}
         bucket = sums.setdefault(identity(record), {})
         for key, value in timings.items():

@@ -42,5 +42,32 @@ for method in enu rl; do
 done
 
 echo
+echo "=== live telemetry smoke (--telemetry-port / --run-dir / --metrics-stream) ==="
+port=19417
+"$build/tools/erminer" "${mine_common[@]}" --method=rl --steps=400 --seed=17 \
+  --telemetry-port="$port" --run-dir="$out/run_rl" \
+  --metrics-stream="$out/metrics_stream.jsonl" >/dev/null &
+miner_pid=$!
+scraped=0
+for _ in $(seq 1 100); do
+  if python3 scripts/watch_run.py --port="$port" --once 2>/dev/null; then
+    scraped=1
+    break
+  fi
+  kill -0 "$miner_pid" 2>/dev/null || break
+  sleep 0.1
+done
+wait "$miner_pid"
+if [[ "$scraped" == 1 ]]; then
+  echo "scraped live /metrics.json from the running miner (above)"
+else
+  echo "warning: run finished before a scrape landed (tiny dataset)" >&2
+fi
+echo "--- run manifest ($out/run_rl) ---"
+ls "$out/run_rl"
+echo "episodes recorded: $(wc -l < "$out/run_rl/episodes.jsonl")"
+echo "samples streamed:  $(wc -l < "$out/metrics_stream.jsonl")"
+
+echo
 echo "profile: traces and metrics written to $out/"
 echo "open a trace_*.json in chrome://tracing or https://ui.perfetto.dev"

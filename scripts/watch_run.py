@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Terminal dashboard for a live erminer run's telemetry endpoint.
+
+Usage:
+  scripts/watch_run.py [--port=P] [--host=H] [--interval=S] [--once]
+                       [--metrics=NAME,NAME,...]
+
+Polls http://HOST:PORT/metrics.json (the embedded server a run starts with
+--telemetry-port=P) and redraws one line per watched metric with its current
+value and a unicode sparkline of its recent history — counters are shown as
+per-interval rates, gauges as values. With no --metrics, watches a default
+set of mining/RL signals and adds any rl/* gauge it sees.
+
+--once prints a single snapshot (no loop, no screen clearing) — usable from
+scripts and smoke tests. Standard library only.
+"""
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+SPARK = "▁▂▃▄▅▆▇█"
+DEFAULT_METRICS = [
+    "enuminer/nodes_expanded",
+    "evaluator/rules_evaluated",
+    "rl/steps",
+    "rl/episodes",
+    "rl/episode_return",
+    "rl/mean_loss",
+]
+HISTORY = 40
+
+
+def fetch(host, port):
+    url = f"http://{host}:{port}/metrics.json"
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def flatten(snapshot):
+    """{name: (kind, value)} for counters and gauges."""
+    out = {}
+    for name, value in snapshot.get("counters", {}).items():
+        out[name] = ("counter", float(value))
+    for name, value in snapshot.get("gauges", {}).items():
+        out[name] = ("gauge", float(value))
+    return out
+
+
+def sparkline(history):
+    if not history:
+        return ""
+    lo, hi = min(history), max(history)
+    if hi <= lo:
+        return SPARK[0] * len(history)
+    scale = (len(SPARK) - 1) / (hi - lo)
+    return "".join(SPARK[int((v - lo) * scale)] for v in history)
+
+
+def watched_names(requested, flat):
+    if requested:
+        return requested
+    names = [n for n in DEFAULT_METRICS if n in flat]
+    names += sorted(n for n, (kind, _) in flat.items()
+                    if n.startswith("rl/") and kind == "gauge"
+                    and n not in names)
+    return names or sorted(flat)[:12]
+
+
+def main(argv):
+    host, port, interval, once, requested = "127.0.0.1", 9090, 1.0, False, []
+    for arg in argv[1:]:
+        if arg.startswith("--port="):
+            port = int(arg[len("--port="):])
+        elif arg.startswith("--host="):
+            host = arg[len("--host="):]
+        elif arg.startswith("--interval="):
+            interval = float(arg[len("--interval="):])
+        elif arg == "--once":
+            once = True
+        elif arg.startswith("--metrics="):
+            requested = [n for n in arg[len("--metrics="):].split(",") if n]
+        elif arg in ("-h", "--help"):
+            print(__doc__.strip())
+            return 0
+        else:
+            sys.exit(f"watch_run: unknown flag {arg} (see --help)")
+
+    histories = {}  # name -> list of plotted values
+    previous = {}   # name -> last raw counter value, for rates
+    while True:
+        try:
+            flat = flatten(fetch(host, port))
+        except (urllib.error.URLError, OSError, json.JSONDecodeError) as e:
+            sys.exit(f"watch_run: cannot scrape {host}:{port}: {e}")
+        names = watched_names(requested, flat)
+        lines = []
+        for name in names:
+            kind, value = flat.get(name, ("gauge", 0.0))
+            if kind == "counter":
+                plotted = value - previous.get(name, value)
+                previous[name] = value
+                label = f"{value:.0f} (+{plotted:.0f})"
+            else:
+                plotted = value
+                label = f"{value:.4g}"
+            history = histories.setdefault(name, [])
+            history.append(plotted)
+            del history[:-HISTORY]
+            lines.append(f"{name:<32} {label:>18}  {sparkline(history)}")
+        if once:
+            print("\n".join(lines))
+            return 0
+        # Full-screen redraw, plain ANSI (no curses dependency).
+        sys.stdout.write("\x1b[2J\x1b[H")
+        sys.stdout.write(f"watching http://{host}:{port}/metrics.json "
+                         f"every {interval}s (ctrl-c to stop)\n\n")
+        sys.stdout.write("\n".join(lines) + "\n")
+        sys.stdout.flush()
+        time.sleep(interval)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except KeyboardInterrupt:
+        sys.exit(0)

@@ -1,5 +1,6 @@
 #include "eval/pipeline.h"
 
+#include <memory>
 #include <sstream>
 
 #include "core/cfd_miner.h"
@@ -12,8 +13,12 @@
 #include "datagen/generators.h"
 #include "eval/experiment.h"
 #include "obs/metrics.h"
+#include "obs/run_manifest.h"
+#include "obs/sampler.h"
+#include "obs/telemetry_server.h"
 #include "obs/trace.h"
 #include "rl/rl_miner.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace erminer {
@@ -78,19 +83,65 @@ Result<LoadedData> LoadData(const Config& config) {
   return data;
 }
 
-/// Arms the trace recorder for the duration of the pipeline and writes the
-/// configured export files on the way out — RAII so the exports happen even
-/// when a stage fails early (a partial trace is exactly what you want when
-/// diagnosing why a stage returned an error).
+/// Arms the configured observability for the duration of the pipeline —
+/// trace recording, live telemetry server, metrics sampler, JSON logs and
+/// the run manifest — and writes the export files on the way out. RAII so
+/// the exports happen even when a stage fails early (a partial trace is
+/// exactly what you want when diagnosing why a stage returned an error).
+/// Telemetry is pull-only, so results are bit-identical whether or not any
+/// of it is armed.
 class ScopedObsExports {
  public:
   explicit ScopedObsExports(const Config& config)
       : metrics_path_(config.Get("obs.metrics_json", "")),
         trace_path_(config.Get("obs.trace_json", "")) {
     if (!trace_path_.empty()) obs::TraceRecorder::Global().Enable();
+    const std::string log_json = config.Get("obs.log_json", "");
+    if (!log_json.empty()) {
+      EnableJsonLogSink(log_json == "stderr" ? "" : log_json);
+    }
+    std::string error;
+    if (config.Has("obs.telemetry_port")) {
+      obs::TelemetryServerOptions sopts;
+      sopts.port = static_cast<int>(config.GetInt("obs.telemetry_port", 0));
+      if (obs::TelemetryServer::Global().Start(sopts, &error)) {
+        server_started_ = true;
+      } else {
+        ERMINER_LOG(WARNING) << "telemetry server: " << error;
+      }
+    }
+    const std::string stream = config.Get("obs.metrics_stream", "");
+    if (!stream.empty()) {
+      obs::SamplerOptions sopts;
+      sopts.interval_ms =
+          static_cast<int>(config.GetInt("obs.sample_interval_ms", 1000));
+      sopts.stream_path = stream;
+      sampler_ = std::make_unique<obs::Sampler>(sopts);
+      if (!sampler_->Start(&error)) {
+        ERMINER_LOG(WARNING) << "metrics sampler: " << error;
+        sampler_.reset();
+      }
+    }
+    const std::string run_dir = config.Get("obs.run_dir", "");
+    if (!run_dir.empty()) {
+      manifest_ = obs::RunManifest::Open(run_dir, config.values(), &error);
+      if (manifest_ != nullptr) {
+        obs::SetActiveRunManifest(manifest_.get());
+      } else {
+        ERMINER_LOG(WARNING) << "run manifest: " << error;
+      }
+    }
   }
 
   ~ScopedObsExports() {
+    if (sampler_ != nullptr) sampler_->Stop();
+    if (manifest_ != nullptr) {
+      obs::SetActiveRunManifest(nullptr);
+      manifest_->WriteSummary(
+          "{\"ok\":true,\"episodes\":" +
+          std::to_string(manifest_->episodes_appended()) + "}");
+    }
+    if (server_started_) obs::TelemetryServer::Global().Stop();
     if (!metrics_path_.empty()) {
       obs::MetricsRegistry::Global().WriteJsonFile(metrics_path_);
     }
@@ -102,6 +153,9 @@ class ScopedObsExports {
  private:
   std::string metrics_path_;
   std::string trace_path_;
+  bool server_started_ = false;
+  std::unique_ptr<obs::Sampler> sampler_;
+  std::unique_ptr<obs::RunManifest> manifest_;
 };
 
 }  // namespace

@@ -12,7 +12,15 @@
 //   [repair]  mode = vote | certain ; overwrite
 //   [output]  repaired ; rules                      (optional CSV/rule paths)
 //   [obs]     metrics_json ; trace_json             (observability exports:
-//             metrics registry dump / Chrome trace of the run — see
+//             metrics registry dump / Chrome trace of the run)
+//             telemetry_port                        (live /metrics endpoint
+//             for the duration of the pipeline; 0 picks a free port)
+//             metrics_stream ; sample_interval_ms   (periodic JSONL counter
+//             samples, default interval 1000 ms)
+//             log_json                              (structured JSON logs:
+//             "stderr" or a file path)
+//             run_dir                               (manifest directory:
+//             config.json, episodes.jsonl, summary.json — see
 //             docs/observability.md)
 //   threads   top-level worker count (0 = hardware concurrency; default 1 =
 //             serial). Results are bit-identical for every value — see

@@ -1,0 +1,63 @@
+#include "obs/flush.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+
+namespace erminer::obs {
+
+namespace {
+
+constexpr int kMaxFlushFns = 32;
+FlushFn g_fns[kMaxFlushFns];
+std::atomic<int> g_num_fns{0};
+std::atomic<bool> g_flushing{false};
+std::atomic<bool> g_handlers_installed{false};
+
+extern "C" void FlushSignalHandler(int sig) {
+  FlushAll();
+  // Restore the default disposition and re-deliver, so the parent still
+  // sees death-by-signal (ctest, shells and process supervisors key off
+  // that) instead of a plain exit code.
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+void RegisterFlush(FlushFn fn) {
+  if (fn == nullptr) return;
+  int slot = g_num_fns.load(std::memory_order_relaxed);
+  while (slot < kMaxFlushFns &&
+         !g_num_fns.compare_exchange_weak(slot, slot + 1,
+                                          std::memory_order_acq_rel)) {
+  }
+  if (slot >= kMaxFlushFns) return;
+  g_fns[slot] = fn;
+}
+
+void FlushAll() {
+  bool expected = false;
+  if (!g_flushing.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
+    return;  // a flush is already in progress (signal during exit)
+  }
+  const int n = g_num_fns.load(std::memory_order_acquire);
+  for (int i = n - 1; i >= 0; --i) {
+    if (g_fns[i] != nullptr) g_fns[i]();
+  }
+  g_flushing.store(false, std::memory_order_release);
+}
+
+void InstallSignalFlushHandlers() {
+  bool expected = false;
+  if (!g_handlers_installed.compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel)) {
+    return;
+  }
+  std::signal(SIGINT, FlushSignalHandler);
+  std::signal(SIGTERM, FlushSignalHandler);
+  std::atexit(FlushAll);
+}
+
+}  // namespace erminer::obs

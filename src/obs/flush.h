@@ -1,0 +1,45 @@
+// One flush path for every telemetry exporter, shared by normal exit,
+// atexit, and SIGINT/SIGTERM.
+//
+// Before this existed, the bench binaries exported metrics/trace via a bare
+// std::atexit handler — which never runs when the process dies on a signal,
+// so an interrupted 40-minute run left nothing behind, and on abnormal exit
+// the handler could race thread-pool teardown. Now exporters register a
+// callback here; FlushAll() runs them (newest first, each at most once per
+// call) and InstallSignalFlushHandlers() arranges for SIGINT/SIGTERM to
+// flush and then re-raise the default action, so the exit status still says
+// "killed by signal" but the artifacts are on disk.
+//
+// Signal-safety note: flushing writes files, which is not strictly
+// async-signal-safe. These are single-shot CLI/bench processes interrupted
+// by a human (or a test); trading formal signal-safety for not losing the
+// run's telemetry is deliberate. Callbacks must tolerate being invoked at
+// any point after registration.
+
+#ifndef ERMINER_OBS_FLUSH_H_
+#define ERMINER_OBS_FLUSH_H_
+
+namespace erminer::obs {
+
+/// Plain function pointers only — registration must not allocate and the
+/// table must be readable from a signal handler.
+using FlushFn = void (*)();
+
+/// Registers `fn` to run on FlushAll(). Bounded table (32 slots);
+/// registering beyond that is ignored (telemetry, not correctness).
+void RegisterFlush(FlushFn fn);
+
+/// Runs every registered callback once, newest registration first (a
+/// sampler's final tick lands before the metrics file is written).
+/// Reentrancy-guarded: a FlushAll racing another (signal during exit) is a
+/// no-op.
+void FlushAll();
+
+/// Installs SIGINT/SIGTERM handlers that FlushAll() and then re-raise the
+/// default disposition. Also registers FlushAll with atexit so clean exits
+/// share the path. Idempotent.
+void InstallSignalFlushHandlers();
+
+}  // namespace erminer::obs
+
+#endif  // ERMINER_OBS_FLUSH_H_

@@ -155,6 +155,27 @@ size_t MetricsRegistry::num_metrics() const {
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
+double MetricsSnapshot::HistogramData::Quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) < target) continue;
+    // The overflow bucket has no upper bound; clamp to the last finite one.
+    if (b >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+    const double lo = b == 0 ? std::min(0.0, bounds[0]) : bounds[b - 1];
+    const double hi = bounds[b];
+    const double frac = (target - before) / static_cast<double>(buckets[b]);
+    return lo + (hi - lo) * frac;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 MetricsSnapshot MetricsSnapshot::DeltaSince(
     const MetricsSnapshot& earlier) const {
   MetricsSnapshot d = *this;
@@ -208,9 +229,52 @@ std::string MetricsSnapshot::ToJson() const {
       out += std::to_string(h.buckets[i]);
     }
     out += "],\"count\":" + std::to_string(h.count);
-    out += ",\"sum\":" + JsonDouble(h.sum) + "}";
+    out += ",\"sum\":" + JsonDouble(h.sum);
+    out += ",\"p50\":" + JsonDouble(h.Quantile(0.50));
+    out += ",\"p90\":" + JsonDouble(h.Quantile(0.90));
+    out += ",\"p99\":" + JsonDouble(h.Quantile(0.99)) + "}";
   }
   out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  // Prometheus metric names admit [a-zA-Z0-9_:] only; our registry names
+  // use "<subsystem>/<event>", so "/" (and any other byte) maps to "_".
+  auto prom_name = [](const std::string& name) {
+    std::string out = "erminer_";
+    for (char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      out.push_back(ok ? c : '_');
+    }
+    return out;
+  };
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + JsonDouble(v) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      cumulative += h.buckets[b];
+      const std::string le =
+          b < h.bounds.size() ? JsonDouble(h.bounds[b]) : "+Inf";
+      out += p + "_bucket{le=\"" + le + "\"} " + std::to_string(cumulative) +
+             "\n";
+    }
+    out += p + "_sum " + JsonDouble(h.sum) + "\n";
+    out += p + "_count " + std::to_string(h.count) + "\n";
+  }
   return out;
 }
 

@@ -89,6 +89,13 @@ struct MetricsSnapshot {
     std::vector<uint64_t> buckets;
     uint64_t count = 0;
     double sum = 0.0;
+
+    /// Quantile estimate by linear interpolation within the bucket that
+    /// contains the q-th observation (the same estimator Prometheus'
+    /// histogram_quantile uses). The first bucket interpolates from 0; the
+    /// overflow bucket clamps to the last finite bound. Returns 0 when the
+    /// histogram is empty.
+    double Quantile(double q) const;
   };
 
   std::map<std::string, uint64_t> counters;
@@ -99,8 +106,15 @@ struct MetricsSnapshot {
   /// were reset in between); gauges keep their current value.
   MetricsSnapshot DeltaSince(const MetricsSnapshot& earlier) const;
 
-  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}. Histogram
+  /// objects carry p50/p90/p99 quantile estimates next to the raw buckets.
   std::string ToJson() const;
+
+  /// Prometheus text exposition (version 0.0.4): names are prefixed with
+  /// "erminer_" and slashes become underscores; histograms emit cumulative
+  /// `_bucket{le="..."}` series plus `_sum`/`_count`. Served by
+  /// obs::TelemetryServer at GET /metrics.
+  std::string ToPrometheusText() const;
 
   /// Inner JSON object of the non-zero counters only (for BENCH_JSON
   /// records): {"enuminer/nodes_expanded":123,...}.

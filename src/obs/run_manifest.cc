@@ -1,0 +1,118 @@
+#include "obs/run_manifest.h"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+
+namespace erminer::obs {
+
+namespace {
+
+std::atomic<RunManifest*> g_active{nullptr};
+
+void AppendQuoted(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+const char* GitDescribe() {
+#ifdef ERMINER_GIT_DESCRIBE
+  return ERMINER_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+std::unique_ptr<RunManifest> RunManifest::Open(
+    const std::string& dir,
+    const std::map<std::string, std::string>& config, std::string* error) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "cannot create run dir " + dir + ": " + ec.message();
+    }
+    return nullptr;
+  }
+  // config.json first: whatever happens later, the run's identity is on
+  // disk before any work starts.
+  std::string json = "{\"git_describe\":";
+  AppendQuoted(&json, GitDescribe());
+  json += ",\"created_unix_ms\":" +
+          std::to_string(std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::system_clock::now()
+                                 .time_since_epoch())
+                             .count());
+  json += ",\"options\":{";
+  bool first = true;
+  for (const auto& [key, value] : config) {
+    if (!first) json += ",";
+    first = false;
+    AppendQuoted(&json, key);
+    json += ":";
+    AppendQuoted(&json, value);
+  }
+  json += "}}\n";
+  const std::string config_path = dir + "/config.json";
+  std::FILE* f = std::fopen(config_path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot write " + config_path;
+    return nullptr;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+
+  std::unique_ptr<RunManifest> manifest(new RunManifest(dir));
+  const std::string episodes_path = dir + "/episodes.jsonl";
+  manifest->episodes_ = std::fopen(episodes_path.c_str(), "w");
+  if (manifest->episodes_ == nullptr) {
+    if (error != nullptr) *error = "cannot open " + episodes_path;
+    return nullptr;
+  }
+  return manifest;
+}
+
+RunManifest::~RunManifest() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (episodes_ != nullptr) std::fclose(episodes_);
+}
+
+void RunManifest::AppendEpisode(const std::string& json_object) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (episodes_ == nullptr) return;
+  std::fwrite(json_object.data(), 1, json_object.size(), episodes_);
+  std::fputc('\n', episodes_);
+  std::fflush(episodes_);  // the crash-survival contract
+  ++episodes_appended_;
+}
+
+bool RunManifest::WriteSummary(const std::string& json_object) {
+  const std::string path = dir_ + "/summary.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(json_object.data(), 1, json_object.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+size_t RunManifest::episodes_appended() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return episodes_appended_;
+}
+
+void SetActiveRunManifest(RunManifest* manifest) {
+  g_active.store(manifest, std::memory_order_release);
+}
+
+RunManifest* ActiveRunManifest() {
+  return g_active.load(std::memory_order_acquire);
+}
+
+}  // namespace erminer::obs

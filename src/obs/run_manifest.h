@@ -1,0 +1,75 @@
+// Per-run artifact directory for RL training (and any long run):
+//
+//   <run-dir>/config.json     resolved options + seed + git describe,
+//                             written when the manifest opens — so even an
+//                             immediately-crashed run records what it was
+//   <run-dir>/episodes.jsonl  one line per training episode, appended and
+//                             flushed as each episode ends (TrainingLog
+//                             publishes here via ActiveRunManifest()) — a
+//                             SIGKILL mid-training leaves the partial stream
+//   <run-dir>/summary.json    written once on clean completion; its absence
+//                             marks an interrupted run
+//
+// The manifest is plumbing-free by design: RLMiner/TrainingLog don't take a
+// manifest parameter — the CLI/bench/pipeline set the process-wide active
+// manifest and the training loop publishes to it if present.
+
+#ifndef ERMINER_OBS_RUN_MANIFEST_H_
+#define ERMINER_OBS_RUN_MANIFEST_H_
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace erminer::obs {
+
+/// `git describe --always --dirty` captured at configure time
+/// (ERMINER_GIT_DESCRIBE compile definition); "unknown" outside a git
+/// checkout.
+const char* GitDescribe();
+
+class RunManifest {
+ public:
+  /// Creates `dir` (parents included), writes config.json from `config`
+  /// (flat string key/values — resolved flags, seed, command) and opens
+  /// episodes.jsonl for appending. Returns null with *error set on I/O
+  /// failure.
+  static std::unique_ptr<RunManifest> Open(
+      const std::string& dir,
+      const std::map<std::string, std::string>& config, std::string* error);
+
+  ~RunManifest();
+
+  RunManifest(const RunManifest&) = delete;
+  RunManifest& operator=(const RunManifest&) = delete;
+
+  /// Appends one complete JSON object as a line to episodes.jsonl and
+  /// flushes, so the line survives any later crash. Thread-safe.
+  void AppendEpisode(const std::string& json_object);
+
+  /// Writes summary.json (one JSON object). Call on clean completion only —
+  /// an interrupted run is recognizable by the file's absence.
+  bool WriteSummary(const std::string& json_object);
+
+  const std::string& dir() const { return dir_; }
+  size_t episodes_appended() const;
+
+ private:
+  explicit RunManifest(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string dir_;
+  mutable std::mutex mutex_;
+  std::FILE* episodes_ = nullptr;
+  size_t episodes_appended_ = 0;
+};
+
+/// Process-wide active manifest (null = none). Not owning: the setter keeps
+/// ownership and must clear it before destroying the manifest.
+void SetActiveRunManifest(RunManifest* manifest);
+RunManifest* ActiveRunManifest();
+
+}  // namespace erminer::obs
+
+#endif  // ERMINER_OBS_RUN_MANIFEST_H_

@@ -1,0 +1,146 @@
+#include "obs/sampler.h"
+
+#include "obs/trace.h"
+#include "util/timer.h"  // header-only (CpuSeconds/PeakRssBytes); no link dep
+
+namespace erminer::obs {
+
+namespace {
+
+std::string JsonDouble(double v) {
+  if (!(v == v) || v > 1e308 || v < -1e308) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void AppendQuoted(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Sampler::Sampler(SamplerOptions options)
+    : options_(std::move(options)),
+      start_(std::chrono::steady_clock::now()) {
+  if (options_.interval_ms < 1) options_.interval_ms = 1;
+  if (options_.ring_capacity < 1) options_.ring_capacity = 1;
+}
+
+Sampler::~Sampler() { Stop(); }
+
+bool Sampler::Start(std::string* error) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  if (running_) {
+    if (error != nullptr) *error = "sampler already running";
+    return false;
+  }
+  if (!options_.stream_path.empty() && stream_ == nullptr) {
+    stream_ = std::fopen(options_.stream_path.c_str(), "w");
+    if (stream_ == nullptr) {
+      if (error != nullptr) {
+        *error = "cannot open metrics stream " + options_.stream_path;
+      }
+      return false;
+    }
+  }
+  start_ = std::chrono::steady_clock::now();
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+  return true;
+}
+
+void Sampler::Stop() {
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    if (!running_) {
+      // Tests drive SampleOnce without Start; still close a stream opened
+      // by a failed/partial configuration.
+      if (stream_ != nullptr) {
+        std::fclose(stream_);
+        stream_ = nullptr;
+      }
+      return;
+    }
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  SampleOnce();  // final sample so the stream ends at the run's end state
+  std::unique_lock<std::mutex> lk(mutex_);
+  running_ = false;
+  if (stream_ != nullptr) {
+    std::fclose(stream_);
+    stream_ = nullptr;
+  }
+}
+
+void Sampler::Loop() {
+  TraceRecorder::Global().SetCurrentThreadName("metrics-sampler");
+  std::unique_lock<std::mutex> lk(mutex_);
+  while (!stop_requested_) {
+    lk.unlock();
+    SampleOnce();
+    lk.lock();
+    wake_.wait_for(lk, std::chrono::milliseconds(options_.interval_ms),
+                   [this] { return stop_requested_; });
+  }
+}
+
+void Sampler::SampleOnce() {
+  Sample s;
+  s.t_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  s.cpu_seconds = CpuSeconds();
+  s.rss_bytes = PeakRssBytes();
+  s.snapshot = MetricsRegistry::Global().Snapshot();
+
+  std::unique_lock<std::mutex> lk(mutex_);
+  if (stream_ != nullptr) {
+    const std::string line = ToJsonLine(s, last_streamed_);
+    std::fwrite(line.data(), 1, line.size(), stream_);
+    std::fflush(stream_);  // a killed run keeps every line written so far
+    last_streamed_ = s.snapshot;
+  }
+  ring_.push_back(std::move(s));
+  while (ring_.size() > options_.ring_capacity) ring_.pop_front();
+  ++num_taken_;
+}
+
+std::vector<Sample> Sampler::Samples() const {
+  std::unique_lock<std::mutex> lk(mutex_);
+  return std::vector<Sample>(ring_.begin(), ring_.end());
+}
+
+size_t Sampler::num_samples_taken() const {
+  std::unique_lock<std::mutex> lk(mutex_);
+  return num_taken_;
+}
+
+std::string Sampler::ToJsonLine(const Sample& sample,
+                                const MetricsSnapshot& prev) {
+  const MetricsSnapshot delta = sample.snapshot.DeltaSince(prev);
+  std::string out = "{\"t\":" + JsonDouble(sample.t_seconds);
+  out += ",\"cpu_seconds\":" + JsonDouble(sample.cpu_seconds);
+  out += ",\"rss_bytes\":" + std::to_string(sample.rss_bytes);
+  out += ",\"counters\":" + delta.CountersJson();
+  out += ",\"gauges\":{";
+  bool first = true;
+  for (const auto& [name, v] : delta.gauges) {
+    if (!first) out += ",";
+    first = false;
+    AppendQuoted(&out, name);
+    out += ":" + JsonDouble(v);
+  }
+  out += "}}\n";
+  return out;
+}
+
+}  // namespace erminer::obs

@@ -1,0 +1,210 @@
+#include "obs/telemetry_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"  // header-only (CpuSeconds/PeakRssBytes); no link dep
+
+namespace erminer::obs {
+
+namespace {
+
+std::atomic<const char*> g_phase{"idle"};
+
+std::string HttpResponse(int status, const char* reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // client went away; nothing useful to do
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+void SetPhase(const char* phase) {
+  g_phase.store(phase, std::memory_order_relaxed);
+}
+
+const char* CurrentPhase() {
+  return g_phase.load(std::memory_order_relaxed);
+}
+
+TelemetryServer& TelemetryServer::Global() {
+  static TelemetryServer* server = new TelemetryServer();
+  return *server;
+}
+
+bool TelemetryServer::Start(const TelemetryServerOptions& options,
+                            std::string* error) {
+  auto fail = [error](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    return false;
+  };
+  if (running()) {
+    if (error != nullptr) *error = "telemetry server already running";
+    return false;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (error != nullptr) {
+      *error = "bad bind address " + options.bind_address;
+    }
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return fail("bind " + options.bind_address + ":" +
+                std::to_string(options.port));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return fail("listen");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  started_ = std::chrono::steady_clock::now();
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void TelemetryServer::Stop() {
+  if (!running()) return;
+  stopping_.store(true, std::memory_order_release);
+  // shutdown() wakes the blocking accept (it returns EINVAL); the fd itself
+  // is closed only after the thread has joined, so the accept loop never
+  // races a reused descriptor.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  running_.store(false, std::memory_order_release);
+}
+
+void TelemetryServer::AcceptLoop() {
+  TraceRecorder::Global().SetCurrentThreadName("telemetry-server");
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // shutdown() or a fatal socket error
+    }
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void TelemetryServer::ServeConnection(int fd) {
+  // One small request; anything beyond 4 KiB is not a scrape we serve.
+  char buf[4096];
+  ssize_t n = ::recv(fd, buf, sizeof buf - 1, 0);
+  if (n <= 0) return;
+  buf[n] = '\0';
+  ERMINER_COUNT("telemetry/requests", 1);
+  // Request line: METHOD SP PATH SP VERSION.
+  const char* sp1 = std::strchr(buf, ' ');
+  const char* sp2 = sp1 != nullptr ? std::strchr(sp1 + 1, ' ') : nullptr;
+  if (sp1 == nullptr || sp2 == nullptr ||
+      std::strncmp(buf, "GET ", 4) != 0) {
+    WriteAll(fd, HttpResponse(405, "Method Not Allowed", "text/plain",
+                              "only GET is supported\n"));
+    return;
+  }
+  std::string path(sp1 + 1, sp2);
+  size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  std::string body, content_type;
+  if (!HandlePath(path, &body, &content_type)) {
+    ERMINER_COUNT("telemetry/not_found", 1);
+    WriteAll(fd, HttpResponse(404, "Not Found", "text/plain",
+                              "unknown path " + path + "\n"));
+    return;
+  }
+  WriteAll(fd, HttpResponse(200, "OK", content_type, body));
+}
+
+bool TelemetryServer::HandlePath(const std::string& path, std::string* body,
+                                 std::string* content_type) {
+  if (path == "/metrics") {
+    MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+    *body = snap.ToPrometheusText();
+    // The phase is a label, not a registry value; append it so scrapers can
+    // plot counters against what the process was doing at the time.
+    *body += "# TYPE erminer_phase gauge\nerminer_phase{phase=\"";
+    *body += CurrentPhase();
+    *body += "\"} 1\n";
+    *content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return true;
+  }
+  if (path == "/metrics.json") {
+    *body = MetricsRegistry::Global().ToJson() + "\n";
+    *content_type = "application/json";
+    return true;
+  }
+  if (path == "/trace.json") {
+    *body = TraceRecorder::Global().ToJson() + "\n";
+    *content_type = "application/json";
+    return true;
+  }
+  if (path == "/healthz" || path == "/") {
+    const TelemetryServer& server = Global();
+    const double uptime =
+        server.running()
+            ? std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - server.started_)
+                  .count()
+            : 0.0;
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "{\"status\":\"ok\",\"uptime_seconds\":%.3f,"
+                  "\"phase\":\"%s\",\"cpu_seconds\":%.3f,"
+                  "\"peak_rss_bytes\":%zu,\"num_metrics\":%zu}\n",
+                  uptime, CurrentPhase(), CpuSeconds(), PeakRssBytes(),
+                  MetricsRegistry::Global().num_metrics());
+    *body = line;
+    *content_type = "application/json";
+    return true;
+  }
+  return false;
+}
+
+}  // namespace erminer::obs

@@ -1,0 +1,88 @@
+// Embedded HTTP telemetry endpoint: a minimal blocking-accept server on its
+// own thread (standard library + POSIX sockets only, keeping src/obs
+// dependency-free) that makes a running miner observable mid-flight:
+//
+//   GET /metrics       Prometheus text exposition of the metrics registry
+//                      (counters/gauges/histograms with cumulative buckets)
+//   GET /metrics.json  the same snapshot as --metrics-json would write
+//   GET /trace.json    Chrome trace JSON of the spans recorded so far
+//   GET /healthz       {"status","uptime_seconds","phase","cpu_seconds",
+//                       "peak_rss_bytes","num_metrics"}
+//
+// The server is pull-only: every handler reads a snapshot and serializes it,
+// so it never perturbs mining state — rules are bit-identical with the
+// server on or off (tests/obs_server_test.cc proves it differentially).
+// When no --telemetry-port is given nothing here runs and no socket is ever
+// opened.
+//
+// One request per connection (Connection: close); scrape clients
+// (Prometheus, curl, scripts/watch_run.py) are all one-shot, so keep-alive
+// would only complicate shutdown.
+
+#ifndef ERMINER_OBS_TELEMETRY_SERVER_H_
+#define ERMINER_OBS_TELEMETRY_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace erminer::obs {
+
+/// Names the process's current high-level activity ("mine", "rl/train",
+/// "repair", ...) for /healthz. Pass a string literal (stored as a pointer,
+/// like span names). Thread-safe.
+void SetPhase(const char* phase);
+const char* CurrentPhase();
+
+struct TelemetryServerOptions {
+  int port = 0;  // 0 = ephemeral; read the bound port back via port()
+  /// Loopback by default: telemetry has no auth, so exposing it beyond the
+  /// host is an explicit decision ("0.0.0.0" to scrape remotely).
+  std::string bind_address = "127.0.0.1";
+};
+
+class TelemetryServer {
+ public:
+  TelemetryServer() = default;
+  ~TelemetryServer() { Stop(); }
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Binds, listens and spawns the accept thread. Returns false (with
+  /// *error set) on socket failure. Calling Start on a running server is an
+  /// error.
+  bool Start(const TelemetryServerOptions& options, std::string* error);
+
+  /// Wakes the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The actually-bound port (resolves port 0 requests).
+  int port() const { return port_; }
+
+  /// Dispatches one request path to its response body + content type;
+  /// public so tests can validate handlers without a socket. Returns false
+  /// for unknown paths.
+  static bool HandlePath(const std::string& path, std::string* body,
+                         std::string* content_type);
+
+  /// Process-wide instance the --telemetry-port flags start.
+  static TelemetryServer& Global();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+  std::chrono::steady_clock::time_point started_;
+};
+
+}  // namespace erminer::obs
+
+#endif  // ERMINER_OBS_TELEMETRY_SERVER_H_

@@ -52,6 +52,34 @@ void TraceRecorder::Disable() {
   enabled_.store(false, std::memory_order_relaxed);
 }
 
+namespace {
+// Per-thread stack of open ERMINER_SPAN names (string literals). Only
+// touched when the span stack is armed, so the disarmed hot path stays one
+// relaxed load. Capacity-bounded push keeps the cost of a pathological
+// recursion O(1) per span.
+thread_local std::vector<const char*> t_span_stack;
+}  // namespace
+
+void TraceRecorder::EnableSpanStack() {
+  span_stack_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::DisableSpanStack() {
+  span_stack_.store(false, std::memory_order_relaxed);
+}
+
+const char* TraceRecorder::CurrentSpanName() {
+  return t_span_stack.empty() ? nullptr : t_span_stack.back();
+}
+
+void TraceRecorder::PushSpan(const char* name) {
+  t_span_stack.push_back(name);
+}
+
+void TraceRecorder::PopSpan() {
+  if (!t_span_stack.empty()) t_span_stack.pop_back();
+}
+
 void TraceRecorder::SetCurrentThreadName(const std::string& name) {
   ThreadBuffer& buf = LocalBuffer();
   std::lock_guard<std::mutex> lk(buf.mutex);

@@ -46,6 +46,23 @@ class TraceRecorder {
   void Disable();
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
+  /// Arms the per-thread active-span-name stack, independently of event
+  /// recording: the JSON log sink (util/logging) reads CurrentSpanName() to
+  /// correlate log records with trace spans even when no trace file is
+  /// being written. Disarmed (the default), a span still costs only the one
+  /// relaxed load it always did.
+  void EnableSpanStack();
+  void DisableSpanStack();
+  bool span_stack_enabled() const {
+    return span_stack_.load(std::memory_order_relaxed);
+  }
+
+  /// Innermost ERMINER_SPAN currently open on the calling thread, or
+  /// nullptr (also when the span stack is disarmed).
+  static const char* CurrentSpanName();
+  static void PushSpan(const char* name);   // TraceSpan internals
+  static void PopSpan();
+
   /// Names the calling thread in the exported trace (metadata event). The
   /// thread pool labels its workers "pool-worker-N"; the main thread
   /// defaults to "main".
@@ -78,6 +95,7 @@ class TraceRecorder {
   ThreadBuffer& LocalBuffer();
 
   std::atomic<bool> enabled_{false};
+  std::atomic<bool> span_stack_{false};
   std::chrono::steady_clock::time_point epoch_;
 
   mutable std::mutex mutex_;  // guards buffers_ registration and epoch_
@@ -90,11 +108,16 @@ class TraceSpan {
  public:
   explicit TraceSpan(const char* name) {
     TraceRecorder& rec = TraceRecorder::Global();
+    if (rec.span_stack_enabled()) {
+      TraceRecorder::PushSpan(name);
+      pushed_ = true;
+    }
     if (!rec.enabled()) return;
     name_ = name;
     start_us_ = rec.NowMicros();
   }
   ~TraceSpan() {
+    if (pushed_) TraceRecorder::PopSpan();
     if (name_ == nullptr) return;
     TraceRecorder& rec = TraceRecorder::Global();
     if (!rec.enabled()) return;  // disabled mid-span: drop it
@@ -107,6 +130,7 @@ class TraceSpan {
  private:
   const char* name_ = nullptr;
   int64_t start_us_ = 0;
+  bool pushed_ = false;
 };
 
 }  // namespace erminer::obs

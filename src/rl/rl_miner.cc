@@ -1,6 +1,7 @@
 #include "rl/rl_miner.h"
 
 #include "obs/metrics.h"
+#include "obs/telemetry_server.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 
@@ -87,6 +88,7 @@ int32_t RlMiner::SelectTrainingAction(const RuleKey& state,
 void RlMiner::Train(size_t steps) {
   if (steps == 0) steps = options_.train_steps;
   ERMINER_SPAN("rl/train");
+  obs::SetPhase("rl/train");
   Timer timer;
   const size_t end = steps_done_ + steps;
   while (steps_done_ < end) {
@@ -119,6 +121,7 @@ void RlMiner::Train(size_t steps) {
 
 MineResult RlMiner::Infer() {
   ERMINER_SPAN("rl/infer");
+  obs::SetPhase("rl/infer");
   Timer timer;
   MineResult result;
   // First a purely greedy episode; if it ends before K distinct rules are

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "obs/metrics.h"
+#include "obs/run_manifest.h"
 #include "util/status.h"
 
 namespace erminer {
@@ -40,7 +41,23 @@ void TrainingLog::EndEpisode(size_t leaves) {
   ERMINER_COUNT("rl/leaves", current_.leaves);
   ERMINER_HISTOGRAM("rl/episode_return", current_.total_reward);
   if (loss_samples_ > 0) ERMINER_HISTOGRAM("rl/episode_loss", current_.mean_loss);
+  // Last-episode gauges: the sampler and /metrics see per-episode curves
+  // (return, length, loss) without reaching into RL internals.
+  ERMINER_GAUGE_SET("rl/episode_return", current_.total_reward);
+  ERMINER_GAUGE_SET("rl/episode_steps", static_cast<double>(current_.steps));
+  ERMINER_GAUGE_SET("rl/mean_loss", current_.mean_loss);
+  if (auto* manifest = obs::ActiveRunManifest()) {
+    manifest->AppendEpisode(EpisodeJson(current_));
+  }
   episodes_.push_back(current_);
+}
+
+std::string TrainingLog::EpisodeJson(const EpisodeStats& e) {
+  std::ostringstream os;
+  os << "{\"episode\":" << e.episode << ",\"steps\":" << e.steps
+     << ",\"leaves\":" << e.leaves << ",\"total_reward\":" << e.total_reward
+     << ",\"mean_loss\":" << e.mean_loss << "}";
+  return os.str();
 }
 
 double TrainingLog::RecentMeanReturn(size_t window) const {

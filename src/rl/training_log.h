@@ -33,6 +33,10 @@ class TrainingLog {
   /// "episode,steps,leaves,total_reward,mean_loss" rows with a header.
   std::string ToCsv() const;
 
+  /// One episode as the JSON object appended to a run manifest's
+  /// episodes.jsonl (see obs/run_manifest.h).
+  static std::string EpisodeJson(const EpisodeStats& e);
+
  private:
   std::vector<EpisodeStats> episodes_;
   bool open_ = false;

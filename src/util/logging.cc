@@ -1,11 +1,22 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
+
+#include "obs/trace.h"
 
 namespace erminer {
 
 namespace {
 LogLevel g_level = LogLevel::kWarning;
+
+// JSON sink state. The FILE* is written once on enable and read by every
+// logging thread; leaked on re-enable so in-flight writers never touch a
+// closed stream.
+std::atomic<bool> g_json{false};
+std::atomic<std::FILE*> g_json_file{nullptr};  // null = stderr
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,31 +33,134 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+const char* Basename(const char* file) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+/// Small sequential per-thread id — stable within a run and readable, which
+/// hashed std::thread::ids are not.
+int ThreadId() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+std::string IsoTimestampUtc() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, millis);
+  return buf;
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() { return g_level; }
 void SetLogLevel(LogLevel level) { g_level = level; }
 
+bool EnableJsonLogSink(const std::string& path) {
+  std::FILE* file = nullptr;
+  if (!path.empty() && path != "-") {
+    file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) return false;
+  }
+  g_json_file.store(file, std::memory_order_release);
+  g_json.store(true, std::memory_order_release);
+  // Records carry the innermost ERMINER_SPAN; arm the per-thread stack.
+  obs::TraceRecorder::Global().EnableSpanStack();
+  return true;
+}
+
+void DisableJsonLogSink() {
+  g_json.store(false, std::memory_order_release);
+  // The FILE* is deliberately leaked (see state comment above).
+  g_json_file.store(nullptr, std::memory_order_release);
+}
+
+bool JsonLogSinkEnabled() { return g_json.load(std::memory_order_acquire); }
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  // Keep only the basename for readability.
-  const char* base = file;
-  for (const char* p = file; *p; ++p) {
-    if (*p == '/') base = p + 1;
-  }
-  stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
-}
+    : level_(level), file_(file), line_(line) {}
 
 LogMessage::~LogMessage() {
   // One write per line: concurrent ERMINER_LOG calls from pool workers must
   // not interleave fragments. The full line (newline included) is formatted
   // first and handed to stdio in a single call — stderr is unbuffered, so
   // this reaches the fd as one write.
-  stream_ << '\n';
-  const std::string line = stream_.str();
-  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::string line;
+  std::FILE* out = stderr;
+  if (g_json.load(std::memory_order_acquire)) {
+    line = "{\"ts\":\"" + IsoTimestampUtc() + "\"";
+    line += ",\"level\":\"";
+    line += LevelName(level_);
+    line += "\",\"thread\":" + std::to_string(ThreadId());
+    if (const char* span = obs::TraceRecorder::CurrentSpanName()) {
+      line += ",\"span\":\"";
+      AppendJsonEscaped(&line, span);
+      line += "\"";
+    }
+    line += ",\"file\":\"";
+    AppendJsonEscaped(&line, Basename(file_));
+    line += "\",\"line\":" + std::to_string(line_);
+    line += ",\"msg\":\"";
+    AppendJsonEscaped(&line, stream_.str());
+    line += "\"}\n";
+    if (std::FILE* f = g_json_file.load(std::memory_order_acquire)) out = f;
+  } else {
+    line = "[";
+    line += LevelName(level_);
+    line += " ";
+    line += Basename(file_);
+    line += ":" + std::to_string(line_) + "] " + stream_.str() + "\n";
+  }
+  std::fwrite(line.data(), 1, line.size(), out);
+  if (out != stderr) std::fflush(out);
 }
 
 }  // namespace internal_logging

@@ -3,6 +3,14 @@
 // Usage: ERMINER_LOG(INFO) << "built index with " << n << " groups";
 // The global level defaults to WARNING so library code stays quiet in tests
 // and benchmarks; binaries raise it via SetLogLevel or the -v flag.
+//
+// Structured mode (--log-json): EnableJsonLogSink switches the format to
+// one JSON object per line —
+//   {"ts":"2026-08-05T12:34:56.789Z","level":"INFO","thread":0,
+//    "span":"rl/episode","file":"rl_miner.cc","line":93,"msg":"..."}
+// where "span" is the innermost active ERMINER_SPAN on the logging thread
+// (enabling the sink arms the obs span-name stack), so log records
+// correlate with --trace-json spans by name and time.
 
 #ifndef ERMINER_UTIL_LOGGING_H_
 #define ERMINER_UTIL_LOGGING_H_
@@ -24,6 +32,15 @@ enum class LogLevel : int {
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// Switches log output to JSON lines. `path` empty or "-" keeps writing to
+/// stderr; otherwise records go to `path` (truncated). Returns false when
+/// the file can't be opened (the text sink stays active). Also arms the
+/// obs span-name stack so records carry the innermost active span.
+bool EnableJsonLogSink(const std::string& path = "");
+/// Back to the plain text sink (closes a JSON file sink if open).
+void DisableJsonLogSink();
+bool JsonLogSinkEnabled();
+
 namespace internal_logging {
 
 class LogMessage {
@@ -38,6 +55,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

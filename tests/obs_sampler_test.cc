@@ -1,0 +1,118 @@
+// Sampler tests: deterministic ring eviction and stream contents via direct
+// SampleOnce calls (no background thread), counter-delta semantics of the
+// JSONL stream, and the threaded Start/Stop lifecycle.
+
+#include "obs/sampler.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace erminer::obs {
+namespace {
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+double JsonNumber(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  size_t pos = json.find(needle);
+  if (pos == std::string::npos) return std::nan("");
+  return std::strtod(json.c_str() + pos + needle.size(), nullptr);
+}
+
+TEST(SamplerTest, RingEvictsOldestDeterministically) {
+  SamplerOptions options;
+  options.ring_capacity = 3;
+  Sampler sampler(options);
+  for (int i = 0; i < 5; ++i) sampler.SampleOnce();
+  EXPECT_EQ(sampler.num_samples_taken(), 5u);
+  std::vector<Sample> samples = sampler.Samples();
+  ASSERT_EQ(samples.size(), 3u);  // two oldest evicted
+  // Oldest first, timestamps non-decreasing.
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].t_seconds, samples[i - 1].t_seconds);
+  }
+}
+
+TEST(SamplerTest, StreamWritesOneDeltaLinePerSample) {
+  const std::string path =
+      ::testing::TempDir() + "/erminer_sampler_stream_test.jsonl";
+  std::remove(path.c_str());
+  SamplerOptions options;
+  options.stream_path = path;
+  {
+    Sampler sampler(options);
+    // SampleOnce alone doesn't open the stream — Start does. Drive the
+    // stream through the real lifecycle but take extra deterministic ticks
+    // ourselves.
+    std::string error;
+    ASSERT_TRUE(sampler.Start(&error)) << error;
+    ERMINER_COUNT("obs_sampler_test/work", 7);
+    sampler.SampleOnce();
+    ERMINER_COUNT("obs_sampler_test/work", 4);
+    sampler.Stop();  // takes the final sample, closes the stream
+  }
+  std::vector<std::string> lines = ReadLines(path);
+  // At least the manual tick and Stop's final sample; the background
+  // thread's own ticks may or may not land before Stop wins the race.
+  ASSERT_GE(lines.size(), 2u);
+  // Every line is one object with the fixed fields.
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_FALSE(std::isnan(JsonNumber(line, "t")));
+    EXPECT_FALSE(std::isnan(JsonNumber(line, "cpu_seconds")));
+    EXPECT_FALSE(std::isnan(JsonNumber(line, "rss_bytes")));
+    EXPECT_NE(line.find("\"counters\":{"), std::string::npos);
+    EXPECT_NE(line.find("\"gauges\":{"), std::string::npos);
+  }
+  // The stream carries deltas: the 7 and the 4 land on different lines and
+  // sum to the total across the run.
+  double total = 0;
+  for (const std::string& line : lines) {
+    const double d = JsonNumber(line, "obs_sampler_test/work");
+    if (!std::isnan(d)) total += d;
+  }
+  EXPECT_EQ(total, 11.0);
+}
+
+TEST(SamplerTest, StartStopLifecycle) {
+  SamplerOptions options;
+  options.interval_ms = 1;
+  Sampler sampler(options);
+  EXPECT_FALSE(sampler.running());
+  std::string error;
+  ASSERT_TRUE(sampler.Start(&error)) << error;
+  EXPECT_TRUE(sampler.running());
+  EXPECT_FALSE(sampler.Start(&error));  // double-start refused
+  sampler.Stop();
+  EXPECT_FALSE(sampler.running());
+  EXPECT_GE(sampler.num_samples_taken(), 1u);  // at least the final sample
+  sampler.Stop();  // idempotent
+}
+
+TEST(SamplerTest, UnopenableStreamFailsStart) {
+  SamplerOptions options;
+  options.stream_path = "/nonexistent-dir/metrics.jsonl";
+  Sampler sampler(options);
+  std::string error;
+  EXPECT_FALSE(sampler.Start(&error));
+  EXPECT_NE(error.find("metrics stream"), std::string::npos);
+  EXPECT_FALSE(sampler.running());
+}
+
+}  // namespace
+}  // namespace erminer::obs

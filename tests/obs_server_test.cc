@@ -1,0 +1,218 @@
+// Telemetry server tests: handler correctness without sockets (HandlePath),
+// a real loopback scrape against an ephemeral port, Prometheus exposition
+// validity (TYPE lines, cumulative buckets, +Inf), counter monotonicity
+// across scrapes, and the determinism contract — mined rules bit-identical
+// with the server and sampler armed or not, at several thread counts.
+
+#include "obs/telemetry_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/enu_miner.h"
+#include "eval/experiment.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+#include "test_util.h"
+#include "util/thread_pool.h"
+
+namespace erminer::obs {
+namespace {
+
+using erminer::testing::SeededCorpusCache;
+
+/// One-shot HTTP GET over loopback; returns the raw response (headers and
+/// body). The server closes after one response, so read-to-EOF is complete.
+std::string HttpGet(int port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  ::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+double ScrapedValue(const std::string& exposition, const std::string& line_prefix) {
+  size_t pos = 0;
+  while (pos < exposition.size()) {
+    size_t eol = exposition.find('\n', pos);
+    if (eol == std::string::npos) eol = exposition.size();
+    const std::string line = exposition.substr(pos, eol - pos);
+    if (line.rfind(line_prefix, 0) == 0) {
+      return std::strtod(line.c_str() + line_prefix.size(), nullptr);
+    }
+    pos = eol + 1;
+  }
+  return -1.0;
+}
+
+TEST(HandlePathTest, KnownAndUnknownPaths) {
+  std::string body, type;
+  EXPECT_TRUE(TelemetryServer::HandlePath("/metrics", &body, &type));
+  EXPECT_EQ(type.rfind("text/plain; version=0.0.4", 0), 0u);
+  EXPECT_TRUE(TelemetryServer::HandlePath("/metrics.json", &body, &type));
+  EXPECT_EQ(type, "application/json");
+  EXPECT_EQ(body.front(), '{');
+  EXPECT_TRUE(TelemetryServer::HandlePath("/trace.json", &body, &type));
+  EXPECT_TRUE(TelemetryServer::HandlePath("/healthz", &body, &type));
+  EXPECT_NE(body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_TRUE(TelemetryServer::HandlePath("/", &body, &type));
+  EXPECT_FALSE(TelemetryServer::HandlePath("/nope", &body, &type));
+}
+
+TEST(HandlePathTest, PrometheusExpositionShape) {
+  ERMINER_COUNT("obs_server_test/scrapes", 3);
+  ERMINER_GAUGE_SET("obs_server_test/gauge", 2.5);
+  ERMINER_HISTOGRAM("obs_server_test/latency", 0.5);
+  ERMINER_HISTOGRAM("obs_server_test/latency", 50.0);
+  std::string body, type;
+  ASSERT_TRUE(TelemetryServer::HandlePath("/metrics", &body, &type));
+  // Names are prefixed and slash-mangled; each family carries a TYPE line.
+  EXPECT_NE(body.find("# TYPE erminer_obs_server_test_scrapes counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE erminer_obs_server_test_gauge gauge"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE erminer_obs_server_test_latency histogram"),
+            std::string::npos);
+  EXPECT_NE(body.find("erminer_obs_server_test_latency_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("erminer_obs_server_test_latency_sum"),
+            std::string::npos);
+  EXPECT_NE(body.find("erminer_obs_server_test_latency_count 2"),
+            std::string::npos);
+  EXPECT_GE(ScrapedValue(body, "erminer_obs_server_test_scrapes "), 3.0);
+  EXPECT_EQ(ScrapedValue(body, "erminer_obs_server_test_gauge "), 2.5);
+  // The phase gauge is always present.
+  EXPECT_NE(body.find("erminer_phase{phase=\""), std::string::npos);
+}
+
+TEST(HandlePathTest, HistogramBucketsAreCumulative) {
+  ERMINER_HISTOGRAM("obs_server_test/cumulative", 0.001);
+  ERMINER_HISTOGRAM("obs_server_test/cumulative", 1e9);
+  std::string body, type;
+  ASSERT_TRUE(TelemetryServer::HandlePath("/metrics", &body, &type));
+  // Every bucket count must be <= the next one, ending at the total count.
+  const std::string needle = "erminer_obs_server_test_cumulative_bucket{le=";
+  std::vector<double> counts;
+  size_t pos = 0;
+  while ((pos = body.find(needle, pos)) != std::string::npos) {
+    size_t space = body.find(' ', pos + needle.size());
+    ASSERT_NE(space, std::string::npos);
+    counts.push_back(std::strtod(body.c_str() + space + 1, nullptr));
+    pos = space;
+  }
+  ASSERT_GE(counts.size(), 2u);  // at least one bound plus +Inf
+  for (size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_LE(counts[i - 1], counts[i]) << "bucket " << i;
+  }
+  EXPECT_EQ(counts.back(),
+            ScrapedValue(body, "erminer_obs_server_test_cumulative_count "));
+}
+
+TEST(TelemetryServerTest, LoopbackScrapeAndMonotonicCounters) {
+  TelemetryServer server;
+  std::string error;
+  TelemetryServerOptions options;  // port 0: ephemeral
+  ASSERT_TRUE(server.Start(options, &error)) << error;
+  ASSERT_TRUE(server.running());
+  ASSERT_GT(server.port(), 0);
+
+  ERMINER_COUNT("obs_server_test/monotonic", 1);
+  const std::string first = HttpGet(server.port(), "/metrics");
+  ASSERT_NE(first.find("HTTP/1.1 200 OK"), std::string::npos);
+  const double v1 = ScrapedValue(first, "erminer_obs_server_test_monotonic ");
+  ASSERT_GE(v1, 1.0);
+
+  ERMINER_COUNT("obs_server_test/monotonic", 5);
+  const std::string second = HttpGet(server.port(), "/metrics");
+  const double v2 = ScrapedValue(second, "erminer_obs_server_test_monotonic ");
+  EXPECT_EQ(v2, v1 + 5.0);
+
+  const std::string health = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(health.find("\"uptime_seconds\""), std::string::npos);
+  const std::string missing = HttpGet(server.port(), "/not-a-path");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // idempotent
+}
+
+TEST(TelemetryServerTest, StopWithoutStartIsSafe) {
+  TelemetryServer server;
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0);
+}
+
+std::vector<ScoredRule> MineAt(long threads, bool telemetry) {
+  const GeneratedDataset& ds =
+      SeededCorpusCache::Get("nursery", 1200, 400, 77);
+  TelemetryServer server;
+  Sampler sampler({/*interval_ms=*/5});
+  if (telemetry) {
+    std::string error;
+    EXPECT_TRUE(server.Start({}, &error)) << error;
+    EXPECT_TRUE(sampler.Start(&error)) << error;
+  }
+  SetGlobalThreads(threads);
+  Corpus corpus = BuildCorpus(ds).ValueOrDie();
+  MinerOptions options;
+  options.k = 20;
+  options.support_threshold = 20.0;
+  MineResult result = EnuMine(corpus, options);
+  SetGlobalThreads(1);
+  if (telemetry) {
+    // Scrape while stopping is near: one last pull proves reads are safe
+    // concurrent with mining having just finished.
+    HttpGet(server.port(), "/metrics");
+    sampler.Stop();
+    server.Stop();
+  }
+  return result.rules;
+}
+
+// The determinism contract from the acceptance criteria: the server and
+// sampler are pull-only, so the mined rules are bit-identical whether or
+// not telemetry is armed, at every thread count.
+TEST(TelemetryServerTest, MiningIsBitIdenticalWithTelemetryArmed) {
+  for (long threads : {1L, 4L}) {
+    std::vector<ScoredRule> off = MineAt(threads, /*telemetry=*/false);
+    std::vector<ScoredRule> on = MineAt(threads, /*telemetry=*/true);
+    ASSERT_EQ(off.size(), on.size()) << "threads=" << threads;
+    for (size_t i = 0; i < off.size(); ++i) {
+      EXPECT_EQ(off[i].rule, on[i].rule) << "rule " << i;
+      EXPECT_EQ(off[i].stats.support, on[i].stats.support);
+      EXPECT_EQ(off[i].stats.certainty, on[i].stats.certainty);
+      EXPECT_EQ(off[i].stats.quality, on[i].stats.quality);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace erminer::obs

@@ -1,0 +1,158 @@
+// Run-manifest tests: directory layout, config.json contents, one
+// episodes.jsonl line per episode (via the TrainingLog publishing path),
+// per-line durability (lines visible before the manifest closes, the way a
+// killed run would leave them) and summary.json marking clean completion.
+
+#include "obs/run_manifest.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rl/training_log.h"
+
+namespace erminer::obs {
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  return content;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::remove((dir + "/config.json").c_str());
+  std::remove((dir + "/episodes.jsonl").c_str());
+  std::remove((dir + "/summary.json").c_str());
+  ::rmdir(dir.c_str());
+  return dir;
+}
+
+TEST(RunManifestTest, OpenCreatesLayoutAndConfig) {
+  const std::string dir = FreshDir("erminer_manifest_layout/nested");
+  std::string error;
+  auto manifest = RunManifest::Open(
+      dir, {{"seed", "17"}, {"method", "rl"}, {"command", "mine"}}, &error);
+  ASSERT_NE(manifest, nullptr) << error;
+  EXPECT_EQ(manifest->dir(), dir);
+  ASSERT_TRUE(FileExists(dir + "/config.json"));
+  ASSERT_TRUE(FileExists(dir + "/episodes.jsonl"));
+  EXPECT_FALSE(FileExists(dir + "/summary.json"));
+  const std::string config = ReadFile(dir + "/config.json");
+  EXPECT_NE(config.find("\"git_describe\":"), std::string::npos);
+  EXPECT_NE(config.find("\"created_unix_ms\":"), std::string::npos);
+  EXPECT_NE(config.find("\"seed\":\"17\""), std::string::npos);
+  EXPECT_NE(config.find("\"method\":\"rl\""), std::string::npos);
+  EXPECT_NE(config.find("\"command\":\"mine\""), std::string::npos);
+  EXPECT_EQ(manifest->episodes_appended(), 0u);
+  EXPECT_TRUE(ReadLines(dir + "/episodes.jsonl").empty());
+}
+
+TEST(RunManifestTest, OneLinePerEpisodeAndSummaryOnCompletion) {
+  const std::string dir = FreshDir("erminer_manifest_episodes");
+  std::string error;
+  auto manifest = RunManifest::Open(dir, {}, &error);
+  ASSERT_NE(manifest, nullptr) << error;
+  for (int i = 0; i < 5; ++i) {
+    manifest->AppendEpisode("{\"episode\":" + std::to_string(i) + "}");
+  }
+  EXPECT_EQ(manifest->episodes_appended(), 5u);
+  // Per-line flush: every appended line is already on disk, exactly what a
+  // SIGKILL at this point would leave behind.
+  std::vector<std::string> lines = ReadLines(dir + "/episodes.jsonl");
+  ASSERT_EQ(lines.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(lines[static_cast<size_t>(i)],
+              "{\"episode\":" + std::to_string(i) + "}");
+  }
+  EXPECT_TRUE(manifest->WriteSummary("{\"ok\":true,\"episodes\":5}"));
+  EXPECT_EQ(ReadFile(dir + "/summary.json"),
+            "{\"ok\":true,\"episodes\":5}\n");
+}
+
+TEST(RunManifestTest, InterruptedRunLeavesPartialStreamNoSummary) {
+  const std::string dir = FreshDir("erminer_manifest_partial");
+  std::string error;
+  {
+    auto manifest = RunManifest::Open(dir, {{"seed", "3"}}, &error);
+    ASSERT_NE(manifest, nullptr) << error;
+    manifest->AppendEpisode("{\"episode\":0}");
+    manifest->AppendEpisode("{\"episode\":1}");
+    // Destroyed without WriteSummary — the "interrupted" path.
+  }
+  EXPECT_TRUE(FileExists(dir + "/config.json"));
+  EXPECT_EQ(ReadLines(dir + "/episodes.jsonl").size(), 2u);
+  EXPECT_FALSE(FileExists(dir + "/summary.json"));
+}
+
+TEST(RunManifestTest, TrainingLogPublishesThroughActiveManifest) {
+  const std::string dir = FreshDir("erminer_manifest_traininglog");
+  std::string error;
+  auto manifest = RunManifest::Open(dir, {}, &error);
+  ASSERT_NE(manifest, nullptr) << error;
+  SetActiveRunManifest(manifest.get());
+  ASSERT_EQ(ActiveRunManifest(), manifest.get());
+
+  TrainingLog log;
+  for (int e = 0; e < 3; ++e) {
+    log.BeginEpisode();
+    log.RecordStep(/*reward=*/1.0, /*loss=*/0.25);
+    log.RecordStep(/*reward=*/-0.5, /*loss=*/0.5);
+    log.EndEpisode(/*leaves=*/static_cast<size_t>(e));
+  }
+  SetActiveRunManifest(nullptr);
+
+  std::vector<std::string> lines = ReadLines(dir + "/episodes.jsonl");
+  ASSERT_EQ(lines.size(), log.episodes().size());
+  ASSERT_EQ(lines.size(), 3u);
+  for (size_t e = 0; e < lines.size(); ++e) {
+    EXPECT_EQ(lines[e], TrainingLog::EpisodeJson(log.episodes()[e]));
+    EXPECT_NE(lines[e].find("\"episode\":" + std::to_string(e)),
+              std::string::npos);
+    EXPECT_NE(lines[e].find("\"steps\":2"), std::string::npos);
+  }
+  // With no active manifest, EndEpisode publishes nowhere (no crash, no
+  // extra lines).
+  log.BeginEpisode();
+  log.RecordStep(1.0, 0.0);
+  log.EndEpisode(0);
+  EXPECT_EQ(ReadLines(dir + "/episodes.jsonl").size(), 3u);
+}
+
+TEST(RunManifestTest, UnwritableDirFailsOpen) {
+  std::string error;
+  auto manifest = RunManifest::Open("/proc/definitely-not-writable", {},
+                                    &error);
+  EXPECT_EQ(manifest, nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(GitDescribeTest, NeverEmpty) {
+  ASSERT_NE(GitDescribe(), nullptr);
+  EXPECT_NE(std::string(GitDescribe()), "");
+}
+
+}  // namespace
+}  // namespace erminer::obs

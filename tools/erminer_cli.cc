@@ -40,15 +40,27 @@
 // Every command accepts --threads=N (0 = hardware concurrency, default 1 =
 // serial). Results are bit-identical for every N; see docs/parallelism.md.
 //
-// Every command also accepts --metrics-json=FILE (dump the process-wide
-// metrics registry: node expansions, prune reasons, cache hit/miss, DQN
-// stats, ...) and --trace-json=FILE (record scoped spans and write Chrome
-// trace-event JSON viewable in chrome://tracing or Perfetto); see
-// docs/observability.md.
+// Every command also accepts the observability flags (docs/observability.md):
+//   --metrics-json=FILE     dump the process-wide metrics registry on exit
+//   --trace-json=FILE       record scoped spans; write Chrome trace JSON
+//   --telemetry-port=P      embedded HTTP endpoint while the run is live:
+//                           GET /metrics (Prometheus text), /metrics.json,
+//                           /trace.json, /healthz (P=0 picks a free port)
+//   --metrics-stream=FILE   periodic sampler streaming counter deltas as
+//                           JSONL (interval: --sample-interval-ms, def 1000)
+//   --log-json[=FILE]       structured JSON log records with span
+//                           correlation (default: stderr)
+//   --run-dir=DIR           per-run manifest: config.json at start,
+//                           episodes.jsonl appended live during RL
+//                           training, summary.json on clean completion
+// SIGINT/SIGTERM flush metrics/trace/stream files before exiting, so an
+// interrupted run still leaves its artifacts.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 
@@ -66,11 +78,17 @@
 #include "datagen/generators.h"
 #include "eval/experiment.h"
 #include "eval/pipeline.h"
+#include "obs/flush.h"
 #include "obs/metrics.h"
+#include "obs/run_manifest.h"
+#include "obs/sampler.h"
+#include "obs/telemetry_server.h"
 #include "obs/trace.h"
 #include "rl/rl_miner.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace erminer {
 namespace {
@@ -116,6 +134,11 @@ class Flags {
       std::exit(2);
     }
     return v;
+  }
+
+  /// Every flag as parsed, for the run manifest's config.json.
+  const std::map<std::string, std::string>& raw_values() const {
+    return values_;
   }
 
   /// Rejects typo'd flags.
@@ -413,6 +436,108 @@ int Usage() {
   return 2;
 }
 
+// Live-telemetry state armed from the global flags. File-scope so the
+// SIGINT/SIGTERM flush path (obs/flush.h, function pointers only) can reach
+// it: an interrupted run still leaves metrics/trace files behind, and the
+// sampler stream / episodes.jsonl are flushed per line anyway.
+std::string g_metrics_json;
+std::string g_trace_json;
+std::unique_ptr<obs::Sampler> g_sampler;
+std::unique_ptr<obs::RunManifest> g_manifest;
+
+void FlushObsExportFiles() {
+  if (!g_metrics_json.empty()) {
+    obs::MetricsRegistry::Global().WriteJsonFile(g_metrics_json);
+  }
+  if (!g_trace_json.empty()) {
+    obs::TraceRecorder::Global().WriteJsonFile(g_trace_json);
+  }
+}
+
+/// Arms everything the telemetry flags ask for. Exits with an error message
+/// on unusable configuration (bad port, unwritable file) — better to fail
+/// before a 40-minute training run than to discover it afterwards.
+void ArmTelemetry(const std::string& cmd, Flags* flags) {
+  const std::string log_json = flags->Get("log-json");
+  if (!log_json.empty() &&
+      !EnableJsonLogSink(log_json == "true" ? "" : log_json)) {
+    std::fprintf(stderr, "cannot open --log-json file %s\n",
+                 log_json.c_str());
+    std::exit(1);
+  }
+
+  g_metrics_json = flags->Get("metrics-json");
+  g_trace_json = flags->Get("trace-json");
+  if (!g_trace_json.empty()) obs::TraceRecorder::Global().Enable();
+
+  const long port = flags->GetInt("telemetry-port", -1);
+  const long interval_ms = flags->GetInt("sample-interval-ms", 1000);
+  const std::string stream = flags->Get("metrics-stream");
+  const std::string run_dir = flags->Get("run-dir");
+  std::string error;
+
+  if (port >= 0) {
+    obs::TelemetryServerOptions sopts;
+    sopts.port = static_cast<int>(port);
+    if (!obs::TelemetryServer::Global().Start(sopts, &error)) {
+      std::fprintf(stderr, "telemetry server: %s\n", error.c_str());
+      std::exit(1);
+    }
+    std::fprintf(stderr,
+                 "telemetry: http://127.0.0.1:%d/{metrics,metrics.json,"
+                 "trace.json,healthz}\n",
+                 obs::TelemetryServer::Global().port());
+  }
+
+  if (!stream.empty()) {
+    obs::SamplerOptions sopts;
+    sopts.interval_ms = static_cast<int>(interval_ms);
+    sopts.stream_path = stream;
+    g_sampler = std::make_unique<obs::Sampler>(sopts);
+    if (!g_sampler->Start(&error)) {
+      std::fprintf(stderr, "metrics sampler: %s\n", error.c_str());
+      std::exit(1);
+    }
+  }
+
+  if (!run_dir.empty()) {
+    std::map<std::string, std::string> config = flags->raw_values();
+    config["command"] = cmd;
+    g_manifest = obs::RunManifest::Open(run_dir, config, &error);
+    if (g_manifest == nullptr) {
+      std::fprintf(stderr, "run manifest: %s\n", error.c_str());
+      std::exit(1);
+    }
+    obs::SetActiveRunManifest(g_manifest.get());
+  }
+
+  if (!g_metrics_json.empty() || !g_trace_json.empty()) {
+    obs::RegisterFlush(FlushObsExportFiles);
+    obs::InstallSignalFlushHandlers();
+  }
+}
+
+/// Orderly telemetry shutdown after the command returns: final sample,
+/// summary.json (clean completions only — an interrupted run is marked by
+/// its absence), export files, sockets closed.
+void FinishTelemetry(int rc, double wall_seconds) {
+  obs::SetPhase("shutdown");
+  if (g_sampler != nullptr) g_sampler->Stop();
+  if (g_manifest != nullptr) {
+    obs::SetActiveRunManifest(nullptr);
+    char summary[256];
+    std::snprintf(summary, sizeof summary,
+                  "{\"ok\":%s,\"exit_code\":%d,\"episodes\":%zu,"
+                  "\"seconds\":%.3f,\"cpu_seconds\":%.3f,"
+                  "\"peak_rss_bytes\":%zu}",
+                  rc == 0 ? "true" : "false", rc,
+                  g_manifest->episodes_appended(), wall_seconds,
+                  CpuSeconds(), PeakRssBytes());
+    g_manifest->WriteSummary(summary);
+  }
+  obs::TelemetryServer::Global().Stop();
+}
+
 }  // namespace
 }  // namespace erminer
 
@@ -422,30 +547,30 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv, 2);
   // Sized once up front; a pipeline config's `threads` key may override.
   SetGlobalThreads(flags.GetInt("threads", 1));
-  // Observability exports are global flags too: tracing must be armed
-  // before the command runs, and both files are written after it returns
-  // (whatever its exit code, so a partial run still explains itself).
-  const std::string metrics_json = flags.Get("metrics-json");
-  const std::string trace_json = flags.Get("trace-json");
-  if (!trace_json.empty()) obs::TraceRecorder::Global().Enable();
   std::string cmd = argv[1];
+  // Telemetry is armed before the command runs and export files are written
+  // after it returns (whatever its exit code, so a partial run still
+  // explains itself); SIGINT/SIGTERM flush the same files.
+  ArmTelemetry(cmd, &flags);
+  Timer wall;
   int rc;
-  if (cmd == "generate") rc = CmdGenerate(&flags);
-  else if (cmd == "mine") rc = CmdMine(&flags);
-  else if (cmd == "repair") rc = CmdRepair(&flags);
-  else if (cmd == "eval") rc = CmdEval(&flags);
-  else if (cmd == "profile") rc = CmdProfile(&flags);
-  else if (cmd == "detect") rc = CmdDetect(&flags);
-  else if (cmd == "pipeline") rc = CmdPipeline(&flags);
+  if (cmd == "generate") { obs::SetPhase("generate"); rc = CmdGenerate(&flags); }
+  else if (cmd == "mine") { obs::SetPhase("mine"); rc = CmdMine(&flags); }
+  else if (cmd == "repair") { obs::SetPhase("repair"); rc = CmdRepair(&flags); }
+  else if (cmd == "eval") { obs::SetPhase("eval"); rc = CmdEval(&flags); }
+  else if (cmd == "profile") { obs::SetPhase("profile"); rc = CmdProfile(&flags); }
+  else if (cmd == "detect") { obs::SetPhase("detect"); rc = CmdDetect(&flags); }
+  else if (cmd == "pipeline") { obs::SetPhase("pipeline"); rc = CmdPipeline(&flags); }
   else return Usage();
-  if (!metrics_json.empty() &&
-      !obs::MetricsRegistry::Global().WriteJsonFile(metrics_json)) {
-    std::fprintf(stderr, "failed to write %s\n", metrics_json.c_str());
+  FinishTelemetry(rc, wall.Seconds());
+  if (!g_metrics_json.empty() &&
+      !obs::MetricsRegistry::Global().WriteJsonFile(g_metrics_json)) {
+    std::fprintf(stderr, "failed to write %s\n", g_metrics_json.c_str());
     return 1;
   }
-  if (!trace_json.empty() &&
-      !obs::TraceRecorder::Global().WriteJsonFile(trace_json)) {
-    std::fprintf(stderr, "failed to write %s\n", trace_json.c_str());
+  if (!g_trace_json.empty() &&
+      !obs::TraceRecorder::Global().WriteJsonFile(g_trace_json)) {
+    std::fprintf(stderr, "failed to write %s\n", g_trace_json.c_str());
     return 1;
   }
   return rc;

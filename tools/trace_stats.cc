@@ -1,7 +1,8 @@
 // Summarizes a Chrome trace JSON file written by --trace-json: per-span-name
-// totals, self time (duration minus time spent in child spans) and call
-// counts, sorted by self time. Answers "where did the mining seconds go"
-// from the command line, without loading the trace into a browser.
+// totals, self time (duration minus time spent in child spans), call counts
+// and per-call duration quantiles (p50/p90/p99), sorted by self time.
+// Answers "where did the mining seconds go" from the command line, without
+// loading the trace into a browser.
 //
 //   trace_stats --trace=FILE [--top=N]
 //
@@ -35,7 +36,17 @@ struct NameStats {
   uint64_t calls = 0;
   int64_t total_us = 0;
   int64_t self_us = 0;
+  std::vector<int64_t> durs_us;  // per-call durations, for quantiles
 };
+
+/// Nearest-rank quantile over an (unsorted on entry) duration list.
+double QuantileMs(std::vector<int64_t>* durs, double q) {
+  if (durs->empty()) return 0.0;
+  std::sort(durs->begin(), durs->end());
+  size_t idx = static_cast<size_t>(q * static_cast<double>(durs->size()));
+  if (idx >= durs->size()) idx = durs->size() - 1;
+  return static_cast<double>((*durs)[idx]) * 1e-3;
+}
 
 std::string JsonString(const std::string& line, const char* key) {
   const std::string needle = std::string("\"") + key + "\":\"";
@@ -127,6 +138,7 @@ int main(int argc, char** argv) {
     s.calls += 1;
     s.total_us += e.dur;
     s.self_us += e.dur;
+    s.durs_us.push_back(e.dur);
     if (!stack.empty()) stats[stack.back()->name].self_us -= e.dur;
     stack.push_back(&e);
     wall_us = std::max(wall_us, e.ts + e.dur);
@@ -141,14 +153,17 @@ int main(int argc, char** argv) {
 
   std::printf("%zu events, %.3f s traced (max end timestamp)\n",
               events.size(), static_cast<double>(wall_us) * 1e-6);
-  std::printf("%-32s %10s %12s %12s\n", "span", "calls", "total_ms",
-              "self_ms");
+  std::printf("%-32s %10s %12s %12s %10s %10s %10s\n", "span", "calls",
+              "total_ms", "self_ms", "p50_ms", "p90_ms", "p99_ms");
   for (size_t i = 0; i < rows.size() && i < top; ++i) {
-    const NameStats& s = rows[i].second;
-    std::printf("%-32s %10llu %12.3f %12.3f\n", rows[i].first.c_str(),
+    NameStats& s = rows[i].second;
+    std::printf("%-32s %10llu %12.3f %12.3f %10.3f %10.3f %10.3f\n",
+                rows[i].first.c_str(),
                 static_cast<unsigned long long>(s.calls),
                 static_cast<double>(s.total_us) * 1e-3,
-                static_cast<double>(s.self_us) * 1e-3);
+                static_cast<double>(s.self_us) * 1e-3,
+                QuantileMs(&s.durs_us, 0.50), QuantileMs(&s.durs_us, 0.90),
+                QuantileMs(&s.durs_us, 0.99));
   }
   return 0;
 }
