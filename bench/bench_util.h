@@ -25,6 +25,7 @@
 #ifndef ERMINER_BENCH_BENCH_UTIL_H_
 #define ERMINER_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -85,6 +86,12 @@ struct BenchFlags {
   long telemetry_port = -1;  // -1 = no server
   long sample_interval_ms = 1000;
   std::string metrics_stream;
+  // Crash-safe RL training snapshots (docs/checkpointing.md); applied to
+  // the RL options of every trial by MakeSetup.
+  std::string checkpoint_dir;
+  long checkpoint_every = 1;
+  long checkpoint_keep = 3;
+  std::string resume;  // "", "latest" or a snapshot path
 
   static BenchFlags Parse(int argc, char** argv) {
     BenchFlags f;
@@ -110,6 +117,17 @@ struct BenchFlags {
         f.sample_interval_ms = std::atol(a + 21);
       } else if (std::strncmp(a, "--metrics-stream=", 17) == 0) {
         f.metrics_stream = a + 17;
+      } else if (std::strncmp(a, "--checkpoint-dir=", 17) == 0) {
+        f.checkpoint_dir = a + 17;
+      } else if (std::strncmp(a, "--checkpoint-every=", 19) == 0) {
+        f.checkpoint_every = std::atol(a + 19);
+      } else if (std::strncmp(a, "--checkpoint-keep=", 18) == 0) {
+        f.checkpoint_keep = std::atol(a + 18);
+      } else if (std::strcmp(a, "--resume") == 0) {
+        f.resume = "latest";
+      } else if (std::strncmp(a, "--resume=", 9) == 0) {
+        f.resume = a + 9;
+        if (f.resume == "true") f.resume = "latest";
       } else if (std::strcmp(a, "--log-json") == 0) {
         EnableJsonLogSink();
       } else if (std::strncmp(a, "--log-json=", 11) == 0) {
@@ -121,7 +139,9 @@ struct BenchFlags {
         std::printf("flags: --full --no-refine --trials=N --seed=N "
                     "--threads=N --metrics-json=FILE --trace-json=FILE "
                     "--telemetry-port=P --metrics-stream=FILE "
-                    "--sample-interval-ms=N --log-json[=FILE]\n");
+                    "--sample-interval-ms=N --log-json[=FILE] "
+                    "--checkpoint-dir=DIR --checkpoint-every=N "
+                    "--checkpoint-keep=N --resume[=latest|PATH]\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag %s (see --help)\n", a);
@@ -226,6 +246,12 @@ inline BenchSetup MakeSetup(const DatasetSpec& spec, const BenchFlags& flags,
   s.rl.base.support_threshold = s.options.support_threshold;
   s.rl.base.refine = !flags.no_refine;
   s.rl.train_steps = flags.full ? 5000 : 1500;
+  s.rl.checkpoint.dir = flags.checkpoint_dir;
+  s.rl.checkpoint.every_episodes =
+      static_cast<size_t>(std::max(0L, flags.checkpoint_every));
+  s.rl.checkpoint.keep_last =
+      static_cast<size_t>(std::max(1L, flags.checkpoint_keep));
+  s.rl.resume = flags.resume;
   return s;
 }
 

@@ -69,5 +69,32 @@ echo "episodes recorded: $(wc -l < "$out/run_rl/episodes.jsonl")"
 echo "samples streamed:  $(wc -l < "$out/metrics_stream.jsonl")"
 
 echo
+echo "=== crash/resume smoke (--checkpoint-dir + ERMINER_FAULT + --resume) ==="
+# Kill a checkpointed run mid-training with the deterministic fault
+# injector (docs/checkpointing.md), then resume it to completion from the
+# latest snapshot. Exercises the exact path a preempted long run takes.
+ckpt_dir="$out/ckpt_rl"
+rm -rf "$ckpt_dir" "$out/run_resume"
+set +e
+ERMINER_FAULT="train/episode_end:5" \
+  "$build/tools/erminer" "${mine_common[@]}" --method=rl --steps=400 \
+  --seed=17 --checkpoint-dir="$ckpt_dir" --checkpoint-every=1 \
+  >/dev/null 2>"$out/fault.log"
+fault_status=$?
+set -e
+if [[ "$fault_status" -ne 137 ]]; then  # 128 + SIGKILL
+  echo "error: fault-injected run was not killed (exit $fault_status)" >&2
+  cat "$out/fault.log" >&2
+  exit 1
+fi
+echo "killed as planned: $(grep ERMINER_FAULT "$out/fault.log")"
+echo "snapshots left behind: $(ls "$ckpt_dir" | tr '\n' ' ')"
+"$build/tools/erminer" "${mine_common[@]}" --method=rl --steps=400 \
+  --seed=17 --checkpoint-dir="$ckpt_dir" --resume \
+  --run-dir="$out/run_resume" >/dev/null
+echo "resumed run completed; provenance recorded in run_resume/config.json:"
+grep -o '"provenance":{[^}]*}' "$out/run_resume/config.json"
+
+echo
 echo "profile: traces and metrics written to $out/"
 echo "open a trace_*.json in chrome://tracing or https://ui.perfetto.dev"

@@ -3,7 +3,7 @@
 
 Usage:
   scripts/watch_run.py [--port=P] [--host=H] [--interval=S] [--once]
-                       [--metrics=NAME,NAME,...]
+                       [--metrics=NAME,NAME,...] [--run-dir=DIR]
 
 Polls http://HOST:PORT/metrics.json (the embedded server a run starts with
 --telemetry-port=P) and redraws one line per watched metric with its current
@@ -11,11 +11,16 @@ value and a unicode sparkline of its recent history — counters are shown as
 per-interval rates, gauges as values. With no --metrics, watches a default
 set of mining/RL signals and adds any rl/* gauge it sees.
 
+--run-dir=DIR additionally shows the run's last checkpoint (episode, age
+and snapshot path) from the checkpoint events in DIR/episodes.jsonl — so a
+glance answers "how much would a crash right now lose?".
+
 --once prints a single snapshot (no loop, no screen clearing) — usable from
 scripts and smoke tests. Standard library only.
 """
 
 import json
+import os
 import sys
 import time
 import urllib.error
@@ -59,6 +64,32 @@ def sparkline(history):
     return "".join(SPARK[int((v - lo) * scale)] for v in history)
 
 
+def checkpoint_status(run_dir):
+    """One line describing the newest checkpoint event in episodes.jsonl."""
+    path = os.path.join(run_dir, "episodes.jsonl")
+    last = None
+    try:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                if '"event":"checkpoint"' in line:
+                    try:
+                        last = json.loads(line)
+                    except json.JSONDecodeError:
+                        pass  # a partial trailing line during a live run
+    except OSError as e:
+        return f"checkpoint: cannot read {path}: {e}"
+    if last is None:
+        return "checkpoint: none written yet"
+    snapshot = last.get("path", "")
+    age = ""
+    try:
+        age = f", {time.time() - os.stat(snapshot).st_mtime:.0f}s ago"
+    except OSError:
+        age = ", snapshot pruned or moved"
+    return (f"checkpoint: episode {last.get('episode', '?')} "
+            f"(step {last.get('steps', '?')}){age}  {snapshot}")
+
+
 def watched_names(requested, flat):
     if requested:
         return requested
@@ -71,6 +102,7 @@ def watched_names(requested, flat):
 
 def main(argv):
     host, port, interval, once, requested = "127.0.0.1", 9090, 1.0, False, []
+    run_dir = ""
     for arg in argv[1:]:
         if arg.startswith("--port="):
             port = int(arg[len("--port="):])
@@ -82,6 +114,8 @@ def main(argv):
             once = True
         elif arg.startswith("--metrics="):
             requested = [n for n in arg[len("--metrics="):].split(",") if n]
+        elif arg.startswith("--run-dir="):
+            run_dir = arg[len("--run-dir="):]
         elif arg in ("-h", "--help"):
             print(__doc__.strip())
             return 0
@@ -94,6 +128,8 @@ def main(argv):
         try:
             flat = flatten(fetch(host, port))
         except (urllib.error.URLError, OSError, json.JSONDecodeError) as e:
+            if run_dir:
+                print(checkpoint_status(run_dir))
             sys.exit(f"watch_run: cannot scrape {host}:{port}: {e}")
         names = watched_names(requested, flat)
         lines = []
@@ -110,6 +146,8 @@ def main(argv):
             history.append(plotted)
             del history[:-HISTORY]
             lines.append(f"{name:<32} {label:>18}  {sparkline(history)}")
+        if run_dir:
+            lines.append(checkpoint_status(run_dir))
         if once:
             print("\n".join(lines))
             return 0

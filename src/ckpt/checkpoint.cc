@@ -1,0 +1,126 @@
+#include "ckpt/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "ckpt/snapshot.h"
+
+namespace erminer::ckpt {
+
+namespace {
+
+constexpr char kPrefix[] = "ckpt-";
+constexpr char kSuffix[] = ".erck";
+
+std::string SnapshotName(uint64_t episode) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s%012llu%s", kPrefix,
+                static_cast<unsigned long long>(episode), kSuffix);
+  return buf;
+}
+
+/// Parses `ckpt-<digits>.erck`; false for anything else (tmp files, foreign
+/// files, malformed names).
+bool ParseSnapshotName(const std::string& name, uint64_t* episode) {
+  const size_t prefix_len = sizeof(kPrefix) - 1;
+  const size_t suffix_len = sizeof(kSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len) return false;
+  if (name.compare(0, prefix_len, kPrefix) != 0) return false;
+  if (name.compare(name.size() - suffix_len, suffix_len, kSuffix) != 0) {
+    return false;
+  }
+  uint64_t e = 0;
+  for (size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    e = e * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *episode = e;
+  return true;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(CheckpointOptions options)
+    : options_(std::move(options)) {}
+
+Result<std::string> CheckpointManager::Write(uint64_t episode,
+                                             const std::string& payload) {
+  if (!options_.enabled()) {
+    return Status::FailedPrecondition("checkpointing is not enabled");
+  }
+  if (!dir_ready_) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.dir, ec);
+    if (ec) {
+      return Status::IoError("cannot create checkpoint dir " + options_.dir +
+                             ": " + ec.message());
+    }
+    dir_ready_ = true;
+  }
+  const std::string path = options_.dir + "/" + SnapshotName(episode);
+  ERMINER_RETURN_NOT_OK(WriteSnapshotFile(path, payload));
+  // Prune only after the new snapshot is durable; keep_last counts the one
+  // just written. Stray .tmps from an earlier crash go with the stale
+  // snapshots.
+  std::vector<SnapshotRef> all = List(options_.dir);
+  const size_t keep = std::max<size_t>(1, options_.keep_last);
+  for (size_t i = 0; i + keep < all.size(); ++i) {
+    std::remove(all[i].path.c_str());
+  }
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0 &&
+        entry.path().string() != path + ".tmp") {
+      std::remove(entry.path().string().c_str());
+    }
+  }
+  return path;
+}
+
+std::vector<SnapshotRef> CheckpointManager::List(const std::string& dir) {
+  std::vector<SnapshotRef> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    uint64_t episode = 0;
+    if (!ParseSnapshotName(entry.path().filename().string(), &episode)) {
+      continue;
+    }
+    out.push_back({entry.path().string(), episode});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SnapshotRef& a, const SnapshotRef& b) {
+              return a.episode != b.episode ? a.episode < b.episode
+                                            : a.path < b.path;
+            });
+  return out;
+}
+
+Result<std::string> CheckpointManager::LatestPath(const std::string& dir) {
+  std::vector<SnapshotRef> all = List(dir);
+  if (all.empty()) {
+    return Status::NotFound("no snapshots in " + dir);
+  }
+  return all.back().path;
+}
+
+Result<std::string> CheckpointManager::LoadLatest(
+    const std::string& dir, std::string* path_out,
+    std::vector<std::string>* skipped) {
+  std::vector<SnapshotRef> all = List(dir);
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    Result<std::string> payload = ReadSnapshotFile(it->path);
+    if (payload.ok()) {
+      if (path_out != nullptr) *path_out = it->path;
+      return payload;
+    }
+    if (skipped != nullptr) skipped->push_back(it->path);
+  }
+  return Status::NotFound("no loadable snapshot in " + dir +
+                          (all.empty() ? " (directory empty or missing)"
+                                       : " (all snapshots corrupt)"));
+}
+
+}  // namespace erminer::ckpt

@@ -1,0 +1,77 @@
+// Checkpoint directory management: snapshot naming, bounded retention and
+// latest-snapshot resolution for `--resume=latest`.
+//
+// A checkpoint directory holds snapshots named `ckpt-<episode>.erck` (zero-
+// padded so lexicographic order is episode order) written atomically by
+// WriteSnapshotFile. Retention keeps the newest `keep_last` snapshots and
+// deletes the rest *after* a new snapshot is durable, so the directory
+// never transits through an empty state. Stray `.tmp` files from a crash
+// mid-write are ignored by every scan and cleaned up by the next prune.
+
+#ifndef ERMINER_CKPT_CHECKPOINT_H_
+#define ERMINER_CKPT_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace erminer::ckpt {
+
+struct CheckpointOptions {
+  /// Snapshot directory; empty disables checkpointing.
+  std::string dir;
+  /// Write a snapshot every N training episodes (0 with a non-empty dir
+  /// still writes the final end-of-training snapshot).
+  size_t every_episodes = 0;
+  /// Snapshots retained per directory; older ones are deleted.
+  size_t keep_last = 3;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+struct SnapshotRef {
+  std::string path;
+  uint64_t episode = 0;
+};
+
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(CheckpointOptions options);
+
+  const CheckpointOptions& options() const { return options_; }
+
+  /// True when the per-episode cadence says episode `episode` should snap.
+  bool DueAtEpisode(size_t episode) const {
+    return options_.enabled() && options_.every_episodes > 0 &&
+           episode % options_.every_episodes == 0;
+  }
+
+  /// Writes `payload` as the snapshot for `episode` (atomic tmp + rename),
+  /// then prunes beyond keep_last. Returns the final path.
+  Result<std::string> Write(uint64_t episode, const std::string& payload);
+
+  /// Snapshots in `dir`, oldest first. Ignores foreign files and `.tmp`s.
+  static std::vector<SnapshotRef> List(const std::string& dir);
+
+  /// Path of the newest snapshot, or NotFound.
+  static Result<std::string> LatestPath(const std::string& dir);
+
+  /// Newest *loadable* snapshot payload for `--resume=latest`: corrupt or
+  /// unreadable snapshots are skipped (their paths are appended to
+  /// `skipped`, newest first) and the scan falls back to older ones.
+  /// NotFound when the directory holds no loadable snapshot at all — the
+  /// caller then starts fresh instead of failing the run.
+  static Result<std::string> LoadLatest(const std::string& dir,
+                                        std::string* path_out,
+                                        std::vector<std::string>* skipped);
+
+ private:
+  CheckpointOptions options_;
+  bool dir_ready_ = false;
+};
+
+}  // namespace erminer::ckpt
+
+#endif  // ERMINER_CKPT_CHECKPOINT_H_

@@ -1,0 +1,18 @@
+#include "ckpt/serial.h"
+
+namespace erminer::ckpt {
+
+void SaveRng(const Rng& rng, Writer* w) {
+  uint64_t state[4];
+  rng.GetState(state);
+  for (uint64_t s : state) w->U64(s);
+}
+
+Status LoadRng(Reader* r, Rng* rng) {
+  uint64_t state[4];
+  for (auto& s : state) ERMINER_RETURN_NOT_OK(r->U64(&s));
+  rng->SetState(state);
+  return Status::OK();
+}
+
+}  // namespace erminer::ckpt

@@ -1,0 +1,133 @@
+// Binary (de)serialization primitives for checkpoint payloads.
+//
+// A checkpoint must restore training state *bit-identically* — a resumed
+// run replays the exact trajectory of an uninterrupted one — so every field
+// is written with its full in-memory precision (floats and doubles as raw
+// IEEE-754 bytes, never text). The encoding is little-endian fixed-width
+// with length-prefixed containers; there is no schema — writer and reader
+// agree through the snapshot format version (src/ckpt/snapshot.h).
+//
+// Writer appends to an in-memory buffer (the whole payload is framed and
+// checksummed at once by WriteSnapshotFile); Reader returns a Status on any
+// out-of-bounds read, so a truncated or bit-flipped payload surfaces as a
+// clean error instead of garbage state.
+
+#ifndef ERMINER_CKPT_SERIAL_H_
+#define ERMINER_CKPT_SERIAL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace erminer::ckpt {
+
+class Writer {
+ public:
+  void U8(uint8_t v) { Raw(&v, 1); }
+  void U32(uint32_t v) { Raw(&v, sizeof v); }
+  void U64(uint64_t v) { Raw(&v, sizeof v); }
+  void I32(int32_t v) { Raw(&v, sizeof v); }
+  void I64(int64_t v) { Raw(&v, sizeof v); }
+  void F32(float v) { Raw(&v, sizeof v); }
+  void F64(double v) { Raw(&v, sizeof v); }
+
+  /// Length-prefixed byte string (nested blobs, e.g. network weights).
+  void Bytes(const std::string& s) {
+    U64(s.size());
+    Raw(s.data(), s.size());
+  }
+
+  /// Length-prefixed vector of a trivially-copyable element type.
+  template <typename T>
+  void Vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    U64(v.size());
+    Raw(v.data(), v.size() * sizeof(T));
+  }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string Release() { return std::move(buffer_); }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    buffer_.append(static_cast<const char*>(p), n);
+  }
+
+  std::string buffer_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  Status U8(uint8_t* v) { return Raw(v, 1); }
+  Status U32(uint32_t* v) { return Raw(v, sizeof *v); }
+  Status U64(uint64_t* v) { return Raw(v, sizeof *v); }
+  Status I32(int32_t* v) { return Raw(v, sizeof *v); }
+  Status I64(int64_t* v) { return Raw(v, sizeof *v); }
+  Status F32(float* v) { return Raw(v, sizeof *v); }
+  Status F64(double* v) { return Raw(v, sizeof *v); }
+
+  Status Bytes(std::string* s) {
+    uint64_t n = 0;
+    ERMINER_RETURN_NOT_OK(U64(&n));
+    ERMINER_RETURN_NOT_OK(CheckRemaining(n));
+    s->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status Vec(std::vector<T>* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = 0;
+    ERMINER_RETURN_NOT_OK(U64(&n));
+    // Element-count bound first, so n * sizeof(T) cannot overflow on a
+    // corrupt length prefix.
+    ERMINER_RETURN_NOT_OK(CheckRemaining(n));
+    ERMINER_RETURN_NOT_OK(CheckRemaining(n * sizeof(T)));
+    v->resize(n);
+    std::memcpy(v->data(), data_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return Status::OK();
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status CheckRemaining(uint64_t n) {
+    if (n > data_.size() - pos_) {
+      return Status::IoError("checkpoint payload truncated: need " +
+                             std::to_string(n) + " bytes at offset " +
+                             std::to_string(pos_) + ", have " +
+                             std::to_string(data_.size() - pos_));
+    }
+    return Status::OK();
+  }
+
+  Status Raw(void* p, size_t n) {
+    ERMINER_RETURN_NOT_OK(CheckRemaining(n));
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Rng stream state (the four xoshiro256** words; the lazy Zipf CDF cache
+/// is derived data and rebuilt on demand).
+void SaveRng(const Rng& rng, Writer* w);
+Status LoadRng(Reader* r, Rng* rng);
+
+}  // namespace erminer::ckpt
+
+#endif  // ERMINER_CKPT_SERIAL_H_

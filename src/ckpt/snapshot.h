@@ -1,0 +1,42 @@
+// Snapshot file framing: a versioned, CRC-checksummed container for one
+// checkpoint payload, written atomically.
+//
+// Layout (all integers little-endian):
+//   u32  magic "ERCK"
+//   u32  format version (kSnapshotFormatVersion)
+//   u64  payload size in bytes
+//   ...  payload
+//   u32  CRC-32 of the payload
+//
+// WriteSnapshotFile writes to `<path>.tmp`, flushes and fsyncs it, then
+// renames over `<path>` — a reader can never observe a half-written
+// snapshot under the final name, and a crash mid-write leaves at most a
+// stale `.tmp` that loaders and latest-snapshot scans ignore.
+// ReadSnapshotFile rejects wrong magic, unsupported versions (with the
+// expected and found version in the message), truncation anywhere, and
+// CRC mismatches, each as a distinct clear Status.
+
+#ifndef ERMINER_CKPT_SNAPSHOT_H_
+#define ERMINER_CKPT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace erminer::ckpt {
+
+inline constexpr uint32_t kSnapshotMagic = 0x4B435245u;  // "ERCK"
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// Atomically writes `payload` framed as above. The fault points
+/// `ckpt/before_write`, `ckpt/after_tmp_write` and `ckpt/after_rename`
+/// (obs/fault.h) bracket the three durability stages.
+Status WriteSnapshotFile(const std::string& path, const std::string& payload);
+
+/// Reads and verifies a snapshot, returning the payload.
+Result<std::string> ReadSnapshotFile(const std::string& path);
+
+}  // namespace erminer::ckpt
+
+#endif  // ERMINER_CKPT_SNAPSHOT_H_

@@ -161,4 +161,64 @@ Environment::StepResult Environment::Step(int32_t action) {
   return sr;
 }
 
+void Environment::SavePersistent(ckpt::Writer* w) const {
+  w->U64(total_nodes_);
+  // Pool rules are exactly space_->Decode(key) of their tree key (see the
+  // insertion above), so each entry is saved as (key, stats) and the rule is
+  // re-decoded on load — pool_keys_ is rebuilt in lockstep.
+  ERMINER_CHECK(pool_keys_.size() == global_pool_.size());
+  w->U64(global_pool_.size());
+  for (const ScoredRule& sr : global_pool_) {
+    Result<RuleKey> keyr = space_->Encode(sr.rule);
+    ERMINER_CHECK(keyr.ok());
+    RuleKey key = std::move(keyr).ValueOrDie();
+    w->Vec(key);
+    w->I64(sr.stats.support);
+    w->F64(sr.stats.certainty);
+    w->F64(sr.stats.quality);
+    w->F64(sr.stats.utility);
+  }
+}
+
+Status Environment::LoadPersistent(ckpt::Reader* r) {
+  uint64_t total_nodes = 0, n_pool = 0;
+  ERMINER_RETURN_NOT_OK(r->U64(&total_nodes));
+  ERMINER_RETURN_NOT_OK(r->U64(&n_pool));
+  std::vector<ScoredRule> pool;
+  pool.reserve(n_pool);
+  RuleKeySet keys;
+  for (uint64_t i = 0; i < n_pool; ++i) {
+    RuleKey key;
+    ERMINER_RETURN_NOT_OK(r->Vec(&key));
+    for (int32_t a : key) {
+      if (a < 0 || a >= space_->stop_action()) {
+        return Status::InvalidArgument(
+            "environment pool rule key has action " + std::to_string(a) +
+            " outside this action space (" +
+            std::to_string(space_->stop_action()) +
+            " non-stop actions) — checkpoint from a different corpus?");
+      }
+    }
+    ScoredRule sr;
+    sr.rule = space_->Decode(key);
+    int64_t support = 0;
+    ERMINER_RETURN_NOT_OK(r->I64(&support));
+    sr.stats.support = static_cast<long>(support);
+    ERMINER_RETURN_NOT_OK(r->F64(&sr.stats.certainty));
+    ERMINER_RETURN_NOT_OK(r->F64(&sr.stats.quality));
+    ERMINER_RETURN_NOT_OK(r->F64(&sr.stats.utility));
+    keys.insert(std::move(key));
+    pool.push_back(std::move(sr));
+  }
+  if (keys.size() != pool.size()) {
+    return Status::InvalidArgument(
+        "environment pool corrupt: " + std::to_string(pool.size()) +
+        " rules but " + std::to_string(keys.size()) + " distinct keys");
+  }
+  total_nodes_ = total_nodes;
+  global_pool_ = std::move(pool);
+  pool_keys_ = std::move(keys);
+  return Status::OK();
+}
+
 }  // namespace erminer

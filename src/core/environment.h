@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/serial.h"
 #include "core/action_space.h"
 #include "core/mask.h"
 #include "core/measures.h"
@@ -95,6 +96,14 @@ class Environment {
 
   const ActionSpace& space() const { return *space_; }
   const EnvOptions& options() const { return options_; }
+
+  /// Checkpoint support for the cross-episode state: the global rule pool
+  /// (with each entry's rule key, restoring pool_keys_ in lockstep) and the
+  /// node counter. The reward/stats caches are deliberately NOT saved: they
+  /// are pure memoization and are recomputed deterministically on resume —
+  /// only the evaluation *count* differs, never any reward value.
+  void SavePersistent(ckpt::Writer* w) const;
+  Status LoadPersistent(ckpt::Reader* r);
 
  private:
   struct TreeNode {

@@ -208,7 +208,16 @@ Result<PipelineReport> RunPipeline(const Config& config) {
     rl.train_steps =
         static_cast<size_t>(config.GetInt("miner.steps", 3000));
     rl.seed = static_cast<uint64_t>(config.GetInt("miner.seed", 17));
+    // [rl] section: crash-safe checkpoint/resume (docs/checkpointing.md).
+    rl.checkpoint.dir = config.Get("rl.checkpoint_dir", "");
+    rl.checkpoint.every_episodes = static_cast<size_t>(config.GetInt(
+        "rl.checkpoint_every", rl.checkpoint.dir.empty() ? 0 : 1));
+    rl.checkpoint.keep_last =
+        static_cast<size_t>(config.GetInt("rl.checkpoint_keep", 3));
+    rl.resume = config.Get("rl.resume", "");
+    if (rl.resume == "true") rl.resume = "latest";
     RlMiner miner(&corpus, rl);
+    ERMINER_RETURN_NOT_OK(miner.Resume());
     report.mine = miner.Mine();
   } else if (report.method == "enu") {
     report.mine = EnuMine(corpus, options);

@@ -44,4 +44,34 @@ void Adam::Step(const std::vector<Tensor*>& params,
   }
 }
 
+void Adam::SaveState(ckpt::Writer* w) const {
+  w->I64(t_);
+  w->U64(m_.size());
+  for (const auto& m : m_) w->Vec(m);
+  w->U64(v_.size());
+  for (const auto& v : v_) w->Vec(v);
+}
+
+Status Adam::LoadState(ckpt::Reader* r) {
+  int64_t t = 0;
+  ERMINER_RETURN_NOT_OK(r->I64(&t));
+  uint64_t nm = 0;
+  ERMINER_RETURN_NOT_OK(r->U64(&nm));
+  std::vector<std::vector<float>> m(nm);
+  for (auto& mi : m) ERMINER_RETURN_NOT_OK(r->Vec(&mi));
+  uint64_t nv = 0;
+  ERMINER_RETURN_NOT_OK(r->U64(&nv));
+  if (nv != nm) {
+    return Status::InvalidArgument(
+        "Adam state corrupt: " + std::to_string(nm) + " first-moment vs " +
+        std::to_string(nv) + " second-moment tensors");
+  }
+  std::vector<std::vector<float>> v(nv);
+  for (auto& vi : v) ERMINER_RETURN_NOT_OK(r->Vec(&vi));
+  t_ = static_cast<long>(t);
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return Status::OK();
+}
+
 }  // namespace erminer

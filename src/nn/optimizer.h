@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "ckpt/serial.h"
 #include "nn/tensor.h"
 
 namespace erminer {
@@ -34,6 +35,13 @@ class Adam : public Optimizer {
       : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
   void Step(const std::vector<Tensor*>& params,
             const std::vector<Tensor*>& grads) override;
+
+  /// Mutable optimizer state (step count + first/second moments), for
+  /// checkpointing. Hyperparameters (lr, betas, eps) come from config.
+  void SaveState(ckpt::Writer* w) const;
+  Status LoadState(ckpt::Reader* r);
+
+  long steps() const { return t_; }
 
  private:
   float lr_, beta1_, beta2_, eps_;

@@ -7,12 +7,25 @@
 
 #include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "nn/dueling.h"
 #include "nn/mlp.h"
 
 namespace erminer {
+
+namespace internal {
+inline std::string DimsToString(const std::vector<size_t>& dims) {
+  std::string s = "[";
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(dims[i]);
+  }
+  s += "]";
+  return s;
+}
+}  // namespace internal
 
 class QNetwork {
  public:
@@ -51,7 +64,10 @@ class MlpQNetwork : public QNetwork {
   Status LoadFrom(std::istream& is) override {
     ERMINER_ASSIGN_OR_RETURN(Mlp loaded, Mlp::Load(is));
     if (loaded.dims() != net_.dims()) {
-      return Status::InvalidArgument("MLP weight dims mismatch");
+      return Status::InvalidArgument(
+          "MLP weight dims mismatch: expected " +
+          internal::DimsToString(net_.dims()) + ", got " +
+          internal::DimsToString(loaded.dims()));
     }
     net_.CopyWeightsFrom(loaded);
     return Status::OK();
@@ -85,7 +101,12 @@ class DuelingQNetwork : public QNetwork {
     ERMINER_ASSIGN_OR_RETURN(DuelingNet loaded, DuelingNet::Load(is));
     if (loaded.input_dim() != net_.input_dim() ||
         loaded.num_actions() != net_.num_actions()) {
-      return Status::InvalidArgument("dueling weight dims mismatch");
+      return Status::InvalidArgument(
+          "dueling weight dims mismatch: expected input_dim=" +
+          std::to_string(net_.input_dim()) +
+          " num_actions=" + std::to_string(net_.num_actions()) +
+          ", got input_dim=" + std::to_string(loaded.input_dim()) +
+          " num_actions=" + std::to_string(loaded.num_actions()));
     }
     net_.CopyWeightsFrom(loaded);
     return Status::OK();

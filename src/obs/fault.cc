@@ -1,0 +1,95 @@
+#include "obs/fault.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <atomic>
+#include <mutex>
+
+namespace erminer::obs {
+
+namespace {
+
+// One armed point per process: a fault simulates one external kill, and a
+// single point keeps the trigger deterministic (no cross-point ordering).
+std::mutex g_mutex;
+std::string g_armed_name;           // empty = unarmed
+uint64_t g_armed_nth = 0;
+std::atomic<bool> g_armed{false};   // fast-path gate for FaultPoint
+std::atomic<uint64_t> g_hits{0};
+std::once_flag g_env_once;
+
+void ArmFromEnvOnce() {
+  std::call_once(g_env_once, [] {
+    const char* spec = std::getenv("ERMINER_FAULT");
+    if (spec != nullptr && spec[0] != '\0' && !FaultArmed()) {
+      if (!ArmFaultFromSpec(spec)) {
+        std::fprintf(stderr, "ERMINER_FAULT: malformed spec '%s' "
+                     "(want <point>:<n>), ignoring\n", spec);
+      }
+    }
+  });
+}
+
+}  // namespace
+
+void ArmFault(const std::string& name, uint64_t nth) {
+  std::lock_guard<std::mutex> lk(g_mutex);
+  g_armed_name = name;
+  g_armed_nth = nth == 0 ? 1 : nth;
+  g_hits.store(0, std::memory_order_relaxed);
+  g_armed.store(!name.empty(), std::memory_order_release);
+}
+
+bool ArmFaultFromSpec(const std::string& spec) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long n =
+      std::strtoull(spec.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || n == 0) return false;
+  ArmFault(spec.substr(0, colon), n);
+  return true;
+}
+
+bool FaultArmed() { return g_armed.load(std::memory_order_acquire); }
+
+uint64_t FaultHits() { return g_hits.load(std::memory_order_relaxed); }
+
+void FaultPoint(const char* name) {
+  // The env spec is parsed lazily at the first fault point, so library code
+  // needs no init call; the atomic gate keeps unarmed points nearly free.
+  ArmFromEnvOnce();
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  uint64_t nth;
+  {
+    std::lock_guard<std::mutex> lk(g_mutex);
+    if (g_armed_name != name) return;
+    nth = g_armed_nth;
+  }
+  const uint64_t hit = g_hits.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (hit != nth) return;
+  std::fprintf(stderr, "ERMINER_FAULT: SIGKILL at %s (hit %llu)\n", name,
+               static_cast<unsigned long long>(hit));
+  std::fflush(stderr);
+  std::raise(SIGKILL);
+  // SIGKILL cannot be handled; the process is gone. (On the impossible
+  // fall-through, abort rather than continue past an injected crash.)
+  std::abort();
+}
+
+const std::vector<std::string>& KnownFaultPoints() {
+  static const std::vector<std::string>* points = new std::vector<std::string>{
+      "train/episode_begin",  "train/episode_end",
+      "ckpt/before_write",    "ckpt/after_tmp_write",
+      "ckpt/after_rename",    "train/after_checkpoint",
+      "manifest/append_episode",
+  };
+  return *points;
+}
+
+}  // namespace erminer::obs

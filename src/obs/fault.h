@@ -1,0 +1,50 @@
+// Deterministic fault injection for crash-safety tests.
+//
+// A fault point is a named place in the code (the RL train loop, the
+// checkpoint writer, the manifest writer) where the process can be made to
+// die exactly as a preemption or OOM kill would: with SIGKILL, no handlers,
+// no flushing, no destructors. Arm one point per process, either via the
+// environment,
+//
+//   ERMINER_FAULT=<point>:<n>    die on the n-th hit of <point> (n >= 1)
+//
+// or programmatically with ArmFault (tests fork a child and arm it there).
+// Unarmed fault points cost one relaxed atomic load — they are compiled
+// into release binaries so the tested binary is the shipped binary.
+//
+// The point names in use are listed in docs/checkpointing.md and returned
+// by KnownFaultPoints() so the crash-resume harness can iterate them.
+
+#ifndef ERMINER_OBS_FAULT_H_
+#define ERMINER_OBS_FAULT_H_
+
+#include <string>
+#include <vector>
+
+namespace erminer::obs {
+
+/// Marks a fault point. If armed for `name` and this is the n-th hit, the
+/// process raises SIGKILL (after one line to stderr). Thread-safe.
+void FaultPoint(const char* name);
+
+/// Arms a fault programmatically (overrides any earlier arming). `nth` is
+/// 1-based: 1 kills at the first hit.
+void ArmFault(const std::string& name, uint64_t nth);
+
+/// Parses a spec of the environment form "<point>:<n>". Returns false (and
+/// arms nothing) on a malformed spec.
+bool ArmFaultFromSpec(const std::string& spec);
+
+/// True if any fault is armed in this process.
+bool FaultArmed();
+
+/// Times the armed point has been hit so far (0 when unarmed).
+uint64_t FaultHits();
+
+/// Every fault point name compiled into the training/checkpoint path, in
+/// execution order. The crash-resume test kills a run at each of these.
+const std::vector<std::string>& KnownFaultPoints();
+
+}  // namespace erminer::obs
+
+#endif  // ERMINER_OBS_FAULT_H_

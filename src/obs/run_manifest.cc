@@ -4,6 +4,8 @@
 #include <chrono>
 #include <filesystem>
 
+#include "obs/fault.h"
+
 namespace erminer::obs {
 
 namespace {
@@ -42,33 +44,21 @@ std::unique_ptr<RunManifest> RunManifest::Open(
   }
   // config.json first: whatever happens later, the run's identity is on
   // disk before any work starts.
-  std::string json = "{\"git_describe\":";
-  AppendQuoted(&json, GitDescribe());
-  json += ",\"created_unix_ms\":" +
-          std::to_string(std::chrono::duration_cast<std::chrono::milliseconds>(
-                             std::chrono::system_clock::now()
-                                 .time_since_epoch())
-                             .count());
-  json += ",\"options\":{";
-  bool first = true;
-  for (const auto& [key, value] : config) {
-    if (!first) json += ",";
-    first = false;
-    AppendQuoted(&json, key);
-    json += ":";
-    AppendQuoted(&json, value);
+  std::unique_ptr<RunManifest> manifest(new RunManifest(dir));
+  manifest->config_ = config;
+  manifest->created_unix_ms_ =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  {
+    std::lock_guard<std::mutex> lk(manifest->mutex_);
+    manifest->WriteConfigLocked();
   }
-  json += "}}\n";
   const std::string config_path = dir + "/config.json";
-  std::FILE* f = std::fopen(config_path.c_str(), "w");
-  if (f == nullptr) {
+  if (!std::filesystem::exists(config_path)) {
     if (error != nullptr) *error = "cannot write " + config_path;
     return nullptr;
   }
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
-
-  std::unique_ptr<RunManifest> manifest(new RunManifest(dir));
   const std::string episodes_path = dir + "/episodes.jsonl";
   manifest->episodes_ = std::fopen(episodes_path.c_str(), "w");
   if (manifest->episodes_ == nullptr) {
@@ -83,13 +73,63 @@ RunManifest::~RunManifest() {
   if (episodes_ != nullptr) std::fclose(episodes_);
 }
 
+void RunManifest::WriteConfigLocked() {
+  std::string json = "{\"git_describe\":";
+  AppendQuoted(&json, GitDescribe());
+  json += ",\"created_unix_ms\":" + std::to_string(created_unix_ms_);
+  json += ",\"options\":{";
+  bool first = true;
+  for (const auto& [key, value] : config_) {
+    if (!first) json += ",";
+    first = false;
+    AppendQuoted(&json, key);
+    json += ":";
+    AppendQuoted(&json, value);
+  }
+  json += "}";
+  if (!provenance_.empty()) {
+    json += ",\"provenance\":{";
+    first = true;
+    for (const auto& [key, value] : provenance_) {
+      if (!first) json += ",";
+      first = false;
+      AppendQuoted(&json, key);
+      json += ":";
+      AppendQuoted(&json, value);
+    }
+    json += "}";
+  }
+  json += "}\n";
+  const std::string config_path = dir_ + "/config.json";
+  std::FILE* f = std::fopen(config_path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+}
+
 void RunManifest::AppendEpisode(const std::string& json_object) {
+  FaultPoint("manifest/append_episode");
   std::lock_guard<std::mutex> lk(mutex_);
   if (episodes_ == nullptr) return;
   std::fwrite(json_object.data(), 1, json_object.size(), episodes_);
   std::fputc('\n', episodes_);
   std::fflush(episodes_);  // the crash-survival contract
   ++episodes_appended_;
+}
+
+void RunManifest::AppendEvent(const std::string& json_object) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (episodes_ == nullptr) return;
+  std::fwrite(json_object.data(), 1, json_object.size(), episodes_);
+  std::fputc('\n', episodes_);
+  std::fflush(episodes_);
+}
+
+void RunManifest::SetProvenance(const std::string& key,
+                                const std::string& value) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  provenance_[key] = value;
+  WriteConfigLocked();
 }
 
 bool RunManifest::WriteSummary(const std::string& json_object) {

@@ -49,6 +49,16 @@ class RunManifest {
   /// flushes, so the line survives any later crash. Thread-safe.
   void AppendEpisode(const std::string& json_object);
 
+  /// Appends a non-episode event line (e.g. a checkpoint record) to
+  /// episodes.jsonl without counting it toward episodes_appended().
+  /// Thread-safe.
+  void AppendEvent(const std::string& json_object);
+
+  /// Records a provenance fact (e.g. "resumed_from": path) and rewrites
+  /// config.json with a "provenance" object, so a resumed run's lineage is
+  /// on disk next to its options. Thread-safe.
+  void SetProvenance(const std::string& key, const std::string& value);
+
   /// Writes summary.json (one JSON object). Call on clean completion only —
   /// an interrupted run is recognizable by the file's absence.
   bool WriteSummary(const std::string& json_object);
@@ -59,10 +69,17 @@ class RunManifest {
  private:
   explicit RunManifest(std::string dir) : dir_(std::move(dir)) {}
 
+  /// Serializes config_ + provenance_ into config.json text and writes it.
+  /// Requires mutex_ held.
+  void WriteConfigLocked();
+
   std::string dir_;
   mutable std::mutex mutex_;
   std::FILE* episodes_ = nullptr;
   size_t episodes_appended_ = 0;
+  std::map<std::string, std::string> config_;
+  std::map<std::string, std::string> provenance_;
+  long long created_unix_ms_ = 0;
 };
 
 /// Process-wide active manifest (null = none). Not owning: the setter keeps

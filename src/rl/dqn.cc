@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
 
 #include "nn/loss.h"
 #include "obs/metrics.h"
@@ -230,6 +231,65 @@ float DqnAgent::TrainStep() {
 Status DqnAgent::LoadWeights(std::istream& is) {
   ERMINER_RETURN_NOT_OK(online_->LoadFrom(is));
   target_->CopyWeightsFrom(*online_);
+  return Status::OK();
+}
+
+namespace {
+
+/// A QNetwork's weights as a length-prefixed blob (the networks' own binary
+/// stream format nested inside the checkpoint payload).
+Status SaveNetworkBlob(const QNetwork& net, ckpt::Writer* w) {
+  std::ostringstream oss;
+  ERMINER_RETURN_NOT_OK(net.Save(oss));
+  w->Bytes(oss.str());
+  return Status::OK();
+}
+
+Status LoadNetworkBlob(ckpt::Reader* r, QNetwork* net) {
+  std::string blob;
+  ERMINER_RETURN_NOT_OK(r->Bytes(&blob));
+  std::istringstream iss(blob);
+  return net->LoadFrom(iss);
+}
+
+}  // namespace
+
+Status DqnAgent::SaveState(ckpt::Writer* w) const {
+  ERMINER_RETURN_NOT_OK(SaveNetworkBlob(*online_, w));
+  ERMINER_RETURN_NOT_OK(SaveNetworkBlob(*target_, w));
+  optimizer_.SaveState(w);
+  ckpt::SaveRng(rng_, w);
+  w->U64(updates_done_);
+  w->U8(prioritized_ ? 1 : 0);
+  if (prioritized_) {
+    prioritized_->SaveState(w);
+  } else {
+    replay_.SaveState(w);
+  }
+  return Status::OK();
+}
+
+Status DqnAgent::LoadState(ckpt::Reader* r) {
+  ERMINER_RETURN_NOT_OK(LoadNetworkBlob(r, online_.get()));
+  ERMINER_RETURN_NOT_OK(LoadNetworkBlob(r, target_.get()));
+  ERMINER_RETURN_NOT_OK(optimizer_.LoadState(r));
+  ERMINER_RETURN_NOT_OK(ckpt::LoadRng(r, &rng_));
+  uint64_t updates = 0;
+  ERMINER_RETURN_NOT_OK(r->U64(&updates));
+  uint8_t prioritized = 0;
+  ERMINER_RETURN_NOT_OK(r->U8(&prioritized));
+  if ((prioritized != 0) != (prioritized_ != nullptr)) {
+    return Status::InvalidArgument(
+        std::string("replay buffer kind mismatch: checkpoint was written ") +
+        (prioritized ? "with" : "without") + " prioritized replay but this "
+        "agent is configured " + (prioritized_ ? "with" : "without") + " it");
+  }
+  if (prioritized_) {
+    ERMINER_RETURN_NOT_OK(prioritized_->LoadState(r));
+  } else {
+    ERMINER_RETURN_NOT_OK(replay_.LoadState(r));
+  }
+  updates_done_ = updates;
   return Status::OK();
 }
 

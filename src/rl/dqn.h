@@ -94,6 +94,13 @@ class DqnAgent {
   Status SaveWeights(std::ostream& os) const { return online_->Save(os); }
   Status LoadWeights(std::istream& is);
 
+  /// Full mutable agent state for checkpointing: online AND target weights
+  /// (they differ between hard syncs), Adam moments, the RNG stream, the
+  /// replay buffer (uniform or prioritized, whichever is active) and the
+  /// update counter. Restoring it resumes training bit-identically.
+  Status SaveState(ckpt::Writer* w) const;
+  Status LoadState(ckpt::Reader* r);
+
  private:
   Tensor Densify(const std::vector<const Transition*>& batch,
                  bool next) const;

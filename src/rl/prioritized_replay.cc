@@ -28,6 +28,31 @@ double SumTree::Get(size_t index) const {
   return nodes_[index + capacity_];
 }
 
+void SumTree::SaveState(ckpt::Writer* w) const {
+  w->U64(capacity_);
+  w->Vec(nodes_);
+}
+
+Status SumTree::LoadState(ckpt::Reader* r) {
+  uint64_t capacity = 0;
+  ERMINER_RETURN_NOT_OK(r->U64(&capacity));
+  if (capacity != capacity_) {
+    return Status::InvalidArgument(
+        "sum tree capacity mismatch: expected " + std::to_string(capacity_) +
+        ", checkpoint has " + std::to_string(capacity));
+  }
+  std::vector<double> nodes;
+  ERMINER_RETURN_NOT_OK(r->Vec(&nodes));
+  if (nodes.size() != nodes_.size()) {
+    return Status::InvalidArgument(
+        "sum tree node count mismatch: expected " +
+        std::to_string(nodes_.size()) + ", checkpoint has " +
+        std::to_string(nodes.size()));
+  }
+  nodes_ = std::move(nodes);
+  return Status::OK();
+}
+
 size_t SumTree::FindPrefix(double prefix) const {
   size_t i = 1;
   while (i < capacity_) {
@@ -103,6 +128,36 @@ void PrioritizedReplay::UpdatePriorities(
     tree_.Set(indices[i], p);
     max_priority_ = std::max(max_priority_, p);
   }
+}
+
+void PrioritizedReplay::SaveState(ckpt::Writer* w) const {
+  w->F64(max_priority_);
+  w->U64(next_);
+  w->U64(buffer_.size());
+  for (const Transition& t : buffer_) SaveTransition(t, w);
+  tree_.SaveState(w);
+}
+
+Status PrioritizedReplay::LoadState(ckpt::Reader* r) {
+  double max_priority = 0;
+  uint64_t next = 0, n = 0;
+  ERMINER_RETURN_NOT_OK(r->F64(&max_priority));
+  ERMINER_RETURN_NOT_OK(r->U64(&next));
+  ERMINER_RETURN_NOT_OK(r->U64(&n));
+  if (n > capacity_ || next >= capacity_) {
+    return Status::InvalidArgument(
+        "prioritized replay state does not fit capacity " +
+        std::to_string(capacity_) + ": size " + std::to_string(n) +
+        ", write position " + std::to_string(next) +
+        " (was the checkpoint written with a different replay_capacity?)");
+  }
+  std::vector<Transition> buffer(n);
+  for (auto& t : buffer) ERMINER_RETURN_NOT_OK(LoadTransition(r, &t));
+  ERMINER_RETURN_NOT_OK(tree_.LoadState(r));
+  max_priority_ = max_priority;
+  next_ = next;
+  buffer_ = std::move(buffer);
+  return Status::OK();
 }
 
 }  // namespace erminer

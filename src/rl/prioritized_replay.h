@@ -27,6 +27,14 @@ class SumTree {
   /// The leaf whose cumulative range contains `prefix` in [0, Total()).
   size_t FindPrefix(double prefix) const;
 
+  /// Checkpoint support. The FULL node array is saved, not just the leaves:
+  /// internal sums accumulate incremental `+= delta` updates and drift (in
+  /// the last ulps) from sums rebuilt bottom-up, and FindPrefix compares
+  /// against the internal nodes — a rebuilt tree could route a prefix query
+  /// to a different leaf and break bit-identical resume.
+  void SaveState(ckpt::Writer* w) const;
+  Status LoadState(ckpt::Reader* r);
+
  private:
   size_t capacity_;
   std::vector<double> nodes_;  // 1-based heap layout folded into index math
@@ -56,6 +64,11 @@ class PrioritizedReplay {
   /// new absolute TD errors.
   void UpdatePriorities(const std::vector<size_t>& indices,
                         const std::vector<float>& abs_td_errors);
+
+  /// Checkpoint support: contents, write position, max priority and the
+  /// exact sum-tree bits.
+  void SaveState(ckpt::Writer* w) const;
+  Status LoadState(ckpt::Reader* r);
 
  private:
   size_t capacity_;

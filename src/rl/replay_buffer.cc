@@ -2,6 +2,27 @@
 
 namespace erminer {
 
+void SaveTransition(const Transition& t, ckpt::Writer* w) {
+  w->Vec(t.state);
+  w->I32(t.action);
+  w->F32(t.reward);
+  w->Vec(t.next_state);
+  w->Vec(t.next_mask);
+  w->U8(t.done ? 1 : 0);
+}
+
+Status LoadTransition(ckpt::Reader* r, Transition* t) {
+  ERMINER_RETURN_NOT_OK(r->Vec(&t->state));
+  ERMINER_RETURN_NOT_OK(r->I32(&t->action));
+  ERMINER_RETURN_NOT_OK(r->F32(&t->reward));
+  ERMINER_RETURN_NOT_OK(r->Vec(&t->next_state));
+  ERMINER_RETURN_NOT_OK(r->Vec(&t->next_mask));
+  uint8_t done = 0;
+  ERMINER_RETURN_NOT_OK(r->U8(&done));
+  t->done = done != 0;
+  return Status::OK();
+}
+
 void ReplayBuffer::Add(Transition t) {
   if (buffer_.size() < capacity_) {
     buffer_.push_back(std::move(t));
@@ -20,6 +41,30 @@ std::vector<const Transition*> ReplayBuffer::Sample(size_t batch,
     out.push_back(&buffer_[rng->NextUint64(buffer_.size())]);
   }
   return out;
+}
+
+void ReplayBuffer::SaveState(ckpt::Writer* w) const {
+  w->U64(next_);
+  w->U64(buffer_.size());
+  for (const Transition& t : buffer_) SaveTransition(t, w);
+}
+
+Status ReplayBuffer::LoadState(ckpt::Reader* r) {
+  uint64_t next = 0, n = 0;
+  ERMINER_RETURN_NOT_OK(r->U64(&next));
+  ERMINER_RETURN_NOT_OK(r->U64(&n));
+  if (n > capacity_ || next >= capacity_) {
+    return Status::InvalidArgument(
+        "replay buffer state does not fit capacity " +
+        std::to_string(capacity_) + ": size " + std::to_string(n) +
+        ", write position " + std::to_string(next) +
+        " (was the checkpoint written with a different replay_capacity?)");
+  }
+  std::vector<Transition> buffer(n);
+  for (auto& t : buffer) ERMINER_RETURN_NOT_OK(LoadTransition(r, &t));
+  next_ = next;
+  buffer_ = std::move(buffer);
+  return Status::OK();
 }
 
 }  // namespace erminer

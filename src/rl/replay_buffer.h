@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/serial.h"
 #include "core/action_space.h"
 #include "util/random.h"
 
@@ -25,6 +26,11 @@ struct Transition {
   bool done = false;
 };
 
+/// Transition (de)serialization shared by the uniform and prioritized
+/// buffers' checkpoint support.
+void SaveTransition(const Transition& t, ckpt::Writer* w);
+Status LoadTransition(ckpt::Reader* r, Transition* t);
+
 class ReplayBuffer {
  public:
   explicit ReplayBuffer(size_t capacity) : capacity_(capacity) {
@@ -38,6 +44,11 @@ class ReplayBuffer {
 
   /// Uniform sample with replacement; requires size() > 0.
   std::vector<const Transition*> Sample(size_t batch, Rng* rng) const;
+
+  /// Checkpoint support: contents plus the ring-buffer write position, so a
+  /// restored buffer evicts in exactly the original order.
+  void SaveState(ckpt::Writer* w) const;
+  Status LoadState(ckpt::Reader* r);
 
  private:
   size_t capacity_;

@@ -1,11 +1,83 @@
 #include "rl/rl_miner.h"
 
+#include <signal.h>
+
+#include <atomic>
+
+#include "ckpt/snapshot.h"
+#include "obs/fault.h"
+#include "obs/flush.h"
 #include "obs/metrics.h"
+#include "obs/run_manifest.h"
 #include "obs/telemetry_server.h"
 #include "obs/trace.h"
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace erminer {
+
+namespace {
+
+/// The miner currently inside Train(), for the best-effort final checkpoint
+/// on SIGTERM/SIGINT (registered with the obs flush registry). Set for the
+/// duration of a checkpointed training loop only, so an exit after clean
+/// completion doesn't write a redundant snapshot. Signals are deferred to
+/// episode boundaries (ScopedSignalDeferral below), so the snapshot the
+/// flush handler writes is coherent and episode-aligned — resuming from it
+/// is bit-identical, exactly like a cadence checkpoint.
+std::atomic<RlMiner*> g_signal_ckpt_miner{nullptr};
+
+void SignalCheckpointFlush() {
+  RlMiner* miner = g_signal_ckpt_miner.exchange(nullptr);
+  if (miner == nullptr) return;
+  Result<std::string> written = miner->WriteCheckpoint();
+  if (!written.ok()) {
+    ERMINER_LOG(WARNING) << "best-effort signal checkpoint failed: "
+                         << written.status().ToString();
+  }
+}
+
+/// Defers SIGINT/SIGTERM to episode boundaries while a checkpointed train
+/// loop runs. The episode body executes with the signals blocked; Poll()
+/// opens a delivery window at each boundary (POSIX guarantees a pending
+/// unblocked signal is delivered before the unblocking call returns), so
+/// the flush handler that serializes this miner always observes a
+/// complete, coherent state with no pool worker mid-write. Workers keep
+/// these signals blocked for their whole lifetime (util/thread_pool.cc),
+/// which pins handler execution to the training thread.
+class ScopedSignalDeferral {
+ public:
+  explicit ScopedSignalDeferral(bool active) : active_(active) {
+    if (!active_) return;
+    sigset_t set = TrainSignals();
+    pthread_sigmask(SIG_BLOCK, &set, &old_);
+  }
+  ~ScopedSignalDeferral() {
+    if (active_) pthread_sigmask(SIG_SETMASK, &old_, nullptr);
+  }
+
+  /// The episode-boundary delivery window.
+  void Poll() {
+    if (!active_) return;
+    pthread_sigmask(SIG_SETMASK, &old_, nullptr);
+    sigset_t set = TrainSignals();
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  }
+
+ private:
+  static sigset_t TrainSignals() {
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    return set;
+  }
+
+  bool active_;
+  sigset_t old_{};
+};
+
+}  // namespace
 
 namespace {
 
@@ -45,12 +117,19 @@ RlMiner::RlMiner(const Corpus* corpus, const RlMinerOptions& options,
       env_(corpus, space_.get(), &evaluator_, EnvOptionsFrom(options)),
       eps_(options.eps_start, options.eps_end, options.train_steps,
            options.eps_decay_fraction),
-      explore_rng_(options.seed ^ 0xE8A10u) {
+      explore_rng_(options.seed ^ 0xE8A10u),
+      ckpt_mgr_(options.checkpoint) {
   evaluator_.cache().set_refine_enabled(options_.base.refine);
   DqnOptions dopts = options_.dqn;
   dopts.seed = options_.seed;
   agent_ = std::make_unique<DqnAgent>(space_->state_dim(),
                                       space_->num_actions(), dopts);
+}
+
+RlMiner::~RlMiner() {
+  // Defuse the signal-checkpoint hook if it still points at this miner.
+  RlMiner* expected = this;
+  g_signal_ckpt_miner.compare_exchange_strong(expected, nullptr);
 }
 
 int32_t RlMiner::SelectTrainingAction(const RuleKey& state,
@@ -86,13 +165,25 @@ int32_t RlMiner::SelectTrainingAction(const RuleKey& state,
 }
 
 void RlMiner::Train(size_t steps) {
+  EnsureResumed();
   if (steps == 0) steps = options_.train_steps;
   ERMINER_SPAN("rl/train");
   obs::SetPhase("rl/train");
+  if (options_.checkpoint.enabled()) {
+    // Best-effort final snapshot when a SIGTERM/SIGINT lands mid-training.
+    static bool hook_registered = []() {
+      obs::RegisterFlush(&SignalCheckpointFlush);
+      return true;
+    }();
+    (void)hook_registered;
+    g_signal_ckpt_miner.store(this);
+  }
+  ScopedSignalDeferral signal_deferral(options_.checkpoint.enabled());
   Timer timer;
   const size_t end = steps_done_ + steps;
   while (steps_done_ < end) {
     ERMINER_SPAN("rl/episode");
+    obs::FaultPoint("train/episode_begin");
     env_.Reset();
     ++episodes_done_;
     log_.BeginEpisode();
@@ -115,7 +206,14 @@ void RlMiner::Train(size_t steps) {
     log_.EndEpisode(env_.leaves().size());
     ERMINER_GAUGE_SET("rl/replay_size",
                       static_cast<double>(agent_->replay_size()));
+    obs::FaultPoint("train/episode_end");
+    MaybeCheckpoint(/*force=*/false);
+    signal_deferral.Poll();
   }
+  // End-of-training snapshot, so a later --resume=latest restarts at the
+  // trained state even when the cadence didn't land on the last episode.
+  MaybeCheckpoint(/*force=*/true);
+  g_signal_ckpt_miner.store(nullptr);
   last_train_seconds_ = timer.Seconds();
 }
 
@@ -164,11 +262,143 @@ MineResult RlMiner::Infer() {
 }
 
 MineResult RlMiner::Mine() {
-  Train();
+  EnsureResumed();
+  // A resumed run trains only the remaining part of the original horizon,
+  // so interrupted + resumed ends at the same cumulative step count (and,
+  // at episode boundaries, the same state bit-for-bit) as an uninterrupted
+  // run.
+  const size_t remaining =
+      options_.train_steps > steps_done_ ? options_.train_steps - steps_done_
+                                         : 0;
+  if (remaining > 0) {
+    Train(remaining);
+  } else {
+    last_train_seconds_ = 0;
+  }
   MineResult result = Infer();
   result.train_seconds = last_train_seconds_;
   result.seconds = last_train_seconds_ + last_inference_seconds_;
   return result;
+}
+
+void RlMiner::EnsureResumed() {
+  if (resume_attempted_) return;
+  ERMINER_CHECK_OK(Resume());
+}
+
+Status RlMiner::Resume() {
+  if (resume_attempted_) return Status::OK();
+  resume_attempted_ = true;
+  const std::string& spec = options_.resume;
+  if (spec.empty()) return Status::OK();
+  std::string payload;
+  std::string path;
+  if (spec == "latest") {
+    if (!options_.checkpoint.enabled()) {
+      return Status::InvalidArgument(
+          "resume=latest requires a checkpoint directory");
+    }
+    std::vector<std::string> skipped;
+    Result<std::string> latest = ckpt::CheckpointManager::LoadLatest(
+        options_.checkpoint.dir, &path, &skipped);
+    for (const std::string& s : skipped) {
+      ERMINER_LOG(WARNING) << "skipping unloadable snapshot " << s;
+    }
+    if (!latest.ok()) {
+      if (latest.status().code() == StatusCode::kNotFound) {
+        ERMINER_LOG(INFO) << "resume=latest: no loadable snapshot in "
+                          << options_.checkpoint.dir
+                          << ", starting fresh";
+        return Status::OK();
+      }
+      return latest.status();
+    }
+    payload = std::move(latest).ValueOrDie();
+  } else {
+    ERMINER_ASSIGN_OR_RETURN(payload, ckpt::ReadSnapshotFile(spec));
+    path = spec;
+  }
+  ckpt::Reader reader(payload);
+  ERMINER_RETURN_NOT_OK(LoadState(&reader));
+  resumed_from_ = path;
+  last_ckpt_episode_ = episodes_done_;
+  ERMINER_LOG(INFO) << "resumed from " << path << " (episode "
+                    << episodes_done_ << ", step " << steps_done_ << ")";
+  if (auto* manifest = obs::ActiveRunManifest()) {
+    manifest->SetProvenance("resumed_from", path);
+    manifest->SetProvenance("resumed_at_episode",
+                            std::to_string(episodes_done_));
+  }
+  return Status::OK();
+}
+
+Status RlMiner::SaveState(ckpt::Writer* w) const {
+  w->U64(steps_done_);
+  w->U64(episodes_done_);
+  w->U8(agent_loaded_ ? 1 : 0);
+  ckpt::SaveRng(explore_rng_, w);
+  ERMINER_RETURN_NOT_OK(agent_->SaveState(w));
+  log_.SaveState(w);
+  env_.SavePersistent(w);
+  return Status::OK();
+}
+
+Status RlMiner::LoadState(ckpt::Reader* r) {
+  uint64_t steps = 0, episodes = 0;
+  uint8_t agent_loaded = 0;
+  ERMINER_RETURN_NOT_OK(r->U64(&steps));
+  ERMINER_RETURN_NOT_OK(r->U64(&episodes));
+  ERMINER_RETURN_NOT_OK(r->U8(&agent_loaded));
+  ERMINER_RETURN_NOT_OK(ckpt::LoadRng(r, &explore_rng_));
+  ERMINER_RETURN_NOT_OK(agent_->LoadState(r));
+  ERMINER_RETURN_NOT_OK(log_.LoadState(r));
+  ERMINER_RETURN_NOT_OK(env_.LoadPersistent(r));
+  if (!r->AtEnd()) {
+    return Status::InvalidArgument(
+        "checkpoint payload has " + std::to_string(r->remaining()) +
+        " trailing bytes — written by an incompatible configuration?");
+  }
+  steps_done_ = steps;
+  episodes_done_ = episodes;
+  agent_loaded_ = agent_loaded != 0;
+  return Status::OK();
+}
+
+Result<std::string> RlMiner::WriteCheckpoint() {
+  if (!options_.checkpoint.enabled()) {
+    return Status::FailedPrecondition("checkpointing is not enabled");
+  }
+  ckpt::Writer writer;
+  ERMINER_RETURN_NOT_OK(SaveState(&writer));
+  ERMINER_ASSIGN_OR_RETURN(std::string path,
+                           ckpt_mgr_.Write(episodes_done_, writer.buffer()));
+  last_ckpt_episode_ = episodes_done_;
+  ERMINER_COUNT("rl/checkpoints_written", 1);
+  ERMINER_GAUGE_SET("rl/last_checkpoint_episode",
+                    static_cast<double>(episodes_done_));
+  if (auto* manifest = obs::ActiveRunManifest()) {
+    std::string event = "{\"event\":\"checkpoint\",\"episode\":" +
+                        std::to_string(episodes_done_) +
+                        ",\"steps\":" + std::to_string(steps_done_) +
+                        ",\"path\":\"" + path + "\"}";
+    manifest->AppendEvent(event);
+  }
+  return path;
+}
+
+void RlMiner::MaybeCheckpoint(bool force) {
+  if (!options_.checkpoint.enabled()) return;
+  const bool due = force ? last_ckpt_episode_ != episodes_done_
+                         : ckpt_mgr_.DueAtEpisode(episodes_done_);
+  if (!due) return;
+  Result<std::string> written = WriteCheckpoint();
+  if (!written.ok()) {
+    ERMINER_LOG(WARNING) << "checkpoint write failed at episode "
+                         << episodes_done_ << ": "
+                         << written.status().ToString();
+    return;
+  }
+  obs::FaultPoint("train/after_checkpoint");
 }
 
 }  // namespace erminer

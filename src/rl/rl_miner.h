@@ -7,7 +7,10 @@
 
 #include <iosfwd>
 #include <memory>
+#include <string>
 
+#include "ckpt/checkpoint.h"
+#include "ckpt/serial.h"
 #include "core/environment.h"
 #include "core/miner.h"
 #include "rl/dqn.h"
@@ -53,6 +56,14 @@ struct RlMinerOptions {
   bool frontier_bonus = true;
   bool use_global_mask = true;
   bool reuse_rewards = true;
+
+  /// Crash-safe training snapshots (src/ckpt). Disabled unless
+  /// checkpoint.dir is set.
+  ckpt::CheckpointOptions checkpoint;
+  /// Resume source: "" (fresh start), "latest" (newest loadable snapshot in
+  /// checkpoint.dir, falling back to a fresh start when none exists), or an
+  /// explicit snapshot path (load errors are then fatal).
+  std::string resume;
 };
 
 class RlMiner {
@@ -63,6 +74,8 @@ class RlMiner {
   /// fine-tuning.
   RlMiner(const Corpus* corpus, const RlMinerOptions& options,
           std::shared_ptr<const ActionSpace> space = nullptr);
+
+  ~RlMiner();
 
   /// Runs `steps` training transitions (0 = options.train_steps). May be
   /// called repeatedly; epsilon continues decaying over the cumulative
@@ -88,6 +101,25 @@ class RlMiner {
     return Status::OK();
   }
 
+  /// Applies options.resume (no-op when empty). Called implicitly by
+  /// Train()/Mine() on first use; call it explicitly to surface load errors
+  /// as a Status instead of a fatal check. With resume="latest", corrupt
+  /// snapshots are skipped with a warning and an empty/corrupt-only
+  /// directory degrades to a fresh start.
+  Status Resume();
+
+  /// Full mutable training state (counters, exploration RNG, agent, episode
+  /// log, environment pool) as a checkpoint payload.
+  Status SaveState(ckpt::Writer* w) const;
+  Status LoadState(ckpt::Reader* r);
+
+  /// Writes a snapshot of the current state for the current episode count
+  /// via the configured CheckpointManager. Requires checkpointing enabled.
+  Result<std::string> WriteCheckpoint();
+
+  /// Path of the snapshot this miner resumed from; empty for a fresh start.
+  const std::string& resumed_from() const { return resumed_from_; }
+
   const ActionSpace& space() const { return *space_; }
   const Environment& env() const { return env_; }
   DqnAgent& agent() { return *agent_; }
@@ -105,6 +137,14 @@ class RlMiner {
                                const std::vector<uint8_t>& mask,
                                double epsilon);
 
+  /// First-use resume hook for Train()/Mine(); fatal on a bad explicit
+  /// resume path (call Resume() directly for Status propagation).
+  void EnsureResumed();
+
+  /// Best-effort cadence checkpoint; a write failure logs a warning and
+  /// training continues (the run is degraded, not dead).
+  void MaybeCheckpoint(bool force);
+
   const Corpus* corpus_;
   RlMinerOptions options_;
   std::shared_ptr<const ActionSpace> space_;
@@ -119,6 +159,12 @@ class RlMiner {
   bool agent_loaded_ = false;
   double last_train_seconds_ = 0;
   double last_inference_seconds_ = 0;
+  ckpt::CheckpointManager ckpt_mgr_;
+  bool resume_attempted_ = false;
+  std::string resumed_from_;
+  /// Episode count of the newest snapshot written, to skip redundant
+  /// end-of-training writes. size_t(-1) = none yet.
+  size_t last_ckpt_episode_ = static_cast<size_t>(-1);
 };
 
 }  // namespace erminer

@@ -70,6 +70,39 @@ double TrainingLog::RecentMeanReturn(size_t window) const {
   return sum / static_cast<double>(n);
 }
 
+void TrainingLog::SaveState(ckpt::Writer* w) const {
+  w->U64(episodes_.size());
+  for (const EpisodeStats& e : episodes_) {
+    w->U64(e.episode);
+    w->U64(e.steps);
+    w->U64(e.leaves);
+    w->F64(e.total_reward);
+    w->F64(e.mean_loss);
+  }
+}
+
+Status TrainingLog::LoadState(ckpt::Reader* r) {
+  uint64_t n = 0;
+  ERMINER_RETURN_NOT_OK(r->U64(&n));
+  std::vector<EpisodeStats> episodes(n);
+  for (auto& e : episodes) {
+    uint64_t episode = 0, steps = 0, leaves = 0;
+    ERMINER_RETURN_NOT_OK(r->U64(&episode));
+    ERMINER_RETURN_NOT_OK(r->U64(&steps));
+    ERMINER_RETURN_NOT_OK(r->U64(&leaves));
+    ERMINER_RETURN_NOT_OK(r->F64(&e.total_reward));
+    ERMINER_RETURN_NOT_OK(r->F64(&e.mean_loss));
+    e.episode = episode;
+    e.steps = steps;
+    e.leaves = leaves;
+  }
+  episodes_ = std::move(episodes);
+  open_ = false;
+  loss_samples_ = 0;
+  loss_sum_ = 0;
+  return Status::OK();
+}
+
 std::string TrainingLog::ToCsv() const {
   std::ostringstream os;
   os << "episode,steps,leaves,total_reward,mean_loss\n";

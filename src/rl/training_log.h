@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/serial.h"
+
 namespace erminer {
 
 struct EpisodeStats {
@@ -36,6 +38,13 @@ class TrainingLog {
   /// One episode as the JSON object appended to a run manifest's
   /// episodes.jsonl (see obs/run_manifest.h).
   static std::string EpisodeJson(const EpisodeStats& e);
+
+  /// Checkpoint support: the completed-episode history. An episode in
+  /// progress at save time is dropped — checkpoints are taken at episode
+  /// boundaries (or best-effort on SIGTERM), and the resumed run re-runs
+  /// that episode from its start anyway.
+  void SaveState(ckpt::Writer* w) const;
+  Status LoadState(ckpt::Reader* r);
 
  private:
   std::vector<EpisodeStats> episodes_;

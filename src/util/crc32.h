@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum
+// guarding checkpoint snapshots (src/ckpt/snapshot.h). Table-driven,
+// byte-at-a-time — snapshot payloads are a few MB at most, so simplicity
+// beats a sliced implementation here.
+
+#ifndef ERMINER_UTIL_CRC32_H_
+#define ERMINER_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace erminer {
+
+/// CRC of `data[0..len)` continuing from `seed` (pass the previous result
+/// to checksum data arriving in pieces; 0 starts a fresh stream).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace erminer
+
+#endif  // ERMINER_UTIL_CRC32_H_

@@ -63,6 +63,16 @@ class Rng {
   /// Derives an independent child generator; stable given call order.
   Rng Fork();
 
+  /// Raw xoshiro256** stream state, for checkpointing (ckpt::SaveRng /
+  /// ckpt::LoadRng). The lazy Zipf CDF cache is derived data and is rebuilt
+  /// on demand, so restoring the four state words restores the full stream.
+  void GetState(uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  }
+  void SetState(const uint64_t s[4]) {
+    for (int i = 0; i < 4; ++i) state_[i] = s[i];
+  }
+
  private:
   uint64_t state_[4];
 

@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include <signal.h>
+
 #include <algorithm>
 #include <memory>
 #include <string>
@@ -66,6 +68,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::WorkerLoop(size_t id) {
+  // Process-directed SIGINT/SIGTERM must run their handlers on the main
+  // thread, never on a worker: the flush handlers (obs/flush.h) serialize
+  // training state, which is only coherent from the thread that owns it.
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
   obs::TraceRecorder::Global().SetCurrentThreadName("pool-worker-" +
                                                     std::to_string(id));
   while (true) {

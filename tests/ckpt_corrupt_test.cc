@@ -1,0 +1,301 @@
+// Corruption handling: a damaged snapshot must never load — not partially,
+// not silently — and `--resume=latest` must degrade cleanly (skip corrupt
+// snapshots, fall back to older ones, start fresh when nothing is
+// loadable). Every failure path returns a Status with an actionable
+// message; nothing crashes.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/serial.h"
+#include "ckpt/snapshot.h"
+#include "rl/rl_miner.h"
+#include "test_util.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::MakeExactFdCorpus;
+
+class CkptCorruptTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/erminer_corrupt_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           "_" + std::to_string(::getpid());
+    std::filesystem::remove_all(dir_);
+    ASSERT_TRUE(std::filesystem::create_directories(dir_));
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  static std::string ReadFile(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  static void WriteFile(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CkptCorruptTest, TruncationAtEveryLengthFailsCleanly) {
+  const std::string path = Path("ckpt-000000000001.erck");
+  ASSERT_TRUE(ckpt::WriteSnapshotFile(path, "the quick brown fox").ok());
+  const std::string good = ReadFile(path);
+  ASSERT_GT(good.size(), 20u);
+  // Every proper prefix — header cut, payload cut, trailer cut — must be
+  // rejected with an error, never a short or garbage payload.
+  for (size_t len = 0; len < good.size(); ++len) {
+    const std::string cut = Path("cut.erck");
+    WriteFile(cut, good.substr(0, len));
+    Result<std::string> r = ckpt::ReadSnapshotFile(cut);
+    ASSERT_FALSE(r.ok()) << "prefix of " << len << " bytes loaded";
+  }
+}
+
+TEST_F(CkptCorruptTest, EveryBitFlipIsDetected) {
+  const std::string path = Path("ckpt-000000000001.erck");
+  ASSERT_TRUE(ckpt::WriteSnapshotFile(path, "payload under test").ok());
+  const std::string good = ReadFile(path);
+  for (size_t byte = 0; byte < good.size(); ++byte) {
+    std::string bad = good;
+    bad[byte] = static_cast<char>(bad[byte] ^ 0x10);
+    const std::string flipped = Path("flip.erck");
+    WriteFile(flipped, bad);
+    Result<std::string> r = ckpt::ReadSnapshotFile(flipped);
+    ASSERT_FALSE(r.ok()) << "bit flip at byte " << byte << " loaded";
+  }
+}
+
+TEST_F(CkptCorruptTest, CrcMismatchMessageNamesBothChecksums) {
+  const std::string path = Path("a.erck");
+  ASSERT_TRUE(ckpt::WriteSnapshotFile(path, "abcdef").ok());
+  std::string bytes = ReadFile(path);
+  bytes[bytes.size() - 6] ^= 0x01;  // flip a payload bit, CRC stays stored
+  WriteFile(path, bytes);
+  Result<std::string> r = ckpt::ReadSnapshotFile(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("CRC mismatch"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("stored"), std::string::npos);
+  EXPECT_NE(r.status().message().find("computed"), std::string::npos);
+}
+
+TEST_F(CkptCorruptTest, ForeignFileIsNotACheckpoint) {
+  const std::string path = Path("a.erck");
+  WriteFile(path, "PK\x03\x04 this is a zip, not a checkpoint, padding...");
+  Result<std::string> r = ckpt::ReadSnapshotFile(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("not a checkpoint file"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(CkptCorruptTest, FutureFormatVersionIsRefusedWithBothVersions) {
+  const std::string path = Path("a.erck");
+  ASSERT_TRUE(ckpt::WriteSnapshotFile(path, "abc").ok());
+  std::string bytes = ReadFile(path);
+  uint32_t future = ckpt::kSnapshotFormatVersion + 41;
+  std::memcpy(bytes.data() + sizeof(uint32_t), &future, sizeof future);
+  WriteFile(path, bytes);
+  Result<std::string> r = ckpt::ReadSnapshotFile(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("expected 1, got 42"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(CkptCorruptTest, OversizedDeclaredPayloadDoesNotAllocate) {
+  const std::string path = Path("a.erck");
+  ASSERT_TRUE(ckpt::WriteSnapshotFile(path, "abc").ok());
+  std::string bytes = ReadFile(path);
+  uint64_t huge = ~0ull >> 1;  // declared size way past the file
+  std::memcpy(bytes.data() + 2 * sizeof(uint32_t), &huge, sizeof huge);
+  WriteFile(path, bytes);
+  Result<std::string> r = ckpt::ReadSnapshotFile(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("does not fit"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(CkptCorruptTest, MissingFileIsNotFound) {
+  Result<std::string> r = ckpt::ReadSnapshotFile(Path("nothing.erck"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CkptCorruptTest, LoadLatestSkipsCorruptNewestAndFallsBack) {
+  ckpt::CheckpointOptions opts;
+  opts.dir = dir_;
+  opts.keep_last = 10;
+  ckpt::CheckpointManager mgr(opts);
+  ASSERT_TRUE(mgr.Write(1, "older-good").ok());
+  Result<std::string> newest = mgr.Write(2, "newer-soon-corrupt");
+  ASSERT_TRUE(newest.ok());
+  std::string bytes = ReadFile(*newest);
+  bytes[bytes.size() / 2] ^= 0x40;
+  WriteFile(*newest, bytes);
+
+  std::string resolved;
+  std::vector<std::string> skipped;
+  Result<std::string> payload =
+      ckpt::CheckpointManager::LoadLatest(dir_, &resolved, &skipped);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  EXPECT_EQ(*payload, "older-good");
+  ASSERT_EQ(skipped.size(), 1u);
+  EXPECT_EQ(skipped[0], *newest);
+}
+
+TEST_F(CkptCorruptTest, LoadLatestWithOnlyCorruptSnapshotsIsNotFound) {
+  ckpt::CheckpointOptions opts;
+  opts.dir = dir_;
+  ckpt::CheckpointManager mgr(opts);
+  for (uint64_t e = 1; e <= 3; ++e) {
+    Result<std::string> p = mgr.Write(e, "payload");
+    ASSERT_TRUE(p.ok());
+    std::string bytes = ReadFile(*p);
+    bytes[0] ^= 0xFF;  // kill the magic
+    WriteFile(*p, bytes);
+  }
+  std::string resolved;
+  std::vector<std::string> skipped;
+  Result<std::string> payload =
+      ckpt::CheckpointManager::LoadLatest(dir_, &resolved, &skipped);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(skipped.size(), 3u);
+}
+
+TEST_F(CkptCorruptTest, StrayTmpFilesAreIgnoredByScansAndPrunedByWrites) {
+  ckpt::CheckpointOptions opts;
+  opts.dir = dir_;
+  opts.keep_last = 2;
+  ckpt::CheckpointManager mgr(opts);
+  // A crash mid-write leaves a .tmp; it must be invisible to resume.
+  WriteFile(Path("ckpt-000000000009.erck.tmp"), "half-written garbage");
+  EXPECT_TRUE(ckpt::CheckpointManager::List(dir_).empty());
+  EXPECT_EQ(ckpt::CheckpointManager::LatestPath(dir_).status().code(),
+            StatusCode::kNotFound);
+  // The next durable write cleans it up.
+  ASSERT_TRUE(mgr.Write(1, "fresh").ok());
+  EXPECT_FALSE(
+      std::filesystem::exists(Path("ckpt-000000000009.erck.tmp")));
+  ASSERT_EQ(ckpt::CheckpointManager::List(dir_).size(), 1u);
+}
+
+// --- resume semantics through the miner ---
+
+RlMinerOptions TinyRl(uint64_t seed = 5) {
+  RlMinerOptions o;
+  o.base.k = 8;
+  o.base.support_threshold = 20;
+  o.train_steps = 60;
+  o.seed = seed;
+  o.dqn.hidden = {8};
+  o.dqn.min_replay = 16;
+  o.dqn.batch_size = 8;
+  return o;
+}
+
+TEST_F(CkptCorruptTest, ResumeLatestFromEmptyDirStartsFresh) {
+  Corpus c = MakeExactFdCorpus();
+  RlMinerOptions opts = TinyRl();
+  opts.checkpoint.dir = dir_;
+  opts.resume = "latest";
+  RlMiner miner(&c, opts);
+  ASSERT_TRUE(miner.Resume().ok());  // nothing to resume: clean fresh start
+  EXPECT_TRUE(miner.resumed_from().empty());
+  EXPECT_EQ(miner.steps_done(), 0u);
+}
+
+TEST_F(CkptCorruptTest, ResumeLatestWithOnlyCorruptSnapshotsStartsFresh) {
+  Corpus c = MakeExactFdCorpus();
+  RlMinerOptions opts = TinyRl();
+  opts.checkpoint.dir = dir_;
+  opts.checkpoint.every_episodes = 1;
+
+  // Produce real snapshots, then corrupt every one of them.
+  {
+    RlMiner writer(&c, opts);
+    writer.Mine();
+  }
+  std::vector<ckpt::SnapshotRef> list = ckpt::CheckpointManager::List(dir_);
+  ASSERT_FALSE(list.empty());
+  for (const auto& ref : list) {
+    std::string bytes = ReadFile(ref.path);
+    bytes[bytes.size() / 3] ^= 0x08;
+    WriteFile(ref.path, bytes);
+  }
+
+  RlMinerOptions ropts = opts;
+  ropts.resume = "latest";
+  RlMiner miner(&c, ropts);
+  ASSERT_TRUE(miner.Resume().ok());  // degraded to fresh, not an error
+  EXPECT_TRUE(miner.resumed_from().empty());
+  EXPECT_EQ(miner.steps_done(), 0u);
+}
+
+TEST_F(CkptCorruptTest, ResumeExplicitCorruptPathIsAHardError) {
+  Corpus c = MakeExactFdCorpus();
+  const std::string path = Path("ckpt-000000000001.erck");
+  ASSERT_TRUE(ckpt::WriteSnapshotFile(path, "not a miner state").ok());
+
+  RlMinerOptions opts = TinyRl();
+  opts.resume = path;  // valid container, wrong contents
+  RlMiner miner(&c, opts);
+  EXPECT_FALSE(miner.Resume().ok());
+
+  RlMinerOptions missing = TinyRl();
+  missing.resume = Path("no-such.erck");  // explicitly named, must not exist
+  RlMiner miner2(&c, missing);
+  Status st = miner2.Resume();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+TEST_F(CkptCorruptTest, ResumeLatestWithoutCheckpointDirIsInvalid) {
+  Corpus c = MakeExactFdCorpus();
+  RlMinerOptions opts = TinyRl();
+  opts.resume = "latest";  // no checkpoint.dir to scan
+  RlMiner miner(&c, opts);
+  Status st = miner.Resume();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CkptCorruptTest, SnapshotOfWrongComponentShapeIsRejected) {
+  // A structurally valid snapshot whose payload came from a different
+  // configuration (here: a truncated serial stream) must fail LoadState,
+  // not half-apply.
+  Corpus c = MakeExactFdCorpus();
+  ckpt::Writer w;
+  w.U64(3);  // claims steps_done=3, then the stream just ends
+  const std::string path = Path("ckpt-000000000007.erck");
+  ASSERT_TRUE(ckpt::WriteSnapshotFile(path, w.buffer()).ok());
+  RlMinerOptions opts = TinyRl();
+  opts.resume = path;
+  RlMiner miner(&c, opts);
+  Status st = miner.Resume();
+  ASSERT_FALSE(st.ok());
+  // The miner must still be usable as a fresh instance after the failure.
+  EXPECT_EQ(miner.steps_done(), 0u);
+}
+
+}  // namespace
+}  // namespace erminer

@@ -8,9 +8,13 @@
 //   erminer mine --input=F.csv --master=F.csv --y=NAME [--y-master=NAME]
 //           [--method=rl|enu|enuh3|ctane|beam] [--k=N] [--support=N]
 //           [--steps=N] [--seed=N] [--negations] [--no-refine]
-//           [--rules-out=FILE]
+//           [--rules-out=FILE] [--checkpoint-dir=DIR] [--checkpoint-every=N]
+//           [--checkpoint-keep=N] [--resume[=latest|PATH]]
 //       Discovers editing rules (schemas are matched by column name) and
-//       prints them; optionally writes a rules file.
+//       prints them; optionally writes a rules file. With --checkpoint-dir
+//       the RL trainer snapshots its full state every N episodes (default
+//       1) and --resume=latest continues a killed run bit-identically
+//       (docs/checkpointing.md).
 //
 //   erminer repair --input=F.csv --master=F.csv --y=NAME [--y-master=NAME]
 //           --rules=FILE [--out=FILE] [--certain] [--overwrite]
@@ -238,6 +242,15 @@ int CmdMine(Flags* flags) {
   rl.base = options;
   rl.train_steps = static_cast<size_t>(flags->GetInt("steps", 3000));
   rl.seed = static_cast<uint64_t>(flags->GetInt("seed", 17));
+  // Crash-safe training snapshots (docs/checkpointing.md). A bare --resume
+  // parses as "true", meaning "latest".
+  rl.checkpoint.dir = flags->Get("checkpoint-dir");
+  rl.checkpoint.every_episodes = static_cast<size_t>(
+      flags->GetInt("checkpoint-every", rl.checkpoint.dir.empty() ? 0 : 1));
+  rl.checkpoint.keep_last =
+      static_cast<size_t>(flags->GetInt("checkpoint-keep", 3));
+  rl.resume = flags->Get("resume");
+  if (rl.resume == "true") rl.resume = "latest";
   std::string rules_out = flags->Get("rules-out");
   bool explain = flags->GetBool("explain");
   flags->CheckAllUsed();
@@ -245,6 +258,7 @@ int CmdMine(Flags* flags) {
   MineResult result;
   if (method == "rl") {
     RlMiner miner(&corpus, rl);
+    Check(miner.Resume(), "resume");
     result = miner.Mine();
   } else if (method == "enu") {
     result = EnuMine(corpus, options);
