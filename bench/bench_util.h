@@ -17,6 +17,9 @@
 //   --metrics-stream=FILE periodic JSONL counter-delta samples
 //                         (interval: --sample-interval-ms, default 1000)
 //   --log-json[=FILE]     structured JSON log records (default stderr)
+//   --profile-out=FILE[:hz]  sampling CPU profiler (default 99 Hz);
+//                         collapsed stacks written on exit
+//   --watchdog-sec=N      stall watchdog; artifacts land in the cwd
 // Export files are flushed on SIGINT/SIGTERM too (obs/flush.h), so an
 // interrupted sweep still leaves its artifacts.
 // Support thresholds are scaled proportionally to the input size so the
@@ -36,7 +39,9 @@
 #include "eval/table.h"
 #include "obs/flush.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/sampler.h"
+#include "obs/watchdog.h"
 #include "obs/telemetry_server.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -58,6 +63,10 @@ inline std::string& TraceJsonPath() {
   static std::string* path = new std::string();
   return *path;
 }
+inline std::string& ProfileOutPath() {
+  static std::string* path = new std::string();
+  return *path;
+}
 
 /// Process-wide sampler for --metrics-stream (leaked: benches exit via
 /// main's return or a signal, and the stream is flushed per sample anyway).
@@ -75,6 +84,12 @@ inline void ExportObsFiles() {
       !obs::TraceRecorder::Global().WriteJsonFile(TraceJsonPath())) {
     std::fprintf(stderr, "failed to write %s\n", TraceJsonPath().c_str());
   }
+  if (!ProfileOutPath().empty()) {
+    obs::Profiler::Global().Stop();  // idempotent; final drain first
+    if (!obs::Profiler::Global().WriteCollapsedFile(ProfileOutPath())) {
+      std::fprintf(stderr, "failed to write %s\n", ProfileOutPath().c_str());
+    }
+  }
 }
 
 struct BenchFlags {
@@ -86,6 +101,8 @@ struct BenchFlags {
   long telemetry_port = -1;  // -1 = no server
   long sample_interval_ms = 1000;
   std::string metrics_stream;
+  int profile_hz = 99;
+  double watchdog_sec = 0;  // <= 0: watchdog off
   // Crash-safe RL training snapshots (docs/checkpointing.md); applied to
   // the RL options of every trial by MakeSetup.
   std::string checkpoint_dir;
@@ -117,6 +134,10 @@ struct BenchFlags {
         f.sample_interval_ms = std::atol(a + 21);
       } else if (std::strncmp(a, "--metrics-stream=", 17) == 0) {
         f.metrics_stream = a + 17;
+      } else if (std::strncmp(a, "--profile-out=", 14) == 0) {
+        ProfileOutPath() = obs::ParseProfileOutSpec(a + 14, &f.profile_hz);
+      } else if (std::strncmp(a, "--watchdog-sec=", 15) == 0) {
+        f.watchdog_sec = std::atof(a + 15);
       } else if (std::strncmp(a, "--checkpoint-dir=", 17) == 0) {
         f.checkpoint_dir = a + 17;
       } else if (std::strncmp(a, "--checkpoint-every=", 19) == 0) {
@@ -140,6 +161,7 @@ struct BenchFlags {
                     "--threads=N --metrics-json=FILE --trace-json=FILE "
                     "--telemetry-port=P --metrics-stream=FILE "
                     "--sample-interval-ms=N --log-json[=FILE] "
+                    "--profile-out=FILE[:hz] --watchdog-sec=N "
                     "--checkpoint-dir=DIR --checkpoint-every=N "
                     "--checkpoint-keep=N --resume[=latest|PATH]\n");
         std::exit(0);
@@ -150,11 +172,28 @@ struct BenchFlags {
     }
     SetGlobalThreads(f.threads);
     if (!TraceJsonPath().empty()) obs::TraceRecorder::Global().Enable();
-    if (!MetricsJsonPath().empty() || !TraceJsonPath().empty()) {
+    if (!MetricsJsonPath().empty() || !TraceJsonPath().empty() ||
+        !ProfileOutPath().empty()) {
       obs::RegisterFlush(ExportObsFiles);
       obs::InstallSignalFlushHandlers();
     }
     std::string error;
+    if (!ProfileOutPath().empty()) {
+      obs::ProfilerOptions popts;
+      popts.hz = f.profile_hz;
+      if (!obs::Profiler::Global().Start(popts, &error)) {
+        std::fprintf(stderr, "profiler: %s\n", error.c_str());
+        std::exit(2);
+      }
+    }
+    if (f.watchdog_sec > 0) {
+      obs::WatchdogOptions wopts;
+      wopts.deadline_sec = f.watchdog_sec;
+      if (!obs::Watchdog::Global().Start(wopts, &error)) {
+        std::fprintf(stderr, "watchdog: %s\n", error.c_str());
+        std::exit(2);
+      }
+    }
     if (f.telemetry_port >= 0) {
       obs::TelemetryServerOptions sopts;
       sopts.port = static_cast<int>(f.telemetry_port);

@@ -29,6 +29,10 @@ import sys
 
 MARKER = "BENCH_JSON "
 NON_IDENTITY = {"cpu_seconds", "peak_rss_bytes", "metrics"}
+# Observability loss counters: nonzero values mean the profile / sampled
+# history under-represents the run, so timings may look cleaner than they
+# were. Reported as a warning, never a failure.
+DROP_COUNTERS = ("profiler/dropped", "sampler/dropped_samples")
 
 
 def is_timing(key):
@@ -58,8 +62,9 @@ def identity(record):
 
 
 def load(path):
-    """path -> {identity: {timing_key: mean_value}}."""
+    """path -> ({identity: {timing_key: mean_value}}, {drop_counter: total})."""
     sums = {}
+    drops = {}
     try:
         lines = open(path, encoding="utf-8").read().splitlines()
     except OSError as e:
@@ -78,8 +83,12 @@ def load(path):
         for key, value in timings.items():
             total, count = bucket.get(key, (0.0, 0))
             bucket[key] = (total + value, count + 1)
-    return {ident: {k: total / count for k, (total, count) in bucket.items()}
-            for ident, bucket in sums.items()}
+        for counter in DROP_COUNTERS:
+            value = record.get("metrics", {}).get(counter, 0)
+            if isinstance(value, (int, float)) and value > 0:
+                drops[counter] = drops.get(counter, 0) + value
+    return ({ident: {k: total / count for k, (total, count) in bucket.items()}
+             for ident, bucket in sums.items()}, drops)
 
 
 def describe(ident):
@@ -106,12 +115,17 @@ def main(argv):
         sys.exit("usage: bench_compare.py BASELINE CANDIDATE "
                  "[--threshold=PCT] [--min-secs=S]")
 
-    base = load(paths[0])
-    cand = load(paths[1])
+    base, base_drops = load(paths[0])
+    cand, cand_drops = load(paths[1])
     if not base:
         sys.exit(f"bench_compare: no BENCH_JSON records in {paths[0]}")
     if not cand:
         sys.exit(f"bench_compare: no BENCH_JSON records in {paths[1]}")
+    for path, drops in ((paths[0], base_drops), (paths[1], cand_drops)):
+        for counter, total in sorted(drops.items()):
+            print(f"warning: {path} lost {total:.0f} {counter} samples — "
+                  f"its profile/history under-represents the run",
+                  file=sys.stderr)
 
     regressions = []
     compared = 0

@@ -8,6 +8,9 @@
 # Artifacts land in BUILD_DIR/profile/: per-method trace JSON (loadable in
 # chrome://tracing or https://ui.perfetto.dev) and metrics JSON (the full
 # registry dump: node expansions, prune reasons, cache hit/miss, DQN stats).
+# The final stage smokes the sampling CPU profiler: --profile-out collapsed
+# stacks, a mid-run GET /profile scrape, a rules-identity check against an
+# unprofiled baseline, and an SVG flame graph via tools/flamegraph.py.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -96,5 +99,63 @@ echo "resumed run completed; provenance recorded in run_resume/config.json:"
 grep -o '"provenance":{[^}]*}' "$out/run_resume/config.json"
 
 echo
+echo "=== sampling profiler smoke (--profile-out + live /profile) ==="
+# Baseline rules without the profiler, then the same job with the profiler
+# armed and the telemetry server up; mid-run GET /profile must return at
+# least one collapsed stack, and the mined rules must be bit-identical to
+# the unprofiled baseline (the profiler is strictly read-only).
+"$build/tools/erminer" "${mine_common[@]}" --method=enu \
+  --rules-out="$out/rules_baseline.txt" >/dev/null
+port=19418
+"$build/tools/erminer" "${mine_common[@]}" --method=rl --steps=400 --seed=17 \
+  --rules-out="$out/rules_profiled.txt" \
+  --profile-out="$out/prof_rl.collapsed:199" \
+  --telemetry-port="$port" >/dev/null &
+miner_pid=$!
+live_stacks=0
+for _ in $(seq 1 100); do
+  if live=$(python3 - "$port" <<'EOF' 2>/dev/null
+import sys, urllib.request
+body = urllib.request.urlopen(
+    f"http://127.0.0.1:{sys.argv[1]}/profile?seconds=1", timeout=10
+).read().decode()
+stacks = [l for l in body.splitlines() if l and not l.startswith("#")]
+if not stacks:
+    sys.exit(1)
+print(len(stacks))
+EOF
+  ); then
+    live_stacks=$live
+    break
+  fi
+  kill -0 "$miner_pid" 2>/dev/null || break
+  sleep 0.1
+done
+wait "$miner_pid"
+if [[ "$live_stacks" -ge 1 ]]; then
+  echo "live /profile returned $live_stacks collapsed stacks mid-run"
+else
+  echo "error: live /profile never returned a collapsed stack" >&2
+  exit 1
+fi
+if [[ ! -s "$out/prof_rl.collapsed" ]]; then
+  echo "error: --profile-out wrote no samples" >&2
+  exit 1
+fi
+echo "continuous profile: $(wc -l < "$out/prof_rl.collapsed") unique stacks"
+# Same dataset + enu baseline vs. the profiled enu run: identical rules.
+"$build/tools/erminer" "${mine_common[@]}" --method=enu \
+  --rules-out="$out/rules_profiled_enu.txt" \
+  --profile-out="$out/prof_enu.collapsed" >/dev/null
+if ! cmp -s "$out/rules_baseline.txt" "$out/rules_profiled_enu.txt"; then
+  echo "error: rules differ with the profiler armed" >&2
+  exit 1
+fi
+echo "rules bit-identical with and without the profiler"
+python3 tools/flamegraph.py "$out/prof_rl.collapsed" > "$out/prof_rl.svg"
+echo "flame graph rendered: $out/prof_rl.svg"
+
+echo
 echo "profile: traces and metrics written to $out/"
 echo "open a trace_*.json in chrome://tracing or https://ui.perfetto.dev"
+echo "open $out/prof_rl.svg in a browser for the CPU flame graph"

@@ -4,12 +4,13 @@
 #                                 ASan+UBSan on the whole suite
 #   scripts/sanitize.sh --tsan    TSan stage only
 #   scripts/sanitize.sh --asan    ASan+UBSan stage only
-# The TSan stage runs only the tests labelled `concurrency` or
-# `checkpoint` (the pool, differential, stress and obs_concurrency tests,
-# plus the checkpoint/crash-resume harness) because TSan's ~10x slowdown
-# makes the full suite impractical; those tests are written to maximize
-# interleavings, so they are where a data race in the pool, the cache, the
-# index, the metrics/trace layer or the signal-checkpoint path would show.
+# The TSan stage runs only the tests labelled `concurrency`, `checkpoint`
+# or `profiler` (the pool, differential, stress and obs_concurrency tests,
+# the checkpoint/crash-resume harness, and the SIGPROF profiler/watchdog
+# tests) because TSan's ~10x slowdown makes the full suite impractical;
+# those tests are written to maximize interleavings, so they are where a
+# data race in the pool, the cache, the index, the metrics/trace layer,
+# the signal-checkpoint path or the profiler's rings would show.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,7 +28,7 @@ if $run_tsan; then
   cmake -B build-tsan -S . -DERMINER_SANITIZE=thread
   cmake --build build-tsan -j "$(nproc)"
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 suppressions=$PWD/scripts/tsan.supp" \
-    ctest --test-dir build-tsan -L "concurrency|checkpoint" \
+    ctest --test-dir build-tsan -L "concurrency|checkpoint|profiler" \
     --output-on-failure
 fi
 

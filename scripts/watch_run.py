@@ -34,6 +34,10 @@ DEFAULT_METRICS = [
     "rl/episodes",
     "rl/episode_return",
     "rl/mean_loss",
+    # Observability losses: nonzero means the sampled history / profile is
+    # under-representing the run (ring too small, or sampling too fast).
+    "sampler/dropped_samples",
+    "profiler/dropped",
 ]
 HISTORY = 40
 

@@ -13,10 +13,12 @@
 #include "datagen/generators.h"
 #include "eval/experiment.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/run_manifest.h"
 #include "obs/sampler.h"
 #include "obs/telemetry_server.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "rl/rl_miner.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -131,9 +133,39 @@ class ScopedObsExports {
         ERMINER_LOG(WARNING) << "run manifest: " << error;
       }
     }
+    const std::string profile_spec = config.Get("obs.profile_out", "");
+    if (!profile_spec.empty()) {
+      obs::ProfilerOptions popts;
+      profile_path_ = obs::ParseProfileOutSpec(profile_spec, &popts.hz);
+      if (obs::Profiler::Global().Start(popts, &error)) {
+        profiler_started_ = true;
+      } else {
+        ERMINER_LOG(WARNING) << "profiler: " << error;
+        profile_path_.clear();
+      }
+    }
+    const double watchdog_sec = config.GetDouble("obs.watchdog_sec", 0);
+    if (watchdog_sec > 0) {
+      obs::WatchdogOptions wopts;
+      wopts.deadline_sec = watchdog_sec;
+      if (!run_dir.empty()) wopts.artifact_dir = run_dir;
+      if (obs::Watchdog::Global().Start(wopts, &error)) {
+        watchdog_started_ = true;
+      } else {
+        ERMINER_LOG(WARNING) << "watchdog: " << error;
+      }
+    }
   }
 
   ~ScopedObsExports() {
+    if (watchdog_started_) obs::Watchdog::Global().Stop();
+    if (profiler_started_) {
+      obs::Profiler::Global().Stop();
+      if (!profile_path_.empty() &&
+          !obs::Profiler::Global().WriteCollapsedFile(profile_path_)) {
+        ERMINER_LOG(WARNING) << "cannot write profile " << profile_path_;
+      }
+    }
     if (sampler_ != nullptr) sampler_->Stop();
     if (manifest_ != nullptr) {
       obs::SetActiveRunManifest(nullptr);
@@ -153,7 +185,10 @@ class ScopedObsExports {
  private:
   std::string metrics_path_;
   std::string trace_path_;
+  std::string profile_path_;
   bool server_started_ = false;
+  bool profiler_started_ = false;
+  bool watchdog_started_ = false;
   std::unique_ptr<obs::Sampler> sampler_;
   std::unique_ptr<obs::RunManifest> manifest_;
 };

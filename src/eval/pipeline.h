@@ -22,6 +22,10 @@
 //             run_dir                               (manifest directory:
 //             config.json, episodes.jsonl, summary.json — see
 //             docs/observability.md)
+//             profile_out                           (sampling CPU profiler;
+//             FILE[:hz], default 99 Hz; collapsed stacks written at exit)
+//             watchdog_sec                          (stall watchdog deadline
+//             in seconds; artifacts land in run_dir when set, else the cwd)
 //   threads   top-level worker count (0 = hardware concurrency; default 1 =
 //             serial). Results are bit-identical for every value — see
 //             docs/parallelism.md.

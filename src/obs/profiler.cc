@@ -1,0 +1,365 @@
+#include "obs/profiler.h"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace erminer::obs {
+
+void ProfilerHandleSample(Profiler* p);  // friend of Profiler
+
+namespace {
+
+/// The profiler the SIGPROF handler feeds; nullptr disarms the handler
+/// without uninstalling it (see Stop: restoring SIG_DFL would kill the
+/// process if one straggler signal were still pending).
+std::atomic<Profiler*> g_active{nullptr};
+
+/// The calling thread's claimed ring (Profiler::Ring*, type-erased because
+/// Ring is private). Rings live for the rest of the process once allocated,
+/// so a cached pointer stays valid across profiling sessions.
+thread_local void* t_ring = nullptr;
+
+void ProfilerHandleSampleActive();
+
+extern "C" void ProfilerSigprofHandler(int /*sig*/, siginfo_t* /*info*/,
+                                       void* /*ucontext*/) {
+  const int saved_errno = errno;
+  ProfilerHandleSampleActive();
+  errno = saved_errno;
+}
+
+int ClampHz(int hz) { return std::max(1, std::min(hz, 1000)); }
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+Profiler& Profiler::Global() {
+  // Leaked: rings claimed by threads must outlive static destruction.
+  static Profiler* profiler = new Profiler();
+  return *profiler;
+}
+
+namespace {
+void ProfilerHandleSampleActive() {
+  Profiler* p = g_active.load(std::memory_order_acquire);
+  if (p != nullptr) ProfilerHandleSample(p);
+}
+}  // namespace
+
+void ProfilerHandleSample(Profiler* p) { p->HandleSample(); }
+
+void Profiler::HandleSample() {
+  // Async-signal-safe: no allocation, no locks; only same-thread TLS reads,
+  // lock-free atomics and backtrace(3) (warmed up in Start).
+  Ring* ring = static_cast<Ring*>(t_ring);
+  if (ring == nullptr) {
+    const uint32_t idx = rings_claimed_.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= rings_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ring = rings_[idx];
+    t_ring = ring;
+  }
+  const uint32_t head = ring->head.load(std::memory_order_relaxed);
+  const uint32_t tail = ring->tail.load(std::memory_order_acquire);
+  if (head - tail >= ring->slots.size()) {
+    ring->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  SampleRecord& rec = ring->slots[head & ring_mask_];
+  const int n = backtrace(rec.frames, kMaxFrames);
+  rec.depth = n > 0 ? n : 0;
+  rec.truncated = n == kMaxFrames ? 1 : 0;
+  rec.span = TraceRecorder::CurrentSpanNameSignalSafe();
+  ring->head.store(head + 1, std::memory_order_release);
+}
+
+bool Profiler::Start(const ProfilerOptions& options, std::string* error) {
+  std::lock_guard<std::mutex> control(control_mutex_);
+  if (running()) {
+    if (error != nullptr) *error = "profiler already running";
+    return false;
+  }
+  options_ = options;
+  options_.hz = ClampHz(options_.hz);
+
+  // Force glibc to load its unwinder (the first backtrace call may dlopen
+  // libgcc, which must never happen inside the signal handler).
+  {
+    void* warm[4];
+    backtrace(warm, 4);
+  }
+
+  if (rings_.empty()) {
+    const size_t cap = NextPow2(std::max<size_t>(16, options_.ring_capacity));
+    ring_mask_ = static_cast<uint32_t>(cap - 1);
+    const size_t nthreads = std::max<size_t>(1, options_.max_threads);
+    rings_.reserve(nthreads);
+    for (size_t i = 0; i < nthreads; ++i) {
+      Ring* ring = new Ring();  // leaked with the singleton
+      ring->slots.resize(cap);
+      rings_.push_back(ring);
+    }
+  }
+  // No handler is armed between sessions, so resetting rings cannot race a
+  // producer.
+  for (Ring* ring : rings_) {
+    ring->tail.store(ring->head.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    ring->dropped.store(0, std::memory_order_relaxed);
+  }
+  samples_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  truncated_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(aggregate_mutex_);
+    aggregate_.clear();
+  }
+
+  // Samples without an open span render under "(no_span)"; arming the span
+  // stack makes every instrumented region attributable.
+  TraceRecorder::Global().EnableSpanStack();
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_sigaction = ProfilerSigprofHandler;
+  sa.sa_flags = SA_RESTART | SA_SIGINFO;
+  sigemptyset(&sa.sa_mask);
+  if (::sigaction(SIGPROF, &sa, nullptr) != 0) {
+    if (error != nullptr) {
+      *error = std::string("sigaction(SIGPROF): ") + std::strerror(errno);
+    }
+    return false;
+  }
+  g_active.store(this, std::memory_order_release);
+
+  itimerval timer;
+  std::memset(&timer, 0, sizeof timer);
+  const long period_us = std::max(1000000L / options_.hz, 1L);
+  timer.it_interval.tv_sec = period_us / 1000000;
+  timer.it_interval.tv_usec = period_us % 1000000;
+  timer.it_value = timer.it_interval;
+  if (::setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    g_active.store(nullptr, std::memory_order_release);
+    if (error != nullptr) {
+      *error = std::string("setitimer(ITIMER_PROF): ") + std::strerror(errno);
+    }
+    return false;
+  }
+
+  stop_requested_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_release);
+  drain_thread_ = std::thread([this] { DrainLoop(); });
+  return true;
+}
+
+void Profiler::Stop() {
+  std::lock_guard<std::mutex> control(control_mutex_);
+  if (!running()) return;
+  itimerval zero;
+  std::memset(&zero, 0, sizeof zero);
+  ::setitimer(ITIMER_PROF, &zero, nullptr);
+  // The handler stays installed but inert (g_active == nullptr): restoring
+  // SIG_DFL here would terminate the process if one last SIGPROF were still
+  // in flight.
+  g_active.store(nullptr, std::memory_order_release);
+  stop_requested_.store(true, std::memory_order_relaxed);
+  if (drain_thread_.joinable()) drain_thread_.join();
+  DrainOnce();  // samples recorded between the last tick and the disarm
+  running_.store(false, std::memory_order_release);
+}
+
+void Profiler::DrainLoop() {
+  TraceRecorder::Global().SetCurrentThreadName("profiler-drain");
+  // Keep the profiler out of its own profiles: with SIGPROF blocked here the
+  // kernel delivers the tick to a thread doing real work instead.
+  sigset_t block;
+  sigemptyset(&block);
+  sigaddset(&block, SIGPROF);
+  pthread_sigmask(SIG_BLOCK, &block, nullptr);
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    DrainOnce();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+uint64_t Profiler::DrainOnce() {
+  uint64_t drained = 0;
+  uint64_t truncated = 0;
+  uint64_t ring_dropped = 0;
+  std::lock_guard<std::mutex> lk(aggregate_mutex_);
+  const uint32_t claimed =
+      std::min<uint32_t>(rings_claimed_.load(std::memory_order_acquire),
+                         static_cast<uint32_t>(rings_.size()));
+  std::string key;
+  for (uint32_t i = 0; i < claimed; ++i) {
+    Ring* ring = rings_[i];
+    uint32_t tail = ring->tail.load(std::memory_order_relaxed);
+    const uint32_t head = ring->head.load(std::memory_order_acquire);
+    for (; tail != head; ++tail) {
+      const SampleRecord& rec = ring->slots[tail & ring_mask_];
+      key.assign(reinterpret_cast<const char*>(&rec.span), sizeof rec.span);
+      key.append(reinterpret_cast<const char*>(rec.frames),
+                 static_cast<size_t>(rec.depth) * sizeof(void*));
+      ++aggregate_[key];
+      ++drained;
+      truncated += static_cast<uint64_t>(rec.truncated);
+    }
+    ring->tail.store(tail, std::memory_order_release);
+    ring_dropped += ring->dropped.exchange(0, std::memory_order_relaxed);
+  }
+  samples_.fetch_add(drained, std::memory_order_relaxed);
+  truncated_.fetch_add(truncated, std::memory_order_relaxed);
+  dropped_.fetch_add(ring_dropped, std::memory_order_relaxed);
+  if (drained > 0) ERMINER_COUNT("profiler/samples", drained);
+  if (truncated > 0) ERMINER_COUNT("profiler/truncated_stacks", truncated);
+  if (ring_dropped > 0) ERMINER_COUNT("profiler/dropped", ring_dropped);
+  return drained;
+}
+
+namespace {
+
+/// Frames from the signal delivery machinery itself, filtered out of the
+/// rendered stacks (they sit between the leaf sample and the interrupted
+/// code on every sample).
+bool IsProfilerInternalFrame(const std::string& name) {
+  return name.find("SigprofHandler") != std::string::npos ||
+         name.find("Profiler::HandleSample") != std::string::npos ||
+         name.find("ProfilerHandleSample") != std::string::npos ||
+         name.find("__restore_rt") != std::string::npos ||
+         name.find("backtrace") != std::string::npos;
+}
+
+void AppendSanitized(std::string* out, const std::string& frame) {
+  for (char c : frame) {
+    // ';' separates frames and ' ' separates the count in collapsed-stack
+    // format; newlines would break line-oriented consumers.
+    if (c == ';' || c == '\n' || c == '\r') {
+      out->push_back(':');
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string Profiler::SymbolizeFrame(void* pc) const {
+  auto it = symbol_cache_.find(pc);
+  if (it != symbol_cache_.end()) return it->second;
+  // backtrace records return addresses; step back one byte so a call as the
+  // last instruction of a function resolves to that function, not the next.
+  void* lookup = static_cast<char*>(pc) - 1;
+  Dl_info info;
+  std::memset(&info, 0, sizeof info);
+  std::string name;
+  if (::dladdr(lookup, &info) != 0 && info.dli_sname != nullptr) {
+    int status = -1;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    name = (status == 0 && demangled != nullptr) ? demangled : info.dli_sname;
+    std::free(demangled);
+  } else if (info.dli_fname != nullptr) {
+    const char* base = std::strrchr(info.dli_fname, '/');
+    base = base != nullptr ? base + 1 : info.dli_fname;
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%s+0x%zx", base,
+                  reinterpret_cast<size_t>(pc) -
+                      reinterpret_cast<size_t>(info.dli_fbase));
+    name = buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%zx", reinterpret_cast<size_t>(pc));
+    name = buf;
+  }
+  symbol_cache_.emplace(pc, name);
+  return name;
+}
+
+std::string Profiler::CollapsedStacks() const {
+  std::lock_guard<std::mutex> lk(aggregate_mutex_);
+  // Distinct pc chains can symbolize to the same frame chain (inlining,
+  // unresolved frames); merge them before rendering.
+  std::map<std::string, uint64_t> lines;
+  for (const auto& [key, count] : aggregate_) {
+    const char* span = nullptr;
+    std::memcpy(&span, key.data(), sizeof span);
+    const size_t num_frames = (key.size() - sizeof span) / sizeof(void*);
+    std::vector<std::string> frames;  // leaf first
+    frames.reserve(num_frames);
+    for (size_t i = 0; i < num_frames; ++i) {
+      void* pc = nullptr;
+      std::memcpy(&pc, key.data() + sizeof span + i * sizeof pc, sizeof pc);
+      frames.push_back(SymbolizeFrame(pc));
+    }
+    // Trim the handler/trampoline prefix off the leaf end.
+    size_t first = 0;
+    while (first < frames.size() && IsProfilerInternalFrame(frames[first])) {
+      ++first;
+    }
+    // glibc does not export __restore_rt, so the signal trampoline right
+    // after the handler frames symbolizes as a bare "libc.so.6+0x..." —
+    // trim that one too, but only in this position (a real unsymbolized
+    // libc leaf elsewhere is kept).
+    if (first > 0 && first < frames.size() &&
+        frames[first].compare(0, 4, "libc") == 0 &&
+        frames[first].find("+0x") != std::string::npos) {
+      ++first;
+    }
+    std::string line;
+    AppendSanitized(&line, span != nullptr ? span : "(no_span)");
+    for (size_t i = frames.size(); i > first; --i) {
+      line.push_back(';');
+      AppendSanitized(&line, frames[i - 1]);
+    }
+    lines[line] += count;
+  }
+  std::string out;
+  for (const auto& [line, count] : lines) {
+    out += line;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+bool Profiler::WriteCollapsedFile(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << CollapsedStacks();
+  return static_cast<bool>(os);
+}
+
+std::string ParseProfileOutSpec(const std::string& spec, int* hz) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 == spec.size()) return spec;
+  const std::string suffix = spec.substr(colon + 1);
+  for (char c : suffix) {
+    if (c < '0' || c > '9') return spec;  // a path like dir:name/prof.txt
+  }
+  if (hz != nullptr) *hz = ClampHz(std::atoi(suffix.c_str()));
+  return spec.substr(0, colon);
+}
+
+}  // namespace erminer::obs

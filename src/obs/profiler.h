@@ -1,0 +1,143 @@
+// Continuous in-process sampling CPU profiler with span attribution.
+//
+// A single ITIMER_PROF timer ticks on process CPU time (so an N-thread-busy
+// process yields ~hz samples per CPU-second, fanned out by the kernel to
+// whichever threads are actually burning cycles). Each SIGPROF delivery runs
+// an async-signal-safe handler on the interrupted thread that records a
+// bounded backtrace(3) frame walk plus the innermost open ERMINER_SPAN name
+// (TraceRecorder::CurrentSpanNameSignalSafe) into that thread's lock-free
+// SPSC ring buffer. A drain thread periodically moves ring contents into an
+// aggregate keyed by (span, pc chain); symbolization via dladdr (demangled
+// with __cxa_demangle, module+offset fallback) happens only when a profile
+// is rendered, never per sample.
+//
+// Output is collapsed-stack text — `root;frame;...;leaf count`, one line
+// per unique stack, span name as the root frame — which FlameGraph,
+// speedscope and tools/flamegraph.py all consume directly.
+//
+// Armed from --profile-out=FILE[:hz] (CLI, bench, pipeline [obs] section),
+// from GET /profile?seconds=N&hz=H on the telemetry server, and by the
+// stall watchdog's burst capture. The handler never allocates, takes no
+// locks and preserves errno; the profiler is pull-only with respect to
+// miner state, so rules are bit-identical with it armed or not
+// (tests/obs_profiler_test.cc proves this differentially).
+//
+// Caveats (the usual ones for signal-based profilers): backtrace(3) unwinds
+// via eh_frame and is not formally async-signal-safe — Start() calls it
+// once up front so glibc's unwinder is initialized before the first signal
+// arrives. ITIMER_PROF measures CPU time, so threads blocked in syscalls
+// accrue no samples (that is what the watchdog's span-stack capture is
+// for).
+
+#ifndef ERMINER_OBS_PROFILER_H_
+#define ERMINER_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace erminer::obs {
+
+struct ProfilerOptions {
+  /// Samples per CPU-second. 99 (not 100) is the conventional default: it
+  /// avoids lockstep with 10ms-periodic work.
+  int hz = 99;
+  /// Threads that can hold samples concurrently; a thread claims a
+  /// pre-allocated ring on its first SIGPROF and keeps it. Beyond this,
+  /// samples from extra threads count as dropped.
+  size_t max_threads = 64;
+  /// Per-thread ring capacity (rounded up to a power of two). The drain
+  /// thread empties rings every ~50ms, so 256 slots absorb >5000 Hz
+  /// per-thread bursts.
+  size_t ring_capacity = 256;
+};
+
+/// Parses "FILE" or "FILE:hz" (the --profile-out flag form; the suffix is
+/// taken as a rate only when it is all digits, so paths with colons keep
+/// working). Returns the file part; *hz is updated only when a rate suffix
+/// is present.
+std::string ParseProfileOutSpec(const std::string& spec, int* hz);
+
+class Profiler {
+ public:
+  static Profiler& Global();
+
+  /// Installs the SIGPROF handler, arms ITIMER_PROF at options.hz and
+  /// spawns the drain thread. Clears any previous aggregate. Returns false
+  /// with *error set when already running or the timer can't be armed.
+  bool Start(const ProfilerOptions& options, std::string* error);
+
+  /// Disarms the timer (the handler stays installed but inert — restoring
+  /// SIG_DFL could kill the process on one straggler signal), drains
+  /// outstanding samples and joins the drain thread. The aggregate is kept
+  /// for CollapsedStacks()/WriteCollapsedFile(). Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Collapsed-stack rendering of the aggregate so far (callable mid-run):
+  /// "span;outer;...;leaf count\n" lines, sorted, flamegraph-ready.
+  std::string CollapsedStacks() const;
+  bool WriteCollapsedFile(const std::string& path) const;
+
+  /// Totals since the last Start (drained samples only; call Stop or wait a
+  /// drain tick for exact values).
+  uint64_t num_samples() const { return samples_.load(std::memory_order_relaxed); }
+  uint64_t num_dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  uint64_t num_truncated() const { return truncated_.load(std::memory_order_relaxed); }
+
+  /// The active hz, 0 when stopped.
+  int hz() const { return running() ? options_.hz : 0; }
+
+ private:
+  Profiler() = default;
+
+  static constexpr int kMaxFrames = 26;  // keeps a record at 224 bytes
+  struct SampleRecord {
+    const char* span;
+    int32_t depth;      // frames actually stored
+    int32_t truncated;  // 1 when the walk hit the frame cap
+    void* frames[kMaxFrames];
+  };
+  struct Ring {
+    std::atomic<uint32_t> head{0};  // producer (signal handler)
+    std::atomic<uint32_t> tail{0};  // consumer (drain thread)
+    std::atomic<uint64_t> dropped{0};
+    std::vector<SampleRecord> slots;
+  };
+
+  friend void ProfilerHandleSample(Profiler* p);  // SIGPROF handler body
+  void HandleSample();                            // async-signal-safe
+  void DrainLoop();
+  uint64_t DrainOnce();  // moves ring contents into the aggregate
+  std::string SymbolizeFrame(void* pc) const;
+
+  ProfilerOptions options_;
+  std::mutex control_mutex_;  // Start/Stop vs. the /profile endpoint
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread drain_thread_;
+
+  // Rings are allocated at Start and never freed while the process lives
+  // (threads cache raw pointers to them across profiling sessions).
+  std::vector<Ring*> rings_;
+  std::atomic<uint32_t> rings_claimed_{0};
+  uint32_t ring_mask_ = 0;
+
+  std::atomic<uint64_t> samples_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> truncated_{0};
+
+  mutable std::mutex aggregate_mutex_;
+  /// Key: span pointer + raw pc chain (leaf first), packed as bytes.
+  std::map<std::string, uint64_t> aggregate_;
+  mutable std::map<void*, std::string> symbol_cache_;
+};
+
+}  // namespace erminer::obs
+
+#endif  // ERMINER_OBS_PROFILER_H_

@@ -110,7 +110,15 @@ void Sampler::SampleOnce() {
     last_streamed_ = s.snapshot;
   }
   ring_.push_back(std::move(s));
-  while (ring_.size() > options_.ring_capacity) ring_.pop_front();
+  uint64_t evicted = 0;
+  while (ring_.size() > options_.ring_capacity) {
+    ring_.pop_front();
+    ++evicted;
+  }
+  // Eviction used to be silent; counting it lets /metrics.json and
+  // watch_run.py say "the ring is too small for this run" instead of
+  // quietly showing a shortened history.
+  if (evicted > 0) ERMINER_COUNT("sampler/dropped_samples", evicted);
   ++num_taken_;
 }
 

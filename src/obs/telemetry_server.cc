@@ -6,19 +6,52 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "util/timer.h"  // header-only (CpuSeconds/PeakRssBytes); no link dep
+
+// Build provenance for the erminer_build_info gauge (standard Prometheus
+// idiom: a constant-1 gauge whose labels carry the build facts).
+#ifndef ERMINER_GIT_DESCRIBE
+#define ERMINER_GIT_DESCRIBE "unknown"
+#endif
+#ifndef ERMINER_BUILD_TYPE
+#define ERMINER_BUILD_TYPE "unknown"
+#endif
 
 namespace erminer::obs {
 
 namespace {
 
 std::atomic<const char*> g_phase{"idle"};
+
+/// Clamped integer query parameter: "...?seconds=2&hz=200".
+long QueryParam(const std::string& query, const char* key, long dflt,
+                long lo, long hi) {
+  const std::string needle = std::string(key) + "=";
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    if (query.compare(pos, needle.size(), needle) == 0) {
+      const long v = std::atol(query.substr(pos + needle.size(),
+                                            end - pos - needle.size())
+                                   .c_str());
+      return std::max(lo, std::min(v, hi));
+    }
+    pos = end + 1;
+  }
+  return dflt;
+}
 
 std::string HttpResponse(int status, const char* reason,
                          const std::string& content_type,
@@ -133,10 +166,21 @@ void TelemetryServer::AcceptLoop() {
 }
 
 void TelemetryServer::ServeConnection(int fd) {
+  // A stalled or malicious client must not wedge the single accept-loop
+  // thread: bound both directions. 5 s receive covers any sane scrape
+  // client; 30 s send covers a /profile burst response over a slow link.
+  timeval rcv_timeout{};
+  rcv_timeout.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &rcv_timeout,
+               sizeof rcv_timeout);
+  timeval snd_timeout{};
+  snd_timeout.tv_sec = 30;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &snd_timeout,
+               sizeof snd_timeout);
   // One small request; anything beyond 4 KiB is not a scrape we serve.
   char buf[4096];
   ssize_t n = ::recv(fd, buf, sizeof buf - 1, 0);
-  if (n <= 0) return;
+  if (n <= 0) return;  // includes EAGAIN from a client that sent nothing
   buf[n] = '\0';
   ERMINER_COUNT("telemetry/requests", 1);
   // Request line: METHOD SP PATH SP VERSION.
@@ -148,9 +192,9 @@ void TelemetryServer::ServeConnection(int fd) {
                               "only GET is supported\n"));
     return;
   }
+  // The query string stays attached; HandlePath splits it (the /profile
+  // handler reads seconds/hz from it).
   std::string path(sp1 + 1, sp2);
-  size_t query = path.find('?');
-  if (query != std::string::npos) path.resize(query);
 
   std::string body, content_type;
   if (!HandlePath(path, &body, &content_type)) {
@@ -162,8 +206,16 @@ void TelemetryServer::ServeConnection(int fd) {
   WriteAll(fd, HttpResponse(200, "OK", content_type, body));
 }
 
-bool TelemetryServer::HandlePath(const std::string& path, std::string* body,
+bool TelemetryServer::HandlePath(const std::string& path_and_query,
+                                 std::string* body,
                                  std::string* content_type) {
+  std::string path = path_and_query;
+  std::string query;
+  const size_t qmark = path.find('?');
+  if (qmark != std::string::npos) {
+    query = path.substr(qmark + 1);
+    path.resize(qmark);
+  }
   if (path == "/metrics") {
     MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
     *body = snap.ToPrometheusText();
@@ -172,7 +224,43 @@ bool TelemetryServer::HandlePath(const std::string& path, std::string* body,
     *body += "# TYPE erminer_phase gauge\nerminer_phase{phase=\"";
     *body += CurrentPhase();
     *body += "\"} 1\n";
+    // Build provenance (constant-1 info gauge, the Prometheus idiom for
+    // joining build facts onto every other series).
+    *body += "# TYPE erminer_build_info gauge\n"
+             "erminer_build_info{git=\"" ERMINER_GIT_DESCRIBE
+             "\",compiler=\"" __VERSION__
+             "\",build_type=\"" ERMINER_BUILD_TYPE "\"} 1\n";
     *content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return true;
+  }
+  if (path == "/profile") {
+    const long seconds = QueryParam(query, "seconds", 1, 1, 30);
+    const long hz = QueryParam(query, "hz", 99, 1, 1000);
+    Profiler& profiler = Profiler::Global();
+    ERMINER_COUNT("telemetry/profile_requests", 1);
+    if (profiler.running()) {
+      // A continuous profiler (--profile-out) owns the timer; serve its
+      // aggregate so far rather than restarting it.
+      *body = "# continuous profile in progress; aggregate so far\n";
+      *body += profiler.CollapsedStacks();
+    } else {
+      ProfilerOptions popts;
+      popts.hz = static_cast<int>(hz);
+      std::string error;
+      if (!profiler.Start(popts, &error)) {
+        *body = "profiler unavailable: " + error + "\n";
+        *content_type = "text/plain";
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::seconds(seconds));
+      profiler.Stop();
+      *body = profiler.CollapsedStacks();
+      if (body->empty()) {
+        *body = "# no samples (process idle or blocked for the whole "
+                "window; ITIMER_PROF ticks on CPU time)\n";
+      }
+    }
+    *content_type = "text/plain";
     return true;
   }
   if (path == "/metrics.json") {

@@ -8,6 +8,14 @@
 //   GET /trace.json    Chrome trace JSON of the spans recorded so far
 //   GET /healthz       {"status","uptime_seconds","phase","cpu_seconds",
 //                       "peak_rss_bytes","num_metrics"}
+//   GET /profile?seconds=N&hz=H
+//                      collapsed-stack CPU profile (obs/profiler.h),
+//                      flamegraph-ready. When no continuous profiler is
+//                      armed, runs an N-second burst at H hz (the request
+//                      blocks for N seconds; the accept loop serves one
+//                      connection at a time, so concurrent scrapes queue).
+//                      When --profile-out armed one, returns its
+//                      aggregate-so-far without disturbing it.
 //
 // The server is pull-only: every handler reads a snapshot and serializes it,
 // so it never perturbs mining state — rules are bit-identical with the
@@ -62,9 +70,10 @@ class TelemetryServer {
   /// The actually-bound port (resolves port 0 requests).
   int port() const { return port_; }
 
-  /// Dispatches one request path to its response body + content type;
-  /// public so tests can validate handlers without a socket. Returns false
-  /// for unknown paths.
+  /// Dispatches one request path (query string allowed, e.g.
+  /// "/profile?seconds=1") to its response body + content type; public so
+  /// tests can validate handlers without a socket. Returns false for
+  /// unknown paths.
   static bool HandlePath(const std::string& path, std::string* body,
                          std::string* content_type);
 

@@ -53,11 +53,12 @@ void TraceRecorder::Disable() {
 }
 
 namespace {
-// Per-thread stack of open ERMINER_SPAN names (string literals). Only
-// touched when the span stack is armed, so the disarmed hot path stays one
-// relaxed load. Capacity-bounded push keeps the cost of a pathological
-// recursion O(1) per span.
-thread_local std::vector<const char*> t_span_stack;
+// The calling thread's span stack, resolved (and registered) on first push.
+// A raw pointer into the thread's ThreadBuffer, which the recorder keeps
+// alive forever via shared_ptr — so a SIGPROF handler can dereference it at
+// any point after registration without synchronization beyond the cells'
+// own atomics.
+thread_local TraceRecorder::SpanStack* t_span_stack = nullptr;
 }  // namespace
 
 void TraceRecorder::EnableSpanStack() {
@@ -69,15 +70,61 @@ void TraceRecorder::DisableSpanStack() {
 }
 
 const char* TraceRecorder::CurrentSpanName() {
-  return t_span_stack.empty() ? nullptr : t_span_stack.back();
+  return CurrentSpanNameSignalSafe();
+}
+
+const char* TraceRecorder::CurrentSpanNameSignalSafe() {
+  const SpanStack* s = t_span_stack;
+  if (s == nullptr) return nullptr;
+  int d = s->depth.load(std::memory_order_relaxed);
+  if (d <= 0) return nullptr;
+  if (d > SpanStack::kMaxDepth) d = SpanStack::kMaxDepth;
+  return s->names[d - 1].load(std::memory_order_relaxed);
 }
 
 void TraceRecorder::PushSpan(const char* name) {
-  t_span_stack.push_back(name);
+  SpanStack* s = t_span_stack;
+  if (s == nullptr) {
+    // First span on this thread: registering the buffer allocates and takes
+    // the registry mutex, but only once per thread and never from a signal
+    // context (spans are pushed from normal code).
+    s = t_span_stack = &Global().LocalBuffer().spans;
+  }
+  const int d = s->depth.load(std::memory_order_relaxed);
+  if (d < SpanStack::kMaxDepth) {
+    s->names[d].store(name, std::memory_order_relaxed);
+  }
+  s->depth.store(d + 1, std::memory_order_release);
 }
 
 void TraceRecorder::PopSpan() {
-  if (!t_span_stack.empty()) t_span_stack.pop_back();
+  SpanStack* s = t_span_stack;
+  if (s == nullptr) return;
+  const int d = s->depth.load(std::memory_order_relaxed);
+  if (d > 0) s->depth.store(d - 1, std::memory_order_release);
+}
+
+std::vector<TraceRecorder::SpanStackSnapshot> TraceRecorder::AllSpanStacks()
+    const {
+  std::vector<SpanStackSnapshot> out;
+  std::lock_guard<std::mutex> lk(mutex_);
+  out.reserve(buffers_.size());
+  for (const auto& buf : buffers_) {
+    SpanStackSnapshot snap;
+    snap.tid = buf->tid;
+    {
+      std::lock_guard<std::mutex> blk(buf->mutex);
+      snap.thread_name = buf->name;
+    }
+    int d = buf->spans.depth.load(std::memory_order_acquire);
+    if (d > SpanStack::kMaxDepth) d = SpanStack::kMaxDepth;
+    for (int i = 0; i < d; ++i) {
+      const char* name = buf->spans.names[i].load(std::memory_order_relaxed);
+      if (name != nullptr) snap.names.push_back(name);
+    }
+    if (!snap.names.empty()) out.push_back(std::move(snap));
+  }
+  return out;
 }
 
 void TraceRecorder::SetCurrentThreadName(const std::string& name) {

@@ -63,6 +63,36 @@ class TraceRecorder {
   static void PushSpan(const char* name);   // TraceSpan internals
   static void PopSpan();
 
+  /// Async-signal-safe variant of CurrentSpanName: reads only the calling
+  /// thread's fixed-depth atomic stack (no locks, no allocation), so the
+  /// sampling profiler's SIGPROF handler can attribute a sample to the span
+  /// it interrupted. Returns nullptr when no span is open or the stack was
+  /// never touched on this thread.
+  static const char* CurrentSpanNameSignalSafe();
+
+  /// One thread's open-span stack, outermost first, snapshotted for the
+  /// stall watchdog's artifacts. Entries are string literals; a snapshot
+  /// racing a push/pop can be off by one frame, which is fine for a
+  /// diagnostic ("where is every thread right now?").
+  struct SpanStackSnapshot {
+    uint32_t tid = 0;
+    std::string thread_name;
+    std::vector<const char*> names;  // outermost first
+  };
+  std::vector<SpanStackSnapshot> AllSpanStacks() const;
+
+  /// Fixed-depth stack of open span names with atomic cells, so it can be
+  /// read from the owning thread's SIGPROF handler (same-thread atomics)
+  /// and, approximately, from the watchdog thread. depth may exceed
+  /// kMaxDepth under pathological recursion; cells beyond it are simply not
+  /// stored (push/pop stay balanced because both check the same bound).
+  /// Public only so the thread-local registration in trace.cc can name it.
+  struct SpanStack {
+    static constexpr int kMaxDepth = 64;
+    std::atomic<int> depth{0};
+    std::atomic<const char*> names[kMaxDepth] = {};
+  };
+
   /// Names the calling thread in the exported trace (metadata event). The
   /// thread pool labels its workers "pool-worker-N"; the main thread
   /// defaults to "main".
@@ -89,6 +119,7 @@ class TraceRecorder {
     std::string name;
     mutable std::mutex mutex;  // writer vs. export
     std::vector<TraceEvent> events;
+    SpanStack spans;
   };
 
   TraceRecorder();

@@ -1,0 +1,243 @@
+#include "obs/watchdog.h"
+
+#include <signal.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/run_manifest.h"
+#include "obs/trace.h"
+
+namespace erminer::obs {
+
+namespace {
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  // splitmix64-style mix; only stability within one process matters.
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Activity the watchdog itself (or a scraper polling a stalled run)
+/// generates must not look like progress.
+bool SelfReferentialMetric(const std::string& name) {
+  return name.rfind("telemetry/", 0) == 0 ||
+         name.rfind("profiler/", 0) == 0 || name.rfind("watchdog/", 0) == 0;
+}
+
+}  // namespace
+
+Watchdog& Watchdog::Global() {
+  static Watchdog* watchdog = new Watchdog();
+  return *watchdog;
+}
+
+Watchdog::~Watchdog() { Stop(); }
+
+uint64_t Watchdog::ActivityFingerprint() {
+  uint64_t h = 0;
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    if (SelfReferentialMetric(name)) continue;
+    h = HashCombine(h, HashString(name));
+    h = HashCombine(h, value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    if (SelfReferentialMetric(name)) continue;
+    uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof bits);
+    h = HashCombine(h, HashString(name));
+    h = HashCombine(h, bits);
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    if (SelfReferentialMetric(name)) continue;
+    h = HashCombine(h, HashString(name));
+    h = HashCombine(h, hist.count);
+  }
+  // Thread-pool progress rides in through its registry counters
+  // (thread_pool/tasks, thread_pool/batches_inline); the trace recorder's
+  // event count adds span activity when tracing is armed.
+  h = HashCombine(h, TraceRecorder::Global().num_events());
+  return h;
+}
+
+bool Watchdog::Start(const WatchdogOptions& options, std::string* error) {
+  if (running()) {
+    if (error != nullptr) *error = "watchdog already running";
+    return false;
+  }
+  if (options.deadline_sec <= 0) {
+    if (error != nullptr) *error = "watchdog deadline must be > 0 seconds";
+    return false;
+  }
+  options_ = options;
+  if (options_.check_interval_sec <= 0) {
+    options_.check_interval_sec = std::min(1.0, options_.deadline_sec / 4);
+  }
+  options_.check_interval_sec = std::max(options_.check_interval_sec, 0.01);
+  if (options_.artifact_dir.empty()) options_.artifact_dir = ".";
+  stalls_.store(0, std::memory_order_relaxed);
+  checks_.store(0, std::memory_order_relaxed);
+  artifacts_written_ = 0;
+  // Span stacks are the stall artifact's "where is every thread" section;
+  // arm them so instrumented regions are visible even without --trace-json.
+  TraceRecorder::Global().EnableSpanStack();
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_requested_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+  return true;
+}
+
+void Watchdog::Stop() {
+  if (!running()) return;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void Watchdog::Loop() {
+  TraceRecorder::Global().SetCurrentThreadName("stall-watchdog");
+  // Watchdog checks are overhead, not workload; keep SIGPROF ticks aimed at
+  // the threads being watched.
+  sigset_t block;
+  sigemptyset(&block);
+  sigaddset(&block, SIGPROF);
+  pthread_sigmask(SIG_BLOCK, &block, nullptr);
+  const auto interval = std::chrono::duration<double>(
+      options_.check_interval_sec);
+  uint64_t last_fp = ActivityFingerprint();
+  auto last_change = std::chrono::steady_clock::now();
+  bool armed = true;
+  std::unique_lock<std::mutex> lk(mutex_);
+  while (!stop_requested_) {
+    if (wake_.wait_for(lk, interval, [this] { return stop_requested_; })) {
+      return;
+    }
+    lk.unlock();
+    checks_.fetch_add(1, std::memory_order_relaxed);
+    ERMINER_COUNT("watchdog/checks", 1);
+    const uint64_t fp = ActivityFingerprint();
+    const auto now = std::chrono::steady_clock::now();
+    if (fp != last_fp) {
+      last_fp = fp;
+      last_change = now;
+      armed = true;  // activity resumed; a future stall is a new episode
+    } else if (armed) {
+      const double stalled =
+          std::chrono::duration<double>(now - last_change).count();
+      if (stalled >= options_.deadline_sec) {
+        armed = false;  // one artifact per stall episode
+        HandleStall(stalled);
+      }
+    }
+    lk.lock();
+  }
+}
+
+void Watchdog::HandleStall(double stalled_sec) {
+  stalls_.fetch_add(1, std::memory_order_relaxed);
+  ERMINER_COUNT("watchdog/stalls", 1);
+
+  std::string artifact_path;
+  if (artifacts_written_ < options_.max_artifacts) {
+    artifact_path = options_.artifact_dir + "/stall-" +
+                    std::to_string(artifacts_written_) + ".txt";
+    ++artifacts_written_;
+
+    // Where does every thread sit? (Works for blocked stalls too.)
+    std::string body = "# erminer stall artifact\n";
+    {
+      char line[128];
+      std::snprintf(line, sizeof line,
+                    "# no observable progress for %.1f s\n\n", stalled_sec);
+      body += line;
+    }
+    body += "== open span stacks (outermost first) ==\n";
+    const auto stacks = TraceRecorder::Global().AllSpanStacks();
+    if (stacks.empty()) {
+      body += "(no spans open on any thread)\n";
+    }
+    for (const auto& stack : stacks) {
+      body += "thread " + std::to_string(stack.tid);
+      if (!stack.thread_name.empty()) body += " (" + stack.thread_name + ")";
+      body += ":";
+      for (const char* name : stack.names) {
+        body += ' ';
+        body += name;
+      }
+      body += '\n';
+    }
+
+    // Where do the cycles go? (Empty for a fully blocked stall — ITIMER_PROF
+    // ticks on CPU time — which is itself the diagnosis.)
+    body += "\n== cpu profile (collapsed stacks) ==\n";
+    Profiler& profiler = Profiler::Global();
+    if (profiler.running()) {
+      body += profiler.CollapsedStacks();
+    } else {
+      ProfilerOptions popts;
+      popts.hz = options_.burst_hz;
+      std::string error;
+      if (profiler.Start(popts, &error)) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            std::max(options_.burst_sec, 0.05)));
+        profiler.Stop();
+        body += profiler.CollapsedStacks();
+      } else {
+        body += "(profile burst unavailable: " + error + ")\n";
+      }
+    }
+
+    std::ofstream os(artifact_path);
+    if (os) {
+      os << body;
+    } else {
+      artifact_path.clear();
+    }
+  }
+
+  // One structured line straight to stderr (src/obs cannot depend on
+  // util/logging — erminer_util links erminer_obs, not the reverse). A
+  // stall is always worth a line, JSON sink or not.
+  const long long now_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  std::fprintf(stderr,
+               "{\"ts_ms\":%lld,\"level\":\"WARNING\",\"event\":\"stall\","
+               "\"stalled_seconds\":%.3f,\"deadline_seconds\":%.3f,"
+               "\"artifact\":\"%s\"}\n",
+               now_ms, stalled_sec, options_.deadline_sec,
+               artifact_path.c_str());
+  if (RunManifest* manifest = ActiveRunManifest()) {
+    char event[256];
+    std::snprintf(event, sizeof event,
+                  "{\"event\":\"stall\",\"stalled_seconds\":%.3f,"
+                  "\"artifact\":\"%s\"}",
+                  stalled_sec, artifact_path.c_str());
+    manifest->AppendEvent(event);
+  }
+}
+
+}  // namespace erminer::obs

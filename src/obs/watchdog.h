@@ -1,0 +1,104 @@
+// Stall watchdog: turns a silent hang into an actionable artifact.
+//
+// A background thread fingerprints the process's observable activity —
+// every metrics-registry counter and gauge (minus the observability
+// plumbing's own: telemetry/, profiler/, watchdog/ — a stalled miner still
+// gets scraped and sampled), the trace recorder's event count and the
+// thread pool's executed-chunk counter — every check interval. When the
+// fingerprint has not moved for `deadline_sec`, the watchdog:
+//
+//   1. snapshots every thread's open ERMINER_SPAN stack
+//      (TraceRecorder::AllSpanStacks), i.e. where each thread sits,
+//   2. captures a CPU profile burst (obs/profiler.h; if a continuous
+//      profiler is already armed its aggregate-so-far is used instead —
+//      note a fully *blocked* stall accrues no CPU samples, which is
+//      itself diagnostic),
+//   3. writes both to `<artifact_dir>/stall-<n>.txt`, and
+//   4. logs a structured `stall` event (WARNING; --log-json makes it a
+//      JSON record) and, when a run manifest is active, appends a stall
+//      event to episodes.jsonl.
+//
+// One artifact per stall episode: after firing, the watchdog re-arms only
+// once activity resumes, so a stuck-forever run produces exactly one
+// artifact (plus at most `max_artifacts` across a run). Enabled with
+// --watchdog-sec=N (CLI, bench, pipeline [obs] watchdog_sec); default off.
+// The watchdog only reads snapshots — results are bit-identical with it
+// armed or not.
+
+#ifndef ERMINER_OBS_WATCHDOG_H_
+#define ERMINER_OBS_WATCHDOG_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace erminer::obs {
+
+struct WatchdogOptions {
+  /// Seconds without any activity before a stall fires. <= 0 disables.
+  double deadline_sec = 0;
+  /// Fingerprint cadence; 0 picks min(1s, deadline/4).
+  double check_interval_sec = 0;
+  /// Where stall-<n>.txt artifacts land (the CLI points this at --run-dir
+  /// when one is configured).
+  std::string artifact_dir = ".";
+  /// Profile burst length/rate for the stall capture (skipped when a
+  /// continuous profiler is already running).
+  double burst_sec = 1.0;
+  int burst_hz = 199;
+  /// Hard cap on artifacts per run, so a flapping stall cannot fill a disk.
+  int max_artifacts = 5;
+};
+
+class Watchdog {
+ public:
+  Watchdog() = default;
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Spawns the checker thread. Returns false (with *error set) when
+  /// already running or the options disable it (deadline_sec <= 0).
+  bool Start(const WatchdogOptions& options, std::string* error);
+
+  /// Joins the checker thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint64_t stalls_detected() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+  uint64_t checks_performed() const {
+    return checks_.load(std::memory_order_relaxed);
+  }
+
+  /// Process-wide instance the --watchdog-sec flags start.
+  static Watchdog& Global();
+
+  /// The activity fingerprint (exposed for tests: equal fingerprints ==
+  /// "no observable progress").
+  static uint64_t ActivityFingerprint();
+
+ private:
+  void Loop();
+  void HandleStall(double stalled_sec);
+
+  WatchdogOptions options_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> stalls_{0};
+  std::atomic<uint64_t> checks_{0};
+  int artifacts_written_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace erminer::obs
+
+#endif  // ERMINER_OBS_WATCHDOG_H_

@@ -21,7 +21,14 @@ namespace {
 /// for tasks only it could run).
 thread_local bool t_in_parallel_region = false;
 
+/// Chunks executed process-wide; see PoolProgressCount().
+std::atomic<uint64_t> g_pool_progress{0};
+
 }  // namespace
+
+uint64_t PoolProgressCount() {
+  return g_pool_progress.load(std::memory_order_relaxed);
+}
 
 struct ThreadPool::Batch {
   const std::function<void(size_t, size_t, size_t)>* fn = nullptr;
@@ -71,6 +78,10 @@ void ThreadPool::WorkerLoop(size_t id) {
   // Process-directed SIGINT/SIGTERM must run their handlers on the main
   // thread, never on a worker: the flush handlers (obs/flush.h) serialize
   // training state, which is only coherent from the thread that owns it.
+  // SIGPROF is deliberately NOT blocked: the sampling profiler
+  // (obs/profiler.h) relies on the kernel delivering ITIMER_PROF ticks to
+  // whichever thread is burning CPU — masking it here would blind the
+  // profiler to the steal loops and chunk bodies it most needs to see.
   sigset_t set;
   sigemptyset(&set);
   sigaddset(&set, SIGINT);
@@ -115,6 +126,7 @@ bool ThreadPool::TryAcquire(size_t home, Task* task) {
 
 void ThreadPool::RunTask(const Task& task) {
   ERMINER_COUNT("thread_pool/tasks", 1);
+  g_pool_progress.fetch_add(1, std::memory_order_relaxed);
   Batch* b = task.batch;
   const size_t cb = b->begin + task.chunk * b->grain;
   const size_t ce = std::min(b->end, cb + b->grain);
@@ -170,6 +182,7 @@ void ThreadPool::RunBatch(Batch* batch) {
 void ThreadPool::RunBatchInline(Batch* batch) {
   ERMINER_COUNT("thread_pool/batches_inline", 1);
   for (size_t c = 0; c < batch->chunks; ++c) {
+    g_pool_progress.fetch_add(1, std::memory_order_relaxed);
     const size_t cb = batch->begin + c * batch->grain;
     const size_t ce = std::min(batch->end, cb + batch->grain);
     try {

@@ -38,6 +38,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -153,6 +154,13 @@ ThreadPool& GlobalPool();
 
 /// Applies the top-level `threads` key of a Config, if present.
 void ConfigureThreadsFromConfig(const Config& config);
+
+/// Process-wide count of chunks executed (across every pool instance,
+/// worker-run and inline alike). A cheap monotone liveness signal: the
+/// stall watchdog (obs/watchdog.h) treats it — via the thread_pool/*
+/// registry counters that advance with it — as proof the data-parallel
+/// layer is making progress.
+uint64_t PoolProgressCount();
 
 /// Convenience wrappers over the global pool.
 inline void ParallelFor(size_t begin, size_t end, size_t grain,

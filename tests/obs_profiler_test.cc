@@ -1,0 +1,207 @@
+// The sampling profiler's two contracts: (1) samples land where the CPU
+// time actually goes, attributed to the innermost open ERMINER_SPAN; and
+// (2) arming the profiler changes nothing about the mining results — it is
+// strictly read-only with respect to miner state, at every thread count.
+
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/enu_miner.h"
+#include "eval/experiment.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "test_util.h"
+#include "util/thread_pool.h"
+
+namespace erminer::obs {
+
+// External linkage on purpose: dladdr resolves only dynamic symbols, and an
+// anonymous-namespace function would render as "obs_profiler_test+0x..."
+// (the documented fallback) instead of by name.
+__attribute__((noinline)) uint64_t ProfilerTestHotSpin(uint64_t iters) {
+  volatile uint64_t acc = 0;
+  for (uint64_t i = 0; i < iters; ++i) acc += i * 2654435761ull;
+  return acc;
+}
+
+namespace {
+
+using erminer::testing::SeededCorpusCache;
+
+TEST(ParseProfileOutSpecTest, PlainPath) {
+  int hz = 99;
+  EXPECT_EQ(ParseProfileOutSpec("prof.collapsed", &hz), "prof.collapsed");
+  EXPECT_EQ(hz, 99);  // untouched without a rate suffix
+}
+
+TEST(ParseProfileOutSpecTest, PathWithRate) {
+  int hz = 99;
+  EXPECT_EQ(ParseProfileOutSpec("out/prof.collapsed:199", &hz),
+            "out/prof.collapsed");
+  EXPECT_EQ(hz, 199);
+}
+
+TEST(ParseProfileOutSpecTest, ColonInPathIsNotARate) {
+  int hz = 99;
+  EXPECT_EQ(ParseProfileOutSpec("dir:name/prof.txt", &hz),
+            "dir:name/prof.txt");
+  EXPECT_EQ(hz, 99);
+  EXPECT_EQ(ParseProfileOutSpec("prof:1a", &hz), "prof:1a");
+  EXPECT_EQ(hz, 99);
+}
+
+TEST(ParseProfileOutSpecTest, TrailingColonKept) {
+  int hz = 99;
+  EXPECT_EQ(ParseProfileOutSpec("prof:", &hz), "prof:");
+  EXPECT_EQ(hz, 99);
+}
+
+TEST(ParseProfileOutSpecTest, RateClamped) {
+  int hz = 99;
+  EXPECT_EQ(ParseProfileOutSpec("p:99999", &hz), "p");
+  EXPECT_EQ(hz, 1000);
+}
+
+/// Sums the counts of collapsed lines whose root frame is `span`, and the
+/// grand total, from "root;frame;... count" text.
+void CountByRoot(const std::string& collapsed, const std::string& span,
+                 uint64_t* matching, uint64_t* total) {
+  *matching = 0;
+  *total = 0;
+  size_t pos = 0;
+  while (pos < collapsed.size()) {
+    size_t eol = collapsed.find('\n', pos);
+    if (eol == std::string::npos) eol = collapsed.size();
+    const std::string line = collapsed.substr(pos, eol - pos);
+    pos = eol + 1;
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    const uint64_t count =
+        std::strtoull(line.c_str() + space + 1, nullptr, 10);
+    *total += count;
+    if (line.rfind(span + ";", 0) == 0) *matching += count;
+  }
+}
+
+TEST(ProfilerTest, HotSpanDominatesSamples) {
+  Profiler& profiler = Profiler::Global();
+  ProfilerOptions opts;
+  opts.hz = 500;  // dense sampling keeps the test short
+  std::string error;
+  ASSERT_TRUE(profiler.Start(opts, &error)) << error;
+  {
+    ERMINER_SPAN("test/hot_loop");
+    // Burn ~400ms of CPU; ITIMER_PROF ticks on CPU time, so this yields
+    // on the order of 200 samples regardless of machine load.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(400);
+    while (std::chrono::steady_clock::now() < deadline) {
+      ProfilerTestHotSpin(100000);
+    }
+  }
+  profiler.Stop();
+
+  EXPECT_GT(profiler.num_samples(), 20u);
+  const std::string collapsed = profiler.CollapsedStacks();
+  uint64_t hot = 0;
+  uint64_t total = 0;
+  CountByRoot(collapsed, "test/hot_loop", &hot, &total);
+  ASSERT_GT(total, 0u);
+  // The spin owns nearly all CPU; anything above a majority proves both the
+  // sampling and the span attribution without flaking on slow machines.
+  EXPECT_GT(2 * hot, total) << collapsed;
+#if !defined(__SANITIZE_THREAD__)
+  // Under TSan the spin's cycles are spent inside libtsan's instrumentation
+  // interceptors, so the hot frame symbolizes as the TSan runtime instead
+  // of the function; span attribution (above) is unaffected.
+  EXPECT_NE(collapsed.find("ProfilerTestHotSpin"), std::string::npos)
+      << collapsed;
+#endif
+}
+
+TEST(ProfilerTest, StartWhileRunningFailsAndStopIsIdempotent) {
+  Profiler& profiler = Profiler::Global();
+  ProfilerOptions opts;
+  std::string error;
+  ASSERT_TRUE(profiler.Start(opts, &error)) << error;
+  EXPECT_FALSE(profiler.Start(opts, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(profiler.hz(), 99);
+  profiler.Stop();
+  EXPECT_FALSE(profiler.running());
+  EXPECT_EQ(profiler.hz(), 0);
+  profiler.Stop();  // second Stop is a no-op
+}
+
+uint64_t RegistryCounter(const std::string& name) {
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  auto it = snap.counters.find(name);
+  return it != snap.counters.end() ? it->second : 0;
+}
+
+TEST(ProfilerTest, CountersReachTheRegistry) {
+  const uint64_t before = RegistryCounter("profiler/samples");
+  Profiler& profiler = Profiler::Global();
+  ProfilerOptions opts;
+  opts.hz = 500;
+  std::string error;
+  ASSERT_TRUE(profiler.Start(opts, &error)) << error;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+  while (std::chrono::steady_clock::now() < deadline) {
+    ProfilerTestHotSpin(100000);
+  }
+  profiler.Stop();
+  EXPECT_GT(RegistryCounter("profiler/samples"), before);
+}
+
+/// Mines with EnuMinerH3 and returns the full ranked rule list.
+MineResult MineNursery(const Corpus& corpus) {
+  MinerOptions o;
+  o.k = 15;
+  o.support_threshold = 30;
+  o.max_nodes = 100'000;
+  return EnuMineH3(corpus, o);
+}
+
+void ExpectSameRules(const MineResult& a, const MineResult& b) {
+  ASSERT_EQ(a.rules.size(), b.rules.size());
+  for (size_t i = 0; i < a.rules.size(); ++i) {
+    EXPECT_EQ(a.rules[i].rule, b.rules[i].rule) << "rule " << i;
+    EXPECT_EQ(a.rules[i].stats.support, b.rules[i].stats.support);
+    EXPECT_EQ(a.rules[i].stats.certainty, b.rules[i].stats.certainty);
+    EXPECT_EQ(a.rules[i].stats.quality, b.rules[i].stats.quality);
+  }
+  EXPECT_EQ(a.nodes_explored, b.nodes_explored);
+  EXPECT_EQ(a.rule_evaluations, b.rule_evaluations);
+}
+
+TEST(ProfilerTest, RulesBitIdenticalWithProfilerArmed) {
+  const GeneratedDataset& ds =
+      SeededCorpusCache::Get("nursery", 1200, 400, 77);
+  Corpus corpus = BuildCorpus(ds).ValueOrDie();
+  const MineResult baseline = MineNursery(corpus);
+  ASSERT_FALSE(baseline.rules.empty());
+
+  for (long threads : {1L, 2L}) {
+    SetGlobalThreads(threads);
+    Profiler& profiler = Profiler::Global();
+    ProfilerOptions opts;
+    opts.hz = 997;  // high rate: maximize interference if there were any
+    std::string error;
+    ASSERT_TRUE(profiler.Start(opts, &error)) << error;
+    const MineResult profiled = MineNursery(corpus);
+    profiler.Stop();
+    SetGlobalThreads(1);
+    ExpectSameRules(baseline, profiled);
+  }
+}
+
+}  // namespace
+}  // namespace erminer::obs

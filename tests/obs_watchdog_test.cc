@@ -1,0 +1,121 @@
+// The stall watchdog's contract: a run making no observable progress
+// produces exactly one stall artifact (naming the span every thread sits
+// in), and a run that is making progress never triggers.
+
+#include "obs/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace erminer::obs {
+namespace {
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+TEST(WatchdogTest, RejectsDisabledDeadline) {
+  Watchdog watchdog;
+  std::string error;
+  EXPECT_FALSE(watchdog.Start(WatchdogOptions{}, &error));
+  EXPECT_FALSE(error.empty());
+  WatchdogOptions negative;
+  negative.deadline_sec = -1;
+  EXPECT_FALSE(watchdog.Start(negative, &error));
+}
+
+TEST(WatchdogTest, StallProducesExactlyOneArtifact) {
+  const std::string dir = ::testing::TempDir() + "wd_stall";
+  ASSERT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+
+  Watchdog& watchdog = Watchdog::Global();
+  WatchdogOptions opts;
+  opts.deadline_sec = 0.3;
+  opts.check_interval_sec = 0.05;
+  opts.artifact_dir = dir;
+  opts.burst_sec = 0.1;  // keep the stall capture quick
+  std::string error;
+  ASSERT_TRUE(watchdog.Start(opts, &error)) << error;
+
+  // A busy-spinning thread that touches no counter: CPU activity without
+  // observable progress is exactly what the watchdog must flag. Started
+  // after the watchdog so its span lands in the (now armed) span stack.
+  std::atomic<bool> stop{false};
+  std::thread spinner([&stop] {
+    ERMINER_SPAN("test/stall_spin");
+    volatile uint64_t acc = 0;
+    while (!stop.load(std::memory_order_relaxed)) acc += 1;
+  });
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (watchdog.stalls_detected() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  // One artifact per stall episode: with activity still flat, waiting
+  // several more deadlines must not fire again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  stop.store(true);
+  spinner.join();
+  watchdog.Stop();
+
+  EXPECT_EQ(watchdog.stalls_detected(), 1u);
+  const std::string artifact = ReadFileOrEmpty(dir + "/stall-0.txt");
+  ASSERT_FALSE(artifact.empty());
+  EXPECT_NE(artifact.find("test/stall_spin"), std::string::npos) << artifact;
+  EXPECT_NE(artifact.find("cpu profile"), std::string::npos);
+  EXPECT_TRUE(ReadFileOrEmpty(dir + "/stall-1.txt").empty());
+}
+
+TEST(WatchdogTest, ActiveRunNeverTriggers) {
+  Watchdog& watchdog = Watchdog::Global();
+  WatchdogOptions opts;
+  opts.deadline_sec = 0.3;
+  opts.check_interval_sec = 0.05;
+  opts.artifact_dir = ::testing::TempDir();
+  std::string error;
+  ASSERT_TRUE(watchdog.Start(opts, &error)) << error;
+
+  // Steady counter activity at a fraction of the deadline interval — the
+  // fingerprint moves every check, so the watchdog must stay quiet.
+  const auto end =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(1200);
+  while (std::chrono::steady_clock::now() < end) {
+    ERMINER_COUNT("test/watchdog_progress", 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  watchdog.Stop();
+
+  EXPECT_GT(watchdog.checks_performed(), 5u);
+  EXPECT_EQ(watchdog.stalls_detected(), 0u);
+}
+
+TEST(WatchdogTest, FingerprintMovesWithActivity) {
+  const uint64_t before = Watchdog::ActivityFingerprint();
+  ERMINER_COUNT("test/watchdog_fingerprint", 1);
+  EXPECT_NE(Watchdog::ActivityFingerprint(), before);
+  // Self-referential metrics must NOT move it (a scraper polling a stalled
+  // run would otherwise mask the stall forever).
+  const uint64_t after = Watchdog::ActivityFingerprint();
+  ERMINER_COUNT("watchdog/checks", 1);
+  ERMINER_COUNT("profiler/samples", 1);
+  ERMINER_COUNT("telemetry/requests", 1);
+  EXPECT_EQ(Watchdog::ActivityFingerprint(), after);
+}
+
+}  // namespace
+}  // namespace erminer::obs

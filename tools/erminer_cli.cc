@@ -57,8 +57,18 @@
 //   --run-dir=DIR           per-run manifest: config.json at start,
 //                           episodes.jsonl appended live during RL
 //                           training, summary.json on clean completion
-// SIGINT/SIGTERM flush metrics/trace/stream files before exiting, so an
-// interrupted run still leaves its artifacts.
+//   --profile-out=FILE[:hz] continuous sampling CPU profiler (SIGPROF,
+//                           default 99 Hz): collapsed stacks with the
+//                           innermost ERMINER_SPAN as root frame, written
+//                           on exit (tools/flamegraph.py renders SVG).
+//                           Also live via GET /profile?seconds=N&hz=H on
+//                           the telemetry server.
+//   --watchdog-sec=N        stall watchdog: if no span/metric/pool
+//                           activity for N seconds, write a stall artifact
+//                           (all-thread span stacks + profile burst) to
+//                           the run dir (or cwd) and log a stall event
+// SIGINT/SIGTERM flush metrics/trace/stream/profile files before exiting,
+// so an interrupted run still leaves its artifacts.
 
 #include <cstdio>
 #include <cstdlib>
@@ -84,10 +94,12 @@
 #include "eval/pipeline.h"
 #include "obs/flush.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/run_manifest.h"
 #include "obs/sampler.h"
 #include "obs/telemetry_server.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "rl/rl_miner.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -456,6 +468,7 @@ int Usage() {
 // sampler stream / episodes.jsonl are flushed per line anyway.
 std::string g_metrics_json;
 std::string g_trace_json;
+std::string g_profile_out;
 std::unique_ptr<obs::Sampler> g_sampler;
 std::unique_ptr<obs::RunManifest> g_manifest;
 
@@ -465,6 +478,12 @@ void FlushObsExportFiles() {
   }
   if (!g_trace_json.empty()) {
     obs::TraceRecorder::Global().WriteJsonFile(g_trace_json);
+  }
+  if (!g_profile_out.empty()) {
+    // Stop drains the rings so the file covers everything sampled; on the
+    // normal exit path FinishTelemetry has already stopped it (idempotent).
+    obs::Profiler::Global().Stop();
+    obs::Profiler::Global().WriteCollapsedFile(g_profile_out);
   }
 }
 
@@ -525,7 +544,29 @@ void ArmTelemetry(const std::string& cmd, Flags* flags) {
     obs::SetActiveRunManifest(g_manifest.get());
   }
 
-  if (!g_metrics_json.empty() || !g_trace_json.empty()) {
+  const std::string profile_spec = flags->Get("profile-out");
+  if (!profile_spec.empty()) {
+    obs::ProfilerOptions popts;
+    g_profile_out = obs::ParseProfileOutSpec(profile_spec, &popts.hz);
+    if (!obs::Profiler::Global().Start(popts, &error)) {
+      std::fprintf(stderr, "profiler: %s\n", error.c_str());
+      std::exit(1);
+    }
+  }
+
+  const double watchdog_sec = flags->GetDouble("watchdog-sec", 0);
+  if (watchdog_sec > 0) {
+    obs::WatchdogOptions wopts;
+    wopts.deadline_sec = watchdog_sec;
+    wopts.artifact_dir = run_dir.empty() ? "." : run_dir;
+    if (!obs::Watchdog::Global().Start(wopts, &error)) {
+      std::fprintf(stderr, "watchdog: %s\n", error.c_str());
+      std::exit(1);
+    }
+  }
+
+  if (!g_metrics_json.empty() || !g_trace_json.empty() ||
+      !g_profile_out.empty()) {
     obs::RegisterFlush(FlushObsExportFiles);
     obs::InstallSignalFlushHandlers();
   }
@@ -536,6 +577,22 @@ void ArmTelemetry(const std::string& cmd, Flags* flags) {
 /// its absence), export files, sockets closed.
 void FinishTelemetry(int rc, double wall_seconds) {
   obs::SetPhase("shutdown");
+  obs::Watchdog::Global().Stop();
+  if (!g_profile_out.empty()) {
+    obs::Profiler::Global().Stop();
+    if (!obs::Profiler::Global().WriteCollapsedFile(g_profile_out)) {
+      std::fprintf(stderr, "failed to write %s\n", g_profile_out.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "profile: %llu samples (%llu dropped) -> %s "
+                   "(render: tools/flamegraph.py %s > profile.svg)\n",
+                   static_cast<unsigned long long>(
+                       obs::Profiler::Global().num_samples()),
+                   static_cast<unsigned long long>(
+                       obs::Profiler::Global().num_dropped()),
+                   g_profile_out.c_str(), g_profile_out.c_str());
+    }
+  }
   if (g_sampler != nullptr) g_sampler->Stop();
   if (g_manifest != nullptr) {
     obs::SetActiveRunManifest(nullptr);

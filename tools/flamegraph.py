@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Render a collapsed-stack profile as a static SVG flame graph.
+
+Input is the format written by --profile-out / GET /profile (one stack per
+line, frames separated by ';', trailing sample count):
+
+    rl/train;main;TrainLoop;Environment::Step 42
+
+Usage:
+    tools/flamegraph.py profile.collapsed > profile.svg
+    curl -s localhost:9100/profile?seconds=5 | tools/flamegraph.py - > p.svg
+
+Standard library only — no external dependencies, no browser needed until
+you open the SVG. Frames are laid out root-at-bottom; hover any rect for
+the full frame name, sample count and percentage.
+"""
+
+import argparse
+import html
+import sys
+
+FRAME_HEIGHT = 16
+FONT_SIZE = 11
+CHAR_WIDTH = 6.5  # rough monospace advance at FONT_SIZE, for truncation
+MIN_RECT_WIDTH = 0.3  # px; narrower frames are dropped from the rendering
+
+
+class Node:
+    __slots__ = ("name", "total", "children")
+
+    def __init__(self, name):
+        self.name = name
+        self.total = 0
+        self.children = {}
+
+    def child(self, name):
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = Node(name)
+        return node
+
+
+def parse_collapsed(lines):
+    """Folds 'a;b;c N' lines into a frame tree; returns the root node."""
+    root = Node("all")
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        stack, sep, count_str = line.rpartition(" ")
+        if not sep:
+            continue
+        try:
+            count = int(count_str)
+        except ValueError:
+            continue
+        if count <= 0 or not stack:
+            continue
+        root.total += count
+        node = root
+        for frame in stack.split(";"):
+            node = node.child(frame)
+            node.total += count
+    return root
+
+
+def frame_color(name):
+    """Deterministic warm color per frame name (FNV-1a hash → palette)."""
+    h = 2166136261
+    for c in name.encode("utf-8", "replace"):
+        h = ((h ^ c) * 16777619) & 0xFFFFFFFF
+    # Warm flame palette: red-orange-yellow band.
+    r = 205 + (h & 0x3F) % 50
+    g = 60 + ((h >> 8) & 0xFF) % 150
+    b = ((h >> 16) & 0x3F) % 60
+    return f"rgb({r},{g},{b})"
+
+
+def layout(root, width):
+    """Yields (node, depth, x, w) rects, root-first, in pixel coordinates."""
+    if root.total <= 0:
+        return
+    scale = width / root.total
+
+    def walk(node, depth, x):
+        w = node.total * scale
+        if w < MIN_RECT_WIDTH:
+            return
+        yield node, depth, x, w
+        cx = x
+        # Sorted for deterministic output across runs.
+        for name in sorted(node.children):
+            child = node.children[name]
+            yield from walk(child, depth + 1, cx)
+            cx += child.total * scale
+
+    cx = 0.0
+    for name in sorted(root.children):
+        child = root.children[name]
+        yield from walk(child, 0, cx)
+        cx += child.total * scale
+
+
+def max_depth(node, depth=0):
+    if not node.children:
+        return depth
+    return max(max_depth(c, depth + 1) for c in node.children.values())
+
+
+def render_svg(root, width, title):
+    depth_levels = max_depth(root) if root.children else 1
+    height = (depth_levels + 1) * FRAME_HEIGHT + 40
+    out = []
+    out.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" '
+        f'font-size="{FONT_SIZE}">'
+    )
+    out.append(
+        f'<rect width="{width}" height="{height}" fill="#f8f8f8"/>'
+    )
+    out.append(
+        f'<text x="{width / 2:.0f}" y="16" text-anchor="middle" '
+        f'font-size="14">{html.escape(title)} '
+        f"({root.total} samples)</text>"
+    )
+    base_y = height - FRAME_HEIGHT - 4  # root row at the bottom
+    for node, depth, x, w in layout(root, width):
+        y = base_y - depth * FRAME_HEIGHT
+        pct = 100.0 * node.total / root.total
+        label = html.escape(node.name)
+        out.append("<g>")
+        out.append(
+            f"<title>{label} — {node.total} samples ({pct:.2f}%)</title>"
+        )
+        out.append(
+            f'<rect x="{x:.2f}" y="{y}" width="{w:.2f}" '
+            f'height="{FRAME_HEIGHT - 1}" fill="{frame_color(node.name)}" '
+            f'rx="1"/>'
+        )
+        max_chars = int((w - 4) / CHAR_WIDTH)
+        if max_chars >= 3:
+            text = node.name
+            if len(text) > max_chars:
+                text = text[: max_chars - 1] + "…"
+            out.append(
+                f'<text x="{x + 2:.2f}" y="{y + FRAME_HEIGHT - 4}" '
+                f'fill="#000">{html.escape(text)}</text>'
+            )
+        out.append("</g>")
+    out.append("</svg>")
+    return "\n".join(out) + "\n"
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="collapsed-stack profile -> static SVG flame graph"
+    )
+    ap.add_argument("input", help="collapsed profile file, or - for stdin")
+    ap.add_argument("--width", type=int, default=1200, help="SVG width px")
+    ap.add_argument("--title", default="erminer CPU profile")
+    args = ap.parse_args()
+
+    if args.input == "-":
+        lines = sys.stdin.readlines()
+    else:
+        with open(args.input, encoding="utf-8", errors="replace") as f:
+            lines = f.readlines()
+
+    root = parse_collapsed(lines)
+    if root.total == 0:
+        sys.stderr.write("flamegraph.py: no samples in input\n")
+        return 1
+    sys.stdout.write(render_svg(root, args.width, args.title))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
