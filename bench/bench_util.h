@@ -37,6 +37,7 @@
 #include "datagen/generators.h"
 #include "eval/experiment.h"
 #include "eval/table.h"
+#include "nn/simd.h"
 #include "obs/flush.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -230,15 +231,25 @@ struct BenchFlags {
 /// that advanced since the previous record — so a BENCH_*.json trajectory
 /// explains each point's wall time in node expansions, prune counts and
 /// cache hits, not just its duration.
+///
+/// The active NN kernel dispatch level (`simd`) is recorded with every
+/// point: timings from different kernel levels are not comparable, and
+/// scripts/bench_compare.py refuses to diff logs whose levels disagree.
+/// Results themselves are bit-identical at every level (docs/perf.md), so
+/// `simd` never participates in identity checks. The registry delta already
+/// carries nn/kernel_flops, so each point's wall time can be read against
+/// the float work it did.
 inline void BenchJson(const std::string& bench, const std::string& fields) {
   static obs::MetricsSnapshot last;  // zero at first record: totals
   obs::MetricsSnapshot now = obs::MetricsRegistry::Global().Snapshot();
   const std::string delta = now.DeltaSince(last).CountersJson();
   last = std::move(now);
-  std::printf("BENCH_JSON {\"bench\":\"%s\",\"threads\":%zu,%s,"
+  std::printf("BENCH_JSON {\"bench\":\"%s\",\"threads\":%zu,"
+              "\"simd\":\"%s\",%s,"
               "\"cpu_seconds\":%.3f,\"peak_rss_bytes\":%zu,"
               "\"metrics\":%s}\n",
-              bench.c_str(), GlobalPool().num_threads(), fields.c_str(),
+              bench.c_str(), GlobalPool().num_threads(),
+              nn::SimdLevelName(nn::ActiveSimdLevel()), fields.c_str(),
               CpuSeconds(), PeakRssBytes(), delta.c_str());
 }
 

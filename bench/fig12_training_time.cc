@@ -39,6 +39,12 @@ int main(int argc, char** argv) {
               FormatDouble(r.inference_seconds, 3),
               std::to_string(r.inference_steps),
               std::to_string(r.rules.size())});
+    BenchJson("fig12_training_time",
+              "\"phase\":\"scratch\",\"steps\":" + std::to_string(steps) +
+                  ",\"train_secs\":" +
+                  FormatDouble(miner.last_train_seconds(), 3) +
+                  ",\"infer_secs\":" + FormatDouble(r.inference_seconds, 3) +
+                  ",\"rules\":" + std::to_string(r.rules.size()));
     if (steps == step_sweep.back()) {
       ERMINER_CHECK_OK(miner.SaveAgent(weights));
     }
@@ -63,6 +69,12 @@ int main(int argc, char** argv) {
               FormatDouble(r.inference_seconds, 3),
               std::to_string(r.inference_steps),
               std::to_string(r.rules.size())});
+    BenchJson("fig12_training_time",
+              "\"phase\":\"finetune\",\"steps\":" + std::to_string(ft) +
+                  ",\"train_secs\":" +
+                  FormatDouble(miner.last_train_seconds(), 3) +
+                  ",\"infer_secs\":" + FormatDouble(r.inference_seconds, 3) +
+                  ",\"rules\":" + std::to_string(r.rules.size()));
   }
   std::printf("\n(b) fine-tuning\n");
   b.Print();

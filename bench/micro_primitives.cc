@@ -1,6 +1,17 @@
 // google-benchmark micro-benchmarks for the primitives every miner is built
 // on: master index construction, eval-column probing, rule evaluation, mask
 // computation, cover refinement, and the value network's forward/backward.
+//
+// The NN benches below are registered in pairs along two axes that are
+// bit-identical by construction (docs/perf.md, "NN kernels"):
+//   - scalar vs SIMD: the `simd` arg pins the kernel dispatch level
+//     (0=off, 1=sse2, 2=avx2); unsupported levels are skipped, not silently
+//     downgraded, so a sweep never mislabels its timings.
+//   - dense vs sparse: the `sparse` arg (or the *Sparse twin bench) feeds
+//     the same one-hot batch as index lists instead of densified rows.
+// The headline pair is BM_DqnTrainStep: {sparse=0,simd=off} is the old
+// Densify + scalar-kernel train step, {sparse=1,simd=highest} is the new
+// default path.
 
 #include <benchmark/benchmark.h>
 
@@ -12,8 +23,11 @@
 #include "eval/experiment.h"
 #include "nn/mlp.h"
 #include "nn/optimizer.h"
+#include "nn/simd.h"
+#include "nn/sparse.h"
 #include "obs/metrics.h"
 #include "rl/dqn.h"
+#include "rl/replay_buffer.h"
 
 namespace erminer {
 namespace {
@@ -200,25 +214,88 @@ void BM_MaskCompute(benchmark::State& state) {
 }
 BENCHMARK(BM_MaskCompute);
 
+/// Pins the kernel dispatch level named by a bench arg for the duration of
+/// one benchmark run, restoring the previous level afterwards so later
+/// benches (and the per-bench default) are unaffected. Skips — rather than
+/// downgrades — when the CPU lacks the level, so a sweep's `simd` labels
+/// are always truthful.
+struct SimdArgScope {
+  nn::SimdLevel prev;
+  bool ok = false;
+  SimdArgScope(benchmark::State& state, long level_arg)
+      : prev(nn::ActiveSimdLevel()) {
+    const auto level = static_cast<nn::SimdLevel>(level_arg);
+    if (!nn::SimdLevelSupported(level)) {
+      state.SkipWithError("SIMD level not supported by this CPU");
+      return;
+    }
+    nn::SetSimdLevel(level);
+    ok = true;
+  }
+  ~SimdArgScope() { nn::SetSimdLevel(prev); }
+};
+
+/// One-hot batch shared by the dense/sparse Mlp pairs below: row i lights
+/// column i % dim, exactly what the pre-sparse bench fed Forward().
+Tensor OneHotDense(size_t batch, size_t dim) {
+  Tensor x(batch, dim, 0.0f);
+  for (size_t i = 0; i < batch; ++i) x.at(i, i % dim) = 1.0f;
+  return x;
+}
+
+nn::SparseRows OneHotSparse(size_t batch, size_t dim) {
+  nn::SparseRows x;
+  x.Clear(dim);
+  for (size_t i = 0; i < batch; ++i) {
+    const int32_t idx = static_cast<int32_t>(i % dim);
+    x.AddRow(&idx, 1);
+  }
+  return x;
+}
+
 void BM_MlpForward(benchmark::State& state) {
+  SimdArgScope simd(state, state.range(1));
+  if (!simd.ok) return;
   Rng rng(1);
   const size_t dim = static_cast<size_t>(state.range(0));
   Mlp mlp({dim, 128, 128, dim + 1}, &rng);
-  Tensor x(64, dim, 0.0f);
-  for (size_t i = 0; i < 64; ++i) x.at(i, i % dim) = 1.0f;
+  Tensor x = OneHotDense(64, dim);
   for (auto _ : state) {
     benchmark::DoNotOptimize(mlp.Forward(x).size());
   }
 }
-BENCHMARK(BM_MlpForward)->Arg(64)->Arg(256);
+BENCHMARK(BM_MlpForward)
+    ->ArgNames({"dim", "simd"})
+    ->Args({64, 0})->Args({64, 1})->Args({64, 2})
+    ->Args({256, 0})->Args({256, 1})->Args({256, 2});
+
+/// Same batch as BM_MlpForward fed as index lists; the outputs are
+/// bit-identical (tests/nn_kernel_differential_test.cc), only the first
+/// layer's input scan disappears.
+void BM_MlpForwardSparse(benchmark::State& state) {
+  SimdArgScope simd(state, state.range(1));
+  if (!simd.ok) return;
+  Rng rng(1);
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Mlp mlp({dim, 128, 128, dim + 1}, &rng);
+  nn::SparseRows x = OneHotSparse(64, dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.ForwardSparse(x).size());
+  }
+}
+BENCHMARK(BM_MlpForwardSparse)
+    ->ArgNames({"dim", "simd"})
+    ->Args({64, 0})->Args({64, 1})->Args({64, 2})
+    ->Args({256, 0})->Args({256, 1})->Args({256, 2});
 
 void BM_MlpForwardBackward(benchmark::State& state) {
+  SimdArgScope simd(state, state.range(1));
+  if (!simd.ok) return;
   Rng rng(1);
   const size_t dim = static_cast<size_t>(state.range(0));
   Mlp mlp({dim, 128, 128, dim + 1}, &rng);
   Adam opt(1e-3f);
-  Tensor x(64, dim, 0.0f);
-  for (size_t i = 0; i < 64; ++i) x.at(i, i % dim) = 1.0f;
+  Tensor x = OneHotDense(64, dim);
   for (auto _ : state) {
     Tensor out = mlp.Forward(x);
     mlp.ZeroGrad();
@@ -226,7 +303,76 @@ void BM_MlpForwardBackward(benchmark::State& state) {
     opt.Step(mlp.Parameters(), mlp.Gradients());
   }
 }
-BENCHMARK(BM_MlpForwardBackward)->Arg(64)->Arg(256);
+BENCHMARK(BM_MlpForwardBackward)
+    ->ArgNames({"dim", "simd"})
+    ->Args({64, 0})->Args({64, 1})->Args({64, 2})
+    ->Args({256, 0})->Args({256, 1})->Args({256, 2});
+
+void BM_MlpForwardBackwardSparse(benchmark::State& state) {
+  SimdArgScope simd(state, state.range(1));
+  if (!simd.ok) return;
+  Rng rng(1);
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Mlp mlp({dim, 128, 128, dim + 1}, &rng);
+  Adam opt(1e-3f);
+  nn::SparseRows x = OneHotSparse(64, dim);
+  for (auto _ : state) {
+    Tensor out = mlp.ForwardSparse(x);
+    mlp.ZeroGrad();
+    mlp.Backward(out);
+    opt.Step(mlp.Parameters(), mlp.Gradients());
+  }
+}
+BENCHMARK(BM_MlpForwardBackwardSparse)
+    ->ArgNames({"dim", "simd"})
+    ->Args({64, 0})->Args({64, 1})->Args({64, 2})
+    ->Args({256, 0})->Args({256, 1})->Args({256, 2});
+
+/// The whole DQN update — state encoding, three forwards, backward, Adam —
+/// across the two overhaul axes. {sparse=0, simd=0} reproduces the
+/// pre-overhaul train step (Densify + scalar kernels); {sparse=1,
+/// simd=highest} is the shipped default. Rule keys average ~3 active
+/// indices out of state_dim, the regime the miner actually trains in.
+void BM_DqnTrainStep(benchmark::State& state) {
+  SimdArgScope simd(state, state.range(1));
+  if (!simd.ok) return;
+  const size_t state_dim = 512;
+  const size_t num_actions = state_dim + 1;
+  DqnOptions o;
+  o.sparse_state = state.range(0) != 0;
+  o.batch_size = 64;
+  o.min_replay = 64;
+  o.target_sync_every = 50;
+  o.seed = 11;
+  DqnAgent agent(state_dim, num_actions, o);
+  Rng rng(5);
+  for (int t = 0; t < 256; ++t) {
+    Transition tr;
+    for (int32_t i = 0; i < static_cast<int32_t>(state_dim); ++i) {
+      if (rng.NextUint64(state_dim) < 3) tr.state.push_back(i);
+    }
+    tr.next_state = tr.state;
+    tr.action = static_cast<int32_t>(rng.NextUint64(num_actions));
+    if (tr.action < static_cast<int32_t>(state_dim) &&
+        (tr.next_state.empty() || tr.next_state.back() < tr.action)) {
+      tr.next_state.push_back(tr.action);
+    }
+    tr.reward = static_cast<float>(rng.NextUint64(100)) * 0.01f;
+    tr.next_mask.assign(num_actions, 1);
+    tr.done = (t % 9 == 0);
+    agent.Observe(std::move(tr));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.TrainStep());
+  }
+}
+BENCHMARK(BM_DqnTrainStep)
+    ->ArgNames({"sparse", "simd"})
+    ->Args({0, 0})                      // pre-overhaul baseline
+    ->Args({1, 0})                      // sparse encoding alone
+    ->Args({0, 2})                      // SIMD alone (avx2)
+    ->Args({1, 1})                      // sparse + sse2
+    ->Args({1, 2});                     // shipped default (avx2)
 
 void BM_EnvStep(benchmark::State& state) {
   const Corpus& c = BenchCorpus();

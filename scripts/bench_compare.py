@@ -22,13 +22,21 @@ timing regresses by more than --threshold percent (default 10) while both
 sides exceed --min-secs (default 0.01 s — below that, timer noise
 dominates). Identity mismatches (records present on only one side) are
 reported but are not failures: sweeps legitimately differ across flags.
+
+The `simd` field (the NN kernel dispatch level, bench/bench_util.h) is
+metadata, not identity: results are bit-identical across levels, so records
+from different levels describe the same work. But their timings are not
+comparable — if both logs carry `simd` and their level sets differ, the
+comparison is refused outright rather than reporting a phantom
+regression/improvement. Re-run one side under ERMINER_SIMD=<level> to
+match. Logs predating the field compare as before.
 """
 
 import json
 import sys
 
 MARKER = "BENCH_JSON "
-NON_IDENTITY = {"cpu_seconds", "peak_rss_bytes", "metrics"}
+NON_IDENTITY = {"cpu_seconds", "peak_rss_bytes", "metrics", "simd"}
 # Observability loss counters: nonzero values mean the profile / sampled
 # history under-represents the run, so timings may look cleaner than they
 # were. Reported as a warning, never a failure.
@@ -62,9 +70,11 @@ def identity(record):
 
 
 def load(path):
-    """path -> ({identity: {timing_key: mean_value}}, {drop_counter: total})."""
+    """path -> ({identity: {timing_key: mean}}, {drop_counter: total},
+    {simd levels seen})."""
     sums = {}
     drops = {}
+    simd = set()
     try:
         lines = open(path, encoding="utf-8").read().splitlines()
     except OSError as e:
@@ -77,6 +87,8 @@ def load(path):
             record = json.loads(line[pos + len(MARKER):])
         except json.JSONDecodeError as e:
             sys.exit(f"bench_compare: bad BENCH_JSON line in {path}: {e}")
+        if "simd" in record:
+            simd.add(record["simd"])
         timings = {k: timing_seconds(k, float(v)) for k, v in record.items()
                    if is_timing(k) and isinstance(v, (int, float))}
         bucket = sums.setdefault(identity(record), {})
@@ -88,7 +100,7 @@ def load(path):
             if isinstance(value, (int, float)) and value > 0:
                 drops[counter] = drops.get(counter, 0) + value
     return ({ident: {k: total / count for k, (total, count) in bucket.items()}
-             for ident, bucket in sums.items()}, drops)
+             for ident, bucket in sums.items()}, drops, simd)
 
 
 def describe(ident):
@@ -115,12 +127,19 @@ def main(argv):
         sys.exit("usage: bench_compare.py BASELINE CANDIDATE "
                  "[--threshold=PCT] [--min-secs=S]")
 
-    base, base_drops = load(paths[0])
-    cand, cand_drops = load(paths[1])
+    base, base_drops, base_simd = load(paths[0])
+    cand, cand_drops, cand_simd = load(paths[1])
     if not base:
         sys.exit(f"bench_compare: no BENCH_JSON records in {paths[0]}")
     if not cand:
         sys.exit(f"bench_compare: no BENCH_JSON records in {paths[1]}")
+    if base_simd and cand_simd and base_simd != cand_simd:
+        sys.exit(
+            f"bench_compare: SIMD kernel levels differ — {paths[0]} ran at "
+            f"{{{', '.join(sorted(base_simd))}}} but {paths[1]} ran at "
+            f"{{{', '.join(sorted(cand_simd))}}}; timings from different "
+            f"kernel levels are not comparable. Re-run one side under "
+            f"ERMINER_SIMD=<level> to match.")
     for path, drops in ((paths[0], base_drops), (paths[1], cand_drops)):
         for counter, total in sorted(drops.items()):
             print(f"warning: {path} lost {total:.0f} {counter} samples — "

@@ -156,6 +156,30 @@ python3 tools/flamegraph.py "$out/prof_rl.collapsed" > "$out/prof_rl.svg"
 echo "flame graph rendered: $out/prof_rl.svg"
 
 echo
+echo "=== NN kernel profile smoke (fig12 + --profile-out) ==="
+# The sparse+SIMD overhaul (docs/perf.md, "NN kernels") removed the
+# Densify step and the dense first-layer scan from the DQN train path.
+# Profile a training benchmark and assert the train-step stacks no longer
+# root any time there — a tripwire against the densification creeping back.
+if [[ ! -x "$build/bench/fig12_training_time" ]]; then
+  echo "building fig12_training_time in $build ..." >&2
+  cmake --build "$build" -j "$(nproc)" --target fig12_training_time >/dev/null
+fi
+"$build/bench/fig12_training_time" \
+  --profile-out="$out/prof_fig12.collapsed:199" > "$out/fig12_bench.log"
+train_stacks=$(grep -c '^dqn/train_step;' "$out/prof_fig12.collapsed" || true)
+if [[ "$train_stacks" -lt 1 ]]; then
+  echo "error: no dqn/train_step stacks sampled from fig12" >&2
+  exit 1
+fi
+if grep -q 'Densify' "$out/prof_fig12.collapsed"; then
+  echo "error: Densify is back in the train-step profile:" >&2
+  grep 'Densify' "$out/prof_fig12.collapsed" >&2
+  exit 1
+fi
+echo "train-step stacks sampled: $train_stacks; none spend time in Densify"
+
+echo
 echo "profile: traces and metrics written to $out/"
 echo "open a trace_*.json in chrome://tracing or https://ui.perfetto.dev"
 echo "open $out/prof_rl.svg in a browser for the CPU flame graph"

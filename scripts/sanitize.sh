@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Sanitizer gate for the concurrency layer (see docs/parallelism.md).
 #   scripts/sanitize.sh           TSan on the concurrency tests, then
-#                                 ASan+UBSan on the whole suite
+#                                 ASan+UBSan on the whole suite, then
+#                                 UBSan-at-full-opt on the SIMD kernels
 #   scripts/sanitize.sh --tsan    TSan stage only
 #   scripts/sanitize.sh --asan    ASan+UBSan stage only
+#   scripts/sanitize.sh --ubsan   UBSan kernel stage only
 # The TSan stage runs only the tests labelled `concurrency`, `checkpoint`
 # or `profiler` (the pool, differential, stress and obs_concurrency tests,
 # the checkpoint/crash-resume harness, and the SIGPROF profiler/watchdog
@@ -11,16 +13,23 @@
 # those tests are written to maximize interleavings, so they are where a
 # data race in the pool, the cache, the index, the metrics/trace layer,
 # the signal-checkpoint path or the profiler's rings would show.
+# The UBSan stage exists because the ASan stage changes codegen: it builds
+# with -DERMINER_SANITIZE=undefined (UBSan alone, every finding fatal, no
+# ASan instrumentation perturbing vectorization) and runs the NN kernel
+# differential test, so the SSE2/AVX2 kernels are checked for misaligned
+# loads and out-of-bounds lane arithmetic in the same codegen that ships.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_tsan=true
 run_asan=true
+run_ubsan=true
 case "${1:-}" in
-  --tsan) run_asan=false ;;
-  --asan) run_tsan=false ;;
+  --tsan) run_asan=false; run_ubsan=false ;;
+  --asan) run_tsan=false; run_ubsan=false ;;
+  --ubsan) run_tsan=false; run_asan=false ;;
   "") ;;
-  *) echo "usage: scripts/sanitize.sh [--tsan|--asan]" >&2; exit 2 ;;
+  *) echo "usage: scripts/sanitize.sh [--tsan|--asan|--ubsan]" >&2; exit 2 ;;
 esac
 
 if $run_tsan; then
@@ -38,6 +47,15 @@ if $run_asan; then
   cmake --build build-asan -j "$(nproc)"
   ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+fi
+
+if $run_ubsan; then
+  echo "=== UBSan at full optimization: NN kernel differential test ==="
+  cmake -B build-ubsan -S . -DERMINER_SANITIZE=undefined
+  cmake --build build-ubsan -j "$(nproc)" --target nn_kernel_differential_test
+  # Every dispatch level the CPU offers, so the vector TUs actually run.
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+    ./build-ubsan/tests/nn_kernel_differential_test
 fi
 
 echo "sanitize: all stages passed"

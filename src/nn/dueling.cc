@@ -3,6 +3,8 @@
 #include <istream>
 #include <ostream>
 
+#include "nn/kernels.h"
+
 namespace erminer {
 
 DuelingNet::DuelingNet(std::vector<size_t> trunk_dims, size_t num_actions,
@@ -16,40 +18,77 @@ DuelingNet::DuelingNet(std::vector<size_t> trunk_dims, size_t num_actions,
       std::make_unique<Linear>(trunk_dims_.back(), num_actions_, rng);
 }
 
-Tensor DuelingNet::Forward(const Tensor& x) {
-  trunk_out_ = trunk_->Forward(x);  // pre-ReLU feature
-  Tensor f = Relu(trunk_out_);
-  Tensor v = value_->Forward(f);          // [B, 1]
-  Tensor a = advantage_->Forward(f);      // [B, A]
-  Tensor q(a.rows(), num_actions_);
-  for (size_t b = 0; b < a.rows(); ++b) {
+const Tensor& DuelingNet::Forward(const Tensor& x) {
+  trunk_->Forward(x);  // pre-ReLU feature, cached inside the trunk
+  return FinishForward();
+}
+
+const Tensor& DuelingNet::ForwardSparse(const nn::SparseRows& x) {
+  trunk_->ForwardSparse(x);
+  return FinishForward();
+}
+
+const Tensor& DuelingNet::FinishForward() {
+  const nn::KernelOps& ops = nn::Ops();
+  const Tensor& trunk_out = trunk_->output();
+  const size_t bsz = trunk_out.rows();
+  const size_t fdim = trunk_out.cols();
+  feat_.Resize(bsz, fdim);
+  ops.relu(feat_.data().data(), trunk_out.data().data(), bsz * fdim);
+  v_.Resize(bsz, 1);
+  a_.Resize(bsz, num_actions_);
+  value_->ForwardInto(feat_.data().data(), bsz, v_.data().data());
+  advantage_->ForwardInto(feat_.data().data(), bsz, a_.data().data());
+  q_.Resize(bsz, num_actions_);
+  const float* pv = v_.data().data();
+  const float* pa = a_.data().data();
+  float* pq = q_.data().data();
+  for (size_t b = 0; b < bsz; ++b) {
+    const float* arow = pa + b * num_actions_;
+    float* qrow = pq + b * num_actions_;
     float mean = 0.0f;
-    for (size_t i = 0; i < num_actions_; ++i) mean += a.at(b, i);
+    for (size_t i = 0; i < num_actions_; ++i) mean += arow[i];
     mean /= static_cast<float>(num_actions_);
     for (size_t i = 0; i < num_actions_; ++i) {
-      q.at(b, i) = v.at(b, 0) + a.at(b, i) - mean;
+      qrow[i] = pv[b] + arow[i] - mean;
     }
   }
-  return q;
+  return q_;
 }
 
 void DuelingNet::Backward(const Tensor& dq) {
   ERMINER_CHECK(dq.cols() == num_actions_);
   const size_t bsz = dq.rows();
-  Tensor dv(bsz, 1, 0.0f);
-  Tensor da(bsz, num_actions_, 0.0f);
+  ERMINER_CHECK(bsz == feat_.rows());
+  const size_t fdim = feat_.cols();
+  ws_.Reset();
+  dv_.Resize(bsz, 1);
+  da_.Resize(bsz, num_actions_);
+  const float* pdq = dq.data().data();
+  float* pdv = dv_.data().data();
+  float* pda = da_.data().data();
   for (size_t b = 0; b < bsz; ++b) {
+    const float* dqrow = pdq + b * num_actions_;
+    float* darow = pda + b * num_actions_;
     float sum = 0.0f;
-    for (size_t i = 0; i < num_actions_; ++i) sum += dq.at(b, i);
-    dv.at(b, 0) = sum;
+    for (size_t i = 0; i < num_actions_; ++i) sum += dqrow[i];
+    pdv[b] = sum;
     const float mean_grad = sum / static_cast<float>(num_actions_);
     for (size_t i = 0; i < num_actions_; ++i) {
-      da.at(b, i) = dq.at(b, i) - mean_grad;
+      darow[i] = dqrow[i] - mean_grad;
     }
   }
-  Tensor df = value_->Backward(dv);
-  Axpy(1.0f, advantage_->Backward(da), &df);
-  trunk_->Backward(ReluBackward(trunk_out_, df));
+  df_.Resize(bsz, fdim);
+  dfa_.Resize(bsz, fdim);
+  value_->Backward(feat_.data().data(), pdv, bsz, df_.data().data(), &ws_);
+  advantage_->Backward(feat_.data().data(), pda, bsz, dfa_.data().data(),
+                       &ws_);
+  const nn::KernelOps& ops = nn::Ops();
+  ops.axpy(df_.data().data(), dfa_.data().data(), 1.0f, bsz * fdim);
+  // In-place ReLU mask against the trunk's cached pre-activation.
+  ops.relu_bwd(df_.data().data(), trunk_->output().data().data(),
+               df_.data().data(), bsz * fdim);
+  trunk_->Backward(df_);
 }
 
 void DuelingNet::ZeroGrad() {

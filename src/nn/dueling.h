@@ -2,6 +2,10 @@
 // mean_a A(s,a). One of the DQN-variant architectures Sec. III-C.5 alludes
 // to. The trunk is a shared ReLU MLP; the two linear heads and the
 // aggregation have explicit backward passes.
+//
+// Like Mlp, Forward returns a reference into per-instance buffers (valid
+// until the next Forward*) and ForwardSparse feeds the trunk the one-hot
+// index-list encoding — bit-identical to the dense path.
 
 #ifndef ERMINER_NN_DUELING_H_
 #define ERMINER_NN_DUELING_H_
@@ -11,6 +15,8 @@
 #include <vector>
 
 #include "nn/mlp.h"
+#include "nn/sparse.h"
+#include "nn/workspace.h"
 
 namespace erminer {
 
@@ -21,8 +27,12 @@ class DuelingNet {
   /// 1 (value) and num_actions (advantage).
   DuelingNet(std::vector<size_t> trunk_dims, size_t num_actions, Rng* rng);
 
-  /// Q-values, [batch, num_actions].
-  Tensor Forward(const Tensor& x);
+  /// Q-values, [batch, num_actions]; valid until the next Forward* call.
+  const Tensor& Forward(const Tensor& x);
+  /// One-hot fast path; `x` must outlive the matching Backward.
+  const Tensor& ForwardSparse(const nn::SparseRows& x);
+
+  const Tensor& output() const { return q_; }
 
   /// dL/dQ -> gradients of trunk and heads.
   void Backward(const Tensor& dq);
@@ -35,16 +45,26 @@ class DuelingNet {
   size_t input_dim() const { return trunk_dims_.front(); }
   size_t num_actions() const { return num_actions_; }
 
+  size_t WorkspaceBytes() const { return trunk_->WorkspaceBytes() + ws_.bytes(); }
+
   Status Save(std::ostream& os) const;
   static Result<DuelingNet> Load(std::istream& is);
 
  private:
+  /// Heads + aggregation over the trunk's (pre-ReLU) output.
+  const Tensor& FinishForward();
+
   std::vector<size_t> trunk_dims_;
   size_t num_actions_;
-  std::unique_ptr<Mlp> trunk_;       // input -> feature (ReLU on output too)
+  std::unique_ptr<Mlp> trunk_;       // input -> feature (ReLU applied here)
   std::unique_ptr<Linear> value_;    // feature -> 1
   std::unique_ptr<Linear> advantage_;  // feature -> num_actions
-  Tensor trunk_out_;                 // cached pre-ReLU trunk output
+
+  // Per-batch buffers, reused across calls.
+  Tensor feat_;                      // relu(trunk output)
+  Tensor v_, a_, q_;                 // value, advantage, aggregated Q
+  Tensor dv_, da_, df_, dfa_;        // backward scratch
+  nn::Workspace ws_;                 // head gradient reductions
 };
 
 }  // namespace erminer

@@ -1,0 +1,224 @@
+#include "nn/kernel_launch.h"
+
+#include <algorithm>
+
+#include "nn/kernels.h"
+#include "nn/sparse.h"
+#include "nn/workspace.h"
+#include "obs/metrics.h"
+#include "util/thread_pool.h"
+
+namespace erminer::nn {
+
+namespace {
+
+/// Rows per chunk targeting ~32k flops of work each, so tiny tensors (every
+/// unit-test net, single-row inference) stay single-chunk — which both
+/// avoids pool overhead and keeps their results bit-identical to the
+/// pre-pool serial kernels. The grain depends only on the shapes, never on
+/// the thread count, so results are identical for any pool size. This is
+/// the same rule the dense kernels have used since the thread-pool PR; the
+/// sparse launches reuse it so their chunk boundaries match exactly.
+constexpr size_t kChunkFlops = 32768;
+
+size_t RowGrain(size_t row_cost) {
+  return std::max<size_t>(1, kChunkFlops / std::max<size_t>(1, row_cost));
+}
+
+void CountFlops(size_t flops) { ERMINER_COUNT("nn/kernel_flops", flops); }
+
+}  // namespace
+
+void MatMulInto(const float* a, const float* b, float* c, size_t m, size_t k,
+                size_t n) {
+  CountFlops(2 * m * k * n);
+  const KernelOps& ops = Ops();
+  // Output rows are independent (each reads one row of A), so the
+  // row-parallel split is bit-identical to serial for any grain.
+  GlobalPool().ParallelFor(0, m, RowGrain(k * n),
+                           [&](size_t rb, size_t re) {
+                             ops.matmul_rows(a, b, c, k, n, rb, re);
+                           });
+}
+
+void MatMulTransAInto(const float* a, const float* b, float* out, size_t k,
+                      size_t m, size_t n, Workspace* ws) {
+  CountFlops(2 * k * m * n);
+  const KernelOps& ops = Ops();
+  // Reduces over k (the minibatch dimension in gradient computations):
+  // per-chunk partial products are the "per-thread gradient buffers",
+  // merged below in fixed chunk order so the float sums associate
+  // identically for every thread count.
+  const size_t grain = RowGrain(m * n);
+  const size_t chunks = ThreadPool::NumChunksFor(k, grain);
+  if (chunks <= 1) {
+    ops.matmul_ta_chunk(a, b, out, m, n, 0, k);
+    return;
+  }
+  float* parts = ws->AllocZero(chunks * m * n);
+  GlobalPool().ParallelForChunks(0, k, grain,
+                                 [&](size_t c, size_t pb, size_t pe) {
+                                   ops.matmul_ta_chunk(a, b, parts + c * m * n,
+                                                       m, n, pb, pe);
+                                 });
+  for (size_t c = 0; c < chunks; ++c) {
+    ops.axpy(out, parts + c * m * n, 1.0f, m * n);
+  }
+}
+
+void MatMulTransBInto(const float* a, const float* b, float* c, size_t m,
+                      size_t k, size_t n, Workspace* ws) {
+  CountFlops(2 * m * k * n);
+  const KernelOps& ops = Ops();
+  // Transpose b (n x k) -> bt (k x n): a bit-exact copy that turns the
+  // kernel's inner dimension contiguous. Accumulating c[i,j] over ascending
+  // p through bt is the identical RN operation sequence the original
+  // register dot product performed.
+  float* bt = ws->Alloc(k * n);
+  for (size_t j = 0; j < n; ++j) {
+    const float* brow = b + j * k;
+    for (size_t p = 0; p < k; ++p) bt[p * n + j] = brow[p];
+  }
+  GlobalPool().ParallelFor(0, m, RowGrain(k * n),
+                           [&](size_t rb, size_t re) {
+                             ops.matmul_tbt_rows(a, bt, c, k, n, rb, re);
+                           });
+}
+
+void SumRowsInto(const float* x, float* out, size_t rows, size_t cols,
+                 Workspace* ws) {
+  CountFlops(rows * cols);
+  const KernelOps& ops = Ops();
+  // Ordered reduction over rows: the bias gradient sums identically for
+  // every thread count (single chunk — and old-serial-identical — for the
+  // minibatch sizes the DQN uses).
+  const size_t grain = RowGrain(cols);
+  const size_t chunks = ThreadPool::NumChunksFor(rows, grain);
+  if (chunks <= 1) {
+    ops.sum_rows_chunk(x, out, cols, 0, rows);
+    return;
+  }
+  float* parts = ws->AllocZero(chunks * cols);
+  GlobalPool().ParallelForChunks(0, rows, grain,
+                                 [&](size_t c, size_t rb, size_t re) {
+                                   ops.sum_rows_chunk(x, parts + c * cols,
+                                                      cols, rb, re);
+                                 });
+  for (size_t c = 0; c < chunks; ++c) ops.axpy(out, parts + c * cols, 1.0f, cols);
+}
+
+void SparseLinearForwardInto(const SparseRows& x, const float* w,
+                             const float* bias, float* y, size_t n) {
+  CountFlops(2 * x.nnz() * n + x.rows() * n);
+  const KernelOps& ops = Ops();
+  const size_t rows = x.rows();
+  // Mirrors the dense forward's grain (row cost k*n with k = state_dim);
+  // rows are independent so the split never affects bits.
+  GlobalPool().ParallelFor(
+      0, rows, RowGrain(x.cols() * n), [&](size_t rb, size_t re) {
+        for (size_t r = rb; r < re; ++r) {
+          float* yrow = y + r * n;
+          std::fill(yrow, yrow + n, 0.0f);
+          const int32_t* idx = x.row(r);
+          const size_t cnt = x.row_nnz(r);
+          // Ascending index order == the dense kernel's zero-skip order;
+          // 1.0f * w == w bitwise, so add_row is the exact same update.
+          for (size_t t = 0; t < cnt; ++t) {
+            ops.add_row(yrow, w + static_cast<size_t>(idx[t]) * n, n);
+          }
+          ops.add_row(yrow, bias, n);
+        }
+      });
+}
+
+void SparseMatMulTransAAcc(const SparseRows& x, const float* dy, float* dw,
+                           size_t n, Workspace* ws) {
+  CountFlops(2 * x.nnz() * n);
+  const KernelOps& ops = Ops();
+  const size_t batch = x.rows();
+  const size_t m = x.cols();
+  const size_t nnz = x.nnz();
+  if (batch == 0 || nnz == 0) return;
+
+  // The dense launch chunks the batch with grain RowGrain(m*n) and merges
+  // per-chunk partials in ascending order; replicate those boundaries.
+  const size_t grain_k = RowGrain(m * n);
+
+  // Invert the CSR batch: for each touched w-row, the ascending list of
+  // contributing batch rows. Counting sort over the touched set — O(m)
+  // index scratch, no per-call allocation after warmup.
+  int32_t* cnt = ws->AllocI(m);
+  std::fill(cnt, cnt + m, 0);
+  const int32_t* all = x.row(0);
+  for (size_t t = 0; t < nnz; ++t) ++cnt[all[t]];
+  int32_t* touched = ws->AllocI(nnz);
+  int32_t* pos = ws->AllocI(m);
+  size_t num_touched = 0;
+  int32_t cum = 0;
+  for (size_t i = 0; i < m; ++i) {
+    if (cnt[i] == 0) continue;
+    touched[num_touched++] = static_cast<int32_t>(i);
+    pos[i] = cum;
+    cum += cnt[i];
+  }
+  int32_t* start = ws->AllocI(num_touched + 1);
+  {
+    size_t t = 0;
+    int32_t c = 0;
+    for (size_t i = 0; i < m; ++i) {
+      if (cnt[i] == 0) continue;
+      start[t++] = c;
+      c += cnt[i];
+    }
+    start[num_touched] = c;
+  }
+  int32_t* plist = ws->AllocI(nnz);
+  for (size_t p = 0; p < batch; ++p) {
+    const int32_t* idx = x.row(p);
+    const size_t rn = x.row_nnz(p);
+    for (size_t t = 0; t < rn; ++t) {
+      plist[pos[idx[t]]++] = static_cast<int32_t>(p);
+    }
+  }
+
+  // Touched w-rows are disjoint, so the row split never affects bits; a
+  // per-chunk (row_acc, chunk_tmp) pair of scratch rows comes from one
+  // slab carved before the parallel region.
+  const size_t rgrain = RowGrain(2 * (nnz / num_touched + 1) * n);
+  const size_t rchunks = ThreadPool::NumChunksFor(num_touched, rgrain);
+  float* slab = ws->Alloc(rchunks * 2 * n);
+  GlobalPool().ParallelForChunks(
+      0, num_touched, rgrain, [&](size_t c, size_t tb, size_t te) {
+        float* row_acc = slab + c * 2 * n;
+        float* tmp = row_acc + n;
+        for (size_t t = tb; t < te; ++t) {
+          const size_t i = static_cast<size_t>(touched[t]);
+          // row_acc accumulates the dense launch's merged delta row:
+          // per-batch-chunk partial sums (ascending p within a chunk),
+          // merged in ascending chunk order. Untouched chunks contribute
+          // exact +0.0 rows in the dense merge, so skipping them is
+          // bit-identical.
+          std::fill(row_acc, row_acc + n, 0.0f);
+          size_t cur_chunk = static_cast<size_t>(-1);
+          bool tmp_open = false;
+          for (int32_t q = start[t]; q < start[t + 1]; ++q) {
+            const size_t p = static_cast<size_t>(plist[q]);
+            const size_t ck = p / grain_k;
+            if (ck != cur_chunk) {
+              if (tmp_open) ops.add_row(row_acc, tmp, n);
+              std::fill(tmp, tmp + n, 0.0f);
+              tmp_open = true;
+              cur_chunk = ck;
+            }
+            // one-hot value 1.0f: 1.0f * dy == dy bitwise.
+            ops.add_row(tmp, dy + p * n, n);
+          }
+          if (tmp_open) ops.add_row(row_acc, tmp, n);
+          // dw += 1.0f * delta, restricted to rows where delta is nonzero
+          // (elsewhere dw + 0.0f == dw bitwise: gradients never hold -0.0).
+          ops.add_row(dw + i * n, row_acc, n);
+        }
+      });
+}
+
+}  // namespace erminer::nn

@@ -1,0 +1,61 @@
+// Deterministic parallel launches over the SIMD kernel table (kernels.h).
+//
+// This layer owns the decomposition contract of docs/parallelism.md for the
+// NN: chunk boundaries depend only on shapes (RowGrain targets ~32k flops
+// per chunk), per-chunk partials merge in ascending chunk order on the
+// calling thread, and the sparse launches replicate the dense launches'
+// exact chunk structure — so every function here is bit-identical across
+// --threads values, SIMD levels, and the sparse/dense encodings.
+//
+// Shape checks happen in the callers (which still hold Tensor/SparseRows
+// shapes); buffers here are raw row-major floats. Every launch bumps the
+// nn/kernel_flops counter with its nominal flop count (2mkn for GEMMs,
+// 2*nnz*n for the sparse path — the counter is how a BENCH_JSON record
+// shows the sparse encoding's arithmetic saving).
+
+#ifndef ERMINER_NN_KERNEL_LAUNCH_H_
+#define ERMINER_NN_KERNEL_LAUNCH_H_
+
+#include <cstddef>
+
+namespace erminer::nn {
+
+class SparseRows;
+class Workspace;
+
+/// c (m x n, pre-zeroed) += a (m x k) * b (k x n).
+void MatMulInto(const float* a, const float* b, float* c, size_t m, size_t k,
+                size_t n);
+
+/// out (m x n, pre-zeroed) += a (k x m)^T * b (k x n), reduced over the k
+/// batch rows in deterministic chunk order.
+void MatMulTransAInto(const float* a, const float* b, float* out, size_t k,
+                      size_t m, size_t n, Workspace* ws);
+
+/// c (m x n) = a (m x k) * b (n x k)^T; overwrites c. `ws` holds the
+/// transposed copy of b (an exact bit copy, so this is float-op-free).
+void MatMulTransBInto(const float* a, const float* b, float* c, size_t m,
+                      size_t k, size_t n, Workspace* ws);
+
+/// out (1 x cols, pre-zeroed) += column sums of x (rows x cols), reduced in
+/// deterministic chunk order.
+void SumRowsInto(const float* x, float* out, size_t rows, size_t cols,
+                 Workspace* ws);
+
+/// y (x.rows() x n) = one_hot(x) * w (x.cols() x n) + bias (1 x n);
+/// overwrites y. Gathers w rows in ascending index order — the dense
+/// kernel's zero-skip accumulation order.
+void SparseLinearForwardInto(const SparseRows& x, const float* w,
+                             const float* bias, float* y, size_t n);
+
+/// dw (x.cols() x n) += one_hot(x)^T * dy (x.rows() x n). Bit-identical to
+/// MatMulTransAInto over the densified batch followed by a += merge: the
+/// scatter walks each touched w-row's batch contributions in ascending
+/// order, flushing partial sums at the dense launch's exact batch-chunk
+/// boundaries before merging into dw.
+void SparseMatMulTransAAcc(const SparseRows& x, const float* dy, float* dw,
+                           size_t n, Workspace* ws);
+
+}  // namespace erminer::nn
+
+#endif  // ERMINER_NN_KERNEL_LAUNCH_H_

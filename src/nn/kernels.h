@@ -1,0 +1,76 @@
+// The per-SIMD-level kernel table behind the NN hot loops.
+//
+// Each entry is a raw-pointer inner loop over contiguous row-major data;
+// the deterministic parallel decomposition (which rows / which batch chunk)
+// happens above this layer, in kernel_launch.cc, so the same table serves
+// every --threads value. All three implementations (kernels_scalar.cc,
+// kernels_sse2.cc, kernels_avx2.cc) compute bit-identical results — the
+// vector variants lane over the output-column dimension j with separate
+// mul+add (never FMA), which preserves the scalar per-element operation
+// sequence exactly. Zero-skip semantics are part of the contract: matmul
+// and matmul_ta skip `a == 0.0f` terms (the one-hot fast path the scalar
+// kernels always had), matmul_tbt does not — changing either would change
+// bits under Inf/NaN operands.
+//
+// Bounds are the caller's job (ERMINER_CHECK at the kernel_launch entry
+// points); these loops index raw floats.
+
+#ifndef ERMINER_NN_KERNELS_H_
+#define ERMINER_NN_KERNELS_H_
+
+#include <cstddef>
+
+namespace erminer::nn {
+
+struct KernelOps {
+  /// c[i,:] += a[i,p] * b[p,:] for output rows i in [rb, re); a is (m x k),
+  /// b is (k x n), c is (m x n). Skips a[i,p] == 0.0f terms.
+  void (*matmul_rows)(const float* a, const float* b, float* c, size_t k,
+                      size_t n, size_t rb, size_t re);
+
+  /// One batch chunk of C += A^T B: c(m x n) += a[p,:]^T b[p,:] over batch
+  /// rows p in [pb, pe); a is (k x m), b is (k x n). Skips a[p,i] == 0.0f.
+  void (*matmul_ta_chunk)(const float* a, const float* b, float* c, size_t m,
+                          size_t n, size_t pb, size_t pe);
+
+  /// c[i,:] = sum_p a[i,p] * bt[p,:] for rows i in [rb, re); a is (m x k),
+  /// bt is (k x n) — B already transposed so lanes run over contiguous j.
+  /// No zero skip (the original dot-product kernel had none). Zeroes c rows.
+  void (*matmul_tbt_rows)(const float* a, const float* bt, float* c, size_t k,
+                          size_t n, size_t rb, size_t re);
+
+  /// y[j] += w[j].
+  void (*add_row)(float* y, const float* w, size_t n);
+
+  /// a[j] += s * b[j].
+  void (*axpy)(float* a, const float* b, float s, size_t n);
+
+  /// y[j] = x[j] clamped below at +0.0f (NaN and -0.0f pass through,
+  /// matching `if (v < 0.0f) v = 0.0f`).
+  void (*relu)(float* y, const float* x, size_t n);
+
+  /// g[j] = (x[j] <= 0.0f) ? 0.0f : grad[j]; NaN x keeps grad.
+  void (*relu_bwd)(float* g, const float* x, const float* grad, size_t n);
+
+  /// acc[j] += x[r,j] over rows r in [rb, re); x is (rows x cols).
+  void (*sum_rows_chunk)(const float* x, float* acc, size_t cols, size_t rb,
+                         size_t re);
+
+  /// One Adam update over n elements, in the exact scalar operation order:
+  ///   m = b1*m + (1-b1)*g;  v = b2*v + ((1-b2)*g)*g;
+  ///   p -= (lr * (m/bc1)) / (sqrt(v/bc2) + eps).
+  void (*adam)(float* p, const float* g, float* m, float* v, size_t n,
+               float beta1, float beta2, float lr, float eps, float bc1,
+               float bc2);
+};
+
+extern const KernelOps kScalarOps;  // kernels_scalar.cc
+extern const KernelOps kSse2Ops;    // kernels_sse2.cc
+extern const KernelOps kAvx2Ops;    // kernels_avx2.cc
+
+/// The table for the active SIMD level (simd.h).
+const KernelOps& Ops();
+
+}  // namespace erminer::nn
+
+#endif  // ERMINER_NN_KERNELS_H_

@@ -1,0 +1,150 @@
+// AVX2 kernel table — the 8-wide twin of kernels_sse2.cc; see the header
+// comment there for the lane-op/NaN reasoning. This TU is compiled with
+// -mavx2 -mno-fma -ffp-contract=off (src/nn/CMakeLists.txt): the separate
+// VMULPS + VADDPS must never be contracted into VFMADD, which rounds once
+// instead of twice and would break bit-identity with the scalar kernels.
+
+#include "nn/kernels.h"
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace erminer::nn {
+
+namespace {
+
+constexpr size_t kW = 8;
+
+inline void AddScaledRow(float* c, const float* b, float av, size_t n) {
+  const __m256 vs = _mm256_set1_ps(av);
+  size_t j = 0;
+  for (; j + kW <= n; j += kW) {
+    const __m256 prod = _mm256_mul_ps(vs, _mm256_loadu_ps(b + j));
+    _mm256_storeu_ps(c + j, _mm256_add_ps(_mm256_loadu_ps(c + j), prod));
+  }
+  for (; j < n; ++j) c[j] += av * b[j];
+}
+
+void MatMulRows(const float* a, const float* b, float* c, size_t k, size_t n,
+                size_t rb, size_t re) {
+  for (size_t i = rb; i < re; ++i) {
+    for (size_t p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) continue;
+      AddScaledRow(c + i * n, b + p * n, av, n);
+    }
+  }
+}
+
+void MatMulTaChunk(const float* a, const float* b, float* c, size_t m,
+                   size_t n, size_t pb, size_t pe) {
+  for (size_t p = pb; p < pe; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      AddScaledRow(c + i * n, brow, av, n);
+    }
+  }
+}
+
+void MatMulTbtRows(const float* a, const float* bt, float* c, size_t k,
+                   size_t n, size_t rb, size_t re) {
+  for (size_t i = rb; i < re; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (size_t j = 0; j < n; ++j) crow[j] = 0.0f;
+    for (size_t p = 0; p < k; ++p) {
+      AddScaledRow(crow, bt + p * n, arow[p], n);  // no zero skip here
+    }
+  }
+}
+
+void AddRow(float* y, const float* w, size_t n) {
+  size_t j = 0;
+  for (; j + kW <= n; j += kW) {
+    _mm256_storeu_ps(
+        y + j, _mm256_add_ps(_mm256_loadu_ps(y + j), _mm256_loadu_ps(w + j)));
+  }
+  for (; j < n; ++j) y[j] += w[j];
+}
+
+void Axpy(float* a, const float* b, float s, size_t n) {
+  AddScaledRow(a, b, s, n);
+}
+
+void Relu(float* y, const float* x, size_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  size_t j = 0;
+  for (; j + kW <= n; j += kW) {
+    _mm256_storeu_ps(y + j, _mm256_max_ps(zero, _mm256_loadu_ps(x + j)));
+  }
+  for (; j < n; ++j) {
+    float v = x[j];
+    if (v < 0.0f) v = 0.0f;
+    y[j] = v;
+  }
+}
+
+void ReluBwd(float* g, const float* x, const float* grad, size_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  size_t j = 0;
+  for (; j + kW <= n; j += kW) {
+    const __m256 keep =
+        _mm256_cmp_ps(_mm256_loadu_ps(x + j), zero, _CMP_NLE_UQ);
+    _mm256_storeu_ps(g + j, _mm256_and_ps(keep, _mm256_loadu_ps(grad + j)));
+  }
+  for (; j < n; ++j) g[j] = (x[j] <= 0.0f) ? 0.0f : grad[j];
+}
+
+void SumRowsChunk(const float* x, float* acc, size_t cols, size_t rb,
+                  size_t re) {
+  for (size_t r = rb; r < re; ++r) AddRow(acc, x + r * cols, cols);
+}
+
+void Adam(float* p, const float* g, float* m, float* v, size_t n, float beta1,
+          float beta2, float lr, float eps, float bc1, float bc2) {
+  const __m256 vb1 = _mm256_set1_ps(beta1);
+  const __m256 vb2 = _mm256_set1_ps(beta2);
+  const __m256 v1mb1 = _mm256_set1_ps(1.0f - beta1);
+  const __m256 v1mb2 = _mm256_set1_ps(1.0f - beta2);
+  const __m256 vlr = _mm256_set1_ps(lr);
+  const __m256 veps = _mm256_set1_ps(eps);
+  const __m256 vbc1 = _mm256_set1_ps(bc1);
+  const __m256 vbc2 = _mm256_set1_ps(bc2);
+  size_t j = 0;
+  for (; j + kW <= n; j += kW) {
+    const __m256 gj = _mm256_loadu_ps(g + j);
+    const __m256 mj = _mm256_add_ps(_mm256_mul_ps(vb1, _mm256_loadu_ps(m + j)),
+                                    _mm256_mul_ps(v1mb1, gj));
+    const __m256 vj =
+        _mm256_add_ps(_mm256_mul_ps(vb2, _mm256_loadu_ps(v + j)),
+                      _mm256_mul_ps(_mm256_mul_ps(v1mb2, gj), gj));
+    _mm256_storeu_ps(m + j, mj);
+    _mm256_storeu_ps(v + j, vj);
+    const __m256 mhat = _mm256_div_ps(mj, vbc1);
+    const __m256 vhat = _mm256_div_ps(vj, vbc2);
+    const __m256 denom = _mm256_add_ps(_mm256_sqrt_ps(vhat), veps);
+    const __m256 upd = _mm256_div_ps(_mm256_mul_ps(vlr, mhat), denom);
+    _mm256_storeu_ps(p + j, _mm256_sub_ps(_mm256_loadu_ps(p + j), upd));
+  }
+  for (; j < n; ++j) {
+    const float gj = g[j];
+    m[j] = beta1 * m[j] + (1.0f - beta1) * gj;
+    v[j] = beta2 * v[j] + (1.0f - beta2) * gj * gj;
+    const float mhat = m[j] / bc1;
+    const float vhat = v[j] / bc2;
+    p[j] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+}  // namespace
+
+const KernelOps kAvx2Ops = {
+    MatMulRows, MatMulTaChunk, MatMulTbtRows, AddRow, Axpy,
+    Relu,       ReluBwd,       SumRowsChunk,  Adam,
+};
+
+}  // namespace erminer::nn

@@ -1,0 +1,107 @@
+// Scalar kernel table: the reference implementation every SIMD level must
+// match bit-for-bit. These loops are the original src/nn inner loops,
+// verbatim — the differential test compares the vector tables against this
+// one, and this one against the pre-overhaul history via the repo's golden
+// tests.
+
+#include "nn/kernels.h"
+
+#include <cmath>
+
+namespace erminer::nn {
+
+namespace {
+
+void MatMulRows(const float* a, const float* b, float* c, size_t k, size_t n,
+                size_t rb, size_t re) {
+  for (size_t i = rb; i < re; ++i) {
+    for (size_t p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) continue;  // one-hot inputs make this a big win
+      const float* brow = b + p * n;
+      float* crow = c + i * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTaChunk(const float* a, const float* b, float* c, size_t m,
+                   size_t n, size_t pb, size_t pe) {
+  for (size_t p = pb; p < pe; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTbtRows(const float* a, const float* bt, float* c, size_t k,
+                   size_t n, size_t rb, size_t re) {
+  // Accumulating in memory instead of a register keeps the identical RN
+  // operation sequence per element: acc_{p+1} = rn(acc_p + rn(a*b)).
+  for (size_t i = rb; i < re; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (size_t j = 0; j < n; ++j) crow[j] = 0.0f;
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      const float* brow = bt + p * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void AddRow(float* y, const float* w, size_t n) {
+  for (size_t j = 0; j < n; ++j) y[j] += w[j];
+}
+
+void Axpy(float* a, const float* b, float s, size_t n) {
+  for (size_t j = 0; j < n; ++j) a[j] += s * b[j];
+}
+
+void Relu(float* y, const float* x, size_t n) {
+  for (size_t j = 0; j < n; ++j) {
+    float v = x[j];
+    if (v < 0.0f) v = 0.0f;
+    y[j] = v;
+  }
+}
+
+void ReluBwd(float* g, const float* x, const float* grad, size_t n) {
+  for (size_t j = 0; j < n; ++j) {
+    g[j] = (x[j] <= 0.0f) ? 0.0f : grad[j];
+  }
+}
+
+void SumRowsChunk(const float* x, float* acc, size_t cols, size_t rb,
+                  size_t re) {
+  for (size_t r = rb; r < re; ++r) {
+    const float* row = x + r * cols;
+    for (size_t c = 0; c < cols; ++c) acc[c] += row[c];
+  }
+}
+
+void Adam(float* p, const float* g, float* m, float* v, size_t n, float beta1,
+          float beta2, float lr, float eps, float bc1, float bc2) {
+  for (size_t j = 0; j < n; ++j) {
+    const float gj = g[j];
+    m[j] = beta1 * m[j] + (1.0f - beta1) * gj;
+    v[j] = beta2 * v[j] + (1.0f - beta2) * gj * gj;
+    const float mhat = m[j] / bc1;
+    const float vhat = v[j] / bc2;
+    p[j] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+}  // namespace
+
+const KernelOps kScalarOps = {
+    MatMulRows, MatMulTaChunk, MatMulTbtRows, AddRow, Axpy,
+    Relu,       ReluBwd,       SumRowsChunk,  Adam,
+};
+
+}  // namespace erminer::nn

@@ -1,0 +1,156 @@
+// SSE2 kernel table (baseline on x86-64, so this TU needs no extra arch
+// flags). Lanes run over the output-column dimension j only, 4 floats wide,
+// with separate MULPS + ADDPS — never FMA — so every output element sees
+// the exact scalar operation sequence and the results are bit-identical to
+// kernels_scalar.cc. Scalar tails reuse the same per-element expressions.
+//
+// Sign/NaN edge cases the lane ops were chosen for:
+//   - relu: MAXPS(zero, x) returns the *second* operand when x is NaN or
+//     when both compare equal (so -0.0f passes through), matching
+//     `if (v < 0.0f) v = 0.0f`.
+//   - relu_bwd: CMPNLEPS(x, zero) is true for x > 0 and for NaN x — the
+//     complement of `x <= 0.0f` — and ANDPS with the mask yields +0.0f
+//     where the scalar writes 0.0f.
+//   - adam: SQRTPS and DIVPS are correctly rounded, hence scalar-identical.
+
+#include "nn/kernels.h"
+
+#include <emmintrin.h>
+
+#include <cmath>
+
+namespace erminer::nn {
+
+namespace {
+
+constexpr size_t kW = 4;
+
+inline void AddScaledRow(float* c, const float* b, float av, size_t n) {
+  const __m128 vs = _mm_set1_ps(av);
+  size_t j = 0;
+  for (; j + kW <= n; j += kW) {
+    const __m128 prod = _mm_mul_ps(vs, _mm_loadu_ps(b + j));
+    _mm_storeu_ps(c + j, _mm_add_ps(_mm_loadu_ps(c + j), prod));
+  }
+  for (; j < n; ++j) c[j] += av * b[j];
+}
+
+void MatMulRows(const float* a, const float* b, float* c, size_t k, size_t n,
+                size_t rb, size_t re) {
+  for (size_t i = rb; i < re; ++i) {
+    for (size_t p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) continue;
+      AddScaledRow(c + i * n, b + p * n, av, n);
+    }
+  }
+}
+
+void MatMulTaChunk(const float* a, const float* b, float* c, size_t m,
+                   size_t n, size_t pb, size_t pe) {
+  for (size_t p = pb; p < pe; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      AddScaledRow(c + i * n, brow, av, n);
+    }
+  }
+}
+
+void MatMulTbtRows(const float* a, const float* bt, float* c, size_t k,
+                   size_t n, size_t rb, size_t re) {
+  for (size_t i = rb; i < re; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (size_t j = 0; j < n; ++j) crow[j] = 0.0f;
+    for (size_t p = 0; p < k; ++p) {
+      AddScaledRow(crow, bt + p * n, arow[p], n);  // no zero skip here
+    }
+  }
+}
+
+void AddRow(float* y, const float* w, size_t n) {
+  size_t j = 0;
+  for (; j + kW <= n; j += kW) {
+    _mm_storeu_ps(y + j, _mm_add_ps(_mm_loadu_ps(y + j), _mm_loadu_ps(w + j)));
+  }
+  for (; j < n; ++j) y[j] += w[j];
+}
+
+void Axpy(float* a, const float* b, float s, size_t n) {
+  AddScaledRow(a, b, s, n);
+}
+
+void Relu(float* y, const float* x, size_t n) {
+  const __m128 zero = _mm_setzero_ps();
+  size_t j = 0;
+  for (; j + kW <= n; j += kW) {
+    _mm_storeu_ps(y + j, _mm_max_ps(zero, _mm_loadu_ps(x + j)));
+  }
+  for (; j < n; ++j) {
+    float v = x[j];
+    if (v < 0.0f) v = 0.0f;
+    y[j] = v;
+  }
+}
+
+void ReluBwd(float* g, const float* x, const float* grad, size_t n) {
+  const __m128 zero = _mm_setzero_ps();
+  size_t j = 0;
+  for (; j + kW <= n; j += kW) {
+    const __m128 keep = _mm_cmpnle_ps(_mm_loadu_ps(x + j), zero);
+    _mm_storeu_ps(g + j, _mm_and_ps(keep, _mm_loadu_ps(grad + j)));
+  }
+  for (; j < n; ++j) g[j] = (x[j] <= 0.0f) ? 0.0f : grad[j];
+}
+
+void SumRowsChunk(const float* x, float* acc, size_t cols, size_t rb,
+                  size_t re) {
+  for (size_t r = rb; r < re; ++r) AddRow(acc, x + r * cols, cols);
+}
+
+void Adam(float* p, const float* g, float* m, float* v, size_t n, float beta1,
+          float beta2, float lr, float eps, float bc1, float bc2) {
+  const __m128 vb1 = _mm_set1_ps(beta1);
+  const __m128 vb2 = _mm_set1_ps(beta2);
+  const __m128 v1mb1 = _mm_set1_ps(1.0f - beta1);
+  const __m128 v1mb2 = _mm_set1_ps(1.0f - beta2);
+  const __m128 vlr = _mm_set1_ps(lr);
+  const __m128 veps = _mm_set1_ps(eps);
+  const __m128 vbc1 = _mm_set1_ps(bc1);
+  const __m128 vbc2 = _mm_set1_ps(bc2);
+  size_t j = 0;
+  for (; j + kW <= n; j += kW) {
+    const __m128 gj = _mm_loadu_ps(g + j);
+    const __m128 mj = _mm_add_ps(_mm_mul_ps(vb1, _mm_loadu_ps(m + j)),
+                                 _mm_mul_ps(v1mb1, gj));
+    const __m128 vj = _mm_add_ps(_mm_mul_ps(vb2, _mm_loadu_ps(v + j)),
+                                 _mm_mul_ps(_mm_mul_ps(v1mb2, gj), gj));
+    _mm_storeu_ps(m + j, mj);
+    _mm_storeu_ps(v + j, vj);
+    const __m128 mhat = _mm_div_ps(mj, vbc1);
+    const __m128 vhat = _mm_div_ps(vj, vbc2);
+    const __m128 denom = _mm_add_ps(_mm_sqrt_ps(vhat), veps);
+    const __m128 upd = _mm_div_ps(_mm_mul_ps(vlr, mhat), denom);
+    _mm_storeu_ps(p + j, _mm_sub_ps(_mm_loadu_ps(p + j), upd));
+  }
+  for (; j < n; ++j) {
+    const float gj = g[j];
+    m[j] = beta1 * m[j] + (1.0f - beta1) * gj;
+    v[j] = beta2 * v[j] + (1.0f - beta2) * gj * gj;
+    const float mhat = m[j] / bc1;
+    const float vhat = v[j] / bc2;
+    p[j] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+}  // namespace
+
+const KernelOps kSse2Ops = {
+    MatMulRows, MatMulTaChunk, MatMulTbtRows, AddRow, Axpy,
+    Relu,       ReluBwd,       SumRowsChunk,  Adam,
+};
+
+}  // namespace erminer::nn

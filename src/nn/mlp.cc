@@ -4,6 +4,9 @@
 #include <istream>
 #include <ostream>
 
+#include "nn/kernel_launch.h"
+#include "nn/kernels.h"
+
 namespace erminer {
 
 Linear::Linear(size_t in, size_t out, Rng* rng)
@@ -17,20 +20,49 @@ Linear::Linear(size_t in, size_t out, Rng* rng)
   }
 }
 
-Tensor Linear::Forward(const Tensor& x) {
-  ERMINER_CHECK(x.cols() == weight_.rows());
-  last_input_ = x;
-  Tensor y = MatMul(x, weight_);
-  AddBiasInPlace(&y, bias_);
-  return y;
+void Linear::ForwardInto(const float* x, size_t batch, float* y) const {
+  const size_t in = weight_.rows(), out = weight_.cols();
+  std::fill(y, y + batch * out, 0.0f);
+  nn::MatMulInto(x, weight_.data().data(), y, batch, in, out);
+  const nn::KernelOps& ops = nn::Ops();
+  const float* pb = bias_.data().data();
+  for (size_t r = 0; r < batch; ++r) ops.add_row(y + r * out, pb, out);
 }
 
-Tensor Linear::Backward(const Tensor& dy) {
-  ERMINER_CHECK(dy.cols() == weight_.cols());
-  ERMINER_CHECK(last_input_.rows() == dy.rows());
-  Axpy(1.0f, MatMulTransA(last_input_, dy), &dweight_);
-  Axpy(1.0f, SumRows(dy), &dbias_);
-  return MatMulTransB(dy, weight_);
+void Linear::ForwardSparseInto(const nn::SparseRows& x, float* y) const {
+  ERMINER_CHECK(x.cols() == weight_.rows());
+  nn::SparseLinearForwardInto(x, weight_.data().data(), bias_.data().data(),
+                              y, weight_.cols());
+}
+
+void Linear::Backward(const float* x, const float* dy, size_t batch,
+                      float* dx, nn::Workspace* ws) {
+  const size_t in = weight_.rows(), out = weight_.cols();
+  const nn::KernelOps& ops = nn::Ops();
+  // dW += x^T dy, reduced over the batch in deterministic chunk order. The
+  // delta is materialized first and merged with one axpy so the += into the
+  // accumulated gradient associates exactly as it always has.
+  float* delta = ws->AllocZero(in * out);
+  nn::MatMulTransAInto(x, dy, delta, batch, in, out, ws);
+  ops.axpy(dweight_.data().data(), delta, 1.0f, in * out);
+  // db += column sums of dy.
+  float* dsum = ws->AllocZero(out);
+  nn::SumRowsInto(dy, dsum, batch, out, ws);
+  ops.axpy(dbias_.data().data(), dsum, 1.0f, out);
+  if (dx != nullptr) {
+    nn::MatMulTransBInto(dy, weight_.data().data(), dx, batch, out, in, ws);
+  }
+}
+
+void Linear::BackwardSparse(const nn::SparseRows& x, const float* dy,
+                            nn::Workspace* ws) {
+  ERMINER_CHECK(x.cols() == weight_.rows());
+  const size_t out = weight_.cols();
+  const size_t batch = x.rows();
+  nn::SparseMatMulTransAAcc(x, dy, dweight_.data().data(), out, ws);
+  float* dsum = ws->AllocZero(out);
+  nn::SumRowsInto(dy, dsum, batch, out, ws);
+  nn::Ops().axpy(dbias_.data().data(), dsum, 1.0f, out);
 }
 
 void Linear::ZeroGrad() {
@@ -44,27 +76,72 @@ Mlp::Mlp(std::vector<size_t> dims, Rng* rng) : dims_(std::move(dims)) {
   for (size_t i = 0; i + 1 < dims_.size(); ++i) {
     layers_.emplace_back(dims_[i], dims_[i + 1], rng);
   }
+  pre_.resize(layers_.size() - 1);
+  act_.resize(layers_.size() - 1);
 }
 
-Tensor Mlp::Forward(const Tensor& x) {
-  pre_activations_.clear();
-  Tensor h = x;
-  for (size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i].Forward(h);
-    if (i + 1 < layers_.size()) {
-      pre_activations_.push_back(h);  // cache pre-ReLU for backward
-      h = Relu(h);
-    }
+const Tensor& Mlp::Forward(const Tensor& x) {
+  ERMINER_CHECK(x.cols() == dims_.front());
+  input_ = x;  // member copy so Backward outlives the caller's tensor
+  sparse_input_ = nullptr;
+  const size_t batch = x.rows();
+  Tensor& y0 = layers_.size() == 1 ? out_ : pre_[0];
+  y0.Resize(batch, dims_[1]);
+  layers_[0].ForwardInto(input_.data().data(), batch, y0.data().data());
+  return FinishForward(batch);
+}
+
+const Tensor& Mlp::ForwardSparse(const nn::SparseRows& x) {
+  ERMINER_CHECK(x.cols() == dims_.front());
+  sparse_input_ = &x;
+  const size_t batch = x.rows();
+  Tensor& y0 = layers_.size() == 1 ? out_ : pre_[0];
+  y0.Resize(batch, dims_[1]);
+  layers_[0].ForwardSparseInto(x, y0.data().data());
+  return FinishForward(batch);
+}
+
+const Tensor& Mlp::FinishForward(size_t batch) {
+  const nn::KernelOps& ops = nn::Ops();
+  // Hidden layers: relu(pre_[i]) -> act_[i], then layer i+1 forward into
+  // pre_[i+1], or out_ when i+1 is the head.
+  for (size_t i = 0; i + 1 < layers_.size(); ++i) {
+    act_[i].Resize(batch, dims_[i + 1]);
+    ops.relu(act_[i].data().data(), pre_[i].data().data(),
+             batch * dims_[i + 1]);
+    Tensor& y = (i + 2 == dims_.size() - 1) ? out_ : pre_[i + 1];
+    y.Resize(batch, dims_[i + 2]);
+    layers_[i + 1].ForwardInto(act_[i].data().data(), batch, y.data().data());
   }
-  return h;
+  return out_;
 }
 
 void Mlp::Backward(const Tensor& dout) {
-  ERMINER_CHECK(pre_activations_.size() + 1 == layers_.size());
-  Tensor g = dout;
+  ERMINER_CHECK(dout.rows() == out_.rows() && dout.cols() == out_.cols());
+  const size_t batch = dout.rows();
+  ws_.Reset();
+  ga_ = dout;
+  Tensor* g = &ga_;
+  Tensor* gnext = &gb_;
   for (size_t i = layers_.size(); i-- > 0;) {
-    g = layers_[i].Backward(g);
-    if (i > 0) g = ReluBackward(pre_activations_[i - 1], g);
+    if (i == 0) {
+      if (sparse_input_ != nullptr) {
+        layers_[0].BackwardSparse(*sparse_input_, g->data().data(), &ws_);
+      } else {
+        ERMINER_CHECK(input_.rows() == batch);
+        layers_[0].Backward(input_.data().data(), g->data().data(), batch,
+                            nullptr, &ws_);
+      }
+      break;
+    }
+    gnext->Resize(batch, dims_[i]);
+    layers_[i].Backward(act_[i - 1].data().data(), g->data().data(), batch,
+                        gnext->data().data(), &ws_);
+    // In-place ReLU mask: g[j] = pre > 0 ? g[j] : 0 (aliasing is fine — each
+    // element is read before it is written).
+    nn::Ops().relu_bwd(gnext->data().data(), pre_[i - 1].data().data(),
+                       gnext->data().data(), batch * dims_[i]);
+    std::swap(g, gnext);
   }
 }
 

@@ -5,12 +5,27 @@
 // per-layer inputs so Backward can accumulate gradients; a subsequent
 // optimizer step consumes Parameters()/Gradients().
 //
+// Two input encodings feed layer 0:
+//   - dense:  Forward(Tensor) — the general path (tests, arbitrary inputs);
+//   - sparse: ForwardSparse(SparseRows) — one-hot rule-state rows as index
+//     lists. Layer 0 gathers W rows at the active indices (forward) and
+//     scatters dy outer products into dW rows (backward), in the exact
+//     accumulation order of the dense kernels' zero-skip loops, so both
+//     encodings produce bit-identical outputs and gradients.
+//
+// Memory: activations (pre_/act_/out_) are member tensors resized per batch
+// and all gradient scratch comes from a per-Mlp Workspace arena, so a
+// steady-state TrainStep performs zero heap allocations. Forward returns a
+// const reference into the instance; it stays valid until the next Forward
+// on the same instance. A ForwardSparse caller must keep its SparseRows
+// alive until the matching Backward.
+//
 // Parallelism: Forward/Backward fan minibatch work across the global thread
-// pool through the tensor kernels (MatMul and friends). The gradient
-// reductions over the batch dimension (MatMulTransA for dW, SumRows for db)
-// accumulate per-chunk partial buffers that are summed in fixed chunk
-// order, so gradients — and therefore trained weights — are bit-identical
-// for every `--threads` setting. See docs/parallelism.md.
+// pool through the kernel launches (nn/kernel_launch.h). The gradient
+// reductions over the batch dimension accumulate per-chunk partial buffers
+// that are summed in fixed chunk order, so gradients — and therefore
+// trained weights — are bit-identical for every `--threads` setting and
+// every ERMINER_SIMD level. See docs/parallelism.md and docs/perf.md.
 
 #ifndef ERMINER_NN_MLP_H_
 #define ERMINER_NN_MLP_H_
@@ -18,7 +33,9 @@
 #include <iosfwd>
 #include <vector>
 
+#include "nn/sparse.h"
 #include "nn/tensor.h"
+#include "nn/workspace.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -29,11 +46,18 @@ class Linear {
   /// He-uniform initialization.
   Linear(size_t in, size_t out, Rng* rng);
 
-  /// y = x W + b. `x` is cached for Backward.
-  Tensor Forward(const Tensor& x);
+  /// y (batch x out) = x (batch x in) W + b; overwrites y.
+  void ForwardInto(const float* x, size_t batch, float* y) const;
+  /// Same, with x as one-hot index rows.
+  void ForwardSparseInto(const nn::SparseRows& x, float* y) const;
 
-  /// Given dL/dy, accumulates dW/db and returns dL/dx.
-  Tensor Backward(const Tensor& dy);
+  /// Given the layer input x and dL/dy, accumulates dW/db and, when dx is
+  /// non-null, writes dL/dx (batch x in). Scratch comes from `ws`.
+  void Backward(const float* x, const float* dy, size_t batch, float* dx,
+                nn::Workspace* ws);
+  /// Same for a one-hot input (no dx: layer 0 never needs one).
+  void BackwardSparse(const nn::SparseRows& x, const float* dy,
+                      nn::Workspace* ws);
 
   void ZeroGrad();
 
@@ -52,7 +76,6 @@ class Linear {
   Tensor bias_;     // [1, out]
   Tensor dweight_;
   Tensor dbias_;
-  Tensor last_input_;
 };
 
 class Mlp {
@@ -60,7 +83,16 @@ class Mlp {
   /// dims = {input, hidden..., output}; ReLU between all but the last layer.
   Mlp(std::vector<size_t> dims, Rng* rng);
 
-  Tensor Forward(const Tensor& x);
+  /// Returns the network output, valid until the next Forward* call on this
+  /// instance. The input is copied into a member so Backward can use it.
+  const Tensor& Forward(const Tensor& x);
+  /// One-hot fast path: stores a pointer to `x`, which must outlive the
+  /// matching Backward. Bit-identical to Forward on the densified rows.
+  const Tensor& ForwardSparse(const nn::SparseRows& x);
+
+  /// The last Forward* result (same reference Forward returned).
+  const Tensor& output() const { return out_; }
+
   /// dL/d(output) -> accumulates all layer gradients.
   void Backward(const Tensor& dout);
   void ZeroGrad();
@@ -75,14 +107,30 @@ class Mlp {
 
   const std::vector<size_t>& dims() const { return dims_; }
 
+  /// High-water mark of the gradient scratch arena, for the
+  /// nn/workspace_bytes gauge.
+  size_t WorkspaceBytes() const { return ws_.bytes(); }
+
   /// Binary (de)serialization for fine-tuning (RLMiner-ft).
   Status Save(std::ostream& os) const;
   static Result<Mlp> Load(std::istream& is);
 
  private:
+  /// Layers 1..L-1 plus the inter-layer ReLUs, after layer 0 has written
+  /// into pre_[0] (or out_ for a single-layer net).
+  const Tensor& FinishForward(size_t batch);
+
   std::vector<size_t> dims_;
   std::vector<Linear> layers_;
-  std::vector<Tensor> pre_activations_;  // cached per Forward
+
+  // Per-batch activation state, reused across calls (Resize keeps capacity).
+  Tensor input_;                      // dense input copy (dense path only)
+  const nn::SparseRows* sparse_input_ = nullptr;  // sparse path only
+  std::vector<Tensor> pre_;           // pre-ReLU per hidden layer
+  std::vector<Tensor> act_;           // post-ReLU per hidden layer
+  Tensor out_;                        // network output
+  Tensor ga_, gb_;                    // backward ping-pong gradient buffers
+  nn::Workspace ws_;                  // gradient reduction scratch
 };
 
 }  // namespace erminer

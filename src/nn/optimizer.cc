@@ -2,16 +2,20 @@
 
 #include <cmath>
 
+#include "nn/kernels.h"
+
 namespace erminer {
 
 void Sgd::Step(const std::vector<Tensor*>& params,
                const std::vector<Tensor*>& grads) {
   ERMINER_CHECK(params.size() == grads.size());
+  const nn::KernelOps& ops = nn::Ops();
   for (size_t i = 0; i < params.size(); ++i) {
     ERMINER_CHECK(params[i]->size() == grads[i]->size());
-    for (size_t j = 0; j < params[i]->size(); ++j) {
-      params[i]->data()[j] -= lr_ * grads[i]->data()[j];
-    }
+    // p += (-lr) * g: bit-identical to p -= lr * g (negation is exact and
+    // RN addition commutes with the sign flip of one operand).
+    ops.axpy(params[i]->data().data(), grads[i]->data().data(), -lr_,
+             params[i]->size());
   }
 }
 
@@ -30,17 +34,13 @@ void Adam::Step(const std::vector<Tensor*>& params,
   ++t_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  const nn::KernelOps& ops = nn::Ops();
   for (size_t i = 0; i < params.size(); ++i) {
     ERMINER_CHECK(params[i]->size() == grads[i]->size());
     ERMINER_CHECK(params[i]->size() == m_[i].size());
-    for (size_t j = 0; j < params[i]->size(); ++j) {
-      const float g = grads[i]->data()[j];
-      m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * g;
-      v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * g * g;
-      const float mhat = m_[i][j] / bc1;
-      const float vhat = v_[i][j] / bc2;
-      params[i]->data()[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-    }
+    ops.adam(params[i]->data().data(), grads[i]->data().data(),
+             m_[i].data(), v_[i].data(), params[i]->size(), beta1_, beta2_,
+             lr_, eps_, bc1, bc2);
   }
 }
 

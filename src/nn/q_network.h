@@ -30,8 +30,16 @@ inline std::string DimsToString(const std::vector<size_t>& dims) {
 class QNetwork {
  public:
   virtual ~QNetwork() = default;
-  virtual Tensor Forward(const Tensor& x) = 0;
+  /// Q-values for a dense input batch; the reference stays valid until the
+  /// next Forward* call on the same network.
+  virtual const Tensor& Forward(const Tensor& x) = 0;
+  /// Q-values for a batch of one-hot index rows (the sparse fast path;
+  /// bit-identical to Forward on the densified rows). `x` must outlive the
+  /// matching Backward.
+  virtual const Tensor& ForwardSparse(const nn::SparseRows& x) = 0;
   virtual void Backward(const Tensor& dout) = 0;
+  /// High-water scratch-arena bytes (nn/workspace_bytes gauge).
+  virtual size_t WorkspaceBytes() const = 0;
   virtual void ZeroGrad() = 0;
   virtual std::vector<Tensor*> Parameters() = 0;
   virtual std::vector<Tensor*> Gradients() = 0;
@@ -47,8 +55,12 @@ class MlpQNetwork : public QNetwork {
   MlpQNetwork(std::vector<size_t> dims, Rng* rng)
       : net_(std::move(dims), rng) {}
 
-  Tensor Forward(const Tensor& x) override { return net_.Forward(x); }
+  const Tensor& Forward(const Tensor& x) override { return net_.Forward(x); }
+  const Tensor& ForwardSparse(const nn::SparseRows& x) override {
+    return net_.ForwardSparse(x);
+  }
   void Backward(const Tensor& dout) override { net_.Backward(dout); }
+  size_t WorkspaceBytes() const override { return net_.WorkspaceBytes(); }
   void ZeroGrad() override { net_.ZeroGrad(); }
   std::vector<Tensor*> Parameters() override { return net_.Parameters(); }
   std::vector<Tensor*> Gradients() override { return net_.Gradients(); }
@@ -83,8 +95,12 @@ class DuelingQNetwork : public QNetwork {
                   Rng* rng)
       : net_(std::move(trunk_dims), num_actions, rng) {}
 
-  Tensor Forward(const Tensor& x) override { return net_.Forward(x); }
+  const Tensor& Forward(const Tensor& x) override { return net_.Forward(x); }
+  const Tensor& ForwardSparse(const nn::SparseRows& x) override {
+    return net_.ForwardSparse(x);
+  }
   void Backward(const Tensor& dout) override { net_.Backward(dout); }
+  size_t WorkspaceBytes() const override { return net_.WorkspaceBytes(); }
   void ZeroGrad() override { net_.ZeroGrad(); }
   std::vector<Tensor*> Parameters() override { return net_.Parameters(); }
   std::vector<Tensor*> Gradients() override { return net_.Gradients(); }

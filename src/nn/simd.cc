@@ -1,0 +1,123 @@
+#include "nn/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "nn/kernels.h"
+#include "obs/metrics.h"
+#include "obs/telemetry_server.h"
+#include "util/status.h"
+
+namespace erminer::nn {
+
+namespace {
+
+std::atomic<const KernelOps*> g_ops{nullptr};
+std::atomic<int> g_level{-1};
+
+const KernelOps* TableFor(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kSse2:
+      return &kSse2Ops;
+    case SimdLevel::kAvx2:
+      return &kAvx2Ops;
+    case SimdLevel::kOff:
+      break;
+  }
+  return &kScalarOps;
+}
+
+/// Repoints the dispatch table and records the decision on the observability
+/// surfaces: the nn/simd_level gauge (0=off 1=sse2 2=avx2) and the
+/// erminer_build_info{simd="..."} label on /metrics.
+void Publish(SimdLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  g_ops.store(TableFor(level), std::memory_order_release);
+  ERMINER_GAUGE_SET("nn/simd_level", static_cast<int>(level));
+  obs::SetBuildLabel("simd", SimdLevelName(level));
+}
+
+/// ERMINER_SIMD pins the level; unset picks the highest the CPU supports.
+/// An explicit-but-unsupported (or unknown) value is a hard error so a
+/// pinned CI configuration can never silently measure the wrong kernels.
+SimdLevel Resolve() {
+  const char* env = std::getenv("ERMINER_SIMD");
+  if (env != nullptr && *env != '\0') {
+    SimdLevel level;
+    if (std::strcmp(env, "off") == 0) {
+      level = SimdLevel::kOff;
+    } else if (std::strcmp(env, "sse2") == 0) {
+      level = SimdLevel::kSse2;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      level = SimdLevel::kAvx2;
+    } else {
+      std::fprintf(stderr,
+                   "ERMINER_SIMD=%s: unknown level (off|sse2|avx2)\n", env);
+      std::exit(2);
+    }
+    if (!SimdLevelSupported(level)) {
+      std::fprintf(stderr, "ERMINER_SIMD=%s: level not supported by this "
+                   "CPU\n", env);
+      std::exit(2);
+    }
+    return level;
+  }
+  if (SimdLevelSupported(SimdLevel::kAvx2)) return SimdLevel::kAvx2;
+  if (SimdLevelSupported(SimdLevel::kSse2)) return SimdLevel::kSse2;
+  return SimdLevel::kOff;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kOff:
+      break;
+  }
+  return "off";
+}
+
+bool SimdLevelSupported(SimdLevel level) {
+  if (level == SimdLevel::kOff) return true;
+#if defined(__x86_64__) || defined(__i386__)
+  switch (level) {
+    case SimdLevel::kSse2:
+      return __builtin_cpu_supports("sse2") != 0;
+    case SimdLevel::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case SimdLevel::kOff:
+      break;
+  }
+#endif
+  return false;
+}
+
+SimdLevel ActiveSimdLevel() {
+  static std::once_flag once;
+  std::call_once(once, [] { Publish(Resolve()); });
+  return static_cast<SimdLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void SetSimdLevel(SimdLevel level) {
+  ERMINER_CHECK(SimdLevelSupported(level));
+  ActiveSimdLevel();  // force first-use resolution so Publish orders cleanly
+  Publish(level);
+}
+
+const KernelOps& Ops() {
+  const KernelOps* ops = g_ops.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    ActiveSimdLevel();
+    ops = g_ops.load(std::memory_order_acquire);
+  }
+  return *ops;
+}
+
+}  // namespace erminer::nn

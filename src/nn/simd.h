@@ -1,0 +1,41 @@
+// Runtime SIMD dispatch for the NN kernels (docs/perf.md, "NN kernels").
+//
+// Three implementations of the same kernel table are compiled — scalar,
+// SSE2 and AVX2 — and one is selected at first use: the highest level both
+// supported by the CPU and allowed by the ERMINER_SIMD environment variable
+// (`off`, `sse2` or `avx2`; unset means "highest supported"). Setting a
+// level the CPU lacks is a hard error, not a silent downgrade, so a pinned
+// CI configuration can never measure the wrong kernels.
+//
+// Every level computes bit-identical results: the vector lanes run over the
+// output-column dimension only, with separate multiply and add (no FMA), so
+// each output element sees the exact scalar sequence of float operations.
+// tests/nn_kernel_differential_test.cc enforces this across levels and
+// thread counts.
+
+#ifndef ERMINER_NN_SIMD_H_
+#define ERMINER_NN_SIMD_H_
+
+namespace erminer::nn {
+
+enum class SimdLevel : int { kOff = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// "off", "sse2" or "avx2".
+const char* SimdLevelName(SimdLevel level);
+
+/// True if the running CPU can execute kernels at `level`.
+bool SimdLevelSupported(SimdLevel level);
+
+/// The level the kernel table currently dispatches to. Resolved once from
+/// ERMINER_SIMD + CPU support on first call (exits with an error if the
+/// variable names an unknown or unsupported level).
+SimdLevel ActiveSimdLevel();
+
+/// Re-points the dispatch table (tests and benches compare levels within
+/// one process). Dies if the level is unsupported. Not thread-safe against
+/// concurrent kernel launches; call between complete operations only.
+void SetSimdLevel(SimdLevel level);
+
+}  // namespace erminer::nn
+
+#endif  // ERMINER_NN_SIMD_H_

@@ -1,0 +1,58 @@
+// SparseRows: a batch of one-hot/multi-hot input rows stored as index
+// lists (CSR layout without values — every stored entry is an implicit
+// 1.0f). This is the native encoding of the DQN's RuleKey states: a rule
+// key IS its ascending action-index list, so building a SparseRows batch
+// is a couple of memcpys instead of the batch x state_dim zero-fill the
+// dense Densify path needed.
+//
+// Invariants (checked once at AddRow, the kernel entry point — the kernels
+// then index raw): indices within a row are strictly ascending and < cols.
+// Ascending order is what makes the sparse forward gather bit-identical to
+// the dense kernel's `a == 0.0f`-skip accumulation order (docs/perf.md).
+
+#ifndef ERMINER_NN_SPARSE_H_
+#define ERMINER_NN_SPARSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace erminer::nn {
+
+class SparseRows {
+ public:
+  /// Empties the batch and (re)sets the dense column count. Keeps capacity.
+  void Clear(size_t cols) {
+    cols_ = cols;
+    offsets_.assign(1, 0);
+    indices_.clear();
+  }
+
+  /// Appends one row holding ones at `idx[0..n)`; strictly ascending,
+  /// each in [0, cols).
+  void AddRow(const int32_t* idx, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      ERMINER_CHECK(idx[i] >= 0 && static_cast<size_t>(idx[i]) < cols_);
+      ERMINER_CHECK(i == 0 || idx[i] > idx[i - 1]);
+      indices_.push_back(idx[i]);
+    }
+    offsets_.push_back(indices_.size());
+  }
+
+  size_t rows() const { return offsets_.size() - 1; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return indices_.size(); }
+
+  const int32_t* row(size_t r) const { return indices_.data() + offsets_[r]; }
+  size_t row_nnz(size_t r) const { return offsets_[r + 1] - offsets_[r]; }
+
+ private:
+  size_t cols_ = 0;
+  std::vector<int32_t> indices_;
+  std::vector<size_t> offsets_{0};
+};
+
+}  // namespace erminer::nn
+
+#endif  // ERMINER_NN_SPARSE_H_

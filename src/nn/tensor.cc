@@ -1,22 +1,21 @@
 #include "nn/tensor.h"
 
-#include <algorithm>
-
-#include "util/thread_pool.h"
+#include "nn/kernel_launch.h"
+#include "nn/kernels.h"
+#include "nn/workspace.h"
 
 namespace erminer {
 
 namespace {
 
-/// Rows per chunk targeting ~32k flops of work each, so tiny tensors (every
-/// unit-test net, single-row inference) stay single-chunk — which both
-/// avoids pool overhead and keeps their results bit-identical to the
-/// pre-pool serial kernels. The grain depends only on the shapes, never on
-/// the thread count, so results are identical for any pool size.
-constexpr size_t kChunkFlops = 32768;
-
-size_t RowGrain(size_t row_cost) {
-  return std::max<size_t>(1, kChunkFlops / std::max<size_t>(1, row_cost));
+/// Scratch for the convenience (Tensor-returning) entry points. The hot
+/// paths (Mlp, DuelingNetwork) carry their own per-instance Workspace and
+/// call the *Into launches directly; this one only serves standalone users
+/// like the unit tests.
+nn::Workspace& LocalWorkspace() {
+  static thread_local nn::Workspace ws;
+  ws.Reset();
+  return ws;
 }
 
 }  // namespace
@@ -24,128 +23,62 @@ size_t RowGrain(size_t row_cost) {
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   ERMINER_CHECK(a.cols() == b.rows());
   Tensor c(a.rows(), b.cols(), 0.0f);
-  const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  // Output rows are independent (each reads one row of A), so the
-  // row-parallel split is bit-identical to serial for any grain.
-  GlobalPool().ParallelFor(0, m, RowGrain(k * n), [&](size_t rb, size_t re) {
-    for (size_t i = rb; i < re; ++i) {
-      for (size_t p = 0; p < k; ++p) {
-        const float av = pa[i * k + p];
-        if (av == 0.0f) continue;  // one-hot inputs make this a big win
-        const float* brow = pb + p * n;
-        float* crow = pc + i * n;
-        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
+  nn::MatMulInto(a.data().data(), b.data().data(), c.data().data(), a.rows(),
+                 a.cols(), b.cols());
   return c;
 }
 
 Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   ERMINER_CHECK(a.rows() == b.rows());
-  const size_t k = a.rows(), m = a.cols(), n = b.cols();
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  // This kernel reduces over k (the minibatch dimension in gradient
-  // computations): per-chunk partial products are the "per-thread gradient
-  // buffers", merged below in fixed chunk order so the float sums associate
-  // identically for every thread count.
-  return GlobalPool().ParallelReduce(
-      0, k, RowGrain(m * n), Tensor(m, n, 0.0f),
-      [&](size_t pb_begin, size_t pb_end) {
-        Tensor part(m, n, 0.0f);
-        float* pc = part.data().data();
-        for (size_t p = pb_begin; p < pb_end; ++p) {
-          const float* arow = pa + p * m;
-          const float* brow = pb + p * n;
-          for (size_t i = 0; i < m; ++i) {
-            const float av = arow[i];
-            if (av == 0.0f) continue;
-            float* crow = pc + i * n;
-            for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-          }
-        }
-        return part;
-      },
-      [](Tensor* acc, const Tensor& part) { Axpy(1.0f, part, acc); });
+  Tensor out(a.cols(), b.cols(), 0.0f);
+  nn::MatMulTransAInto(a.data().data(), b.data().data(), out.data().data(),
+                       a.rows(), a.cols(), b.cols(), &LocalWorkspace());
+  return out;
 }
 
 Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   ERMINER_CHECK(a.cols() == b.cols());
   Tensor c(a.rows(), b.rows(), 0.0f);
-  const size_t m = a.rows(), k = a.cols(), n = b.rows();
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  GlobalPool().ParallelFor(0, m, RowGrain(k * n), [&](size_t rb, size_t re) {
-    for (size_t i = rb; i < re; ++i) {
-      const float* arow = pa + i * k;
-      float* crow = pc + i * n;
-      for (size_t j = 0; j < n; ++j) {
-        const float* brow = pb + j * k;
-        float acc = 0.0f;
-        for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        crow[j] = acc;
-      }
-    }
-  });
+  nn::MatMulTransBInto(a.data().data(), b.data().data(), c.data().data(),
+                       a.rows(), a.cols(), b.rows(), &LocalWorkspace());
   return c;
 }
 
 void AddBiasInPlace(Tensor* y, const Tensor& bias) {
   ERMINER_CHECK(bias.rows() == 1 && bias.cols() == y->cols());
+  const nn::KernelOps& ops = nn::Ops();
+  float* py = y->data().data();
+  const float* pb = bias.data().data();
+  const size_t cols = y->cols();
   for (size_t r = 0; r < y->rows(); ++r) {
-    for (size_t c = 0; c < y->cols(); ++c) {
-      y->at(r, c) += bias.at(0, c);
-    }
+    ops.add_row(py + r * cols, pb, cols);
   }
 }
 
 Tensor Relu(const Tensor& x) {
-  Tensor y = x;
-  for (float& v : y.data()) {
-    if (v < 0.0f) v = 0.0f;
-  }
+  Tensor y(x.rows(), x.cols());
+  nn::Ops().relu(y.data().data(), x.data().data(), x.size());
   return y;
 }
 
 Tensor ReluBackward(const Tensor& x, const Tensor& grad) {
   ERMINER_CHECK(x.rows() == grad.rows() && x.cols() == grad.cols());
-  Tensor g = grad;
-  for (size_t i = 0; i < g.size(); ++i) {
-    if (x.data()[i] <= 0.0f) g.data()[i] = 0.0f;
-  }
+  Tensor g(x.rows(), x.cols());
+  nn::Ops().relu_bwd(g.data().data(), x.data().data(), grad.data().data(),
+                     x.size());
   return g;
 }
 
 Tensor SumRows(const Tensor& x) {
-  const size_t rows = x.rows(), cols = x.cols();
-  const float* px = x.data().data();
-  // Ordered reduction over rows: the bias gradient sums identically for
-  // every thread count (single chunk — and old-serial-identical — for the
-  // minibatch sizes the DQN uses).
-  return GlobalPool().ParallelReduce(
-      0, rows, RowGrain(cols), Tensor(1, cols, 0.0f),
-      [&](size_t rb, size_t re) {
-        Tensor part(1, cols, 0.0f);
-        float* ps = part.data().data();
-        for (size_t r = rb; r < re; ++r) {
-          const float* row = px + r * cols;
-          for (size_t c = 0; c < cols; ++c) ps[c] += row[c];
-        }
-        return part;
-      },
-      [](Tensor* acc, const Tensor& part) { Axpy(1.0f, part, acc); });
+  Tensor out(1, x.cols(), 0.0f);
+  nn::SumRowsInto(x.data().data(), out.data().data(), x.rows(), x.cols(),
+                  &LocalWorkspace());
+  return out;
 }
 
 void Axpy(float s, const Tensor& b, Tensor* a) {
   ERMINER_CHECK(a->rows() == b.rows() && a->cols() == b.cols());
-  for (size_t i = 0; i < a->size(); ++i) {
-    a->data()[i] += s * b.data()[i];
-  }
+  nn::Ops().axpy(a->data().data(), b.data().data(), s, a->size());
 }
 
 }  // namespace erminer

@@ -1,6 +1,8 @@
-// A minimal dense 2-D float tensor with the linear-algebra kernels the value
-// network needs. Row-major storage; all operations are single-threaded and
-// bounds-checked via ERMINER_CHECK.
+// A minimal dense 2-D float tensor plus the linear-algebra entry points the
+// value network needs. Row-major storage; shape checks via ERMINER_CHECK at
+// these entry points, then raw-pointer dispatch through the runtime-selected
+// SIMD kernel table (nn/kernels.h) and the deterministic parallel launches
+// (nn/kernel_launch.h).
 
 #ifndef ERMINER_NN_TENSOR_H_
 #define ERMINER_NN_TENSOR_H_
@@ -43,6 +45,16 @@ class Tensor {
   std::vector<float>& data() { return data_; }
 
   void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Re-shapes in place, preserving capacity (no shrink): the per-Mlp
+  /// activation tensors are resized every batch without reallocating once
+  /// they reach their high-water size. Contents are unspecified after a
+  /// shape change; callers Fill() when they need zeros.
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
 
  private:
   size_t rows_ = 0;

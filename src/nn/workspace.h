@@ -1,0 +1,72 @@
+// A slot-pool arena for NN kernel temporaries (gradient deltas, transposed
+// weight copies, per-chunk reduction partials).
+//
+// Usage pattern: one Workspace per network; each top-level operation calls
+// Reset() and then Alloc()s its temporaries in a fixed order. Slots are
+// handed out in call order and keep their heap buffers across Reset cycles,
+// so after the first pass through an operation sequence the arena performs
+// zero allocations — buffers grow monotonically to the high-water mark of
+// each slot position. Buffers handed out earlier in a cycle stay valid when
+// later slots grow (each slot owns its own heap block).
+//
+// Not thread-safe: Alloc/Reset run on the calling thread. Parallel kernels
+// receive disjoint slices of one slab Alloc'd before the parallel region.
+
+#ifndef ERMINER_NN_WORKSPACE_H_
+#define ERMINER_NN_WORKSPACE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace erminer::nn {
+
+class Workspace {
+ public:
+  /// A float buffer with at least n elements; contents unspecified.
+  float* Alloc(size_t n) {
+    if (next_f_ == fslots_.size()) fslots_.emplace_back();
+    std::vector<float>& slot = fslots_[next_f_++];
+    if (slot.size() < n) slot.resize(n);
+    return slot.data();
+  }
+
+  /// A float buffer with the first n elements set to +0.0f.
+  float* AllocZero(size_t n) {
+    float* p = Alloc(n);
+    std::fill(p, p + n, 0.0f);
+    return p;
+  }
+
+  /// An int32 buffer with at least n elements; contents unspecified.
+  int32_t* AllocI(size_t n) {
+    if (next_i_ == islots_.size()) islots_.emplace_back();
+    std::vector<int32_t>& slot = islots_[next_i_++];
+    if (slot.size() < n) slot.resize(n);
+    return slot.data();
+  }
+
+  /// Rewinds to the first slot; keeps every buffer.
+  void Reset() {
+    next_f_ = 0;
+    next_i_ = 0;
+  }
+
+  /// Total heap bytes currently held by the arena.
+  size_t bytes() const {
+    size_t b = 0;
+    for (const auto& s : fslots_) b += s.capacity() * sizeof(float);
+    for (const auto& s : islots_) b += s.capacity() * sizeof(int32_t);
+    return b;
+  }
+
+ private:
+  std::vector<std::vector<float>> fslots_;
+  std::vector<std::vector<int32_t>> islots_;
+  size_t next_f_ = 0;
+  size_t next_i_ = 0;
+};
+
+}  // namespace erminer::nn
+
+#endif  // ERMINER_NN_WORKSPACE_H_

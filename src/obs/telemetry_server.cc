@@ -12,6 +12,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <mutex>
 #include <thread>
 
 #include "obs/metrics.h"
@@ -33,6 +35,15 @@ namespace erminer::obs {
 namespace {
 
 std::atomic<const char*> g_phase{"idle"};
+
+std::mutex& BuildLabelMutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+std::map<std::string, std::string>& BuildLabelMap() {
+  static auto* labels = new std::map<std::string, std::string>();
+  return *labels;
+}
 
 /// Clamped integer query parameter: "...?seconds=2&hz=200".
 long QueryParam(const std::string& query, const char* key, long dflt,
@@ -84,6 +95,20 @@ void SetPhase(const char* phase) {
 
 const char* CurrentPhase() {
   return g_phase.load(std::memory_order_relaxed);
+}
+
+void SetBuildLabel(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(BuildLabelMutex());
+  BuildLabelMap()[key] = value;
+}
+
+std::string BuildLabelSuffix() {
+  std::lock_guard<std::mutex> lock(BuildLabelMutex());
+  std::string out;
+  for (const auto& [key, value] : BuildLabelMap()) {
+    out += "," + key + "=\"" + value + "\"";
+  }
+  return out;
 }
 
 TelemetryServer& TelemetryServer::Global() {
@@ -229,7 +254,9 @@ bool TelemetryServer::HandlePath(const std::string& path_and_query,
     *body += "# TYPE erminer_build_info gauge\n"
              "erminer_build_info{git=\"" ERMINER_GIT_DESCRIBE
              "\",compiler=\"" __VERSION__
-             "\",build_type=\"" ERMINER_BUILD_TYPE "\"} 1\n";
+             "\",build_type=\"" ERMINER_BUILD_TYPE "\"";
+    *body += BuildLabelSuffix();
+    *body += "} 1\n";
     *content_type = "text/plain; version=0.0.4; charset=utf-8";
     return true;
   }

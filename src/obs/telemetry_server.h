@@ -43,6 +43,14 @@ namespace erminer::obs {
 void SetPhase(const char* phase);
 const char* CurrentPhase();
 
+/// Adds (or overwrites) a runtime-resolved label on the erminer_build_info
+/// gauge — facts not knowable at compile time, e.g. the dispatched SIMD
+/// level (`simd="avx2"`, src/nn/simd.cc). Thread-safe; call before or
+/// during serving.
+void SetBuildLabel(const std::string& key, const std::string& value);
+/// The extra labels as a pre-rendered `,key="value"...` suffix.
+std::string BuildLabelSuffix();
+
 struct TelemetryServerOptions {
   int port = 0;  // 0 = ephemeral; read the bound port back via port()
   /// Loopback by default: telemetry has no auth, so exposing it beyond the

@@ -21,15 +21,6 @@ constexpr float kNegInf = -std::numeric_limits<float>::infinity();
 /// ablation batches split deterministically.
 constexpr size_t kBatchGrain = 64;
 
-Tensor DensifyKey(const RuleKey& key, size_t dim) {
-  Tensor t(1, dim, 0.0f);
-  for (int32_t i : key) {
-    ERMINER_CHECK(i >= 0 && static_cast<size_t>(i) < dim);
-    t.at(0, static_cast<size_t>(i)) = 1.0f;
-  }
-  return t;
-}
-
 /// argmax over allowed actions of a Q row; returns -1 if nothing allowed.
 int32_t MaskedArgmax(const float* q, const std::vector<uint8_t>& mask,
                      size_t n) {
@@ -74,6 +65,60 @@ DqnAgent::DqnAgent(size_t state_dim, size_t num_actions,
   }
 }
 
+void DqnAgent::BuildKeys(const std::vector<const RuleKey*>& states) {
+  if (options_.sparse_state) {
+    // Rule keys are already strictly ascending index lists — exactly the
+    // encoding the sparse kernels consume (AddRow validates).
+    sparse_scratch_.Clear(state_dim_);
+    for (const RuleKey* key : states) {
+      sparse_scratch_.AddRow(key->data(), key->size());
+    }
+    return;
+  }
+  dense_scratch_.Resize(states.size(), state_dim_);
+  dense_scratch_.Fill(0.0f);
+  float* px = dense_scratch_.data().data();
+  GlobalPool().ParallelFor(
+      0, states.size(), kBatchGrain, [&](size_t bb, size_t be) {
+        for (size_t b = bb; b < be; ++b) {
+          for (int32_t i : *states[b]) {
+            ERMINER_CHECK(i >= 0 && static_cast<size_t>(i) < state_dim_);
+            px[b * state_dim_ + static_cast<size_t>(i)] = 1.0f;
+          }
+        }
+      });
+}
+
+void DqnAgent::BuildStates(const std::vector<const Transition*>& batch,
+                           bool next) {
+  if (options_.sparse_state) {
+    sparse_scratch_.Clear(state_dim_);
+    for (const Transition* t : batch) {
+      const RuleKey& key = next ? t->next_state : t->state;
+      sparse_scratch_.AddRow(key.data(), key.size());
+    }
+    return;
+  }
+  dense_scratch_.Resize(batch.size(), state_dim_);
+  dense_scratch_.Fill(0.0f);
+  float* px = dense_scratch_.data().data();
+  // Each batch element writes only its own row.
+  GlobalPool().ParallelFor(
+      0, batch.size(), kBatchGrain, [&](size_t bb, size_t be) {
+        for (size_t b = bb; b < be; ++b) {
+          const RuleKey& key = next ? batch[b]->next_state : batch[b]->state;
+          for (int32_t i : key) {
+            px[b * state_dim_ + static_cast<size_t>(i)] = 1.0f;
+          }
+        }
+      });
+}
+
+const Tensor& DqnAgent::ForwardBuilt(QNetwork* net) {
+  return options_.sparse_state ? net->ForwardSparse(sparse_scratch_)
+                               : net->Forward(dense_scratch_);
+}
+
 int32_t DqnAgent::Act(const RuleKey& state, const std::vector<uint8_t>& mask,
                       double epsilon) {
   ERMINER_CHECK(mask.size() == num_actions_);
@@ -86,36 +131,29 @@ int32_t DqnAgent::Act(const RuleKey& state, const std::vector<uint8_t>& mask,
     ERMINER_CHECK(!allowed.empty());
     return allowed[rng_.NextUint64(allowed.size())];
   }
-  Tensor q = online_->Forward(DensifyKey(state, state_dim_));
+  BuildKeys({&state});
+  const Tensor& q = ForwardBuilt(online_.get());
   int32_t a = MaskedArgmax(q.data().data(), mask, num_actions_);
   ERMINER_CHECK(a >= 0);
   return a;
 }
 
 std::vector<float> DqnAgent::QValues(const RuleKey& state) {
-  Tensor q = online_->Forward(DensifyKey(state, state_dim_));
-  return q.data();
+  BuildKeys({&state});
+  return ForwardBuilt(online_.get()).data();
 }
 
 Tensor DqnAgent::QValuesBatch(const std::vector<const RuleKey*>& states) {
-  Tensor x(states.size(), state_dim_, 0.0f);
-  GlobalPool().ParallelFor(
-      0, states.size(), kBatchGrain, [&](size_t bb, size_t be) {
-        for (size_t b = bb; b < be; ++b) {
-          for (int32_t i : *states[b]) {
-            ERMINER_CHECK(i >= 0 && static_cast<size_t>(i) < state_dim_);
-            x.at(b, static_cast<size_t>(i)) = 1.0f;
-          }
-        }
-      });
-  return online_->Forward(x);
+  BuildKeys(states);
+  return ForwardBuilt(online_.get());
 }
 
 std::vector<int32_t> DqnAgent::ActGreedyBatch(
     const std::vector<const RuleKey*>& states,
     const std::vector<const std::vector<uint8_t>*>& masks) {
   ERMINER_CHECK(states.size() == masks.size());
-  Tensor q = QValuesBatch(states);
+  BuildKeys(states);
+  const Tensor& q = ForwardBuilt(online_.get());
   std::vector<int32_t> actions(states.size());
   for (size_t b = 0; b < states.size(); ++b) {
     ERMINER_CHECK(masks[b]->size() == num_actions_);
@@ -124,22 +162,6 @@ std::vector<int32_t> DqnAgent::ActGreedyBatch(
     ERMINER_CHECK(actions[b] >= 0);
   }
   return actions;
-}
-
-Tensor DqnAgent::Densify(const std::vector<const Transition*>& batch,
-                         bool next) const {
-  Tensor x(batch.size(), state_dim_, 0.0f);
-  // Each batch element writes only its own row.
-  GlobalPool().ParallelFor(
-      0, batch.size(), kBatchGrain, [&](size_t bb, size_t be) {
-        for (size_t b = bb; b < be; ++b) {
-          const RuleKey& key = next ? batch[b]->next_state : batch[b]->state;
-          for (int32_t i : key) {
-            x.at(b, static_cast<size_t>(i)) = 1.0f;
-          }
-        }
-      });
-  return x;
 }
 
 float DqnAgent::TrainStep() {
@@ -165,37 +187,43 @@ float DqnAgent::TrainStep() {
   // Bootstrap targets from the target network with the next-state mask.
   // Plain DQN takes the target net's own masked argmax; double DQN selects
   // the action with the online net and evaluates it with the target net.
-  // The next-state matrix is densified once and fed to both networks
-  // (double DQN previously rebuilt it for the online pass).
-  Tensor next_x = Densify(batch, /*next=*/true);
-  Tensor next_q = target_->Forward(next_x);
-  Tensor next_q_online;
+  // The next-state batch is staged once and fed to both networks; their
+  // outputs live in per-network buffers, so both rows survive until the
+  // targets loop has consumed them.
+  BuildStates(batch, /*next=*/true);
+  const Tensor& next_q = ForwardBuilt(target_.get());
+  const float* pnext_q = next_q.data().data();
+  const float* pselector = pnext_q;
   if (options_.double_dqn) {
-    next_q_online = online_->Forward(next_x);
+    pselector = ForwardBuilt(online_.get()).data().data();
   }
-  std::vector<float> targets(bsz);
+  targets_.resize(bsz);
   GlobalPool().ParallelFor(0, bsz, kBatchGrain, [&](size_t bb, size_t be) {
     for (size_t b = bb; b < be; ++b) {
       float boot = 0.0f;
       if (!batch[b]->done) {
-        const float* selector =
-            options_.double_dqn
-                ? next_q_online.data().data() + b * num_actions_
-                : next_q.data().data() + b * num_actions_;
-        int32_t a = MaskedArgmax(selector, batch[b]->next_mask, num_actions_);
+        int32_t a = MaskedArgmax(pselector + b * num_actions_,
+                                 batch[b]->next_mask, num_actions_);
         if (a >= 0) {
-          boot = options_.gamma * next_q.at(b, static_cast<size_t>(a));
+          boot = options_.gamma *
+                 pnext_q[b * num_actions_ + static_cast<size_t>(a)];
         }
       }
-      targets[b] = batch[b]->reward + boot;
+      targets_[b] = batch[b]->reward + boot;
     }
   });
 
   // Forward the online net and backprop Huber gradients at the chosen
-  // actions only, weighted by the importance-sampling corrections.
-  Tensor q = online_->Forward(Densify(batch, /*next=*/false));
-  Tensor dq(bsz, num_actions_, 0.0f);
-  std::vector<float> abs_td(bsz);
+  // actions only, weighted by the importance-sampling corrections. This
+  // rebuild of the state scratch is the one Backward reads on the sparse
+  // path, so it must stay staged with the *current* states from here on.
+  BuildStates(batch, /*next=*/false);
+  const Tensor& q = ForwardBuilt(online_.get());
+  const float* pq = q.data().data();
+  dq_.Resize(bsz, num_actions_);
+  dq_.Fill(0.0f);
+  float* pdq = dq_.data().data();
+  abs_td_.resize(bsz);
   const float inv_b = 1.0f / static_cast<float>(bsz);
   // dq/abs_td writes are per-element; the scalar loss is an ordered
   // reduction so it sums in the same order for every thread count.
@@ -206,19 +234,21 @@ float DqnAgent::TrainStep() {
         for (size_t b = bb; b < be; ++b) {
           const size_t a = static_cast<size_t>(batch[b]->action);
           ERMINER_CHECK(a < num_actions_);
-          const float diff = q.at(b, a) - targets[b];
-          abs_td[b] = std::fabs(diff);
+          const float diff = pq[b * num_actions_ + a] - targets_[b];
+          abs_td_[b] = std::fabs(diff);
           part += is_weights[b] * HuberLoss(diff, options_.huber_delta) * inv_b;
-          dq.at(b, a) =
+          pdq[b * num_actions_ + a] =
               is_weights[b] * HuberGrad(diff, options_.huber_delta) * inv_b;
         }
         return part;
       },
       [](float* acc, float part) { *acc += part; });
   online_->ZeroGrad();
-  online_->Backward(dq);
+  online_->Backward(dq_);
   optimizer_.Step(online_->Parameters(), online_->Gradients());
-  if (prioritized_) prioritized_->UpdatePriorities(per.indices, abs_td);
+  ERMINER_GAUGE_SET("nn/workspace_bytes",
+                    static_cast<int64_t>(online_->WorkspaceBytes()));
+  if (prioritized_) prioritized_->UpdatePriorities(per.indices, abs_td_);
   ++updates_done_;
   if (updates_done_ % options_.target_sync_every == 0) {
     target_->CopyWeightsFrom(*online_);

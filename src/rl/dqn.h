@@ -13,6 +13,7 @@
 
 #include "nn/optimizer.h"
 #include "nn/q_network.h"
+#include "nn/sparse.h"
 #include "rl/prioritized_replay.h"
 #include "rl/replay_buffer.h"
 #include "util/random.h"
@@ -41,6 +42,13 @@ struct DqnOptions {
   bool prioritized = false;
   double per_alpha = 0.6;
   double per_beta = 0.4;
+
+  /// Feed rule-key states to the network as sparse one-hot index lists
+  /// instead of densified rows. Bit-identical Q-values, gradients and rules
+  /// either way (the sparse kernels replicate the dense zero-skip
+  /// accumulation order); the sparse path skips the O(batch * state_dim)
+  /// densify + first-layer scan entirely. Off is kept for A/B benchmarks.
+  bool sparse_state = true;
 };
 
 class DqnAgent {
@@ -102,8 +110,14 @@ class DqnAgent {
   Status LoadState(ckpt::Reader* r);
 
  private:
-  Tensor Densify(const std::vector<const Transition*>& batch,
-                 bool next) const;
+  /// Stages a batch of states into the reused encoding scratch
+  /// (sparse_scratch_ or dense_scratch_, per options_.sparse_state).
+  void BuildStates(const std::vector<const Transition*>& batch, bool next);
+  void BuildKeys(const std::vector<const RuleKey*>& states);
+  /// Forward pass of `net` over the staged scratch. The sparse scratch must
+  /// stay untouched until any matching Backward (it is rebuilt with the
+  /// current states right before the online forward in TrainStep).
+  const Tensor& ForwardBuilt(QNetwork* net);
 
   size_t state_dim_;
   size_t num_actions_;
@@ -115,6 +129,13 @@ class DqnAgent {
   ReplayBuffer replay_;
   std::unique_ptr<PrioritizedReplay> prioritized_;  // set when enabled
   size_t updates_done_ = 0;
+
+  // Reused per-call scratch (zero steady-state allocations).
+  nn::SparseRows sparse_scratch_;
+  Tensor dense_scratch_;
+  Tensor dq_;
+  std::vector<float> targets_;
+  std::vector<float> abs_td_;
 };
 
 }  // namespace erminer
