@@ -19,6 +19,9 @@
 //   --log-json[=FILE]     structured JSON log records (default stderr)
 //   --profile-out=FILE[:hz]  sampling CPU profiler (default 99 Hz);
 //                         collapsed stacks written on exit
+//   --decision-log=FILE   decision-provenance event log (expansions, prunes,
+//                         emissions, RL steps, repairs) — replay with
+//                         `erminer explain` / tools/decision_stats
 //   --watchdog-sec=N      stall watchdog; artifacts land in the cwd
 // Export files are flushed on SIGINT/SIGTERM too (obs/flush.h), so an
 // interrupted sweep still leaves its artifacts.
@@ -38,6 +41,7 @@
 #include "eval/experiment.h"
 #include "eval/table.h"
 #include "nn/simd.h"
+#include "obs/decision_log.h"
 #include "obs/flush.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -103,6 +107,7 @@ struct BenchFlags {
   long sample_interval_ms = 1000;
   std::string metrics_stream;
   int profile_hz = 99;
+  std::string decision_log;  // decision-provenance event log path
   double watchdog_sec = 0;  // <= 0: watchdog off
   // Crash-safe RL training snapshots (docs/checkpointing.md); applied to
   // the RL options of every trial by MakeSetup.
@@ -137,6 +142,8 @@ struct BenchFlags {
         f.metrics_stream = a + 17;
       } else if (std::strncmp(a, "--profile-out=", 14) == 0) {
         ProfileOutPath() = obs::ParseProfileOutSpec(a + 14, &f.profile_hz);
+      } else if (std::strncmp(a, "--decision-log=", 15) == 0) {
+        f.decision_log = a + 15;
       } else if (std::strncmp(a, "--watchdog-sec=", 15) == 0) {
         f.watchdog_sec = std::atof(a + 15);
       } else if (std::strncmp(a, "--checkpoint-dir=", 17) == 0) {
@@ -162,7 +169,8 @@ struct BenchFlags {
                     "--threads=N --metrics-json=FILE --trace-json=FILE "
                     "--telemetry-port=P --metrics-stream=FILE "
                     "--sample-interval-ms=N --log-json[=FILE] "
-                    "--profile-out=FILE[:hz] --watchdog-sec=N "
+                    "--profile-out=FILE[:hz] --decision-log=FILE "
+                    "--watchdog-sec=N "
                     "--checkpoint-dir=DIR --checkpoint-every=N "
                     "--checkpoint-keep=N --resume[=latest|PATH]\n");
         std::exit(0);
@@ -174,11 +182,16 @@ struct BenchFlags {
     SetGlobalThreads(f.threads);
     if (!TraceJsonPath().empty()) obs::TraceRecorder::Global().Enable();
     if (!MetricsJsonPath().empty() || !TraceJsonPath().empty() ||
-        !ProfileOutPath().empty()) {
+        !ProfileOutPath().empty() || !f.decision_log.empty()) {
       obs::RegisterFlush(ExportObsFiles);
       obs::InstallSignalFlushHandlers();
     }
     std::string error;
+    if (!f.decision_log.empty() &&
+        !obs::DecisionLog::Global().Open(f.decision_log, &error)) {
+      std::fprintf(stderr, "decision log: %s\n", error.c_str());
+      std::exit(2);
+    }
     if (!ProfileOutPath().empty()) {
       obs::ProfilerOptions popts;
       popts.hz = f.profile_hz;

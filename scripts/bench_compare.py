@@ -30,17 +30,26 @@ comparable — if both logs carry `simd` and their level sets differ, the
 comparison is refused outright rather than reporting a phantom
 regression/improvement. Re-run one side under ERMINER_SIMD=<level> to
 match. Logs predating the field compare as before.
+
+Decision-log counters (`decision_log/events`, `decision_log/dropped`) are
+likewise metadata, never identity: mining results are bit-identical with
+and without --decision-log, so a log armed on only one side must still
+match. A nonzero `decision_log/dropped` is reported as a warning like the
+other observability loss counters — those events are missing from the log.
 """
 
 import json
 import sys
 
 MARKER = "BENCH_JSON "
-NON_IDENTITY = {"cpu_seconds", "peak_rss_bytes", "metrics", "simd"}
+NON_IDENTITY = {"cpu_seconds", "peak_rss_bytes", "metrics", "simd",
+                "decision_log"}
 # Observability loss counters: nonzero values mean the profile / sampled
-# history under-represents the run, so timings may look cleaner than they
-# were. Reported as a warning, never a failure.
-DROP_COUNTERS = ("profiler/dropped", "sampler/dropped_samples")
+# history / decision log under-represents the run, so timings may look
+# cleaner (or provenance more complete) than they were. Reported as a
+# warning, never a failure.
+DROP_COUNTERS = ("profiler/dropped", "sampler/dropped_samples",
+                 "decision_log/dropped")
 
 
 def is_timing(key):

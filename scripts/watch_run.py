@@ -15,6 +15,11 @@ set of mining/RL signals and adds any rl/* gauge it sees.
 and snapshot path) from the checkpoint events in DIR/episodes.jsonl — so a
 glance answers "how much would a crash right now lose?".
 
+When the run writes a decision log (--decision-log=FILE), the dashboard
+also polls GET /decisions and shows the rule-emission rate and a breakdown
+of the last-N prune reasons — a glance answers "is the miner still finding
+rules, and what is cutting its search space?".
+
 --once prints a single snapshot (no loop, no screen clearing) — usable from
 scripts and smoke tests. Standard library only.
 """
@@ -66,6 +71,39 @@ def sparkline(history):
         return SPARK[0] * len(history)
     scale = (len(SPARK) - 1) / (hi - lo)
     return "".join(SPARK[int((v - lo) * scale)] for v in history)
+
+
+def fetch_decisions(host, port, tail=64):
+    """GET /decisions summary, or None when the server predates the
+    endpoint or the log is not armed."""
+    url = f"http://{host}:{port}/decisions?tail={tail}"
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, json.JSONDecodeError):
+        return None
+
+
+def decision_lines(dec, previous, interval):
+    """Emission rate + last-N prune-reason breakdown for an armed log."""
+    if not dec or not dec.get("armed"):
+        return []
+    events = dec.get("events", {})
+    emits = float(events.get("emit", 0))
+    delta = emits - previous.get("__decision_emits", emits)
+    previous["__decision_emits"] = emits
+    rate = delta / interval if interval > 0 else delta
+    lines = [f"decision log: {dec.get('path', '')}  "
+             f"emits {emits:.0f} ({rate:.1f}/s)  "
+             f"dropped {dec.get('dropped', 0)}"]
+    reasons = dec.get("prune_reasons", {})
+    total = sum(reasons.values())
+    if total:
+        parts = ", ".join(
+            f"{name} {100.0 * count / total:.0f}%"
+            for name, count in sorted(reasons.items(), key=lambda kv: -kv[1]))
+        lines.append(f"  last-{total} prunes: {parts}")
+    return lines
 
 
 def checkpoint_status(run_dir):
@@ -150,6 +188,8 @@ def main(argv):
             history.append(plotted)
             del history[:-HISTORY]
             lines.append(f"{name:<32} {label:>18}  {sparkline(history)}")
+        lines.extend(decision_lines(fetch_decisions(host, port),
+                                    previous, interval))
         if run_dir:
             lines.append(checkpoint_status(run_dir))
         if once:

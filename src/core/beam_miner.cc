@@ -4,6 +4,7 @@
 
 #include "core/action_space.h"
 #include "core/mask.h"
+#include "obs/decision_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/timer.h"
@@ -50,11 +51,17 @@ MineResult BeamMine(const Corpus& corpus, const MinerOptions& options,
       // This node's LHS is the refinement hint for its LHS-extending
       // children (their LHS is it plus exactly one pair).
       const LhsPairs parent_lhs = space.Decode(node.key).lhs;
+      const bool decisions = obs::DecisionLog::Armed();
       for (int32_t a = 0; a < space.stop_action(); ++a) {
         if (!mask[static_cast<size_t>(a)]) continue;
         RuleKey child_key = KeyWith(node.key, a);
         if (!discovered.insert(child_key).second) {
           ++prune_duplicate;
+          if (decisions) {
+            obs::DecisionLog::Global().Prune(obs::DecisionMiner::kBeam,
+                                             obs::PruneReason::kDuplicate,
+                                             node.key, a, 0.0);
+          }
           continue;
         }
         ++result.nodes_explored;
@@ -65,15 +72,36 @@ MineResult BeamMine(const Corpus& corpus, const MinerOptions& options,
                                  : node.cover;
         RuleStats stats = evaluator.Evaluate(
             rule, cover, is_pattern ? nullptr : &parent_lhs);
+        if (decisions) {
+          obs::DecisionLog::Global().Expand(obs::DecisionMiner::kBeam,
+                                            node.key, a, child_key);
+        }
         if (static_cast<double>(stats.support) <
             options.support_threshold) {
           ++prune_support;
+          if (decisions) {
+            obs::DecisionLog::Global().Prune(
+                obs::DecisionMiner::kBeam, obs::PruneReason::kSupport,
+                node.key, a, static_cast<double>(stats.support));
+          }
           continue;  // Lemma 1: no descendant can recover
         }
-        if (!rule.lhs.empty()) pool.push_back({rule, stats});
+        if (!rule.lhs.empty()) {
+          pool.push_back({rule, stats, RuleProvenanceId(rule, corpus)});
+          ERMINER_COUNT("miner/rules_emitted", 1);
+          if (decisions) {
+            obs::DecisionLog::Global().Emit(
+                obs::DecisionMiner::kBeam, pool.back().provenance, child_key,
+                stats.support, stats.certainty, stats.quality, stats.utility);
+          }
+        }
         if (rule.lhs.empty() || stats.certainty < 1.0) {
           next.push_back({std::move(child_key), std::move(cover),
                           stats.utility});
+        } else if (decisions) {
+          obs::DecisionLog::Global().Prune(
+              obs::DecisionMiner::kBeam, obs::PruneReason::kCertain, node.key,
+              a, stats.certainty);
         }
       }
     }
@@ -90,6 +118,13 @@ MineResult BeamMine(const Corpus& corpus, const MinerOptions& options,
                         [](const BeamNode& x, const BeamNode& y) {
                           return x.utility > y.utility;
                         });
+      if (obs::DecisionLog::Armed()) {
+        for (size_t i = beam_options.beam_width; i < next.size(); ++i) {
+          obs::DecisionLog::Global().Prune(
+              obs::DecisionMiner::kBeam, obs::PruneReason::kBeamWidth,
+              next[i].key, -1, next[i].utility);
+        }
+      }
       next.resize(beam_options.beam_width);
     }
     beam = std::move(next);

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "index/group_index.h"
+#include "obs/decision_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/hash.h"
@@ -29,6 +30,9 @@ int ReverseMatch(const Corpus& corpus, int am) {
 struct PGroupAgg {
   long rows = 0;
   bool confident = true;
+  /// The smallest group confidence seen — the measure a confidence prune
+  /// reports to the decision log.
+  double min_certainty = 1.0;
 };
 
 }  // namespace
@@ -116,6 +120,18 @@ MineResult CfdMine(const Corpus& corpus, const MinerOptions& options,
     const GroupIndex& index = *index_ptr;
     ++result.nodes_explored;
 
+    // The decision log's lattice key for a CTANE node is its master-column
+    // list (ascending); the walk's refinement parent drops the lowest set
+    // bit, i.e. the first column. Candidate-level events pack p_bits into
+    // the action field.
+    const bool decisions = obs::DecisionLog::Armed();
+    std::vector<int32_t> x_key(xm_cols.begin(), xm_cols.end());
+    if (decisions) {
+      std::vector<int32_t> x_parent(x_key.begin() + 1, x_key.end());
+      obs::DecisionLog::Global().Expand(obs::DecisionMiner::kCtane, x_parent,
+                                        x_key.front(), x_key);
+    }
+
     uint64_t candidates = 0, prune_confidence = 0, prune_support = 0;
     // Every proper constant subset P of X (wildcards W = X \ P nonempty).
     const uint32_t p_limit = 1u << x_members.size();
@@ -135,7 +151,9 @@ MineResult CfdMine(const Corpus& corpus, const MinerOptions& options,
         }
         PGroupAgg& a = agg[pkey];
         a.rows += group.total;
-        if (group.Certainty() < cfd_options.min_confidence) {
+        const double certainty = group.Certainty();
+        if (certainty < a.min_certainty) a.min_certainty = certainty;
+        if (certainty < cfd_options.min_confidence) {
           a.confident = false;
         }
       }
@@ -143,10 +161,21 @@ MineResult CfdMine(const Corpus& corpus, const MinerOptions& options,
         ++candidates;
         if (!a.confident) {
           ++prune_confidence;
+          if (decisions) {
+            obs::DecisionLog::Global().Prune(
+                obs::DecisionMiner::kCtane, obs::PruneReason::kConfidence,
+                x_key, static_cast<int32_t>(p_bits), a.min_certainty);
+          }
           continue;
         }
         if (static_cast<double>(a.rows) < eta_m) {
           ++prune_support;
+          if (decisions) {
+            obs::DecisionLog::Global().Prune(
+                obs::DecisionMiner::kCtane, obs::PruneReason::kMasterSupport,
+                x_key, static_cast<int32_t>(p_bits),
+                static_cast<double>(a.rows));
+          }
           continue;
         }
         // Convert: wildcards -> LHS pairs, constants -> pattern conditions.
@@ -176,7 +205,15 @@ MineResult CfdMine(const Corpus& corpus, const MinerOptions& options,
         }
         if (!valid || rule.lhs.empty()) continue;
         RuleStats stats = evaluator.Evaluate(rule);
-        pool.push_back({std::move(rule), stats});
+        const uint64_t provenance = RuleProvenanceId(rule, corpus);
+        ERMINER_COUNT("miner/rules_emitted", 1);
+        if (decisions) {
+          obs::DecisionLog::Global().Emit(obs::DecisionMiner::kCtane,
+                                          provenance, x_key, stats.support,
+                                          stats.certainty, stats.quality,
+                                          stats.utility);
+        }
+        pool.push_back({std::move(rule), stats, provenance});
       }
     }
     ERMINER_COUNT("ctane/candidates", candidates);

@@ -4,6 +4,7 @@
 
 #include "core/action_space.h"
 #include "core/mask.h"
+#include "obs/decision_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
@@ -88,6 +89,11 @@ MineResult EnuMine(const Corpus& corpus, const MinerOptions& options) {
       RuleKey child_key = KeyWith(node.key, a);
       if (!discovered.insert(child_key).second) {  // already seen
         ++prune_duplicate;
+        if (obs::DecisionLog::Armed()) {
+          obs::DecisionLog::Global().Prune(obs::DecisionMiner::kEnu,
+                                           obs::PruneReason::kDuplicate,
+                                           node.key, a, 0.0);
+        }
         continue;
       }
       ++result.nodes_explored;
@@ -119,15 +125,35 @@ MineResult EnuMine(const Corpus& corpus, const MinerOptions& options) {
     });
 
     uint64_t prune_support = 0, pooled = 0, enqueued = 0, closed = 0;
+    // Decision-provenance events are recorded in this serial consume loop
+    // (candidate order), so the log's event order is deterministic and the
+    // mined results stay bit-identical for any thread count.
+    const bool decisions = obs::DecisionLog::Armed();
     for (Candidate& c : frontier) {
+      if (decisions) {
+        obs::DecisionLog::Global().Expand(obs::DecisionMiner::kEnu, node.key,
+                                          c.action, c.key);
+      }
       // Support pruning (Lemma 1): children cannot beat the threshold.
       if (static_cast<double>(c.stats.support) < options.support_threshold) {
         ++prune_support;
+        if (decisions) {
+          obs::DecisionLog::Global().Prune(
+              obs::DecisionMiner::kEnu, obs::PruneReason::kSupport, node.key,
+              c.action, static_cast<double>(c.stats.support));
+        }
         continue;
       }
       if (!c.rule.lhs.empty()) {
-        pool.push_back({c.rule, c.stats});
+        pool.push_back({c.rule, c.stats, RuleProvenanceId(c.rule, corpus)});
         ++pooled;
+        ERMINER_COUNT("miner/rules_emitted", 1);
+        if (decisions) {
+          obs::DecisionLog::Global().Emit(
+              obs::DecisionMiner::kEnu, pool.back().provenance, c.key,
+              c.stats.support, c.stats.certainty, c.stats.quality,
+              c.stats.utility);
+        }
       }
       // Refine further unless the rule already returns certain fixes
       // (Alg. 4 line 14); rules without an LHS must keep growing.
@@ -137,6 +163,11 @@ MineResult EnuMine(const Corpus& corpus, const MinerOptions& options) {
                          c.rule.LhsSize(), c.rule.PatternSize()});
       } else {
         ++closed;  // certain already: the subtree below is never opened
+        if (decisions) {
+          obs::DecisionLog::Global().Prune(
+              obs::DecisionMiner::kEnu, obs::PruneReason::kCertain, node.key,
+              c.action, c.stats.certainty);
+        }
       }
     }
     ERMINER_COUNT("enuminer/prune_support", prune_support);

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/decision_log.h"
+#include "obs/metrics.h"
+
 namespace erminer {
 
 Environment::Environment(const Corpus* corpus, const ActionSpace* space,
@@ -27,6 +30,8 @@ void Environment::Reset() {
   discovered_.insert(RuleKey{});
   current_ = 0;
   done_ = false;
+  ++episode_index_;
+  step_index_ = 0;
 }
 
 const RuleKey& Environment::current_state() const {
@@ -77,6 +82,8 @@ void Environment::AdvanceToNextNode() {
 
 Environment::StepResult Environment::Step(int32_t action) {
   ERMINER_CHECK(!done_);
+  ++step_index_;
+  const bool decisions = obs::DecisionLog::Armed();
   StepResult sr;
   sr.state = nodes_[current_].key;
   sr.action = action;
@@ -92,6 +99,11 @@ Environment::StepResult Environment::Step(int32_t action) {
       // Only reachable when the global mask is ablated: the agent re-derived
       // an existing rule. Pay the (cached) reward, grow nothing.
       ERMINER_CHECK(!options_.use_global_mask);
+      if (decisions) {
+        obs::DecisionLog::Global().Prune(obs::DecisionMiner::kRl,
+                                         obs::PruneReason::kDuplicate,
+                                         nodes_[parent_id].key, action, 0.0);
+      }
       EditingRule rule = space_->Decode(child_key);
       sr.reward = BaseReward(child_key, StatsOf(child_key, rule, nullptr));
       sr.done = done_;
@@ -129,9 +141,27 @@ Environment::StepResult Environment::Step(int32_t action) {
     const size_t child_id = nodes_.size();
     nodes_.push_back({std::move(child_key), cover, 0});
     ++total_nodes_;
+    if (decisions) {
+      obs::DecisionLog::Global().Expand(obs::DecisionMiner::kRl,
+                                        nodes_[parent_id].key, action,
+                                        nodes_[child_id].key);
+      if (!supported) {
+        obs::DecisionLog::Global().Prune(
+            obs::DecisionMiner::kRl, obs::PruneReason::kSupport,
+            nodes_[parent_id].key, action,
+            static_cast<double>(stats.support));
+      }
+    }
 
     if (supported && !rule.lhs.empty()) {
-      leaves_.push_back({rule, stats});
+      leaves_.push_back({rule, stats, RuleProvenanceId(rule, *corpus_)});
+      ERMINER_COUNT("miner/rules_emitted", 1);
+      if (decisions) {
+        obs::DecisionLog::Global().Emit(
+            obs::DecisionMiner::kRl, leaves_.back().provenance,
+            nodes_[child_id].key, stats.support, stats.certainty,
+            stats.quality, stats.utility, episode_index_, step_index_);
+      }
       if (pool_keys_.insert(nodes_[child_id].key).second) {
         global_pool_.push_back(leaves_.back());
       }
@@ -142,6 +172,11 @@ Environment::StepResult Environment::Step(int32_t action) {
     // the support threshold holds; rules without an LHS must keep growing.
     const bool refinable =
         supported && (rule.lhs.empty() || stats.certainty < 1.0);
+    if (decisions && supported && !refinable) {
+      obs::DecisionLog::Global().Prune(
+          obs::DecisionMiner::kRl, obs::PruneReason::kCertain,
+          nodes_[parent_id].key, action, stats.certainty);
+    }
     if (!done_) {
       if (refinable) {
         queue_.push_back(child_id);
@@ -201,6 +236,7 @@ Status Environment::LoadPersistent(ckpt::Reader* r) {
     }
     ScoredRule sr;
     sr.rule = space_->Decode(key);
+    sr.provenance = RuleProvenanceId(sr.rule, *corpus_);
     int64_t support = 0;
     ERMINER_RETURN_NOT_OK(r->I64(&support));
     sr.stats.support = static_cast<long>(support);

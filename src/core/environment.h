@@ -94,6 +94,13 @@ class Environment {
   size_t total_nodes() const { return total_nodes_; }
   size_t reward_cache_size() const { return reward_cache_.size(); }
 
+  /// 1-based count of Reset() calls and the step count within the current
+  /// episode — the (episode, step) coordinates the decision log stamps on
+  /// its RL events, so RlMiner's step records and the environment's emit
+  /// records join on the same axes.
+  size_t episode_index() const { return episode_index_; }
+  size_t step_index() const { return step_index_; }
+
   const ActionSpace& space() const { return *space_; }
   const EnvOptions& options() const { return options_; }
 
@@ -145,6 +152,8 @@ class Environment {
   RuleKeySet pool_keys_;
   std::vector<ScoredRule> global_pool_;
   size_t total_nodes_ = 0;
+  size_t episode_index_ = 0;
+  size_t step_index_ = 0;
 };
 
 }  // namespace erminer

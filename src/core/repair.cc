@@ -2,10 +2,25 @@
 
 #include <unordered_map>
 
+#include "obs/decision_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace erminer {
+
+namespace {
+
+/// Best single-rule contributor to one (row, candidate) score — the rule the
+/// repair audit attributes the fix to. ApplyRules sums sigma across rules
+/// before the argmax, so attribution is tracked on the side (armed only).
+struct Contributor {
+  double sigma = -1.0;
+  uint32_t rule = 0;
+  const Group* group = nullptr;
+  uint32_t entry = 0;  // index into the kept-alive EvalCache entries
+};
+
+}  // namespace
 
 RepairOutcome ApplyRules(RuleEvaluator* evaluator,
                          const std::vector<ScoredRule>& rules) {
@@ -17,9 +32,17 @@ RepairOutcome ApplyRules(RuleEvaluator* evaluator,
   out.prediction.assign(n, kNullCode);
   out.score.assign(n, 0.0);
 
+  // The audit keeps each rule's cache entry alive (shared_ptrs) so the
+  // winning Group pointers can be resolved to master rows after the argmax.
+  const bool audit = obs::DecisionLog::Armed();
+  std::vector<EvalCache::Entry> entries;
+  std::vector<std::unordered_map<ValueCode, Contributor>> contribs;
+  if (audit) contribs.resize(n);
+
   // Aggregate certainty scores per (row, candidate).
   std::vector<std::unordered_map<ValueCode, double>> scores(n);
-  for (const auto& sr : rules) {
+  for (size_t ri = 0; ri < rules.size(); ++ri) {
+    const ScoredRule& sr = rules[ri];
     Cover cover = CoverOf(corpus, sr.rule.pattern);
     EvalCache::Entry entry = evaluator->cache().Get(sr.rule.lhs);
     const auto& groups = entry.column->group;
@@ -27,10 +50,19 @@ RepairOutcome ApplyRules(RuleEvaluator* evaluator,
       const Group* g = groups[r];
       if (g == nullptr || g->total == 0) continue;
       for (const auto& [v, c] : g->counts) {
-        scores[r][v] +=
+        const double sigma =
             static_cast<double>(c) / static_cast<double>(g->total);
+        scores[r][v] += sigma;
+        if (audit) {
+          Contributor& best = contribs[r][v];
+          if (sigma > best.sigma) {
+            best = {sigma, static_cast<uint32_t>(ri), g,
+                    static_cast<uint32_t>(entries.size())};
+          }
+        }
       }
     }
+    if (audit) entries.push_back(std::move(entry));
   }
   for (size_t r = 0; r < n; ++r) {
     ValueCode best = kNullCode;
@@ -43,9 +75,36 @@ RepairOutcome ApplyRules(RuleEvaluator* evaluator,
     }
     out.prediction[r] = best;
     out.score[r] = best_score;
-    if (best != kNullCode) ++out.num_predictions;
+    if (best != kNullCode) {
+      ++out.num_predictions;
+      if (audit) {
+        const Contributor& c = contribs[r][best];
+        const ScoredRule& sr = rules[c.rule];
+        const uint64_t rule_id = sr.provenance != 0
+                                     ? sr.provenance
+                                     : RuleProvenanceId(sr.rule, corpus);
+        // The master tuple behind the fix: the first row of the winning
+        // group whose Y_m equals the predicted value.
+        int64_t master_row = -1;
+        const GroupIndex& index = *entries[c.entry].index;
+        auto [mb, me] = index.rows_of(index.IdOf(c.group));
+        for (const uint32_t* m = mb; m != me; ++m) {
+          if (corpus.master().at(*m, static_cast<size_t>(
+                                          corpus.y_master())) == best) {
+            master_row = static_cast<int64_t>(*m);
+            break;
+          }
+        }
+        const ValueCode old_value = corpus.input().at(
+            r, static_cast<size_t>(corpus.y_input()));
+        obs::DecisionLog::Global().Repair(
+            rule_id, r, master_row, static_cast<int32_t>(old_value),
+            static_cast<int32_t>(best), best_score);
+      }
+    }
   }
   ERMINER_COUNT("repair/predictions", out.num_predictions);
+  ERMINER_COUNT("repair/cells_repaired", out.num_predictions);
   return out;
 }
 

@@ -69,6 +69,38 @@ bool EditingRule::Dominates(const EditingRule& other) const {
   return pattern.DominatesOrEquals(other.pattern);
 }
 
+uint64_t RuleProvenanceId(const EditingRule& rule, const Corpus& corpus) {
+  const Schema& in = corpus.input().schema();
+  const Schema& ms = corpus.master().schema();
+  // FNV-1a over a tagged, NUL-delimited rendering of the rule's structure.
+  uint64_t h = 0xCBF29CE484222325ull;
+  auto mix = [&h](const char* s, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      h ^= static_cast<unsigned char>(s[i]);
+      h *= 0x100000001B3ull;
+    }
+  };
+  auto mix_str = [&](const std::string& s) {
+    mix(s.data(), s.size());
+    mix("\0", 1);
+  };
+  for (const auto& [a, am] : rule.lhs) {
+    mix("L", 1);
+    mix_str(in.attribute(static_cast<size_t>(a)).name);
+    mix_str(ms.attribute(static_cast<size_t>(am)).name);
+  }
+  mix("Y", 1);
+  mix_str(in.attribute(static_cast<size_t>(rule.y_input)).name);
+  mix_str(ms.attribute(static_cast<size_t>(rule.y_master)).name);
+  for (const PatternItem& item : rule.pattern.items()) {
+    mix(item.negated ? "N" : "P", 1);
+    mix_str(in.attribute(static_cast<size_t>(item.attr)).name);
+    const Domain& dom = *corpus.input().domain(static_cast<size_t>(item.attr));
+    for (ValueCode v : item.values) mix_str(dom.value(v));
+  }
+  return h != 0 ? h : 1;  // 0 is reserved for "no id"
+}
+
 std::string EditingRule::ToString(const Corpus& corpus) const {
   const Schema& in = corpus.input().schema();
   const Schema& ms = corpus.master().schema();

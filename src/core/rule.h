@@ -92,6 +92,14 @@ struct EditingRule {
   std::string ToString(const Corpus& corpus) const;
 };
 
+/// The rule's provenance id: a 64-bit content hash over its structure by
+/// *name* (attribute names, pattern value strings), so the same rule gets
+/// the same id in any process over the same corpus files — mining, repair
+/// and the decision log all derive it independently and join on it. Never
+/// zero (zero means "no id"). Thread count, miner and log arming cannot
+/// change it: it is a pure function of (rule, corpus).
+uint64_t RuleProvenanceId(const EditingRule& rule, const Corpus& corpus);
+
 }  // namespace erminer
 
 #endif  // ERMINER_CORE_RULE_H_

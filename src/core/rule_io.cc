@@ -88,10 +88,18 @@ std::string RulesToText(const std::vector<ScoredRule>& rules,
         os << Escape(dom.value(item.values[v]));
       }
     }
-    char buf[96];
+    char buf[128];
     std::snprintf(buf, sizeof(buf), " S=%ld C=%.6f Q=%.6f U=%.6f",
                   sr.stats.support, sr.stats.certainty, sr.stats.quality,
                   sr.stats.utility);
+    os << buf;
+    // Provenance id: the join key into a --decision-log file (see
+    // docs/observability.md). Derived from rule content, so it is stable
+    // across write/read round trips; recomputed on read when absent.
+    const uint64_t id =
+        sr.provenance != 0 ? sr.provenance : RuleProvenanceId(sr.rule, corpus);
+    std::snprintf(buf, sizeof(buf), " id=%016llx",
+                  static_cast<unsigned long long>(id));
     os << buf << "\n";
   }
   return os.str();
@@ -192,9 +200,16 @@ Result<std::vector<ScoredRule>> RulesFromText(const std::string& text,
         sr.stats.quality = std::atof(value.c_str());
       } else if (key == "U") {
         sr.stats.utility = std::atof(value.c_str());
+      } else if (key == "id") {
+        // Optional (absent in pre-provenance files); recomputed below when
+        // missing or malformed so every loaded rule carries a join key.
+        sr.provenance = std::strtoull(value.c_str(), nullptr, 16);
       } else {
         return fail("unknown key " + key);
       }
+    }
+    if (sr.provenance == 0) {
+      sr.provenance = RuleProvenanceId(sr.rule, corpus);
     }
     out.push_back(std::move(sr));
   }

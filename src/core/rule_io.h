@@ -3,9 +3,13 @@
 //
 // Format: one rule per line,
 //   lhs=A:Am,B:Bm  y=Y:Ym  tp=Attr=val1|val2;Attr2=val  S=123 C=0.95 Q=0.4
+//   U=0.2 id=00451a2b3c4d5e6f
 // Attribute references are written by NAME (resolved against the corpus on
 // load, so a rule file survives column reordering); pattern values are the
-// dictionary strings. Lines starting with '#' are comments.
+// dictionary strings. Lines starting with '#' are comments. `id` is the
+// rule's provenance id (RuleProvenanceId) — the join key into a
+// --decision-log file; optional on read (recomputed when absent), so
+// pre-provenance files still load.
 
 #ifndef ERMINER_CORE_RULE_IO_H_
 #define ERMINER_CORE_RULE_IO_H_

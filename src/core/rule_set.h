@@ -13,6 +13,10 @@ namespace erminer {
 struct ScoredRule {
   EditingRule rule;
   RuleStats stats;
+  /// RuleProvenanceId(rule, corpus), filled by the miners at pool insertion
+  /// (and by rule_io on read): the join key into the decision log's emit and
+  /// repair events. 0 = not attached.
+  uint64_t provenance = 0;
 };
 
 /// Greedy utility-descending selection of at most K rules such that no

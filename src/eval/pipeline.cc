@@ -12,6 +12,7 @@
 #include "data/instance_match.h"
 #include "datagen/generators.h"
 #include "eval/experiment.h"
+#include "obs/decision_log.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/run_manifest.h"
@@ -133,6 +134,19 @@ class ScopedObsExports {
         ERMINER_LOG(WARNING) << "run manifest: " << error;
       }
     }
+    // Decision-provenance event log (docs/observability.md). Armed after
+    // the manifest so the log's path lands in config.json.
+    const std::string decision_log = config.Get("obs.decision_log", "");
+    if (!decision_log.empty()) {
+      if (obs::DecisionLog::Global().Open(decision_log, &error)) {
+        decision_log_armed_ = true;
+        if (manifest_ != nullptr) {
+          manifest_->SetProvenance("decision_log", decision_log);
+        }
+      } else {
+        ERMINER_LOG(WARNING) << "decision log: " << error;
+      }
+    }
     const std::string profile_spec = config.Get("obs.profile_out", "");
     if (!profile_spec.empty()) {
       obs::ProfilerOptions popts;
@@ -167,6 +181,7 @@ class ScopedObsExports {
       }
     }
     if (sampler_ != nullptr) sampler_->Stop();
+    if (decision_log_armed_) obs::DecisionLog::Global().Close();
     if (manifest_ != nullptr) {
       obs::SetActiveRunManifest(nullptr);
       manifest_->WriteSummary(
@@ -189,6 +204,7 @@ class ScopedObsExports {
   bool server_started_ = false;
   bool profiler_started_ = false;
   bool watchdog_started_ = false;
+  bool decision_log_armed_ = false;
   std::unique_ptr<obs::Sampler> sampler_;
   std::unique_ptr<obs::RunManifest> manifest_;
 };

@@ -1,0 +1,182 @@
+#include "obs/decision_explain.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace erminer::obs {
+
+namespace {
+
+std::string Hex16(uint64_t id) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatDecisionKey(const std::vector<int32_t>& key) {
+  std::string out = "[";
+  for (size_t i = 0; i < key.size(); ++i) {
+    if (i > 0) out += " ";
+    out += std::to_string(key[i]);
+  }
+  out += "]";
+  return out;
+}
+
+DecisionPath ReplayDecisionPath(const DecisionLogContents& log,
+                                uint64_t rule_id) {
+  DecisionPath path;
+  const DecisionEvent* emit = nullptr;
+  for (const DecisionEvent& e : log.events) {
+    if (e.type == DecisionEventType::kEmit && e.rule_id == rule_id) {
+      emit = &e;
+      break;
+    }
+  }
+  if (emit == nullptr) {
+    path.error = "rule id " + Hex16(rule_id) + " has no emit event in the log";
+    return path;
+  }
+  path.found = true;
+  path.emit = *emit;
+  const uint8_t miner = emit->miner;
+
+  // Child key -> the expand event that created it (first occurrence wins:
+  // keys are unique within a miner's walk, and the first is the creation).
+  std::map<std::vector<int32_t>, const DecisionEvent*> expand_of;
+  for (const DecisionEvent& e : log.events) {
+    if (e.type != DecisionEventType::kExpand || e.miner != miner) continue;
+    expand_of.emplace(e.key, &e);
+  }
+
+  // Walk parent links from the emitted node back to the root, then flip.
+  std::vector<int32_t> cur = emit->key;
+  while (!cur.empty()) {
+    auto it = expand_of.find(cur);
+    if (it == expand_of.end()) break;  // truncated log: partial chain
+    path.chain.push_back(*it->second);
+    cur = it->second->parent_key;
+  }
+  std::reverse(path.chain.begin(), path.chain.end());
+
+  // The roads not taken: prunes hanging off any node of the chain.
+  std::map<std::vector<int32_t>, bool> on_chain;
+  on_chain[emit->key] = true;
+  for (const DecisionEvent& e : path.chain) on_chain[e.parent_key] = true;
+  for (const DecisionEvent& e : log.events) {
+    if (e.type != DecisionEventType::kPrune || e.miner != miner) continue;
+    if (on_chain.count(e.parent_key)) path.prunes.push_back(e);
+  }
+
+  // RLMiner: the emitting episode's full step trajectory.
+  if (miner == static_cast<uint8_t>(DecisionMiner::kRl) &&
+      emit->episode != 0) {
+    for (const DecisionEvent& e : log.events) {
+      if (e.type == DecisionEventType::kRlStep &&
+          e.episode == emit->episode) {
+        path.trajectory.push_back(e);
+      }
+    }
+  }
+
+  for (const DecisionEvent& e : log.events) {
+    if (e.type == DecisionEventType::kRepair && e.rule_id == rule_id) {
+      path.repairs.push_back(e);
+    }
+  }
+  return path;
+}
+
+std::string FormatDecisionPath(const DecisionPath& path, size_t max_prunes,
+                               size_t max_repairs) {
+  if (!path.found) return path.error + "\n";
+  const DecisionEvent& emit = path.emit;
+  std::string out;
+  out += "rule " + Hex16(emit.rule_id) + " emitted by " +
+         DecisionMinerName(static_cast<DecisionMiner>(emit.miner)) +
+         "  S=" + std::to_string(emit.support) + " C=" + Num(emit.certainty) +
+         " Q=" + Num(emit.quality) + " U=" + Num(emit.utility);
+  if (emit.episode != 0) {
+    out += "  (episode " + std::to_string(emit.episode) + ", step " +
+           std::to_string(emit.step) + ")";
+  }
+  out += "\n";
+
+  out += "decision path (" + std::to_string(path.chain.size()) +
+         " expansions, root to leaf):\n";
+  for (const DecisionEvent& e : path.chain) {
+    out += "  " + FormatDecisionKey(e.parent_key) + " --action " +
+           std::to_string(e.action) + "--> " + FormatDecisionKey(e.key) +
+           "\n";
+  }
+  if (path.chain.empty() ||
+      (path.chain.front().parent_key.empty() == false)) {
+    out += "  (chain incomplete: the log does not reach the root — "
+           "truncated file or pre-existing node)\n";
+  }
+
+  if (!path.trajectory.empty()) {
+    out += "episode trajectory (" + std::to_string(path.trajectory.size()) +
+           " RL steps):\n";
+    for (const DecisionEvent& e : path.trajectory) {
+      out += "  step " + std::to_string(e.step) + ": state " +
+             FormatDecisionKey(e.key) + " action " +
+             std::to_string(e.action) +
+             (e.action == e.greedy_action ? " (greedy)"
+                                          : " (greedy was " +
+                                                std::to_string(
+                                                    e.greedy_action) +
+                                                ")") +
+             " q=" + Num(e.q_chosen) + "/" + Num(e.q_greedy) +
+             " eps=" + Num(e.epsilon) + " r=" + Num(e.reward);
+      if (e.flags & kRlStepExplored) out += " [explored]";
+      if (e.flags & kRlStepInference) out += " [inference]";
+      out += "\n";
+    }
+  }
+
+  if (!path.prunes.empty()) {
+    out += "prunes along the path (" + std::to_string(path.prunes.size()) +
+           "):\n";
+    size_t shown = 0;
+    for (const DecisionEvent& e : path.prunes) {
+      if (max_prunes != 0 && shown++ >= max_prunes) {
+        out += "  ... (" + std::to_string(path.prunes.size() - max_prunes) +
+               " more)\n";
+        break;
+      }
+      out += "  at " + FormatDecisionKey(e.parent_key) + " action " +
+             std::to_string(e.action) + ": " +
+             PruneReasonName(static_cast<PruneReason>(e.reason)) +
+             " (measure " + Num(e.measure) + ")\n";
+    }
+  }
+
+  out += "repaired cells (" + std::to_string(path.repairs.size()) + "):\n";
+  size_t shown = 0;
+  for (const DecisionEvent& e : path.repairs) {
+    if (max_repairs != 0 && shown++ >= max_repairs) {
+      out += "  ... (" + std::to_string(path.repairs.size() - max_repairs) +
+             " more)\n";
+      break;
+    }
+    out += "  row " + std::to_string(e.row) + ": value " +
+           std::to_string(e.old_value) + " -> " +
+           std::to_string(e.new_value) + " (master row " +
+           std::to_string(e.master_row) + ", score " + Num(e.measure) +
+           ")\n";
+  }
+  return out;
+}
+
+}  // namespace erminer::obs

@@ -1,0 +1,55 @@
+// Replaying one rule's decision path out of a decision log: the read-side
+// companion to decision_log.h used by `erminer explain <rule-id>` and
+// tools/decision_stats. Given a parsed log and a rule provenance id, the
+// replay finds the rule's emission, reconstructs the chain of expansions
+// that produced it (lattice path for EnuMiner/Beam/CTANE, tree path plus
+// the episode's step trajectory for RLMiner), gathers the prune decisions
+// taken along that chain, and lists the cells the rule repaired.
+
+#ifndef ERMINER_OBS_DECISION_EXPLAIN_H_
+#define ERMINER_OBS_DECISION_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/decision_log.h"
+
+namespace erminer::obs {
+
+struct DecisionPath {
+  /// False when `rule_id` has no emit event in the log; `error` says so.
+  bool found = false;
+  std::string error;
+
+  DecisionEvent emit;
+  /// Expansion chain, root to emitted node. May stop short of the root when
+  /// the log is truncated (the surviving prefix is still in order).
+  std::vector<DecisionEvent> chain;
+  /// Prune events whose parent node lies on the chain — the roads not
+  /// taken at each step of the path.
+  std::vector<DecisionEvent> prunes;
+  /// RLMiner only: every RlStep of the episode that emitted the rule.
+  std::vector<DecisionEvent> trajectory;
+  /// Repair events attributed to this rule.
+  std::vector<DecisionEvent> repairs;
+};
+
+/// Replays the decision path of `rule_id` from parsed log contents. The
+/// first emit event carrying the id anchors the replay (re-emissions of the
+/// same rule share one id by construction).
+DecisionPath ReplayDecisionPath(const DecisionLogContents& log,
+                                uint64_t rule_id);
+
+/// Human-readable rendering of a replayed path (`erminer explain` output).
+/// `max_prunes` / `max_repairs` cap the listed events (0 = unlimited).
+std::string FormatDecisionPath(const DecisionPath& path,
+                               size_t max_prunes = 12,
+                               size_t max_repairs = 20);
+
+/// "[3 17 42]" — the key rendering shared by the explain output.
+std::string FormatDecisionKey(const std::vector<int32_t>& key);
+
+}  // namespace erminer::obs
+
+#endif  // ERMINER_OBS_DECISION_EXPLAIN_H_

@@ -1,0 +1,710 @@
+#include "obs/decision_log.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/fault.h"
+#include "obs/flush.h"
+#include "obs/metrics.h"
+
+namespace erminer::obs {
+
+namespace {
+
+/// Per-thread buffers past this size drain to the file early, so an armed
+/// log's memory stays bounded no matter how long the mine runs.
+constexpr size_t kSpillBytes = 1 << 20;
+
+/// Live-summary ring capacities (see SummaryJson).
+constexpr size_t kRecentEmits = 256;
+constexpr size_t kRecentPrunes = 4096;
+
+// --- CRC-32 (IEEE 802.3, reflected; same family as util/crc32 but local:
+// obs sits below erminer_util, so it cannot link against it) --------------
+
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+// --- Little-endian encoding (mirrors ckpt/serial.h's wire conventions) ---
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  PutU64(out, bits);
+}
+
+void PutKey(std::string* out, const std::vector<int32_t>& key) {
+  PutU32(out, static_cast<uint32_t>(key.size()));
+  for (int32_t v : key) PutI32(out, v);
+}
+
+/// Bound-checked reader over one record payload (or the whole file for the
+/// framing). Every getter returns false instead of reading past the end,
+/// with overflow-safe arithmetic (the ckpt::Reader::CheckRemaining idiom).
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t pos() const { return pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  bool U8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool U32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 4;
+    *v = out;
+    return true;
+  }
+
+  bool U64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 8;
+    *v = out;
+    return true;
+  }
+
+  bool I32(int32_t* v) {
+    uint32_t u;
+    if (!U32(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
+
+  bool I64(int64_t* v) {
+    uint64_t u;
+    if (!U64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+
+  bool F64(double* v) {
+    uint64_t bits;
+    if (!U64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof *v);
+    return true;
+  }
+
+  bool Key(std::vector<int32_t>* key) {
+    uint32_t n;
+    if (!U32(&n)) return false;
+    if (remaining() / 4 < n) return false;  // overflow-safe bound check
+    key->resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (!I32(&(*key)[i])) return false;
+    }
+    return true;
+  }
+
+  bool Bytes(size_t n, std::string_view* out) {
+    if (remaining() < n) return false;
+    *out = data_.substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+std::string EncodePayload(const DecisionEvent& e) {
+  std::string p;
+  switch (e.type) {
+    case DecisionEventType::kExpand:
+      PutU8(&p, e.miner);
+      PutKey(&p, e.parent_key);
+      PutI32(&p, e.action);
+      PutKey(&p, e.key);
+      break;
+    case DecisionEventType::kPrune:
+      PutU8(&p, e.miner);
+      PutU8(&p, e.reason);
+      PutKey(&p, e.parent_key);
+      PutI32(&p, e.action);
+      PutF64(&p, e.measure);
+      break;
+    case DecisionEventType::kEmit:
+      PutU8(&p, e.miner);
+      PutU64(&p, e.rule_id);
+      PutKey(&p, e.key);
+      PutI64(&p, e.support);
+      PutF64(&p, e.certainty);
+      PutF64(&p, e.quality);
+      PutF64(&p, e.utility);
+      PutU64(&p, e.episode);
+      PutU64(&p, e.step);
+      break;
+    case DecisionEventType::kRlStep:
+      PutU8(&p, e.flags);
+      PutU64(&p, e.episode);
+      PutU64(&p, e.step);
+      PutKey(&p, e.key);
+      PutI32(&p, e.action);
+      PutI32(&p, e.greedy_action);
+      PutF64(&p, e.epsilon);
+      PutF64(&p, e.q_chosen);
+      PutF64(&p, e.q_greedy);
+      PutF64(&p, e.reward);
+      break;
+    case DecisionEventType::kRlTrain:
+      PutU64(&p, e.step);
+      PutU64(&p, e.replay_size);
+      PutF64(&p, e.loss);
+      break;
+    case DecisionEventType::kRepair:
+      PutU64(&p, e.rule_id);
+      PutU64(&p, e.row);
+      PutI64(&p, e.master_row);
+      PutI32(&p, e.old_value);
+      PutI32(&p, e.new_value);
+      PutF64(&p, e.measure);
+      break;
+  }
+  return p;
+}
+
+bool DecodePayload(DecisionEventType type, std::string_view payload,
+                   DecisionEvent* e) {
+  Cursor c(payload);
+  e->type = type;
+  switch (type) {
+    case DecisionEventType::kExpand:
+      if (!c.U8(&e->miner) || !c.Key(&e->parent_key) || !c.I32(&e->action) ||
+          !c.Key(&e->key)) {
+        return false;
+      }
+      break;
+    case DecisionEventType::kPrune:
+      if (!c.U8(&e->miner) || !c.U8(&e->reason) || !c.Key(&e->parent_key) ||
+          !c.I32(&e->action) || !c.F64(&e->measure)) {
+        return false;
+      }
+      break;
+    case DecisionEventType::kEmit:
+      if (!c.U8(&e->miner) || !c.U64(&e->rule_id) || !c.Key(&e->key) ||
+          !c.I64(&e->support) || !c.F64(&e->certainty) ||
+          !c.F64(&e->quality) || !c.F64(&e->utility) || !c.U64(&e->episode) ||
+          !c.U64(&e->step)) {
+        return false;
+      }
+      break;
+    case DecisionEventType::kRlStep:
+      if (!c.U8(&e->flags) || !c.U64(&e->episode) || !c.U64(&e->step) ||
+          !c.Key(&e->key) || !c.I32(&e->action) ||
+          !c.I32(&e->greedy_action) || !c.F64(&e->epsilon) ||
+          !c.F64(&e->q_chosen) || !c.F64(&e->q_greedy) || !c.F64(&e->reward)) {
+        return false;
+      }
+      break;
+    case DecisionEventType::kRlTrain:
+      if (!c.U64(&e->step) || !c.U64(&e->replay_size) || !c.F64(&e->loss)) {
+        return false;
+      }
+      break;
+    case DecisionEventType::kRepair:
+      if (!c.U64(&e->rule_id) || !c.U64(&e->row) || !c.I64(&e->master_row) ||
+          !c.I32(&e->old_value) || !c.I32(&e->new_value) ||
+          !c.F64(&e->measure)) {
+        return false;
+      }
+      break;
+    default:
+      return false;
+  }
+  return c.AtEnd();  // trailing payload bytes are corruption, not slack
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out->push_back('\\');
+    out->push_back(ch);
+  }
+}
+
+/// The flush-registry hook: a plain function pointer per obs/flush.h.
+void DecisionLogFlushHook() { DecisionLog::Global().Flush(); }
+
+}  // namespace
+
+std::atomic<bool> DecisionLog::armed_flag_{false};
+
+uint32_t DecisionLogCrc32(const void* data, size_t n) {
+  const uint32_t* table = Crc32Table();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string EncodeDecisionEvent(const DecisionEvent& event) {
+  const std::string payload = EncodePayload(event);
+  std::string record;
+  record.reserve(payload.size() + 9);
+  PutU8(&record, static_cast<uint8_t>(event.type));
+  PutU32(&record, static_cast<uint32_t>(payload.size()));
+  record += payload;
+  PutU32(&record, DecisionLogCrc32(record.data(), record.size()));
+  return record;
+}
+
+DecisionLog& DecisionLog::Global() {
+  // Leaked for the same reason as TraceRecorder: flush hooks run from
+  // atexit/signal context after static destructors may have started.
+  static DecisionLog* log = new DecisionLog();
+  return *log;
+}
+
+bool DecisionLog::Open(const std::string& path, std::string* error) {
+  std::lock_guard<std::mutex> file_lock(file_mutex_);
+  if (file_ != nullptr) {
+    if (error != nullptr) *error = "decision log already open at " + path_;
+    return false;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::string header;
+  PutU32(&header, kDecisionLogMagic);
+  PutU32(&header, kDecisionLogVersion);
+  if (std::fwrite(header.data(), 1, header.size(), f) != header.size()) {
+    std::fclose(f);
+    if (error != nullptr) *error = "cannot write header to " + path;
+    return false;
+  }
+  file_ = f;
+  path_ = path;
+  {
+    // Fresh file, fresh live summary.
+    std::lock_guard<std::mutex> summary_lock(summary_mutex_);
+    recent_emits_.clear();
+    recent_prunes_.clear();
+  }
+  for (auto& c : type_counts_) c.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  static bool flush_registered = [] {
+    RegisterFlush(&DecisionLogFlushHook);
+    return true;
+  }();
+  (void)flush_registered;
+  armed_flag_.store(true, std::memory_order_release);
+  return true;
+}
+
+DecisionLog::ThreadBuffer& DecisionLog::LocalBuffer() {
+  // The shared_ptr keeps the buffer reachable by Flush after thread exit,
+  // exactly like TraceRecorder::LocalBuffer.
+  thread_local std::shared_ptr<ThreadBuffer> local = [this] {
+    auto buf = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffers_.push_back(buf);
+    return buf;
+  }();
+  return *local;
+}
+
+void DecisionLog::DrainLocked(ThreadBuffer* buf) {
+  if (buf->bytes.empty()) return;
+  std::lock_guard<std::mutex> file_lock(file_mutex_);
+  if (file_ != nullptr) {
+    if (std::fwrite(buf->bytes.data(), 1, buf->bytes.size(), file_) !=
+        buf->bytes.size()) {
+      ERMINER_COUNT("decision_log/dropped", 1);
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    // Closed between the record and the drain: the events are lost.
+    ERMINER_COUNT("decision_log/dropped", 1);
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  buf->bytes.clear();
+}
+
+void DecisionLog::Append(std::string_view record) {
+  ThreadBuffer& buf = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.bytes.append(record.data(), record.size());
+  ERMINER_COUNT("decision_log/events", 1);
+  if (buf.bytes.size() >= kSpillBytes) DrainLocked(&buf);
+}
+
+void DecisionLog::Flush() {
+  if (!Armed()) return;
+  FaultPoint("decision_log/flush");
+  // Copy the registration list, then drain buffer by buffer: writers only
+  // ever contend on their own buffer's mutex, never on the registry.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffers = buffers_;
+  }
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    DrainLocked(buf.get());
+  }
+  std::lock_guard<std::mutex> file_lock(file_mutex_);
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+void DecisionLog::Close() {
+  if (!Armed()) return;
+  // Disarm first so no new records race the final drain, then flush what
+  // the threads already buffered.
+  armed_flag_.store(false, std::memory_order_release);
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffers = buffers_;
+  }
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    DrainLocked(buf.get());
+  }
+  std::lock_guard<std::mutex> file_lock(file_mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+std::string DecisionLog::path() const {
+  std::lock_guard<std::mutex> lock(file_mutex_);
+  return path_;
+}
+
+void DecisionLog::Expand(DecisionMiner miner,
+                         const std::vector<int32_t>& parent_key,
+                         int32_t action, const std::vector<int32_t>& key) {
+  if (!Armed()) return;
+  DecisionEvent e;
+  e.type = DecisionEventType::kExpand;
+  e.miner = static_cast<uint8_t>(miner);
+  e.parent_key = parent_key;
+  e.action = action;
+  e.key = key;
+  type_counts_[1].fetch_add(1, std::memory_order_relaxed);
+  Append(EncodeDecisionEvent(e));
+}
+
+void DecisionLog::Prune(DecisionMiner miner, PruneReason reason,
+                        const std::vector<int32_t>& parent_key, int32_t action,
+                        double measure) {
+  if (!Armed()) return;
+  DecisionEvent e;
+  e.type = DecisionEventType::kPrune;
+  e.miner = static_cast<uint8_t>(miner);
+  e.reason = static_cast<uint8_t>(reason);
+  e.parent_key = parent_key;
+  e.action = action;
+  e.measure = measure;
+  type_counts_[2].fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(summary_mutex_);
+    recent_prunes_.push_back(e.reason);
+    if (recent_prunes_.size() > kRecentPrunes) recent_prunes_.pop_front();
+  }
+  Append(EncodeDecisionEvent(e));
+}
+
+void DecisionLog::Emit(DecisionMiner miner, uint64_t rule_id,
+                       const std::vector<int32_t>& key, int64_t support,
+                       double certainty, double quality, double utility,
+                       uint64_t episode, uint64_t step) {
+  if (!Armed()) return;
+  DecisionEvent e;
+  e.type = DecisionEventType::kEmit;
+  e.miner = static_cast<uint8_t>(miner);
+  e.rule_id = rule_id;
+  e.key = key;
+  e.support = support;
+  e.certainty = certainty;
+  e.quality = quality;
+  e.utility = utility;
+  e.episode = episode;
+  e.step = step;
+  type_counts_[3].fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(summary_mutex_);
+    recent_emits_.push_back({rule_id, e.miner, utility});
+    if (recent_emits_.size() > kRecentEmits) recent_emits_.pop_front();
+  }
+  Append(EncodeDecisionEvent(e));
+}
+
+void DecisionLog::RlStep(uint8_t flags, uint64_t episode, uint64_t step,
+                         const std::vector<int32_t>& state, int32_t action,
+                         int32_t greedy_action, double epsilon,
+                         double q_chosen, double q_greedy, double reward) {
+  if (!Armed()) return;
+  DecisionEvent e;
+  e.type = DecisionEventType::kRlStep;
+  e.flags = flags;
+  e.episode = episode;
+  e.step = step;
+  e.key = state;
+  e.action = action;
+  e.greedy_action = greedy_action;
+  e.epsilon = epsilon;
+  e.q_chosen = q_chosen;
+  e.q_greedy = q_greedy;
+  e.reward = reward;
+  type_counts_[4].fetch_add(1, std::memory_order_relaxed);
+  Append(EncodeDecisionEvent(e));
+}
+
+void DecisionLog::RlTrain(uint64_t step, uint64_t replay_size, double loss) {
+  if (!Armed()) return;
+  DecisionEvent e;
+  e.type = DecisionEventType::kRlTrain;
+  e.step = step;
+  e.replay_size = replay_size;
+  e.loss = loss;
+  type_counts_[5].fetch_add(1, std::memory_order_relaxed);
+  Append(EncodeDecisionEvent(e));
+}
+
+void DecisionLog::Repair(uint64_t rule_id, uint64_t row, int64_t master_row,
+                         int32_t old_value, int32_t new_value, double score) {
+  if (!Armed()) return;
+  DecisionEvent e;
+  e.type = DecisionEventType::kRepair;
+  e.rule_id = rule_id;
+  e.row = row;
+  e.master_row = master_row;
+  e.old_value = old_value;
+  e.new_value = new_value;
+  e.measure = score;
+  type_counts_[6].fetch_add(1, std::memory_order_relaxed);
+  Append(EncodeDecisionEvent(e));
+}
+
+uint64_t DecisionLog::events_recorded() const {
+  uint64_t n = 0;
+  for (const auto& c : type_counts_) n += c.load(std::memory_order_relaxed);
+  return n;
+}
+
+uint64_t DecisionLog::emits_recorded() const {
+  return type_counts_[3].load(std::memory_order_relaxed);
+}
+
+uint64_t DecisionLog::repairs_recorded() const {
+  return type_counts_[6].load(std::memory_order_relaxed);
+}
+
+std::string DecisionLog::SummaryJson(size_t tail) const {
+  if (tail == 0) tail = 32;
+  std::string out = "{\"armed\":";
+  out += Armed() ? "true" : "false";
+  out += ",\"path\":\"";
+  AppendJsonEscaped(&out, path());
+  out += "\",\"events\":{";
+  static const char* kNames[8] = {nullptr,    "expand",  "prune", "emit",
+                                  "rl_step",  "rl_train", "repair", nullptr};
+  bool first = true;
+  for (int t = 1; t <= 6; ++t) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += kNames[t];
+    out += "\":" + std::to_string(type_counts_[t].load(
+                       std::memory_order_relaxed));
+  }
+  out += "},\"dropped\":" +
+         std::to_string(dropped_.load(std::memory_order_relaxed));
+
+  std::lock_guard<std::mutex> lock(summary_mutex_);
+  out += ",\"prune_reasons\":{";
+  uint64_t by_reason[8] = {};
+  const size_t np = recent_prunes_.size() < tail ? recent_prunes_.size() : tail;
+  for (size_t i = recent_prunes_.size() - np; i < recent_prunes_.size(); ++i) {
+    uint8_t r = recent_prunes_[i];
+    if (r < 8) ++by_reason[r];
+  }
+  first = true;
+  for (int r = 0; r <= 5; ++r) {
+    if (by_reason[r] == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += PruneReasonName(static_cast<PruneReason>(r));
+    out += "\":" + std::to_string(by_reason[r]);
+  }
+  out += "},\"recent_emits\":[";
+  const size_t ne = recent_emits_.size() < tail ? recent_emits_.size() : tail;
+  first = true;
+  for (size_t i = recent_emits_.size() - ne; i < recent_emits_.size(); ++i) {
+    const EmitSummary& s = recent_emits_[i];
+    if (!first) out += ",";
+    first = false;
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "{\"rule_id\":\"%016llx\",\"miner\":\"%s\","
+                  "\"utility\":%.6f}",
+                  static_cast<unsigned long long>(s.rule_id),
+                  DecisionMinerName(static_cast<DecisionMiner>(s.miner)),
+                  s.utility);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+DecisionLogContents ParseDecisionLog(std::string_view data) {
+  DecisionLogContents out;
+  Cursor c(data);
+  uint32_t magic = 0, version = 0;
+  if (!c.U32(&magic) || !c.U32(&version)) {
+    out.error = "short header (" + std::to_string(data.size()) + " bytes)";
+    return out;
+  }
+  if (magic != kDecisionLogMagic) {
+    out.error = "bad magic (not a decision log)";
+    return out;
+  }
+  if (version != kDecisionLogVersion) {
+    out.error = "unsupported version " + std::to_string(version);
+    return out;
+  }
+  out.version = version;
+  while (!c.AtEnd()) {
+    const size_t record_off = c.pos();
+    uint8_t type = 0;
+    uint32_t len = 0;
+    std::string_view payload;
+    if (!c.U8(&type) || !c.U32(&len) || !c.Bytes(len, &payload)) {
+      out.truncated = true;  // killed mid-write; the prefix read is valid
+      return out;
+    }
+    uint32_t stored_crc = 0;
+    if (!c.U32(&stored_crc)) {
+      out.truncated = true;
+      return out;
+    }
+    const uint32_t actual_crc =
+        DecisionLogCrc32(data.data() + record_off, 5 + len);
+    if (stored_crc != actual_crc) {
+      out.error = "CRC mismatch at offset " + std::to_string(record_off);
+      return out;
+    }
+    if (type < 1 || type > 6) {
+      out.error = "unknown event type " + std::to_string(type) +
+                  " at offset " + std::to_string(record_off);
+      return out;
+    }
+    DecisionEvent e;
+    if (!DecodePayload(static_cast<DecisionEventType>(type), payload, &e)) {
+      out.error =
+          "malformed payload at offset " + std::to_string(record_off);
+      return out;
+    }
+    out.events.push_back(std::move(e));
+  }
+  return out;
+}
+
+DecisionLogContents ReadDecisionLogFile(const std::string& path) {
+  DecisionLogContents out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    out.error = "cannot open " + path;
+    return out;
+  }
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) data.append(buf, n);
+  std::fclose(f);
+  return ParseDecisionLog(data);
+}
+
+const char* DecisionEventTypeName(DecisionEventType type) {
+  switch (type) {
+    case DecisionEventType::kExpand: return "expand";
+    case DecisionEventType::kPrune: return "prune";
+    case DecisionEventType::kEmit: return "emit";
+    case DecisionEventType::kRlStep: return "rl_step";
+    case DecisionEventType::kRlTrain: return "rl_train";
+    case DecisionEventType::kRepair: return "repair";
+  }
+  return "unknown";
+}
+
+const char* DecisionMinerName(DecisionMiner miner) {
+  switch (miner) {
+    case DecisionMiner::kEnu: return "enu";
+    case DecisionMiner::kBeam: return "beam";
+    case DecisionMiner::kCtane: return "ctane";
+    case DecisionMiner::kRl: return "rl";
+  }
+  return "unknown";
+}
+
+const char* PruneReasonName(PruneReason reason) {
+  switch (reason) {
+    case PruneReason::kSupport: return "support";
+    case PruneReason::kCertain: return "certain";
+    case PruneReason::kDuplicate: return "duplicate";
+    case PruneReason::kBeamWidth: return "beam_width";
+    case PruneReason::kConfidence: return "confidence";
+    case PruneReason::kMasterSupport: return "master_support";
+  }
+  return "unknown";
+}
+
+}  // namespace erminer::obs

@@ -1,0 +1,231 @@
+// Decision-provenance event log: the algorithm-level companion to the
+// metrics registry. Where metrics answer "how many candidates were pruned",
+// the decision log answers "why was *this* candidate pruned" — it records
+// every expansion, prune, emission, RL step and repaired cell as a compact,
+// versioned, CRC-checked binary stream, so an emitted rule's whole decision
+// path (lattice chain for EnuMiner/CTANE, episode trajectory with Q-values
+// for RLMiner) and the cells it repaired can be replayed after the run
+// (`erminer explain`, tools/decision_stats).
+//
+// Design constraints (the same ones as metrics.h / trace.h):
+//   - Disarmed cost is one relaxed atomic load per call site; nothing is
+//     allocated and no branch beyond the flag check runs.
+//   - Armed recording appends to a per-thread buffer (registered once per
+//     thread, written under a per-buffer mutex that only the flusher ever
+//     contends), so miner hot loops never serialize on a global lock. A
+//     buffer that outgrows its spill limit drains to the file early.
+//   - The library is dependency-free (standard library + POSIX only): obs
+//     sits *below* erminer_util, so the encoder and the CRC-32 live here
+//     rather than reusing ckpt/serial.h — the framing conventions mirror
+//     the ckpt layer (little-endian, magic + version header, CRC over every
+//     record, truncation distinguishable from corruption) without a link
+//     dependency on it.
+//
+// On-disk format, version 1 (all integers little-endian):
+//   header:  u32 magic "ERDL" (0x4C445245), u32 version
+//   record:  u8 type, u32 payload_len, payload bytes,
+//            u32 CRC-32 over (type, payload_len, payload)
+// Payload layouts per type are in decision_log.cc next to the encoders; a
+// rule/state key is u32 count + count x i32. A file killed mid-write parses
+// up to the last complete record (ParseDecisionLog reports `truncated`
+// rather than an error), which is what makes the SIGINT/SIGTERM flush hook
+// useful; a flipped byte fails the record CRC and parsing stops there with
+// an error, never yielding a silently wrong event.
+
+#ifndef ERMINER_OBS_DECISION_LOG_H_
+#define ERMINER_OBS_DECISION_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace erminer::obs {
+
+inline constexpr uint32_t kDecisionLogMagic = 0x4C445245u;  // "ERDL"
+inline constexpr uint32_t kDecisionLogVersion = 1;
+
+enum class DecisionEventType : uint8_t {
+  kExpand = 1,  // a candidate admitted for evaluation (child of parent_key)
+  kPrune = 2,   // a candidate/subtree cut, with the measure that decided it
+  kEmit = 3,    // a rule entered the pool, with its full utility measures
+  kRlStep = 4,  // one RLMiner env step: state key, Q-values, eps draw, reward
+  kRlTrain = 5, // one DQN update, linking env steps to replay training
+  kRepair = 6,  // one repaired cell: rule id, master tuple, old/new value
+};
+
+enum class DecisionMiner : uint8_t {
+  kEnu = 0,
+  kBeam = 1,
+  kCtane = 2,
+  kRl = 3,
+};
+
+enum class PruneReason : uint8_t {
+  kSupport = 0,        // support below eta_s (measure: the support)
+  kCertain = 1,        // subtree closed, fixes already certain (measure: f_c)
+  kDuplicate = 2,      // key already discovered (no measure)
+  kBeamWidth = 3,      // fell off the beam (measure: the node's utility)
+  kConfidence = 4,     // CTANE group confidence below threshold (measure: min f_c)
+  kMasterSupport = 5,  // CTANE master rows below eta_m (measure: the rows)
+};
+
+/// RlStep flag bits.
+inline constexpr uint8_t kRlStepExplored = 1;   // the eps draw chose explore
+inline constexpr uint8_t kRlStepInference = 2;  // inference, not training
+
+/// One decoded event. Only the fields of its type are meaningful; the rest
+/// keep their zero/default values (see the payload layouts in the .cc).
+struct DecisionEvent {
+  DecisionEventType type{};
+  uint8_t miner = 0;   // DecisionMiner (expand/prune/emit)
+  uint8_t reason = 0;  // PruneReason (prune)
+  uint8_t flags = 0;   // kRlStep* bits (rl step)
+  int32_t action = -1;         // expand/prune/rl step; CTANE packs p_bits here
+  int32_t greedy_action = -1;  // rl step
+  uint64_t rule_id = 0;        // emit/repair: the rule's provenance id
+  uint64_t episode = 0;        // rl step/train + rl emits
+  uint64_t step = 0;           // rl step/train + rl emits
+  uint64_t row = 0;            // repair: input row
+  int64_t master_row = -1;     // repair: master tuple id (-1 unknown)
+  int32_t old_value = -1;      // repair: prior Y value code (-1 = NULL)
+  int32_t new_value = -1;      // repair: predicted Y value code
+  int64_t support = 0;         // emit
+  double certainty = 0, quality = 0, utility = 0;  // emit
+  double measure = 0;          // prune trigger value; repair score
+  double epsilon = 0, q_chosen = 0, q_greedy = 0, reward = 0;  // rl step
+  double loss = 0;             // rl train
+  uint64_t replay_size = 0;    // rl train
+  std::vector<int32_t> key;         // child/emitted/state key
+  std::vector<int32_t> parent_key;  // expand/prune: the parent node's key
+};
+
+/// The process-wide decision log. All record methods are thread-safe and
+/// cost one relaxed load when the log is not armed.
+class DecisionLog {
+ public:
+  static DecisionLog& Global();
+
+  /// The hot-path gate: call sites that would build vectors or run extra
+  /// forward passes for an event guard on this before doing the work.
+  static bool Armed() {
+    return armed_flag_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms the log: writes the header to `path` and registers a flush hook
+  /// with the obs flush registry (first Open only), so a SIGINT/SIGTERM or
+  /// exit drains the per-thread buffers before the process dies. Returns
+  /// false with *error set if the file cannot be opened.
+  bool Open(const std::string& path, std::string* error);
+
+  /// Drains every thread buffer to the file (registration order) and
+  /// fflushes. Safe to call at any time, from the flush registry included.
+  void Flush();
+
+  /// Flush + close; the log disarms. A later Open starts a new file.
+  void Close();
+
+  bool armed() const { return Armed(); }
+  std::string path() const;
+
+  // --- Recording (no-ops while disarmed) ---------------------------------
+  void Expand(DecisionMiner miner, const std::vector<int32_t>& parent_key,
+              int32_t action, const std::vector<int32_t>& key);
+  void Prune(DecisionMiner miner, PruneReason reason,
+             const std::vector<int32_t>& parent_key, int32_t action,
+             double measure);
+  void Emit(DecisionMiner miner, uint64_t rule_id,
+            const std::vector<int32_t>& key, int64_t support, double certainty,
+            double quality, double utility, uint64_t episode = 0,
+            uint64_t step = 0);
+  void RlStep(uint8_t flags, uint64_t episode, uint64_t step,
+              const std::vector<int32_t>& state, int32_t action,
+              int32_t greedy_action, double epsilon, double q_chosen,
+              double q_greedy, double reward);
+  void RlTrain(uint64_t step, uint64_t replay_size, double loss);
+  void Repair(uint64_t rule_id, uint64_t row, int64_t master_row,
+              int32_t old_value, int32_t new_value, double score);
+
+  // --- Live summary (GET /decisions, scripts/watch_run.py) ---------------
+  /// {"armed":...,"path":...,"events":{...},"emits":[...last tail...],
+  ///  "prune_reasons":{...over the last tail prune events...}}.
+  std::string SummaryJson(size_t tail) const;
+
+  uint64_t events_recorded() const;
+  uint64_t emits_recorded() const;
+  uint64_t repairs_recorded() const;
+
+ private:
+  DecisionLog() = default;
+
+  struct ThreadBuffer {
+    std::mutex mutex;
+    std::string bytes;  // whole encoded records only
+  };
+
+  ThreadBuffer& LocalBuffer();
+  /// Appends one encoded record to the calling thread's buffer, spilling to
+  /// the file when the buffer outgrows the spill limit.
+  void Append(std::string_view record);
+  /// Writes one buffer's bytes to the file under the file mutex. Requires
+  /// the buffer's own mutex held by the caller.
+  void DrainLocked(ThreadBuffer* buf);
+
+  static std::atomic<bool> armed_flag_;
+
+  mutable std::mutex registry_mutex_;  // buffers_ + next emit/prune rings
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+
+  mutable std::mutex file_mutex_;  // file_, path_
+  std::FILE* file_ = nullptr;
+  std::string path_;
+
+  // Live summary state (mutex-guarded rings + lock-free totals).
+  struct EmitSummary {
+    uint64_t rule_id;
+    uint8_t miner;
+    double utility;
+  };
+  mutable std::mutex summary_mutex_;
+  std::deque<EmitSummary> recent_emits_;   // capped
+  std::deque<uint8_t> recent_prunes_;      // PruneReason bytes, capped
+  std::atomic<uint64_t> type_counts_[8] = {};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+/// Result of parsing a decision log. `events` holds every record up to the
+/// first problem; `truncated` marks a clean prefix cut mid-record (a killed
+/// writer — the events seen are all valid); a nonempty `error` marks real
+/// corruption (bad magic/version, CRC mismatch, malformed payload).
+struct DecisionLogContents {
+  std::vector<DecisionEvent> events;
+  uint32_t version = 0;
+  bool truncated = false;
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+DecisionLogContents ParseDecisionLog(std::string_view data);
+DecisionLogContents ReadDecisionLogFile(const std::string& path);
+
+/// Encodes one event to its binary record form (header excluded) — the
+/// writer uses this internally; tests use it to build corrupt inputs.
+std::string EncodeDecisionEvent(const DecisionEvent& event);
+
+/// The CRC-32 (IEEE 802.3, reflected) used by the record framing. Exposed
+/// for tests that hand-build records.
+uint32_t DecisionLogCrc32(const void* data, size_t n);
+
+const char* DecisionEventTypeName(DecisionEventType type);
+const char* DecisionMinerName(DecisionMiner miner);
+const char* PruneReasonName(PruneReason reason);
+
+}  // namespace erminer::obs
+
+#endif  // ERMINER_OBS_DECISION_LOG_H_

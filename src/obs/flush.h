@@ -1,5 +1,9 @@
 // One flush path for every telemetry exporter, shared by normal exit,
-// atexit, and SIGINT/SIGTERM.
+// atexit, and SIGINT/SIGTERM. Current registrants: the metrics/trace file
+// exports (CLI/bench), the sampler's final tick, checkpointing's
+// best-effort final snapshot, and the decision log's buffer drain
+// (decision_log.h registers on first Open), so a killed run keeps every
+// complete decision record.
 //
 // Before this existed, the bench binaries exported metrics/trace via a bare
 // std::atexit handler — which never runs when the process dies on a signal,

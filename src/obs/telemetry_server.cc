@@ -16,6 +16,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/decision_log.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
@@ -300,6 +301,15 @@ bool TelemetryServer::HandlePath(const std::string& path_and_query,
     *content_type = "application/json";
     return true;
   }
+  if (path == "/decisions") {
+    // Live summary of the decision log (docs/observability.md): event
+    // counts, prune-reason breakdown and the last-N rule emissions.
+    const long tail = QueryParam(query, "tail", 32, 1, 4096);
+    *body = DecisionLog::Global().SummaryJson(static_cast<size_t>(tail));
+    *body += "\n";
+    *content_type = "application/json";
+    return true;
+  }
   if (path == "/healthz" || path == "/") {
     const TelemetryServer& server = Global();
     const double uptime =
@@ -308,13 +318,22 @@ bool TelemetryServer::HandlePath(const std::string& path_and_query,
                   std::chrono::steady_clock::now() - server.started_)
                   .count()
             : 0.0;
-    char line[256];
+    char line[384];
     std::snprintf(line, sizeof line,
                   "{\"status\":\"ok\",\"uptime_seconds\":%.3f,"
                   "\"phase\":\"%s\",\"cpu_seconds\":%.3f,"
-                  "\"peak_rss_bytes\":%zu,\"num_metrics\":%zu}\n",
+                  "\"peak_rss_bytes\":%zu,\"num_metrics\":%zu,"
+                  "\"rules_emitted\":%llu,\"cells_repaired\":%llu}\n",
                   uptime, CurrentPhase(), CpuSeconds(), PeakRssBytes(),
-                  MetricsRegistry::Global().num_metrics());
+                  MetricsRegistry::Global().num_metrics(),
+                  static_cast<unsigned long long>(
+                      MetricsRegistry::Global()
+                          .GetCounter("miner/rules_emitted")
+                          .value()),
+                  static_cast<unsigned long long>(
+                      MetricsRegistry::Global()
+                          .GetCounter("repair/cells_repaired")
+                          .value()));
     *body = line;
     *content_type = "application/json";
     return true;

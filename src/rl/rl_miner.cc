@@ -5,6 +5,7 @@
 #include <atomic>
 
 #include "ckpt/snapshot.h"
+#include "obs/decision_log.h"
 #include "obs/fault.h"
 #include "obs/flush.h"
 #include "obs/metrics.h"
@@ -134,8 +135,10 @@ RlMiner::~RlMiner() {
 
 int32_t RlMiner::SelectTrainingAction(const RuleKey& state,
                                       const std::vector<uint8_t>& mask,
-                                      double epsilon) {
-  if (!explore_rng_.NextBernoulli(epsilon)) {
+                                      double epsilon, bool* explored) {
+  const bool explore = explore_rng_.NextBernoulli(epsilon);
+  if (explored != nullptr) *explored = explore;
+  if (!explore) {
     return agent_->ActGreedy(state, mask);
   }
   if (!options_.stratified_explore) {
@@ -162,6 +165,32 @@ int32_t RlMiner::SelectTrainingAction(const RuleKey& state,
     default:
       return space_->stop_action();
   }
+}
+
+void RlMiner::LogRlStep(const Environment::StepResult& sr,
+                        const std::vector<uint8_t>& mask, uint8_t flags,
+                        double epsilon) {
+  // A pure forward over the pre-step state: what the greedy policy would
+  // have done, and the Q-values behind the chosen action. Same tie-break as
+  // DqnAgent::ActGreedy (lowest allowed index on equal Q).
+  std::vector<float> q = agent_->QValues(sr.state);
+  int32_t greedy = -1;
+  float greedy_q = 0.0f;
+  for (size_t i = 0; i < q.size() && i < mask.size(); ++i) {
+    if (!mask[i]) continue;
+    if (greedy < 0 || q[i] > greedy_q) {
+      greedy = static_cast<int32_t>(i);
+      greedy_q = q[i];
+    }
+  }
+  const double q_chosen =
+      sr.action >= 0 && static_cast<size_t>(sr.action) < q.size()
+          ? static_cast<double>(q[static_cast<size_t>(sr.action)])
+          : 0.0;
+  obs::DecisionLog::Global().RlStep(
+      flags, env_.episode_index(), env_.step_index(), sr.state, sr.action,
+      greedy, epsilon, q_chosen, static_cast<double>(greedy_q),
+      static_cast<double>(sr.reward));
 }
 
 void RlMiner::Train(size_t steps) {
@@ -193,8 +222,13 @@ void RlMiner::Train(size_t steps) {
       std::vector<uint8_t> mask = env_.CurrentMask();
       const double eps =
           agent_loaded_ ? options_.eps_end : eps_.Value(steps_done_);
-      int32_t action = SelectTrainingAction(env_.current_state(), mask, eps);
+      bool explored = false;
+      int32_t action =
+          SelectTrainingAction(env_.current_state(), mask, eps, &explored);
       Environment::StepResult sr = env_.Step(action);
+      if (obs::DecisionLog::Armed()) {
+        LogRlStep(sr, mask, explored ? obs::kRlStepExplored : 0, eps);
+      }
       agent_->Observe({std::move(sr.state), sr.action, sr.reward,
                        std::move(sr.next_state), std::move(sr.next_mask),
                        sr.done});
@@ -202,6 +236,10 @@ void RlMiner::Train(size_t steps) {
       log_.RecordStep(sr.reward, loss);
       ++steps_done_;
       ++episode_steps;
+      if (obs::DecisionLog::Armed()) {
+        obs::DecisionLog::Global().RlTrain(steps_done_, agent_->replay_size(),
+                                           static_cast<double>(loss));
+      }
     }
     log_.EndEpisode(env_.leaves().size());
     ERMINER_GAUGE_SET("rl/replay_size",
@@ -236,11 +274,18 @@ MineResult RlMiner::Infer() {
     while (!env_.done() && episode_steps < options_.max_episode_steps &&
            total_steps < options_.max_inference_steps) {
       std::vector<uint8_t> mask = env_.CurrentMask();
+      bool explored = false;
       int32_t action = eps > 0.0
                            ? SelectTrainingAction(env_.current_state(), mask,
-                                                  eps)
+                                                  eps, &explored)
                            : agent_->ActGreedy(env_.current_state(), mask);
-      env_.Step(action);
+      Environment::StepResult sr = env_.Step(action);
+      if (obs::DecisionLog::Armed()) {
+        LogRlStep(sr, mask,
+                  static_cast<uint8_t>(obs::kRlStepInference |
+                                       (explored ? obs::kRlStepExplored : 0)),
+                  eps);
+      }
       ++episode_steps;
       ++total_steps;
     }

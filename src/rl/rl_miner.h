@@ -132,10 +132,19 @@ class RlMiner {
 
  private:
   /// Masked epsilon-greedy with type-stratified exploration (see
-  /// RlMinerOptions::explore_*_weight).
+  /// RlMinerOptions::explore_*_weight). `explored`, when non-null, reports
+  /// whether the epsilon draw chose exploration — the flag the decision log
+  /// stamps on the step record.
   int32_t SelectTrainingAction(const RuleKey& state,
                                const std::vector<uint8_t>& mask,
-                               double epsilon);
+                               double epsilon, bool* explored = nullptr);
+
+  /// Records one RlStep decision-log event for the transition `sr` taken
+  /// under `mask`. Only called while the log is armed; the extra Q-value
+  /// forward consumes no RNG, so armed runs stay bit-identical.
+  void LogRlStep(const Environment::StepResult& sr,
+                 const std::vector<uint8_t>& mask, uint8_t flags,
+                 double epsilon);
 
   /// First-use resume hook for Train()/Mine(); fatal on a bad explicit
   /// resume path (call Resume() directly for Status propagation).

@@ -1,0 +1,247 @@
+// Differential tests for the decision log's zero-interference contract:
+// mined rules (with provenance ids) and repaired cells must be bit-identical
+// with the log armed or disarmed, at threads 1, 2 and 4 — the log observes
+// the search, it never steers it. On top of identity, every armed run's log
+// must *resolve*: each emitted rule's provenance id replays to a complete
+// decision path (expansion chain reaching the root for EnuMiner/Beam/CTANE,
+// a non-empty episode trajectory for RLMiner) and the repair audit stream
+// matches the repair outcome cell for cell.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/beam_miner.h"
+#include "core/cfd_miner.h"
+#include "core/enu_miner.h"
+#include "core/repair.h"
+#include "eval/experiment.h"
+#include "obs/decision_explain.h"
+#include "obs/decision_log.h"
+#include "rl/rl_miner.h"
+#include "test_util.h"
+#include "util/thread_pool.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::MakeExactFdCorpus;
+using erminer::testing::SeededCorpusCache;
+
+std::string LogPath(const std::string& tag) {
+  return ::testing::TempDir() + "/erminer_decision_diff_" + tag + "_" +
+         std::to_string(::getpid()) + ".dlog";
+}
+
+struct Artifacts {
+  MineResult mine;
+  RepairOutcome repair;
+};
+
+Artifacts RunAt(long threads, const GeneratedDataset& ds,
+                const std::function<MineResult(const Corpus&)>& mine,
+                const std::string& log_path) {
+  if (!log_path.empty()) {
+    std::string error;
+    EXPECT_TRUE(obs::DecisionLog::Global().Open(log_path, &error)) << error;
+  }
+  SetGlobalThreads(threads);
+  Corpus corpus = BuildCorpus(ds).ValueOrDie();
+  Artifacts out;
+  out.mine = mine(corpus);
+  RuleEvaluator evaluator(&corpus);
+  out.repair = ApplyRules(&evaluator, out.mine.rules);
+  SetGlobalThreads(1);
+  if (!log_path.empty()) obs::DecisionLog::Global().Close();
+  return out;
+}
+
+/// EXPECT_EQ on doubles is deliberate: the contract is bit-identity.
+void ExpectIdentical(const Artifacts& a, const Artifacts& b) {
+  ASSERT_EQ(a.mine.rules.size(), b.mine.rules.size());
+  for (size_t i = 0; i < a.mine.rules.size(); ++i) {
+    EXPECT_EQ(a.mine.rules[i].rule, b.mine.rules[i].rule) << "rule " << i;
+    EXPECT_EQ(a.mine.rules[i].provenance, b.mine.rules[i].provenance);
+    EXPECT_EQ(a.mine.rules[i].stats.support, b.mine.rules[i].stats.support);
+    EXPECT_EQ(a.mine.rules[i].stats.certainty,
+              b.mine.rules[i].stats.certainty);
+    EXPECT_EQ(a.mine.rules[i].stats.quality, b.mine.rules[i].stats.quality);
+    EXPECT_EQ(a.mine.rules[i].stats.utility, b.mine.rules[i].stats.utility);
+  }
+  EXPECT_EQ(a.mine.nodes_explored, b.mine.nodes_explored);
+  EXPECT_EQ(a.repair.prediction, b.repair.prediction);
+  EXPECT_EQ(a.repair.num_predictions, b.repair.num_predictions);
+  ASSERT_EQ(a.repair.score.size(), b.repair.score.size());
+  for (size_t i = 0; i < a.repair.score.size(); ++i) {
+    EXPECT_EQ(a.repair.score[i], b.repair.score[i]) << "row " << i;
+  }
+}
+
+/// Every mined rule's provenance id must resolve in `log_path` to a
+/// complete decision path, and the repair audit stream must match the
+/// repair outcome exactly.
+void VerifyProvenanceResolves(const std::string& log_path,
+                              const Artifacts& art) {
+  obs::DecisionLogContents log = obs::ReadDecisionLogFile(log_path);
+  ASSERT_TRUE(log.ok()) << log.error;
+  ASSERT_FALSE(log.truncated);
+
+  for (const ScoredRule& sr : art.mine.rules) {
+    ASSERT_NE(sr.provenance, 0u);
+    obs::DecisionPath path = obs::ReplayDecisionPath(log, sr.provenance);
+    ASSERT_TRUE(path.found) << path.error;
+    EXPECT_EQ(path.emit.rule_id, sr.provenance);
+    EXPECT_EQ(path.emit.support, sr.stats.support);
+    EXPECT_EQ(path.emit.utility, sr.stats.utility);
+    if (path.emit.miner == static_cast<uint8_t>(obs::DecisionMiner::kRl)) {
+      // RLMiner provenance is the episode trajectory, not a lattice chain.
+      EXPECT_FALSE(path.trajectory.empty());
+      EXPECT_NE(path.emit.episode, 0u);
+      for (const obs::DecisionEvent& step : path.trajectory) {
+        EXPECT_EQ(step.episode, path.emit.episode);
+      }
+    } else {
+      ASSERT_FALSE(path.chain.empty());
+      // Complete to the root: the first expansion grows the empty LHS.
+      EXPECT_TRUE(path.chain.front().parent_key.empty());
+      EXPECT_EQ(path.chain.back().key, path.emit.key);
+    }
+    EXPECT_FALSE(obs::FormatDecisionPath(path).empty());
+  }
+
+  size_t repair_events = 0;
+  for (const obs::DecisionEvent& e : log.events) {
+    if (e.type != obs::DecisionEventType::kRepair) continue;
+    ++repair_events;
+    ASSERT_LT(e.row, art.repair.prediction.size());
+    EXPECT_EQ(art.repair.prediction[static_cast<size_t>(e.row)],
+              e.new_value);
+    EXPECT_EQ(art.repair.score[static_cast<size_t>(e.row)], e.measure);
+    EXPECT_NE(e.rule_id, 0u);
+  }
+  EXPECT_EQ(repair_events, art.repair.num_predictions);
+}
+
+MinerOptions OptionsFor(const GeneratedDataset& ds) {
+  MinerOptions o;
+  o.k = 20;
+  o.support_threshold =
+      std::max(10.0, static_cast<double>(ds.input.num_rows()) / 40.0);
+  o.max_nodes = 200'000;
+  return o;
+}
+
+void RunMinerMatrix(const std::string& tag,
+                    const GeneratedDataset& ds,
+                    const std::function<MineResult(const Corpus&)>& mine) {
+  Artifacts baseline = RunAt(1, ds, mine, "");
+  ASSERT_FALSE(baseline.mine.rules.empty());
+  for (long threads : {1L, 2L, 4L}) {
+    SCOPED_TRACE(tag + " threads=" + std::to_string(threads));
+    const std::string log_path =
+        LogPath(tag + "_t" + std::to_string(threads));
+    Artifacts armed = RunAt(threads, ds, mine, log_path);
+    ExpectIdentical(baseline, armed);
+    VerifyProvenanceResolves(log_path, armed);
+    std::remove(log_path.c_str());
+  }
+}
+
+TEST(DecisionDifferentialTest, EnuMiner) {
+  const GeneratedDataset& ds = SeededCorpusCache::Get("Adult", 1200, 400, 93);
+  RunMinerMatrix("enu", ds, [&](const Corpus& c) {
+    return EnuMineH3(c, OptionsFor(ds));
+  });
+}
+
+TEST(DecisionDifferentialTest, Ctane) {
+  const GeneratedDataset& ds = SeededCorpusCache::Get("Adult", 1200, 400, 93);
+  RunMinerMatrix("ctane", ds, [&](const Corpus& c) {
+    return CfdMine(c, OptionsFor(ds));
+  });
+}
+
+TEST(DecisionDifferentialTest, BeamMiner) {
+  const GeneratedDataset& ds = SeededCorpusCache::Get("Adult", 1200, 400, 93);
+  RunMinerMatrix("beam", ds, [&](const Corpus& c) {
+    return BeamMine(c, OptionsFor(ds));
+  });
+}
+
+TEST(DecisionDifferentialTest, RlMinerInference) {
+  const GeneratedDataset& ds = SeededCorpusCache::Get("Adult", 1200, 400, 93);
+  RlMinerOptions rl;
+  rl.base = OptionsFor(ds);
+  rl.seed = 123;
+  rl.max_inference_steps = 200;
+  RunMinerMatrix("rl", ds, [&](const Corpus& c) {
+    RlMiner miner(&c, rl);
+    return miner.Infer();
+  });
+}
+
+TEST(DecisionDifferentialTest, RlTrainingArmedMatchesDisarmed) {
+  // Full training loop at threads=1: the armed run's extra Q-value forward
+  // per step must consume no RNG, so the epsilon draws — and therefore the
+  // whole trajectory and the mined rules — stay bit-identical.
+  Corpus c = MakeExactFdCorpus();
+  RlMinerOptions o;
+  o.base.k = 8;
+  o.base.support_threshold = 20;
+  o.train_steps = 300;
+  o.seed = 21;
+  o.dqn.hidden = {32, 32};
+
+  auto run = [&](const std::string& log_path) {
+    if (!log_path.empty()) {
+      std::string error;
+      EXPECT_TRUE(obs::DecisionLog::Global().Open(log_path, &error)) << error;
+    }
+    RlMiner miner(&c, o);
+    MineResult r = miner.Mine();
+    if (!log_path.empty()) obs::DecisionLog::Global().Close();
+    return r;
+  };
+
+  MineResult plain = run("");
+  const std::string log_path = LogPath("rl_train");
+  MineResult armed = run(log_path);
+
+  ASSERT_EQ(plain.rules.size(), armed.rules.size());
+  for (size_t i = 0; i < plain.rules.size(); ++i) {
+    EXPECT_EQ(plain.rules[i].rule, armed.rules[i].rule) << "rule " << i;
+    EXPECT_EQ(plain.rules[i].provenance, armed.rules[i].provenance);
+    EXPECT_EQ(plain.rules[i].stats.utility, armed.rules[i].stats.utility);
+  }
+
+  obs::DecisionLogContents log = obs::ReadDecisionLogFile(log_path);
+  ASSERT_TRUE(log.ok()) << log.error;
+  size_t steps = 0, trains = 0, emits = 0, inference_steps = 0;
+  for (const obs::DecisionEvent& e : log.events) {
+    if (e.type == obs::DecisionEventType::kRlStep) {
+      ++steps;
+      if (e.flags & obs::kRlStepInference) ++inference_steps;
+      EXPECT_GE(e.episode, 1u);
+    } else if (e.type == obs::DecisionEventType::kRlTrain) {
+      ++trains;
+      EXPECT_GE(e.step, 1u);
+      EXPECT_LE(e.step, o.train_steps);
+    } else if (e.type == obs::DecisionEventType::kEmit) {
+      ++emits;
+    }
+  }
+  EXPECT_GE(steps, o.train_steps);  // training steps plus the inference walk
+  EXPECT_GT(trains, 0u);
+  EXPECT_GT(inference_steps, 0u);
+  EXPECT_GT(emits, 0u);
+  std::remove(log_path.c_str());
+}
+
+}  // namespace
+}  // namespace erminer

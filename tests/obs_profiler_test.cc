@@ -23,8 +23,11 @@ namespace erminer::obs {
 
 // External linkage on purpose: dladdr resolves only dynamic symbols, and an
 // anonymous-namespace function would render as "obs_profiler_test+0x..."
-// (the documented fallback) instead of by name.
-__attribute__((noinline)) uint64_t ProfilerTestHotSpin(uint64_t iters) {
+// (the documented fallback) instead of by name. `noipa` rather than just
+// `noinline`: at -O3 GCC otherwise emits a local constprop/isra clone for
+// the constant-argument call sites, and the clone — not the exported
+// symbol — is what the samples land in, so dladdr falls back again.
+__attribute__((noipa)) uint64_t ProfilerTestHotSpin(uint64_t iters) {
   volatile uint64_t acc = 0;
   for (uint64_t i = 0; i < iters; ++i) acc += i * 2654435761ull;
   return acc;

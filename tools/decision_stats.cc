@@ -1,0 +1,181 @@
+// Summarizes a --decision-log file: per-event-type and per-miner counts,
+// prune-reason breakdown with the triggering measures, top emitted rules by
+// utility, RL step/exploration statistics, and repair totals. Answers "what
+// did the miner actually decide, and why" from the command line; use
+// `erminer explain <rule-id>` to replay one rule's full path.
+//
+//   decision_stats --log=FILE [--top=N] [--rule=HEX16]
+//
+// With --rule the tool prints the one rule's replayed decision path instead
+// of the aggregate view (same output as `erminer explain`).
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/decision_explain.h"
+#include "obs/decision_log.h"
+
+namespace {
+
+using erminer::obs::DecisionEvent;
+using erminer::obs::DecisionEventType;
+using erminer::obs::DecisionMiner;
+using erminer::obs::PruneReason;
+
+struct PruneAgg {
+  uint64_t count = 0;
+  double measure_sum = 0;
+};
+
+int Run(const std::string& log_path, size_t top, uint64_t rule_id) {
+  erminer::obs::DecisionLogContents log =
+      erminer::obs::ReadDecisionLogFile(log_path);
+  if (!log.ok()) {
+    std::fprintf(stderr, "%s: %s\n", log_path.c_str(), log.error.c_str());
+    return 1;
+  }
+  if (log.truncated) {
+    std::printf("# truncated file (killed writer): %zu complete events "
+                "survive\n",
+                log.events.size());
+  }
+
+  if (rule_id != 0) {
+    erminer::obs::DecisionPath path =
+        erminer::obs::ReplayDecisionPath(log, rule_id);
+    std::printf("%s", erminer::obs::FormatDecisionPath(path).c_str());
+    return path.found ? 0 : 1;
+  }
+
+  std::map<uint8_t, uint64_t> by_type;
+  std::map<uint8_t, uint64_t> by_miner;
+  std::map<uint8_t, PruneAgg> by_reason;
+  std::vector<const DecisionEvent*> emits;
+  uint64_t rl_steps = 0, rl_explored = 0, rl_inference = 0, rl_trains = 0;
+  double reward_sum = 0, loss_sum = 0;
+  uint64_t repairs = 0, repairs_unresolved = 0;
+  for (const DecisionEvent& e : log.events) {
+    ++by_type[static_cast<uint8_t>(e.type)];
+    switch (e.type) {
+      case DecisionEventType::kExpand:
+      case DecisionEventType::kEmit:
+      case DecisionEventType::kPrune:
+        ++by_miner[e.miner];
+        break;
+      default:
+        break;
+    }
+    if (e.type == DecisionEventType::kPrune) {
+      PruneAgg& agg = by_reason[e.reason];
+      ++agg.count;
+      agg.measure_sum += e.measure;
+    } else if (e.type == DecisionEventType::kEmit) {
+      emits.push_back(&e);
+    } else if (e.type == DecisionEventType::kRlStep) {
+      ++rl_steps;
+      reward_sum += e.reward;
+      if (e.flags & erminer::obs::kRlStepExplored) ++rl_explored;
+      if (e.flags & erminer::obs::kRlStepInference) ++rl_inference;
+    } else if (e.type == DecisionEventType::kRlTrain) {
+      ++rl_trains;
+      loss_sum += e.loss;
+    } else if (e.type == DecisionEventType::kRepair) {
+      ++repairs;
+      if (e.master_row < 0) ++repairs_unresolved;
+    }
+  }
+
+  std::printf("%zu events (format v%u)\n", log.events.size(), log.version);
+  for (const auto& [t, n] : by_type) {
+    std::printf("  %-8s %10" PRIu64 "\n",
+                erminer::obs::DecisionEventTypeName(
+                    static_cast<DecisionEventType>(t)),
+                n);
+  }
+  if (!by_miner.empty()) {
+    std::printf("by miner (expand+prune+emit):\n");
+    for (const auto& [m, n] : by_miner) {
+      std::printf("  %-8s %10" PRIu64 "\n",
+                  erminer::obs::DecisionMinerName(
+                      static_cast<DecisionMiner>(m)),
+                  n);
+    }
+  }
+  if (!by_reason.empty()) {
+    std::printf("prune reasons:\n");
+    for (const auto& [r, agg] : by_reason) {
+      std::printf("  %-15s %10" PRIu64 "  (mean measure %.4f)\n",
+                  erminer::obs::PruneReasonName(static_cast<PruneReason>(r)),
+                  agg.count,
+                  agg.count > 0
+                      ? agg.measure_sum / static_cast<double>(agg.count)
+                      : 0.0);
+    }
+  }
+  if (!emits.empty()) {
+    std::sort(emits.begin(), emits.end(),
+              [](const DecisionEvent* a, const DecisionEvent* b) {
+                return a->utility > b->utility;
+              });
+    std::printf("top emitted rules by utility (%zu of %zu):\n",
+                std::min(top, emits.size()), emits.size());
+    for (size_t i = 0; i < emits.size() && i < top; ++i) {
+      const DecisionEvent& e = *emits[i];
+      std::printf("  id=%016llx %-6s U=%10.2f S=%6" PRId64 " C=%.3f\n",
+                  static_cast<unsigned long long>(e.rule_id),
+                  erminer::obs::DecisionMinerName(
+                      static_cast<DecisionMiner>(e.miner)),
+                  e.utility, e.support, e.certainty);
+    }
+  }
+  if (rl_steps > 0) {
+    std::printf("rl: %" PRIu64 " steps (%" PRIu64 " explored, %" PRIu64
+                " inference), mean reward %.4f; %" PRIu64
+                " train updates, mean loss %.6f\n",
+                rl_steps, rl_explored, rl_inference,
+                reward_sum / static_cast<double>(rl_steps), rl_trains,
+                rl_trains > 0 ? loss_sum / static_cast<double>(rl_trains)
+                              : 0.0);
+  }
+  if (repairs > 0) {
+    std::printf("repairs: %" PRIu64 " cells (%" PRIu64
+                " without a resolved master row)\n",
+                repairs, repairs_unresolved);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string log_path;
+  size_t top = 10;
+  uint64_t rule_id = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--log=", 6) == 0) {
+      log_path = a + 6;
+    } else if (std::strncmp(a, "--top=", 6) == 0) {
+      top = static_cast<size_t>(std::atoll(a + 6));
+    } else if (std::strncmp(a, "--rule=", 7) == 0) {
+      rule_id = std::strtoull(a + 7, nullptr, 16);
+    } else {
+      std::fprintf(stderr,
+                   "usage: decision_stats --log=FILE [--top=N] "
+                   "[--rule=HEX16]\n");
+      return 2;
+    }
+  }
+  if (log_path.empty()) {
+    std::fprintf(stderr, "missing --log=FILE\n");
+    return 2;
+  }
+  return Run(log_path, top, rule_id);
+}

@@ -41,6 +41,13 @@
 //       Config-driven end-to-end run: load/generate -> match -> mine ->
 //       detect -> repair -> report (see src/eval/pipeline.h for the keys).
 //
+//   erminer explain --log=FILE --rule=HEX16
+//       Replays one rule's decision path out of a --decision-log file: the
+//       expansion chain that produced it (episode trajectory with Q-values
+//       for RLMiner), the prunes taken along the way, and the cells it
+//       repaired. Rule ids are printed by `mine` and written to rules files
+//       as id=<16 hex>.
+//
 // Every command accepts --threads=N (0 = hardware concurrency, default 1 =
 // serial). Results are bit-identical for every N; see docs/parallelism.md.
 //
@@ -54,6 +61,12 @@
 //                           JSONL (interval: --sample-interval-ms, def 1000)
 //   --log-json[=FILE]       structured JSON log records with span
 //                           correlation (default: stderr)
+//   --decision-log=FILE     record the decision-provenance event log: every
+//                           candidate expansion, prune (with reason and the
+//                           triggering measure), rule emission, RL step and
+//                           repaired cell, replayable with `erminer explain`
+//                           and tools/decision_stats; live summary at
+//                           GET /decisions?tail=N on the telemetry server
 //   --run-dir=DIR           per-run manifest: config.json at start,
 //                           episodes.jsonl appended live during RL
 //                           training, summary.json on clean completion
@@ -92,6 +105,8 @@
 #include "datagen/generators.h"
 #include "eval/experiment.h"
 #include "eval/pipeline.h"
+#include "obs/decision_explain.h"
+#include "obs/decision_log.h"
 #include "obs/flush.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -289,8 +304,12 @@ int CmdMine(Flags* flags) {
               result.rule_evaluations);
   RuleEvaluator explainer(&corpus);
   for (const auto& sr : result.rules) {
-    std::printf("U=%8.2f S=%6ld C=%.3f Q=%+.3f  %s\n", sr.stats.utility,
-                sr.stats.support, sr.stats.certainty, sr.stats.quality,
+    // The id is the rule's provenance id — the join key into a
+    // --decision-log file (`erminer explain <id>`).
+    std::printf("U=%8.2f S=%6ld C=%.3f Q=%+.3f id=%016llx  %s\n",
+                sr.stats.utility, sr.stats.support, sr.stats.certainty,
+                sr.stats.quality,
+                static_cast<unsigned long long>(sr.provenance),
                 sr.rule.ToString(corpus).c_str());
     if (explain) {
       RuleExplanation ex = ExplainRule(&explainer, sr.rule);
@@ -446,6 +465,34 @@ int CmdProfile(Flags* flags) {
   return 0;
 }
 
+int CmdExplain(Flags* flags) {
+  std::string log_path = flags->Require("log");
+  std::string rule_hex = flags->Require("rule");
+  size_t max_prunes = static_cast<size_t>(flags->GetInt("max-prunes", 12));
+  size_t max_repairs = static_cast<size_t>(flags->GetInt("max-repairs", 20));
+  flags->CheckAllUsed();
+  const uint64_t rule_id = std::strtoull(rule_hex.c_str(), nullptr, 16);
+  if (rule_id == 0) {
+    std::fprintf(stderr, "--rule must be a nonzero hex provenance id\n");
+    return 2;
+  }
+  obs::DecisionLogContents log = obs::ReadDecisionLogFile(log_path);
+  if (!log.ok()) {
+    std::fprintf(stderr, "%s: %s\n", log_path.c_str(), log.error.c_str());
+    return 1;
+  }
+  if (log.truncated) {
+    std::fprintf(stderr,
+                 "# note: %s is truncated (killed writer); replaying the "
+                 "%zu surviving events\n",
+                 log_path.c_str(), log.events.size());
+  }
+  obs::DecisionPath path = obs::ReplayDecisionPath(log, rule_id);
+  std::printf("%s", obs::FormatDecisionPath(path, max_prunes,
+                                            max_repairs).c_str());
+  return path.found ? 0 : 1;
+}
+
 int CmdPipeline(Flags* flags) {
   std::string path = flags->Require("config");
   flags->CheckAllUsed();
@@ -457,7 +504,8 @@ int CmdPipeline(Flags* flags) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: erminer <generate|mine|repair|eval|profile|detect> [--flags]\n"
+               "usage: erminer <generate|mine|repair|eval|profile|detect|"
+               "pipeline|explain> [--flags]\n"
                "see the header of tools/erminer_cli.cc for details\n");
   return 2;
 }
@@ -518,7 +566,7 @@ void ArmTelemetry(const std::string& cmd, Flags* flags) {
     }
     std::fprintf(stderr,
                  "telemetry: http://127.0.0.1:%d/{metrics,metrics.json,"
-                 "trace.json,healthz}\n",
+                 "trace.json,decisions,healthz}\n",
                  obs::TelemetryServer::Global().port());
   }
 
@@ -544,6 +592,20 @@ void ArmTelemetry(const std::string& cmd, Flags* flags) {
     obs::SetActiveRunManifest(g_manifest.get());
   }
 
+  // Armed after the manifest so the log's path lands in config.json; the
+  // log registers its own flush hook, and the signal handlers below make
+  // sure a SIGINT/SIGTERM drains a partial log before the process dies.
+  const std::string decision_log = flags->Get("decision-log");
+  if (!decision_log.empty()) {
+    if (!obs::DecisionLog::Global().Open(decision_log, &error)) {
+      std::fprintf(stderr, "decision log: %s\n", error.c_str());
+      std::exit(1);
+    }
+    if (g_manifest != nullptr) {
+      g_manifest->SetProvenance("decision_log", decision_log);
+    }
+  }
+
   const std::string profile_spec = flags->Get("profile-out");
   if (!profile_spec.empty()) {
     obs::ProfilerOptions popts;
@@ -566,7 +628,7 @@ void ArmTelemetry(const std::string& cmd, Flags* flags) {
   }
 
   if (!g_metrics_json.empty() || !g_trace_json.empty() ||
-      !g_profile_out.empty()) {
+      !g_profile_out.empty() || !decision_log.empty()) {
     obs::RegisterFlush(FlushObsExportFiles);
     obs::InstallSignalFlushHandlers();
   }
@@ -594,6 +656,7 @@ void FinishTelemetry(int rc, double wall_seconds) {
     }
   }
   if (g_sampler != nullptr) g_sampler->Stop();
+  obs::DecisionLog::Global().Close();  // no-op when never armed
   if (g_manifest != nullptr) {
     obs::SetActiveRunManifest(nullptr);
     char summary[256];
@@ -632,6 +695,7 @@ int main(int argc, char** argv) {
   else if (cmd == "profile") { obs::SetPhase("profile"); rc = CmdProfile(&flags); }
   else if (cmd == "detect") { obs::SetPhase("detect"); rc = CmdDetect(&flags); }
   else if (cmd == "pipeline") { obs::SetPhase("pipeline"); rc = CmdPipeline(&flags); }
+  else if (cmd == "explain") { obs::SetPhase("explain"); rc = CmdExplain(&flags); }
   else return Usage();
   FinishTelemetry(rc, wall.Seconds());
   if (!g_metrics_json.empty() &&
