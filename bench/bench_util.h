@@ -100,6 +100,7 @@ inline void ExportObsFiles() {
 struct BenchFlags {
   bool full = false;
   bool no_refine = false;  // build every LHS index from scratch
+  bool no_batch_eval = false;  // per-child EvalCache::Get instead of GetBatch
   size_t trials = 0;       // 0 = per-bench default
   uint64_t seed = 7;
   long threads = 1;
@@ -124,6 +125,8 @@ struct BenchFlags {
         f.full = true;
       } else if (std::strcmp(a, "--no-refine") == 0) {
         f.no_refine = true;
+      } else if (std::strcmp(a, "--no-batch-eval") == 0) {
+        f.no_batch_eval = true;
       } else if (std::strncmp(a, "--trials=", 9) == 0) {
         f.trials = static_cast<size_t>(std::atoll(a + 9));
       } else if (std::strncmp(a, "--seed=", 7) == 0) {
@@ -165,7 +168,7 @@ struct BenchFlags {
           std::exit(2);
         }
       } else if (std::strcmp(a, "--help") == 0) {
-        std::printf("flags: --full --no-refine --trials=N --seed=N "
+        std::printf("flags: --full --no-refine --no-batch-eval --trials=N --seed=N "
                     "--threads=N --metrics-json=FILE --trace-json=FILE "
                     "--telemetry-port=P --metrics-stream=FILE "
                     "--sample-interval-ms=N --log-json[=FILE] "
@@ -305,9 +308,11 @@ inline BenchSetup MakeSetup(const DatasetSpec& spec, const BenchFlags& flags,
   s.options = DefaultMinerOptions(s.ds);
   s.options.support_threshold = ScaledSupportThreshold(spec, gen.input_size);
   s.options.refine = !flags.no_refine;
+  s.options.batch_eval = !flags.no_batch_eval;
   s.rl = DefaultRlOptions(s.ds, /*k=*/50, gen.seed);
   s.rl.base.support_threshold = s.options.support_threshold;
   s.rl.base.refine = !flags.no_refine;
+  s.rl.base.batch_eval = !flags.no_batch_eval;
   s.rl.train_steps = flags.full ? 5000 : 1500;
   s.rl.checkpoint.dir = flags.checkpoint_dir;
   s.rl.checkpoint.every_episodes =

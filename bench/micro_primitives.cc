@@ -15,6 +15,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+
 #include "core/action_space.h"
 #include "core/environment.h"
 #include "core/mask.h"
@@ -28,6 +31,7 @@
 #include "obs/metrics.h"
 #include "rl/dqn.h"
 #include "rl/replay_buffer.h"
+#include "util/timer.h"
 
 namespace erminer {
 namespace {
@@ -172,6 +176,120 @@ void BM_EvalColumnRefine(benchmark::State& state) {
                           static_cast<int64_t>(c.input().num_rows()));
 }
 BENCHMARK(BM_EvalColumnRefine);
+
+/// A nursery corpus for the eval batching pair below: 8 matched attribute
+/// pairs, enough distinct LHS keys for the width-64 sibling group (adult
+/// tops out at 6 pairs).
+const Corpus& WideLhsBenchCorpus() {
+  static const Corpus* corpus = [] {
+    GenOptions g;
+    g.input_size = 2000;
+    g.master_size = 800;
+    g.seed = 99;
+    auto ds = MakeNursery(g).ValueOrDie();
+    return new Corpus(BuildCorpus(ds).ValueOrDie());
+  }();
+  return *corpus;
+}
+
+/// `n` distinct LHS keys over the corpus's matched attribute pairs —
+/// subsets of increasing depth, the sibling-group shape the search engine
+/// hands EvalCache::GetBatch. Pairs stay sorted, as Get/GetBatch require.
+std::vector<LhsPairs> SiblingLhsKeys(const Corpus& c, size_t n) {
+  LhsPairs pairs;
+  for (size_t a = 0; a < c.input().num_cols(); ++a) {
+    if (static_cast<int>(a) == c.y_input()) continue;
+    for (int m : c.match().Matches(static_cast<int>(a))) {
+      if (m == c.y_master()) continue;
+      pairs.emplace_back(static_cast<int>(a), m);
+    }
+  }
+  std::vector<LhsPairs> keys;
+  for (size_t depth = 1; depth <= pairs.size() && keys.size() < n; ++depth) {
+    std::vector<bool> sel(pairs.size(), false);
+    std::fill(sel.begin(), sel.begin() + static_cast<long>(depth), true);
+    do {
+      LhsPairs lhs;
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        if (sel[i]) lhs.push_back(pairs[i]);
+      }
+      keys.push_back(std::move(lhs));
+    } while (keys.size() < n &&
+             std::prev_permutation(sel.begin(), sel.end()));
+  }
+  return keys;
+}
+
+/// One BENCH_JSON record per run so scripts/bench_compare.py can gate the
+/// per-call/batched pair across builds (it reads `_ns` timing keys).
+void EmitEvalPairJson(const char* mode, size_t width, double per_key_ns) {
+  std::printf(
+      "BENCH_JSON {\"bench\":\"micro_eval\",\"mode\":\"%s\","
+      "\"width\":%zu,\"per_key_ns\":%.1f}\n",
+      mode, width, per_key_ns);
+}
+
+/// Baseline half of the batching pair (docs/perf.md): `width` sibling
+/// cache misses served one Get() at a time — a lock/probe round-trip and a
+/// pool submission per sibling, the engine's pre-batching inner loop.
+void BM_EvalGetPerCall(benchmark::State& state) {
+  const Corpus& c = WideLhsBenchCorpus();
+  const size_t width = static_cast<size_t>(state.range(0));
+  const std::vector<LhsPairs> keys = SiblingLhsKeys(c, width);
+  if (keys.size() < width) {
+    state.SkipWithError("corpus has too few matched pairs for this width");
+    return;
+  }
+  Timer timer;
+  for (auto _ : state) {
+    EvalCache cache(&c, 2 * width);
+    for (const LhsPairs& lhs : keys) {
+      benchmark::DoNotOptimize(cache.Get(lhs).column->group.size());
+    }
+  }
+  const double secs = timer.Seconds();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(width));
+  EmitEvalPairJson("per_call", width,
+                   secs / static_cast<double>(state.iterations()) /
+                       static_cast<double>(width) * 1e9);
+}
+BENCHMARK(BM_EvalGetPerCall)->ArgName("width")->Arg(4)->Arg(16)->Arg(64);
+
+/// Batched half: the same `width` misses resolved by one GetBatch — one
+/// lock pass and one pool submission for the whole sibling group. Entries
+/// are bit-identical to the per-call path (tests/search_engine_test.cc).
+void BM_EvalBatch(benchmark::State& state) {
+  const Corpus& c = WideLhsBenchCorpus();
+  const size_t width = static_cast<size_t>(state.range(0));
+  const std::vector<LhsPairs> keys = SiblingLhsKeys(c, width);
+  if (keys.size() < width) {
+    state.SkipWithError("corpus has too few matched pairs for this width");
+    return;
+  }
+  std::vector<const LhsPairs*> key_ptrs;
+  for (const LhsPairs& lhs : keys) key_ptrs.push_back(&lhs);
+  const obs::MetricsSnapshot before =
+      obs::MetricsRegistry::Global().Snapshot();
+  Timer timer;
+  for (auto _ : state) {
+    EvalCache cache(&c, 2 * width);
+    std::vector<EvalCache::Entry> entries =
+        cache.GetBatch(nullptr, key_ptrs);
+    benchmark::DoNotOptimize(entries.front().column->group.size());
+  }
+  const double secs = timer.Seconds();
+  obs::MetricsSnapshot delta =
+      obs::MetricsRegistry::Global().Snapshot().DeltaSince(before);
+  state.counters["batched"] =
+      static_cast<double>(delta.counters["eval_cache/batched"]);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(width));
+  EmitEvalPairJson("batched", width,
+                   secs / static_cast<double>(state.iterations()) /
+                       static_cast<double>(width) * 1e9);
+}
+BENCHMARK(BM_EvalBatch)->ArgName("width")->Arg(4)->Arg(16)->Arg(64);
 
 void BM_RuleEvaluate(benchmark::State& state) {
   const Corpus& c = BenchCorpus();

@@ -12,10 +12,12 @@ Both inputs are files holding the stdout of one or more bench binaries
   scripts/bench_compare.py baseline.log candidate.log
 
 Records are matched by their identity fields — every scalar field except
-timings (keys ending in `secs`/`seconds`/`_ms`/`_us` and latency quantiles
-`p50`/`p90`/`p99`), `cpu_seconds`, `peak_rss_bytes` and the `metrics`
-object. Millisecond/microsecond keys are converted to seconds before the
---min-secs gate and the report, so all columns compare in one unit. A record key that appears several times (multiple
+timings (keys ending in `secs`/`seconds`/`_ms`/`_us`/`_ns` and latency
+quantiles `p50`/`p90`/`p99`), `cpu_seconds`, `peak_rss_bytes` and the
+`metrics` object. Millisecond/microsecond/nanosecond keys (`_ns` is what
+bench/micro_primitives' per-call-vs-batched eval pair emits) are converted
+to seconds before the --min-secs gate and the report, so all columns
+compare in one unit. A record key that appears several times (multiple
 trials) is averaged before comparison. For each matched record, every
 timing field present on both sides is compared; the script exits 1 if any
 timing regresses by more than --threshold percent (default 10) while both
@@ -57,7 +59,7 @@ def is_timing(key):
         return False
     return (key.endswith("secs") or key.endswith("seconds") or
             key.endswith("_ms") or key.endswith("_us") or
-            key in ("p50", "p90", "p99"))
+            key.endswith("_ns") or key in ("p50", "p90", "p99"))
 
 
 def timing_seconds(key, value):
@@ -66,6 +68,8 @@ def timing_seconds(key, value):
         return value / 1e3
     if key.endswith("_us"):
         return value / 1e6
+    if key.endswith("_ns"):
+        return value / 1e9
     return value
 
 

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# One-shot tier-1 gate — the single entry point a PR runs before merge:
+#   1. configure + build          (build/)
+#   2. the full ctest suite
+#   3. ThreadSanitizer on the labelled interleaving tests and UBSan on the
+#      SIMD kernels (scripts/sanitize.sh --tsan / --ubsan; the ASan stage
+#      is left to scheduled runs — it rebuilds the world a third time and
+#      re-runs the whole suite)
+#   4. bench_compare structural smoke: re-run the micro eval batching pair
+#      and diff its BENCH_JSON records against the committed baseline log
+#      with an effectively-infinite threshold. The gate is "records parse
+#      and identities match" — it catches renamed or dropped timing keys
+#      and broken BENCH_JSON emission, not wall-clock drift (CI machines
+#      vary; real performance gating diffs two logs from one machine, see
+#      scripts/bench_compare.py --help).
+# Usage:
+#   scripts/ci.sh           all stages
+#   scripts/ci.sh --fast    stages 1, 2 and 4 (the edit-compile-test loop)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=false
+case "${1:-}" in
+  --fast) fast=true ;;
+  "") ;;
+  *) echo "usage: scripts/ci.sh [--fast]" >&2; exit 2 ;;
+esac
+
+echo "=== ci: configure + build ==="
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+
+echo "=== ci: ctest ==="
+ctest --test-dir build -j "$(nproc)" --output-on-failure
+
+if ! $fast; then
+  scripts/sanitize.sh --tsan
+  scripts/sanitize.sh --ubsan
+fi
+
+echo "=== ci: bench_compare smoke ==="
+candidate="$(mktemp)"
+trap 'rm -f "$candidate"' EXIT
+./build/bench/micro_primitives \
+  --benchmark_filter='BM_Eval(GetPerCall|Batch)/' \
+  --benchmark_min_time=0.02 > "$candidate"
+python3 scripts/bench_compare.py bench/baselines/micro_eval.log \
+  "$candidate" --threshold=100000
+
+echo "ci: all stages passed"

@@ -7,10 +7,11 @@
 #   scripts/sanitize.sh --asan    ASan+UBSan stage only
 #   scripts/sanitize.sh --ubsan   UBSan kernel stage only
 # The TSan stage runs only the tests labelled `concurrency`, `checkpoint`,
-# `profiler` or `decision` (the pool, differential, stress and
+# `profiler`, `decision` or `search` (the pool, differential, stress and
 # obs_concurrency tests, the checkpoint/crash-resume harness, the SIGPROF
-# profiler/watchdog tests, and the decision-log round-trip/differential
-# tests) because TSan's ~10x slowdown makes the full suite impractical;
+# profiler/watchdog tests, the decision-log round-trip/differential tests,
+# and the search-engine units that exercise EvalCache::GetBatch's locking)
+# because TSan's ~10x slowdown makes the full suite impractical;
 # those tests are written to maximize interleavings, so they are where a
 # data race in the pool, the cache, the index, the metrics/trace layer,
 # the signal-checkpoint path or the profiler's rings would show.
@@ -38,7 +39,7 @@ if $run_tsan; then
   cmake -B build-tsan -S . -DERMINER_SANITIZE=thread
   cmake --build build-tsan -j "$(nproc)"
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 suppressions=$PWD/scripts/tsan.supp" \
-    ctest --test-dir build-tsan -L "concurrency|checkpoint|profiler|decision" \
+    ctest --test-dir build-tsan -L "concurrency|checkpoint|profiler|decision|search" \
     --output-on-failure
 fi
 

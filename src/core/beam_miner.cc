@@ -1,139 +1,18 @@
+// The beam-search heuristic miner as a search-engine policy: level-wise
+// expansion with utility-ranked truncation (search::BeamPolicy). This TU
+// is options plumbing; see search/policies.cc for the walk.
+
 #include "core/beam_miner.h"
 
-#include <algorithm>
-
-#include "core/action_space.h"
-#include "core/mask.h"
-#include "obs/decision_log.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
-#include "util/timer.h"
+#include "search/policies.h"
 
 namespace erminer {
 
-namespace {
-
-struct BeamNode {
-  RuleKey key;
-  Cover cover;
-  double utility = 0;
-};
-
-}  // namespace
-
 MineResult BeamMine(const Corpus& corpus, const MinerOptions& options,
                     const BeamMinerOptions& beam_options) {
-  ERMINER_SPAN("beam/mine");
-  Timer timer;
-  MineResult result;
-
-  ActionSpaceOptions aopts;
-  aopts.support_threshold = options.support_threshold;
-  aopts.max_classes_per_attr = options.max_classes_per_attr;
-  aopts.prefix_merge = false;
-  aopts.include_negations = options.include_negations;
-  ActionSpace space = ActionSpace::Build(corpus, aopts);
-  RuleEvaluator evaluator(&corpus);
-  evaluator.cache().set_refine_enabled(options.refine);
-
-  RuleKeySet discovered;
-  std::vector<ScoredRule> pool;
-  std::vector<BeamNode> beam = {{RuleKey{}, FullCover(corpus), 0}};
-
-  for (size_t depth = 0; depth < beam_options.max_depth && !beam.empty();
-       ++depth) {
-    ERMINER_SPAN("beam/level");
-    std::vector<BeamNode> next;
-    uint64_t prune_support = 0, prune_duplicate = 0;
-    for (const BeamNode& node : beam) {
-      ERMINER_COUNT("beam/nodes_expanded", 1);
-      std::vector<uint8_t> mask = ComputeMask(space, node.key, {});
-      // This node's LHS is the refinement hint for its LHS-extending
-      // children (their LHS is it plus exactly one pair).
-      const LhsPairs parent_lhs = space.Decode(node.key).lhs;
-      const bool decisions = obs::DecisionLog::Armed();
-      for (int32_t a = 0; a < space.stop_action(); ++a) {
-        if (!mask[static_cast<size_t>(a)]) continue;
-        RuleKey child_key = KeyWith(node.key, a);
-        if (!discovered.insert(child_key).second) {
-          ++prune_duplicate;
-          if (decisions) {
-            obs::DecisionLog::Global().Prune(obs::DecisionMiner::kBeam,
-                                             obs::PruneReason::kDuplicate,
-                                             node.key, a, 0.0);
-          }
-          continue;
-        }
-        ++result.nodes_explored;
-        EditingRule rule = space.Decode(child_key);
-        const bool is_pattern = space.IsPatternAction(a);
-        Cover cover = is_pattern ? RefineCover(corpus, node.cover,
-                                               space.pattern_item(a))
-                                 : node.cover;
-        RuleStats stats = evaluator.Evaluate(
-            rule, cover, is_pattern ? nullptr : &parent_lhs);
-        if (decisions) {
-          obs::DecisionLog::Global().Expand(obs::DecisionMiner::kBeam,
-                                            node.key, a, child_key);
-        }
-        if (static_cast<double>(stats.support) <
-            options.support_threshold) {
-          ++prune_support;
-          if (decisions) {
-            obs::DecisionLog::Global().Prune(
-                obs::DecisionMiner::kBeam, obs::PruneReason::kSupport,
-                node.key, a, static_cast<double>(stats.support));
-          }
-          continue;  // Lemma 1: no descendant can recover
-        }
-        if (!rule.lhs.empty()) {
-          pool.push_back({rule, stats, RuleProvenanceId(rule, corpus)});
-          ERMINER_COUNT("miner/rules_emitted", 1);
-          if (decisions) {
-            obs::DecisionLog::Global().Emit(
-                obs::DecisionMiner::kBeam, pool.back().provenance, child_key,
-                stats.support, stats.certainty, stats.quality, stats.utility);
-          }
-        }
-        if (rule.lhs.empty() || stats.certainty < 1.0) {
-          next.push_back({std::move(child_key), std::move(cover),
-                          stats.utility});
-        } else if (decisions) {
-          obs::DecisionLog::Global().Prune(
-              obs::DecisionMiner::kBeam, obs::PruneReason::kCertain, node.key,
-              a, stats.certainty);
-        }
-      }
-    }
-    ERMINER_COUNT("beam/prune_support", prune_support);
-    ERMINER_COUNT("beam/prune_duplicate", prune_duplicate);
-    // Keep the beam_width most promising rules for the next level.
-    if (next.size() > beam_options.beam_width) {
-      ERMINER_COUNT("beam/prune_beam_width",
-                    next.size() - beam_options.beam_width);
-      std::partial_sort(next.begin(),
-                        next.begin() +
-                            static_cast<long>(beam_options.beam_width),
-                        next.end(),
-                        [](const BeamNode& x, const BeamNode& y) {
-                          return x.utility > y.utility;
-                        });
-      if (obs::DecisionLog::Armed()) {
-        for (size_t i = beam_options.beam_width; i < next.size(); ++i) {
-          obs::DecisionLog::Global().Prune(
-              obs::DecisionMiner::kBeam, obs::PruneReason::kBeamWidth,
-              next[i].key, -1, next[i].utility);
-        }
-      }
-      next.resize(beam_options.beam_width);
-    }
-    beam = std::move(next);
-  }
-
-  result.rules = SelectTopKNonRedundant(std::move(pool), options.k);
-  result.rule_evaluations = evaluator.num_evaluations();
-  result.seconds = timer.Seconds();
-  return result;
+  search::BeamPolicy policy(beam_options);
+  return search::MineLattice(corpus, options, policy,
+                             obs::DecisionMiner::kBeam, "beam");
 }
 
 }  // namespace erminer

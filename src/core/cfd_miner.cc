@@ -1,230 +1,24 @@
+// CTANE (partial CFD discovery) as a search-engine policy: the
+// ascending-bitmask walk lives in search::CfdPolicy; this TU wires the
+// evaluator and engine. The engine gets no ActionSpace — CTANE drives its
+// own lattice over master-attribute sets.
+
 #include "core/cfd_miner.h"
 
-#include <algorithm>
-#include <queue>
-#include <unordered_map>
-#include <utility>
-
-#include "index/group_index.h"
-#include "obs/decision_log.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
-#include "util/hash.h"
-#include "util/timer.h"
+#include "search/policies.h"
 
 namespace erminer {
 
-namespace {
-
-/// First input attribute matched to master attribute `am`, or -1.
-int ReverseMatch(const Corpus& corpus, int am) {
-  for (size_t a = 0; a < corpus.input().num_cols(); ++a) {
-    if (static_cast<int>(a) == corpus.y_input()) continue;
-    for (int m : corpus.match().Matches(static_cast<int>(a))) {
-      if (m == am) return static_cast<int>(a);
-    }
-  }
-  return -1;
-}
-
-struct PGroupAgg {
-  long rows = 0;
-  bool confident = true;
-  /// The smallest group confidence seen — the measure a confidence prune
-  /// reports to the decision log.
-  double min_certainty = 1.0;
-};
-
-}  // namespace
-
 MineResult CfdMine(const Corpus& corpus, const MinerOptions& options,
                    const CfdMinerOptions& cfd_options) {
-  ERMINER_SPAN("ctane/mine");
-  Timer timer;
-  MineResult result;
+  // Historical quirk, kept deliberately: CTANE never enables EvalCache
+  // partition refinement — MinerOptions::refine gates only the live
+  // GroupIndex chain inside the policy's walk.
   RuleEvaluator evaluator(&corpus);
-
-  const Table& master = corpus.master();
-  double eta_m = cfd_options.master_support_threshold;
-  if (eta_m <= 0) {
-    eta_m = options.support_threshold *
-            static_cast<double>(master.num_rows()) /
-            std::max<double>(1.0, static_cast<double>(
-                                      corpus.input().num_rows()));
-    eta_m = std::max(eta_m, 2.0);
-  }
-
-  // Master attributes usable in X: matched to some input attribute and not
-  // the target.
-  std::vector<int> usable;       // master column
-  std::vector<int> usable_rev;   // the matched input column
-  for (size_t am = 0; am < master.num_cols(); ++am) {
-    if (static_cast<int>(am) == corpus.y_master()) continue;
-    int a = ReverseMatch(corpus, static_cast<int>(am));
-    if (a >= 0) {
-      usable.push_back(static_cast<int>(am));
-      usable_rev.push_back(a);
-    }
-  }
-
-  std::vector<ScoredRule> pool;
-  const size_t n_usable = usable.size();
-  ERMINER_CHECK(n_usable < 31);
-
-  // Index chain for partition refinement: `X \ {first attr}` is the parent
-  // of X under the ascending bitmask walk (x_bits & (x_bits - 1) clears the
-  // lowest set bit), so each level's index derives from a live parent. The
-  // empty-X root index lives for the whole mine; every other parent is
-  // dropped the moment the walk passes its last possible child,
-  // p + lowest_set_bit(p) — exact liveness, so memory stays proportional to
-  // the live frontier, not the lattice.
-  std::unordered_map<uint32_t, GroupIndex> live;
-  std::priority_queue<std::pair<uint32_t, uint32_t>,
-                      std::vector<std::pair<uint32_t, uint32_t>>,
-                      std::greater<std::pair<uint32_t, uint32_t>>>
-      expiries;  // (first x_bits that no longer needs it, bits)
-  if (options.refine) {
-    live.emplace(0u, GroupIndex::Build(master, {}, corpus.y_master()));
-  }
-
-  for (uint32_t x_bits = 1; x_bits < (1u << n_usable); ++x_bits) {
-    while (!expiries.empty() && expiries.top().first <= x_bits) {
-      live.erase(expiries.top().second);
-      expiries.pop();
-    }
-    std::vector<size_t> x_members;  // indices into `usable`
-    for (size_t i = 0; i < n_usable; ++i) {
-      if (x_bits & (1u << i)) x_members.push_back(i);
-    }
-    if (x_members.size() > cfd_options.max_lhs) continue;
-
-    ERMINER_SPAN("ctane/node");
-    ERMINER_COUNT("ctane/nodes_expanded", 1);
-    std::vector<int> xm_cols;
-    for (size_t i : x_members) xm_cols.push_back(usable[i]);
-    const uint32_t parent_bits = x_bits & (x_bits - 1);
-    auto parent_it = live.find(parent_bits);
-    GroupIndex built =
-        parent_it != live.end()
-            ? GroupIndex::BuildRefined(master, parent_it->second, xm_cols,
-                                       corpus.y_master())
-            : GroupIndex::Build(master, xm_cols, corpus.y_master());
-    // Keep this index only while it can still seed children: x_bits with a
-    // clear bit below its lowest set bit, and room left under max_lhs.
-    GroupIndex* index_ptr = &built;
-    if (options.refine && (x_bits & 1u) == 0 &&
-        x_members.size() < cfd_options.max_lhs) {
-      expiries.emplace(x_bits + (x_bits & (~x_bits + 1u)), x_bits);
-      index_ptr = &live.emplace(x_bits, std::move(built)).first->second;
-    }
-    const GroupIndex& index = *index_ptr;
-    ++result.nodes_explored;
-
-    // The decision log's lattice key for a CTANE node is its master-column
-    // list (ascending); the walk's refinement parent drops the lowest set
-    // bit, i.e. the first column. Candidate-level events pack p_bits into
-    // the action field.
-    const bool decisions = obs::DecisionLog::Armed();
-    std::vector<int32_t> x_key(xm_cols.begin(), xm_cols.end());
-    if (decisions) {
-      std::vector<int32_t> x_parent(x_key.begin() + 1, x_key.end());
-      obs::DecisionLog::Global().Expand(obs::DecisionMiner::kCtane, x_parent,
-                                        x_key.front(), x_key);
-    }
-
-    uint64_t candidates = 0, prune_confidence = 0, prune_support = 0;
-    // Every proper constant subset P of X (wildcards W = X \ P nonempty).
-    const uint32_t p_limit = 1u << x_members.size();
-    std::vector<ValueCode> pkey;  // hoisted out of the group loops
-    pkey.reserve(x_members.size());
-    for (uint32_t p_bits = 0; p_bits + 1 < p_limit; ++p_bits) {
-      // Aggregate groups by their P projection, in group-id (ascending
-      // first-row) order — deterministic, and identical whether `index` was
-      // refined or built from scratch.
-      std::unordered_map<std::vector<ValueCode>, PGroupAgg, VectorHash> agg;
-      for (size_t gid = 0; gid < index.num_groups(); ++gid) {
-        const ValueCode* key = index.key_of(gid);
-        const Group& group = index.group(gid);
-        pkey.clear();
-        for (size_t j = 0; j < x_members.size(); ++j) {
-          if (p_bits & (1u << j)) pkey.push_back(key[j]);
-        }
-        PGroupAgg& a = agg[pkey];
-        a.rows += group.total;
-        const double certainty = group.Certainty();
-        if (certainty < a.min_certainty) a.min_certainty = certainty;
-        if (certainty < cfd_options.min_confidence) {
-          a.confident = false;
-        }
-      }
-      for (const auto& [pkey, a] : agg) {
-        ++candidates;
-        if (!a.confident) {
-          ++prune_confidence;
-          if (decisions) {
-            obs::DecisionLog::Global().Prune(
-                obs::DecisionMiner::kCtane, obs::PruneReason::kConfidence,
-                x_key, static_cast<int32_t>(p_bits), a.min_certainty);
-          }
-          continue;
-        }
-        if (static_cast<double>(a.rows) < eta_m) {
-          ++prune_support;
-          if (decisions) {
-            obs::DecisionLog::Global().Prune(
-                obs::DecisionMiner::kCtane, obs::PruneReason::kMasterSupport,
-                x_key, static_cast<int32_t>(p_bits),
-                static_cast<double>(a.rows));
-          }
-          continue;
-        }
-        // Convert: wildcards -> LHS pairs, constants -> pattern conditions.
-        EditingRule rule;
-        rule.y_input = corpus.y_input();
-        rule.y_master = corpus.y_master();
-        size_t p_pos = 0;
-        bool valid = true;
-        for (size_t j = 0; j < x_members.size(); ++j) {
-          size_t i = x_members[j];
-          if (p_bits & (1u << j)) {
-            ValueCode v = pkey[p_pos++];
-            const Domain& dom =
-                *corpus.input().domain(static_cast<size_t>(usable_rev[i]));
-            if (rule.pattern.SpecifiesAttr(usable_rev[i])) {
-              valid = false;  // two master attrs map to one input attr
-              break;
-            }
-            rule.pattern.Add({usable_rev[i], {v}, dom.ValueOrNull(v)});
-          } else {
-            if (rule.HasLhsAttr(usable_rev[i])) {
-              valid = false;
-              break;
-            }
-            rule.AddLhs(usable_rev[i], usable[i]);
-          }
-        }
-        if (!valid || rule.lhs.empty()) continue;
-        RuleStats stats = evaluator.Evaluate(rule);
-        const uint64_t provenance = RuleProvenanceId(rule, corpus);
-        ERMINER_COUNT("miner/rules_emitted", 1);
-        if (decisions) {
-          obs::DecisionLog::Global().Emit(obs::DecisionMiner::kCtane,
-                                          provenance, x_key, stats.support,
-                                          stats.certainty, stats.quality,
-                                          stats.utility);
-        }
-        pool.push_back({std::move(rule), stats, provenance});
-      }
-    }
-    ERMINER_COUNT("ctane/candidates", candidates);
-    ERMINER_COUNT("ctane/prune_confidence", prune_confidence);
-    ERMINER_COUNT("ctane/prune_master_support", prune_support);
-  }
-
-  result.rules = SelectTopKNonRedundant(std::move(pool), options.k);
-  result.rule_evaluations = evaluator.num_evaluations();
-  result.seconds = timer.Seconds();
-  return result;
+  search::SearchEngine engine(&corpus, /*space=*/nullptr, &evaluator,
+                              options, obs::DecisionMiner::kCtane, "ctane");
+  search::CfdPolicy policy(cfd_options);
+  return engine.Mine(policy);
 }
 
 }  // namespace erminer

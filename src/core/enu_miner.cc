@@ -1,191 +1,26 @@
+// EnuMiner (Alg. 4) as a search-engine policy: the exhaustive FIFO walk
+// and its H3 depth-capped variant. All mechanics — admission, parallel
+// batched evaluation, thresholds, dedup, counters, decision events — live
+// in search::SearchEngine; this TU is options plumbing.
+
 #include "core/enu_miner.h"
 
-#include <deque>
-
-#include "core/action_space.h"
-#include "core/mask.h"
-#include "obs/decision_log.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
-#include "util/thread_pool.h"
-#include "util/timer.h"
+#include "search/policies.h"
 
 namespace erminer {
 
-namespace {
-
-struct LatticeNode {
-  RuleKey key;
-  Cover cover;           // rows matching the pattern part of `key`
-  size_t lhs_size = 0;
-  size_t pattern_size = 0;
-};
-
-/// One admissible child of the node being expanded, plus its evaluation
-/// outputs (filled in parallel, consumed serially in candidate order).
-struct Candidate {
-  int32_t action = 0;
-  bool is_lhs = false;
-  RuleKey key;
-  EditingRule rule;
-  Cover cover;
-  RuleStats stats;
-};
-
-}  // namespace
-
 MineResult EnuMine(const Corpus& corpus, const MinerOptions& options) {
-  ERMINER_SPAN("enuminer/mine");
-  Timer timer;
-  MineResult result;
-
-  ActionSpaceOptions aopts;
-  aopts.support_threshold = options.support_threshold;
-  aopts.max_classes_per_attr = options.max_classes_per_attr;
-  aopts.prefix_merge = false;  // exact value enumeration
-  aopts.include_negations = options.include_negations;
-  ActionSpace space = ActionSpace::Build(corpus, aopts);
-  RuleEvaluator evaluator(&corpus);
-  evaluator.cache().set_refine_enabled(options.refine);
-
-  RuleKeySet discovered;
-  std::vector<ScoredRule> pool;
-  std::deque<LatticeNode> queue;
-  queue.push_back({RuleKey{}, FullCover(corpus), 0, 0});
-
-  while (!queue.empty() && result.nodes_explored < options.max_nodes) {
-    ERMINER_SPAN("enuminer/expand");
-    ERMINER_COUNT("enuminer/nodes_expanded", 1);
-    LatticeNode node = std::move(queue.front());
-    queue.pop_front();
-
-    // Local mask forbids re-specifying bound attributes; the global
-    // duplicate check happens per child below (cheaper than Alg. 1's global
-    // mask here because we enumerate every allowed child anyway).
-    //
-    // Expansion is split into three stages so the expensive middle stage
-    // can fan out across the pool while the result stays bit-identical to
-    // the serial walk: (1) admission — mask, depth limits and the
-    // `discovered` dedup run serially in action order; (2) evaluation —
-    // decode, cover refinement and measures run in parallel over the
-    // admitted frontier; (3) pruning and queue growth consume the results
-    // serially, again in action order.
-    std::vector<uint8_t> mask = ComputeMask(space, node.key, {});
-    std::vector<Candidate> frontier;
-    // Prune reasons are tallied locally and published once per node.
-    uint64_t prune_masked = 0, prune_depth = 0, prune_duplicate = 0;
-    for (int32_t a = 0; a < space.stop_action(); ++a) {
-      if (!mask[static_cast<size_t>(a)]) {
-        ++prune_masked;
-        continue;
-      }
-      const bool is_lhs = space.IsLhsAction(a);
-      if ((is_lhs && node.lhs_size >= options.max_lhs) ||
-          (!is_lhs && node.pattern_size >= options.max_pattern)) {
-        ++prune_depth;
-        continue;
-      }
-
-      RuleKey child_key = KeyWith(node.key, a);
-      if (!discovered.insert(child_key).second) {  // already seen
-        ++prune_duplicate;
-        if (obs::DecisionLog::Armed()) {
-          obs::DecisionLog::Global().Prune(obs::DecisionMiner::kEnu,
-                                           obs::PruneReason::kDuplicate,
-                                           node.key, a, 0.0);
-        }
-        continue;
-      }
-      ++result.nodes_explored;
-      Candidate c;
-      c.action = a;
-      c.is_lhs = is_lhs;
-      c.key = std::move(child_key);
-      frontier.push_back(std::move(c));
-    }
-    ERMINER_COUNT("enuminer/prune_masked", prune_masked);
-    ERMINER_COUNT("enuminer/prune_depth", prune_depth);
-    ERMINER_COUNT("enuminer/prune_duplicate", prune_duplicate);
-    ERMINER_COUNT("enuminer/children_evaluated", frontier.size());
-
-    // LHS-extending children are this node's LHS plus one pair, so the
-    // node's LHS is passed as a partition-refinement hint; pattern children
-    // keep the LHS and hit the cache directly.
-    const LhsPairs parent_lhs = space.Decode(node.key).lhs;
-    GlobalPool().ParallelFor(0, frontier.size(), 1, [&](size_t b, size_t e) {
-      for (size_t i = b; i < e; ++i) {
-        Candidate& c = frontier[i];
-        c.rule = space.Decode(c.key);
-        c.cover = c.is_lhs ? node.cover
-                           : RefineCover(corpus, node.cover,
-                                         space.pattern_item(c.action));
-        c.stats = evaluator.Evaluate(c.rule, c.cover,
-                                     c.is_lhs ? &parent_lhs : nullptr);
-      }
-    });
-
-    uint64_t prune_support = 0, pooled = 0, enqueued = 0, closed = 0;
-    // Decision-provenance events are recorded in this serial consume loop
-    // (candidate order), so the log's event order is deterministic and the
-    // mined results stay bit-identical for any thread count.
-    const bool decisions = obs::DecisionLog::Armed();
-    for (Candidate& c : frontier) {
-      if (decisions) {
-        obs::DecisionLog::Global().Expand(obs::DecisionMiner::kEnu, node.key,
-                                          c.action, c.key);
-      }
-      // Support pruning (Lemma 1): children cannot beat the threshold.
-      if (static_cast<double>(c.stats.support) < options.support_threshold) {
-        ++prune_support;
-        if (decisions) {
-          obs::DecisionLog::Global().Prune(
-              obs::DecisionMiner::kEnu, obs::PruneReason::kSupport, node.key,
-              c.action, static_cast<double>(c.stats.support));
-        }
-        continue;
-      }
-      if (!c.rule.lhs.empty()) {
-        pool.push_back({c.rule, c.stats, RuleProvenanceId(c.rule, corpus)});
-        ++pooled;
-        ERMINER_COUNT("miner/rules_emitted", 1);
-        if (decisions) {
-          obs::DecisionLog::Global().Emit(
-              obs::DecisionMiner::kEnu, pool.back().provenance, c.key,
-              c.stats.support, c.stats.certainty, c.stats.quality,
-              c.stats.utility);
-        }
-      }
-      // Refine further unless the rule already returns certain fixes
-      // (Alg. 4 line 14); rules without an LHS must keep growing.
-      if (c.rule.lhs.empty() || c.stats.certainty < 1.0) {
-        ++enqueued;
-        queue.push_back({std::move(c.key), std::move(c.cover),
-                         c.rule.LhsSize(), c.rule.PatternSize()});
-      } else {
-        ++closed;  // certain already: the subtree below is never opened
-        if (decisions) {
-          obs::DecisionLog::Global().Prune(
-              obs::DecisionMiner::kEnu, obs::PruneReason::kCertain, node.key,
-              c.action, c.stats.certainty);
-        }
-      }
-    }
-    ERMINER_COUNT("enuminer/prune_support", prune_support);
-    ERMINER_COUNT("enuminer/rules_pooled", pooled);
-    ERMINER_COUNT("enuminer/children_enqueued", enqueued);
-    ERMINER_COUNT("enuminer/prune_certain", closed);
-  }
-
-  result.rules = SelectTopKNonRedundant(std::move(pool), options.k);
-  result.rule_evaluations = evaluator.num_evaluations();
-  result.seconds = timer.Seconds();
-  return result;
+  search::ExhaustivePolicy policy;
+  return search::MineLattice(corpus, options, policy,
+                             obs::DecisionMiner::kEnu, "enuminer");
 }
 
 MineResult EnuMineH3(const Corpus& corpus, MinerOptions options) {
   options.max_lhs = 3;
   options.max_pattern = 3;
-  return EnuMine(corpus, options);
+  search::DepthLimitedPolicy policy;
+  return search::MineLattice(corpus, options, policy,
+                             obs::DecisionMiner::kEnu, "enuminer");
 }
 
 }  // namespace erminer

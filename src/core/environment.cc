@@ -2,17 +2,31 @@
 
 #include <cmath>
 
-#include "obs/decision_log.h"
-#include "obs/metrics.h"
-
 namespace erminer {
+
+namespace {
+
+// The engine options the RL walk shares with the lattice miners: the leaf
+// target, eta_s, and the batched-evaluation lever. Depth limits and node
+// budgets stay at their defaults — the episode loop bounds the walk.
+MinerOptions EngineOptions(const EnvOptions& o) {
+  MinerOptions m;
+  m.k = o.k;
+  m.support_threshold = o.support_threshold;
+  m.batch_eval = o.batch_eval;
+  return m;
+}
+
+}  // namespace
 
 Environment::Environment(const Corpus* corpus, const ActionSpace* space,
                          RuleEvaluator* evaluator, const EnvOptions& options)
     : corpus_(corpus),
       space_(space),
       evaluator_(evaluator),
-      options_(options) {
+      options_(options),
+      engine_(corpus, space, evaluator, EngineOptions(options),
+              obs::DecisionMiner::kRl, "rl") {
   ERMINER_CHECK(corpus_ && space_ && evaluator_);
   if (options_.normalize_utility) {
     double ls = std::log(std::max<double>(
@@ -24,10 +38,10 @@ Environment::Environment(const Corpus* corpus, const ActionSpace* space,
 void Environment::Reset() {
   nodes_.clear();
   queue_.clear();
-  discovered_.clear();
+  engine_.ClearDedup();
   leaves_.clear();
   nodes_.push_back({RuleKey{}, FullCover(*corpus_), 0});
-  discovered_.insert(RuleKey{});
+  engine_.InsertDedup(RuleKey{});
   current_ = 0;
   done_ = false;
   ++episode_index_;
@@ -41,7 +55,8 @@ const RuleKey& Environment::current_state() const {
 std::vector<uint8_t> Environment::CurrentMask() const {
   static const RuleKeySet kNoDiscovered;
   return ComputeMask(*space_, nodes_[current_].key,
-                     options_.use_global_mask ? discovered_ : kNoDiscovered);
+                     options_.use_global_mask ? engine_.dedup()
+                                              : kNoDiscovered);
 }
 
 float Environment::BaseReward(const RuleKey& key, const RuleStats& stats) {
@@ -64,7 +79,7 @@ RuleStats Environment::StatsOf(const RuleKey& key, const EditingRule& rule,
                                const LhsPairs* parent_lhs) {
   auto it = stats_cache_.find(key);
   if (options_.reuse_rewards && it != stats_cache_.end()) return it->second;
-  RuleStats stats = evaluator_->Evaluate(rule, cover, parent_lhs);
+  RuleStats stats = engine_.EvaluateCandidate(rule, cover, parent_lhs);
   if (it == stats_cache_.end()) {
     stats_cache_.emplace(key, stats);
   }
@@ -83,7 +98,6 @@ void Environment::AdvanceToNextNode() {
 Environment::StepResult Environment::Step(int32_t action) {
   ERMINER_CHECK(!done_);
   ++step_index_;
-  const bool decisions = obs::DecisionLog::Armed();
   StepResult sr;
   sr.state = nodes_[current_].key;
   sr.action = action;
@@ -94,16 +108,13 @@ Environment::StepResult Environment::Step(int32_t action) {
   } else {
     const size_t parent_id = current_;
     RuleKey child_key = KeyWith(nodes_[parent_id].key, action);
-    const bool fresh = discovered_.insert(child_key).second;
+    const bool fresh = engine_.InsertDedup(child_key);
     if (!fresh) {
       // Only reachable when the global mask is ablated: the agent re-derived
       // an existing rule. Pay the (cached) reward, grow nothing.
       ERMINER_CHECK(!options_.use_global_mask);
-      if (decisions) {
-        obs::DecisionLog::Global().Prune(obs::DecisionMiner::kRl,
-                                         obs::PruneReason::kDuplicate,
-                                         nodes_[parent_id].key, action, 0.0);
-      }
+      engine_.RecordPrune(search::PruneReason::kDuplicate,
+                          nodes_[parent_id].key, action, 0.0);
       EditingRule rule = space_->Decode(child_key);
       sr.reward = BaseReward(child_key, StatsOf(child_key, rule, nullptr));
       sr.done = done_;
@@ -140,28 +151,21 @@ Environment::StepResult Environment::Step(int32_t action) {
     nodes_[parent_id].num_children += 1;
     const size_t child_id = nodes_.size();
     nodes_.push_back({std::move(child_key), cover, 0});
-    ++total_nodes_;
-    if (decisions) {
-      obs::DecisionLog::Global().Expand(obs::DecisionMiner::kRl,
-                                        nodes_[parent_id].key, action,
-                                        nodes_[child_id].key);
-      if (!supported) {
-        obs::DecisionLog::Global().Prune(
-            obs::DecisionMiner::kRl, obs::PruneReason::kSupport,
-            nodes_[parent_id].key, action,
-            static_cast<double>(stats.support));
-      }
+    engine_.IncNodesExplored();
+    engine_.RecordExpand(nodes_[parent_id].key, action, nodes_[child_id].key);
+    if (!supported) {
+      engine_.RecordPrune(search::PruneReason::kSupport,
+                          nodes_[parent_id].key, action,
+                          static_cast<double>(stats.support));
     }
 
     if (supported && !rule.lhs.empty()) {
-      leaves_.push_back({rule, stats, RuleProvenanceId(rule, *corpus_)});
-      ERMINER_COUNT("miner/rules_emitted", 1);
-      if (decisions) {
-        obs::DecisionLog::Global().Emit(
-            obs::DecisionMiner::kRl, leaves_.back().provenance,
-            nodes_[child_id].key, stats.support, stats.certainty,
-            stats.quality, stats.utility, episode_index_, step_index_);
-      }
+      // The engine stamps the (episode, step) coordinates on the emit event;
+      // the pool itself stays here — across-episode dedup is the
+      // environment's job (pool_keys_), not the per-Mine pool's.
+      leaves_.push_back(engine_.EmitRule(rule, stats, nodes_[child_id].key,
+                                         /*to_pool=*/false, episode_index_,
+                                         step_index_));
       if (pool_keys_.insert(nodes_[child_id].key).second) {
         global_pool_.push_back(leaves_.back());
       }
@@ -172,10 +176,9 @@ Environment::StepResult Environment::Step(int32_t action) {
     // the support threshold holds; rules without an LHS must keep growing.
     const bool refinable =
         supported && (rule.lhs.empty() || stats.certainty < 1.0);
-    if (decisions && supported && !refinable) {
-      obs::DecisionLog::Global().Prune(
-          obs::DecisionMiner::kRl, obs::PruneReason::kCertain,
-          nodes_[parent_id].key, action, stats.certainty);
+    if (supported && !refinable) {
+      engine_.RecordPrune(search::PruneReason::kCertain,
+                          nodes_[parent_id].key, action, stats.certainty);
     }
     if (!done_) {
       if (refinable) {
@@ -197,7 +200,7 @@ Environment::StepResult Environment::Step(int32_t action) {
 }
 
 void Environment::SavePersistent(ckpt::Writer* w) const {
-  w->U64(total_nodes_);
+  w->U64(engine_.nodes_explored());
   // Pool rules are exactly space_->Decode(key) of their tree key (see the
   // insertion above), so each entry is saved as (key, stats) and the rule is
   // re-decoded on load — pool_keys_ is rebuilt in lockstep.
@@ -251,7 +254,7 @@ Status Environment::LoadPersistent(ckpt::Reader* r) {
         "environment pool corrupt: " + std::to_string(pool.size()) +
         " rules but " + std::to_string(keys.size()) + " distinct keys");
   }
-  total_nodes_ = total_nodes;
+  engine_.set_nodes_explored(total_nodes);
   global_pool_ = std::move(pool);
   pool_keys_ = std::move(keys);
   return Status::OK();

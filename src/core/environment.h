@@ -24,6 +24,7 @@
 #include "core/mask.h"
 #include "core/measures.h"
 #include "core/rule_set.h"
+#include "search/search_engine.h"
 
 namespace erminer {
 
@@ -49,6 +50,9 @@ struct EnvOptions {
   /// Alg. 2 lines 6-7 + the measure cache: reuse rewards/stats of rules
   /// regenerated in later episodes instead of re-querying the data.
   bool reuse_rewards = true;
+  /// Forwarded to the search engine: per-step measure queries go through
+  /// the batched EvalCache path (see MinerOptions::batch_eval).
+  bool batch_eval = true;
 };
 
 class Environment {
@@ -91,8 +95,14 @@ class Environment {
   const std::vector<ScoredRule>& global_pool() const { return global_pool_; }
 
   size_t nodes_this_episode() const { return nodes_.size(); }
-  size_t total_nodes() const { return total_nodes_; }
+  size_t total_nodes() const { return engine_.nodes_explored(); }
   size_t reward_cache_size() const { return reward_cache_.size(); }
+
+  /// The search engine this environment grows through (the RL expansion
+  /// policy runs its inference walk via engine().Mine). The engine owns
+  /// the per-episode dedup set, the cross-episode node counter, and every
+  /// counter/decision-log emission for the "rl" miner.
+  search::SearchEngine& engine() { return engine_; }
 
   /// 1-based count of Reset() calls and the step count within the current
   /// episode — the (episode, step) coordinates the decision log stamps on
@@ -136,6 +146,10 @@ class Environment {
   const ActionSpace* space_;
   RuleEvaluator* evaluator_;
   EnvOptions options_;
+  /// Tagged kRl/"rl". Owns the tree's dedup set (cleared per episode), the
+  /// cross-episode node counter (persisted in checkpoints), evaluation,
+  /// and all expand/prune/emit bookkeeping.
+  search::SearchEngine engine_;
   double utility_scale_ = 1.0;
 
   // Episode state.
@@ -143,7 +157,6 @@ class Environment {
   std::deque<size_t> queue_;
   size_t current_ = 0;
   bool done_ = true;
-  RuleKeySet discovered_;           // rules generated in this tree
   std::vector<ScoredRule> leaves_;
 
   // Persistent state.
@@ -151,7 +164,6 @@ class Environment {
   std::unordered_map<RuleKey, RuleStats, VectorHash> stats_cache_;
   RuleKeySet pool_keys_;
   std::vector<ScoredRule> global_pool_;
-  size_t total_nodes_ = 0;
   size_t episode_index_ = 0;
   size_t step_index_ = 0;
 };

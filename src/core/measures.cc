@@ -73,10 +73,15 @@ struct MeasurePartial {
 RuleStats RuleEvaluator::Evaluate(const EditingRule& rule,
                                   const Cover& cover_in,
                                   const LhsPairs* parent_lhs) {
+  return EvaluateWith(cache_.Get(rule.lhs, parent_lhs), rule, cover_in);
+}
+
+RuleStats RuleEvaluator::EvaluateWith(const EvalCache::Entry& entry,
+                                      const EditingRule& rule,
+                                      const Cover& cover_in) {
   num_evaluations_.fetch_add(1, std::memory_order_relaxed);
   ERMINER_COUNT("eval/rule_evaluations", 1);
   Cover cover = cover_in ? cover_in : CoverOf(*corpus_, rule.pattern);
-  EvalCache::Entry entry = cache_.Get(rule.lhs, parent_lhs);
   const auto& groups = entry.column->group;
   const std::vector<uint32_t>& rows = *cover;
 

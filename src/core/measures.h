@@ -63,6 +63,14 @@ class RuleEvaluator {
   RuleStats Evaluate(const EditingRule& rule, const Cover& cover = nullptr,
                      const LhsPairs* parent_lhs = nullptr);
 
+  /// Evaluate against an already-fetched cache entry for the rule's LHS —
+  /// the consumer half of EvalCache::GetBatch (the search engine fetches
+  /// one entry per admitted sibling in a single batch, then scores each
+  /// rule with this). Same counting and identical results as Evaluate.
+  RuleStats EvaluateWith(const EvalCache::Entry& entry,
+                         const EditingRule& rule,
+                         const Cover& cover = nullptr);
+
   /// Number of rule evaluations performed (for the experiment reports).
   size_t num_evaluations() const {
     return num_evaluations_.load(std::memory_order_relaxed);

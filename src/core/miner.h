@@ -30,13 +30,29 @@ struct MinerOptions {
   /// instead of rebuilding from scratch (docs/perf.md). Results are
   /// bit-identical either way; `--no-refine` turns it off.
   bool refine = true;
+  /// Batched candidate evaluation: all of a node's admitted children
+  /// resolve their EvalCache entries through one GetBatch call — one lock
+  /// pass plus one thread-pool submission for the sibling group — instead
+  /// of a per-child Get round-trip. Results are bit-identical either way;
+  /// `--no-batch-eval` turns it off.
+  bool batch_eval = true;
 };
 
 struct MineResult {
   std::vector<ScoredRule> rules;
-  /// Lattice/tree nodes generated during the search.
+  /// Candidates admitted to the search — exactly one per kExpand event the
+  /// decision log records, for every miner. The search engine increments
+  /// this at admission time (after the mask/depth/duplicate gates, before
+  /// any threshold); CTANE counts each opened attribute-set node; the RL
+  /// environment counts each non-duplicate step. The invariant
+  /// nodes_explored == expand-event count is pinned by
+  /// tests/search_differential_test.cc.
   size_t nodes_explored = 0;
-  /// Rule evaluations performed (reward/measure queries).
+  /// RuleEvaluator measure queries (reward/measure computations). Equals
+  /// nodes_explored for the lattice miners (each admitted candidate is
+  /// evaluated exactly once) and the emit count for CTANE (only converted
+  /// rules are evaluated); RLMiner pins neither — reward memoization makes
+  /// evaluations a strict subset of steps.
   size_t rule_evaluations = 0;
   /// Wall-clock seconds, total (for RLMiner: training + inference).
   double seconds = 0;

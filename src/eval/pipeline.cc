@@ -252,6 +252,11 @@ Result<PipelineReport> RunPipeline(const Config& config) {
       "miner.support",
       std::max(10.0, static_cast<double>(report.input_rows) / 40.0));
   options.include_negations = config.GetBool("miner.negations", false);
+  // Performance levers (results are bit-identical either way): partition
+  // refinement (docs/perf.md) and batched sibling evaluation
+  // (docs/architecture.md).
+  options.refine = config.GetBool("miner.refine", true);
+  options.batch_eval = config.GetBool("miner.batch_eval", true);
   report.method = config.Get("miner.method", "rl");
   if (report.method == "rl") {
     RlMinerOptions rl;

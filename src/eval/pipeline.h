@@ -8,7 +8,8 @@
 //             dataset / input_size / master_size / noise / seed (generate)
 //   [match]   mode = name | values ; min_score
 //   [miner]   method = rl|enu|enuh3|ctane ; k ; support ; steps ; seed ;
-//             negations
+//             negations ; refine ; batch_eval     (the last two default on;
+//             both are pure performance levers — results are bit-identical)
 //   [repair]  mode = vote | certain ; overwrite
 //   [output]  repaired ; rules                      (optional CSV/rule paths)
 //   [obs]     metrics_json ; trace_json             (observability exports:

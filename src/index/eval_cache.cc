@@ -1,6 +1,7 @@
 #include "index/eval_cache.h"
 
 #include <algorithm>
+#include <exception>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -135,6 +136,124 @@ EvalCache::Entry EvalCache::Get(const LhsPairs& lhs,
   rec->done = true;
   cv_.notify_all();
   return built;
+}
+
+std::vector<EvalCache::Entry> EvalCache::GetBatch(
+    const LhsPairs* parent_hint,
+    const std::vector<const LhsPairs*>& lhs_keys) {
+  ERMINER_COUNT("eval_cache/batched", lhs_keys.size());
+  std::vector<Entry> out(lhs_keys.size());
+
+  /// One miss this batch claimed: built in phase 2, published in phase 3.
+  struct Plan {
+    Key key;
+    size_t first_index;  // the batch position that claimed the key
+    bool refine = false;
+    Entry parent;
+    size_t new_pos = 0;
+    std::shared_ptr<InFlight> rec;
+    Entry built;
+    std::exception_ptr error;
+  };
+  std::vector<Plan> plans;
+  std::vector<std::pair<size_t, size_t>> aliases;  // (index, plan index)
+  std::vector<size_t> foreign;  // keys another thread is already building
+
+  // Phase 1 — one pass under one lock: hits resolve immediately (with the
+  // same counter and LRU motion as Get), duplicate keys within the batch
+  // alias the first claim, and every remaining miss claims its in-flight
+  // record with the refinement hint resolved while the parent is pinned.
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    std::unordered_map<Key, size_t, VectorHash> claimed;
+    for (size_t i = 0; i < lhs_keys.size(); ++i) {
+      const LhsPairs& lhs = *lhs_keys[i];
+      ERMINER_CHECK(std::is_sorted(lhs.begin(), lhs.end()));
+      Key key = LhsKeyOf(lhs);
+      auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        ERMINER_COUNT("eval_cache/hits", 1);
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        out[i] = it->second.entry;
+        continue;
+      }
+      auto cl = claimed.find(key);
+      if (cl != claimed.end()) {
+        aliases.emplace_back(i, cl->second);
+        continue;
+      }
+      if (inflight_.find(key) != inflight_.end()) {
+        foreign.push_back(i);
+        continue;
+      }
+      ERMINER_COUNT("eval_cache/misses", 1);
+      Plan plan;
+      plan.first_index = i;
+      if (refine_enabled_ && parent_hint != nullptr &&
+          IsParentOf(*parent_hint, lhs, &plan.new_pos)) {
+        auto pit = cache_.find(LhsKeyOf(*parent_hint));
+        if (pit != cache_.end()) {
+          plan.parent = pit->second.entry;
+          plan.refine = true;
+        }
+      }
+      plan.rec = std::make_shared<InFlight>();
+      inflight_.emplace(key, plan.rec);
+      claimed.emplace(key, plans.size());
+      plan.key = std::move(key);
+      plans.push_back(std::move(plan));
+    }
+  }
+
+  // Phase 2 — all claimed builds under one pool submission. Each build's
+  // internal scans run inline in their worker, so the batch parallelizes
+  // across siblings instead of across one sibling's rows at a time.
+  GlobalPool().ParallelFor(0, plans.size(), 1, [&](size_t b, size_t e) {
+    for (size_t p = b; p < e; ++p) {
+      Plan& plan = plans[p];
+      try {
+        plan.built = plan.refine
+                         ? BuildRefinedEntry(*lhs_keys[plan.first_index],
+                                             plan.new_pos, plan.parent)
+                         : BuildScratch(*lhs_keys[plan.first_index]);
+      } catch (...) {
+        plan.error = std::current_exception();
+      }
+    }
+  });
+
+  // Phase 3 — publish every build under one lock, then wake waiters.
+  std::exception_ptr first_error;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    for (Plan& plan : plans) {
+      if (plan.error != nullptr) {
+        if (first_error == nullptr) first_error = plan.error;
+      } else {
+        ++num_built_;
+        if (cache_.find(plan.key) == cache_.end()) {
+          if (cache_.size() >= capacity_) {
+            ERMINER_COUNT("eval_cache/evictions", 1);
+            const Key& victim = lru_.back();
+            cache_.erase(victim);
+            lru_.pop_back();
+          }
+          lru_.push_front(plan.key);
+          cache_.emplace(plan.key, Slot{plan.built, lru_.begin()});
+        }
+        out[plan.first_index] = plan.built;
+      }
+      inflight_.erase(plan.key);
+      plan.rec->done = true;
+    }
+  }
+  cv_.notify_all();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+
+  for (const auto& [i, p] : aliases) out[i] = plans[p].built;
+  // Builds owned by other threads: the per-key path waits them out.
+  for (size_t i : foreign) out[i] = Get(*lhs_keys[i], parent_hint);
+  return out;
 }
 
 EvalCache::Entry EvalCache::BuildScratch(const LhsPairs& lhs) const {

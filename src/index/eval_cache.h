@@ -80,6 +80,19 @@ class EvalCache {
   /// detail — depends on request interleaving.
   Entry Get(const LhsPairs& lhs, const LhsPairs* parent_hint = nullptr);
 
+  /// Batched Get for a sibling group: one entry per element of `lhs_keys`
+  /// (typically every admitted child of one lattice node), sharing a single
+  /// `parent_hint`. Hits and duplicate keys are resolved in one pass under
+  /// one lock acquisition, and all missing entries build under a single
+  /// thread-pool submission — instead of a lock/claim/build round-trip per
+  /// child. Each entry is bit-identical to what per-key Get would return;
+  /// only lock traffic and build scheduling differ ("eval_cache/batched"
+  /// counts keys served through this path). Keys whose build another
+  /// thread already has in flight fall back to Get (waiting on that
+  /// build), preserving single-build-per-key semantics.
+  std::vector<Entry> GetBatch(const LhsPairs* parent_hint,
+                              const std::vector<const LhsPairs*>& lhs_keys);
+
   /// Toggles the refinement path (`--no-refine`); scratch builds are used
   /// for every miss while disabled. Safe to call at any time.
   void set_refine_enabled(bool enabled);

@@ -1,0 +1,53 @@
+#include "rl/dqn_policy.h"
+
+#include <utility>
+#include <vector>
+
+#include "obs/decision_log.h"
+#include "rl/rl_miner.h"
+
+namespace erminer {
+
+void DqnGreedyPolicy::Run(search::SearchEngine& engine) {
+  RlMiner& m = miner_;
+  Environment& env = m.env_;
+  const RlMinerOptions& o = m.options_;
+  // First a purely greedy episode; if it ends before K distinct rules are
+  // in the pool (an undertrained or stop-happy policy), keep mining with a
+  // small exploration epsilon until the inference budget is spent.
+  std::vector<ScoredRule> first_leaves;
+  bool first = true;
+  while (first || (total_steps_ < o.max_inference_steps &&
+                   env.global_pool().size() < o.base.k)) {
+    env.Reset();
+    const double eps = first ? 0.0 : o.inference_epsilon;
+    size_t episode_steps = 0;
+    while (!env.done() && episode_steps < o.max_episode_steps &&
+           total_steps_ < o.max_inference_steps) {
+      std::vector<uint8_t> mask = env.CurrentMask();
+      bool explored = false;
+      int32_t action =
+          eps > 0.0 ? m.SelectTrainingAction(env.current_state(), mask, eps,
+                                             &explored)
+                    : m.agent_->ActGreedy(env.current_state(), mask);
+      Environment::StepResult sr = env.Step(action);
+      if (obs::DecisionLog::Armed()) {
+        m.LogRlStep(sr, mask,
+                    static_cast<uint8_t>(obs::kRlStepInference |
+                                         (explored ? obs::kRlStepExplored
+                                                   : 0)),
+                    eps);
+      }
+      ++episode_steps;
+      ++total_steps_;
+    }
+    if (first) first_leaves = env.leaves();  // the greedy episode's leaves
+    first = false;
+  }
+  // The greedy episode's leaves first; top up from the cross-episode pool
+  // so a short greedy walk still returns K rules.
+  for (ScoredRule& sr : first_leaves) engine.PushPool(std::move(sr));
+  for (const ScoredRule& sr : env.global_pool()) engine.PushPool(sr);
+}
+
+}  // namespace erminer

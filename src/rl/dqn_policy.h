@@ -1,0 +1,40 @@
+// DqnGreedyPolicy: RLMiner's inference walk as a search::ExpansionPolicy.
+//
+// The other policies (src/search/policies.h) expand lattice nodes through
+// the engine's frontier; this one drives the trained agent through the RL
+// environment instead — a purely greedy first episode, then small-epsilon
+// top-up episodes until K distinct rules are pooled or the inference budget
+// is spent — and hands the collected rules to the engine's pool, so the
+// final top-K selection, the MineResult counters and all decision-log
+// emission go through the same SearchEngine::Mine path as every other
+// miner.
+
+#ifndef ERMINER_RL_DQN_POLICY_H_
+#define ERMINER_RL_DQN_POLICY_H_
+
+#include <cstddef>
+
+#include "search/search_engine.h"
+
+namespace erminer {
+
+class RlMiner;
+
+class DqnGreedyPolicy : public search::ExpansionPolicy {
+ public:
+  explicit DqnGreedyPolicy(RlMiner& miner) : miner_(miner) {}
+
+  const char* mine_span() const override { return "rl/infer"; }
+  void Run(search::SearchEngine& engine) override;
+
+  /// Environment steps the walk consumed ("rl/inference_steps").
+  size_t total_steps() const { return total_steps_; }
+
+ private:
+  RlMiner& miner_;
+  size_t total_steps_ = 0;
+};
+
+}  // namespace erminer
+
+#endif  // ERMINER_RL_DQN_POLICY_H_

@@ -12,6 +12,7 @@
 #include "obs/run_manifest.h"
 #include "obs/telemetry_server.h"
 #include "obs/trace.h"
+#include "rl/dqn_policy.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -92,6 +93,7 @@ EnvOptions EnvOptionsFrom(const RlMinerOptions& o) {
   e.frontier_bonus = o.frontier_bonus;
   e.use_global_mask = o.use_global_mask;
   e.reuse_rewards = o.reuse_rewards;
+  e.batch_eval = o.base.batch_eval;
   return e;
 }
 
@@ -256,50 +258,16 @@ void RlMiner::Train(size_t steps) {
 }
 
 MineResult RlMiner::Infer() {
-  ERMINER_SPAN("rl/infer");
   obs::SetPhase("rl/infer");
   Timer timer;
-  MineResult result;
-  // First a purely greedy episode; if it ends before K distinct rules are
-  // in the pool (an undertrained or stop-happy policy), keep mining with a
-  // small exploration epsilon until the inference budget is spent.
-  std::vector<ScoredRule> pool;
-  size_t total_steps = 0;
-  bool first = true;
-  while (first || (total_steps < options_.max_inference_steps &&
-                   env_.global_pool().size() < options_.base.k)) {
-    env_.Reset();
-    const double eps = first ? 0.0 : options_.inference_epsilon;
-    size_t episode_steps = 0;
-    while (!env_.done() && episode_steps < options_.max_episode_steps &&
-           total_steps < options_.max_inference_steps) {
-      std::vector<uint8_t> mask = env_.CurrentMask();
-      bool explored = false;
-      int32_t action = eps > 0.0
-                           ? SelectTrainingAction(env_.current_state(), mask,
-                                                  eps, &explored)
-                           : agent_->ActGreedy(env_.current_state(), mask);
-      Environment::StepResult sr = env_.Step(action);
-      if (obs::DecisionLog::Armed()) {
-        LogRlStep(sr, mask,
-                  static_cast<uint8_t>(obs::kRlStepInference |
-                                       (explored ? obs::kRlStepExplored : 0)),
-                  eps);
-      }
-      ++episode_steps;
-      ++total_steps;
-    }
-    if (first) pool = env_.leaves();  // the greedy episode's own leaves
-    first = false;
-  }
-  // The greedy episode's leaves first; top up from the cross-episode pool
-  // so a short greedy walk still returns K rules.
-  for (const auto& sr : env_.global_pool()) pool.push_back(sr);
-  result.rules = SelectTopKNonRedundant(std::move(pool), options_.base.k);
-  ERMINER_COUNT("rl/inference_steps", total_steps);
-  result.inference_steps = total_steps;
-  result.nodes_explored = env_.total_nodes();
-  result.rule_evaluations = evaluator_.num_evaluations();
+  // The greedy-first episode loop lives in DqnGreedyPolicy; the engine
+  // wraps it in the "rl/infer" span, runs the top-K non-redundant
+  // selection over the pooled rules and fills the node/evaluation
+  // counters — the same finalization path as every other miner.
+  DqnGreedyPolicy policy(*this);
+  MineResult result = env_.engine().Mine(policy);
+  ERMINER_COUNT("rl/inference_steps", policy.total_steps());
+  result.inference_steps = policy.total_steps();
   last_inference_seconds_ = timer.Seconds();
   result.inference_seconds = last_inference_seconds_;
   result.seconds = last_inference_seconds_;

@@ -131,6 +131,10 @@ class RlMiner {
   double last_inference_seconds() const { return last_inference_seconds_; }
 
  private:
+  /// The inference walk (rl/dqn_policy.h) reaches through the miner for the
+  /// agent, the environment and the step/log helpers below.
+  friend class DqnGreedyPolicy;
+
   /// Masked epsilon-greedy with type-stratified exploration (see
   /// RlMinerOptions::explore_*_weight). `explored`, when non-null, reports
   /// whether the epsilon draw chose exploration — the flag the decision log

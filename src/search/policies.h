@@ -1,0 +1,71 @@
+// The lattice expansion policies behind the non-RL miners.
+//
+// Each policy is the strategy half of one paper algorithm; the shared
+// mechanics (frontier, dedup, thresholds, counters, decision events) live
+// in SearchEngine. RLMiner's DqnGreedyPolicy lives in src/rl/dqn_policy.h —
+// it needs the trained agent, so it sits in the rl layer.
+
+#ifndef ERMINER_SEARCH_POLICIES_H_
+#define ERMINER_SEARCH_POLICIES_H_
+
+#include "core/beam_miner.h"
+#include "core/cfd_miner.h"
+#include "search/search_engine.h"
+
+namespace erminer::search {
+
+/// EnuMiner (Alg. 4): exhaustive FIFO expansion of every admissible child,
+/// bounded only by MinerOptions::max_nodes and the support/certainty cuts.
+class ExhaustivePolicy : public ExpansionPolicy {
+ public:
+  const char* mine_span() const override { return "enuminer/mine"; }
+  const char* expand_span() const override { return "enuminer/expand"; }
+  void Run(SearchEngine& engine) override;
+};
+
+/// EnuMinerH3: the same walk with MinerOptions::max_lhs/max_pattern capped
+/// (the caps themselves live in the options the engine was built with).
+class DepthLimitedPolicy : public ExhaustivePolicy {};
+
+/// The level-wise beam heuristic: expand a whole level, keep the
+/// beam_width best-utility children. No depth gates and no node budget —
+/// the beam itself is the bound.
+class BeamPolicy : public ExpansionPolicy {
+ public:
+  explicit BeamPolicy(const BeamMinerOptions& beam) : beam_(beam) {}
+  const char* mine_span() const override { return "beam/mine"; }
+  // Duplicate prunes interleave with the level's expand events, matching
+  // the historical serial walk's event order.
+  bool dup_prune_at_admission() const override { return false; }
+  bool depth_limited() const override { return false; }
+  void Run(SearchEngine& engine) override;
+
+ private:
+  BeamMinerOptions beam_;
+};
+
+/// CTANE: the ascending-bitmask walk over master-attribute sets with
+/// partial CFD conversion. Drives its own lattice (the engine's ActionSpace
+/// may be null); uses the engine for counting, thresholds-adjacent prune
+/// bookkeeping, emission and the rule pool.
+class CfdPolicy : public ExpansionPolicy {
+ public:
+  explicit CfdPolicy(const CfdMinerOptions& cfd) : cfd_(cfd) {}
+  const char* mine_span() const override { return "ctane/mine"; }
+  void Run(SearchEngine& engine) override;
+
+ private:
+  CfdMinerOptions cfd_;
+};
+
+/// The shared front door for the exact-enumeration lattice miners: builds
+/// the ActionSpace (prefix_merge off), an evaluator with refinement per
+/// MinerOptions::refine, and an engine tagged `miner`/`metric_prefix`, then
+/// runs the policy. EnuMine, EnuMineH3 and BeamMine are this plus options.
+MineResult MineLattice(const Corpus& corpus, const MinerOptions& options,
+                       ExpansionPolicy& policy, obs::DecisionMiner miner,
+                       const std::string& metric_prefix);
+
+}  // namespace erminer::search
+
+#endif  // ERMINER_SEARCH_POLICIES_H_

@@ -1,0 +1,50 @@
+#include "search/prune.h"
+
+#include "util/status.h"
+
+namespace erminer::search {
+
+// The taxonomy's loggable prefix must coincide with the wire enum — the
+// decision-log format (v1) is frozen, so a drift here would silently
+// relabel on-disk events.
+static_assert(static_cast<uint8_t>(PruneReason::kSupport) ==
+              static_cast<uint8_t>(obs::PruneReason::kSupport));
+static_assert(static_cast<uint8_t>(PruneReason::kCertain) ==
+              static_cast<uint8_t>(obs::PruneReason::kCertain));
+static_assert(static_cast<uint8_t>(PruneReason::kDuplicate) ==
+              static_cast<uint8_t>(obs::PruneReason::kDuplicate));
+static_assert(static_cast<uint8_t>(PruneReason::kBeamWidth) ==
+              static_cast<uint8_t>(obs::PruneReason::kBeamWidth));
+static_assert(static_cast<uint8_t>(PruneReason::kConfidence) ==
+              static_cast<uint8_t>(obs::PruneReason::kConfidence));
+static_assert(static_cast<uint8_t>(PruneReason::kMasterSupport) ==
+              static_cast<uint8_t>(obs::PruneReason::kMasterSupport));
+
+const char* PruneReasonName(PruneReason reason) {
+  switch (reason) {
+    case PruneReason::kSupport:
+      return "support";
+    case PruneReason::kCertain:
+      return "certain";
+    case PruneReason::kDuplicate:
+      return "duplicate";
+    case PruneReason::kBeamWidth:
+      return "beam_width";
+    case PruneReason::kConfidence:
+      return "confidence";
+    case PruneReason::kMasterSupport:
+      return "master_support";
+    case PruneReason::kMasked:
+      return "masked";
+    case PruneReason::kDepth:
+      return "depth";
+  }
+  return "unknown";
+}
+
+obs::PruneReason WireReason(PruneReason reason) {
+  ERMINER_CHECK(static_cast<size_t>(reason) < kNumWireReasons);
+  return static_cast<obs::PruneReason>(reason);
+}
+
+}  // namespace erminer::search

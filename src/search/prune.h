@@ -1,0 +1,49 @@
+// The unified prune-reason taxonomy for every miner.
+//
+// Before the search engine existed, each miner kept its own ad-hoc set of
+// prune counter names and wire enums; this header is now the single site.
+// The first six values mirror obs::PruneReason one-to-one — that enum IS
+// the decision-log wire format (v1), which stays unchanged — so converting
+// a loggable reason is a static cast checked at compile time. kMasked and
+// kDepth are pre-admission cuts: they are tallied in metrics
+// ("<miner>/prune_masked", "<miner>/prune_depth") but never recorded on
+// the wire, exactly as before the unification (no miner ever logged them).
+
+#ifndef ERMINER_SEARCH_PRUNE_H_
+#define ERMINER_SEARCH_PRUNE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/decision_log.h"
+
+namespace erminer::search {
+
+enum class PruneReason : uint8_t {
+  kSupport = 0,        // support below eta_s (measure: the support)
+  kCertain = 1,        // subtree closed, fixes already certain (measure: f_c)
+  kDuplicate = 2,      // key already discovered (no measure)
+  kBeamWidth = 3,      // fell off the beam (measure: the node's utility)
+  kConfidence = 4,     // CTANE group confidence below threshold
+  kMasterSupport = 5,  // CTANE master rows below eta_m (measure: the rows)
+  kMasked = 6,         // action forbidden by the local mask (metrics only)
+  kDepth = 7,          // max_lhs / max_pattern reached (metrics only)
+};
+
+inline constexpr size_t kNumPruneReasons = 8;
+/// Reasons below this bound exist on the decision-log wire.
+inline constexpr size_t kNumWireReasons = 6;
+
+/// Short shared names ("support", "certain", "duplicate", "beam_width",
+/// "confidence", "master_support", "masked", "depth"). The first six match
+/// obs::PruneReasonName byte for byte, so tools/decision_stats and
+/// scripts/watch_run.py keep reading one vocabulary.
+const char* PruneReasonName(PruneReason reason);
+
+/// The wire enum for a loggable reason. Requires
+/// static_cast<size_t>(reason) < kNumWireReasons.
+obs::PruneReason WireReason(PruneReason reason);
+
+}  // namespace erminer::search
+
+#endif  // ERMINER_SEARCH_PRUNE_H_

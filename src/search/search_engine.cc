@@ -1,0 +1,299 @@
+#include "search/search_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/mask.h"
+#include "core/rule.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace erminer::search {
+
+SearchEngine::SearchEngine(const Corpus* corpus, const ActionSpace* space,
+                           RuleEvaluator* evaluator,
+                           const MinerOptions& options,
+                           obs::DecisionMiner miner,
+                           const std::string& metric_prefix)
+    : corpus_(corpus),
+      space_(space),
+      evaluator_(evaluator),
+      options_(options),
+      miner_(miner) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  nodes_expanded_ = &reg.GetCounter(metric_prefix + "/nodes_expanded");
+  children_evaluated_ = &reg.GetCounter(metric_prefix + "/children_evaluated");
+  rules_pooled_ = &reg.GetCounter(metric_prefix + "/rules_pooled");
+  children_enqueued_ = &reg.GetCounter(metric_prefix + "/children_enqueued");
+  rules_emitted_ = &reg.GetCounter("miner/rules_emitted");
+  for (size_t i = 0; i < kNumPruneReasons; ++i) {
+    prune_[i] = &reg.GetCounter(metric_prefix + "/prune_" +
+                                PruneReasonName(static_cast<PruneReason>(i)));
+  }
+}
+
+MineResult SearchEngine::Mine(ExpansionPolicy& policy) {
+  obs::TraceSpan span(policy.mine_span());
+  Timer timer;
+  pool_.clear();
+  frontier_.clear();
+  // dedup_ and nodes_explored_ deliberately survive across Mine calls:
+  // RLMiner's environment accumulates both over training episodes and
+  // restores them from checkpoints before inference.
+  policy.Run(*this);
+  MineResult result;
+  result.rules = SelectTopKNonRedundant(std::move(pool_), options_.k);
+  pool_.clear();
+  result.nodes_explored = nodes_explored_;
+  result.rule_evaluations = evaluator_->num_evaluations();
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+void SearchEngine::PushRoot() {
+  frontier_.push_back({RuleKey{}, FullCover(*corpus_), 0, 0, 0});
+}
+
+SearchEngine::Node SearchEngine::PopFront() {
+  Node node = std::move(frontier_.front());
+  frontier_.pop_front();
+  return node;
+}
+
+void SearchEngine::TruncateByScore(size_t width) {
+  if (frontier_.size() <= width) return;
+  prune_[static_cast<size_t>(PruneReason::kBeamWidth)]->Inc(frontier_.size() -
+                                                            width);
+  std::partial_sort(frontier_.begin(),
+                    frontier_.begin() + static_cast<long>(width),
+                    frontier_.end(), [](const Node& x, const Node& y) {
+                      return x.score > y.score;
+                    });
+  if (obs::DecisionLog::Armed()) {
+    for (size_t i = width; i < frontier_.size(); ++i) {
+      obs::DecisionLog::Global().Prune(miner_, obs::PruneReason::kBeamWidth,
+                                       frontier_[i].key, -1,
+                                       frontier_[i].score);
+    }
+  }
+  frontier_.resize(width);
+}
+
+void SearchEngine::ExpandNode(Node node, ExpansionPolicy& policy) {
+  if (const char* name = policy.expand_span()) {
+    obs::TraceSpan span(name);
+    ExpandNodeImpl(node, policy);
+  } else {
+    ExpandNodeImpl(node, policy);
+  }
+}
+
+void SearchEngine::ExpandNodeImpl(Node& node, ExpansionPolicy& policy) {
+  nodes_expanded_->Inc(1);
+
+  // Expansion is split into three stages so the expensive middle stage can
+  // fan out across the pool while the result stays bit-identical to the
+  // serial walk: (1) admission — mask, depth limits and the dedup set run
+  // serially in action order; (2) evaluation — decode, cover refinement and
+  // measures run in parallel over the admitted frontier; (3) pruning and
+  // frontier growth consume the results serially, again in action order.
+  //
+  // The local mask forbids re-specifying bound attributes; the global
+  // duplicate check happens per child (cheaper than Alg. 1's global mask
+  // here because we enumerate every allowed child anyway).
+  std::vector<uint8_t> mask = ComputeMask(*space_, node.key, {});
+  std::vector<Candidate> frontier;
+  // Duplicates found when the policy wants them interleaved with the
+  // admitted children's decision events (BeamMiner's historical order).
+  std::vector<int32_t> dup_actions;
+  const bool dup_at_admission = policy.dup_prune_at_admission();
+  const bool depth_limited = policy.depth_limited();
+  // Prune reasons are tallied locally and published once per node.
+  uint64_t prune_masked = 0, prune_depth = 0, prune_duplicate = 0;
+  for (int32_t a = 0; a < space_->stop_action(); ++a) {
+    if (!mask[static_cast<size_t>(a)]) {
+      ++prune_masked;
+      continue;
+    }
+    const bool is_lhs = space_->IsLhsAction(a);
+    if (depth_limited &&
+        ((is_lhs && node.lhs_size >= options_.max_lhs) ||
+         (!is_lhs && node.pattern_size >= options_.max_pattern))) {
+      ++prune_depth;
+      continue;
+    }
+
+    RuleKey child_key = KeyWith(node.key, a);
+    if (!dedup_.insert(child_key).second) {  // already seen
+      ++prune_duplicate;
+      if (dup_at_admission) {
+        LogPrune(PruneReason::kDuplicate, node.key, a, 0.0);
+      } else {
+        dup_actions.push_back(a);
+      }
+      continue;
+    }
+    ++nodes_explored_;
+    Candidate c;
+    c.action = a;
+    c.is_lhs = is_lhs;
+    c.key = std::move(child_key);
+    frontier.push_back(std::move(c));
+  }
+  prune_[static_cast<size_t>(PruneReason::kMasked)]->Inc(prune_masked);
+  prune_[static_cast<size_t>(PruneReason::kDepth)]->Inc(prune_depth);
+  prune_[static_cast<size_t>(PruneReason::kDuplicate)]->Inc(prune_duplicate);
+  children_evaluated_->Inc(frontier.size());
+
+  // LHS-extending children are this node's LHS plus one pair, so the
+  // node's LHS is passed as a partition-refinement hint; pattern children
+  // keep the LHS and hit the cache directly.
+  const LhsPairs parent_lhs = space_->Decode(node.key).lhs;
+  EvaluateFrontier(frontier, node, parent_lhs);
+
+  uint64_t prune_support = 0, pooled = 0, enqueued = 0, closed = 0;
+  // Decision-provenance events are recorded in this serial consume loop
+  // (candidate order), so the log's event order is deterministic and the
+  // mined results stay bit-identical for any thread count. Interleaved
+  // duplicate events were already counted above; only the log record is
+  // deferred to here.
+  size_t di = 0;
+  auto log_dups_before = [&](int32_t action) {
+    for (; di < dup_actions.size() && dup_actions[di] < action; ++di) {
+      LogPrune(PruneReason::kDuplicate, node.key, dup_actions[di], 0.0);
+    }
+  };
+  for (Candidate& c : frontier) {
+    log_dups_before(c.action);
+    RecordExpand(node.key, c.action, c.key);
+    // Support pruning (Lemma 1): children cannot beat the threshold.
+    if (static_cast<double>(c.stats.support) < options_.support_threshold) {
+      ++prune_support;
+      LogPrune(PruneReason::kSupport, node.key, c.action,
+               static_cast<double>(c.stats.support));
+      continue;
+    }
+    if (!c.rule.lhs.empty()) {
+      EmitRule(c.rule, c.stats, c.key, /*to_pool=*/true);
+      ++pooled;
+    }
+    // Refine further unless the rule already returns certain fixes
+    // (Alg. 4 line 14); rules without an LHS must keep growing.
+    if (c.rule.lhs.empty() || c.stats.certainty < 1.0) {
+      ++enqueued;
+      frontier_.push_back({std::move(c.key), std::move(c.cover),
+                           c.stats.utility, c.rule.LhsSize(),
+                           c.rule.PatternSize()});
+    } else {
+      ++closed;  // certain already: the subtree below is never opened
+      LogPrune(PruneReason::kCertain, node.key, c.action, c.stats.certainty);
+    }
+  }
+  log_dups_before(space_->stop_action());
+  prune_[static_cast<size_t>(PruneReason::kSupport)]->Inc(prune_support);
+  rules_pooled_->Inc(pooled);
+  children_enqueued_->Inc(enqueued);
+  prune_[static_cast<size_t>(PruneReason::kCertain)]->Inc(closed);
+}
+
+void SearchEngine::EvaluateFrontier(std::vector<Candidate>& frontier,
+                                    const Node& node,
+                                    const LhsPairs& parent_lhs) {
+  if (!options_.batch_eval) {
+    // Legacy per-candidate path: each worker fetches its own cache entry.
+    GlobalPool().ParallelFor(0, frontier.size(), 1, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        Candidate& c = frontier[i];
+        c.rule = space_->Decode(c.key);
+        c.cover = c.is_lhs ? node.cover
+                           : RefineCover(*corpus_, node.cover,
+                                         space_->pattern_item(c.action));
+        c.stats = evaluator_->Evaluate(c.rule, c.cover,
+                                       c.is_lhs ? &parent_lhs : nullptr);
+      }
+    });
+    return;
+  }
+  if (frontier.empty()) return;
+  // Batched path: decode and refine covers first, then resolve the whole
+  // sibling group's cache entries in one GetBatch (one lock pass + one
+  // pool submission — pattern children hit the parent's resident entry,
+  // LHS children build under the shared refinement hint), then score.
+  // Entry values are identical to the per-candidate path, so the results
+  // and the decision log stay bit-for-bit the same.
+  GlobalPool().ParallelFor(0, frontier.size(), 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      Candidate& c = frontier[i];
+      c.rule = space_->Decode(c.key);
+      c.cover = c.is_lhs ? node.cover
+                         : RefineCover(*corpus_, node.cover,
+                                       space_->pattern_item(c.action));
+    }
+  });
+  std::vector<const LhsPairs*> keys;
+  keys.reserve(frontier.size());
+  for (const Candidate& c : frontier) keys.push_back(&c.rule.lhs);
+  std::vector<EvalCache::Entry> entries =
+      evaluator_->cache().GetBatch(&parent_lhs, keys);
+  GlobalPool().ParallelFor(0, frontier.size(), 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      Candidate& c = frontier[i];
+      c.stats = evaluator_->EvaluateWith(entries[i], c.rule, c.cover);
+    }
+  });
+}
+
+void SearchEngine::RecordExpand(const RuleKey& parent_key, int32_t action,
+                                const RuleKey& key) {
+  if (obs::DecisionLog::Armed()) {
+    obs::DecisionLog::Global().Expand(miner_, parent_key, action, key);
+  }
+}
+
+void SearchEngine::RecordPrune(PruneReason reason, const RuleKey& parent_key,
+                               int32_t action, double measure) {
+  prune_[static_cast<size_t>(reason)]->Inc(1);
+  LogPrune(reason, parent_key, action, measure);
+}
+
+void SearchEngine::LogPrune(PruneReason reason, const RuleKey& parent_key,
+                            int32_t action, double measure) {
+  if (static_cast<size_t>(reason) >= kNumWireReasons) return;  // metrics-only
+  if (obs::DecisionLog::Armed()) {
+    obs::DecisionLog::Global().Prune(miner_, WireReason(reason), parent_key,
+                                     action, measure);
+  }
+}
+
+ScoredRule SearchEngine::EmitRule(const EditingRule& rule,
+                                  const RuleStats& stats, const RuleKey& key,
+                                  bool to_pool, uint64_t episode,
+                                  uint64_t step) {
+  ScoredRule scored{rule, stats, RuleProvenanceId(rule, *corpus_)};
+  rules_emitted_->Inc(1);
+  if (obs::DecisionLog::Armed()) {
+    obs::DecisionLog::Global().Emit(miner_, scored.provenance, key,
+                                    stats.support, stats.certainty,
+                                    stats.quality, stats.utility, episode,
+                                    step);
+  }
+  if (to_pool) pool_.push_back(scored);
+  return scored;
+}
+
+RuleStats SearchEngine::EvaluateCandidate(const EditingRule& rule,
+                                          const Cover& cover,
+                                          const LhsPairs* parent_lhs) {
+  if (options_.batch_eval) {
+    // Width-1 batch: single-candidate policies (CTANE's converted rules,
+    // RLMiner's per-step scoring) share the batched fetch path.
+    std::vector<const LhsPairs*> keys = {&rule.lhs};
+    std::vector<EvalCache::Entry> entries =
+        evaluator_->cache().GetBatch(parent_lhs, keys);
+    return evaluator_->EvaluateWith(entries[0], rule, cover);
+  }
+  return evaluator_->Evaluate(rule, cover, parent_lhs);
+}
+
+}  // namespace erminer::search

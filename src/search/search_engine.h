@@ -1,0 +1,205 @@
+// SearchEngine: the one lattice-search core behind every miner.
+//
+// The paper's four discovery algorithms (EnuMiner/EnuMinerH3, the beam
+// heuristic, CTANE and RLMiner) all walk the same LHS/pattern lattice with
+// the same measures; they differ only in *expansion policy*. The engine
+// owns everything the walks share — the frontier, the canonical-key dedup
+// set, the unified search::PruneReason taxonomy, threshold checks, the
+// MineResult counters, and all span/metrics/decision-log emission — while
+// an ExpansionPolicy supplies the loop shape (exhaustive FIFO, level-wise
+// beam, the CTANE bitmask walk, a DQN-greedy episode driver).
+//
+// Layering (docs/architecture.md): data -> index -> search -> policies ->
+// obs consumers. The engine evaluates candidates through the batched
+// EvalCache path (EvalCache::GetBatch): all of one node's children are
+// resolved under one cache lock and built under one thread-pool
+// submission, instead of a lock/probe round-trip per child.
+// MinerOptions::batch_eval is the escape hatch; results are bit-identical
+// either way (tests/search_differential_test.cc pins this against
+// pre-refactor goldens).
+//
+// Counter semantics (see MineResult in core/miner.h): nodes_explored is
+// incremented exactly once per admitted candidate — one per kExpand event
+// the decision log records — and rule_evaluations is the evaluator's query
+// count. The engine counts both identically for every policy.
+
+#ifndef ERMINER_SEARCH_SEARCH_ENGINE_H_
+#define ERMINER_SEARCH_SEARCH_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/action_space.h"
+#include "core/measures.h"
+#include "core/miner.h"
+#include "core/rule_set.h"
+#include "obs/decision_log.h"
+#include "obs/metrics.h"
+#include "search/prune.h"
+
+namespace erminer::search {
+
+class SearchEngine;
+
+/// The strategy half of a miner: loop shape plus per-policy traits. The
+/// engine calls Run() once per Mine(); Run drives the search with the
+/// engine's primitives (frontier, ExpandNode, RecordPrune/EmitRule, ...).
+class ExpansionPolicy {
+ public:
+  virtual ~ExpansionPolicy() = default;
+
+  /// Span literal wrapping the whole Mine() (must be a string literal).
+  virtual const char* mine_span() const = 0;
+  /// Span literal wrapping one ExpandNode, or nullptr for no per-node span.
+  virtual const char* expand_span() const { return nullptr; }
+
+  /// Duplicate children are prune-logged during admission — before any of
+  /// the node's kExpand events — when true (EnuMiner's historical order);
+  /// when false they are interleaved in action order with the admitted
+  /// children's events (BeamMiner's historical order).
+  virtual bool dup_prune_at_admission() const { return true; }
+  /// Gate children on MinerOptions::max_lhs / max_pattern.
+  virtual bool depth_limited() const { return true; }
+
+  virtual void Run(SearchEngine& engine) = 0;
+};
+
+class SearchEngine {
+ public:
+  /// One frontier node. `score` orders beam truncation (the rule's utility
+  /// at admission); the size fields feed the depth gates.
+  struct Node {
+    RuleKey key;
+    Cover cover;
+    double score = 0;
+    size_t lhs_size = 0;
+    size_t pattern_size = 0;
+  };
+
+  /// `space` may be null for policies that never expand lattice nodes
+  /// through the engine (CTANE drives its own bitmask walk). `options` is
+  /// copied. `metric_prefix` names this miner's counters
+  /// ("<prefix>/nodes_expanded", "<prefix>/prune_<reason>", ...); they are
+  /// resolved once here so hot paths cost one relaxed atomic add.
+  SearchEngine(const Corpus* corpus, const ActionSpace* space,
+               RuleEvaluator* evaluator, const MinerOptions& options,
+               obs::DecisionMiner miner, const std::string& metric_prefix);
+
+  SearchEngine(const SearchEngine&) = delete;
+  SearchEngine& operator=(const SearchEngine&) = delete;
+
+  /// Runs the policy and finalizes: top-K non-redundant selection over the
+  /// emitted pool, counter totals, wall-clock seconds. The pool is cleared
+  /// at entry; nodes_explored is NOT reset (RLMiner accumulates across
+  /// training and inference, restored from checkpoints).
+  MineResult Mine(ExpansionPolicy& policy);
+
+  // --- Frontier --------------------------------------------------------
+  void PushRoot();
+  void PushNode(Node node) { frontier_.push_back(std::move(node)); }
+  bool HasFrontier() const { return !frontier_.empty(); }
+  size_t FrontierSize() const { return frontier_.size(); }
+  Node PopFront();
+  /// Beam truncation: keeps the `width` best-scoring frontier nodes
+  /// (descending score, std::partial_sort), logging one kBeamWidth prune
+  /// per dropped node in post-sort order.
+  void TruncateByScore(size_t width);
+
+  // --- Dedup -----------------------------------------------------------
+  /// True if the key was not yet discovered (and is now recorded).
+  bool InsertDedup(const RuleKey& key) {
+    return dedup_.insert(key).second;
+  }
+  void ClearDedup() { dedup_.clear(); }
+  const RuleKeySet& dedup() const { return dedup_; }
+
+  // --- Node expansion (the lattice policies' three-stage core) ---------
+  /// (1) admission — mask, depth gates and dedup, serially in action
+  /// order; (2) evaluation — decode, cover refinement and measures across
+  /// the thread pool, batched through EvalCache::GetBatch; (3) consume —
+  /// support/certainty thresholds, pool emission and frontier growth,
+  /// serially in action order again, so results and decision-log bytes are
+  /// identical for every thread count.
+  void ExpandNode(Node node, ExpansionPolicy& policy);
+
+  // --- Primitives for policies that drive their own walk ---------------
+  void RecordExpand(const RuleKey& parent_key, int32_t action,
+                    const RuleKey& key);
+  /// Bumps "<prefix>/prune_<reason>" and, for wire reasons, records the
+  /// decision-log event.
+  void RecordPrune(PruneReason reason, const RuleKey& parent_key,
+                   int32_t action, double measure);
+  /// Provenance id, "miner/rules_emitted", the kEmit decision event, and
+  /// (when `to_pool`) pool insertion. Returns the scored rule for callers
+  /// that keep their own pools (the RL environment's leaves).
+  ScoredRule EmitRule(const EditingRule& rule, const RuleStats& stats,
+                      const RuleKey& key, bool to_pool, uint64_t episode = 0,
+                      uint64_t step = 0);
+  void PushPool(ScoredRule rule) { pool_.push_back(std::move(rule)); }
+  void BumpNodesExpanded() { nodes_expanded_->Inc(1); }
+
+  /// One candidate's measures through the batched EvalCache path (a
+  /// width-1 GetBatch — RLMiner's per-step scoring); falls back to the
+  /// per-call Evaluate when batch_eval is off. Null `cover` is computed
+  /// from the rule's pattern.
+  RuleStats EvaluateCandidate(const EditingRule& rule, const Cover& cover,
+                              const LhsPairs* parent_lhs);
+
+  // --- Counters --------------------------------------------------------
+  size_t nodes_explored() const { return nodes_explored_; }
+  /// Checkpoint restore (the RL environment's persisted node counter).
+  void set_nodes_explored(size_t n) { nodes_explored_ = n; }
+  void IncNodesExplored() { ++nodes_explored_; }
+  bool NodeBudgetLeft() const {
+    return nodes_explored_ < options_.max_nodes;
+  }
+
+  const Corpus& corpus() const { return *corpus_; }
+  const ActionSpace& space() const { return *space_; }
+  RuleEvaluator& evaluator() { return *evaluator_; }
+  const MinerOptions& options() const { return options_; }
+
+ private:
+  /// One admissible child plus its evaluation outputs (filled in parallel,
+  /// consumed serially in candidate order).
+  struct Candidate {
+    int32_t action = 0;
+    bool is_lhs = false;
+    RuleKey key;
+    EditingRule rule;
+    Cover cover;
+    RuleStats stats;
+  };
+
+  void ExpandNodeImpl(Node& node, ExpansionPolicy& policy);
+  /// Stage 2: measures for every admitted candidate of one node.
+  void EvaluateFrontier(std::vector<Candidate>& frontier, const Node& node,
+                        const LhsPairs& parent_lhs);
+  /// Log-only prune event (counters are tallied in bulk by the caller).
+  void LogPrune(PruneReason reason, const RuleKey& parent_key, int32_t action,
+                double measure);
+
+  const Corpus* corpus_;
+  const ActionSpace* space_;
+  RuleEvaluator* evaluator_;
+  MinerOptions options_;
+  obs::DecisionMiner miner_;
+
+  std::deque<Node> frontier_;
+  RuleKeySet dedup_;
+  std::vector<ScoredRule> pool_;
+  size_t nodes_explored_ = 0;
+
+  obs::Counter* nodes_expanded_;
+  obs::Counter* children_evaluated_;
+  obs::Counter* rules_pooled_;
+  obs::Counter* children_enqueued_;
+  obs::Counter* rules_emitted_;
+  obs::Counter* prune_[kNumPruneReasons];
+};
+
+}  // namespace erminer::search
+
+#endif  // ERMINER_SEARCH_SEARCH_ENGINE_H_

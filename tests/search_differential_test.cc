@@ -1,0 +1,244 @@
+// Pinned-golden differential tests for the unified search engine: every
+// miner's rule file (RulesToText) and decision log must stay byte-identical
+// to goldens captured from the pre-refactor miners, across threads {1,2,4}
+// x refine {on,off}. Decision events are recorded only from the mining
+// thread, so one golden per miner covers the whole matrix.
+//
+// Regenerating goldens (only when an *intentional* behavior change lands):
+//   ERMINER_WRITE_SEARCH_GOLDENS=1 ./search_differential_test
+// writes fresh goldens into tests/testdata/search/ instead of comparing.
+//
+// On top of byte-identity, the tests assert the MineResult counter
+// semantics documented in core/miner.h: nodes_explored equals the number
+// of kExpand events the decision log recorded, and rule_evaluations equals
+// the evaluator's query count (== nodes_explored for the lattice miners
+// that evaluate every admitted candidate exactly once; == emit count for
+// CTANE, which evaluates only converted rules).
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/beam_miner.h"
+#include "core/cfd_miner.h"
+#include "core/enu_miner.h"
+#include "core/rule_io.h"
+#include "eval/experiment.h"
+#include "obs/decision_log.h"
+#include "rl/rl_miner.h"
+#include "test_util.h"
+#include "util/thread_pool.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::MakeExactFdCorpus;
+using erminer::testing::SeededCorpusCache;
+
+std::string GoldenDir() {
+  return std::string(ERMINER_TEST_SRCDIR) + "/testdata/search";
+}
+
+bool WriterMode() {
+  return ::getenv("ERMINER_WRITE_SEARCH_GOLDENS") != nullptr;
+}
+
+std::string TempLogPath(const std::string& tag) {
+  return ::testing::TempDir() + "/erminer_search_diff_" + tag + "_" +
+         std::to_string(::getpid()) + ".dlog";
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << "cannot open " << path;
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(f.good()) << "cannot write " << path;
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(f.good()) << "short write to " << path;
+}
+
+struct RunOutput {
+  MineResult result;
+  std::string rules_text;  // RulesToText over result.rules
+  std::string log_bytes;   // the raw armed decision-log file
+};
+
+/// One armed mining run at a given thread count. The corpus is built inside
+/// the run (under the same thread count), exactly like a real invocation.
+RunOutput RunArmed(long threads,
+                   const std::function<Corpus()>& make_corpus,
+                   const std::function<MineResult(const Corpus&)>& mine,
+                   const std::string& tag) {
+  const std::string log_path = TempLogPath(tag);
+  std::string error;
+  EXPECT_TRUE(obs::DecisionLog::Global().Open(log_path, &error)) << error;
+  SetGlobalThreads(threads);
+  Corpus corpus = make_corpus();
+  RunOutput out;
+  out.result = mine(corpus);
+  out.rules_text = RulesToText(out.result.rules, corpus);
+  SetGlobalThreads(1);
+  obs::DecisionLog::Global().Close();
+  out.log_bytes = ReadFileBytes(log_path);
+  std::remove(log_path.c_str());
+  return out;
+}
+
+/// Counter-semantics contract (core/miner.h): one kExpand event per
+/// admitted/opened node, so nodes_explored == expand-event count always.
+/// `evals_equal_expands` additionally pins rule_evaluations ==
+/// nodes_explored (lattice miners); `evals_equal_emits` pins
+/// rule_evaluations == emit-event count (CTANE). RLMiner pins neither:
+/// its reward memoization makes evaluations a strict subset of steps.
+void VerifyCounterSemantics(const RunOutput& out, bool evals_equal_expands,
+                            bool evals_equal_emits) {
+  obs::DecisionLogContents log = obs::ParseDecisionLog(out.log_bytes);
+  ASSERT_TRUE(log.ok()) << log.error;
+  ASSERT_FALSE(log.truncated);
+  size_t expands = 0, emits = 0;
+  for (const obs::DecisionEvent& e : log.events) {
+    if (e.type == obs::DecisionEventType::kExpand) ++expands;
+    if (e.type == obs::DecisionEventType::kEmit) ++emits;
+  }
+  EXPECT_EQ(out.result.nodes_explored, expands);
+  if (evals_equal_expands) {
+    EXPECT_EQ(out.result.rule_evaluations, expands);
+  }
+  if (evals_equal_emits) {
+    EXPECT_EQ(out.result.rule_evaluations, emits);
+  }
+}
+
+/// Writer mode: capture the golden at threads=1 with refine on. Compare
+/// mode: every {threads} x {refine} cell must reproduce the golden bytes.
+void RunGoldenMatrix(const std::string& tag,
+                     const std::function<Corpus()>& make_corpus,
+                     const std::function<MineResult(const Corpus&, bool)>&
+                         mine_with_refine,
+                     bool evals_equal_expands, bool evals_equal_emits) {
+  const std::string rules_golden = GoldenDir() + "/" + tag + ".rules.txt";
+  const std::string log_golden = GoldenDir() + "/" + tag + ".dlog";
+
+  if (WriterMode()) {
+    std::filesystem::create_directories(GoldenDir());
+    RunOutput out = RunArmed(
+        1, make_corpus,
+        [&](const Corpus& c) { return mine_with_refine(c, true); }, tag);
+    ASSERT_FALSE(out.result.rules.empty());
+    WriteFileBytes(rules_golden, out.rules_text);
+    WriteFileBytes(log_golden, out.log_bytes);
+    return;
+  }
+
+  const std::string want_rules = ReadFileBytes(rules_golden);
+  const std::string want_log = ReadFileBytes(log_golden);
+  ASSERT_FALSE(want_rules.empty())
+      << "missing golden " << rules_golden
+      << " — regenerate with ERMINER_WRITE_SEARCH_GOLDENS=1";
+  for (long threads : {1L, 2L, 4L}) {
+    for (bool refine : {true, false}) {
+      SCOPED_TRACE(tag + " threads=" + std::to_string(threads) +
+                   " refine=" + (refine ? "on" : "off"));
+      RunOutput out = RunArmed(
+          threads, make_corpus,
+          [&](const Corpus& c) { return mine_with_refine(c, refine); },
+          tag + "_t" + std::to_string(threads) + (refine ? "_r1" : "_r0"));
+      EXPECT_EQ(out.rules_text, want_rules);
+      EXPECT_EQ(out.log_bytes, want_log);
+      VerifyCounterSemantics(out, evals_equal_expands, evals_equal_emits);
+    }
+  }
+}
+
+MinerOptions SmallOptions(bool refine) {
+  MinerOptions o;
+  o.k = 10;
+  o.support_threshold = 12;
+  o.refine = refine;
+  return o;
+}
+
+std::function<Corpus()> CovidCorpus() {
+  return [] {
+    const GeneratedDataset& ds =
+        SeededCorpusCache::Get("covid", 250, 200, 77);
+    return BuildCorpus(ds).ValueOrDie();
+  };
+}
+
+TEST(SearchDifferentialTest, EnuMinerH3) {
+  RunGoldenMatrix(
+      "enu", CovidCorpus(),
+      [](const Corpus& c, bool refine) {
+        return EnuMineH3(c, SmallOptions(refine));
+      },
+      /*evals_equal_expands=*/true, /*evals_equal_emits=*/false);
+}
+
+TEST(SearchDifferentialTest, BeamMiner) {
+  RunGoldenMatrix(
+      "beam", CovidCorpus(),
+      [](const Corpus& c, bool refine) {
+        return BeamMine(c, SmallOptions(refine));
+      },
+      /*evals_equal_expands=*/true, /*evals_equal_emits=*/false);
+}
+
+TEST(SearchDifferentialTest, Ctane) {
+  RunGoldenMatrix(
+      "ctane", CovidCorpus(),
+      [](const Corpus& c, bool refine) {
+        return CfdMine(c, SmallOptions(refine));
+      },
+      /*evals_equal_expands=*/false, /*evals_equal_emits=*/true);
+}
+
+TEST(SearchDifferentialTest, RlMinerInference) {
+  RunGoldenMatrix(
+      "rl_infer", CovidCorpus(),
+      [](const Corpus& c, bool refine) {
+        RlMinerOptions rl;
+        rl.base = SmallOptions(refine);
+        rl.seed = 123;
+        rl.max_inference_steps = 200;
+        RlMiner miner(&c, rl);
+        return miner.Infer();
+      },
+      /*evals_equal_expands=*/false, /*evals_equal_emits=*/false);
+}
+
+TEST(SearchDifferentialTest, RlMinerTraining) {
+  // The full Train() + Infer() trajectory: epsilon draws, replay, DQN
+  // updates and the greedy walk must all reproduce the golden bit-for-bit.
+  RunGoldenMatrix(
+      "rl_train",
+      [] { return MakeExactFdCorpus(); },
+      [](const Corpus& c, bool refine) {
+        RlMinerOptions o;
+        o.base.k = 8;
+        o.base.support_threshold = 20;
+        o.base.refine = refine;
+        o.train_steps = 300;
+        o.seed = 21;
+        o.dqn.hidden = {32, 32};
+        RlMiner miner(&c, o);
+        return miner.Mine();
+      },
+      /*evals_equal_expands=*/false, /*evals_equal_emits=*/false);
+}
+
+}  // namespace
+}  // namespace erminer

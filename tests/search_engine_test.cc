@@ -1,0 +1,208 @@
+// Unit tests for the search subsystem (src/search): the frontier and dedup
+// primitives every policy drives, the beam truncation order, the unified
+// prune-reason taxonomy (names shared with the obs wire vocabulary), and
+// the batched EvalCache path — GetBatch must return entries bit-identical
+// to per-call Get for hits, misses, refinement-hinted misses and
+// batch-internal duplicate keys, and the engine's EvaluateCandidate must
+// produce the same RuleStats with batching on and off.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/measures.h"
+#include "eval/experiment.h"
+#include "index/eval_cache.h"
+#include "obs/decision_log.h"
+#include "obs/metrics.h"
+#include "search/prune.h"
+#include "search/search_engine.h"
+#include "test_util.h"
+
+namespace erminer {
+namespace {
+
+using erminer::testing::SeededCorpusCache;
+using search::PruneReason;
+using search::SearchEngine;
+
+const Corpus& TestCorpus() {
+  static const Corpus* corpus = [] {
+    const GeneratedDataset& ds = SeededCorpusCache::Get("adult", 800, 400, 7);
+    return new Corpus(BuildCorpus(ds).ValueOrDie());
+  }();
+  return *corpus;
+}
+
+/// (input, master) attribute pairs usable as LHS pairs.
+LhsPairs MatchedPairs(const Corpus& corpus) {
+  LhsPairs pairs;
+  for (size_t a = 0; a < corpus.input().num_cols(); ++a) {
+    if (static_cast<int>(a) == corpus.y_input()) continue;
+    for (int m : corpus.match().Matches(static_cast<int>(a))) {
+      if (m == corpus.y_master()) continue;
+      pairs.emplace_back(static_cast<int>(a), m);
+    }
+  }
+  return pairs;
+}
+
+TEST(PruneTaxonomyTest, WireReasonsMirrorObsEnum) {
+  for (size_t i = 0; i < search::kNumWireReasons; ++i) {
+    const auto reason = static_cast<PruneReason>(i);
+    EXPECT_EQ(static_cast<size_t>(search::WireReason(reason)), i);
+  }
+}
+
+TEST(PruneTaxonomyTest, WireReasonNamesMatchObsVocabulary) {
+  // tools/decision_stats and scripts/watch_run.py group prunes by the obs
+  // names; the search taxonomy must keep speaking the same vocabulary.
+  for (size_t i = 0; i < search::kNumWireReasons; ++i) {
+    EXPECT_STREQ(
+        search::PruneReasonName(static_cast<PruneReason>(i)),
+        obs::PruneReasonName(static_cast<obs::PruneReason>(i)));
+  }
+  EXPECT_STREQ(search::PruneReasonName(PruneReason::kMasked), "masked");
+  EXPECT_STREQ(search::PruneReasonName(PruneReason::kDepth), "depth");
+}
+
+TEST(SearchEngineTest, FrontierIsFifo) {
+  const Corpus& c = TestCorpus();
+  RuleEvaluator ev(&c);
+  SearchEngine engine(&c, nullptr, &ev, MinerOptions{},
+                      obs::DecisionMiner::kEnu, "test_fifo");
+  EXPECT_FALSE(engine.HasFrontier());
+  for (int32_t a = 0; a < 4; ++a) {
+    engine.PushNode({RuleKey{a}, nullptr, static_cast<double>(a), 0, 0});
+  }
+  EXPECT_EQ(engine.FrontierSize(), 4u);
+  for (int32_t a = 0; a < 4; ++a) {
+    SearchEngine::Node node = engine.PopFront();
+    EXPECT_EQ(node.key, RuleKey{a});
+  }
+  EXPECT_FALSE(engine.HasFrontier());
+}
+
+TEST(SearchEngineTest, TruncateByScoreKeepsBestDescending) {
+  const Corpus& c = TestCorpus();
+  RuleEvaluator ev(&c);
+  SearchEngine engine(&c, nullptr, &ev, MinerOptions{},
+                      obs::DecisionMiner::kBeam, "test_beam");
+  for (double score : {0.5, 3.0, 1.0, 2.0}) {
+    engine.PushNode({RuleKey{}, nullptr, score, 0, 0});
+  }
+  engine.TruncateByScore(2);
+  ASSERT_EQ(engine.FrontierSize(), 2u);
+  EXPECT_EQ(engine.PopFront().score, 3.0);
+  EXPECT_EQ(engine.PopFront().score, 2.0);
+
+  // Width at or above the frontier size is a no-op.
+  engine.PushNode({RuleKey{}, nullptr, 1.0, 0, 0});
+  engine.TruncateByScore(5);
+  EXPECT_EQ(engine.FrontierSize(), 1u);
+}
+
+TEST(SearchEngineTest, DedupTracksDiscoveredKeys) {
+  const Corpus& c = TestCorpus();
+  RuleEvaluator ev(&c);
+  SearchEngine engine(&c, nullptr, &ev, MinerOptions{},
+                      obs::DecisionMiner::kEnu, "test_dedup");
+  EXPECT_TRUE(engine.InsertDedup(RuleKey{1}));
+  EXPECT_FALSE(engine.InsertDedup(RuleKey{1}));
+  EXPECT_TRUE(engine.InsertDedup(RuleKey{2}));
+  EXPECT_EQ(engine.dedup().size(), 2u);
+  engine.ClearDedup();
+  EXPECT_TRUE(engine.InsertDedup(RuleKey{1}));
+}
+
+void ExpectEntriesIdentical(const EvalCache::Entry& a,
+                            const EvalCache::Entry& b) {
+  ASSERT_EQ(a.column->group.size(), b.column->group.size());
+  for (size_t r = 0; r < a.column->group.size(); ++r) {
+    const Group* ga = a.column->group[r];
+    const Group* gb = b.column->group[r];
+    ASSERT_EQ(ga == nullptr, gb == nullptr) << "row " << r;
+    if (ga == nullptr) continue;
+    ASSERT_EQ(ga->counts, gb->counts) << "row " << r;  // values AND order
+    ASSERT_EQ(ga->total, gb->total) << "row " << r;
+    ASSERT_EQ(ga->max_count, gb->max_count) << "row " << r;
+    ASSERT_EQ(ga->argmax, gb->argmax) << "row " << r;
+  }
+}
+
+TEST(EvalCacheBatchTest, GetBatchMatchesPerCallGet) {
+  const Corpus& c = TestCorpus();
+  const LhsPairs pairs = MatchedPairs(c);
+  ASSERT_GE(pairs.size(), 3u);
+  const LhsPairs parent = {pairs[0]};
+  const LhsPairs child_a = {pairs[0], pairs[1]};
+  const LhsPairs child_b = {pairs[0], pairs[2]};
+
+  EvalCache batched(&c, 16);
+  batched.set_refine_enabled(true);
+  EvalCache per_call(&c, 16);
+  per_call.set_refine_enabled(true);
+
+  // Warm the parent so the batch mixes one hit with refinement-served
+  // misses; key 3 duplicates key 0 inside the batch (the alias path).
+  batched.Get(parent);
+  per_call.Get(parent);
+
+  const std::vector<const LhsPairs*> keys = {&child_a, &child_b, &parent,
+                                             &child_a};
+  const obs::MetricsSnapshot before =
+      obs::MetricsRegistry::Global().Snapshot();
+  std::vector<EvalCache::Entry> entries = batched.GetBatch(&parent, keys);
+  obs::MetricsSnapshot delta =
+      obs::MetricsRegistry::Global().Snapshot().DeltaSince(before);
+  EXPECT_EQ(delta.counters["eval_cache/batched"], keys.size());
+
+  ASSERT_EQ(entries.size(), keys.size());
+  // Batch-internal duplicates share one build.
+  EXPECT_EQ(entries[0].column, entries[3].column);
+  EXPECT_EQ(entries[0].index, entries[3].index);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ExpectEntriesIdentical(entries[i], per_call.Get(*keys[i], &parent));
+  }
+
+  // A second batch is all hits and still identical.
+  std::vector<EvalCache::Entry> again = batched.GetBatch(&parent, keys);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ExpectEntriesIdentical(again[i], entries[i]);
+  }
+}
+
+TEST(SearchEngineTest, EvaluateCandidateMatchesBothEvalPaths) {
+  const Corpus& c = TestCorpus();
+  const LhsPairs pairs = MatchedPairs(c);
+  ASSERT_GE(pairs.size(), 2u);
+  EditingRule rule;
+  rule.y_input = c.y_input();
+  rule.y_master = c.y_master();
+  rule.AddLhs(pairs[0].first, pairs[0].second);
+  rule.AddLhs(pairs[1].first, pairs[1].second);
+  const LhsPairs parent = {pairs[0]};
+
+  MinerOptions batched_opts;
+  batched_opts.batch_eval = true;
+  MinerOptions legacy_opts;
+  legacy_opts.batch_eval = false;
+  RuleEvaluator ev_batched(&c);
+  RuleEvaluator ev_legacy(&c);
+  SearchEngine batched(&c, nullptr, &ev_batched, batched_opts,
+                       obs::DecisionMiner::kEnu, "test_eval_b");
+  SearchEngine legacy(&c, nullptr, &ev_legacy, legacy_opts,
+                      obs::DecisionMiner::kEnu, "test_eval_l");
+
+  const RuleStats a = batched.EvaluateCandidate(rule, nullptr, &parent);
+  const RuleStats b = legacy.EvaluateCandidate(rule, nullptr, &parent);
+  EXPECT_EQ(a.support, b.support);
+  EXPECT_EQ(a.certainty, b.certainty);  // bit-identity, not tolerance
+  EXPECT_EQ(a.quality, b.quality);
+  EXPECT_EQ(a.utility, b.utility);
+  EXPECT_GT(a.support, 0);
+  EXPECT_EQ(ev_batched.num_evaluations(), ev_legacy.num_evaluations());
+}
+
+}  // namespace
+}  // namespace erminer

@@ -8,6 +8,7 @@
 //   erminer mine --input=F.csv --master=F.csv --y=NAME [--y-master=NAME]
 //           [--method=rl|enu|enuh3|ctane|beam] [--k=N] [--support=N]
 //           [--steps=N] [--seed=N] [--negations] [--no-refine]
+//           [--no-batch-eval]
 //           [--rules-out=FILE] [--checkpoint-dir=DIR] [--checkpoint-every=N]
 //           [--checkpoint-keep=N] [--resume[=latest|PATH]]
 //       Discovers editing rules (schemas are matched by column name) and
@@ -262,9 +263,11 @@ int CmdMine(Flags* flags) {
       "support",
       std::max(10.0, static_cast<double>(corpus.input().num_rows()) / 40.0));
   options.include_negations = flags->GetBool("negations");
-  // Escape hatch for the partition-refinement engine (docs/perf.md);
-  // results are bit-identical either way.
+  // Escape hatches for the partition-refinement engine (docs/perf.md) and
+  // the batched sibling evaluation path (docs/architecture.md); results
+  // are bit-identical either way.
   options.refine = !flags->GetBool("no-refine");
+  options.batch_eval = !flags->GetBool("no-batch-eval");
   RlMinerOptions rl;
   rl.base = options;
   rl.train_steps = static_cast<size_t>(flags->GetInt("steps", 3000));
